@@ -1,0 +1,63 @@
+"""A4 — ablation: residual risk vs control stacking.
+
+Starting from the PSP-tuned insider table (Fig. 9-B regime: physical
+High), applies the control catalogue one control at a time and prints
+the residual-risk curve for the severe-impact physical threat — the
+"how much security is enough" view the paper's FC budget motivates.
+"""
+
+from repro.iso21434.controls import default_catalog, residual_risk
+from repro.iso21434.enums import AttackVector, FeasibilityRating, ImpactRating
+from repro.iso21434.feasibility.attack_vector import WeightTable
+
+
+def psp_table() -> WeightTable:
+    return WeightTable(
+        {
+            AttackVector.NETWORK: FeasibilityRating.VERY_LOW,
+            AttackVector.ADJACENT: FeasibilityRating.VERY_LOW,
+            AttackVector.LOCAL: FeasibilityRating.MEDIUM,
+            AttackVector.PHYSICAL: FeasibilityRating.HIGH,
+        },
+        source="psp",
+    )
+
+
+def test_a4_residual_risk_curve(benchmark):
+    catalog = default_catalog()
+    table = psp_table()
+    physical_controls = [
+        c for c in catalog if c.hardens(AttackVector.PHYSICAL)
+    ]
+
+    def build_curve():
+        curve = []
+        deployed = []
+        curve.append(
+            residual_risk(
+                AttackVector.PHYSICAL, ImpactRating.SEVERE, table, deployed
+            )
+        )
+        for control in physical_controls:
+            deployed.append(control)
+            curve.append(
+                residual_risk(
+                    AttackVector.PHYSICAL, ImpactRating.SEVERE, table, deployed
+                )
+            )
+        return curve
+
+    curve = benchmark(build_curve)
+
+    print("\nA4 — residual risk vs control stacking (severe physical threat):")
+    names = ["(none)"] + [c.name for c in physical_controls]
+    for name, record in zip(names, curve):
+        print(f"  +{name:<28} feasibility={record.residual_feasibility.label():<9} "
+              f"risk={record.residual_risk}")
+
+    risks = [record.residual_risk for record in curve]
+    # monotone non-increasing and strictly reduced by the full stack
+    assert all(b <= a for a, b in zip(risks, risks[1:]))
+    assert risks[-1] < risks[0]
+    # severe impact floors at 2 in the default matrix
+    assert risks[-1] >= 2

@@ -1,0 +1,29 @@
+"""A2 — ablation: keyword auto-learning on/off.
+
+Measures how many attack topics the framework covers starting from the
+paper's six-hashtag manual seed, with and without the co-occurrence
+learning loop (paper Fig. 7, block 5).
+"""
+
+from repro.analysis.sweep import learning_coverage
+from repro.core.keywords import paper_seed_database
+
+
+def test_a2_keyword_learning_coverage(benchmark, excavator_client):
+    texts = [p.text for p in excavator_client.corpus]
+
+    def run_coverage():
+        return learning_coverage(
+            excavator_client, paper_seed_database, texts
+        )
+
+    coverage = benchmark(run_coverage)
+
+    print("\nA2 — keyword auto-learning ablation:")
+    print(f"  manual seed only  : {coverage['without_learning']} keywords")
+    print(f"  with learning loop: {coverage['with_learning']} keywords")
+    print(f"  auto-learned      : {coverage['learned']} keywords")
+
+    assert coverage["without_learning"] == 6
+    assert coverage["learned"] > 0
+    assert coverage["with_learning"] > coverage["without_learning"]

@@ -1,0 +1,58 @@
+"""A3 — ablation: SAI poisoning defence on/off (paper §IV future work).
+
+Injects a duplicate-flood amplification campaign into the excavator
+corpus and measures whether the SAI ranking flips, with and without the
+post-authenticity filter.  Benchmarks the filtered SAI pass (filter cost
+is the overhead being measured).
+"""
+
+import datetime as dt
+
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.core.poisoning import FilteringClient, poison_corpus_with_flood
+from repro.core.sai import SAIComputer
+from repro.social import InMemoryClient, excavator_corpus
+from repro.social.corpus import Corpus
+
+
+def _poisoned_corpus():
+    # Amplify the low-ranking hour-meter attack with a 2,500-post flood.
+    base = list(excavator_corpus())
+    return Corpus(
+        poison_corpus_with_flood(
+            base, keyword="hourmeterrollback", copies=2500, views=60000
+        )
+    )
+
+
+def _database() -> KeywordDatabase:
+    return KeywordDatabase(
+        [
+            AttackKeyword(keyword="dpfdelete", owner_approved=True),
+            AttackKeyword(keyword="hourmeterrollback", owner_approved=True),
+        ]
+    )
+
+
+def test_a3_poisoning_defence(benchmark):
+    corpus = _poisoned_corpus()
+    database = _database()
+
+    unfiltered = SAIComputer(InMemoryClient(corpus)).compute(database)
+    filtering_client = FilteringClient(InMemoryClient(corpus))
+    computer = SAIComputer(filtering_client)
+
+    filtered = benchmark(computer.compute, database)
+
+    print("\nA3 — poisoning-defence ablation (hour-meter flood campaign):")
+    print(f"  unfiltered ranking: {unfiltered.ranking()}")
+    print(f"  filtered ranking  : {filtered.ranking()}")
+    report = filtering_client.reports["hourmeterrollback"]
+    print(f"  flood posts rejected: {len(report.rejected)} "
+          f"({report.rejection_rate:.0%} of the keyword's posts)")
+
+    # Without the filter the campaign flips the ranking; with it the
+    # organic ranking survives.
+    assert unfiltered.ranking()[0] == "hourmeterrollback"
+    assert filtered.ranking()[0] == "dpfdelete"
+    assert report.rejection_rate > 0.5

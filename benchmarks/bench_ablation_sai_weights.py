@@ -1,0 +1,45 @@
+"""A1 — ablation: SAI engagement-weight sensitivity.
+
+Computes the SAI under five weight mixes (default, flat, volume-only,
+views-only, interactions-only) and reports ranking stability vs the
+default mix.  The paper's Fig. 12 ranking should be robust: DPF delete
+stays first under every mix.
+"""
+
+from repro.analysis.sweep import sai_weight_ablation, ranking_stability
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.social import excavator_specs
+
+
+def _database() -> KeywordDatabase:
+    db = KeywordDatabase()
+    for spec in excavator_specs():
+        db.add(
+            AttackKeyword(
+                keyword=spec.keyword,
+                vector=spec.vector,
+                owner_approved=spec.owner_approved,
+            )
+        )
+    return db
+
+
+def test_a1_sai_weight_ablation(benchmark, excavator_client):
+    database = _database()
+
+    def run_ablation():
+        return sai_weight_ablation(excavator_client, database)
+
+    results = benchmark(run_ablation)
+    stability = ranking_stability(results)
+
+    print("\nA1 — SAI weight-mix ablation (excavator corpus):")
+    for label, sai in results.items():
+        top3 = ", ".join(sai.ranking()[:3])
+        print(f"  {label:<18} stability={stability[label]:.2f}  top3: {top3}")
+
+    for label, sai in results.items():
+        assert sai.ranking()[0] == "dpfdelete", label
+    assert stability["default"] == 1.0
+    # every mix orders at least ~2/3 of the keyword pairs like the default
+    assert all(v >= 0.66 for v in stability.values())

@@ -1,0 +1,33 @@
+"""E8/E9 — Eqs. 6-7: the DPF financial case study.
+
+Runs the full Fig. 10 pipeline (sales -> PAE, report mining -> n,
+price clustering -> PPIA) and checks the published EUR values:
+MV = 1,406 x 360 = 506,160 EUR/yr and FC = 1,406 x 310 / 3 ≈ 145,286 EUR.
+"""
+
+import pytest
+
+
+def test_eq6_eq7_dpf_financials(benchmark, excavator_framework):
+    def run_pipeline():
+        return excavator_framework.assess_financial("dpfdelete")
+
+    assessment = benchmark(run_pipeline)
+
+    print("\nEq. 6 / Eq. 7 — DPF tampering, Europe:")
+    print(f"  PAE  = {assessment.pae:,} potential attackers")
+    print(f"  PPIA = {assessment.ppia:,.0f} EUR")
+    print(f"  VCU  = {assessment.vcu:,.0f} EUR")
+    print(f"  n    = {assessment.competitors} competitors")
+    print(f"  Eq.6: MV = {assessment.pae} x {assessment.ppia:.0f} "
+          f"= {assessment.mv:,.0f} EUR/yr   (paper: ~506,160)")
+    print(f"  Eq.7: FC = {assessment.pae} x {assessment.margin:.0f} / "
+          f"{assessment.competitors} = {assessment.fc_required:,.2f} EUR "
+          f"(paper: ~145,286)")
+    print(f"  financial feasibility: {assessment.feasibility.label()}")
+
+    assert assessment.pae == 1406
+    assert assessment.ppia == pytest.approx(360.0)
+    assert assessment.mv == pytest.approx(506160.0)
+    assert assessment.competitors == 3
+    assert assessment.fc_required == pytest.approx(145286.67, abs=0.01)

@@ -1,0 +1,37 @@
+"""E6 — Fig. 11: the break-even diagram.
+
+Regenerates the revenue/cost curves, locates the crossover (BEP) and
+checks the profitable/loss zone split; benchmarks curve generation.
+"""
+
+import pytest
+
+from repro.core.financial import BreakEvenAnalysis
+
+
+def test_fig11_break_even_diagram(benchmark):
+    # The paper's DPF case: FC from Eq. 7, PPIA 360, VCU 50, n = 3.
+    analysis = BreakEvenAnalysis(fc=145286.67, ppia=360.0, vcu=50.0, n=3)
+
+    def build_curves():
+        return analysis.curve(max_units=2 * analysis.break_even, points=200)
+
+    curve = benchmark(build_curves)
+
+    bep = analysis.break_even
+    print("\nFig. 11 — break-even geometry (DPF delete case):")
+    print(f"  break-even point: {bep:,.0f} units")
+    for units, revenue, cost in curve[:: len(curve) // 8]:
+        zone = "profitable" if revenue > cost else "loss"
+        print(f"  units={units:8.0f}  revenue={revenue:12.0f}  "
+              f"cost={cost:12.0f}  {zone}")
+
+    assert bep == pytest.approx(1406.0, rel=1e-4)
+    # Below the BEP: loss zone; above: profitable (blue) zone.
+    assert not analysis.is_profitable(0.9 * bep)
+    assert analysis.is_profitable(1.1 * bep)
+    # revenue and cost curves cross exactly once (linear, distinct slopes)
+    signs = [revenue - cost > 0 for _, revenue, cost in curve]
+    assert signs.count(True) > 0 and signs.count(False) > 0
+    crossings = sum(1 for a, b in zip(signs, signs[1:]) if a != b)
+    assert crossings == 1

@@ -1,0 +1,24 @@
+"""E7 — Fig. 12: the excavator insider-attack SAI ranking.
+
+Runs the "excavator, Europe" query of §III over the keyword database and
+prints the ranked SAI list; DPF delete must rank first.  Benchmarks the
+full SAI computation over the corpus.
+"""
+
+def test_fig12_excavator_sai(benchmark, excavator_framework):
+    def compute():
+        return excavator_framework.compute_sai()
+
+    sai = benchmark(compute)
+
+    print("\nFig. 12 — excavator insider attacks by SAI (query: excavator, Europe):")
+    for rank, entry in enumerate(sai, start=1):
+        print(f"  {rank}. {entry.keyword:<20} score={entry.score:.3f} "
+              f"p={entry.probability:.3f} posts={entry.post_count}")
+
+    ranking = sai.ranking()
+    assert ranking[0] == "dpfdelete"
+    # The emission-defeat family dominates the top of the list.
+    assert ranking.index("egrdelete") < ranking.index("hourmeterrollback")
+    # Scores are a probability distribution over the scene.
+    assert abs(sum(e.probability for e in sai) - 1.0) < 1e-9

@@ -1,0 +1,29 @@
+"""E2 — Fig. 5: the attack-vector-based approach table (G.9).
+
+Regenerates the static table rows and benchmarks table lookups (the
+kernel every TARA feasibility query hits).
+"""
+
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import AttackVectorModel, standard_table
+
+
+def test_fig5_attack_vector_table(benchmark):
+    model = AttackVectorModel()
+    vectors = list(AttackVector) * 2500
+
+    def rate_all():
+        return [model.rate(v) for v in vectors]
+
+    ratings = benchmark(rate_all)
+
+    print("\nFig. 5 — attack vector-based approach (ISO/SAE-21434 G.9):")
+    for vector, rating in standard_table().items():
+        print(f"  {vector.value:<9} -> {rating.label()}")
+
+    assert len(ratings) == len(vectors)
+    table = standard_table()
+    assert table.rating(AttackVector.NETWORK) is FeasibilityRating.HIGH
+    assert table.rating(AttackVector.ADJACENT) is FeasibilityRating.MEDIUM
+    assert table.rating(AttackVector.LOCAL) is FeasibilityRating.LOW
+    assert table.rating(AttackVector.PHYSICAL) is FeasibilityRating.VERY_LOW

@@ -1,0 +1,43 @@
+"""E3 — Fig. 6: CAL determination matrix.
+
+Regenerates the impact x attack-vector CAL table and checks the
+structural property the paper critiques: the physical column never
+exceeds CAL2.
+"""
+
+from repro.iso21434.cal import determine_cal, physical_ceiling
+from repro.iso21434.enums import CAL, AttackVector, ImpactRating
+
+
+def test_fig6_cal_matrix(benchmark):
+    pairs = [
+        (impact, vector)
+        for impact in ImpactRating
+        for vector in AttackVector
+    ] * 1000
+
+    def determine_all():
+        return [determine_cal(i, v) for i, v in pairs]
+
+    cals = benchmark(determine_all)
+
+    print("\nFig. 6 — CAL determination (impact x attack vector):")
+    header = "  {:<12}".format("impact") + "".join(
+        f"{v.value:>10}" for v in (
+            AttackVector.PHYSICAL, AttackVector.LOCAL,
+            AttackVector.ADJACENT, AttackVector.NETWORK,
+        )
+    )
+    print(header)
+    for impact in (ImpactRating.SEVERE, ImpactRating.MAJOR,
+                   ImpactRating.MODERATE, ImpactRating.NEGLIGIBLE):
+        row = "  {:<12}".format(impact.label())
+        for vector in (AttackVector.PHYSICAL, AttackVector.LOCAL,
+                       AttackVector.ADJACENT, AttackVector.NETWORK):
+            row += f"{determine_cal(impact, vector).label():>10}"
+        print(row)
+    print(f"  physical-vector ceiling: {physical_ceiling().label()}")
+
+    assert len(cals) == len(pairs)
+    assert physical_ceiling() is CAL.CAL2
+    assert determine_cal(ImpactRating.SEVERE, AttackVector.NETWORK) is CAL.CAL4

@@ -1,0 +1,39 @@
+"""E4 — Fig. 8: outsider weights unchanged, insider weights PSP-tuned.
+
+Runs the full Fig. 7 pipeline on the ECM corpus and benchmarks the
+classification + tuning stage.  Prints both tables side by side as the
+paper's Fig. 8-A/B does.
+"""
+
+from repro.core.classification import InsiderOutsiderClassifier
+from repro.core.weights import WeightTuner
+from repro.iso21434.enums import AttackVector
+from repro.iso21434.feasibility.attack_vector import standard_table
+
+
+def test_fig8_weight_tuning(benchmark, ecm_framework, ecm_client):
+    sai = ecm_framework.compute_sai()
+    classifier = InsiderOutsiderClassifier(ecm_client)
+    tuner = WeightTuner()
+
+    def classify_and_tune():
+        split = classifier.split(sai)
+        return tuner.tune(split, window_label="full history")
+
+    outcome = benchmark(classify_and_tune)
+
+    print("\nFig. 8-A — outsider threats (standard weights):")
+    for vector, rating in outcome.outsider_table.items():
+        print(f"  {vector.value:<9} -> {rating.label()}")
+    print("Fig. 8-B — insider threats (PSP-tuned weights):")
+    for vector, rating in outcome.insider_table.items():
+        print(f"  {vector.value:<9} -> {rating.label()}")
+
+    assert outcome.outsider_table.ratings == standard_table().ratings
+    # physical raised above the standard's Very Low; priority reordered.
+    assert outcome.insider_table.rating(AttackVector.PHYSICAL) > (
+        standard_table().rating(AttackVector.PHYSICAL)
+    )
+    assert outcome.insider_table.rating(AttackVector.NETWORK) < (
+        standard_table().rating(AttackVector.NETWORK)
+    )

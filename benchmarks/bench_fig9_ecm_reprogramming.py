@@ -1,0 +1,47 @@
+"""E5 — Fig. 9: the three G.9 tables for ECM reprogramming.
+
+(A) the original static table, (B) the PSP revision over the full post
+history, (C) the PSP revision over posts since 2022.  Benchmarks the
+two-window comparison; asserts the paper's physical→local trend
+inversion between (B) and (C).
+"""
+
+from repro import TimeWindow
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import standard_table
+
+
+def _print_table(title, table):
+    print(title)
+    for vector, rating in table.items():
+        print(f"  {vector.value:<9} -> {rating.label()}")
+
+
+def test_fig9_ecm_reprogramming(benchmark, ecm_framework):
+    full = TimeWindow.full_history()
+    recent = TimeWindow.since_year(2022)
+
+    def compare():
+        return ecm_framework.compare_windows(full, recent)
+
+    before, after, inversions = benchmark(compare)
+
+    print()
+    _print_table("Fig. 9-A — original G.9 table:", standard_table())
+    _print_table("Fig. 9-B — PSP revision, full history:", before.insider_table)
+    _print_table("Fig. 9-C — PSP revision, since 2022:", after.insider_table)
+    for inversion in inversions:
+        print(f"  inversion: {inversion.describe()}")
+
+    table_b = before.insider_table
+    table_c = after.insider_table
+    # (B): physical reprogramming is the dominant insider attack.
+    assert table_b.rating(AttackVector.PHYSICAL) is FeasibilityRating.HIGH
+    assert table_b.rating(AttackVector.PHYSICAL) > table_b.rating(AttackVector.LOCAL)
+    # (C): local via OBD has overtaken physical.
+    assert table_c.rating(AttackVector.LOCAL) is FeasibilityRating.HIGH
+    assert table_c.rating(AttackVector.LOCAL) > table_c.rating(AttackVector.PHYSICAL)
+    assert any(
+        inv.risen is AttackVector.LOCAL and inv.fallen is AttackVector.PHYSICAL
+        for inv in inversions
+    )

@@ -1,0 +1,28 @@
+"""S2 — scaling: attack-path enumeration vs architecture size.
+
+Benchmarks the full attack-surface sweep on synthetic architectures of
+growing size (domains x ECUs-per-domain).
+"""
+
+import pytest
+
+from repro.vehicle.architecture import scaled_architecture
+from repro.vehicle.attack_surface import AttackSurfaceAnalyzer
+
+SHAPES = ((2, 4), (4, 8), (6, 12))
+
+
+@pytest.mark.parametrize("domains,ecus", SHAPES)
+def test_s2_attack_path_scaling(benchmark, domains, ecus):
+    network = scaled_architecture(domains=domains, ecus_per_domain=ecus)
+    analyzer = AttackSurfaceAnalyzer(network)
+
+    reports = benchmark(analyzer.sweep)
+
+    total_paths = sum(len(r.paths) for r in reports.values())
+    print(f"\nS2 — architecture {domains}x{ecus}: {len(network.ecus)} ECUs, "
+          f"{total_paths} attack paths enumerated")
+    assert len(reports) == len(network.ecus)
+    # every non-gateway ECU is reachable from the OBD entry point
+    reachable = [r for r in reports.values() if r.paths]
+    assert len(reachable) >= len(network.ecus) - 1

@@ -1,0 +1,50 @@
+"""S1 — scaling: SAI computation vs corpus size.
+
+Generates synthetic corpora of growing size and benchmarks the full SAI
+computation (search + engagement aggregation + sentiment + normalisation)
+at each size.  The kernel should scale roughly linearly in post count.
+"""
+
+import pytest
+
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.core.sai import SAIComputer
+from repro.iso21434.enums import AttackVector
+from repro.social import InMemoryClient
+from repro.social.synthetic import AttackTopicSpec, generate_corpus
+
+SIZES = (200, 1000, 5000)
+
+
+def _corpus_of(total_posts: int):
+    per_topic = total_posts // 4
+    specs = [
+        AttackTopicSpec(
+            keyword=f"topic{i}",
+            vector=list(AttackVector)[i % 4],
+            owner_approved=True,
+            yearly_volume={2022: per_topic},
+        )
+        for i in range(4)
+    ]
+    return generate_corpus(specs), specs
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_s1_sai_scaling(benchmark, size):
+    corpus, specs = _corpus_of(size)
+    client = InMemoryClient(corpus)
+    db = KeywordDatabase(
+        [
+            AttackKeyword(keyword=s.keyword, vector=s.vector, owner_approved=True)
+            for s in specs
+        ]
+    )
+    computer = SAIComputer(client)
+
+    sai = benchmark(computer.compute, db)
+
+    total_posts = sum(e.post_count for e in sai)
+    print(f"\nS1 — corpus size {size}: {total_posts} posts scored, "
+          f"{len(sai)} SAI entries")
+    assert total_posts == (size // 4) * 4

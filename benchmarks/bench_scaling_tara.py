@@ -1,0 +1,28 @@
+"""S3 — scaling: complete TARA runs vs architecture size.
+
+Benchmarks the full pipeline (asset enumeration → STRIDE threats →
+path analysis → risk/CAL/treatment) on synthetic architectures of
+growing size.
+"""
+
+import pytest
+
+from repro.tara import TaraEngine
+from repro.vehicle.architecture import scaled_architecture
+
+SHAPES = ((2, 4), (4, 6), (6, 8))
+
+
+@pytest.mark.parametrize("domains,ecus", SHAPES)
+def test_s3_tara_scaling(benchmark, domains, ecus):
+    network = scaled_architecture(domains=domains, ecus_per_domain=ecus)
+    engine = TaraEngine(network)
+
+    data = benchmark(engine.run)
+
+    print(f"\nS3 — TARA over {domains}x{ecus} architecture: "
+          f"{len(network.ecus)} ECUs, {len(data.records)} threat scenarios")
+    # 4 assets per ECU, threats per asset depend on protected properties;
+    # every record is fully assessed.
+    assert len(data.records) >= 4 * len(network.ecus)
+    assert all(1 <= r.risk_value <= 5 for r in data.records)

@@ -1,0 +1,36 @@
+"""E10 — §II claim: the static model under-rates powertrain insider threats.
+
+Runs two complete TARAs over the Fig. 4 reference architecture (static
+G.9 vs PSP-tuned insider table) and prints the disagreement summary;
+benchmarks the full dual-run + diff.
+"""
+
+from repro.analysis import summarize_disagreements
+from repro.tara import TaraEngine, compare_runs
+from repro.vehicle.domains import VehicleDomain
+
+
+def test_e10_static_vs_psp_tara(benchmark, fig4_network, ecm_framework):
+    insider_table = ecm_framework.run(learn=False).insider_table
+
+    def dual_tara():
+        static = TaraEngine(fig4_network).run()
+        tuned = TaraEngine(fig4_network, insider_table=insider_table).run()
+        return static, compare_runs(fig4_network, static, tuned)
+
+    static, disagreements = benchmark(dual_tara)
+    summary = summarize_disagreements(len(static.records), disagreements)
+
+    print("\nE10 — static vs PSP full-vehicle TARA:")
+    print(f"  threat scenarios: {len(static.records)}")
+    print(f"  rated differently: {len(disagreements)} "
+          f"({summary.disagreement_rate:.0%})")
+    for domain, count in sorted(
+        summary.by_domain().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {domain.value:<14} {count}")
+    print(f"  under-rated by the static model: {len(summary.underestimated())}")
+
+    assert disagreements
+    assert summary.dominant_domain() is VehicleDomain.POWERTRAIN
+    assert all(d.underestimated for d in disagreements)

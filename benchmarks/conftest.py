@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one paper artifact (figure/table/equation); see
+the per-experiment index in DESIGN.md.  Fixtures are session-scoped so
+corpus generation cost is not attributed to the measured kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PSPFramework, TargetApplication
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.social import (
+    InMemoryClient,
+    ecm_reprogramming_corpus,
+    ecm_reprogramming_specs,
+    excavator_corpus,
+    excavator_specs,
+)
+from repro.vehicle import reference_architecture
+
+
+def _database_for(specs) -> KeywordDatabase:
+    db = KeywordDatabase()
+    for spec in specs:
+        db.add(
+            AttackKeyword(
+                keyword=spec.keyword,
+                vector=spec.vector,
+                owner_approved=spec.owner_approved,
+            )
+        )
+    return db
+
+
+@pytest.fixture(scope="session")
+def ecm_client():
+    return InMemoryClient(ecm_reprogramming_corpus())
+
+
+@pytest.fixture(scope="session")
+def excavator_client():
+    return InMemoryClient(excavator_corpus())
+
+
+@pytest.fixture(scope="session")
+def ecm_framework(ecm_client):
+    return PSPFramework(
+        ecm_client,
+        TargetApplication("car", "europe", "passenger"),
+        database=_database_for(ecm_reprogramming_specs()),
+    )
+
+
+@pytest.fixture(scope="session")
+def excavator_framework(excavator_client):
+    return PSPFramework(
+        excavator_client,
+        TargetApplication("excavator", "europe", "industrial"),
+        database=_database_for(excavator_specs()),
+    )
+
+
+@pytest.fixture(scope="session")
+def fig4_network():
+    return reference_architecture()

@@ -1,0 +1,78 @@
+"""ECM reprogramming: the paper's Fig. 9 experiment.
+
+Reproduces the three G.9 tables of paper Fig. 9:
+
+* (A) the standard's original static table;
+* (B) the PSP-revised table over the full posting history — physical
+  reprogramming, rated Very Low by the standard, is raised because the
+  social evidence shows it is the dominant insider attack;
+* (C) the PSP-revised table restricted to posts since 2022 — the trend
+  inversion: local (OBD) attacks overtake physical ones, matching the
+  Upstream-report incident statistics.
+
+Run with::
+
+    python examples/ecm_reprogramming.py
+"""
+
+from repro import PSPFramework, TargetApplication, TimeWindow
+from repro.analysis import report_confirms_inversion
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.iso21434.feasibility.attack_vector import standard_table
+from repro.market import default_report_library
+from repro.social import InMemoryClient, ecm_reprogramming_corpus, ecm_reprogramming_specs
+from repro.tara import render_weight_table
+
+
+def build_database() -> KeywordDatabase:
+    """Keyword database annotated by the product security team."""
+    db = KeywordDatabase()
+    for spec in ecm_reprogramming_specs():
+        db.add(
+            AttackKeyword(
+                keyword=spec.keyword,
+                vector=spec.vector,
+                owner_approved=spec.owner_approved,
+            )
+        )
+    return db
+
+
+def main() -> None:
+    client = InMemoryClient(ecm_reprogramming_corpus())
+    target = TargetApplication("car", region="europe", category="passenger")
+    psp = PSPFramework(client, target, database=build_database())
+
+    full = TimeWindow.full_history()
+    recent = TimeWindow.since_year(2022)
+    before, after, inversions = psp.compare_windows(full, recent)
+
+    print(render_weight_table(standard_table(), "Fig. 9-A: original G.9 table"))
+    print()
+    print(
+        render_weight_table(
+            before.insider_table, "Fig. 9-B: PSP revision, full history"
+        )
+    )
+    print()
+    print(
+        render_weight_table(
+            after.insider_table, "Fig. 9-C: PSP revision, posts since 2022"
+        )
+    )
+    print()
+
+    for inversion in inversions:
+        print(f"Trend inversion detected: {inversion.describe()}")
+        report = default_report_library().latest("excavator", "europe")
+        if report and report_confirms_inversion(
+            report, inversion.risen, inversion.fallen
+        ):
+            print(
+                "  confirmed by the annual-report incident statistics "
+                f"({report.year} edition)"
+            )
+
+
+if __name__ == "__main__":
+    main()

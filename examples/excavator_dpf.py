@@ -1,0 +1,62 @@
+"""Excavator DPF tampering: the paper's financial case study (Figs. 10-12).
+
+Reproduces the full "excavator, Europe" example of paper §III:
+
+* the SAI ranking with DPF delete on top (Fig. 12);
+* the market value MV = PAE x PPIA = 1,406 x 360 EUR ≈ 506,160 EUR/yr
+  (Eq. 6);
+* the required adversary investment FC = BEP x (PPIA - VCU) / n =
+  1,406 x 310 / 3 ≈ 145,286 EUR (Eq. 7);
+* the break-even geometry of Fig. 11, printed as a small text chart.
+
+Run with::
+
+    python examples/excavator_dpf.py
+"""
+
+from repro import PSPFramework, TargetApplication
+from repro.social import InMemoryClient, excavator_corpus
+from repro.tara import render_financial, render_sai
+
+
+def render_bep_chart(analysis, max_units: float, width: int = 50) -> str:
+    """Tiny text rendering of the Fig. 11 cost/revenue crossover."""
+    lines = ["units    revenue      cost         zone"]
+    for units, revenue, cost in analysis.curve(max_units, points=11):
+        zone = "profitable" if revenue > cost else "loss"
+        lines.append(f"{units:7.0f}  {revenue:11.0f}  {cost:11.0f}  {zone}")
+    lines.append(f"break-even point: {analysis.break_even:,.0f} units")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    client = InMemoryClient(excavator_corpus())
+    target = TargetApplication(
+        application="excavator", region="europe", category="industrial"
+    )
+    psp = PSPFramework(client, target)
+
+    result = psp.run()
+    print(render_sai(result.sai, title="Fig. 12: excavator insider-attack SAI"))
+    print()
+
+    assessment = psp.assess_financial("dpfdelete")
+    print(render_financial(assessment))
+    print()
+    print(f"Eq. 6: MV = {assessment.pae} x {assessment.ppia:.0f} EUR "
+          f"= {assessment.mv:,.0f} EUR/yr")
+    print(f"Eq. 7: FC = {assessment.pae} x {assessment.margin:.0f} / "
+          f"{assessment.competitors} = {assessment.fc_required:,.2f} EUR")
+    print()
+    print("Fig. 11: break-even geometry")
+    print(render_bep_chart(assessment.analysis(), max_units=2 * assessment.pae))
+    print()
+    print(
+        "Security guidance: an anti-tampering DPF architecture should "
+        f"withstand an adversary investment of up to "
+        f"{assessment.fc_required:,.0f} EUR."
+    )
+
+
+if __name__ == "__main__":
+    main()

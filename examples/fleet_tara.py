@@ -1,0 +1,77 @@
+"""Full-vehicle TARA: static ISO model versus the PSP-tuned model.
+
+Runs a complete ISO/SAE-21434 TARA over the Fig. 4 reference architecture
+twice — once with the standard's static attack-vector table and once with
+the PSP-tuned insider table derived from the ECM-reprogramming corpus —
+and diffs the outcomes (experiment E10).  The disagreements concentrate
+on powertrain insider threats, which the static table systematically
+under-rates: the paper's §II argument, quantified.
+
+Run with::
+
+    python examples/fleet_tara.py
+"""
+
+from repro import PSPFramework, TargetApplication, TimeWindow
+from repro.analysis import summarize_disagreements
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.social import InMemoryClient, ecm_reprogramming_corpus, ecm_reprogramming_specs
+from repro.tara import TaraEngine, compare_runs, render_tara
+from repro.vehicle import reference_architecture
+
+
+def tuned_insider_table():
+    """Derive the PSP insider table from the social evidence."""
+    db = KeywordDatabase()
+    for spec in ecm_reprogramming_specs():
+        db.add(
+            AttackKeyword(
+                keyword=spec.keyword,
+                vector=spec.vector,
+                owner_approved=spec.owner_approved,
+            )
+        )
+    client = InMemoryClient(ecm_reprogramming_corpus())
+    psp = PSPFramework(
+        client, TargetApplication("car", "europe", "passenger"), database=db
+    )
+    return psp.run(TimeWindow.full_history(), learn=False).insider_table
+
+
+def main() -> None:
+    network = reference_architecture()
+
+    static_run = TaraEngine(network).run()
+    insider_table = tuned_insider_table()
+    tuned_run = TaraEngine(network, insider_table=insider_table).run()
+
+    print(render_tara(static_run, min_risk=4))
+    print()
+    print(render_tara(tuned_run, min_risk=4))
+    print()
+
+    disagreements = compare_runs(network, static_run, tuned_run)
+    summary = summarize_disagreements(len(static_run.records), disagreements)
+    print(
+        f"Static vs PSP: {len(disagreements)} of {len(static_run.records)} "
+        f"threat scenarios rated differently "
+        f"({summary.disagreement_rate:.0%})"
+    )
+    domains = ", ".join(
+        f"{domain.value}: {count}" for domain, count in summary.by_domain().items()
+    )
+    print(f"Disagreements by domain: {domains}")
+    underestimated = summary.underestimated()
+    print(
+        f"Threats under-rated by the static model: {len(underestimated)} "
+        f"(all in {summary.dominant_domain().value})"
+    )
+    worst = max(underestimated, key=lambda d: d.tuned_risk - d.static_risk)
+    print(
+        f"Largest risk jump: {worst.threat_id} — risk {worst.static_risk} "
+        f"under the static table, {worst.tuned_risk} under PSP"
+    )
+
+
+if __name__ == "__main__":
+    main()

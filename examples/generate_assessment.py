@@ -1,0 +1,99 @@
+"""Generate a complete markdown assessment report.
+
+Combines every PSP output into the single work product an assessor files:
+the SAI evidence, the insider/outsider split, the three weight tables,
+the financial assessments of the top insider attacks, a full-vehicle
+TARA summary, and the control set needed to bring the worst powertrain
+threat down to an acceptable residual risk.
+
+Run with::
+
+    python examples/generate_assessment.py [output.md]
+"""
+
+import sys
+
+from repro import PSPFramework, TargetApplication
+from repro.analysis import generate_assessment_report
+from repro.core.errors import DataUnavailableError
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.iso21434.controls import default_catalog, residual_risk, select_controls_for_target
+from repro.iso21434.enums import AttackVector, ImpactRating
+from repro.social import InMemoryClient, excavator_corpus, excavator_specs
+from repro.tara import TaraEngine
+from repro.vehicle import reference_architecture
+
+
+def build_framework() -> PSPFramework:
+    db = KeywordDatabase()
+    for spec in excavator_specs():
+        db.add(
+            AttackKeyword(
+                keyword=spec.keyword,
+                vector=spec.vector,
+                owner_approved=spec.owner_approved,
+            )
+        )
+    client = InMemoryClient(excavator_corpus())
+    target = TargetApplication("excavator", "europe", "industrial")
+    return PSPFramework(client, target, database=db)
+
+
+def main() -> None:
+    psp = build_framework()
+    result = psp.run()
+
+    # Financial assessments for the top insider attacks that have listings.
+    assessments = []
+    for entry in result.split.insider_entries[:4]:
+        try:
+            assessments.append(psp.assess_financial(entry.keyword))
+        except DataUnavailableError:
+            continue
+
+    # Full-vehicle TARA under the PSP-tuned insider table.
+    network = reference_architecture()
+    tara = TaraEngine(network, insider_table=result.insider_table).run()
+
+    report = generate_assessment_report(
+        result, financial=assessments, tara=tara, tara_min_risk=4
+    )
+
+    # Append a control recommendation for the dominant insider vector.
+    top_vector = result.insider_table.ranked_vectors()[0]
+    controls = select_controls_for_target(
+        top_vector,
+        ImpactRating.SEVERE,
+        result.insider_table,
+        default_catalog(),
+        target_risk=3,
+    )
+    lines = [report, "## Control recommendation", ""]
+    if controls is None:
+        lines.append(
+            f"No catalogued control set reduces the {top_vector.value} "
+            "risk to the target level; risk avoidance required."
+        )
+    else:
+        record = residual_risk(
+            top_vector, ImpactRating.SEVERE, result.insider_table, controls
+        )
+        names = ", ".join(c.name for c in controls) or "none needed"
+        lines.append(
+            f"Deploying [{names}] reduces the severe-impact "
+            f"{top_vector.value} risk from {record.initial_risk} to "
+            f"{record.residual_risk}."
+        )
+    document = "\n".join(lines) + "\n"
+
+    destination = sys.argv[1] if len(sys.argv) > 1 else None
+    if destination:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"report written to {destination}")
+    else:
+        print(document)
+
+
+if __name__ == "__main__":
+    main()

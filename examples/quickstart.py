@@ -1,0 +1,46 @@
+"""Quickstart: one full PSP run on the excavator scenario.
+
+Runs the complete Fig. 7 pipeline — keyword learning, SAI computation,
+insider/outsider classification, weight-table generation — and the Fig. 10
+financial pipeline for the top-ranked attack.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import PSPFramework, TargetApplication, TimeWindow
+from repro.social import InMemoryClient, excavator_corpus
+from repro.tara import render_financial, render_sai, render_weight_table
+
+
+def main() -> None:
+    # The social client is the Twitter-API substitution: a deterministic
+    # synthetic corpus calibrated to the paper's published trends.
+    client = InMemoryClient(excavator_corpus())
+    target = TargetApplication(
+        application="excavator", region="europe", category="industrial"
+    )
+    psp = PSPFramework(client, target)
+
+    result = psp.run(TimeWindow.full_history())
+
+    print(f"Target: {target.describe()}")
+    if result.learned_keywords:
+        learned = ", ".join(k.keyword for k in result.learned_keywords)
+        print(f"Auto-learned keywords: {learned}")
+    print()
+    print(render_sai(result.sai, title="Social Attraction Index (Fig. 12)"))
+    print()
+    print(render_weight_table(result.insider_table, "Insider weight table (Fig. 8-B)"))
+    print()
+    print(render_weight_table(result.outsider_table, "Outsider weight table (Fig. 8-A)"))
+    print()
+
+    top_attack = result.sai.ranking()[0]
+    assessment = psp.assess_financial(top_attack)
+    print(render_financial(assessment))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Runtime risk monitoring: PSP as a TARA-reprocessing trigger.
+
+The paper's conclusion frames PSP as a move "from static risk assessment
+models ... to a runtime model environment".  This example simulates that
+lifecycle: the product progresses through the V-model phases (paper
+Fig. 2), PSP re-runs year by year, and when the social evidence shifts a
+vector's rating, a TARA reprocessing is triggered with the
+PSP_TREND_SHIFT cause.
+
+Run with::
+
+    python examples/runtime_monitoring.py
+"""
+
+from repro import PSPFramework, TargetApplication, TimeWindow
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.social import InMemoryClient, ecm_reprogramming_corpus, ecm_reprogramming_specs
+from repro.tara import LifecycleTracker, Phase, ReprocessingTrigger
+
+
+def main() -> None:
+    db = KeywordDatabase()
+    for spec in ecm_reprogramming_specs():
+        db.add(
+            AttackKeyword(
+                keyword=spec.keyword,
+                vector=spec.vector,
+                owner_approved=spec.owner_approved,
+            )
+        )
+    client = InMemoryClient(ecm_reprogramming_corpus())
+    psp = PSPFramework(
+        client, TargetApplication("car", "europe", "passenger"), database=db
+    )
+    tracker = LifecycleTracker()
+
+    # Walk the development lifecycle to production readiness.
+    while tracker.phase is not Phase.PRODUCTION_READINESS:
+        tracker.advance()
+    gate_count = tracker.reprocessing_count(ReprocessingTrigger.PHASE_GATE)
+    print(f"Development gates that forced a TARA reprocessing: {gate_count}")
+
+    # In production: monitor the social trend year by year.
+    previous_table = None
+    for year in range(2018, 2024):
+        window = TimeWindow.years(2015, year)
+        result = psp.run(window, learn=False)
+        table = result.insider_table
+        if previous_table is not None:
+            changed = table.differs_from(previous_table)
+            if changed:
+                vectors = ", ".join(v.value for v in changed)
+                event = tracker.report_trend_shift(
+                    f"{year}: rating change on {vectors}"
+                )
+                print(
+                    f"{year}: PSP trend shift on [{vectors}] -> TARA "
+                    f"reprocessing triggered at phase {event.phase.name}"
+                )
+            else:
+                print(f"{year}: ratings stable, no reprocessing needed")
+        previous_table = table
+
+    shifts = tracker.reprocessing_count(ReprocessingTrigger.PSP_TREND_SHIFT)
+    print(f"\nTotal PSP-triggered reprocessings: {shifts}")
+    print(f"Final insider table: {previous_table.as_rows()}")
+
+
+if __name__ == "__main__":
+    main()

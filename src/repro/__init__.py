@@ -1,0 +1,51 @@
+"""PSP Framework reproduction.
+
+A production-quality reproduction of "PSP Framework: A novel risk
+assessment method in compliance with ISO/SAE-21434" (Oberti et al.,
+DSN 2023): a dynamic TARA model that re-tunes the standard's static
+attack-feasibility weights for insider threats using social-media
+evidence, plus a financial attack-feasibility model.
+
+Quickstart::
+
+    from repro import PSPFramework, TargetApplication, TimeWindow
+    from repro.social import InMemoryClient, excavator_corpus
+
+    client = InMemoryClient(excavator_corpus())
+    psp = PSPFramework(client, TargetApplication("excavator", "europe"))
+    result = psp.run(TimeWindow.full_history())
+    print(result.sai.ranking()[0])          # -> 'dpfdelete'
+    print(result.insider_table.as_rows())   # PSP-tuned Fig. 8-B table
+    print(psp.assess_financial("dpfdelete").describe())
+"""
+
+from repro.core import (
+    PSPConfig,
+    PSPFramework,
+    PSPRunResult,
+    SAIList,
+    TargetApplication,
+    TimeWindow,
+)
+from repro.iso21434 import (
+    AttackVector,
+    FeasibilityRating,
+    ImpactRating,
+    WeightTable,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackVector",
+    "FeasibilityRating",
+    "ImpactRating",
+    "PSPConfig",
+    "PSPFramework",
+    "PSPRunResult",
+    "SAIList",
+    "TargetApplication",
+    "TimeWindow",
+    "WeightTable",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Analysis utilities: comparisons, trend cross-checks and ablation sweeps."""
+
+from repro.analysis.compare import (
+    DisagreementSummary,
+    agreement_matrix,
+    rank_displacement,
+    summarize_disagreements,
+    table_delta,
+)
+from repro.analysis.sweep import (
+    ABLATION_WEIGHT_MIXES,
+    SweepPoint,
+    learning_coverage,
+    ranking_stability,
+    sai_weight_ablation,
+    sweep,
+    threshold_sensitivity,
+)
+from repro.analysis.reporting import generate_assessment_report
+from repro.analysis.trends import (
+    VectorSeries,
+    crossing_year,
+    incident_vector_series,
+    report_confirms_inversion,
+)
+
+__all__ = [
+    "ABLATION_WEIGHT_MIXES",
+    "DisagreementSummary",
+    "SweepPoint",
+    "VectorSeries",
+    "agreement_matrix",
+    "crossing_year",
+    "generate_assessment_report",
+    "incident_vector_series",
+    "learning_coverage",
+    "rank_displacement",
+    "ranking_stability",
+    "report_confirms_inversion",
+    "sai_weight_ablation",
+    "summarize_disagreements",
+    "sweep",
+    "table_delta",
+    "threshold_sensitivity",
+]

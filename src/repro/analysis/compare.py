@@ -1,0 +1,99 @@
+"""Rating-comparison utilities across models and tables.
+
+Helpers used by the E10 bench and the examples to quantify how the static
+and PSP-tuned models diverge: per-domain disagreement counts, rating
+deltas and agreement matrices.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import WeightTable
+from repro.tara.engine import RatingDisagreement
+from repro.vehicle.domains import VehicleDomain
+
+
+def table_delta(
+    before: WeightTable, after: WeightTable
+) -> Dict[AttackVector, Tuple[FeasibilityRating, FeasibilityRating]]:
+    """Vectors whose rating changed, with (before, after) ratings."""
+    return {
+        vector: (before.rating(vector), after.rating(vector))
+        for vector in before.differs_from(after)
+    }
+
+
+def rank_displacement(before: WeightTable, after: WeightTable) -> int:
+    """Total absolute displacement of the vector ranking between tables.
+
+    0 means the rankings are identical; the maximum for four vectors is 8
+    (complete reversal).  Used by the ablation benches as a stability
+    metric.
+    """
+    order_before = before.ranked_vectors()
+    order_after = after.ranked_vectors()
+    positions = {vector: i for i, vector in enumerate(order_after)}
+    return sum(
+        abs(i - positions[vector]) for i, vector in enumerate(order_before)
+    )
+
+
+@dataclass(frozen=True)
+class DisagreementSummary:
+    """Aggregate view of static-vs-PSP disagreements (experiment E10)."""
+
+    total_threats: int
+    disagreements: Tuple[RatingDisagreement, ...]
+
+    @property
+    def disagreement_rate(self) -> float:
+        """Fraction of threats rated differently."""
+        if self.total_threats == 0:
+            return 0.0
+        return len(self.disagreements) / self.total_threats
+
+    def by_domain(self) -> Dict[VehicleDomain, int]:
+        """Disagreement counts per vehicle domain."""
+        counter: Counter = Counter(d.domain for d in self.disagreements)
+        return dict(counter)
+
+    def underestimated(self) -> Tuple[RatingDisagreement, ...]:
+        """Threats the static model rated lower than PSP."""
+        return tuple(d for d in self.disagreements if d.underestimated)
+
+    def dominant_domain(self) -> VehicleDomain:
+        """The domain with the most disagreements.
+
+        Raises:
+            ValueError: when there are no disagreements.
+        """
+        domains = self.by_domain()
+        if not domains:
+            raise ValueError("no disagreements recorded")
+        return max(domains, key=lambda d: (domains[d], d.value))
+
+
+def summarize_disagreements(
+    total_threats: int, disagreements: Sequence[RatingDisagreement]
+) -> DisagreementSummary:
+    """Build a summary from a compare_runs result."""
+    return DisagreementSummary(
+        total_threats=total_threats, disagreements=tuple(disagreements)
+    )
+
+
+def agreement_matrix(
+    ratings_a: Mapping[str, FeasibilityRating],
+    ratings_b: Mapping[str, FeasibilityRating],
+) -> Dict[Tuple[FeasibilityRating, FeasibilityRating], int]:
+    """Confusion matrix between two rating assignments keyed by threat id."""
+    matrix: Counter = Counter()
+    for threat_id, rating_a in ratings_a.items():
+        rating_b = ratings_b.get(threat_id)
+        if rating_b is not None:
+            matrix[(rating_a, rating_b)] += 1
+    return dict(matrix)

@@ -1,0 +1,198 @@
+"""Markdown assessment-report generation.
+
+Produces the work product an ISO/SAE-21434 assessor would file: one
+self-contained markdown document per PSP run, covering the target, the
+SAI evidence, the insider/outsider split, the generated weight tables,
+optional financial assessments and an optional full-vehicle TARA summary.
+Used by the ``generate_assessment`` example and suitable for attaching to
+a TARA record in an audit trail (ISO/PAS 5112 context).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.classification import InsiderOutsiderSplit
+from repro.core.financial import FinancialAssessment
+from repro.core.framework import PSPRunResult
+from repro.core.sai import SAIList
+from repro.iso21434.feasibility.attack_vector import WeightTable, standard_table
+from repro.tara.engine import TaraReportData
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
+    """Render a markdown table as a list of lines."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return lines
+
+
+def _weight_table_section(title: str, table: WeightTable) -> List[str]:
+    lines = [f"### {title}", ""]
+    lines.extend(
+        _md_table(
+            ("Attack vector", "Feasibility rating"),
+            table.as_rows(),
+        )
+    )
+    if table.note:
+        lines.extend(["", f"*{table.note}*"])
+    lines.append("")
+    return lines
+
+
+def _sai_section(sai: SAIList) -> List[str]:
+    lines = ["## Social Attraction Index", ""]
+    rows = [
+        (
+            str(rank),
+            entry.keyword,
+            f"{entry.score:.3f}",
+            f"{entry.probability:.3f}",
+            str(entry.post_count),
+            f"{entry.mean_sentiment:+.2f}",
+        )
+        for rank, entry in enumerate(sai, start=1)
+    ]
+    lines.extend(
+        _md_table(
+            ("#", "Attack keyword", "Score", "Probability", "Posts", "Sentiment"),
+            rows,
+        )
+    )
+    lines.append("")
+    return lines
+
+
+def _split_section(split: InsiderOutsiderSplit) -> List[str]:
+    lines = ["## Insider / outsider classification", ""]
+    rows = []
+    for classified in split.insider:
+        source = "annotation" if classified.from_annotation else "text signals"
+        rows.append((classified.entry.keyword, "insider", source))
+    for classified in split.outsider:
+        source = "annotation" if classified.from_annotation else "text signals"
+        rows.append((classified.entry.keyword, "outsider", source))
+    lines.extend(_md_table(("Keyword", "Class", "Decided by"), rows))
+    lines.extend(
+        [
+            "",
+            f"Insider probability mass: "
+            f"{split.insider_probability_mass:.3f}",
+            "",
+        ]
+    )
+    return lines
+
+
+def _financial_section(
+    assessments: Sequence[FinancialAssessment],
+) -> List[str]:
+    lines = ["## Financial attack feasibility", ""]
+    rows = [
+        (
+            a.keyword,
+            f"{a.pae:,}",
+            f"{a.ppia:,.0f}",
+            f"{a.vcu:,.0f}",
+            str(a.competitors),
+            f"{a.mv:,.0f}",
+            f"{a.fc_required:,.0f}",
+            a.feasibility.label(),
+        )
+        for a in assessments
+    ]
+    lines.extend(
+        _md_table(
+            ("Attack", "PAE", "PPIA €", "VCU €", "n", "MV €/yr",
+             "Required FC €", "Feasibility"),
+            rows,
+        )
+    )
+    lines.append("")
+    return lines
+
+
+def _tara_section(tara: TaraReportData, min_risk: int) -> List[str]:
+    lines = [f"## TARA summary (risk ≥ {min_risk})", ""]
+    records = sorted(
+        (r for r in tara.records if r.risk_value >= min_risk),
+        key=lambda r: (-r.risk_value, r.threat.threat_id),
+    )
+    rows = [
+        (
+            r.threat.threat_id,
+            r.impact.overall.label(),
+            r.feasibility.label(),
+            str(r.risk_value),
+            r.cal.label(),
+            r.treatment.value,
+        )
+        for r in records
+    ]
+    lines.extend(
+        _md_table(
+            ("Threat scenario", "Impact", "Feasibility", "Risk", "CAL",
+             "Treatment"),
+            rows,
+        )
+    )
+    lines.append("")
+    return lines
+
+
+def generate_assessment_report(
+    result: PSPRunResult,
+    *,
+    financial: Sequence[FinancialAssessment] = (),
+    tara: Optional[TaraReportData] = None,
+    tara_min_risk: int = 4,
+) -> str:
+    """Render one PSP run (plus optional extras) as a markdown document.
+
+    Args:
+        result: the PSP run to document.
+        financial: financial assessments to include.
+        tara: a full-vehicle TARA to summarise, if available.
+        tara_min_risk: risk threshold for the TARA summary table.
+    """
+    lines: List[str] = [
+        "# PSP risk assessment report",
+        "",
+        f"- **Target:** {result.target.describe()}",
+        f"- **Analysis window:** {result.window.describe()}",
+        f"- **Keywords analysed:** {len(result.sai)}",
+    ]
+    if result.learned_keywords:
+        learned = ", ".join(k.keyword for k in result.learned_keywords)
+        lines.append(f"- **Auto-learned keywords:** {learned}")
+    lines.append("")
+
+    lines.extend(_sai_section(result.sai))
+    lines.extend(_split_section(result.split))
+
+    lines.append("## Attack-feasibility weight tables")
+    lines.append("")
+    lines.extend(
+        _weight_table_section("Original ISO/SAE-21434 G.9", standard_table())
+    )
+    lines.extend(
+        _weight_table_section(
+            "Outsider threats (unchanged)", result.outsider_table
+        )
+    )
+    lines.extend(
+        _weight_table_section(
+            "Insider threats (PSP-tuned)", result.insider_table
+        )
+    )
+
+    if financial:
+        lines.extend(_financial_section(financial))
+    if tara is not None:
+        lines.extend(_tara_section(tara, tara_min_risk))
+
+    return "\n".join(lines).rstrip() + "\n"

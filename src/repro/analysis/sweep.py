@@ -1,0 +1,154 @@
+"""Parameter sweeps for the ablation studies (A1/A2 in DESIGN.md).
+
+Generic sweep machinery plus the two concrete ablations: SAI
+engagement-weight sensitivity (does the ranking move when the
+views/interactions/volume mix changes?) and keyword-learning coverage
+(how many attack topics does the framework see with and without the
+auto-learning loop?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.config import PSPConfig, SAIWeights
+from repro.core.keywords import KeywordDatabase
+from repro.core.sai import SAIComputer, SAIList
+from repro.social.api import SocialMediaClient
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep observation: the parameter value and its outcome."""
+
+    label: str
+    value: object
+    outcome: object
+
+
+def sweep(
+    values: Sequence[object],
+    evaluate: Callable[[object], object],
+    *,
+    label: Callable[[object], str] = str,
+) -> List[SweepPoint]:
+    """Evaluate ``evaluate`` at every value and collect the outcomes."""
+    return [
+        SweepPoint(label=label(value), value=value, outcome=evaluate(value))
+        for value in values
+    ]
+
+
+#: The weight mixes exercised by ablation A1: volume-only, views-only,
+#: interactions-only, the default mix, and a flat mix.
+ABLATION_WEIGHT_MIXES: Tuple[Tuple[str, SAIWeights], ...] = (
+    ("default", SAIWeights()),
+    ("flat", SAIWeights(views=1.0, interactions=1.0, volume=1.0)),
+    ("volume-only", SAIWeights(views=0.0, interactions=0.0, volume=1.0)),
+    ("views-only", SAIWeights(views=1.0, interactions=0.0, volume=0.0)),
+    ("interactions-only", SAIWeights(views=0.0, interactions=1.0, volume=0.0)),
+)
+
+
+def sai_weight_ablation(
+    client: SocialMediaClient,
+    database: KeywordDatabase,
+    *,
+    region: str = "europe",
+    mixes: Sequence[Tuple[str, SAIWeights]] = ABLATION_WEIGHT_MIXES,
+) -> Dict[str, SAIList]:
+    """Compute the SAI under each weight mix (ablation A1)."""
+    results = {}
+    for label, weights in mixes:
+        config = PSPConfig(sai_weights=weights)
+        computer = SAIComputer(client, config=config)
+        results[label] = computer.compute(database, region=region)
+    return results
+
+
+def ranking_stability(results: Dict[str, SAIList]) -> Dict[str, float]:
+    """Kendall-style pairwise ranking agreement of each mix vs 'default'.
+
+    Returns, per mix, the fraction of keyword pairs ordered the same way
+    as the default mix orders them (1.0 = identical ranking).
+    """
+    if "default" not in results:
+        raise ValueError("results must include the 'default' mix")
+    reference = results["default"].ranking()
+    position = {keyword: i for i, keyword in enumerate(reference)}
+    pairs = [
+        (a, b)
+        for i, a in enumerate(reference)
+        for b in reference[i + 1:]
+    ]
+    agreement = {}
+    for label, sai in results.items():
+        order = {keyword: i for i, keyword in enumerate(sai.ranking())}
+        if not pairs:
+            agreement[label] = 1.0
+            continue
+        same = sum(
+            1
+            for a, b in pairs
+            if (order[a] < order[b]) == (position[a] < position[b])
+        )
+        agreement[label] = same / len(pairs)
+    return agreement
+
+
+def threshold_sensitivity(
+    shares: Dict,
+    *,
+    highs: Sequence[float] = (0.4, 0.5, 0.6),
+    mediums: Sequence[float] = (0.2, 0.25, 0.3),
+    lows: Sequence[float] = (0.05, 0.08, 0.1),
+) -> List[SweepPoint]:
+    """Sweep the weight-tuning thresholds over a fixed share vector.
+
+    For every (high, medium, low) combination the insider table is
+    regenerated from ``shares`` (an attack-vector → probability-share
+    mapping); the outcome records the resulting vector ranking.  Used to
+    check how sensitive a published table is to the threshold choice —
+    the main free parameter PSP adds over the standard.
+    """
+    from repro.core.config import TuningThresholds
+    from repro.core.weights import WeightTuner
+
+    points = []
+    for high in highs:
+        for medium in mediums:
+            for low in lows:
+                if not low < medium < high:
+                    continue
+                thresholds = TuningThresholds(high=high, medium=medium, low=low)
+                table = WeightTuner(thresholds).tune_from_shares(shares)
+                points.append(
+                    SweepPoint(
+                        label=f"h={high} m={medium} l={low}",
+                        value=thresholds,
+                        outcome=table.ranked_vectors(),
+                    )
+                )
+    return points
+
+
+def learning_coverage(
+    client: SocialMediaClient,
+    seed_database_factory: Callable[[], KeywordDatabase],
+    texts: Sequence[str],
+    *,
+    min_support: float = 0.05,
+    max_new: int = 10,
+) -> Dict[str, int]:
+    """Keyword coverage with and without auto-learning (ablation A2)."""
+    without = seed_database_factory()
+    with_learning = seed_database_factory()
+    with_learning.learn_from_texts(
+        texts, min_support=min_support, max_new=max_new
+    )
+    return {
+        "without_learning": len(without),
+        "with_learning": len(with_learning),
+        "learned": len(with_learning) - len(without),
+    }

@@ -1,0 +1,83 @@
+"""Trend analysis over social and incident-report evidence.
+
+Cross-checks the PSP-detected social trend against the annual-report
+incident statistics — the paper's validation move: "The trend inversion
+highlighted by PSP ... is confirmed by the Upstream global automotive
+cybersecurity report".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.iso21434.enums import AttackVector
+from repro.market.reports import AnnualReport
+
+
+@dataclass(frozen=True)
+class VectorSeries:
+    """A per-year share series for one attack vector."""
+
+    vector: AttackVector
+    shares: Tuple[Tuple[int, float], ...]
+
+    def share_in(self, year: int) -> Optional[float]:
+        """The share in ``year`` if covered."""
+        for y, share in self.shares:
+            if y == year:
+                return share
+        return None
+
+    @property
+    def direction(self) -> float:
+        """Last share minus first share (positive = rising)."""
+        if len(self.shares) < 2:
+            return 0.0
+        return self.shares[-1][1] - self.shares[0][1]
+
+
+def incident_vector_series(report: AnnualReport) -> List[VectorSeries]:
+    """Per-vector incident-share series from a report's statistics."""
+    years = sorted(stats.year for stats in report.incidents)
+    series = []
+    for vector in AttackVector:
+        shares = []
+        for year in years:
+            stats = report.incidents_for(year)
+            if stats is not None:
+                shares.append((year, stats.share(vector)))
+        if shares:
+            series.append(VectorSeries(vector=vector, shares=tuple(shares)))
+    return series
+
+
+def report_confirms_inversion(
+    report: AnnualReport, risen: AttackVector, fallen: AttackVector
+) -> bool:
+    """Whether the report's incident data shows the same rank inversion.
+
+    True when ``risen``'s incident share is below ``fallen``'s in the
+    earliest covered year and above it in the latest.
+    """
+    years = sorted(stats.year for stats in report.incidents)
+    if len(years) < 2:
+        return False
+    first = report.incidents_for(years[0])
+    last = report.incidents_for(years[-1])
+    if first is None or last is None:
+        return False
+    was_below = first.share(risen) < first.share(fallen)
+    now_above = last.share(risen) > last.share(fallen)
+    return was_below and now_above
+
+
+def crossing_year(
+    report: AnnualReport, risen: AttackVector, fallen: AttackVector
+) -> Optional[int]:
+    """The first covered year in which ``risen``'s share exceeds ``fallen``'s."""
+    for year in sorted(stats.year for stats in report.incidents):
+        stats = report.incidents_for(year)
+        if stats is not None and stats.share(risen) > stats.share(fallen):
+            return year
+    return None

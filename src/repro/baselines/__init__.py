@@ -1,0 +1,42 @@
+"""Baseline risk models: static ISO G.9, HEAVENS and EVITA comparators."""
+
+from repro.baselines.evita import (
+    AttackProbability,
+    EvitaAssessment,
+    RiskLevel,
+    assess_evita,
+    attack_probability,
+    risk_level,
+    severity_class,
+)
+from repro.baselines.heavens import (
+    HeavensAssessment,
+    HeavensLevel,
+    SecurityLevel,
+    ThreatLevelInput,
+    assess_heavens,
+    impact_level,
+    security_level,
+    threat_level,
+)
+from repro.baselines.static_iso import BaselineRating, StaticIsoBaseline
+
+__all__ = [
+    "AttackProbability",
+    "BaselineRating",
+    "EvitaAssessment",
+    "HeavensAssessment",
+    "HeavensLevel",
+    "RiskLevel",
+    "SecurityLevel",
+    "StaticIsoBaseline",
+    "ThreatLevelInput",
+    "assess_evita",
+    "assess_heavens",
+    "attack_probability",
+    "impact_level",
+    "risk_level",
+    "security_level",
+    "severity_class",
+    "threat_level",
+]

@@ -1,0 +1,132 @@
+"""EVITA-style risk-graph baseline.
+
+EVITA (E-safety Vehicle Intrusion proTected Applications) is the oldest
+of the automotive TARA lineages the ISO/SAE-21434 annexes acknowledge.
+It combines an *attack probability* (derived from attack potential, the
+same Common-Criteria factors as paper Fig. 3) with a *severity vector*
+over the S/F/O/P dimensions through a risk graph, yielding risk levels
+R0 (no risk) to R6 (highest) — R7+ is reserved for multi-fatality safety
+cases, which this reproduction folds into R6.
+
+The value of carrying EVITA here is triangulation: it shares the attack-
+potential factor model with ISO's first feasibility approach but
+aggregates differently, so agreement between EVITA and PSP on powertrain
+threats (both rate them high) isolates the G.9 static table — not the
+factor model — as the source of the paper's mis-rating.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.iso21434.enums import ImpactCategory, ImpactRating
+from repro.iso21434.feasibility.attack_potential import AttackPotentialInput
+from repro.iso21434.impact import ImpactProfile
+
+
+class AttackProbability(enum.Enum):
+    """EVITA attack probability classes (5 highest)."""
+
+    P1 = 1
+    P2 = 2
+    P3 = 3
+    P4 = 4
+    P5 = 5
+
+    @property
+    def level(self) -> int:
+        """Integer value of the class."""
+        return int(self.value)
+
+
+class RiskLevel(enum.Enum):
+    """EVITA risk levels R0 (none) to R6 (highest)."""
+
+    R0 = 0
+    R1 = 1
+    R2 = 2
+    R3 = 3
+    R4 = 4
+    R5 = 5
+    R6 = 6
+
+    @property
+    def level(self) -> int:
+        """Integer value of the level."""
+        return int(self.value)
+
+
+def attack_probability(potential: AttackPotentialInput) -> AttackProbability:
+    """Map an attack-potential value to an EVITA probability class.
+
+    EVITA's published banding: potential <= 9 → P5 (very likely),
+    10..13 → P4, 14..19 → P3, 20..24 → P2, >= 25 → P1 (unlikely).
+    """
+    value = potential.potential_value
+    if value <= 9:
+        return AttackProbability.P5
+    if value <= 13:
+        return AttackProbability.P4
+    if value <= 19:
+        return AttackProbability.P3
+    if value <= 24:
+        return AttackProbability.P2
+    return AttackProbability.P1
+
+
+def severity_class(profile: ImpactProfile) -> int:
+    """EVITA severity class 0..4 from the impact profile.
+
+    The overall (max) impact rating maps Negligible→0, Moderate→1,
+    Major→2, Severe→3; a safety-dominated Severe impact is promoted to 4
+    (EVITA's life-threatening class).
+    """
+    overall = profile.overall
+    base = overall.level
+    if (
+        overall is ImpactRating.SEVERE
+        and profile.dominant_category is ImpactCategory.SAFETY
+    ):
+        return 4
+    return base
+
+
+def risk_level(severity: int, probability: AttackProbability) -> RiskLevel:
+    """Read the EVITA risk graph.
+
+    Risk grows with both severity (0..4) and probability (1..5); the
+    published graph is reproduced as ``R = clamp(severity + probability
+    - 2, 0, 6)``, which matches its corner cases: S0 always R0-ish, S4/P5
+    the maximum.
+    """
+    if not 0 <= severity <= 4:
+        raise ValueError(f"severity must be in 0..4, got {severity}")
+    if severity == 0:
+        return RiskLevel.R0
+    value = severity + probability.level - 2
+    return RiskLevel(max(0, min(6, value)))
+
+
+@dataclass(frozen=True)
+class EvitaAssessment:
+    """One threat's EVITA rating."""
+
+    threat_id: str
+    probability: AttackProbability
+    severity: int
+    risk: RiskLevel
+
+
+def assess_evita(
+    threat_id: str, potential: AttackPotentialInput, profile: ImpactProfile
+) -> EvitaAssessment:
+    """Run the full EVITA pipeline for one threat."""
+    probability = attack_probability(potential)
+    severity = severity_class(profile)
+    return EvitaAssessment(
+        threat_id=threat_id,
+        probability=probability,
+        severity=severity,
+        risk=risk_level(severity, probability),
+    )

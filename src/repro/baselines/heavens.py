@@ -1,0 +1,188 @@
+"""HEAVENS-style risk model baseline (paper ref. [15]).
+
+The HEAVENS (HEAling Vulnerabilities to ENhance Software Security and
+Safety) methodology — whose 2.0 revision the paper cites as the origin of
+the recursive TARA activities — derives a *security level* from a Threat
+Level (TL) and an Impact Level (IL):
+
+* TL is scored from four attacker-capability parameters (expertise,
+  knowledge about the target, window of opportunity, equipment), each
+  contributing 0..3 points; the sum maps to TL None/Low/Medium/High.
+* IL is scored from the four impact parameters (safety, financial,
+  operational, privacy/legislation) with safety double-weighted; the sum
+  maps to IL None/Low/Medium/High.
+* The security level is read from the TL x IL matrix, ranging QM (quality
+  management only) to Critical.
+
+This reproduction keeps HEAVENS' published structure but reuses the
+repository's enums so results are directly comparable with the ISO and
+PSP models.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.iso21434.enums import ImpactCategory
+from repro.iso21434.impact import ImpactProfile
+
+
+class HeavensLevel(enum.Enum):
+    """Four-level scale used for both TL and IL."""
+
+    NONE = 0
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+
+    @property
+    def level(self) -> int:
+        """Integer value of the level."""
+        return int(self.value)
+
+
+class SecurityLevel(enum.Enum):
+    """HEAVENS security level (the model's final output)."""
+
+    QM = 0
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+    CRITICAL = 4
+
+    @property
+    def level(self) -> int:
+        """Integer value of the level."""
+        return int(self.value)
+
+
+@dataclass(frozen=True)
+class ThreatLevelInput:
+    """Attacker-capability parameters, each scored 0..3.
+
+    Higher scores mean *less* capable attacker needed → higher threat.
+    A 0 means the attack needs top-tier capability in that dimension; a 3
+    means a layman with public knowledge, unlimited access and standard
+    equipment suffices.
+    """
+
+    expertise: int
+    knowledge: int
+    opportunity: int
+    equipment: int
+
+    def __post_init__(self) -> None:
+        for name in ("expertise", "knowledge", "opportunity", "equipment"):
+            value = getattr(self, name)
+            if not 0 <= value <= 3:
+                raise ValueError(f"{name} must be in 0..3, got {value}")
+
+    @property
+    def total(self) -> int:
+        """Sum of the four parameter scores (0..12)."""
+        return self.expertise + self.knowledge + self.opportunity + self.equipment
+
+
+def threat_level(params: ThreatLevelInput) -> HeavensLevel:
+    """Map the capability-score sum to a Threat Level.
+
+    0..2 None, 3..5 Low, 6..8 Medium, 9..12 High.
+    """
+    total = params.total
+    if total <= 2:
+        return HeavensLevel.NONE
+    if total <= 5:
+        return HeavensLevel.LOW
+    if total <= 8:
+        return HeavensLevel.MEDIUM
+    return HeavensLevel.HIGH
+
+
+#: Impact-category weights: HEAVENS double-weights safety.
+_IL_WEIGHTS: Mapping[ImpactCategory, int] = {
+    ImpactCategory.SAFETY: 2,
+    ImpactCategory.FINANCIAL: 1,
+    ImpactCategory.OPERATIONAL: 1,
+    ImpactCategory.PRIVACY: 1,
+}
+
+
+def impact_level(profile: ImpactProfile) -> HeavensLevel:
+    """Map an S/F/O/P impact profile to an Impact Level.
+
+    Each category contributes its rating level (0..3) times its weight;
+    the weighted sum (0..15) maps 0..1 None, 2..5 Low, 6..10 Medium,
+    11..15 High.
+    """
+    total = sum(
+        profile.rating(category).level * weight
+        for category, weight in _IL_WEIGHTS.items()
+    )
+    if total <= 1:
+        return HeavensLevel.NONE
+    if total <= 5:
+        return HeavensLevel.LOW
+    if total <= 10:
+        return HeavensLevel.MEDIUM
+    return HeavensLevel.HIGH
+
+
+#: Security-level matrix: (TL, IL) -> security level.
+_SECURITY_MATRIX: Mapping[Tuple[HeavensLevel, HeavensLevel], SecurityLevel] = {
+    (tl, il): sl
+    for tl, row in {
+        HeavensLevel.NONE: {
+            HeavensLevel.NONE: SecurityLevel.QM,
+            HeavensLevel.LOW: SecurityLevel.QM,
+            HeavensLevel.MEDIUM: SecurityLevel.LOW,
+            HeavensLevel.HIGH: SecurityLevel.LOW,
+        },
+        HeavensLevel.LOW: {
+            HeavensLevel.NONE: SecurityLevel.QM,
+            HeavensLevel.LOW: SecurityLevel.LOW,
+            HeavensLevel.MEDIUM: SecurityLevel.MEDIUM,
+            HeavensLevel.HIGH: SecurityLevel.MEDIUM,
+        },
+        HeavensLevel.MEDIUM: {
+            HeavensLevel.NONE: SecurityLevel.LOW,
+            HeavensLevel.LOW: SecurityLevel.MEDIUM,
+            HeavensLevel.MEDIUM: SecurityLevel.HIGH,
+            HeavensLevel.HIGH: SecurityLevel.HIGH,
+        },
+        HeavensLevel.HIGH: {
+            HeavensLevel.NONE: SecurityLevel.LOW,
+            HeavensLevel.LOW: SecurityLevel.MEDIUM,
+            HeavensLevel.MEDIUM: SecurityLevel.HIGH,
+            HeavensLevel.HIGH: SecurityLevel.CRITICAL,
+        },
+    }.items()
+    for il, sl in row.items()
+}
+
+
+def security_level(tl: HeavensLevel, il: HeavensLevel) -> SecurityLevel:
+    """Read the HEAVENS security level from the TL x IL matrix."""
+    return _SECURITY_MATRIX[(tl, il)]
+
+
+@dataclass(frozen=True)
+class HeavensAssessment:
+    """One threat's HEAVENS rating."""
+
+    threat_id: str
+    tl: HeavensLevel
+    il: HeavensLevel
+    security: SecurityLevel
+
+
+def assess_heavens(
+    threat_id: str, params: ThreatLevelInput, profile: ImpactProfile
+) -> HeavensAssessment:
+    """Run the full HEAVENS pipeline for one threat."""
+    tl = threat_level(params)
+    il = impact_level(profile)
+    return HeavensAssessment(
+        threat_id=threat_id, tl=tl, il=il, security=security_level(tl, il)
+    )

@@ -1,0 +1,71 @@
+"""Static ISO/SAE-21434 baseline (the model the paper criticises).
+
+Rates every threat scenario with the standard's *fixed* attack-vector
+table G.9, exactly as a TARA tool with no PSP layer would: the attacker
+is assumed to pick the highest-rated vector among those the threat can
+use, and that vector's static rating is the threat's feasibility.
+
+Experiment E10 compares this baseline against the PSP-tuned model over
+the full reference architecture; disagreement concentrates on
+powertrain/physical insider threats, reproducing the paper's §II claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import WeightTable, standard_table
+from repro.iso21434.threats import ThreatScenario
+
+
+@dataclass(frozen=True)
+class BaselineRating:
+    """A threat's feasibility under one weight table."""
+
+    threat_id: str
+    chosen_vector: AttackVector
+    feasibility: FeasibilityRating
+
+
+class StaticIsoBaseline:
+    """The unmodified attack-vector-based TARA model.
+
+    Args:
+        table: the weight table to apply; defaults to the standard's G.9.
+            Passing a PSP-tuned table turns this same evaluator into the
+            PSP-side of the comparison, which keeps E10 apples-to-apples.
+    """
+
+    def __init__(self, table: Optional[WeightTable] = None) -> None:
+        self._table = table if table is not None else standard_table()
+
+    @property
+    def table(self) -> WeightTable:
+        """The weight table in force."""
+        return self._table
+
+    def best_vector(self, threat: ThreatScenario) -> AttackVector:
+        """The highest-rated vector available to the threat.
+
+        Ties are broken by reach (network first), matching the standard's
+        remote-first worldview.
+        """
+        return max(
+            threat.attack_vectors,
+            key=lambda v: (self._table.rating(v).level, v.reach),
+        )
+
+    def rate(self, threat: ThreatScenario) -> BaselineRating:
+        """Rate one threat scenario."""
+        vector = self.best_vector(threat)
+        return BaselineRating(
+            threat_id=threat.threat_id,
+            chosen_vector=vector,
+            feasibility=self._table.rating(vector),
+        )
+
+    def rate_all(self, threats) -> Tuple[BaselineRating, ...]:
+        """Rate many threat scenarios."""
+        return tuple(self.rate(t) for t in threats)

@@ -1,0 +1,207 @@
+"""Command-line interface for the PSP framework.
+
+Exposes the bundled paper scenarios so the reproduction can be driven
+without writing code::
+
+    python -m repro sai --scenario excavator
+    python -m repro tune --scenario ecm --since-year 2022
+    python -m repro compare --scenario ecm --split-year 2022
+    python -m repro financial --scenario excavator --keyword dpfdelete
+    python -m repro tara --psp
+
+Every subcommand prints the same fixed-width tables the report module
+renders and exits 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import PSPFramework, TargetApplication, TimeWindow
+from repro.core.errors import PSPError
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.iso21434.feasibility.attack_vector import standard_table
+from repro.social import (
+    InMemoryClient,
+    ecm_reprogramming_corpus,
+    ecm_reprogramming_specs,
+    excavator_corpus,
+    excavator_specs,
+    light_truck_corpus,
+    light_truck_specs,
+)
+from repro.tara import (
+    TaraEngine,
+    compare_runs,
+    render_financial,
+    render_sai,
+    render_tara,
+    render_weight_table,
+)
+from repro.vehicle import reference_architecture
+
+SCENARIOS = ("excavator", "ecm", "truck")
+
+
+def _framework_for(scenario: str) -> PSPFramework:
+    """Build the framework for one bundled scenario."""
+    if scenario == "excavator":
+        specs = excavator_specs()
+        client = InMemoryClient(excavator_corpus())
+        target = TargetApplication("excavator", "europe", "industrial")
+    elif scenario == "ecm":
+        specs = ecm_reprogramming_specs()
+        client = InMemoryClient(ecm_reprogramming_corpus())
+        target = TargetApplication("car", "europe", "passenger")
+    elif scenario == "truck":
+        specs = light_truck_specs()
+        client = InMemoryClient(light_truck_corpus())
+        target = TargetApplication("light_truck", "europe", "commercial")
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}")
+    database = KeywordDatabase()
+    for spec in specs:
+        database.add(
+            AttackKeyword(
+                keyword=spec.keyword,
+                vector=spec.vector,
+                owner_approved=spec.owner_approved,
+            )
+        )
+    return PSPFramework(client, target, database=database)
+
+
+def _window_from(args: argparse.Namespace) -> TimeWindow:
+    if getattr(args, "since_year", None):
+        return TimeWindow.since_year(args.since_year)
+    return TimeWindow.full_history()
+
+
+def _cmd_sai(args: argparse.Namespace) -> int:
+    psp = _framework_for(args.scenario)
+    sai = psp.compute_sai(_window_from(args))
+    print(render_sai(sai, title=f"SAI — {args.scenario}", top=args.top))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    psp = _framework_for(args.scenario)
+    result = psp.run(_window_from(args), learn=False)
+    print(render_weight_table(result.outsider_table, "Outsider weight table"))
+    print()
+    print(render_weight_table(result.insider_table, "Insider weight table (PSP)"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    psp = _framework_for(args.scenario)
+    before, after, inversions = psp.compare_windows(
+        TimeWindow.full_history(), TimeWindow.since_year(args.split_year)
+    )
+    print(render_weight_table(standard_table(), "Original G.9 table"))
+    print()
+    print(render_weight_table(before.insider_table, "PSP revision, full history"))
+    print()
+    print(
+        render_weight_table(
+            after.insider_table, f"PSP revision, since {args.split_year}"
+        )
+    )
+    for inversion in inversions:
+        print(f"Trend inversion: {inversion.describe()}")
+    return 0
+
+
+def _cmd_financial(args: argparse.Namespace) -> int:
+    psp = _framework_for(args.scenario)
+    assessment = psp.assess_financial(args.keyword)
+    print(render_financial(assessment))
+    return 0
+
+
+def _cmd_tara(args: argparse.Namespace) -> int:
+    network = reference_architecture()
+    static = TaraEngine(network).run()
+    if not args.psp:
+        print(render_tara(static, min_risk=args.min_risk))
+        return 0
+    insider_table = _framework_for("ecm").run(learn=False).insider_table
+    tuned = TaraEngine(network, insider_table=insider_table).run()
+    print(render_tara(tuned, min_risk=args.min_risk))
+    disagreements = compare_runs(network, static, tuned)
+    print(
+        f"\n{len(disagreements)} of {len(static.records)} threat scenarios "
+        "rated differently vs the static model"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PSP framework: dynamic ISO/SAE-21434 risk assessment",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_scenario(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--scenario", choices=SCENARIOS, default="excavator",
+            help="bundled paper scenario (default: excavator)",
+        )
+
+    sai = subparsers.add_parser("sai", help="print the SAI ranking")
+    add_scenario(sai)
+    sai.add_argument("--since-year", type=int, default=None)
+    sai.add_argument("--top", type=int, default=0,
+                     help="limit to the top N entries (0 = all)")
+    sai.set_defaults(handler=_cmd_sai)
+
+    tune = subparsers.add_parser(
+        "tune", help="print the PSP-tuned weight tables"
+    )
+    add_scenario(tune)
+    tune.add_argument("--since-year", type=int, default=None)
+    tune.set_defaults(handler=_cmd_tune)
+
+    compare = subparsers.add_parser(
+        "compare", help="compare full-history vs recent-window tables (Fig. 9)"
+    )
+    add_scenario(compare)
+    compare.add_argument("--split-year", type=int, default=2022)
+    compare.set_defaults(handler=_cmd_compare)
+
+    financial = subparsers.add_parser(
+        "financial", help="run the financial assessment (Eqs. 1-7)"
+    )
+    add_scenario(financial)
+    financial.add_argument("--keyword", default="dpfdelete")
+    financial.set_defaults(handler=_cmd_financial)
+
+    tara = subparsers.add_parser(
+        "tara", help="run a full-vehicle TARA on the Fig. 4 architecture"
+    )
+    tara.add_argument("--psp", action="store_true",
+                      help="use the PSP-tuned insider table")
+    tara.add_argument("--min-risk", type=int, default=3,
+                      help="only print threats at or above this risk value")
+    tara.set_defaults(handler=_cmd_tara)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return args.handler(args)
+    except (PSPError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""PSP framework core: the paper's primary contribution.
+
+Dynamic, social-evidence-driven re-tuning of the ISO/SAE-21434 attack-
+vector feasibility weights for insider threats (paper Figs. 7-9), plus
+the financial attack-feasibility model (Eqs. 1-7, Figs. 10-12).
+"""
+
+from repro.core.classification import (
+    ClassifiedEntry,
+    InsiderOutsiderClassifier,
+    InsiderOutsiderSplit,
+)
+from repro.core.config import (
+    PAPER_SEED_KEYWORDS,
+    PSPConfig,
+    SAIWeights,
+    TargetApplication,
+    TuningThresholds,
+)
+from repro.core.errors import (
+    DataUnavailableError,
+    KeywordError,
+    ModelInputError,
+    PSPError,
+)
+from repro.core.financial import (
+    BreakEvenAnalysis,
+    FinancialAssessment,
+    assess,
+    break_even_point,
+    financial_feasibility,
+    fixed_cost,
+    fixed_cost_from_bep,
+    market_value,
+    potential_attackers,
+)
+from repro.core.framework import PSPFramework, PSPRunResult
+from repro.core.integration import (
+    CombinationMode,
+    CombinedFeasibility,
+    combined_feasibility,
+    required_security_budget,
+)
+from repro.core.monitor import PSPMonitor, TrendAlert, VectorChange
+from repro.core.poisoning import (
+    FilterConfig,
+    FilteringClient,
+    FilterReport,
+    PostAuthenticityFilter,
+    RejectionReason,
+    poison_corpus_with_flood,
+)
+from repro.core.keywords import (
+    AttackKeyword,
+    KeywordDatabase,
+    KeywordSource,
+    paper_seed_database,
+)
+from repro.core.sai import SAIComputer, SAIEntry, SAIList
+from repro.core.timewindow import (
+    TimeWindow,
+    TrendInversion,
+    VectorTrend,
+    detect_inversions,
+    vector_trends,
+    yearly_shares,
+)
+from repro.core.weights import (
+    TuningOutcome,
+    WeightTuner,
+    rating_from_share,
+    tune_table_for_sai,
+)
+
+__all__ = [
+    "AttackKeyword",
+    "BreakEvenAnalysis",
+    "ClassifiedEntry",
+    "CombinationMode",
+    "CombinedFeasibility",
+    "DataUnavailableError",
+    "FilterConfig",
+    "FilterReport",
+    "FilteringClient",
+    "FinancialAssessment",
+    "InsiderOutsiderClassifier",
+    "InsiderOutsiderSplit",
+    "KeywordDatabase",
+    "KeywordError",
+    "KeywordSource",
+    "ModelInputError",
+    "PAPER_SEED_KEYWORDS",
+    "PSPConfig",
+    "PSPError",
+    "PSPFramework",
+    "PSPMonitor",
+    "PSPRunResult",
+    "PostAuthenticityFilter",
+    "RejectionReason",
+    "SAIComputer",
+    "SAIEntry",
+    "SAIList",
+    "SAIWeights",
+    "TargetApplication",
+    "TimeWindow",
+    "TrendAlert",
+    "TrendInversion",
+    "TuningOutcome",
+    "TuningThresholds",
+    "VectorChange",
+    "VectorTrend",
+    "WeightTuner",
+    "assess",
+    "break_even_point",
+    "combined_feasibility",
+    "detect_inversions",
+    "financial_feasibility",
+    "fixed_cost",
+    "fixed_cost_from_bep",
+    "market_value",
+    "paper_seed_database",
+    "poison_corpus_with_flood",
+    "potential_attackers",
+    "rating_from_share",
+    "required_security_budget",
+    "tune_table_for_sai",
+    "vector_trends",
+    "yearly_shares",
+]

@@ -1,0 +1,132 @@
+"""PSP framework configuration.
+
+:class:`TargetApplication` is the framework's input block (paper Fig. 7,
+block 1): what product, where, and in which category.  :class:`PSPConfig`
+gathers every tunable constant of the pipeline — SAI signal weights,
+weight-table tuning thresholds, sentiment gain, keyword-learning limits —
+with the defaults used for the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class TargetApplication:
+    """The target of a PSP run (paper Fig. 7, block 1).
+
+    Attributes:
+        application: target product, e.g. ``"excavator"`` or ``"car"``.
+        region: geographic scope, e.g. ``"europe"``.
+        category: application category, e.g. ``"industrial"``,
+            ``"sports"``, ``"domestic"``.
+    """
+
+    application: str
+    region: str = "europe"
+    category: str = "industrial"
+
+    def __post_init__(self) -> None:
+        if not self.application:
+            raise ValueError("application must be non-empty")
+        if not self.region:
+            raise ValueError("region must be non-empty")
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return f"{self.application} / {self.category} / {self.region}"
+
+
+@dataclass(frozen=True)
+class SAIWeights:
+    """Relative weights of the engagement signals in the SAI score.
+
+    The paper computes SAI from "the number of views, interactions, and
+    popularity of the identified posts"; here *popularity* is operational-
+    ised as post volume (how often the attack is talked about at all).
+    """
+
+    views: float = 1.0
+    interactions: float = 2.0
+    volume: float = 3.0
+
+    def __post_init__(self) -> None:
+        for name in ("views", "interactions", "volume"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"SAI weight {name} must be >= 0")
+        if self.views + self.interactions + self.volume == 0:
+            raise ValueError("at least one SAI weight must be positive")
+
+
+@dataclass(frozen=True)
+class TuningThresholds:
+    """Probability-share thresholds for weight-table generation.
+
+    A vector whose insider SAI probability mass reaches ``high`` is rated
+    High, and so on downwards; below ``low`` it is rated Very Low.
+    Must be strictly descending.
+    """
+
+    high: float = 0.50
+    medium: float = 0.25
+    low: float = 0.08
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low < self.medium < self.high <= 1.0:
+            raise ValueError(
+                "thresholds must satisfy 0 < low < medium < high <= 1, got "
+                f"high={self.high} medium={self.medium} low={self.low}"
+            )
+
+
+@dataclass(frozen=True)
+class PSPConfig:
+    """All tunables of the PSP pipeline, with the paper-run defaults."""
+
+    sai_weights: SAIWeights = field(default_factory=SAIWeights)
+    tuning: TuningThresholds = field(default_factory=TuningThresholds)
+    #: Multiplier applied to positive mean sentiment: a fully enthusiastic
+    #: topic scores up to (1 + sentiment_gain) x its engagement score.
+    sentiment_gain: float = 0.5
+    #: Keyword auto-learning: minimum co-occurrence support and cap on new
+    #: keywords accepted per run (paper Fig. 7, block 5).
+    learning_min_support: float = 0.05
+    learning_max_new: int = 10
+    #: Potential-attacker rate (PEA) fallback when no report provides one.
+    default_attacker_rate: float = 0.01
+    #: Financial model defaults (Eq. 4): adversary R&D effort and CAPEX.
+    default_fte_hours: float = 1200.0
+    default_hourly_cost: float = 90.0
+    default_sld: float = 15000.0
+    #: Competitors fallback when report mining finds none (Eq. 3's n).
+    default_competitors: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sentiment_gain < 0:
+            raise ValueError("sentiment_gain must be >= 0")
+        if not 0.0 <= self.learning_min_support <= 1.0:
+            raise ValueError("learning_min_support must be in [0, 1]")
+        if self.learning_max_new < 0:
+            raise ValueError("learning_max_new must be >= 0")
+        if not 0.0 < self.default_attacker_rate <= 1.0:
+            raise ValueError("default_attacker_rate must be in (0, 1]")
+        if self.default_fte_hours < 0 or self.default_hourly_cost < 0:
+            raise ValueError("financial effort defaults must be >= 0")
+        if self.default_sld < 0:
+            raise ValueError("default_sld must be >= 0")
+        if self.default_competitors < 1:
+            raise ValueError("default_competitors must be >= 1")
+
+
+#: The paper's initial manual keyword seed (paper §III: "#dpfdelete,
+#: #egrremoval, #egrdelete, #egroff, #dieselpower, #chiptuning").
+PAPER_SEED_KEYWORDS: Tuple[str, ...] = (
+    "dpfdelete",
+    "egrremoval",
+    "egrdelete",
+    "egroff",
+    "dieselpower",
+    "chiptuning",
+)

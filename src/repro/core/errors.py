@@ -1,0 +1,27 @@
+"""Exception hierarchy of the PSP framework."""
+
+from __future__ import annotations
+
+
+class PSPError(Exception):
+    """Base class for all PSP framework errors."""
+
+
+class KeywordError(PSPError):
+    """Raised for invalid keyword-database operations."""
+
+
+class DataUnavailableError(PSPError):
+    """Raised when a required external data source has no answer.
+
+    Examples: no social posts match a keyword, no sales record exists for
+    the target application/region, no price listings exist for an attack.
+    """
+
+
+class ModelInputError(PSPError):
+    """Raised when a model equation receives out-of-domain inputs.
+
+    Examples: PPIA not greater than VCU in the break-even equation, a
+    non-positive number of competitors.
+    """

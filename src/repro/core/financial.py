@@ -1,0 +1,285 @@
+"""Financial attack-feasibility model (paper §III, Eqs. 1-7, Figs. 10-11).
+
+The second PSP contribution: rate insider attacks by economic viability.
+The underlying assumption is that vehicle owners initiate insider attacks
+(tampering, reprogramming) to gain an advantage, so an insider attack is
+feasible exactly when it is a viable business for whoever sells it.
+
+Quantities and equations:
+
+* ``PAE`` — potential attacker estimation (Eq. 2): vehicle sales times the
+  potential-attacker percentage, with market share replacing sales in
+  non-monopolistic markets.
+* ``PPIA`` — maximum purchase price per insider attack, estimated by
+  clustering online listing prices (:mod:`repro.nlp.clustering`).
+* ``MV = PAE * PPIA`` — market value (Eq. 1; the paper's Eq. 6 instance is
+  1,406 x 360 EUR = 506,160 EUR).
+* ``FC = FTEH * ch + SLD`` — adversary fixed cost (Eq. 4): R&D hours times
+  hourly rate plus straight-line CAPEX depreciation.
+* ``BEP = FC * n / (PPIA - VCU)`` — break-even point in units (Eq. 3),
+  with n attackers sharing the revenue.
+* ``FC = BEP * (PPIA - VCU) / n`` — the inverse (Eq. 5): the investment an
+  attack must absorb before it stops being profitable.  With BEP set to
+  PAE this is the paper's "anti-tampering budget": 1,406 x 310 / 3 ≈
+  145,286 EUR for the DPF example (Eq. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.errors import ModelInputError
+from repro.iso21434.enums import FeasibilityRating
+from repro.market.sales import SalesRecord
+
+
+def potential_attackers(record: SalesRecord, attacker_rate: float) -> int:
+    """PAE (Eq. 2): the expected number of potential attackers.
+
+    For monopolistic markets the company's sales *are* the market, so VS
+    is used directly; for non-monopolistic markets the company's share of
+    the market — its own unit sales — bounds the attackable population.
+
+    Args:
+        record: the sales observation for the target application/region.
+        attacker_rate: PEA, the fraction of owners considered potential
+            attackers (from annual-report mining), in (0, 1].
+    """
+    if not 0.0 < attacker_rate <= 1.0:
+        raise ModelInputError(f"attacker_rate must be in (0, 1], got {attacker_rate}")
+    if record.monopolistic:
+        units = record.units_sold
+    else:
+        # MS expressed in units: share of the regional market attributable
+        # to the subject company, which its own unit sales measure.
+        units = record.market_share * record.market_units
+    return int(round(units * attacker_rate))
+
+
+def market_value(pae: int, ppia: float) -> float:
+    """MV (Eq. 1): the yearly market size of an insider attack."""
+    if pae < 0:
+        raise ModelInputError(f"PAE must be >= 0, got {pae}")
+    if ppia < 0:
+        raise ModelInputError(f"PPIA must be >= 0, got {ppia}")
+    return pae * ppia
+
+
+def fixed_cost(fte_hours: float, hourly_cost: float, sld: float) -> float:
+    """FC (Eq. 4): adversary R&D fixed cost.
+
+    Args:
+        fte_hours: total hours to organise the adversary R&D (FTEH).
+        hourly_cost: black-hat hourly rate (ch).
+        sld: straight-line depreciation of CAPEX lab equipment.
+    """
+    if fte_hours < 0 or hourly_cost < 0 or sld < 0:
+        raise ModelInputError("FC inputs must all be >= 0")
+    return fte_hours * hourly_cost + sld
+
+
+def break_even_point(
+    fc: float, ppia: float, vcu: float, n: int = 1
+) -> float:
+    """BEP (Eq. 3): units to sell before an insider attack turns profitable.
+
+    Args:
+        fc: fixed cost of developing the attack.
+        ppia: purchase price per unit.
+        vcu: variable cost per unit (must be < ppia).
+        n: number of attackers sharing the market (>= 1).
+    """
+    if fc < 0:
+        raise ModelInputError(f"FC must be >= 0, got {fc}")
+    if n < 1:
+        raise ModelInputError(f"n must be >= 1, got {n}")
+    margin = ppia - vcu
+    if margin <= 0:
+        raise ModelInputError(
+            f"PPIA ({ppia}) must exceed VCU ({vcu}) for a break-even to exist"
+        )
+    return fc * n / margin
+
+
+def fixed_cost_from_bep(
+    bep: float, ppia: float, vcu: float, n: int = 1
+) -> float:
+    """Inverse BEP (Eq. 5): the investment that makes ``bep`` the break-even.
+
+    Setting ``bep`` to the PAE answers the paper's security question: how
+    much adversary investment must the product architecture withstand
+    before the attack stops being profitable (Eq. 7).
+    """
+    if bep < 0:
+        raise ModelInputError(f"BEP must be >= 0, got {bep}")
+    if n < 1:
+        raise ModelInputError(f"n must be >= 1, got {n}")
+    margin = ppia - vcu
+    if margin <= 0:
+        raise ModelInputError(
+            f"PPIA ({ppia}) must exceed VCU ({vcu}) for the inverse to exist"
+        )
+    return bep * margin / n
+
+
+@dataclass(frozen=True)
+class BreakEvenAnalysis:
+    """The cost/revenue geometry of one insider attack (paper Fig. 11).
+
+    Revenue per unit is the attacker's share of PPIA; total cost is
+    FC + VCU x units.  The blue profitable zone of Fig. 11 is
+    ``units > break_even``.
+    """
+
+    fc: float
+    ppia: float
+    vcu: float
+    n: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ppia - self.vcu <= 0:
+            raise ModelInputError(
+                f"PPIA ({self.ppia}) must exceed VCU ({self.vcu})"
+            )
+        if self.fc < 0 or self.n < 1:
+            raise ModelInputError("FC must be >= 0 and n >= 1")
+
+    @property
+    def break_even(self) -> float:
+        """Units at which revenue equals cost (Eq. 3)."""
+        return break_even_point(self.fc, self.ppia, self.vcu, self.n)
+
+    def revenue(self, units: float) -> float:
+        """Attacker revenue after selling ``units`` (per-attacker share)."""
+        if units < 0:
+            raise ModelInputError("units must be >= 0")
+        return (self.ppia / self.n) * units
+
+    def cost(self, units: float) -> float:
+        """Attacker total cost after producing ``units``."""
+        if units < 0:
+            raise ModelInputError("units must be >= 0")
+        return self.fc + (self.vcu / self.n) * units
+
+    def profit(self, units: float) -> float:
+        """Revenue minus cost at ``units``."""
+        return self.revenue(units) - self.cost(units)
+
+    def is_profitable(self, units: float) -> bool:
+        """Whether ``units`` lies in the profitable (blue) zone."""
+        return self.profit(units) > 0
+
+    def curve(self, max_units: float, points: int = 50) -> List[Tuple[float, float, float]]:
+        """(units, revenue, cost) samples for plotting Fig. 11."""
+        if points < 2:
+            raise ModelInputError("need >= 2 curve points")
+        step = max_units / (points - 1)
+        return [
+            (u, self.revenue(u), self.cost(u))
+            for u in (i * step for i in range(points))
+        ]
+
+
+def financial_feasibility(
+    mv: float, fc: float
+) -> FeasibilityRating:
+    """Map the market-value / fixed-cost ratio to a feasibility rating.
+
+    This is the paper's "new attack feasibility index integrated into the
+    general ISO-21434 models": an attack whose market dwarfs its required
+    investment is highly feasible; one whose cost exceeds its market is
+    not viable.
+
+    ==============  ===================
+    MV / FC ratio   Feasibility rating
+    ==============  ===================
+    >= 3.0          High
+    >= 1.5          Medium
+    >= 1.0          Low
+    <  1.0          Very Low
+    ==============  ===================
+
+    A zero fixed cost with positive market value rates High (free attacks
+    are maximally feasible); zero market value rates Very Low.
+    """
+    if mv < 0 or fc < 0:
+        raise ModelInputError("MV and FC must be >= 0")
+    if mv == 0:
+        return FeasibilityRating.VERY_LOW
+    if fc == 0:
+        return FeasibilityRating.HIGH
+    ratio = mv / fc
+    if ratio >= 3.0:
+        return FeasibilityRating.HIGH
+    if ratio >= 1.5:
+        return FeasibilityRating.MEDIUM
+    if ratio >= 1.0:
+        return FeasibilityRating.LOW
+    return FeasibilityRating.VERY_LOW
+
+
+@dataclass(frozen=True)
+class FinancialAssessment:
+    """Complete financial assessment of one insider attack."""
+
+    keyword: str
+    pae: int
+    ppia: float
+    vcu: float
+    competitors: int
+    mv: float
+    fc_required: float
+    feasibility: FeasibilityRating
+
+    def __post_init__(self) -> None:
+        if self.pae < 0 or self.competitors < 1:
+            raise ModelInputError("PAE must be >= 0 and competitors >= 1")
+
+    @property
+    def margin(self) -> float:
+        """Per-unit margin PPIA - VCU."""
+        return self.ppia - self.vcu
+
+    def analysis(self) -> BreakEvenAnalysis:
+        """The break-even geometry with FC = the required investment."""
+        return BreakEvenAnalysis(
+            fc=self.fc_required, ppia=self.ppia, vcu=self.vcu, n=self.competitors
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary matching the paper's example prose."""
+        return (
+            f"{self.keyword}: MV = {self.pae} x {self.ppia:.0f} EUR "
+            f"= {self.mv:,.0f} EUR/yr; required adversary investment "
+            f"FC = {self.fc_required:,.0f} EUR across {self.competitors} "
+            f"competitors; financial feasibility {self.feasibility.label()}"
+        )
+
+
+def assess(
+    keyword: str,
+    *,
+    pae: int,
+    ppia: float,
+    vcu: float,
+    competitors: int = 1,
+) -> FinancialAssessment:
+    """Run the full financial assessment for one attack.
+
+    Computes MV (Eq. 1), the required adversary investment via the inverse
+    BEP with BEP = PAE (Eq. 5/Eq. 7), and the MV/FC feasibility rating.
+    """
+    mv = market_value(pae, ppia)
+    fc_required = fixed_cost_from_bep(pae, ppia, vcu, competitors)
+    rating = financial_feasibility(mv, fc_required)
+    return FinancialAssessment(
+        keyword=keyword,
+        pae=pae,
+        ppia=ppia,
+        vcu=vcu,
+        competitors=competitors,
+        mv=mv,
+        fc_required=fc_required,
+        feasibility=rating,
+    )

@@ -1,0 +1,233 @@
+"""The PSP framework orchestrator (paper Figs. 7 and 10).
+
+:class:`PSPFramework` wires the whole pipeline together:
+
+1. take the target application input (Fig. 7, block 1);
+2. query the social platform per attack keyword and compute the SAI list
+   with per-entry attack-probability estimates (blocks 2, 6, 7);
+3. auto-learn new keywords from co-occurring hashtags (block 5);
+4. split the SAI list into insider and outsider entries (blocks 8, 9);
+5. generate the updated ISO-21434 attack-vector weight table for insider
+   threats, leaving outsider weights at the standard values (block 12,
+   Fig. 8);
+6. on request, run the financial feasibility pipeline (Fig. 10): PAE from
+   sales x report-mined attacker rate, PPIA from price clustering, the
+   market value MV, and the required adversary investment FC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.classification import InsiderOutsiderClassifier, InsiderOutsiderSplit
+from repro.core.config import PSPConfig, TargetApplication
+from repro.core.errors import DataUnavailableError
+from repro.core.financial import FinancialAssessment, assess, potential_attackers
+from repro.core.keywords import AttackKeyword, KeywordDatabase, paper_seed_database
+from repro.core.sai import SAIComputer, SAIList
+from repro.core.timewindow import TimeWindow, TrendInversion, detect_inversions
+from repro.core.weights import TuningOutcome, WeightTuner
+from repro.iso21434.feasibility.attack_vector import WeightTable
+from repro.market.pricing import PriceCatalog, default_price_catalog, variable_cost
+from repro.market.reports import ReportLibrary, default_report_library
+from repro.market.sales import SalesDatabase, default_sales_database
+from repro.nlp.textmining import find_count
+from repro.social.api import SearchQuery, SocialMediaClient
+
+
+@dataclass(frozen=True)
+class PSPRunResult:
+    """Everything one PSP run produces for a given time window."""
+
+    target: TargetApplication
+    window: TimeWindow
+    sai: SAIList
+    split: InsiderOutsiderSplit
+    tuning: TuningOutcome
+    learned_keywords: Tuple[AttackKeyword, ...]
+
+    @property
+    def insider_table(self) -> WeightTable:
+        """The PSP-tuned insider weight table (Fig. 8-B)."""
+        return self.tuning.insider_table
+
+    @property
+    def outsider_table(self) -> WeightTable:
+        """The untouched standard table for outsider threats (Fig. 8-A)."""
+        return self.tuning.outsider_table
+
+
+class PSPFramework:
+    """Top-level entry point of the PSP framework.
+
+    Args:
+        client: social platform client (the Twitter substitution layer).
+        target: what application/region/category the run is about.
+        database: attack-keyword database; defaults to the paper's manual
+            seed.  The same instance is mutated by keyword learning, so it
+            accumulates knowledge across runs — the paper's intended
+            lifecycle.
+        config: pipeline tunables.
+        sales: sales database for PAE.
+        reports: annual-report library for attacker rates and competitor
+            counts.
+        prices: listing catalogue for PPIA.
+    """
+
+    def __init__(
+        self,
+        client: SocialMediaClient,
+        target: TargetApplication,
+        *,
+        database: Optional[KeywordDatabase] = None,
+        config: Optional[PSPConfig] = None,
+        sales: Optional[SalesDatabase] = None,
+        reports: Optional[ReportLibrary] = None,
+        prices: Optional[PriceCatalog] = None,
+    ) -> None:
+        self._client = client
+        self._target = target
+        self._config = config or PSPConfig()
+        self._database = database if database is not None else paper_seed_database()
+        self._sales = sales if sales is not None else default_sales_database()
+        self._reports = reports if reports is not None else default_report_library()
+        self._prices = prices if prices is not None else default_price_catalog()
+        self._sai_computer = SAIComputer(client, config=self._config)
+        self._classifier = InsiderOutsiderClassifier(client)
+        self._tuner = WeightTuner(self._config.tuning)
+
+    @property
+    def database(self) -> KeywordDatabase:
+        """The (mutable, learning) attack-keyword database."""
+        return self._database
+
+    @property
+    def target(self) -> TargetApplication:
+        """The configured target application."""
+        return self._target
+
+    # -- pipeline steps ----------------------------------------------------
+
+    def compute_sai(self, window: Optional[TimeWindow] = None) -> SAIList:
+        """Compute the SAI list for the target within ``window``."""
+        w = window or TimeWindow.full_history()
+        return self._sai_computer.compute(
+            self._database,
+            region=self._target.region,
+            since=w.since,
+            until=w.until,
+        )
+
+    def learn_keywords(
+        self, window: Optional[TimeWindow] = None
+    ) -> List[AttackKeyword]:
+        """Run one auto-learning pass over posts matching known keywords."""
+        w = window or TimeWindow.full_history()
+        texts: List[str] = []
+        for entry in self._database:
+            posts = self._client.search(
+                SearchQuery(
+                    keyword=entry.keyword,
+                    region=self._target.region,
+                    since=w.since,
+                    until=w.until,
+                )
+            )
+            texts.extend(p.text for p in posts)
+        return self._database.learn_from_texts(
+            texts,
+            min_support=self._config.learning_min_support,
+            max_new=self._config.learning_max_new,
+        )
+
+    def run(
+        self,
+        window: Optional[TimeWindow] = None,
+        *,
+        learn: bool = True,
+    ) -> PSPRunResult:
+        """Execute the full Fig. 7 pipeline for one time window."""
+        w = window or TimeWindow.full_history()
+        learned = tuple(self.learn_keywords(w)) if learn else ()
+        sai = self.compute_sai(w)
+        split = self._classifier.split(sai)
+        tuning = self._tuner.tune(split, window_label=w.describe())
+        return PSPRunResult(
+            target=self._target,
+            window=w,
+            sai=sai,
+            split=split,
+            tuning=tuning,
+            learned_keywords=learned,
+        )
+
+    def compare_windows(
+        self, before: TimeWindow, after: TimeWindow
+    ) -> Tuple[PSPRunResult, PSPRunResult, List[TrendInversion]]:
+        """Run two windows and report vector-rank inversions between them.
+
+        This is the paper's Fig. 9-B vs Fig. 9-C experiment: the full
+        history versus the recent window, with the physical→local trend
+        inversion surfaced explicitly.
+        """
+        result_before = self.run(before, learn=False)
+        result_after = self.run(after, learn=False)
+        inversions = detect_inversions(result_before.sai, result_after.sai)
+        return result_before, result_after, inversions
+
+    # -- financial pipeline (Fig. 10) ---------------------------------------
+
+    def assess_financial(
+        self,
+        keyword: str,
+        *,
+        competitors: Optional[int] = None,
+        sales_year: Optional[int] = None,
+    ) -> FinancialAssessment:
+        """Run the Fig. 10 financial pipeline for one insider attack.
+
+        PAE comes from the sales database and the report-mined attacker
+        rate; PPIA from listing-price clustering; the competitor count n
+        from report text mining; VCU from the cost table.  The returned
+        assessment carries MV (Eq. 1) and the required adversary
+        investment (Eq. 5 with BEP = PAE, the paper's Eq. 7).
+
+        Raises:
+            DataUnavailableError: when sales, listings or cost data are
+                missing for the target/keyword.
+        """
+        record = self._sales.lookup(
+            self._target.application, self._target.region, sales_year
+        )
+        if record is None:
+            raise DataUnavailableError(
+                f"no sales record for {self._target.describe()}"
+            )
+        report = self._reports.latest(
+            self._target.application, self._target.region
+        )
+        attacker_rate = (
+            report.attacker_rate if report else self._config.default_attacker_rate
+        )
+        pae = potential_attackers(record, attacker_rate)
+
+        try:
+            ppia = self._prices.estimate_ppia(keyword)
+        except ValueError as exc:
+            raise DataUnavailableError(str(exc)) from exc
+        try:
+            vcu = variable_cost(keyword)
+        except KeyError as exc:
+            raise DataUnavailableError(str(exc)) from exc
+
+        n = competitors
+        if n is None and report is not None:
+            mined = find_count([report.prose], "competing sellers")
+            if mined is None:
+                mined = find_count([report.prose], "competitors")
+            n = mined
+        if n is None:
+            n = self._config.default_competitors
+
+        return assess(keyword, pae=pae, ppia=ppia, vcu=vcu, competitors=n)

@@ -1,0 +1,118 @@
+"""Combined feasibility: integrating the financial index into ISO models.
+
+Paper §III closes the financial discussion with: "the FC index computed
+by the PSP platform can serve as a new attack feasibility index
+integrated into the general ISO-21434 models discussed earlier,
+fine-tuning market demand to better reflect the attack trend."
+
+:func:`combined_feasibility` implements that integration.  For an
+insider threat the analyst has two PSP signals:
+
+* the **social** rating — the PSP-tuned attack-vector table's rating for
+  the threat's best vector (how much the scene talks about it);
+* the **financial** rating — the MV/FC viability index (whether it is a
+  profitable business).
+
+The combination is the *maximum* of the two, because each signal is an
+independent sufficient reason for attack pressure: a barely-profitable
+attack with huge social momentum still happens (hobbyists), and a
+quietly lucrative one attracts professional sellers before the hashtags
+catch up.  An optional conservative mode takes the minimum instead
+(both signals must agree) for organisations that prefer under-claiming.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from repro.core.financial import FinancialAssessment
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import WeightTable
+
+
+class CombinationMode(enum.Enum):
+    """How the social and financial ratings are merged."""
+
+    #: Either signal alone is sufficient (default; matches the paper's
+    #: framing of FC as an additional feasibility *driver*).
+    EITHER = "either"
+    #: Both signals must support the rating (conservative).
+    BOTH = "both"
+
+
+@dataclass(frozen=True)
+class CombinedFeasibility:
+    """The merged feasibility verdict for one insider attack."""
+
+    keyword: str
+    vector: AttackVector
+    social: FeasibilityRating
+    financial: FeasibilityRating
+    combined: FeasibilityRating
+    mode: CombinationMode
+
+    @property
+    def driver(self) -> str:
+        """Which signal set the combined rating ("social"/"financial"/"both")."""
+        if self.social is self.financial:
+            return "both"
+        if self.combined is self.social:
+            return "social"
+        return "financial"
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"{self.keyword} via {self.vector.value}: social "
+            f"{self.social.label()}, financial {self.financial.label()} "
+            f"-> {self.combined.label()} ({self.mode.value}, driven by "
+            f"{self.driver})"
+        )
+
+
+def combined_feasibility(
+    keyword: str,
+    vector: AttackVector,
+    insider_table: WeightTable,
+    assessment: FinancialAssessment,
+    *,
+    mode: CombinationMode = CombinationMode.EITHER,
+) -> CombinedFeasibility:
+    """Merge the PSP social and financial feasibility signals.
+
+    Args:
+        keyword: the insider attack.
+        vector: the attack vector under assessment.
+        insider_table: the PSP-tuned weight table (social signal source).
+        assessment: the financial assessment of the same attack.
+        mode: EITHER (max, default) or BOTH (min).
+    """
+    social = insider_table.rating(vector)
+    financial = assessment.feasibility
+    if mode is CombinationMode.EITHER:
+        merged = max(social, financial, key=lambda r: r.level)
+    else:
+        merged = min(social, financial, key=lambda r: r.level)
+    return CombinedFeasibility(
+        keyword=keyword,
+        vector=vector,
+        social=social,
+        financial=financial,
+        combined=merged,
+        mode=mode,
+    )
+
+
+def required_security_budget(
+    assessment: FinancialAssessment, *, safety_factor: float = 1.0
+) -> float:
+    """The anti-tampering budget recommendation of the paper's example.
+
+    "The development team should create a secure anti-tampering DPF
+    architecture ... that can withstand an adversary's investment of up
+    to 145,286 EUR" — the required FC, optionally scaled by an
+    engineering safety factor.
+    """
+    if safety_factor <= 0:
+        raise ValueError(f"safety_factor must be > 0, got {safety_factor}")
+    return assessment.fc_required * safety_factor

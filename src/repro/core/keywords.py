@@ -1,0 +1,194 @@
+"""Attack-keyword database with auto-learning (paper Fig. 7, blocks 3-5).
+
+The keyword database is the PSP framework's working memory: each entry is
+a canonical attack keyword optionally annotated with the attack vector it
+uses in the real world and whether the attack is owner-approved (insider).
+At the first interaction the database is populated manually with the
+paper's standard hashtags; afterwards the auto-learning strategy mines
+posts matching known keywords for co-occurring hashtags and proposes them
+as new entries, so future runs have no "hashtag deficiencies, which may
+cause partial and incomplete findings" (paper §III).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import PAPER_SEED_KEYWORDS
+from repro.core.errors import KeywordError
+from repro.iso21434.enums import AttackVector
+from repro.nlp.hashtags import cooccurring_hashtags
+from repro.nlp.normalize import canonical_keyword
+
+
+class KeywordSource(enum.Enum):
+    """How a keyword entered the database."""
+
+    MANUAL = "manual"
+    LEARNED = "learned"
+
+
+@dataclass(frozen=True)
+class AttackKeyword:
+    """One attack-keyword database entry.
+
+    Attributes:
+        keyword: canonical keyword (see
+            :func:`repro.nlp.normalize.canonical_keyword`).
+        vector: the real-world attack vector of this attack, when known.
+            Learned keywords start without one until an analyst annotates
+            them; unannotated keywords cannot contribute to weight tuning.
+        owner_approved: insider/outsider hint — True when the attack is
+            owner-initiated tampering; None when unknown (the classifier
+            then falls back to text signals).
+        source: manual seed or auto-learned.
+    """
+
+    keyword: str
+    vector: Optional[AttackVector] = None
+    owner_approved: Optional[bool] = None
+    source: KeywordSource = KeywordSource.MANUAL
+
+    def __post_init__(self) -> None:
+        canonical = canonical_keyword(self.keyword)
+        if not canonical:
+            raise KeywordError(f"keyword folds to empty: {self.keyword!r}")
+        object.__setattr__(self, "keyword", canonical)
+
+    def annotated(
+        self,
+        *,
+        vector: Optional[AttackVector] = None,
+        owner_approved: Optional[bool] = None,
+    ) -> "AttackKeyword":
+        """A copy with analyst annotations filled in."""
+        return AttackKeyword(
+            keyword=self.keyword,
+            vector=vector if vector is not None else self.vector,
+            owner_approved=(
+                owner_approved if owner_approved is not None else self.owner_approved
+            ),
+            source=self.source,
+        )
+
+
+class KeywordDatabase:
+    """Mutable attack-keyword store with co-occurrence learning."""
+
+    def __init__(self, entries: Iterable[AttackKeyword] = ()) -> None:
+        self._entries: Dict[str, AttackKeyword] = {}
+        for entry in entries:
+            self.add(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    def __contains__(self, keyword: str) -> bool:
+        return canonical_keyword(keyword) in self._entries
+
+    def add(self, entry: AttackKeyword) -> AttackKeyword:
+        """Add an entry; re-adding an existing keyword is an error."""
+        if entry.keyword in self._entries:
+            raise KeywordError(f"keyword {entry.keyword!r} already present")
+        self._entries[entry.keyword] = entry
+        return entry
+
+    def get(self, keyword: str) -> AttackKeyword:
+        """Look up an entry by (canonically folded) keyword."""
+        canonical = canonical_keyword(keyword)
+        try:
+            return self._entries[canonical]
+        except KeyError:
+            raise KeywordError(f"unknown keyword {canonical!r}") from None
+
+    def annotate(
+        self,
+        keyword: str,
+        *,
+        vector: Optional[AttackVector] = None,
+        owner_approved: Optional[bool] = None,
+    ) -> AttackKeyword:
+        """Attach analyst annotations to an existing entry (in place)."""
+        entry = self.get(keyword)
+        updated = entry.annotated(vector=vector, owner_approved=owner_approved)
+        self._entries[updated.keyword] = updated
+        return updated
+
+    @property
+    def keywords(self) -> Tuple[str, ...]:
+        """All canonical keywords, insertion-ordered."""
+        return tuple(self._entries)
+
+    def annotated_entries(self) -> Tuple[AttackKeyword, ...]:
+        """Entries carrying a vector annotation (weight-tuning eligible)."""
+        return tuple(e for e in self._entries.values() if e.vector is not None)
+
+    def learned_entries(self) -> Tuple[AttackKeyword, ...]:
+        """Entries added by auto-learning."""
+        return tuple(
+            e for e in self._entries.values() if e.source is KeywordSource.LEARNED
+        )
+
+    def learn_from_texts(
+        self,
+        texts: Sequence[str],
+        *,
+        min_support: float = 0.05,
+        max_new: int = 10,
+    ) -> List[AttackKeyword]:
+        """Auto-learn new keywords from post texts (paper Fig. 7, block 5).
+
+        Hashtags that co-occur with known keywords in at least
+        ``min_support`` of the matching posts are added as LEARNED entries,
+        capped at ``max_new`` per call.  Returns the newly added entries.
+        """
+        candidates = cooccurring_hashtags(
+            texts,
+            self.keywords,
+            min_support=min_support,
+            max_candidates=max_new,
+        )
+        added = []
+        for candidate in candidates:
+            if candidate.keyword in self._entries:
+                continue
+            entry = AttackKeyword(
+                keyword=candidate.keyword, source=KeywordSource.LEARNED
+            )
+            self._entries[entry.keyword] = entry
+            added.append(entry)
+        return added
+
+
+def paper_seed_database() -> KeywordDatabase:
+    """The manually seeded database of the paper's first interaction.
+
+    Contains the six standard hashtags from §III with their real-world
+    vector and insider annotations (emission-defeat attacks are physical
+    or local owner-approved tampering).
+    """
+    annotations: Dict[str, Tuple[AttackVector, bool]] = {
+        "dpfdelete": (AttackVector.PHYSICAL, True),
+        "egrremoval": (AttackVector.PHYSICAL, True),
+        "egrdelete": (AttackVector.PHYSICAL, True),
+        "egroff": (AttackVector.PHYSICAL, True),
+        "dieselpower": (AttackVector.PHYSICAL, True),
+        "chiptuning": (AttackVector.LOCAL, True),
+    }
+    db = KeywordDatabase()
+    for keyword in PAPER_SEED_KEYWORDS:
+        vector, approved = annotations[keyword]
+        db.add(
+            AttackKeyword(
+                keyword=keyword,
+                vector=vector,
+                owner_approved=approved,
+                source=KeywordSource.MANUAL,
+            )
+        )
+    return db

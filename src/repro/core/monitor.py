@@ -1,0 +1,157 @@
+"""Runtime risk monitoring (paper §IV: "a runtime model environment").
+
+The paper's conclusion positions PSP as a move "from static risk
+assessment models ... to a runtime model environment.  This approach
+allows for monitoring internal risks".  :class:`PSPMonitor` formalises
+that loop: it re-runs the PSP pipeline over a growing time window at a
+configurable cadence, diffs the resulting insider weight tables, and
+emits :class:`TrendAlert` records — optionally recording a TARA
+reprocessing on a :class:`~repro.tara.lifecycle.LifecycleTracker`.
+
+The monitor is deliberately pull-based (the caller decides when a tick
+happens) so it composes with any scheduler, test harness or batch job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.framework import PSPFramework, PSPRunResult
+from repro.core.timewindow import TimeWindow
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import WeightTable
+from repro.tara.lifecycle import LifecycleTracker, ReprocessingEvent
+
+
+@dataclass(frozen=True)
+class VectorChange:
+    """One vector whose insider rating moved between two ticks."""
+
+    vector: AttackVector
+    before: FeasibilityRating
+    after: FeasibilityRating
+
+    @property
+    def raised(self) -> bool:
+        """True when the rating went up (more attack pressure)."""
+        return self.after > self.before
+
+
+@dataclass(frozen=True)
+class TrendAlert:
+    """Emitted when a tick changes the insider weight table."""
+
+    upto_year: int
+    changes: Tuple[VectorChange, ...]
+    result: PSPRunResult
+
+    def describe(self) -> str:
+        """One-line alert summary."""
+        moved = ", ".join(
+            f"{c.vector.value}: {c.before.label()} -> {c.after.label()}"
+            for c in self.changes
+        )
+        return f"[{self.upto_year}] insider ratings moved: {moved}"
+
+
+class PSPMonitor:
+    """Re-runs PSP per tick and alerts on insider-table changes.
+
+    Args:
+        framework: the PSP framework to drive.
+        start_year: first year covered by the analysis window.
+        tracker: optional lifecycle tracker; when given, every alert also
+            records a PSP_TREND_SHIFT reprocessing event on it.
+        learn: whether each tick runs keyword auto-learning.
+    """
+
+    def __init__(
+        self,
+        framework: PSPFramework,
+        *,
+        start_year: int,
+        tracker: Optional[LifecycleTracker] = None,
+        learn: bool = False,
+    ) -> None:
+        self._framework = framework
+        self._start_year = start_year
+        self._tracker = tracker
+        self._learn = learn
+        self._last_table: Optional[WeightTable] = None
+        self._alerts: List[TrendAlert] = []
+        self._last_year: Optional[int] = None
+
+    @property
+    def alerts(self) -> Tuple[TrendAlert, ...]:
+        """All alerts emitted so far, oldest first."""
+        return tuple(self._alerts)
+
+    @property
+    def current_table(self) -> Optional[WeightTable]:
+        """The insider table from the latest tick (None before any tick)."""
+        return self._last_table
+
+    def tick(self, upto_year: int) -> Optional[TrendAlert]:
+        """Run one monitoring tick covering ``start_year..upto_year``.
+
+        Returns the alert when the insider table changed versus the
+        previous tick, else None.  The first tick establishes the
+        baseline and never alerts.
+
+        Raises:
+            ValueError: when ticks go backwards in time.
+        """
+        if upto_year < self._start_year:
+            raise ValueError(
+                f"tick year {upto_year} precedes start year {self._start_year}"
+            )
+        if self._last_year is not None and upto_year <= self._last_year:
+            raise ValueError(
+                f"ticks must advance: {upto_year} after {self._last_year}"
+            )
+        window = TimeWindow.years(self._start_year, upto_year)
+        result = self._framework.run(window, learn=self._learn)
+        table = result.insider_table
+        alert: Optional[TrendAlert] = None
+        if self._last_table is not None:
+            changed = table.differs_from(self._last_table)
+            if changed:
+                changes = tuple(
+                    VectorChange(
+                        vector=vector,
+                        before=self._last_table.rating(vector),
+                        after=table.rating(vector),
+                    )
+                    for vector in changed
+                )
+                alert = TrendAlert(
+                    upto_year=upto_year, changes=changes, result=result
+                )
+                self._alerts.append(alert)
+                if self._tracker is not None:
+                    self._tracker.report_trend_shift(alert.describe())
+        self._last_table = table
+        self._last_year = upto_year
+        return alert
+
+    def run_years(self, first: int, last: int) -> List[TrendAlert]:
+        """Tick once per year from ``first`` to ``last`` inclusive."""
+        if first > last:
+            raise ValueError(f"first year {first} > last year {last}")
+        alerts = []
+        for year in range(first, last + 1):
+            alert = self.tick(year)
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    def reprocessing_events(self) -> Tuple[ReprocessingEvent, ...]:
+        """The lifecycle events this monitor caused (empty without tracker)."""
+        if self._tracker is None:
+            return ()
+        return tuple(
+            event
+            for event in self._tracker.events
+            if event.trigger.value == "psp_trend_shift"
+        )

@@ -1,0 +1,296 @@
+"""Post-authenticity filtering (paper §IV future work).
+
+The paper's stated next step: "implementing a filtering strategy for
+messages to ensure we process only authentic posts and prevent attackers
+from poisoning the data".  An adversary who knows PSP reads social media
+can inflate a keyword's SAI (making a vector look hot) or bury it.  This
+module implements three deterministic authenticity heuristics:
+
+* **Duplicate flood** — near-identical texts posted many times.  Texts
+  are normalised and fingerprinted; fingerprints whose frequency exceeds
+  ``max_duplicate_share`` of the keyword's posts are flagged beyond the
+  first occurrence.
+* **Author concentration** — one account responsible for more than
+  ``max_author_share`` of a keyword's posts (with a minimum corpus size
+  before the rule activates) is a amplification signature; the excess
+  posts are flagged.
+* **Engagement anomaly** — posts whose view count exceeds
+  ``engagement_sigma`` standard deviations above the keyword's mean are
+  flagged (bought-engagement signature).  Uses a robust threshold so a
+  single organic viral post in a small sample is not discarded.
+
+The filter is *transparent*: :class:`FilterReport` records every
+rejected post and the rule that fired, so an analyst can audit it.
+:class:`FilteringClient` wraps any :class:`SocialMediaClient` and applies
+the filter to every search — the integration point for the SAI pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nlp.normalize import normalize_text
+from repro.social.api import SearchQuery, SocialMediaClient
+from repro.social.post import Post
+
+
+class RejectionReason(enum.Enum):
+    """Which authenticity rule rejected a post."""
+
+    DUPLICATE_FLOOD = "duplicate_flood"
+    AUTHOR_CONCENTRATION = "author_concentration"
+    ENGAGEMENT_ANOMALY = "engagement_anomaly"
+
+
+@dataclass(frozen=True)
+class RejectedPost:
+    """One filtered-out post with its audit trail."""
+
+    post: Post
+    reason: RejectionReason
+
+
+@dataclass(frozen=True)
+class FilterReport:
+    """Outcome of filtering one post list."""
+
+    accepted: Tuple[Post, ...]
+    rejected: Tuple[RejectedPost, ...]
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of input posts rejected."""
+        total = len(self.accepted) + len(self.rejected)
+        if total == 0:
+            return 0.0
+        return len(self.rejected) / total
+
+    def rejected_by(self, reason: RejectionReason) -> Tuple[RejectedPost, ...]:
+        """The posts rejected by a specific rule."""
+        return tuple(r for r in self.rejected if r.reason is reason)
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    """Tunables of the authenticity filter."""
+
+    #: A normalised text fingerprint may cover at most this share of the
+    #: posts; occurrences beyond the allowance are flagged.
+    max_duplicate_share: float = 0.10
+    #: One author may contribute at most this share of the posts...
+    max_author_share: float = 0.20
+    #: ...once the sample has at least this many posts.
+    min_posts_for_author_rule: int = 10
+    #: Views beyond mean + sigma * stdev are anomalous.
+    engagement_sigma: float = 4.0
+    #: Engagement rule needs a minimum sample to be meaningful.
+    min_posts_for_engagement_rule: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_duplicate_share <= 1.0:
+            raise ValueError("max_duplicate_share must be in (0, 1]")
+        if not 0.0 < self.max_author_share <= 1.0:
+            raise ValueError("max_author_share must be in (0, 1]")
+        if self.engagement_sigma <= 0:
+            raise ValueError("engagement_sigma must be > 0")
+        if self.min_posts_for_author_rule < 1:
+            raise ValueError("min_posts_for_author_rule must be >= 1")
+        if self.min_posts_for_engagement_rule < 2:
+            raise ValueError("min_posts_for_engagement_rule must be >= 2")
+
+
+def _fingerprint(text: str) -> str:
+    """Normalised near-duplicate fingerprint of a post text."""
+    return normalize_text(text)
+
+
+class PostAuthenticityFilter:
+    """Applies the three authenticity rules to a post list."""
+
+    def __init__(self, config: Optional[FilterConfig] = None) -> None:
+        self._config = config or FilterConfig()
+
+    @property
+    def config(self) -> FilterConfig:
+        """The active configuration."""
+        return self._config
+
+    def filter(self, posts: Sequence[Post]) -> FilterReport:
+        """Split ``posts`` into accepted and rejected, with reasons.
+
+        Rules are applied in a fixed order (duplicates, author
+        concentration, engagement); a post rejected by an earlier rule is
+        not re-examined by later ones, so each rejection carries exactly
+        one reason.
+        """
+        if not posts:
+            return FilterReport(accepted=(), rejected=())
+        rejected: List[RejectedPost] = []
+        survivors = list(posts)
+
+        survivors, dupes = self._apply_duplicate_rule(survivors)
+        rejected.extend(dupes)
+        survivors, flooded = self._apply_author_rule(survivors)
+        rejected.extend(flooded)
+        survivors, anomalous = self._apply_engagement_rule(survivors)
+        rejected.extend(anomalous)
+
+        return FilterReport(accepted=tuple(survivors), rejected=tuple(rejected))
+
+    def _apply_duplicate_rule(
+        self, posts: List[Post]
+    ) -> Tuple[List[Post], List[RejectedPost]]:
+        total = len(posts)
+        allowance = max(1, int(self._config.max_duplicate_share * total))
+        seen: Counter = Counter()
+        accepted: List[Post] = []
+        rejected: List[RejectedPost] = []
+        for post in posts:
+            fingerprint = _fingerprint(post.text)
+            seen[fingerprint] += 1
+            if seen[fingerprint] > allowance:
+                rejected.append(
+                    RejectedPost(post=post, reason=RejectionReason.DUPLICATE_FLOOD)
+                )
+            else:
+                accepted.append(post)
+        return accepted, rejected
+
+    def _apply_author_rule(
+        self, posts: List[Post]
+    ) -> Tuple[List[Post], List[RejectedPost]]:
+        if len(posts) < self._config.min_posts_for_author_rule:
+            return posts, []
+        allowance = max(1, int(self._config.max_author_share * len(posts)))
+        per_author: Counter = Counter()
+        accepted: List[Post] = []
+        rejected: List[RejectedPost] = []
+        for post in posts:
+            per_author[post.author] += 1
+            if per_author[post.author] > allowance:
+                rejected.append(
+                    RejectedPost(
+                        post=post, reason=RejectionReason.AUTHOR_CONCENTRATION
+                    )
+                )
+            else:
+                accepted.append(post)
+        return accepted, rejected
+
+    def _apply_engagement_rule(
+        self, posts: List[Post]
+    ) -> Tuple[List[Post], List[RejectedPost]]:
+        if len(posts) < self._config.min_posts_for_engagement_rule:
+            return posts, []
+        threshold = self._engagement_threshold(
+            [post.engagement.views for post in posts]
+        )
+        if threshold is None:
+            return posts, []
+        accepted: List[Post] = []
+        rejected: List[RejectedPost] = []
+        for post in posts:
+            if post.engagement.views > threshold:
+                rejected.append(
+                    RejectedPost(
+                        post=post, reason=RejectionReason.ENGAGEMENT_ANOMALY
+                    )
+                )
+            else:
+                accepted.append(post)
+        return accepted, rejected
+
+    def _engagement_threshold(self, views: List[float]) -> Optional[float]:
+        """Robust anomaly threshold: median + sigma * 1.4826 * MAD.
+
+        A mean/stdev threshold suffers masking — the poison posts inflate
+        the variance enough to hide themselves.  Median/MAD is immune as
+        long as poisoned posts are a minority.  When MAD is zero (more
+        than half the sample has identical views), fall back to a
+        multiplicative band around the median; when the median itself is
+        zero, the rule cannot say anything and stays inactive.
+        """
+        ordered = sorted(views)
+        median = ordered[len(ordered) // 2]
+        mad = sorted(abs(v - median) for v in ordered)[len(ordered) // 2]
+        sigma = self._config.engagement_sigma
+        if mad > 0:
+            return median + sigma * 1.4826 * mad
+        if median > 0:
+            return median * (1.0 + sigma)
+        return None
+
+
+class FilteringClient(SocialMediaClient):
+    """A client decorator that filters every search result.
+
+    Plugging this between the platform client and the SAI computer makes
+    the whole PSP pipeline poisoning-resistant without any pipeline
+    change.  The last filter report is kept for auditing.
+    """
+
+    def __init__(
+        self,
+        inner: SocialMediaClient,
+        *,
+        post_filter: Optional[PostAuthenticityFilter] = None,
+    ) -> None:
+        self._inner = inner
+        self._filter = post_filter or PostAuthenticityFilter()
+        self._reports: Dict[str, FilterReport] = {}
+
+    @property
+    def reports(self) -> Dict[str, FilterReport]:
+        """Filter reports per keyword from the searches served so far."""
+        return dict(self._reports)
+
+    def search(self, query: SearchQuery) -> List[Post]:
+        """Search the inner client, then drop inauthentic posts."""
+        report = self._filter.filter(self._inner.search(query))
+        self._reports[query.keyword] = report
+        return list(report.accepted)
+
+    def count_by_year(self, query: SearchQuery) -> Dict[int, int]:
+        """Per-year counts over the *filtered* result set."""
+        counts: Dict[int, int] = {}
+        for post in self.search(query):
+            counts[post.year] = counts.get(post.year, 0) + 1
+        return counts
+
+
+def poison_corpus_with_flood(
+    posts: Sequence[Post],
+    *,
+    keyword: str,
+    copies: int,
+    author: str = "botnet001",
+    views: int = 50000,
+) -> List[Post]:
+    """Inject a duplicate-flood poisoning campaign into a post list.
+
+    Test/bench helper: appends ``copies`` near-identical high-engagement
+    posts for ``keyword`` from a single author — the attack the filter is
+    designed to absorb.
+    """
+    from repro.social.post import Engagement
+
+    if copies < 0:
+        raise ValueError("copies must be >= 0")
+    poisoned = list(posts)
+    base_date = max((p.created_at for p in posts), default=None)
+    if base_date is None:
+        raise ValueError("cannot poison an empty corpus")
+    for index in range(copies):
+        poisoned.append(
+            Post(
+                post_id=f"poison{index:05d}",
+                text=f"everyone is doing the #{keyword} now, get yours",
+                author=author,
+                created_at=base_date,
+                engagement=Engagement(views=views, likes=views // 20),
+            )
+        )
+    return poisoned

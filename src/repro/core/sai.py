@@ -1,0 +1,211 @@
+"""Social Attraction Index (SAI) computation (paper Fig. 7, blocks 6-7).
+
+For every keyword in the attack database, the PSP NLP component queries
+the social platform for matching posts and condenses them into one SAI
+entry: a non-negative *score* built from views, interactions and post
+volume (the paper's "views, interactions, and popularity"), amplified by
+positive sentiment (enthusiastic posts signal attack demand).  Scores are
+normalised across the list into the per-entry *attack probability
+estimation* the paper describes.
+
+Score definition (monotone in every own signal, property-tested)::
+
+    share_x(k) = signal_x(k) / sum_j signal_x(j)      x in {views, inter, vol}
+    base(k)    = (w_views * share_views(k)
+                + w_inter * share_inter(k)
+                + w_vol   * share_vol(k)) / (w_views + w_inter + w_vol)
+    score(k)   = base(k) * (1 + gain * max(0, mean_sentiment(k)))
+
+Each engagement signal is normalised to its *share* across the keyword
+list before weighting, so the score measures how much of the scene's
+total attention an attack topic holds — exactly the "popularity" reading
+of the paper.  The sentiment factor only amplifies (never suppresses):
+deterrence-heavy topics still register, because they are real attacks
+being discussed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import PSPConfig
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.iso21434.enums import AttackVector
+from repro.nlp.sentiment import SentimentAnalyzer
+from repro.social.api import SearchQuery, SocialMediaClient
+from repro.social.post import Engagement, Post
+
+
+@dataclass(frozen=True)
+class SAIEntry:
+    """One attack keyword's Social Attraction Index record."""
+
+    keyword: str
+    vector: Optional[AttackVector]
+    owner_approved: Optional[bool]
+    score: float
+    probability: float
+    post_count: int
+    engagement: Engagement
+    mean_sentiment: float
+
+    def __post_init__(self) -> None:
+        if self.score < 0:
+            raise ValueError("SAI score must be >= 0")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.post_count < 0:
+            raise ValueError("post_count must be >= 0")
+
+
+class SAIList:
+    """The sorted SAI list (descending score) with normalised probabilities."""
+
+    def __init__(self, entries: Sequence[SAIEntry]) -> None:
+        self._entries: Tuple[SAIEntry, ...] = tuple(
+            sorted(entries, key=lambda e: (-e.score, e.keyword))
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> SAIEntry:
+        return self._entries[index]
+
+    @property
+    def entries(self) -> Tuple[SAIEntry, ...]:
+        """Entries in descending score order."""
+        return self._entries
+
+    def entry(self, keyword: str) -> SAIEntry:
+        """Look up an entry by keyword."""
+        for candidate in self._entries:
+            if candidate.keyword == keyword:
+                return candidate
+        raise KeyError(f"no SAI entry for keyword {keyword!r}")
+
+    def top(self, n: int = 5) -> Tuple[SAIEntry, ...]:
+        """The ``n`` highest-scoring entries."""
+        return self._entries[:n]
+
+    def ranking(self) -> Tuple[str, ...]:
+        """Keywords in descending score order."""
+        return tuple(e.keyword for e in self._entries)
+
+    def probability_by_vector(self) -> Dict[AttackVector, float]:
+        """Total attack-probability mass per annotated attack vector.
+
+        Entries without a vector annotation are excluded; the remaining
+        mass is re-normalised so the shares sum to 1 (unless no entry is
+        annotated, in which case the result is empty).
+        """
+        mass: Dict[AttackVector, float] = {}
+        total = 0.0
+        for entry in self._entries:
+            if entry.vector is None:
+                continue
+            mass[entry.vector] = mass.get(entry.vector, 0.0) + entry.probability
+            total += entry.probability
+        if total <= 0:
+            return {}
+        return {vector: share / total for vector, share in mass.items()}
+
+    def as_rows(self) -> Tuple[Tuple[str, float, float, int], ...]:
+        """(keyword, score, probability, posts) rows for reports."""
+        return tuple(
+            (e.keyword, round(e.score, 3), round(e.probability, 4), e.post_count)
+            for e in self._entries
+        )
+
+
+def _gather_signals(
+    posts: Sequence[Post], analyzer: SentimentAnalyzer
+) -> Tuple[Engagement, float]:
+    """Total engagement and mean sentiment of one keyword's posts."""
+    total = Engagement()
+    for post in posts:
+        total = total.combined(post.engagement)
+    if not posts:
+        return total, 0.0
+    return total, analyzer.mean_score([p.text for p in posts])
+
+
+def _share(value: float, total: float) -> float:
+    """value/total with the zero-total convention of an empty scene."""
+    return value / total if total > 0 else 0.0
+
+
+class SAIComputer:
+    """Computes SAI lists from a social client and keyword database."""
+
+    def __init__(
+        self,
+        client: SocialMediaClient,
+        *,
+        config: Optional[PSPConfig] = None,
+        analyzer: Optional[SentimentAnalyzer] = None,
+    ) -> None:
+        self._client = client
+        self._config = config or PSPConfig()
+        self._analyzer = analyzer or SentimentAnalyzer()
+
+    def compute(
+        self,
+        database: KeywordDatabase,
+        *,
+        region: Optional[str] = None,
+        since=None,
+        until=None,
+    ) -> SAIList:
+        """Compute the SAI list over every keyword in ``database``.
+
+        Keywords with zero matching posts are retained with score 0 — an
+        absent topic is itself a (negative) finding.
+        """
+        gathered: List[Tuple[AttackKeyword, Engagement, float, int]] = []
+        for entry in database:
+            query = SearchQuery(
+                keyword=entry.keyword, region=region, since=since, until=until
+            )
+            posts = self._client.search(query)
+            engagement, sentiment = _gather_signals(posts, self._analyzer)
+            gathered.append((entry, engagement, sentiment, len(posts)))
+
+        weights = self._config.sai_weights
+        gain = self._config.sentiment_gain
+        weight_sum = weights.views + weights.interactions + weights.volume
+        total_views = sum(item[1].views for item in gathered)
+        total_inter = sum(item[1].interactions for item in gathered)
+        total_posts = sum(item[3] for item in gathered)
+
+        scored: List[Tuple[AttackKeyword, float, Engagement, float, int]] = []
+        for entry, engagement, sentiment, count in gathered:
+            base = (
+                weights.views * _share(engagement.views, total_views)
+                + weights.interactions * _share(engagement.interactions, total_inter)
+                + weights.volume * _share(count, total_posts)
+            ) / weight_sum
+            score = base * (1.0 + gain * max(0.0, sentiment))
+            scored.append((entry, score, engagement, sentiment, count))
+
+        total_score = sum(item[1] for item in scored)
+        entries = []
+        for entry, score, engagement, sentiment, count in scored:
+            probability = score / total_score if total_score > 0 else 0.0
+            entries.append(
+                SAIEntry(
+                    keyword=entry.keyword,
+                    vector=entry.vector,
+                    owner_approved=entry.owner_approved,
+                    score=score,
+                    probability=probability,
+                    post_count=count,
+                    engagement=engagement,
+                    mean_sentiment=sentiment,
+                )
+            )
+        return SAIList(entries)

@@ -1,0 +1,147 @@
+"""Time-window handling and trend analysis.
+
+"The social sentiment analysis time window plays a crucial role in the
+PSP framework's analysis" (paper §III): the same threat scenario yields
+different attack-feasibility tables when all posts are considered versus
+only recent ones (Fig. 9-B vs 9-C).  This module provides the window value
+object and the trend detector that surfaces such inversions — the paper's
+example being ECM reprogramming moving from physical to local (OBD)
+between the full history and the 2022+ window.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.sai import SAIList
+from repro.iso21434.enums import AttackVector
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """An inclusive posting-date window; None bounds are open."""
+
+    since: Optional[dt.date] = None
+    until: Optional[dt.date] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.since and self.until and self.since > self.until:
+            raise ValueError(
+                f"empty window: since {self.since} > until {self.until}"
+            )
+
+    @classmethod
+    def full_history(cls) -> "TimeWindow":
+        """The unbounded window (paper Fig. 9-B's input)."""
+        return cls(label="full history")
+
+    @classmethod
+    def since_year(cls, year: int) -> "TimeWindow":
+        """Posts from 1 January ``year`` on (paper Fig. 9-C uses 2022)."""
+        return cls(since=dt.date(year, 1, 1), label=f"since {year}")
+
+    @classmethod
+    def years(cls, first: int, last: int) -> "TimeWindow":
+        """The inclusive calendar-year range [first, last]."""
+        if first > last:
+            raise ValueError(f"first year {first} > last year {last}")
+        return cls(
+            since=dt.date(first, 1, 1),
+            until=dt.date(last, 12, 31),
+            label=f"{first}-{last}",
+        )
+
+    def describe(self) -> str:
+        """Human-readable label."""
+        if self.label:
+            return self.label
+        left = self.since.isoformat() if self.since else "open"
+        right = self.until.isoformat() if self.until else "open"
+        return f"[{left}, {right}]"
+
+
+@dataclass(frozen=True)
+class VectorTrend:
+    """Probability-share movement of one attack vector across windows."""
+
+    vector: AttackVector
+    share_before: float
+    share_after: float
+
+    @property
+    def delta(self) -> float:
+        """Share change (after - before)."""
+        return self.share_after - self.share_before
+
+
+@dataclass(frozen=True)
+class TrendInversion:
+    """Two vectors that swapped rank between the windows."""
+
+    risen: AttackVector
+    fallen: AttackVector
+
+    def describe(self) -> str:
+        """Human-readable statement of the inversion."""
+        return (
+            f"{self.risen.value} overtook {self.fallen.value} "
+            "between the two analysis windows"
+        )
+
+
+def vector_trends(
+    before: SAIList, after: SAIList
+) -> Tuple[VectorTrend, ...]:
+    """Per-vector probability-share movement between two SAI lists."""
+    shares_before = before.probability_by_vector()
+    shares_after = after.probability_by_vector()
+    vectors = sorted(
+        set(shares_before) | set(shares_after), key=lambda v: v.value
+    )
+    return tuple(
+        VectorTrend(
+            vector=vector,
+            share_before=shares_before.get(vector, 0.0),
+            share_after=shares_after.get(vector, 0.0),
+        )
+        for vector in vectors
+    )
+
+
+def detect_inversions(
+    before: SAIList, after: SAIList
+) -> List[TrendInversion]:
+    """Vector pairs whose dominance order flipped between the windows.
+
+    A pair (A, B) is an inversion when A's share was strictly below B's
+    in the *before* window and strictly above it in the *after* window.
+    The paper's example: local overtakes physical for ECM reprogramming
+    when the window is restricted to 2022+.
+    """
+    shares_before = before.probability_by_vector()
+    shares_after = after.probability_by_vector()
+    vectors = sorted(
+        set(shares_before) | set(shares_after), key=lambda v: v.value
+    )
+    inversions = []
+    for risen in vectors:
+        for fallen in vectors:
+            if risen is fallen:
+                continue
+            was_below = shares_before.get(risen, 0.0) < shares_before.get(fallen, 0.0)
+            now_above = shares_after.get(risen, 0.0) > shares_after.get(fallen, 0.0)
+            if was_below and now_above:
+                inversions.append(TrendInversion(risen=risen, fallen=fallen))
+    return inversions
+
+
+def yearly_shares(
+    sai_by_year: Dict[int, SAIList]
+) -> Dict[int, Dict[AttackVector, float]]:
+    """Vector probability shares per year, for trend plots/benches."""
+    return {
+        year: sai.probability_by_vector() for year, sai in sorted(sai_by_year.items())
+    }

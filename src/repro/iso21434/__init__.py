@@ -1,0 +1,149 @@
+"""ISO/SAE-21434 TARA substrate.
+
+Implements the Clause-15 Threat Analysis and Risk Assessment building
+blocks the PSP framework plugs into: asset identification, damage and
+threat scenarios, impact rating, attack-path analysis, the three attack-
+feasibility models, risk-value determination, CAL determination, risk
+treatment and cybersecurity goals.
+"""
+
+from repro.iso21434.assets import (
+    Asset,
+    AssetKind,
+    AssetRegistry,
+    make_asset,
+    standard_ecu_assets,
+)
+from repro.iso21434.attack_path import (
+    AttackPath,
+    AttackPathRegistry,
+    AttackStep,
+    threat_feasibility,
+)
+from repro.iso21434.cal import (
+    DEFAULT_CAL_TABLE,
+    PHYSICAL_CAL_CEILING,
+    CalTable,
+    determine_cal,
+    physical_ceiling,
+)
+from repro.iso21434.controls import (
+    Control,
+    ControlCatalog,
+    ResidualRiskRecord,
+    apply_controls,
+    default_catalog,
+    residual_risk,
+    select_controls_for_target,
+)
+from repro.iso21434.damage import DamageRegistry, DamageScenario
+from repro.iso21434.enums import (
+    CAL,
+    AttackerProfile,
+    AttackVector,
+    CybersecurityProperty,
+    FeasibilityRating,
+    ImpactCategory,
+    ImpactRating,
+    StrideCategory,
+)
+from repro.iso21434.feasibility import (
+    AttackPotentialInput,
+    AttackPotentialModel,
+    AttackVectorModel,
+    CvssModel,
+    CvssVector,
+    FeasibilityModel,
+    WeightTable,
+    standard_table,
+)
+from repro.iso21434.goals import (
+    CybersecurityClaim,
+    CybersecurityGoal,
+    GoalRegistry,
+    goal_from_threat,
+)
+from repro.iso21434.impact import (
+    ImpactProfile,
+    impact_from_severity_class,
+    safety_impact,
+)
+from repro.iso21434.risk import (
+    DEFAULT_RISK_MATRIX,
+    MAX_RISK_VALUE,
+    MIN_RISK_VALUE,
+    RiskMatrix,
+    default_matrix,
+    risk_value,
+)
+from repro.iso21434.threats import (
+    ThreatRegistry,
+    ThreatScenario,
+    enumerate_stride_threats,
+)
+from repro.iso21434.treatment import (
+    TreatmentOption,
+    TreatmentPolicy,
+    decide_treatment,
+)
+
+__all__ = [
+    "Asset",
+    "AssetKind",
+    "AssetRegistry",
+    "AttackPath",
+    "AttackPathRegistry",
+    "AttackPotentialInput",
+    "AttackPotentialModel",
+    "AttackStep",
+    "AttackVector",
+    "AttackVectorModel",
+    "AttackerProfile",
+    "CAL",
+    "CalTable",
+    "Control",
+    "ControlCatalog",
+    "CvssModel",
+    "CvssVector",
+    "CybersecurityClaim",
+    "CybersecurityGoal",
+    "CybersecurityProperty",
+    "DamageRegistry",
+    "DamageScenario",
+    "DEFAULT_CAL_TABLE",
+    "DEFAULT_RISK_MATRIX",
+    "FeasibilityModel",
+    "FeasibilityRating",
+    "GoalRegistry",
+    "ImpactCategory",
+    "ImpactProfile",
+    "ImpactRating",
+    "MAX_RISK_VALUE",
+    "MIN_RISK_VALUE",
+    "PHYSICAL_CAL_CEILING",
+    "ResidualRiskRecord",
+    "RiskMatrix",
+    "StrideCategory",
+    "ThreatRegistry",
+    "ThreatScenario",
+    "TreatmentOption",
+    "TreatmentPolicy",
+    "WeightTable",
+    "apply_controls",
+    "decide_treatment",
+    "default_catalog",
+    "default_matrix",
+    "determine_cal",
+    "residual_risk",
+    "select_controls_for_target",
+    "enumerate_stride_threats",
+    "goal_from_threat",
+    "impact_from_severity_class",
+    "make_asset",
+    "physical_ceiling",
+    "risk_value",
+    "safety_impact",
+    "standard_ecu_assets",
+    "standard_table",
+    "threat_feasibility",
+]

@@ -1,0 +1,179 @@
+"""Asset identification (ISO/SAE-21434 Clause 15.3).
+
+The first TARA activity: enumerate the assets of the item under analysis
+and the cybersecurity properties (confidentiality, integrity, availability)
+whose compromise would lead to damage.  Assets typically include firmware
+images, calibration/configuration data, communication messages, crypto
+material and diagnostic interfaces of an ECU.
+
+:class:`Asset` instances are hashable value objects keyed by ``asset_id``
+so they can index dictionaries in the TARA engine and appear as nodes in
+attack-path graphs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.iso21434.enums import CybersecurityProperty
+
+
+class AssetKind(enum.Enum):
+    """Coarse asset taxonomy used for threat enumeration heuristics."""
+
+    FIRMWARE = "firmware"
+    CALIBRATION_DATA = "calibration_data"
+    COMMUNICATION = "communication"
+    CRYPTO_MATERIAL = "crypto_material"
+    DIAGNOSTIC_INTERFACE = "diagnostic_interface"
+    SENSOR_DATA = "sensor_data"
+    ACTUATION = "actuation"
+    PERSONAL_DATA = "personal_data"
+
+
+@dataclass(frozen=True)
+class Asset:
+    """An asset of the item under analysis.
+
+    Attributes:
+        asset_id: unique identifier, e.g. ``"ecm.firmware"``.
+        name: human-readable name.
+        kind: coarse taxonomy bucket used by threat enumeration.
+        properties: cybersecurity properties that must be protected.
+        ecu_id: identifier of the hosting ECU in the vehicle model, if any.
+        description: free-text context for reports.
+    """
+
+    asset_id: str
+    name: str
+    kind: AssetKind
+    properties: FrozenSet[CybersecurityProperty]
+    ecu_id: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.asset_id:
+            raise ValueError("asset_id must be non-empty")
+        if not self.properties:
+            raise ValueError(f"asset {self.asset_id!r} must protect >= 1 property")
+        object.__setattr__(self, "properties", frozenset(self.properties))
+
+    def protects(self, prop: CybersecurityProperty) -> bool:
+        """Whether this asset requires protection of ``prop``."""
+        return prop in self.properties
+
+
+def make_asset(
+    asset_id: str,
+    name: str,
+    kind: AssetKind,
+    properties: Iterable[CybersecurityProperty],
+    *,
+    ecu_id: Optional[str] = None,
+    description: str = "",
+) -> Asset:
+    """Convenience constructor accepting any property iterable."""
+    return Asset(
+        asset_id=asset_id,
+        name=name,
+        kind=kind,
+        properties=frozenset(properties),
+        ecu_id=ecu_id,
+        description=description,
+    )
+
+
+#: Default properties worth protecting per asset kind, used by
+#: :func:`standard_ecu_assets` and the TARA engine's auto-enumeration.
+DEFAULT_PROPERTIES = {
+    AssetKind.FIRMWARE: frozenset(
+        {CybersecurityProperty.INTEGRITY, CybersecurityProperty.AVAILABILITY}
+    ),
+    AssetKind.CALIBRATION_DATA: frozenset(
+        {CybersecurityProperty.INTEGRITY, CybersecurityProperty.CONFIDENTIALITY}
+    ),
+    AssetKind.COMMUNICATION: frozenset(
+        {CybersecurityProperty.INTEGRITY, CybersecurityProperty.AVAILABILITY}
+    ),
+    AssetKind.CRYPTO_MATERIAL: frozenset(
+        {CybersecurityProperty.CONFIDENTIALITY, CybersecurityProperty.INTEGRITY}
+    ),
+    AssetKind.DIAGNOSTIC_INTERFACE: frozenset(
+        {CybersecurityProperty.INTEGRITY, CybersecurityProperty.CONFIDENTIALITY}
+    ),
+    AssetKind.SENSOR_DATA: frozenset({CybersecurityProperty.INTEGRITY}),
+    AssetKind.ACTUATION: frozenset(
+        {CybersecurityProperty.INTEGRITY, CybersecurityProperty.AVAILABILITY}
+    ),
+    AssetKind.PERSONAL_DATA: frozenset({CybersecurityProperty.CONFIDENTIALITY}),
+}
+
+
+def standard_ecu_assets(ecu_id: str, ecu_name: str) -> Tuple[Asset, ...]:
+    """Enumerate the canonical asset set of a generic ECU.
+
+    Produces the firmware, calibration-data, bus-communication and
+    diagnostic-interface assets every ECU in the reference architecture
+    carries, with the default property sets for each kind.
+    """
+    specs = (
+        (AssetKind.FIRMWARE, "firmware", "Firmware image"),
+        (AssetKind.CALIBRATION_DATA, "calibration", "Calibration data"),
+        (AssetKind.COMMUNICATION, "bus_messages", "Bus communication"),
+        (AssetKind.DIAGNOSTIC_INTERFACE, "diagnostics", "Diagnostic interface"),
+    )
+    return tuple(
+        Asset(
+            asset_id=f"{ecu_id}.{suffix}",
+            name=f"{ecu_name} {label}",
+            kind=kind,
+            properties=DEFAULT_PROPERTIES[kind],
+            ecu_id=ecu_id,
+        )
+        for kind, suffix, label in specs
+    )
+
+
+@dataclass
+class AssetRegistry:
+    """Mutable registry of identified assets, keyed by ``asset_id``."""
+
+    _assets: dict = field(default_factory=dict)
+
+    def register(self, asset: Asset) -> Asset:
+        """Register an asset; rejects duplicate identifiers."""
+        if asset.asset_id in self._assets:
+            raise ValueError(f"duplicate asset id {asset.asset_id!r}")
+        self._assets[asset.asset_id] = asset
+        return asset
+
+    def register_all(self, assets: Iterable[Asset]) -> None:
+        """Register many assets at once."""
+        for asset in assets:
+            self.register(asset)
+
+    def get(self, asset_id: str) -> Asset:
+        """Look up an asset; raises KeyError with a helpful message."""
+        try:
+            return self._assets[asset_id]
+        except KeyError:
+            raise KeyError(f"unknown asset {asset_id!r}") from None
+
+    def __contains__(self, asset_id: str) -> bool:
+        return asset_id in self._assets
+
+    def __len__(self) -> int:
+        return len(self._assets)
+
+    def __iter__(self):
+        return iter(self._assets.values())
+
+    def by_ecu(self, ecu_id: str) -> Tuple[Asset, ...]:
+        """All assets hosted on the given ECU."""
+        return tuple(a for a in self._assets.values() if a.ecu_id == ecu_id)
+
+    def by_kind(self, kind: AssetKind) -> Tuple[Asset, ...]:
+        """All assets of the given kind."""
+        return tuple(a for a in self._assets.values() if a.kind is kind)

@@ -1,0 +1,138 @@
+"""Attack-path analysis (ISO/SAE-21434 Clause 15.6/15.7).
+
+An attack path is an ordered sequence of attack steps from an entry point
+(attack surface) to the targeted asset.  Feasibility aggregation follows
+the standard's informative guidance:
+
+* the feasibility of a *path* is the **minimum** over its steps (an
+  attacker must complete every step, so the hardest step gates the path);
+* the feasibility of a *threat scenario* is the **maximum** over its paths
+  (the attacker picks the easiest path).
+
+Path objects are produced both manually and by the vehicle-architecture
+substrate's graph search (:mod:`repro.vehicle.attack_surface`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+
+
+@dataclass(frozen=True)
+class AttackStep:
+    """One step of an attack path.
+
+    Attributes:
+        description: what the attacker does, e.g. "connect to OBD port".
+        feasibility: rated feasibility of executing this step.
+        vector: the attack vector class of this step, if meaningful.
+        location: node in the vehicle graph where the step occurs, if any.
+    """
+
+    description: str
+    feasibility: FeasibilityRating
+    vector: Optional[AttackVector] = None
+    location: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.description:
+            raise ValueError("attack step description must be non-empty")
+
+
+@dataclass(frozen=True)
+class AttackPath:
+    """An ordered sequence of attack steps realising a threat scenario."""
+
+    path_id: str
+    threat_id: str
+    steps: Tuple[AttackStep, ...]
+
+    def __post_init__(self) -> None:
+        if not self.path_id:
+            raise ValueError("path_id must be non-empty")
+        if not self.steps:
+            raise ValueError(f"attack path {self.path_id!r} must have >= 1 step")
+        object.__setattr__(self, "steps", tuple(self.steps))
+
+    @property
+    def feasibility(self) -> FeasibilityRating:
+        """Path feasibility: minimum over the step feasibilities."""
+        return min((s.feasibility for s in self.steps), key=lambda r: r.level)
+
+    @property
+    def entry_vector(self) -> Optional[AttackVector]:
+        """The attack vector of the first step (the entry point), if rated."""
+        return self.steps[0].vector
+
+    @property
+    def length(self) -> int:
+        """Number of steps in the path."""
+        return len(self.steps)
+
+    def describe(self) -> str:
+        """One-line arrow-free description for reports."""
+        hops = "; then ".join(s.description for s in self.steps)
+        return f"[{self.path_id}] {hops} (feasibility {self.feasibility.label()})"
+
+
+def threat_feasibility(
+    paths: Sequence[AttackPath],
+) -> Optional[FeasibilityRating]:
+    """Aggregate path feasibilities to a threat-scenario feasibility.
+
+    Returns the maximum path feasibility (attacker picks the easiest path),
+    or None when no path is known.
+    """
+    if not paths:
+        return None
+    return max((p.feasibility for p in paths), key=lambda r: r.level)
+
+
+@dataclass
+class AttackPathRegistry:
+    """Registry of attack paths keyed by ``path_id``."""
+
+    _paths: dict = field(default_factory=dict)
+
+    def register(self, path: AttackPath) -> AttackPath:
+        """Register an attack path; rejects duplicate identifiers."""
+        if path.path_id in self._paths:
+            raise ValueError(f"duplicate attack path id {path.path_id!r}")
+        self._paths[path.path_id] = path
+        return path
+
+    def register_all(self, paths: Iterable[AttackPath]) -> None:
+        """Register many attack paths at once."""
+        for path in paths:
+            self.register(path)
+
+    def get(self, path_id: str) -> AttackPath:
+        """Look up an attack path by id."""
+        try:
+            return self._paths[path_id]
+        except KeyError:
+            raise KeyError(f"unknown attack path {path_id!r}") from None
+
+    def __contains__(self, path_id: str) -> bool:
+        return path_id in self._paths
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self):
+        return iter(self._paths.values())
+
+    def for_threat(self, threat_id: str) -> Tuple[AttackPath, ...]:
+        """All registered paths realising the given threat scenario."""
+        return tuple(
+            p for p in self._paths.values() if p.threat_id == threat_id
+        )
+
+    def feasibility_for_threat(
+        self, threat_id: str
+    ) -> Optional[FeasibilityRating]:
+        """Aggregated feasibility for a threat over its registered paths."""
+        return threat_feasibility(self.for_threat(threat_id))

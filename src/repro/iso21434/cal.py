@@ -1,0 +1,103 @@
+"""Cybersecurity Assurance Level (CAL) determination (paper Fig. 6).
+
+ISO/SAE-21434 Annex E determines a CAL from the impact of a threat and the
+attack vector through which it can be realised.  The PSP paper reproduces
+the determination table as Fig. 6 and draws attention to one structural
+property: **the physical-vector column never exceeds CAL2**, so attacks on
+powertrain ECUs — predominantly physical — can never demand more than a
+medium-low assurance level under the static standard, even when their
+impact is severe (a DoS on a hard-real-time engine controller).
+
+The table implemented here is reconstructed from the paper's description
+and the standard's publicly documented structure:
+
+===========  ========  =====  ========  =======
+Impact \\ AV  Physical  Local  Adjacent  Network
+===========  ========  =====  ========  =======
+Severe       CAL2      CAL3   CAL4      CAL4
+Major        CAL1      CAL2   CAL3      CAL3
+Moderate     CAL1      CAL1   CAL2      CAL2
+Negligible   —         —      —         —
+===========  ========  =====  ========  =======
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Tuple
+
+from repro.iso21434.enums import CAL, AttackVector, ImpactRating
+
+#: Reconstructed CAL determination table (paper Fig. 6).
+DEFAULT_CAL_TABLE: Mapping[Tuple[ImpactRating, AttackVector], CAL] = {
+    (ImpactRating.SEVERE, AttackVector.PHYSICAL): CAL.CAL2,
+    (ImpactRating.SEVERE, AttackVector.LOCAL): CAL.CAL3,
+    (ImpactRating.SEVERE, AttackVector.ADJACENT): CAL.CAL4,
+    (ImpactRating.SEVERE, AttackVector.NETWORK): CAL.CAL4,
+    (ImpactRating.MAJOR, AttackVector.PHYSICAL): CAL.CAL1,
+    (ImpactRating.MAJOR, AttackVector.LOCAL): CAL.CAL2,
+    (ImpactRating.MAJOR, AttackVector.ADJACENT): CAL.CAL3,
+    (ImpactRating.MAJOR, AttackVector.NETWORK): CAL.CAL3,
+    (ImpactRating.MODERATE, AttackVector.PHYSICAL): CAL.CAL1,
+    (ImpactRating.MODERATE, AttackVector.LOCAL): CAL.CAL1,
+    (ImpactRating.MODERATE, AttackVector.ADJACENT): CAL.CAL2,
+    (ImpactRating.MODERATE, AttackVector.NETWORK): CAL.CAL2,
+    (ImpactRating.NEGLIGIBLE, AttackVector.PHYSICAL): CAL.NONE,
+    (ImpactRating.NEGLIGIBLE, AttackVector.LOCAL): CAL.NONE,
+    (ImpactRating.NEGLIGIBLE, AttackVector.ADJACENT): CAL.NONE,
+    (ImpactRating.NEGLIGIBLE, AttackVector.NETWORK): CAL.NONE,
+}
+
+#: The structural ceiling the paper criticises: physical caps at CAL2.
+PHYSICAL_CAL_CEILING = CAL.CAL2
+
+
+@dataclass(frozen=True)
+class CalTable:
+    """An (impact x attack-vector) → CAL determination table."""
+
+    cells: Mapping[Tuple[ImpactRating, AttackVector], CAL] = field(
+        default_factory=lambda: dict(DEFAULT_CAL_TABLE)
+    )
+
+    def __post_init__(self) -> None:
+        cells = dict(self.cells)
+        for impact in ImpactRating:
+            for vector in AttackVector:
+                if (impact, vector) not in cells:
+                    raise ValueError(
+                        f"CAL table missing cell ({impact.label()}, {vector.value})"
+                    )
+        object.__setattr__(self, "cells", cells)
+
+    def determine(self, impact: ImpactRating, vector: AttackVector) -> CAL:
+        """Determine the CAL for the given impact and attack vector."""
+        return self.cells[(impact, vector)]
+
+
+_DEFAULT = CalTable()
+
+
+def determine_cal(
+    impact: ImpactRating, vector: AttackVector, table: CalTable = None
+) -> CAL:
+    """Determine the CAL using ``table`` (reconstructed Fig. 6 if None)."""
+    return (table or _DEFAULT).determine(impact, vector)
+
+
+def default_table() -> CalTable:
+    """The module-level default CAL table instance."""
+    return _DEFAULT
+
+
+def physical_ceiling(table: CalTable = None) -> CAL:
+    """The highest CAL reachable through the physical vector.
+
+    For the default table this is CAL2 — the structural limitation the PSP
+    paper highlights for powertrain threat scenarios.
+    """
+    resolved = table or _DEFAULT
+    return max(
+        (resolved.determine(impact, AttackVector.PHYSICAL) for impact in ImpactRating),
+        key=lambda cal: cal.level,
+    )

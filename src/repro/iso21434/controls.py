@@ -1,0 +1,269 @@
+"""Cybersecurity controls and residual risk (ISO/SAE-21434 Clause 9/15).
+
+When a risk is treated by *reduction*, cybersecurity controls are
+introduced and the TARA is reprocessed with the controls in place: each
+control makes some attack steps harder, lowering attack feasibility and
+hence the residual risk.  This module models that loop:
+
+* :class:`Control` — a named mitigation with the attack vectors it
+  hardens and its strength (how many feasibility levels it removes from
+  attacks arriving through those vectors).
+* :class:`ControlCatalog` — the canonical automotive controls referenced
+  throughout the paper's problem domain (secure boot, flash signing,
+  OBD authentication, CAN message authentication à la the authors'
+  Ext-Taurum P2T, tamper-evident hardware, gateway filtering).
+* :func:`apply_controls` — degrade a weight table under a control set,
+  yielding the table to re-run the TARA with.
+* :func:`residual_risk` — the post-control risk value for a threat.
+
+Controls never *raise* feasibility and never lower it below Very Low
+(property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.iso21434.enums import AttackVector, FeasibilityRating, ImpactRating
+from repro.iso21434.feasibility.attack_vector import WeightTable
+from repro.iso21434.risk import RiskMatrix, default_matrix
+
+
+@dataclass(frozen=True)
+class Control:
+    """One cybersecurity control.
+
+    Attributes:
+        control_id: unique identifier, e.g. ``"ctl.secure_boot"``.
+        name: human-readable name.
+        hardened_vectors: attack vectors this control makes harder.
+        strength: feasibility levels removed from attacks arriving via a
+            hardened vector (1 = one level, 2 = two levels).
+        description: what the control does, for reports.
+    """
+
+    control_id: str
+    name: str
+    hardened_vectors: FrozenSet[AttackVector]
+    strength: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.control_id:
+            raise ValueError("control_id must be non-empty")
+        if not self.hardened_vectors:
+            raise ValueError(f"control {self.control_id!r} must harden >= 1 vector")
+        if not 1 <= self.strength <= 3:
+            raise ValueError(f"strength must be in 1..3, got {self.strength}")
+        object.__setattr__(
+            self, "hardened_vectors", frozenset(self.hardened_vectors)
+        )
+
+    def hardens(self, vector: AttackVector) -> bool:
+        """Whether this control hardens the given vector."""
+        return vector in self.hardened_vectors
+
+
+class ControlCatalog:
+    """A registry of available controls."""
+
+    def __init__(self, controls: Iterable[Control] = ()) -> None:
+        self._controls: Dict[str, Control] = {}
+        for control in controls:
+            self.add(control)
+
+    def add(self, control: Control) -> Control:
+        """Register a control; rejects duplicate identifiers."""
+        if control.control_id in self._controls:
+            raise ValueError(f"duplicate control id {control.control_id!r}")
+        self._controls[control.control_id] = control
+        return control
+
+    def get(self, control_id: str) -> Control:
+        """Look up a control by id."""
+        try:
+            return self._controls[control_id]
+        except KeyError:
+            raise KeyError(f"unknown control {control_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._controls)
+
+    def __iter__(self):
+        return iter(self._controls.values())
+
+    def __contains__(self, control_id: str) -> bool:
+        return control_id in self._controls
+
+    def for_vector(self, vector: AttackVector) -> Tuple[Control, ...]:
+        """Controls that harden the given vector."""
+        return tuple(c for c in self._controls.values() if c.hardens(vector))
+
+
+def default_catalog() -> ControlCatalog:
+    """The canonical automotive control set of the paper's domain."""
+    return ControlCatalog(
+        [
+            Control(
+                control_id="ctl.secure_boot",
+                name="Secure Boot",
+                hardened_vectors=frozenset(
+                    {AttackVector.PHYSICAL, AttackVector.LOCAL}
+                ),
+                strength=1,
+                description="Authenticated boot chain rejects modified firmware",
+            ),
+            Control(
+                control_id="ctl.flash_signing",
+                name="Signed Flash Updates",
+                hardened_vectors=frozenset(
+                    {AttackVector.PHYSICAL, AttackVector.LOCAL,
+                     AttackVector.NETWORK}
+                ),
+                strength=1,
+                description="Reprogramming requires OEM-signed images",
+            ),
+            Control(
+                control_id="ctl.obd_auth",
+                name="Authenticated OBD Access",
+                hardened_vectors=frozenset({AttackVector.LOCAL}),
+                strength=2,
+                description="Diagnostic services gated by challenge-response",
+            ),
+            Control(
+                control_id="ctl.can_auth",
+                name="CAN Message Authentication",
+                hardened_vectors=frozenset(
+                    {AttackVector.LOCAL, AttackVector.ADJACENT}
+                ),
+                strength=1,
+                description="MAC-protected frames on the powertrain CAN",
+            ),
+            Control(
+                control_id="ctl.tamper_evidence",
+                name="Tamper-Evident Hardware",
+                hardened_vectors=frozenset({AttackVector.PHYSICAL}),
+                strength=1,
+                description="Seals and sensors make bench access detectable",
+            ),
+            Control(
+                control_id="ctl.gateway_filtering",
+                name="Gateway Traffic Filtering",
+                hardened_vectors=frozenset(
+                    {AttackVector.NETWORK, AttackVector.ADJACENT}
+                ),
+                strength=2,
+                description="Domain gateway drops unauthorised cross-domain traffic",
+            ),
+        ]
+    )
+
+
+def apply_controls(
+    table: WeightTable, controls: Iterable[Control]
+) -> WeightTable:
+    """Degrade a weight table under a set of deployed controls.
+
+    Each vector's rating is lowered by the summed strength of the
+    controls hardening it, saturating at Very Low.  Returns a new table
+    with provenance recorded in ``source``/``note``.
+    """
+    control_list = list(controls)
+    reductions: Dict[AttackVector, int] = {v: 0 for v in AttackVector}
+    for control in control_list:
+        for vector in control.hardened_vectors:
+            reductions[vector] += control.strength
+    ratings = {
+        vector: FeasibilityRating.clamp(
+            table.rating(vector).level - reductions[vector]
+        )
+        for vector in AttackVector
+    }
+    names = ", ".join(sorted(c.name for c in control_list)) or "none"
+    return WeightTable(
+        ratings,
+        source=f"{table.source}+controls",
+        note=f"controls applied: {names}",
+    )
+
+
+@dataclass(frozen=True)
+class ResidualRiskRecord:
+    """Risk before and after a control set, for one threat vector."""
+
+    vector: AttackVector
+    impact: ImpactRating
+    initial_feasibility: FeasibilityRating
+    residual_feasibility: FeasibilityRating
+    initial_risk: int
+    residual_risk: int
+
+    @property
+    def risk_reduction(self) -> int:
+        """Risk levels removed by the controls (>= 0)."""
+        return self.initial_risk - self.residual_risk
+
+
+def residual_risk(
+    vector: AttackVector,
+    impact: ImpactRating,
+    table: WeightTable,
+    controls: Iterable[Control],
+    *,
+    matrix: Optional[RiskMatrix] = None,
+) -> ResidualRiskRecord:
+    """Compute the before/after risk for one threat vector.
+
+    Args:
+        vector: the attack vector the threat uses.
+        impact: the threat's overall impact rating.
+        table: the (possibly PSP-tuned) weight table in force.
+        controls: deployed controls.
+        matrix: risk matrix (default matrix if None).
+    """
+    resolved = matrix or default_matrix()
+    hardened = apply_controls(table, controls)
+    initial_feasibility = table.rating(vector)
+    residual_feasibility = hardened.rating(vector)
+    return ResidualRiskRecord(
+        vector=vector,
+        impact=impact,
+        initial_feasibility=initial_feasibility,
+        residual_feasibility=residual_feasibility,
+        initial_risk=resolved.risk_value(impact, initial_feasibility),
+        residual_risk=resolved.risk_value(impact, residual_feasibility),
+    )
+
+
+def select_controls_for_target(
+    vector: AttackVector,
+    impact: ImpactRating,
+    table: WeightTable,
+    catalog: ControlCatalog,
+    *,
+    target_risk: int,
+    matrix: Optional[RiskMatrix] = None,
+) -> Optional[List[Control]]:
+    """Greedy control selection to push a threat's risk to ``target_risk``.
+
+    Controls hardening the threat's vector are applied strongest-first
+    until the residual risk reaches the target.  Returns the selected
+    list, or None when the catalog cannot reach the target (e.g. the
+    impact floor of the risk matrix is above it).
+    """
+    if not 1 <= target_risk <= 5:
+        raise ValueError(f"target_risk must be in 1..5, got {target_risk}")
+    candidates = sorted(
+        catalog.for_vector(vector), key=lambda c: (-c.strength, c.control_id)
+    )
+    selected: List[Control] = []
+    for control in candidates:
+        record = residual_risk(vector, impact, table, selected, matrix=matrix)
+        if record.residual_risk <= target_risk:
+            break
+        selected.append(control)
+    record = residual_risk(vector, impact, table, selected, matrix=matrix)
+    if record.residual_risk <= target_risk:
+        return selected
+    return None

@@ -1,0 +1,87 @@
+"""Damage scenarios (ISO/SAE-21434 Clause 15.3).
+
+A damage scenario describes the adverse consequence at vehicle level of
+compromising a cybersecurity property of an asset — e.g. "loss of engine
+control while driving" from compromising ECM firmware integrity.  Each
+damage scenario carries an :class:`~repro.iso21434.impact.ImpactProfile`
+rating its consequences in the S/F/O/P categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+from repro.iso21434.enums import CybersecurityProperty, ImpactRating
+from repro.iso21434.impact import ImpactProfile
+
+
+@dataclass(frozen=True)
+class DamageScenario:
+    """A vehicle-level adverse consequence of compromising an asset.
+
+    Attributes:
+        scenario_id: unique identifier, e.g. ``"ds.ecm.loss_of_control"``.
+        description: what goes wrong at vehicle level.
+        asset_id: the compromised asset.
+        violated_property: which cybersecurity property is violated.
+        impact: per-category S/F/O/P impact profile.
+    """
+
+    scenario_id: str
+    description: str
+    asset_id: str
+    violated_property: CybersecurityProperty
+    impact: ImpactProfile
+
+    def __post_init__(self) -> None:
+        if not self.scenario_id:
+            raise ValueError("scenario_id must be non-empty")
+        if not self.asset_id:
+            raise ValueError("asset_id must be non-empty")
+
+    @property
+    def overall_impact(self) -> ImpactRating:
+        """Overall (max-over-category) impact rating."""
+        return self.impact.overall
+
+
+@dataclass
+class DamageRegistry:
+    """Registry of damage scenarios keyed by ``scenario_id``."""
+
+    _scenarios: dict = field(default_factory=dict)
+
+    def register(self, scenario: DamageScenario) -> DamageScenario:
+        """Register a damage scenario; rejects duplicate identifiers."""
+        if scenario.scenario_id in self._scenarios:
+            raise ValueError(f"duplicate damage scenario id {scenario.scenario_id!r}")
+        self._scenarios[scenario.scenario_id] = scenario
+        return scenario
+
+    def register_all(self, scenarios: Iterable[DamageScenario]) -> None:
+        """Register many damage scenarios at once."""
+        for scenario in scenarios:
+            self.register(scenario)
+
+    def get(self, scenario_id: str) -> DamageScenario:
+        """Look up a damage scenario by id."""
+        try:
+            return self._scenarios[scenario_id]
+        except KeyError:
+            raise KeyError(f"unknown damage scenario {scenario_id!r}") from None
+
+    def __contains__(self, scenario_id: str) -> bool:
+        return scenario_id in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self):
+        return iter(self._scenarios.values())
+
+    def for_asset(self, asset_id: str) -> Tuple[DamageScenario, ...]:
+        """All damage scenarios attached to the given asset."""
+        return tuple(
+            s for s in self._scenarios.values() if s.asset_id == asset_id
+        )

@@ -1,0 +1,240 @@
+"""Shared rating vocabulary for the ISO/SAE-21434 TARA substrate.
+
+This module defines the enumerated rating scales used throughout Clause 15
+of ISO/SAE-21434 and its annexes, as referenced by the PSP paper:
+
+* :class:`AttackVector` — the four CVSS-style attack vectors used by the
+  attack-vector-based feasibility model (paper Fig. 5) and by the CAL
+  determination table (paper Fig. 6).
+* :class:`FeasibilityRating` — the four-level attack-feasibility scale.
+* :class:`ImpactRating` — the four-level impact scale.
+* :class:`ImpactCategory` — the S/F/O/P damage categories.
+* :class:`CAL` — Cybersecurity Assurance Levels CAL1..CAL4.
+* :class:`CybersecurityProperty` — C/I/A properties attached to assets.
+* :class:`StrideCategory` — STRIDE threat classification.
+* :class:`AttackerProfile` — the attacker taxonomy quoted in §II of the
+  paper (Insider, Outsider, Rational, Malicious, Active, Passive, Local).
+
+All ordered scales expose ``level`` (an integer, higher = greater) so that
+callers can compare ratings without relying on enum declaration order, and
+``from_level`` to map back.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class _OrderedRating(enum.Enum):
+    """Base class for totally ordered rating scales.
+
+    Members must be declared with increasing integer values.  Comparison
+    operators compare those values, making every subclass a total order.
+    """
+
+    @property
+    def level(self) -> int:
+        """Integer severity level of this rating (higher = greater)."""
+        return int(self.value)
+
+    @classmethod
+    def from_level(cls, level: int) -> "_OrderedRating":
+        """Return the member whose level equals ``level``.
+
+        Raises:
+            ValueError: if no member has that level.
+        """
+        for member in cls:
+            if member.level == level:
+                return member
+        raise ValueError(f"{cls.__name__} has no member with level {level}")
+
+    @classmethod
+    def clamp(cls, level: int) -> "_OrderedRating":
+        """Return the member for ``level`` clamped into the valid range."""
+        levels = sorted(m.level for m in cls)
+        clamped = max(levels[0], min(levels[-1], level))
+        return cls.from_level(clamped)
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, type(self)):
+            return self.level < other.level
+        return NotImplemented
+
+    def __le__(self, other: object) -> bool:
+        if isinstance(other, type(self)):
+            return self.level <= other.level
+        return NotImplemented
+
+    def __gt__(self, other: object) -> bool:
+        if isinstance(other, type(self)):
+            return self.level > other.level
+        return NotImplemented
+
+    def __ge__(self, other: object) -> bool:
+        if isinstance(other, type(self)):
+            return self.level >= other.level
+        return NotImplemented
+
+
+class AttackVector(enum.Enum):
+    """Attack vector classes used by ISO/SAE-21434 (paper Figs. 5 and 6).
+
+    The ordering NETWORK > ADJACENT > LOCAL > PHYSICAL reflects *reach*, not
+    feasibility: a network vector is reachable by the largest attacker
+    population.  The PSP paper's central observation is that this reach
+    ordering is a poor proxy for feasibility in the powertrain domain.
+    """
+
+    NETWORK = "network"
+    ADJACENT = "adjacent"
+    LOCAL = "local"
+    PHYSICAL = "physical"
+
+    @property
+    def reach(self) -> int:
+        """Attacker-population reach rank (3 = network ... 0 = physical)."""
+        return _AV_REACH[self]
+
+
+_AV_REACH = {
+    AttackVector.NETWORK: 3,
+    AttackVector.ADJACENT: 2,
+    AttackVector.LOCAL: 1,
+    AttackVector.PHYSICAL: 0,
+}
+
+
+class FeasibilityRating(_OrderedRating):
+    """Attack-feasibility rating scale of ISO/SAE-21434 Clause 15.8."""
+
+    VERY_LOW = 0
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+
+    def label(self) -> str:
+        """Human-readable label matching the standard's tables."""
+        return _FEASIBILITY_LABELS[self]
+
+
+_FEASIBILITY_LABELS = {
+    FeasibilityRating.VERY_LOW: "Very Low",
+    FeasibilityRating.LOW: "Low",
+    FeasibilityRating.MEDIUM: "Medium",
+    FeasibilityRating.HIGH: "High",
+}
+
+
+class ImpactRating(_OrderedRating):
+    """Impact rating scale of ISO/SAE-21434 Clause 15.5."""
+
+    NEGLIGIBLE = 0
+    MODERATE = 1
+    MAJOR = 2
+    SEVERE = 3
+
+    def label(self) -> str:
+        """Human-readable label matching the standard's tables."""
+        return _IMPACT_LABELS[self]
+
+
+_IMPACT_LABELS = {
+    ImpactRating.NEGLIGIBLE: "Negligible",
+    ImpactRating.MODERATE: "Moderate",
+    ImpactRating.MAJOR: "Major",
+    ImpactRating.SEVERE: "Severe",
+}
+
+
+class ImpactCategory(enum.Enum):
+    """Damage categories rated independently per ISO/SAE-21434 §15.5."""
+
+    SAFETY = "safety"
+    FINANCIAL = "financial"
+    OPERATIONAL = "operational"
+    PRIVACY = "privacy"
+
+
+class CAL(_OrderedRating):
+    """Cybersecurity Assurance Level (paper Fig. 6).
+
+    CAL4 is the highest assurance requirement, CAL1 the lowest.  ``NONE``
+    represents "no CAL assigned" for negligible-impact items.
+    """
+
+    NONE = 0
+    CAL1 = 1
+    CAL2 = 2
+    CAL3 = 3
+    CAL4 = 4
+
+    def label(self) -> str:
+        """Human-readable label (e.g. ``"CAL3"``)."""
+        return "-" if self is CAL.NONE else f"CAL{self.level}"
+
+
+class CybersecurityProperty(enum.Enum):
+    """Cybersecurity properties protected on an asset (C/I/A)."""
+
+    CONFIDENTIALITY = "confidentiality"
+    INTEGRITY = "integrity"
+    AVAILABILITY = "availability"
+
+
+class StrideCategory(enum.Enum):
+    """STRIDE threat classification used for threat-scenario enumeration."""
+
+    SPOOFING = "spoofing"
+    TAMPERING = "tampering"
+    REPUDIATION = "repudiation"
+    INFORMATION_DISCLOSURE = "information_disclosure"
+    DENIAL_OF_SERVICE = "denial_of_service"
+    ELEVATION_OF_PRIVILEGE = "elevation_of_privilege"
+
+    @property
+    def violated_property(self) -> CybersecurityProperty:
+        """The cybersecurity property this STRIDE category primarily violates."""
+        return _STRIDE_PROPERTY[self]
+
+
+_STRIDE_PROPERTY = {
+    StrideCategory.SPOOFING: CybersecurityProperty.INTEGRITY,
+    StrideCategory.TAMPERING: CybersecurityProperty.INTEGRITY,
+    StrideCategory.REPUDIATION: CybersecurityProperty.INTEGRITY,
+    StrideCategory.INFORMATION_DISCLOSURE: CybersecurityProperty.CONFIDENTIALITY,
+    StrideCategory.DENIAL_OF_SERVICE: CybersecurityProperty.AVAILABILITY,
+    StrideCategory.ELEVATION_OF_PRIVILEGE: CybersecurityProperty.INTEGRITY,
+}
+
+
+class AttackerProfile(enum.Enum):
+    """Attacker taxonomy quoted in §II of the PSP paper.
+
+    The paper classifies attackers as Insider (service/maintenance
+    personnel), Outsider (black hats), Rational (car owners), Malicious
+    (criminals), Active (thieves), Passive (rival/competitor) and Local
+    (the vehicle's owner).
+    """
+
+    INSIDER = "insider"
+    OUTSIDER = "outsider"
+    RATIONAL = "rational"
+    MALICIOUS = "malicious"
+    ACTIVE = "active"
+    PASSIVE = "passive"
+    LOCAL = "local"
+
+    @property
+    def is_owner_approved(self) -> bool:
+        """Whether attacks by this profile are typically owner-approved.
+
+        The PSP paper defines *insider* attacks as "all attacks that the
+        owner is aware of and approves, even if the attack comes from third
+        parties" — which covers the Insider, Rational and Local profiles.
+        """
+        return self in (
+            AttackerProfile.INSIDER,
+            AttackerProfile.RATIONAL,
+            AttackerProfile.LOCAL,
+        )

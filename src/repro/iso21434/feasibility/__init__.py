@@ -1,0 +1,58 @@
+"""Attack-feasibility models of ISO/SAE-21434 Clause 15.8.
+
+Three interchangeable models (paper §II):
+
+* :class:`AttackPotentialModel` — Common-Criteria-style factor weights
+  (paper Fig. 3).
+* :class:`CvssModel` — CVSS v3.1 exploitability banding.
+* :class:`AttackVectorModel` — fixed vector→rating table G.9 (paper
+  Fig. 5); the table the PSP framework re-tunes dynamically.
+"""
+
+from repro.iso21434.feasibility.attack_potential import (
+    AttackPotentialInput,
+    AttackPotentialModel,
+    ElapsedTime,
+    Equipment,
+    Expertise,
+    Knowledge,
+    WindowOfOpportunity,
+    rating_from_potential,
+)
+from repro.iso21434.feasibility.attack_vector import (
+    STANDARD_G9_TABLE,
+    AttackVectorModel,
+    WeightTable,
+    standard_table,
+)
+from repro.iso21434.feasibility.base import FeasibilityModel
+from repro.iso21434.feasibility.cvss import (
+    AttackComplexity,
+    CvssModel,
+    CvssVector,
+    PrivilegesRequired,
+    UserInteraction,
+    rating_from_exploitability,
+)
+
+__all__ = [
+    "AttackComplexity",
+    "AttackPotentialInput",
+    "AttackPotentialModel",
+    "AttackVectorModel",
+    "CvssModel",
+    "CvssVector",
+    "ElapsedTime",
+    "Equipment",
+    "Expertise",
+    "FeasibilityModel",
+    "Knowledge",
+    "PrivilegesRequired",
+    "STANDARD_G9_TABLE",
+    "UserInteraction",
+    "WeightTable",
+    "WindowOfOpportunity",
+    "rating_from_exploitability",
+    "rating_from_potential",
+    "standard_table",
+]

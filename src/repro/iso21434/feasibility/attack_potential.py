@@ -1,0 +1,183 @@
+"""Attack-potential-based feasibility model (ISO/SAE-21434 Annex G, paper Fig. 3).
+
+The attack-potential approach is inherited from Common Criteria / ISO/IEC
+18045.  An attack is described by five core factors; each factor level
+carries a fixed weight (paper Fig. 3 — "Attack Potential weights model
+extracted by ISO/SAE-21434").  The weights sum to an *attack potential
+value*: the higher the value, the harder the attack and the lower its
+feasibility.
+
+Factor levels and weights (ISO/IEC 18045 table B.3, as adopted by
+ISO/SAE-21434 Annex G):
+
+=====================  ==============================================
+Factor                 Levels (weight)
+=====================  ==============================================
+Elapsed time           ≤1 week (0), ≤1 month (1), ≤6 months (4),
+                       ≤3 years (10), >3 years (19)
+Specialist expertise   Layman (0), Proficient (3), Expert (6),
+                       Multiple experts (8)
+Knowledge of the item  Public (0), Restricted (3), Confidential (7),
+                       Strictly confidential (11)
+Window of opportunity  Unlimited (0), Easy (1), Moderate (4),
+                       Difficult (10)
+Equipment              Standard (0), Specialized (4), Bespoke (7),
+                       Multiple bespoke (9)
+=====================  ==============================================
+
+The aggregate value maps to a feasibility rating (Annex G mapping):
+
+=============  ===================
+Sum of weights Feasibility rating
+=============  ===================
+0 – 13         High
+14 – 19        Medium
+20 – 24        Low
+≥ 25           Very Low
+=============  ===================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.iso21434.enums import FeasibilityRating
+from repro.iso21434.feasibility.base import FeasibilityModel
+
+
+class ElapsedTime(enum.Enum):
+    """Time required to identify and exploit the vulnerability."""
+
+    ONE_WEEK = 0
+    ONE_MONTH = 1
+    SIX_MONTHS = 4
+    THREE_YEARS = 10
+    MORE_THAN_THREE_YEARS = 19
+
+    @property
+    def weight(self) -> int:
+        """Attack-potential weight contributed by this level."""
+        return int(self.value)
+
+
+class Expertise(enum.Enum):
+    """Specialist expertise required of the attacker."""
+
+    LAYMAN = 0
+    PROFICIENT = 3
+    EXPERT = 6
+    MULTIPLE_EXPERTS = 8
+
+    @property
+    def weight(self) -> int:
+        """Attack-potential weight contributed by this level."""
+        return int(self.value)
+
+
+class Knowledge(enum.Enum):
+    """Knowledge of the item or component required by the attacker."""
+
+    PUBLIC = 0
+    RESTRICTED = 3
+    CONFIDENTIAL = 7
+    STRICTLY_CONFIDENTIAL = 11
+
+    @property
+    def weight(self) -> int:
+        """Attack-potential weight contributed by this level."""
+        return int(self.value)
+
+
+class WindowOfOpportunity(enum.Enum):
+    """Access conditions (time pressure, physical access constraints)."""
+
+    UNLIMITED = 0
+    EASY = 1
+    MODERATE = 4
+    DIFFICULT = 10
+
+    @property
+    def weight(self) -> int:
+        """Attack-potential weight contributed by this level."""
+        return int(self.value)
+
+
+class Equipment(enum.Enum):
+    """Equipment required to exploit the vulnerability."""
+
+    STANDARD = 0
+    SPECIALIZED = 4
+    BESPOKE = 7
+    MULTIPLE_BESPOKE = 9
+
+    @property
+    def weight(self) -> int:
+        """Attack-potential weight contributed by this level."""
+        return int(self.value)
+
+
+#: Rating thresholds: (inclusive upper bound on the sum, rating).
+_THRESHOLDS = (
+    (13, FeasibilityRating.HIGH),
+    (19, FeasibilityRating.MEDIUM),
+    (24, FeasibilityRating.LOW),
+)
+
+
+@dataclass(frozen=True)
+class AttackPotentialInput:
+    """The five core factors describing one attack for this model."""
+
+    elapsed_time: ElapsedTime
+    expertise: Expertise
+    knowledge: Knowledge
+    window: WindowOfOpportunity
+    equipment: Equipment
+
+    @property
+    def potential_value(self) -> int:
+        """Sum of the five factor weights (the attack-potential value)."""
+        return (
+            self.elapsed_time.weight
+            + self.expertise.weight
+            + self.knowledge.weight
+            + self.window.weight
+            + self.equipment.weight
+        )
+
+
+def rating_from_potential(value: int) -> FeasibilityRating:
+    """Map an attack-potential value to a feasibility rating.
+
+    Args:
+        value: sum of factor weights; must be non-negative.
+
+    Returns:
+        The feasibility rating per the Annex G mapping table.
+    """
+    if value < 0:
+        raise ValueError(f"attack potential value must be >= 0, got {value}")
+    for upper, rating in _THRESHOLDS:
+        if value <= upper:
+            return rating
+    return FeasibilityRating.VERY_LOW
+
+
+class AttackPotentialModel(FeasibilityModel):
+    """Attack-potential-based feasibility model (paper Fig. 3)."""
+
+    name = "attack-potential"
+
+    def rate(self, attack: AttackPotentialInput) -> FeasibilityRating:
+        """Rate feasibility from the five core factors."""
+        if not isinstance(attack, AttackPotentialInput):
+            raise TypeError(
+                "AttackPotentialModel rates AttackPotentialInput, "
+                f"got {type(attack).__name__}"
+            )
+        return rating_from_potential(attack.potential_value)
+
+    def potential_value(self, attack: AttackPotentialInput) -> int:
+        """Expose the raw attack-potential value for reporting."""
+        return attack.potential_value

@@ -1,0 +1,137 @@
+"""Attack-vector-based feasibility model (ISO/SAE-21434 Annex G, table G.9).
+
+This is the model the PSP paper centres on (Fig. 5 and Fig. 9-A).  The
+standard assigns a *fixed* feasibility rating to each attack vector:
+
+======== ===================
+Vector   Feasibility rating
+======== ===================
+Network  High
+Adjacent Medium
+Local    Low
+Physical Very Low
+======== ===================
+
+The table encodes an enterprise-IT worldview: remote attacks are considered
+easy, physical attacks hard.  The PSP paper's argument (§II) is that for
+powertrain ECUs — attacked by their own Insider/Rational-Local owners with
+unlimited physical access — this static mapping *inverts* reality.
+
+:class:`AttackVectorModel` supports replacing the default table with a tuned
+:class:`WeightTable`, which is exactly what the PSP framework generates for
+insider threat scenarios (paper Fig. 8-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.base import FeasibilityModel
+
+#: The standard's fixed table G.9 (paper Fig. 5 / Fig. 9-A).
+STANDARD_G9_TABLE: Mapping[AttackVector, FeasibilityRating] = {
+    AttackVector.NETWORK: FeasibilityRating.HIGH,
+    AttackVector.ADJACENT: FeasibilityRating.MEDIUM,
+    AttackVector.LOCAL: FeasibilityRating.LOW,
+    AttackVector.PHYSICAL: FeasibilityRating.VERY_LOW,
+}
+
+
+@dataclass(frozen=True)
+class WeightTable:
+    """An attack-vector → feasibility-rating table.
+
+    Instances are immutable; tuning produces a *new* table.  ``source``
+    records provenance ("iso21434-g9" for the standard's table, "psp" for a
+    PSP-tuned table) and ``note`` carries free-text context such as the time
+    window used for tuning.
+    """
+
+    ratings: Mapping[AttackVector, FeasibilityRating]
+    source: str = "iso21434-g9"
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        missing = [v for v in AttackVector if v not in self.ratings]
+        if missing:
+            names = ", ".join(v.value for v in missing)
+            raise ValueError(f"WeightTable missing vectors: {names}")
+        # Freeze the mapping so the dataclass is genuinely immutable.
+        object.__setattr__(self, "ratings", dict(self.ratings))
+
+    def rating(self, vector: AttackVector) -> FeasibilityRating:
+        """Return the feasibility rating assigned to ``vector``."""
+        return self.ratings[vector]
+
+    def with_rating(
+        self, vector: AttackVector, rating: FeasibilityRating, *, source: str, note: str = ""
+    ) -> "WeightTable":
+        """Return a copy of this table with one vector's rating replaced."""
+        updated: Dict[AttackVector, FeasibilityRating] = dict(self.ratings)
+        updated[vector] = rating
+        return WeightTable(updated, source=source, note=note or self.note)
+
+    def ranked_vectors(self) -> Tuple[AttackVector, ...]:
+        """Vectors sorted by descending feasibility (ties broken by reach)."""
+        return tuple(
+            sorted(
+                AttackVector,
+                key=lambda v: (self.ratings[v].level, v.reach),
+                reverse=True,
+            )
+        )
+
+    def items(self) -> Iterator[Tuple[AttackVector, FeasibilityRating]]:
+        """Iterate ``(vector, rating)`` pairs in standard table order."""
+        for vector in (
+            AttackVector.NETWORK,
+            AttackVector.ADJACENT,
+            AttackVector.LOCAL,
+            AttackVector.PHYSICAL,
+        ):
+            yield vector, self.ratings[vector]
+
+    def as_rows(self) -> Tuple[Tuple[str, str], ...]:
+        """Render as ``(vector-label, rating-label)`` rows for reports."""
+        return tuple((v.value.capitalize(), r.label()) for v, r in self.items())
+
+    def differs_from(self, other: "WeightTable") -> Tuple[AttackVector, ...]:
+        """Vectors whose rating differs between this table and ``other``."""
+        return tuple(
+            v for v in AttackVector if self.ratings[v] is not other.ratings[v]
+        )
+
+
+def standard_table() -> WeightTable:
+    """Return a fresh copy of the standard's fixed G.9 table (Fig. 9-A)."""
+    return WeightTable(dict(STANDARD_G9_TABLE), source="iso21434-g9",
+                       note="ISO/SAE-21434 table G.9 (static)")
+
+
+@dataclass
+class AttackVectorModel(FeasibilityModel):
+    """Attack-vector-based feasibility model.
+
+    By default uses the standard's fixed table; a PSP-tuned
+    :class:`WeightTable` can be supplied (or swapped later via
+    :meth:`retune`) to obtain the dynamic behaviour of paper Fig. 8-B.
+    """
+
+    table: WeightTable = field(default_factory=standard_table)
+    name: str = "attack-vector"
+
+    def rate(self, attack: AttackVector) -> FeasibilityRating:
+        """Rate feasibility of an attack given its attack vector."""
+        if not isinstance(attack, AttackVector):
+            raise TypeError(
+                f"AttackVectorModel rates AttackVector inputs, got {type(attack).__name__}"
+            )
+        return self.table.rating(attack)
+
+    def retune(self, table: WeightTable) -> Optional[WeightTable]:
+        """Replace the weight table, returning the previous one."""
+        previous = self.table
+        self.table = table
+        return previous

@@ -1,0 +1,42 @@
+"""Common interface for the three ISO/SAE-21434 attack-feasibility models.
+
+ISO/SAE-21434 Clause 15.8 permits three approaches to rating attack
+feasibility (paper §II):
+
+* the **attack-potential-based** approach (Common Criteria style, paper
+  Fig. 3) — :mod:`repro.iso21434.feasibility.attack_potential`;
+* the **CVSS-based** approach (exploitability sub-score) —
+  :mod:`repro.iso21434.feasibility.cvss`;
+* the **attack-vector-based** approach (paper Fig. 5) —
+  :mod:`repro.iso21434.feasibility.attack_vector`.
+
+Every model maps a model-specific input description of an attack to a
+:class:`~repro.iso21434.enums.FeasibilityRating`.  The PSP framework plugs
+in at this layer: it keeps the model structure but replaces the *fixed*
+vector→rating table with dynamically tuned weights for insider threats.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.iso21434.enums import FeasibilityRating
+
+
+class FeasibilityModel(abc.ABC):
+    """Abstract attack-feasibility model.
+
+    Concrete models implement :meth:`rate` taking a model-specific
+    description of an attack and returning a feasibility rating.
+    """
+
+    #: Short machine-readable model identifier, e.g. ``"attack-vector"``.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def rate(self, attack: Any) -> FeasibilityRating:
+        """Rate the feasibility of ``attack``."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,137 @@
+"""CVSS-based feasibility model (ISO/SAE-21434 Annex G, CVSS v3.1).
+
+ISO/SAE-21434 allows deriving attack feasibility from the *exploitability*
+sub-score of CVSS v3.1:
+
+    exploitability = 8.22 x AV x AC x PR x UI
+
+with the standard CVSS v3.1 metric coefficients.  The exploitability score
+ranges over (0, 3.89]; ISO/SAE-21434 maps score bands to feasibility
+ratings.  The exact band boundaries are not reprinted in the PSP paper, so
+this module uses the widely documented banding (recorded in DESIGN.md as a
+reconstruction):
+
+==================  ===================
+Exploitability E    Feasibility rating
+==================  ===================
+E < 1.0             Very Low
+1.0 <= E < 2.0      Low
+2.0 <= E < 2.96     Medium
+E >= 2.96           High
+==================  ===================
+
+The band edges are chosen so that the canonical extremes agree with the
+attack-vector table: a network/low-complexity/no-privilege/no-interaction
+attack scores 3.89 (High) and a physical/high-complexity/high-privilege/
+user-interaction attack scores 0.16 (Very Low).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.base import FeasibilityModel
+
+#: CVSS v3.1 Attack Vector coefficients.
+_AV_COEFF = {
+    AttackVector.NETWORK: 0.85,
+    AttackVector.ADJACENT: 0.62,
+    AttackVector.LOCAL: 0.55,
+    AttackVector.PHYSICAL: 0.20,
+}
+
+
+class AttackComplexity(enum.Enum):
+    """CVSS v3.1 Attack Complexity (AC) metric."""
+
+    LOW = 0.77
+    HIGH = 0.44
+
+    @property
+    def coefficient(self) -> float:
+        """CVSS coefficient for this metric value."""
+        return float(self.value)
+
+
+class PrivilegesRequired(enum.Enum):
+    """CVSS v3.1 Privileges Required (PR) metric (unchanged scope)."""
+
+    NONE = 0.85
+    LOW = 0.62
+    HIGH = 0.27
+
+    @property
+    def coefficient(self) -> float:
+        """CVSS coefficient for this metric value."""
+        return float(self.value)
+
+
+class UserInteraction(enum.Enum):
+    """CVSS v3.1 User Interaction (UI) metric."""
+
+    NONE = 0.85
+    REQUIRED = 0.62
+
+    @property
+    def coefficient(self) -> float:
+        """CVSS coefficient for this metric value."""
+        return float(self.value)
+
+
+@dataclass(frozen=True)
+class CvssVector:
+    """The four CVSS v3.1 exploitability metrics describing one attack."""
+
+    attack_vector: AttackVector
+    attack_complexity: AttackComplexity = AttackComplexity.LOW
+    privileges_required: PrivilegesRequired = PrivilegesRequired.NONE
+    user_interaction: UserInteraction = UserInteraction.NONE
+
+    @property
+    def exploitability(self) -> float:
+        """CVSS v3.1 exploitability sub-score (8.22 x AV x AC x PR x UI)."""
+        return (
+            8.22
+            * _AV_COEFF[self.attack_vector]
+            * self.attack_complexity.coefficient
+            * self.privileges_required.coefficient
+            * self.user_interaction.coefficient
+        )
+
+
+#: Band boundaries: (exclusive upper bound, rating).
+_BANDS = (
+    (1.0, FeasibilityRating.VERY_LOW),
+    (2.0, FeasibilityRating.LOW),
+    (2.96, FeasibilityRating.MEDIUM),
+)
+
+
+def rating_from_exploitability(score: float) -> FeasibilityRating:
+    """Map a CVSS exploitability score to a feasibility rating."""
+    if score < 0:
+        raise ValueError(f"exploitability must be >= 0, got {score}")
+    for upper, rating in _BANDS:
+        if score < upper:
+            return rating
+    return FeasibilityRating.HIGH
+
+
+class CvssModel(FeasibilityModel):
+    """CVSS-based attack-feasibility model."""
+
+    name = "cvss"
+
+    def rate(self, attack: CvssVector) -> FeasibilityRating:
+        """Rate feasibility from the CVSS exploitability metrics."""
+        if not isinstance(attack, CvssVector):
+            raise TypeError(
+                f"CvssModel rates CvssVector inputs, got {type(attack).__name__}"
+            )
+        return rating_from_exploitability(attack.exploitability)
+
+    def exploitability(self, attack: CvssVector) -> float:
+        """Expose the raw exploitability sub-score for reporting."""
+        return attack.exploitability

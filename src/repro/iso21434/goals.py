@@ -1,0 +1,115 @@
+"""Cybersecurity goals and claims (ISO/SAE-21434 Clause 9.4).
+
+When a risk is treated by *reduction*, the TARA yields cybersecurity
+goals — top-level security requirements for the concept phase.  When a
+risk is *retained* or *shared*, the rationale is recorded as a
+cybersecurity claim.  Goals carry the CAL assigned to the threat so that
+downstream development knows the assurance rigour required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.iso21434.enums import CAL, CybersecurityProperty
+from repro.iso21434.treatment import TreatmentOption
+
+
+@dataclass(frozen=True)
+class CybersecurityGoal:
+    """A top-level security requirement derived from a treated risk."""
+
+    goal_id: str
+    threat_id: str
+    statement: str
+    protected_property: CybersecurityProperty
+    cal: CAL
+
+    def __post_init__(self) -> None:
+        if not self.goal_id:
+            raise ValueError("goal_id must be non-empty")
+        if not self.statement:
+            raise ValueError("goal statement must be non-empty")
+
+
+@dataclass(frozen=True)
+class CybersecurityClaim:
+    """A recorded rationale for retaining or sharing a risk."""
+
+    claim_id: str
+    threat_id: str
+    rationale: str
+    treatment: TreatmentOption
+
+    def __post_init__(self) -> None:
+        if self.treatment not in (TreatmentOption.RETAIN, TreatmentOption.SHARE):
+            raise ValueError(
+                "claims are only recorded for retained or shared risks, "
+                f"got {self.treatment.value}"
+            )
+
+
+def goal_from_threat(
+    threat_id: str,
+    threat_name: str,
+    protected_property: CybersecurityProperty,
+    cal: CAL,
+) -> CybersecurityGoal:
+    """Derive a goal statement for a reduced risk.
+
+    The statement follows the conventional template "The item shall
+    preserve the <property> of <threatened element>".
+    """
+    return CybersecurityGoal(
+        goal_id=f"cg.{threat_id}",
+        threat_id=threat_id,
+        statement=(
+            f"The item shall preserve the {protected_property.value} "
+            f"threatened by '{threat_name}'"
+        ),
+        protected_property=protected_property,
+        cal=cal,
+    )
+
+
+@dataclass
+class GoalRegistry:
+    """Registry of goals and claims produced by a TARA run."""
+
+    _goals: dict = field(default_factory=dict)
+    _claims: dict = field(default_factory=dict)
+
+    def add_goal(self, goal: CybersecurityGoal) -> CybersecurityGoal:
+        """Record a cybersecurity goal; rejects duplicates."""
+        if goal.goal_id in self._goals:
+            raise ValueError(f"duplicate goal id {goal.goal_id!r}")
+        self._goals[goal.goal_id] = goal
+        return goal
+
+    def add_claim(self, claim: CybersecurityClaim) -> CybersecurityClaim:
+        """Record a cybersecurity claim; rejects duplicates."""
+        if claim.claim_id in self._claims:
+            raise ValueError(f"duplicate claim id {claim.claim_id!r}")
+        self._claims[claim.claim_id] = claim
+        return claim
+
+    @property
+    def goals(self) -> Tuple[CybersecurityGoal, ...]:
+        """All recorded goals."""
+        return tuple(self._goals.values())
+
+    @property
+    def claims(self) -> Tuple[CybersecurityClaim, ...]:
+        """All recorded claims."""
+        return tuple(self._claims.values())
+
+    def goals_for_threat(self, threat_id: str) -> Tuple[CybersecurityGoal, ...]:
+        """Goals derived from the given threat scenario."""
+        return tuple(g for g in self._goals.values() if g.threat_id == threat_id)
+
+    def highest_cal(self) -> CAL:
+        """The most demanding CAL over all goals (NONE if no goals)."""
+        if not self._goals:
+            return CAL.NONE
+        return max((g.cal for g in self._goals.values()), key=lambda c: c.level)

@@ -1,0 +1,109 @@
+"""Impact rating (ISO/SAE-21434 Clause 15.5).
+
+Damage scenarios are rated independently in four categories — Safety,
+Financial, Operational, Privacy (S/F/O/P) — each on the four-level
+:class:`~repro.iso21434.enums.ImpactRating` scale.  The overall impact of a
+damage scenario is the maximum over the rated categories, which is the
+aggregation the standard's informative annexes use for CAL and risk
+determination.
+
+Safety impact ratings can also be derived from ISO-26262 severity classes
+(S0..S3) via :func:`impact_from_severity_class`, reflecting the standard's
+alignment with functional safety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.iso21434.enums import ImpactCategory, ImpactRating
+
+
+@dataclass(frozen=True)
+class ImpactProfile:
+    """Per-category impact ratings for one damage scenario.
+
+    Unrated categories default to :attr:`ImpactRating.NEGLIGIBLE`.
+    """
+
+    ratings: Mapping[ImpactCategory, ImpactRating] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ratings", dict(self.ratings))
+
+    def rating(self, category: ImpactCategory) -> ImpactRating:
+        """Impact rating for ``category`` (NEGLIGIBLE if unrated)."""
+        return self.ratings.get(category, ImpactRating.NEGLIGIBLE)
+
+    @property
+    def overall(self) -> ImpactRating:
+        """Overall impact: the maximum over all categories."""
+        if not self.ratings:
+            return ImpactRating.NEGLIGIBLE
+        return max(self.ratings.values(), key=lambda r: r.level)
+
+    @property
+    def dominant_category(self) -> Optional[ImpactCategory]:
+        """The category achieving the overall rating (None if all unrated).
+
+        Ties are broken in the fixed order Safety > Financial > Operational
+        > Privacy, matching the standard's emphasis on safety impact.
+        """
+        if not self.ratings:
+            return None
+        order = (
+            ImpactCategory.SAFETY,
+            ImpactCategory.FINANCIAL,
+            ImpactCategory.OPERATIONAL,
+            ImpactCategory.PRIVACY,
+        )
+        overall = self.overall
+        for category in order:
+            if self.rating(category) is overall:
+                return category
+        return None
+
+    def merged_with(self, other: "ImpactProfile") -> "ImpactProfile":
+        """Category-wise maximum of two profiles.
+
+        Used when several damage scenarios attach to one threat scenario:
+        the threat inherits the worst impact per category.
+        """
+        merged: Dict[ImpactCategory, ImpactRating] = {}
+        for category in ImpactCategory:
+            mine = self.rating(category)
+            theirs = other.rating(category)
+            worst = mine if mine >= theirs else theirs
+            if worst is not ImpactRating.NEGLIGIBLE:
+                merged[category] = worst
+        return ImpactProfile(merged)
+
+    def as_rows(self) -> tuple:
+        """Render as ``(category, rating-label)`` rows for reports."""
+        return tuple(
+            (category.value, self.rating(category).label())
+            for category in ImpactCategory
+        )
+
+
+def safety_impact(rating: ImpactRating) -> ImpactProfile:
+    """Shorthand for a profile with only a safety rating."""
+    return ImpactProfile({ImpactCategory.SAFETY: rating})
+
+
+def impact_from_severity_class(severity: int) -> ImpactRating:
+    """Map an ISO-26262 severity class (S0..S3) to a safety impact rating.
+
+    S0 (no injuries) → Negligible, S1 (light/moderate) → Moderate,
+    S2 (severe, survival probable) → Major, S3 (life-threatening) → Severe.
+    """
+    mapping = {
+        0: ImpactRating.NEGLIGIBLE,
+        1: ImpactRating.MODERATE,
+        2: ImpactRating.MAJOR,
+        3: ImpactRating.SEVERE,
+    }
+    if severity not in mapping:
+        raise ValueError(f"severity class must be 0..3, got {severity}")
+    return mapping[severity]

@@ -1,0 +1,120 @@
+"""Risk value determination (ISO/SAE-21434 Clause 15.9).
+
+Risk values range 1..5 and are determined from the overall impact rating
+and the attack-feasibility rating via a risk matrix.  The standard leaves
+the matrix to the organisation; this module ships the informative-annex
+example matrix, which is the one the PSP paper implicitly assumes:
+
+============  ========  ====  ======  ====
+Impact \\ AF   Very Low  Low   Medium  High
+============  ========  ====  ======  ====
+Severe        2         3     4       5
+Major         1         2     3       4
+Moderate      1         2     2       3
+Negligible    1         1     1       1
+============  ========  ====  ======  ====
+
+The matrix is monotone non-decreasing in both axes (property-tested), so a
+PSP-driven feasibility raise can only raise or keep the risk value — the
+mechanism by which PSP corrects the under-estimated powertrain risks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Tuple
+
+from repro.iso21434.enums import FeasibilityRating, ImpactRating
+
+#: Informative-annex risk matrix: (impact, feasibility) -> risk value.
+DEFAULT_RISK_MATRIX: Mapping[Tuple[ImpactRating, FeasibilityRating], int] = {
+    (ImpactRating.SEVERE, FeasibilityRating.VERY_LOW): 2,
+    (ImpactRating.SEVERE, FeasibilityRating.LOW): 3,
+    (ImpactRating.SEVERE, FeasibilityRating.MEDIUM): 4,
+    (ImpactRating.SEVERE, FeasibilityRating.HIGH): 5,
+    (ImpactRating.MAJOR, FeasibilityRating.VERY_LOW): 1,
+    (ImpactRating.MAJOR, FeasibilityRating.LOW): 2,
+    (ImpactRating.MAJOR, FeasibilityRating.MEDIUM): 3,
+    (ImpactRating.MAJOR, FeasibilityRating.HIGH): 4,
+    (ImpactRating.MODERATE, FeasibilityRating.VERY_LOW): 1,
+    (ImpactRating.MODERATE, FeasibilityRating.LOW): 2,
+    (ImpactRating.MODERATE, FeasibilityRating.MEDIUM): 2,
+    (ImpactRating.MODERATE, FeasibilityRating.HIGH): 3,
+    (ImpactRating.NEGLIGIBLE, FeasibilityRating.VERY_LOW): 1,
+    (ImpactRating.NEGLIGIBLE, FeasibilityRating.LOW): 1,
+    (ImpactRating.NEGLIGIBLE, FeasibilityRating.MEDIUM): 1,
+    (ImpactRating.NEGLIGIBLE, FeasibilityRating.HIGH): 1,
+}
+
+MIN_RISK_VALUE = 1
+MAX_RISK_VALUE = 5
+
+
+@dataclass(frozen=True)
+class RiskMatrix:
+    """An (impact x feasibility) → risk-value matrix.
+
+    A custom matrix may be supplied (the standard permits organisation-
+    specific matrices) but is validated for completeness, range and
+    monotonicity in both axes at construction time.
+    """
+
+    cells: Mapping[Tuple[ImpactRating, FeasibilityRating], int] = field(
+        default_factory=lambda: dict(DEFAULT_RISK_MATRIX)
+    )
+
+    def __post_init__(self) -> None:
+        cells = dict(self.cells)
+        for impact in ImpactRating:
+            for feasibility in FeasibilityRating:
+                key = (impact, feasibility)
+                if key not in cells:
+                    raise ValueError(
+                        f"risk matrix missing cell ({impact.label()}, "
+                        f"{feasibility.label()})"
+                    )
+                value = cells[key]
+                if not MIN_RISK_VALUE <= value <= MAX_RISK_VALUE:
+                    raise ValueError(
+                        f"risk value {value} out of range "
+                        f"[{MIN_RISK_VALUE}, {MAX_RISK_VALUE}]"
+                    )
+        self._check_monotone(cells)
+        object.__setattr__(self, "cells", cells)
+
+    @staticmethod
+    def _check_monotone(
+        cells: Mapping[Tuple[ImpactRating, FeasibilityRating], int]
+    ) -> None:
+        impacts = sorted(ImpactRating, key=lambda r: r.level)
+        feasibilities = sorted(FeasibilityRating, key=lambda r: r.level)
+        for i, impact in enumerate(impacts):
+            for j, feas in enumerate(feasibilities):
+                value = cells[(impact, feas)]
+                if i + 1 < len(impacts) and cells[(impacts[i + 1], feas)] < value:
+                    raise ValueError("risk matrix not monotone in impact")
+                if j + 1 < len(feasibilities) and cells[(impact, feasibilities[j + 1])] < value:
+                    raise ValueError("risk matrix not monotone in feasibility")
+
+    def risk_value(
+        self, impact: ImpactRating, feasibility: FeasibilityRating
+    ) -> int:
+        """Risk value (1..5) for the given impact and feasibility."""
+        return self.cells[(impact, feasibility)]
+
+
+def risk_value(
+    impact: ImpactRating,
+    feasibility: FeasibilityRating,
+    matrix: RiskMatrix = None,
+) -> int:
+    """Determine the risk value using ``matrix`` (default matrix if None)."""
+    return (matrix or _DEFAULT).risk_value(impact, feasibility)
+
+
+_DEFAULT = RiskMatrix()
+
+
+def default_matrix() -> RiskMatrix:
+    """The module-level default risk matrix instance."""
+    return _DEFAULT

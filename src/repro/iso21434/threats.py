@@ -1,0 +1,180 @@
+"""Threat scenario identification (ISO/SAE-21434 Clause 15.4).
+
+A threat scenario ties a damage scenario to a way of causing it: which
+asset is targeted, which cybersecurity property is violated, through which
+attack vector, by which attacker profile, and (for PSP) which social-media
+attack keywords describe it in the wild.
+
+:func:`enumerate_stride_threats` provides the systematic STRIDE-based
+enumeration the HEAVENS methodology (paper ref. [15]) prescribes: for every
+(asset, protected property) pair it proposes the STRIDE threats that
+violate that property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.iso21434.assets import Asset
+from repro.iso21434.enums import (
+    AttackerProfile,
+    AttackVector,
+    CybersecurityProperty,
+    StrideCategory,
+)
+
+
+@dataclass(frozen=True)
+class ThreatScenario:
+    """A way of realising one or more damage scenarios.
+
+    Attributes:
+        threat_id: unique identifier, e.g. ``"ts.ecm.reprogramming"``.
+        name: short human-readable name.
+        asset_id: the targeted asset.
+        violated_property: the cybersecurity property violated.
+        stride: STRIDE classification of the threat.
+        attack_vectors: vectors through which the threat can be realised.
+        attacker_profiles: plausible attacker profiles (paper §II taxonomy).
+        damage_scenario_ids: damage scenarios this threat can realise.
+        keywords: social-media attack keywords/hashtags for PSP lookup
+            (e.g. ``("#ecutuning", "#chiptuning")`` for ECM reprogramming).
+        description: free-text context for reports.
+    """
+
+    threat_id: str
+    name: str
+    asset_id: str
+    violated_property: CybersecurityProperty
+    stride: StrideCategory
+    attack_vectors: FrozenSet[AttackVector]
+    attacker_profiles: FrozenSet[AttackerProfile] = frozenset()
+    damage_scenario_ids: Tuple[str, ...] = ()
+    keywords: Tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.threat_id:
+            raise ValueError("threat_id must be non-empty")
+        if not self.attack_vectors:
+            raise ValueError(
+                f"threat {self.threat_id!r} must have >= 1 attack vector"
+            )
+        object.__setattr__(self, "attack_vectors", frozenset(self.attack_vectors))
+        object.__setattr__(
+            self, "attacker_profiles", frozenset(self.attacker_profiles)
+        )
+        object.__setattr__(
+            self, "damage_scenario_ids", tuple(self.damage_scenario_ids)
+        )
+        object.__setattr__(self, "keywords", tuple(self.keywords))
+
+    @property
+    def is_owner_approved(self) -> bool:
+        """Whether any plausible attacker profile is owner-approved.
+
+        This is the paper's *insider* notion: attacks the owner is aware of
+        and approves (Insider / Rational / Local profiles).  Threats with
+        no profile information default to False (treated as outsider, i.e.
+        the standard's weights are retained — the conservative choice).
+        """
+        return any(p.is_owner_approved for p in self.attacker_profiles)
+
+
+#: STRIDE categories that violate each cybersecurity property.  Used for
+#: systematic enumeration; REPUDIATION is excluded because ISO/SAE-21434
+#: TARAs rarely treat it as a standalone vehicle-level threat.
+_PROPERTY_STRIDE = {
+    CybersecurityProperty.INTEGRITY: (
+        StrideCategory.SPOOFING,
+        StrideCategory.TAMPERING,
+        StrideCategory.ELEVATION_OF_PRIVILEGE,
+    ),
+    CybersecurityProperty.CONFIDENTIALITY: (
+        StrideCategory.INFORMATION_DISCLOSURE,
+    ),
+    CybersecurityProperty.AVAILABILITY: (StrideCategory.DENIAL_OF_SERVICE,),
+}
+
+
+def enumerate_stride_threats(
+    asset: Asset,
+    *,
+    attack_vectors: Iterable[AttackVector],
+    attacker_profiles: Iterable[AttackerProfile] = (),
+    damage_scenario_ids: Tuple[str, ...] = (),
+) -> Tuple[ThreatScenario, ...]:
+    """Systematically enumerate STRIDE threat scenarios for an asset.
+
+    For every cybersecurity property the asset protects, one threat
+    scenario is generated per STRIDE category capable of violating that
+    property.  Identifiers follow ``ts.<asset_id>.<stride>``.
+    """
+    vectors = frozenset(attack_vectors)
+    profiles = frozenset(attacker_profiles)
+    threats = []
+    for prop in sorted(asset.properties, key=lambda p: p.value):
+        for stride in _PROPERTY_STRIDE[prop]:
+            threats.append(
+                ThreatScenario(
+                    threat_id=f"ts.{asset.asset_id}.{stride.value}",
+                    name=f"{stride.value.replace('_', ' ').title()} of {asset.name}",
+                    asset_id=asset.asset_id,
+                    violated_property=prop,
+                    stride=stride,
+                    attack_vectors=vectors,
+                    attacker_profiles=profiles,
+                    damage_scenario_ids=damage_scenario_ids,
+                )
+            )
+    return tuple(threats)
+
+
+@dataclass
+class ThreatRegistry:
+    """Registry of threat scenarios keyed by ``threat_id``."""
+
+    _threats: dict = field(default_factory=dict)
+
+    def register(self, threat: ThreatScenario) -> ThreatScenario:
+        """Register a threat scenario; rejects duplicate identifiers."""
+        if threat.threat_id in self._threats:
+            raise ValueError(f"duplicate threat id {threat.threat_id!r}")
+        self._threats[threat.threat_id] = threat
+        return threat
+
+    def register_all(self, threats: Iterable[ThreatScenario]) -> None:
+        """Register many threat scenarios at once."""
+        for threat in threats:
+            self.register(threat)
+
+    def get(self, threat_id: str) -> ThreatScenario:
+        """Look up a threat scenario by id."""
+        try:
+            return self._threats[threat_id]
+        except KeyError:
+            raise KeyError(f"unknown threat scenario {threat_id!r}") from None
+
+    def __contains__(self, threat_id: str) -> bool:
+        return threat_id in self._threats
+
+    def __len__(self) -> int:
+        return len(self._threats)
+
+    def __iter__(self):
+        return iter(self._threats.values())
+
+    def for_asset(self, asset_id: str) -> Tuple[ThreatScenario, ...]:
+        """All threat scenarios targeting the given asset."""
+        return tuple(t for t in self._threats.values() if t.asset_id == asset_id)
+
+    def owner_approved(self) -> Tuple[ThreatScenario, ...]:
+        """All threats with owner-approved (insider) attacker profiles."""
+        return tuple(t for t in self._threats.values() if t.is_owner_approved)
+
+    def with_vector(self, vector: AttackVector) -> Tuple[ThreatScenario, ...]:
+        """All threats realisable through the given attack vector."""
+        return tuple(
+            t for t in self._threats.values() if vector in t.attack_vectors
+        )

@@ -1,0 +1,91 @@
+"""Risk treatment decisions (ISO/SAE-21434 Clause 15.10).
+
+For each risk value the organisation decides one of four treatment
+options: avoid the risk, reduce it (by introducing controls), share it
+(contracts/insurance) or retain it.  This module implements a simple,
+configurable policy: retain at low risk values, reduce in the middle of
+the range, avoid at the top; sharing is selected for financially-dominated
+impacts where transfer is meaningful.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.iso21434.enums import ImpactCategory
+from repro.iso21434.impact import ImpactProfile
+from repro.iso21434.risk import MAX_RISK_VALUE, MIN_RISK_VALUE
+
+
+class TreatmentOption(enum.Enum):
+    """The four ISO/SAE-21434 risk-treatment options."""
+
+    AVOID = "avoid"
+    REDUCE = "reduce"
+    SHARE = "share"
+    RETAIN = "retain"
+
+
+@dataclass(frozen=True)
+class TreatmentPolicy:
+    """Thresholded risk-treatment policy.
+
+    Attributes:
+        retain_max: highest risk value that is retained without action.
+        reduce_max: highest risk value treated by reduction; anything above
+            is avoided (redesign / feature removal).
+        share_financial: if True, risks whose dominant impact category is
+            financial and that would otherwise be *reduced* are shared
+            instead (risk transfer is meaningful for monetary damage only).
+    """
+
+    retain_max: int = 2
+    reduce_max: int = 4
+    share_financial: bool = True
+
+    def __post_init__(self) -> None:
+        if not MIN_RISK_VALUE <= self.retain_max <= MAX_RISK_VALUE:
+            raise ValueError(f"retain_max out of range: {self.retain_max}")
+        if not self.retain_max <= self.reduce_max <= MAX_RISK_VALUE:
+            raise ValueError(
+                f"reduce_max must be in [{self.retain_max}, {MAX_RISK_VALUE}], "
+                f"got {self.reduce_max}"
+            )
+
+    def decide(
+        self, risk_value: int, impact: ImpactProfile = None
+    ) -> TreatmentOption:
+        """Select a treatment option for ``risk_value``.
+
+        Args:
+            risk_value: risk value 1..5.
+            impact: optional impact profile; used to route financially
+                dominated medium risks to SHARE when enabled.
+        """
+        if not MIN_RISK_VALUE <= risk_value <= MAX_RISK_VALUE:
+            raise ValueError(
+                f"risk value must be in [{MIN_RISK_VALUE}, {MAX_RISK_VALUE}], "
+                f"got {risk_value}"
+            )
+        if risk_value <= self.retain_max:
+            return TreatmentOption.RETAIN
+        if risk_value <= self.reduce_max:
+            if (
+                self.share_financial
+                and impact is not None
+                and impact.dominant_category is ImpactCategory.FINANCIAL
+            ):
+                return TreatmentOption.SHARE
+            return TreatmentOption.REDUCE
+        return TreatmentOption.AVOID
+
+
+_DEFAULT = TreatmentPolicy()
+
+
+def decide_treatment(
+    risk_value: int, impact: ImpactProfile = None, policy: TreatmentPolicy = None
+) -> TreatmentOption:
+    """Decide a treatment with ``policy`` (module default if None)."""
+    return (policy or _DEFAULT).decide(risk_value, impact)

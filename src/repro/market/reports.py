@@ -1,0 +1,203 @@
+"""Synthetic cybersecurity annual reports (the Upstream-report substitute).
+
+The PSP financial model text-mines "vehicle cybersecurity annual reports"
+for the percentage/count of potential attackers and the number of
+competing attack sellers (paper §III; the excavator example cites 1,406
+potential attackers and 3 competitors from the Upstream report).  The
+real report is proprietary, so this module synthesises report *prose* with
+the cited quantities embedded, exercising the same text-mining code path
+(:mod:`repro.nlp.textmining`) the paper describes.
+
+Reports also carry incident statistics by attack vector and year so the
+attack-trend claims ("reprogramming via physical attack is no longer
+mainstream") can be cross-checked, mirroring the paper's use of the
+Upstream report to confirm the PSP trend inversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Tuple
+
+from repro.iso21434.enums import AttackVector
+
+
+@dataclass(frozen=True)
+class IncidentStats:
+    """Incident counts by attack vector for one year."""
+
+    year: int
+    counts: Mapping[AttackVector, int]
+
+    def __post_init__(self) -> None:
+        if any(v < 0 for v in self.counts.values()):
+            raise ValueError("incident counts must be >= 0")
+        object.__setattr__(self, "counts", dict(self.counts))
+
+    @property
+    def total(self) -> int:
+        """Total incidents across vectors."""
+        return sum(self.counts.values())
+
+    def share(self, vector: AttackVector) -> float:
+        """Fraction of the year's incidents using ``vector`` (0 if none)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.counts.get(vector, 0) / total
+
+
+@dataclass(frozen=True)
+class AnnualReport:
+    """One synthetic cybersecurity annual report.
+
+    Attributes:
+        year: report year.
+        application: vehicle application the report section covers.
+        region: region the report section covers.
+        prose: report text; quantities are embedded in prose so the
+            text-mining extractors are exercised.
+        incidents: per-year incident statistics by attack vector.
+        attacker_rate: fraction of the vehicle population considered
+            potential attackers (PEA in paper Eq. 2).
+    """
+
+    year: int
+    application: str
+    region: str
+    prose: str
+    incidents: Tuple[IncidentStats, ...] = ()
+    attacker_rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.attacker_rate <= 1.0:
+            raise ValueError(f"attacker_rate must be in [0, 1], got {self.attacker_rate}")
+        object.__setattr__(self, "incidents", tuple(self.incidents))
+
+    def incidents_for(self, year: int) -> Optional[IncidentStats]:
+        """Incident stats for ``year`` if the report covers it."""
+        for stats in self.incidents:
+            if stats.year == year:
+                return stats
+        return None
+
+
+class ReportLibrary:
+    """Collection of annual reports with lookup by application/region."""
+
+    def __init__(self, reports=()) -> None:
+        self._reports: List[AnnualReport] = list(reports)
+
+    def add(self, report: AnnualReport) -> None:
+        """Add one report."""
+        self._reports.append(report)
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def __iter__(self):
+        return iter(self._reports)
+
+    def latest(
+        self, application: str, region: str
+    ) -> Optional[AnnualReport]:
+        """The newest report covering (application, region)."""
+        matches = [
+            r
+            for r in self._reports
+            if r.application.lower() == application.lower()
+            and r.region.lower() == region.lower()
+        ]
+        if not matches:
+            return None
+        return max(matches, key=lambda r: r.year)
+
+    def prose_corpus(self, application: str, region: str) -> List[str]:
+        """All report prose covering (application, region), newest first."""
+        matches = [
+            r
+            for r in self._reports
+            if r.application.lower() == application.lower()
+            and r.region.lower() == region.lower()
+        ]
+        matches.sort(key=lambda r: r.year, reverse=True)
+        return [r.prose for r in matches]
+
+
+def default_report_library() -> ReportLibrary:
+    """The synthetic report library used by the reproduction.
+
+    The 2023 excavator/Europe report embeds the paper's cited quantities:
+    1,406 potential attackers and 3 competing sellers (Eqs. 6-7).  The
+    incident tables encode the physical→local trend inversion the paper
+    says the Upstream report confirms.
+    """
+    excavator_2023 = AnnualReport(
+        year=2023,
+        application="excavator",
+        region="europe",
+        prose=(
+            "European off-highway fleet analysis, 2023 edition. Our field "
+            "telemetry identified 1,406 potential attackers among owners of "
+            "the subject company's excavators, driven by aftermarket "
+            "emission-defeat demand. The market is served by 3 competing "
+            "sellers of defeat devices. During the reporting period we "
+            "recorded 412 incidents of emission-system tampering across "
+            "European soil excavators."
+        ),
+        incidents=(
+            IncidentStats(
+                year=2020,
+                counts={
+                    AttackVector.PHYSICAL: 310,
+                    AttackVector.LOCAL: 85,
+                    AttackVector.ADJACENT: 12,
+                    AttackVector.NETWORK: 6,
+                },
+            ),
+            IncidentStats(
+                year=2021,
+                counts={
+                    AttackVector.PHYSICAL: 260,
+                    AttackVector.LOCAL: 150,
+                    AttackVector.ADJACENT: 15,
+                    AttackVector.NETWORK: 9,
+                },
+            ),
+            IncidentStats(
+                year=2022,
+                counts={
+                    AttackVector.PHYSICAL: 170,
+                    AttackVector.LOCAL: 295,
+                    AttackVector.ADJACENT: 18,
+                    AttackVector.NETWORK: 14,
+                },
+            ),
+        ),
+        attacker_rate=0.01,
+    )
+    passenger_2023 = AnnualReport(
+        year=2023,
+        application="passenger_car",
+        region="europe",
+        prose=(
+            "European passenger-car threat landscape, 2023 edition. "
+            "Telemetry attributes tuning intent to 9,840 potential attackers "
+            "in the subject fleet. Aftermarket reflash services are offered "
+            "by 12 competing sellers. We recorded 1,980 incidents across "
+            "the reporting period."
+        ),
+        incidents=(
+            IncidentStats(
+                year=2022,
+                counts={
+                    AttackVector.PHYSICAL: 420,
+                    AttackVector.LOCAL: 1190,
+                    AttackVector.ADJACENT: 210,
+                    AttackVector.NETWORK: 160,
+                },
+            ),
+        ),
+        attacker_rate=0.015,
+    )
+    return ReportLibrary([excavator_2023, passenger_2023])

@@ -1,0 +1,147 @@
+"""Vehicle sales and market-share data (ISO Eq. 2 inputs).
+
+The PSP financial model estimates the potential-attacker population from
+"past year's vehicle sales (VS) trend reports", replacing VS with market
+share (MS) in non-monopolistic markets (paper Eq. 2).  Real sales
+databases are commercial, so this module ships a small synthetic table
+covering the paper's example (European excavators for a major company:
+140,600 units, which together with a 1% potential-attacker rate yields
+the paper's PAE = 1,406).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SalesRecord:
+    """One (application, region, year) sales observation.
+
+    Attributes:
+        application: vehicle application, e.g. ``"excavator"``.
+        region: geographic region, e.g. ``"europe"``.
+        year: calendar year of the record.
+        units_sold: vehicles sold by the subject company (VS).
+        market_share: the company's unit share of the regional market, in
+            [0, 1]; used for MS in non-monopolistic markets.
+        monopolistic: whether the regional market is monopolistic, which
+            selects the VS branch of Eq. 2.
+    """
+
+    application: str
+    region: str
+    year: int
+    units_sold: int
+    market_share: float
+    monopolistic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.units_sold < 0:
+            raise ValueError("units_sold must be >= 0")
+        if not 0.0 <= self.market_share <= 1.0:
+            raise ValueError(f"market_share must be in [0, 1], got {self.market_share}")
+
+    @property
+    def market_units(self) -> float:
+        """Total regional market size implied by share (0 share → 0)."""
+        if self.market_share == 0:
+            return 0.0
+        return self.units_sold / self.market_share
+
+
+class SalesDatabase:
+    """Queryable collection of sales records."""
+
+    def __init__(self, records: Iterable[SalesRecord] = ()) -> None:
+        self._records: List[SalesRecord] = list(records)
+
+    def add(self, record: SalesRecord) -> None:
+        """Add one record."""
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def lookup(
+        self, application: str, region: str, year: Optional[int] = None
+    ) -> Optional[SalesRecord]:
+        """The record for (application, region, year); latest year if None."""
+        matches = [
+            r
+            for r in self._records
+            if r.application.lower() == application.lower()
+            and r.region.lower() == region.lower()
+        ]
+        if not matches:
+            return None
+        if year is not None:
+            for record in matches:
+                if record.year == year:
+                    return record
+            return None
+        return max(matches, key=lambda r: r.year)
+
+    def trend(
+        self, application: str, region: str
+    ) -> List[Tuple[int, int]]:
+        """(year, units_sold) series for the application/region, sorted."""
+        series = [
+            (r.year, r.units_sold)
+            for r in self._records
+            if r.application.lower() == application.lower()
+            and r.region.lower() == region.lower()
+        ]
+        return sorted(series)
+
+
+def default_sales_database() -> SalesDatabase:
+    """The synthetic sales table used by the reproduction.
+
+    The excavator/Europe rows are calibrated so the latest year carries
+    140,600 units — with the default 1% potential-attacker rate this
+    reproduces the paper's PAE = 1,406 (Eq. 6).
+    """
+    rows: Dict[Tuple[str, str], List[Tuple[int, int, float, bool]]] = {
+        ("excavator", "europe"): [
+            (2019, 118000, 0.34, False),
+            (2020, 112500, 0.33, False),
+            (2021, 131000, 0.34, False),
+            (2022, 140600, 0.35, False),
+        ],
+        ("passenger_car", "europe"): [
+            (2020, 620000, 0.08, False),
+            (2021, 654000, 0.08, False),
+            (2022, 688000, 0.09, False),
+        ],
+        ("light_truck", "europe"): [
+            (2021, 96000, 0.12, False),
+            (2022, 103000, 0.12, False),
+        ],
+        ("agricultural_tractor", "europe"): [
+            (2021, 54000, 0.41, True),
+            (2022, 56500, 0.42, True),
+        ],
+        ("excavator", "north_america"): [
+            (2021, 98000, 0.22, False),
+            (2022, 104500, 0.23, False),
+        ],
+    }
+    db = SalesDatabase()
+    for (application, region), series in rows.items():
+        for year, units, share, mono in series:
+            db.add(
+                SalesRecord(
+                    application=application,
+                    region=region,
+                    year=year,
+                    units_sold=units,
+                    market_share=share,
+                    monopolistic=mono,
+                )
+            )
+    return db

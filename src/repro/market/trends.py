@@ -1,0 +1,101 @@
+"""Sales-trend analysis and projection.
+
+Eq. 2 of the paper ties PAE to "past year's vehicle sales (VS) *trend
+reports*" — the attacker-population estimate should track where the fleet
+is going, not just last year's snapshot.  This module fits a least-squares
+linear trend to a sales series and projects the next years, so the
+financial model can be evaluated forward ("what is the DPF-tampering
+market worth in two years if sales keep growing?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.market.sales import SalesDatabase
+
+
+@dataclass(frozen=True)
+class TrendFit:
+    """A least-squares linear fit over a (year, units) series."""
+
+    slope: float
+    intercept: float
+    observations: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "observations", tuple(self.observations))
+
+    @property
+    def direction(self) -> str:
+        """"growing", "shrinking" or "flat"."""
+        if self.slope > 1e-9:
+            return "growing"
+        if self.slope < -1e-9:
+            return "shrinking"
+        return "flat"
+
+    def predict(self, year: int) -> float:
+        """Projected unit sales for ``year`` (clamped at zero)."""
+        return max(0.0, self.slope * year + self.intercept)
+
+    def residuals(self) -> List[float]:
+        """Fit residuals per observation (observed minus predicted)."""
+        return [units - self.predict(year) for year, units in self.observations]
+
+
+def fit_trend(series: Sequence[Tuple[int, int]]) -> TrendFit:
+    """Fit a least-squares line to a (year, units) series.
+
+    Raises:
+        ValueError: with fewer than two observations (no trend exists).
+    """
+    if len(series) < 2:
+        raise ValueError(f"need >= 2 observations to fit a trend, got {len(series)}")
+    years = [float(year) for year, _ in series]
+    units = [float(u) for _, u in series]
+    n = len(series)
+    mean_x = sum(years) / n
+    mean_y = sum(units) / n
+    denominator = sum((x - mean_x) ** 2 for x in years)
+    if denominator == 0:
+        raise ValueError("all observations share one year; no trend exists")
+    slope = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(years, units)
+    ) / denominator
+    intercept = mean_y - slope * mean_x
+    return TrendFit(
+        slope=slope,
+        intercept=intercept,
+        observations=tuple((int(year), int(u)) for year, u in series),
+    )
+
+
+def sales_trend(
+    database: SalesDatabase, application: str, region: str
+) -> TrendFit:
+    """Fit the sales trend for one application/region from the database."""
+    series = database.trend(application, region)
+    if not series:
+        raise ValueError(f"no sales records for {application!r} / {region!r}")
+    return fit_trend(series)
+
+
+def projected_attackers(
+    database: SalesDatabase,
+    application: str,
+    region: str,
+    *,
+    year: int,
+    attacker_rate: float,
+) -> int:
+    """Forward-looking PAE: trend-projected sales times the attacker rate.
+
+    The trend-report reading of Eq. 2: instead of last year's snapshot,
+    project unit sales to ``year`` and apply PEA.
+    """
+    if not 0.0 < attacker_rate <= 1.0:
+        raise ValueError(f"attacker_rate must be in (0, 1], got {attacker_rate}")
+    trend = sales_trend(database, application, region)
+    return int(round(trend.predict(year) * attacker_rate))

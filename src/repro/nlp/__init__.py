@@ -1,0 +1,88 @@
+"""From-scratch NLP substrate for the PSP framework.
+
+Implements the language processing the paper delegates to its "PSP NLP
+component" (Fig. 7, block 2): social-media-aware tokenization, keyword
+normalization, hashtag co-occurrence mining (keyword auto-learning),
+lexicon sentiment scoring, TF-IDF relevance, 1-D price clustering (PPIA
+estimation) and text mining of prices and counts from report prose.
+"""
+
+from repro.nlp.clustering import (
+    PriceCluster,
+    dominant_cluster,
+    kmeans_1d,
+    representative_price,
+)
+from repro.nlp.hashtags import (
+    CooccurrenceResult,
+    cooccurring_hashtags,
+    extract_hashtags,
+    hashtag_frequencies,
+    top_hashtags,
+)
+from repro.nlp.ngrams import PhraseCandidate, mine_phrases
+from repro.nlp.normalize import (
+    canonical_keyword,
+    keyword_in_text,
+    normalize_text,
+    stem,
+    stem_all,
+)
+from repro.nlp.sentiment import (
+    SentimentAnalyzer,
+    SentimentLabel,
+    SentimentResult,
+)
+from repro.nlp.stopwords import STOPWORDS, is_stopword, remove_stopwords
+from repro.nlp.textmining import (
+    CountObservation,
+    PriceObservation,
+    extract_counts,
+    extract_prices,
+    extract_prices_many,
+    find_count,
+    sum_counts,
+)
+from repro.nlp.tfidf import TfIdfDocument, TfIdfVectorizer, cosine_similarity
+from repro.nlp.tokenizer import Token, TokenType, hashtags, prices, tokenize, words
+
+__all__ = [
+    "CooccurrenceResult",
+    "CountObservation",
+    "PhraseCandidate",
+    "PriceCluster",
+    "PriceObservation",
+    "STOPWORDS",
+    "SentimentAnalyzer",
+    "SentimentLabel",
+    "SentimentResult",
+    "TfIdfDocument",
+    "TfIdfVectorizer",
+    "Token",
+    "TokenType",
+    "canonical_keyword",
+    "cooccurring_hashtags",
+    "cosine_similarity",
+    "dominant_cluster",
+    "extract_counts",
+    "extract_hashtags",
+    "extract_prices",
+    "extract_prices_many",
+    "find_count",
+    "hashtag_frequencies",
+    "hashtags",
+    "is_stopword",
+    "keyword_in_text",
+    "kmeans_1d",
+    "mine_phrases",
+    "normalize_text",
+    "prices",
+    "remove_stopwords",
+    "representative_price",
+    "stem",
+    "stem_all",
+    "sum_counts",
+    "tokenize",
+    "top_hashtags",
+    "words",
+]

@@ -1,0 +1,137 @@
+"""One-dimensional k-means clustering for price estimation.
+
+The PSP financial model estimates PPIA — "the maximum purchase price a
+vehicle owner would be willing to pay for an insider attack" — by
+clustering adversary device/service prices found online (paper §III,
+Fig. 10 block 2).  Online listings mix retail defeat devices, professional
+installation services and outliers (scams, unrelated products); clustering
+separates those price regimes so the dominant cluster's centre can be
+reported as the representative price.
+
+The implementation is deterministic: initial centroids are placed by
+quantile, and Lloyd iterations run to convergence or ``max_iter``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PriceCluster:
+    """One price regime discovered by clustering."""
+
+    center: float
+    members: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a cluster must have >= 1 member")
+        object.__setattr__(self, "members", tuple(sorted(self.members)))
+
+    @property
+    def size(self) -> int:
+        """Number of price observations in this cluster."""
+        return len(self.members)
+
+    @property
+    def spread(self) -> float:
+        """Max - min price within the cluster."""
+        return self.members[-1] - self.members[0]
+
+
+def _quantile_seeds(values: Sequence[float], k: int) -> List[float]:
+    """Deterministic initial centroids at the k evenly spaced quantiles."""
+    ordered = sorted(values)
+    n = len(ordered)
+    seeds = []
+    for i in range(k):
+        # midpoints of k equal probability bands
+        q = (2 * i + 1) / (2 * k)
+        seeds.append(ordered[min(n - 1, int(q * n))])
+    return seeds
+
+
+def kmeans_1d(
+    values: Sequence[float], k: int, *, max_iter: int = 100
+) -> List[PriceCluster]:
+    """Cluster 1-D ``values`` into ``k`` groups with deterministic k-means.
+
+    Args:
+        values: price observations; must contain at least ``k`` items.
+        k: number of clusters (>= 1).
+        max_iter: Lloyd iteration cap.
+
+    Returns:
+        Clusters sorted by ascending centre.  Empty clusters cannot occur:
+        if an iteration would empty a cluster, its centroid is re-seeded to
+        the point farthest from its assigned centroid.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if len(values) < k:
+        raise ValueError(f"need >= {k} values to form {k} clusters, got {len(values)}")
+    if any(v < 0 for v in values):
+        raise ValueError("prices must be non-negative")
+
+    centroids = _quantile_seeds(values, k)
+    assignment: List[int] = [0] * len(values)
+    for _ in range(max_iter):
+        changed = False
+        buckets: List[List[float]] = [[] for _ in range(k)]
+        for i, v in enumerate(values):
+            nearest = min(range(k), key=lambda c: (abs(v - centroids[c]), c))
+            if nearest != assignment[i]:
+                changed = True
+            assignment[i] = nearest
+            buckets[nearest].append(v)
+        for c in range(k):
+            if buckets[c]:
+                centroids[c] = sum(buckets[c]) / len(buckets[c])
+            else:
+                # re-seed an emptied cluster at the globally farthest point
+                farthest = max(
+                    range(len(values)),
+                    key=lambda i: abs(values[i] - centroids[assignment[i]]),
+                )
+                centroids[c] = values[farthest]
+                changed = True
+        if not changed:
+            break
+
+    buckets = [[] for _ in range(k)]
+    for i, v in enumerate(values):
+        nearest = min(range(k), key=lambda c: (abs(v - centroids[c]), c))
+        buckets[nearest].append(v)
+    clusters = [
+        PriceCluster(center=sum(b) / len(b), members=tuple(b))
+        for b in buckets
+        if b
+    ]
+    clusters.sort(key=lambda c: c.center)
+    return clusters
+
+
+def dominant_cluster(clusters: Sequence[PriceCluster]) -> PriceCluster:
+    """The cluster with the most members (lowest centre wins ties)."""
+    if not clusters:
+        raise ValueError("no clusters given")
+    return max(clusters, key=lambda c: (c.size, -c.center))
+
+
+def representative_price(
+    prices: Sequence[float], *, k: Optional[int] = None
+) -> float:
+    """Representative market price for a set of online listings.
+
+    Clusters the listings (default k = 3 regimes: budget device,
+    professional service, outliers — reduced when there are few
+    observations) and returns the dominant cluster's centre.  This is the
+    PPIA estimator used by the PSP financial model.
+    """
+    if not prices:
+        raise ValueError("cannot estimate a price from zero listings")
+    effective_k = k if k is not None else min(3, len(prices))
+    clusters = kmeans_1d(prices, effective_k)
+    return dominant_cluster(clusters).center

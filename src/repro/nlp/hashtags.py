@@ -1,0 +1,95 @@
+"""Hashtag extraction and co-occurrence mining.
+
+Supports PSP's keyword auto-learning loop (paper Fig. 7, block 5): posts
+matching known attack keywords are mined for *co-occurring* hashtags,
+which become candidate new keywords for future runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.nlp.normalize import canonical_keyword
+from repro.nlp.tokenizer import hashtags as extract_raw_hashtags
+
+
+def extract_hashtags(text: str) -> List[str]:
+    """Extract canonical hashtag keywords from post text.
+
+    ``"Just did my #DPF_delete!"`` → ``["dpfdelete"]``.  Duplicates within
+    one post are preserved (they signal emphasis and count for frequency).
+    """
+    return [canonical_keyword(tag) for tag in extract_raw_hashtags(text)]
+
+
+@dataclass(frozen=True)
+class CooccurrenceResult:
+    """A candidate keyword discovered by co-occurrence mining."""
+
+    keyword: str
+    count: int
+    support: float
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be >= 0")
+        if not 0.0 <= self.support <= 1.0:
+            raise ValueError(f"support must be in [0, 1], got {self.support}")
+
+
+def cooccurring_hashtags(
+    texts: Sequence[str],
+    known_keywords: Iterable[str],
+    *,
+    min_support: float = 0.02,
+    max_candidates: int = 50,
+) -> List[CooccurrenceResult]:
+    """Mine hashtags that co-occur with known attack keywords.
+
+    Args:
+        texts: post texts to mine.
+        known_keywords: current attack-keyword database contents.
+        min_support: minimum fraction of matching posts a candidate must
+            appear in to be reported.
+        max_candidates: cap on the number of candidates returned.
+
+    Returns:
+        Candidates sorted by descending count (ties broken alphabetically),
+        excluding the already-known keywords.
+    """
+    known = {canonical_keyword(k) for k in known_keywords}
+    counter: Counter = Counter()
+    matching_posts = 0
+    for text in texts:
+        tags = extract_hashtags(text)
+        tag_set = set(tags)
+        if not tag_set & known:
+            continue
+        matching_posts += 1
+        for tag in tag_set - known:
+            counter[tag] += 1
+    if matching_posts == 0:
+        return []
+    results = [
+        CooccurrenceResult(keyword=tag, count=count, support=count / matching_posts)
+        for tag, count in counter.items()
+        if count / matching_posts >= min_support
+    ]
+    results.sort(key=lambda r: (-r.count, r.keyword))
+    return results[:max_candidates]
+
+
+def hashtag_frequencies(texts: Sequence[str]) -> Dict[str, int]:
+    """Count canonical hashtag occurrences over ``texts``."""
+    counter: Counter = Counter()
+    for text in texts:
+        counter.update(extract_hashtags(text))
+    return dict(counter)
+
+
+def top_hashtags(texts: Sequence[str], n: int = 10) -> List[Tuple[str, int]]:
+    """The ``n`` most frequent canonical hashtags over ``texts``."""
+    counter = Counter(hashtag_frequencies(texts))
+    return counter.most_common(n)

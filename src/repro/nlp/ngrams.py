@@ -1,0 +1,111 @@
+"""N-gram phrase mining for keyword discovery from free text.
+
+Hashtag co-occurrence (:mod:`repro.nlp.hashtags`) only discovers
+keywords that already appear *as hashtags*.  Attack jargon often shows up
+first as free-text phrases ("adblue emulator", "speed limiter off")
+before the scene hashtags them.  This module mines frequent word bigrams
+and trigrams from post text — stop-word filtered and stemmed — and scores
+them by frequency, yielding candidate keywords for analyst review.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.nlp.normalize import canonical_keyword, stem
+from repro.nlp.stopwords import remove_stopwords
+from repro.nlp.tokenizer import words
+
+
+@dataclass(frozen=True)
+class PhraseCandidate:
+    """One mined phrase with its evidence."""
+
+    phrase: str
+    keyword: str
+    count: int
+    support: float
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if not 0.0 <= self.support <= 1.0:
+            raise ValueError(f"support must be in [0, 1], got {self.support}")
+
+
+def _content_words(text: str) -> List[str]:
+    """Lower-cased, stop-word-filtered content words of one text."""
+    return [w.lower() for w in remove_stopwords(words(text))]
+
+
+def _ngrams(tokens: Sequence[str], n: int) -> Iterable[Tuple[str, ...]]:
+    for i in range(len(tokens) - n + 1):
+        yield tuple(tokens[i : i + n])
+
+
+def mine_phrases(
+    texts: Sequence[str],
+    *,
+    sizes: Tuple[int, ...] = (2, 3),
+    min_count: int = 3,
+    max_candidates: int = 30,
+    known_keywords: Iterable[str] = (),
+) -> List[PhraseCandidate]:
+    """Mine frequent n-gram phrases from post texts.
+
+    Phrases are counted once per post (stemmed, so inflected variants
+    merge), folded to canonical keywords, and filtered against the
+    already-known keyword set.
+
+    Args:
+        texts: the post texts to mine.
+        sizes: n-gram sizes to consider.
+        min_count: minimum number of posts a phrase must appear in.
+        max_candidates: cap on returned candidates.
+        known_keywords: keywords (any surface form) to exclude.
+
+    Returns:
+        Candidates sorted by descending count, ties broken alphabetically.
+    """
+    if min_count < 1:
+        raise ValueError(f"min_count must be >= 1, got {min_count}")
+    if not sizes or any(n < 2 for n in sizes):
+        raise ValueError("sizes must contain n-gram sizes >= 2")
+    known = {canonical_keyword(k) for k in known_keywords}
+    counter: Counter = Counter()
+    surface: dict = {}
+    for text in texts:
+        tokens = _content_words(text)
+        stemmed = [stem(t) for t in tokens]
+        seen_in_post = set()
+        for n in sizes:
+            for start in range(len(stemmed) - n + 1):
+                gram = tuple(stemmed[start : start + n])
+                if gram in seen_in_post:
+                    continue
+                seen_in_post.add(gram)
+                counter[gram] += 1
+                surface.setdefault(gram, " ".join(tokens[start : start + n]))
+    total = len(texts)
+    candidates = []
+    for gram, count in counter.items():
+        if count < min_count:
+            continue
+        # Fold the first observed *surface* form, not the stemmed merge
+        # key, so the candidate keyword reads naturally ("adblueemulator",
+        # not "adbluemulator").
+        keyword = canonical_keyword(surface[gram])
+        if not keyword or keyword in known:
+            continue
+        candidates.append(
+            PhraseCandidate(
+                phrase=surface[gram],
+                keyword=keyword,
+                count=count,
+                support=count / total if total else 0.0,
+            )
+        )
+    candidates.sort(key=lambda c: (-c.count, c.keyword))
+    return candidates[:max_candidates]

@@ -1,0 +1,175 @@
+"""Lexicon-based sentiment classification for tuning-scene posts.
+
+The PSP paper uses "social sentiment analysis to evaluate the real threat
+risk levels": a post praising a DPF delete signals attack demand, a post
+complaining about fines or failed inspections signals deterrence.  This
+module implements a deterministic lexicon scorer in the VADER style —
+signed word valences, a negation flip, intensity boosters and an emoji
+table — with a lexicon curated for the aftermarket-tuning domain.
+
+Scores are normalised to [-1, +1]; :func:`classify` buckets them into
+POSITIVE / NEUTRAL / NEGATIVE with a symmetric neutral band.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.nlp.normalize import stem
+from repro.nlp.tokenizer import Token, TokenType, tokenize
+
+#: Signed valence lexicon (stemmed form -> valence).  Positive valence on
+#: an attack-related post means *enthusiasm for the attack* — the signal
+#: PSP interprets as social attraction.
+DEFAULT_LEXICON: Dict[str, float] = {
+    # enthusiasm / success
+    "love": 2.0, "awesome": 2.5, "great": 1.8, "best": 2.0, "perfect": 2.2,
+    "happy": 1.7, "recommend": 1.5, "easy": 1.2, "cheap": 1.0, "win": 1.6,
+    "gain": 1.4, "power": 1.0, "boost": 1.3, "smooth": 1.1, "works": 1.2,
+    "amazing": 2.4, "excellent": 2.3, "good": 1.5, "nice": 1.3, "fast": 1.0,
+    "strong": 1.1, "improv": 1.4, "success": 1.8, "worth": 1.4, "save": 1.2,
+    "proud": 1.5, "finally": 0.8, "legal": 0.5, "clean": 0.6,
+    # deterrence / failure
+    "hate": -2.0, "terrible": -2.4, "worst": -2.2, "awful": -2.3,
+    "broke": -1.8, "broken": -1.8, "fail": -1.9, "failed": -1.9,
+    "fine": -1.5, "fined": -2.0, "caught": -1.7, "bust": -1.9,
+    "illegal": -1.2, "risk": -0.8, "danger": -1.4, "expensive": -1.0,
+    "scam": -2.2, "regret": -1.9, "problem": -1.3, "issue": -1.1,
+    "warranty": -0.6, "void": -1.0, "inspect": -0.7, "reject": -1.6,
+    "limp": -1.4, "stall": -1.5, "smoke": -0.9, "bad": -1.5,
+    "avoid": -1.3, "never": -0.8, "crash": -1.8, "costly": -1.1,
+}
+
+#: Words that flip the sign of the following valence word.
+NEGATIONS = frozenset({"not", "no", "never", "dont", "don't", "cant", "can't",
+                       "wont", "won't", "isnt", "isn't", "without"})
+
+#: Intensity multipliers applied to the following valence word.
+BOOSTERS: Dict[str, float] = {
+    "very": 1.3, "really": 1.3, "so": 1.2, "super": 1.4, "extremely": 1.5,
+    "totally": 1.3, "absolutely": 1.5, "slightly": 0.7, "somewhat": 0.8,
+    "barely": 0.6, "kinda": 0.8,
+}
+
+#: Emoji-ish sentiment tokens recognised by the tokenizer.
+EMOJI_VALENCE: Dict[str, float] = {
+    ":)": 1.5, ":-)": 1.5, ":D": 2.0, ":-D": 2.0,
+    ":(": -1.5, ":-(": -1.5, ":/": -0.8, ":-/": -0.8, ":|": -0.2,
+}
+
+#: How many tokens back a negation/booster remains in scope.
+_SCOPE = 3
+
+
+class SentimentLabel(enum.Enum):
+    """Three-way sentiment classification."""
+
+    NEGATIVE = "negative"
+    NEUTRAL = "neutral"
+    POSITIVE = "positive"
+
+
+@dataclass(frozen=True)
+class SentimentResult:
+    """Outcome of scoring one text."""
+
+    score: float
+    label: SentimentLabel
+    hits: int
+
+    def __post_init__(self) -> None:
+        if not -1.0 <= self.score <= 1.0:
+            raise ValueError(f"normalised score must be in [-1, 1], got {self.score}")
+        if self.hits < 0:
+            raise ValueError("hits must be >= 0")
+
+
+def _normalise(raw: float, hits: int) -> float:
+    """Squash a raw valence sum into [-1, 1] (VADER-style alpha norm)."""
+    if hits == 0:
+        return 0.0
+    alpha = 15.0
+    return raw / math.sqrt(raw * raw + alpha)
+
+
+class SentimentAnalyzer:
+    """Deterministic lexicon sentiment scorer.
+
+    Args:
+        lexicon: stemmed-word -> valence map; defaults to the tuning-domain
+            lexicon.
+        neutral_band: |score| below this classifies as NEUTRAL.
+    """
+
+    def __init__(
+        self,
+        lexicon: Optional[Dict[str, float]] = None,
+        *,
+        neutral_band: float = 0.1,
+    ) -> None:
+        if not 0.0 <= neutral_band < 1.0:
+            raise ValueError(f"neutral_band must be in [0, 1), got {neutral_band}")
+        self._lexicon = dict(DEFAULT_LEXICON if lexicon is None else lexicon)
+        self._neutral_band = neutral_band
+
+    def score(self, text: str) -> SentimentResult:
+        """Score ``text`` and return the normalised sentiment result."""
+        tokens = tokenize(text)
+        raw, hits = self._raw_score(tokens)
+        normalised = _normalise(raw, hits)
+        return SentimentResult(
+            score=normalised, label=self._label(normalised), hits=hits
+        )
+
+    def score_many(self, texts: Sequence[str]) -> List[SentimentResult]:
+        """Score several texts."""
+        return [self.score(t) for t in texts]
+
+    def mean_score(self, texts: Sequence[str]) -> float:
+        """Mean normalised score over ``texts`` (0.0 for an empty input)."""
+        if not texts:
+            return 0.0
+        return sum(r.score for r in self.score_many(texts)) / len(texts)
+
+    def _raw_score(self, tokens: Sequence[Token]) -> tuple:
+        raw = 0.0
+        hits = 0
+        window: List[str] = []
+        for token in tokens:
+            if token.type is TokenType.EMOJI_SENTIMENT:
+                valence = EMOJI_VALENCE.get(token.text)
+                if valence is not None:
+                    raw += valence
+                    hits += 1
+                continue
+            if token.type is not TokenType.WORD:
+                continue
+            lowered = token.text.lower()
+            stemmed = stem(lowered)
+            valence = self._lexicon.get(stemmed, self._lexicon.get(lowered))
+            if valence is not None:
+                multiplier = 1.0
+                for prior in window[-_SCOPE:]:
+                    if prior in NEGATIONS:
+                        multiplier *= -1.0
+                    elif prior in BOOSTERS:
+                        multiplier *= BOOSTERS[prior]
+                raw += valence * multiplier
+                hits += 1
+            window.append(lowered)
+        return raw, hits
+
+    def _label(self, score: float) -> SentimentLabel:
+        if score > self._neutral_band:
+            return SentimentLabel.POSITIVE
+        if score < -self._neutral_band:
+            return SentimentLabel.NEGATIVE
+        return SentimentLabel.NEUTRAL
+
+    def extend_lexicon(self, entries: Dict[str, float]) -> None:
+        """Add or override lexicon entries (keys are stemmed internally)."""
+        for word, valence in entries.items():
+            self._lexicon[stem(word.lower())] = float(valence)

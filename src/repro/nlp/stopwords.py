@@ -1,0 +1,48 @@
+"""English stop-word list for the NLP substrate.
+
+A compact, hand-curated list sufficient for social-media post processing.
+Domain-significant words that a generic list would drop but PSP needs to
+keep (e.g. "off" in "egr off", "delete" in "dpf delete") are explicitly
+excluded from the list.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+#: Words removed by :func:`remove_stopwords`.
+STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren't as at be
+    because been before being below between both but by can't cannot could
+    couldn't did didn't do does doesn't doing don't down during each few for
+    from further had hadn't has hasn't have haven't having he he'd he'll
+    he's her here here's hers herself him himself his how how's i i'd i'll
+    i'm i've if in into is isn't it it's its itself let's me more most
+    mustn't my myself no nor not of on once only or other ought our ours
+    ourselves out over own same shan't she she'd she'll she's should
+    shouldn't so some such than that that's the their theirs them themselves
+    then there there's these they they'd they'll they're they've this those
+    through to too under until up very was wasn't we we'd we'll we're we've
+    were weren't what what's when when's where where's which while who who's
+    whom why why's with won't would wouldn't you you'd you'll you're you've
+    your yours yourself yourselves
+    """.split()
+)
+
+#: Domain words that must never be treated as stop words even if a generic
+#: list contains them ("off" matters in "egr off").
+DOMAIN_KEEP: FrozenSet[str] = frozenset({"off", "on", "out", "delete", "removal"})
+
+
+def is_stopword(token: str) -> bool:
+    """Whether ``token`` (lower-cased) is a stop word."""
+    lowered = token.lower()
+    if lowered in DOMAIN_KEEP:
+        return False
+    return lowered in STOPWORDS
+
+
+def remove_stopwords(tokens):
+    """Return ``tokens`` with stop words removed (order preserved)."""
+    return [t for t in tokens if not is_stopword(t)]

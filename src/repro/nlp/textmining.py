@@ -1,0 +1,142 @@
+"""Text mining: extract structured facts from unstructured text.
+
+Two extractors back the PSP financial model (paper §III):
+
+* :func:`extract_prices` pulls monetary amounts from listing/post text —
+  the raw material for PPIA clustering.
+* :func:`extract_counts` pulls labelled integer quantities from
+  cybersecurity-report prose ("1,406 potential attackers were identified",
+  "3 competing sellers") — the raw material for PAE and competitor count.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.nlp.tokenizer import prices as raw_price_tokens
+
+_AMOUNT_RE = re.compile(r"\d[\d,]*(?:\.\d+)?")
+
+#: Currency symbols/codes and their ISO code.
+_CURRENCIES = (
+    ("€", "EUR"), ("$", "USD"), ("£", "GBP"),
+    ("EUR", "EUR"), ("USD", "USD"), ("GBP", "GBP"),
+    ("eur", "EUR"), ("usd", "USD"), ("gbp", "GBP"),
+)
+
+
+@dataclass(frozen=True)
+class PriceObservation:
+    """One monetary amount extracted from text."""
+
+    amount: float
+    currency: str
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise ValueError("amount must be non-negative")
+        if len(self.currency) != 3:
+            raise ValueError(f"currency must be a 3-letter code, got {self.currency!r}")
+
+
+def _parse_price_token(token: str) -> Optional[PriceObservation]:
+    match = _AMOUNT_RE.search(token)
+    if match is None:
+        return None
+    amount = float(match.group().replace(",", ""))
+    currency = "EUR"
+    for marker, code in _CURRENCIES:
+        if marker in token:
+            currency = code
+            break
+    return PriceObservation(amount=amount, currency=currency)
+
+
+def extract_prices(text: str) -> List[PriceObservation]:
+    """Extract every monetary amount from ``text``.
+
+    Recognises symbol-prefixed ("€360"), symbol-suffixed ("360€") and
+    code-annotated ("360 EUR") forms.
+    """
+    observations = []
+    for token in raw_price_tokens(text):
+        parsed = _parse_price_token(token)
+        if parsed is not None:
+            observations.append(parsed)
+    return observations
+
+
+def extract_prices_many(
+    texts: Sequence[str], *, currency: Optional[str] = None
+) -> List[float]:
+    """Extract price amounts from many texts, optionally currency-filtered."""
+    amounts = []
+    for text in texts:
+        for obs in extract_prices(text):
+            if currency is None or obs.currency == currency:
+                amounts.append(obs.amount)
+    return amounts
+
+
+@dataclass(frozen=True)
+class CountObservation:
+    """A labelled integer quantity extracted from report prose."""
+
+    value: int
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("count must be non-negative")
+
+
+#: number followed, within a few words, by a label phrase.
+_COUNT_RE = re.compile(
+    r"(?P<value>\d[\d,]*)\s+(?:(?:\w+)\s+){0,3}?(?P<label>"
+    r"potential attackers|attackers|competitors|competing sellers|incidents|"
+    r"vehicles sold|units sold|vehicles|devices|sellers|reports)",
+    re.IGNORECASE,
+)
+
+
+def extract_counts(text: str) -> List[CountObservation]:
+    """Extract labelled counts such as "1,406 potential attackers".
+
+    The label vocabulary covers the quantities the PSP financial model
+    reads from cybersecurity annual reports: attacker counts, competitor
+    counts, incident counts and sales figures.
+    """
+    observations = []
+    for match in _COUNT_RE.finditer(text):
+        value = int(match.group("value").replace(",", ""))
+        label = " ".join(match.group("label").lower().split())
+        observations.append(CountObservation(value=value, label=label))
+    return observations
+
+
+def find_count(
+    texts: Sequence[str], label: str
+) -> Optional[int]:
+    """Find the first count whose label contains ``label`` (lower-cased).
+
+    Returns None when no text mentions the quantity.
+    """
+    needle = label.lower()
+    for text in texts:
+        for obs in extract_counts(text):
+            if needle in obs.label:
+                return obs.value
+    return None
+
+
+def sum_counts(texts: Sequence[str], label: str) -> int:
+    """Sum every count whose label contains ``label`` over all texts."""
+    needle = label.lower()
+    total = 0
+    for text in texts:
+        for obs in extract_counts(text):
+            if needle in obs.label:
+                total += obs.value
+    return total

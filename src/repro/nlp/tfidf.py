@@ -1,0 +1,108 @@
+"""TF-IDF vectorizer over tokenised documents.
+
+Used by the PSP NLP component for keyword relevance ranking: given the
+corpus of posts matching a target application, TF-IDF surfaces the terms
+that distinguish one attack's posts from the rest, supporting both the
+SAI "post outline" matching and keyword learning diagnostics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nlp.normalize import stem
+from repro.nlp.stopwords import remove_stopwords
+from repro.nlp.tokenizer import words
+
+
+def _prepare(text: str) -> List[str]:
+    """Tokenise, stop-word-filter and stem a document."""
+    return [stem(w.lower()) for w in remove_stopwords(words(text))]
+
+
+@dataclass(frozen=True)
+class TfIdfDocument:
+    """A scored document: sparse term -> tf-idf weight map."""
+
+    index: int
+    weights: Dict[str, float]
+
+    def top_terms(self, n: int = 10) -> List[Tuple[str, float]]:
+        """The ``n`` heaviest terms of this document."""
+        ranked = sorted(self.weights.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+
+class TfIdfVectorizer:
+    """Smoothed TF-IDF with L2 normalisation.
+
+    idf(t) = ln((1 + N) / (1 + df(t))) + 1 (scikit-learn-compatible
+    smoothing so unseen terms never divide by zero).
+    """
+
+    def __init__(self) -> None:
+        self._idf: Optional[Dict[str, float]] = None
+        self._n_docs = 0
+
+    @property
+    def vocabulary(self) -> Tuple[str, ...]:
+        """Sorted fitted vocabulary (empty before :meth:`fit`)."""
+        if self._idf is None:
+            return ()
+        return tuple(sorted(self._idf))
+
+    def fit(self, documents: Sequence[str]) -> "TfIdfVectorizer":
+        """Learn document frequencies from ``documents``."""
+        if not documents:
+            raise ValueError("cannot fit TF-IDF on an empty corpus")
+        df: Dict[str, int] = {}
+        for doc in documents:
+            for term in set(_prepare(doc)):
+                df[term] = df.get(term, 0) + 1
+        n = len(documents)
+        self._n_docs = n
+        self._idf = {
+            term: math.log((1 + n) / (1 + count)) + 1.0
+            for term, count in df.items()
+        }
+        return self
+
+    def transform(self, documents: Sequence[str]) -> List[TfIdfDocument]:
+        """Score ``documents`` against the fitted idf table."""
+        if self._idf is None:
+            raise RuntimeError("TfIdfVectorizer.transform called before fit")
+        scored = []
+        for index, doc in enumerate(documents):
+            terms = _prepare(doc)
+            if not terms:
+                scored.append(TfIdfDocument(index=index, weights={}))
+                continue
+            tf: Dict[str, int] = {}
+            for term in terms:
+                tf[term] = tf.get(term, 0) + 1
+            weights = {
+                term: (count / len(terms)) * self._idf.get(term, self._default_idf())
+                for term, count in tf.items()
+            }
+            norm = math.sqrt(sum(w * w for w in weights.values()))
+            if norm > 0:
+                weights = {t: w / norm for t, w in weights.items()}
+            scored.append(TfIdfDocument(index=index, weights=weights))
+        return scored
+
+    def fit_transform(self, documents: Sequence[str]) -> List[TfIdfDocument]:
+        """Fit on ``documents`` then transform them."""
+        return self.fit(documents).transform(documents)
+
+    def _default_idf(self) -> float:
+        """idf assigned to terms unseen at fit time (max smoothing)."""
+        return math.log((1 + self._n_docs) / 1.0) + 1.0
+
+
+def cosine_similarity(a: TfIdfDocument, b: TfIdfDocument) -> float:
+    """Cosine similarity between two L2-normalised sparse documents."""
+    if len(a.weights) > len(b.weights):
+        a, b = b, a
+    return sum(w * b.weights.get(t, 0.0) for t, w in a.weights.items())

@@ -1,0 +1,92 @@
+"""Social-media-aware tokenizer.
+
+Splits post text into typed tokens, preserving the entities PSP consumes:
+hashtags (``#dpfdelete``), mentions (``@workshop``), URLs, prices
+(``360 EUR``, ``€360``), plain numbers and words.  The tokenizer is
+regex-based and deterministic; it performs no normalization beyond
+classification (see :mod:`repro.nlp.normalize` for lower-casing etc.).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+class TokenType(enum.Enum):
+    """Classification of a token produced by :func:`tokenize`."""
+
+    WORD = "word"
+    HASHTAG = "hashtag"
+    MENTION = "mention"
+    URL = "url"
+    PRICE = "price"
+    NUMBER = "number"
+    EMOJI_SENTIMENT = "emoji_sentiment"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A typed token with its source text and position."""
+
+    text: str
+    type: TokenType
+    position: int
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            raise ValueError("token text must be non-empty")
+
+
+#: Token patterns tried in priority order (first match wins).
+_TOKEN_PATTERNS: Tuple[Tuple[TokenType, str], ...] = (
+    (TokenType.URL, r"https?://\S+"),
+    (TokenType.HASHTAG, r"#\w+"),
+    (TokenType.MENTION, r"@\w+"),
+    # "€360", "360€", "360 EUR", "EUR 360", "$1,200.50"
+    (TokenType.PRICE, r"[€$£]\s?\d[\d,]*(?:\.\d+)?"),
+    (TokenType.PRICE, r"\d[\d,]*(?:\.\d+)?\s?[€$£]"),
+    (TokenType.PRICE, r"\d[\d,]*(?:\.\d+)?\s?(?:EUR|USD|GBP|eur|usd|gbp)\b"),
+    (TokenType.PRICE, r"(?:EUR|USD|GBP)\s?\d[\d,]*(?:\.\d+)?"),
+    (TokenType.NUMBER, r"\d[\d,]*(?:\.\d+)?"),
+    (TokenType.EMOJI_SENTIMENT, r"[:;]-?[)(D/|]"),
+    (TokenType.WORD, r"[A-Za-z][A-Za-z'\-]*"),
+)
+
+_MASTER_RE = re.compile(
+    "|".join(f"(?P<g{i}>{pattern})" for i, (_, pattern) in enumerate(_TOKEN_PATTERNS))
+)
+_GROUP_TYPES = {f"g{i}": tt for i, (tt, _) in enumerate(_TOKEN_PATTERNS)}
+
+
+def iter_tokens(text: str) -> Iterator[Token]:
+    """Yield typed tokens from ``text`` in order of appearance."""
+    position = 0
+    for match in _MASTER_RE.finditer(text):
+        group_name = match.lastgroup
+        if group_name is None:
+            continue
+        yield Token(text=match.group(), type=_GROUP_TYPES[group_name], position=position)
+        position += 1
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` into a list of typed tokens."""
+    return list(iter_tokens(text))
+
+
+def words(text: str) -> List[str]:
+    """Just the WORD token texts of ``text`` (original casing)."""
+    return [t.text for t in iter_tokens(text) if t.type is TokenType.WORD]
+
+
+def hashtags(text: str) -> List[str]:
+    """Just the HASHTAG token texts of ``text`` (including ``#``)."""
+    return [t.text for t in iter_tokens(text) if t.type is TokenType.HASHTAG]
+
+
+def prices(text: str) -> List[str]:
+    """Just the PRICE token texts of ``text`` (raw, unparsed)."""
+    return [t.text for t in iter_tokens(text) if t.type is TokenType.PRICE]

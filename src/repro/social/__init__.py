@@ -1,0 +1,67 @@
+"""Social-media substrate: the Twitter-API substitution layer.
+
+Provides the post/engagement data model, a corpus with PSP's query
+surface, the abstract platform client with an in-memory implementation,
+a deterministic synthetic corpus generator, and the scenario-calibrated
+corpora used by the paper's experiments.
+"""
+
+from repro.social.api import (
+    InMemoryClient,
+    SearchQuery,
+    SocialMediaClient,
+    search_texts,
+)
+from repro.social.multiplatform import MultiPlatformClient, PlatformSource
+from repro.social.corpus import Corpus
+from repro.social.post import Engagement, Post
+from repro.social.resilience import (
+    BestEffortClient,
+    FlakyClient,
+    RetryingClient,
+    TransientPlatformError,
+)
+from repro.social.scenarios import (
+    KEYWORD_OWNER_APPROVED,
+    KEYWORD_VECTORS,
+    ecm_reprogramming_corpus,
+    ecm_reprogramming_specs,
+    excavator_corpus,
+    excavator_specs,
+    light_truck_corpus,
+    light_truck_specs,
+)
+from repro.social.synthetic import (
+    AttackTopicSpec,
+    CorpusGenerator,
+    generate_corpus,
+    volume_by_keyword,
+)
+
+__all__ = [
+    "AttackTopicSpec",
+    "BestEffortClient",
+    "Corpus",
+    "CorpusGenerator",
+    "Engagement",
+    "FlakyClient",
+    "InMemoryClient",
+    "KEYWORD_OWNER_APPROVED",
+    "KEYWORD_VECTORS",
+    "MultiPlatformClient",
+    "PlatformSource",
+    "Post",
+    "RetryingClient",
+    "SearchQuery",
+    "SocialMediaClient",
+    "TransientPlatformError",
+    "ecm_reprogramming_corpus",
+    "ecm_reprogramming_specs",
+    "excavator_corpus",
+    "excavator_specs",
+    "light_truck_corpus",
+    "light_truck_specs",
+    "generate_corpus",
+    "search_texts",
+    "volume_by_keyword",
+]

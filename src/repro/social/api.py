@@ -1,0 +1,103 @@
+"""Social-media client interface (the Twitter-API substitution layer).
+
+The paper's proof of concept calls the Twitter search APIs.  Those APIs
+are proprietary and no longer freely accessible, so this module defines
+the narrow client interface PSP actually needs — recent-post search with
+keyword, time and region filters, plus aggregate counts — and an
+in-memory implementation backed by a :class:`~repro.social.corpus.Corpus`.
+
+A production deployment would implement :class:`SocialMediaClient` against
+a real platform API; everything above this layer is unchanged.  This is
+the substitution documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import abc
+import datetime as dt
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.social.corpus import Corpus
+from repro.social.post import Post
+
+
+@dataclass(frozen=True)
+class SearchQuery:
+    """A search request against the platform.
+
+    Attributes:
+        keyword: attack keyword or hashtag (canonical folding applied).
+        since: inclusive lower bound on posting date.
+        until: inclusive upper bound on posting date.
+        region: restrict to a geographic region, if given.
+        limit: maximum number of posts to return (None = unlimited).
+    """
+
+    keyword: str
+    since: Optional[dt.date] = None
+    until: Optional[dt.date] = None
+    region: Optional[str] = None
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.keyword:
+            raise ValueError("query keyword must be non-empty")
+        if self.since and self.until and self.since > self.until:
+            raise ValueError(f"empty window: since {self.since} > until {self.until}")
+        if self.limit is not None and self.limit < 1:
+            raise ValueError(f"limit must be >= 1, got {self.limit}")
+
+
+class SocialMediaClient(abc.ABC):
+    """The platform operations the PSP framework depends on."""
+
+    @abc.abstractmethod
+    def search(self, query: SearchQuery) -> List[Post]:
+        """Posts matching the query, oldest first."""
+
+    @abc.abstractmethod
+    def count_by_year(self, query: SearchQuery) -> Dict[int, int]:
+        """Number of matching posts per posting year."""
+
+    def count(self, query: SearchQuery) -> int:
+        """Total number of matching posts."""
+        return sum(self.count_by_year(query).values())
+
+
+class InMemoryClient(SocialMediaClient):
+    """Corpus-backed client used throughout the reproduction."""
+
+    def __init__(self, corpus: Corpus) -> None:
+        self._corpus = corpus
+
+    @property
+    def corpus(self) -> Corpus:
+        """The backing corpus."""
+        return self._corpus
+
+    def _filtered(self, query: SearchQuery) -> List[Post]:
+        scope = self._corpus
+        if query.region is not None:
+            scope = scope.in_region(query.region)
+        scope = scope.in_window(since=query.since, until=query.until)
+        return scope.matching(query.keyword)
+
+    def search(self, query: SearchQuery) -> List[Post]:
+        """Posts matching the query, oldest first, truncated to ``limit``."""
+        matches = self._filtered(query)
+        if query.limit is not None:
+            matches = matches[: query.limit]
+        return matches
+
+    def count_by_year(self, query: SearchQuery) -> Dict[int, int]:
+        """Number of matching posts per posting year (limit ignored)."""
+        counts: Dict[int, int] = {}
+        for post in self._filtered(query):
+            counts[post.year] = counts.get(post.year, 0) + 1
+        return counts
+
+
+def search_texts(client: SocialMediaClient, query: SearchQuery) -> Sequence[str]:
+    """Convenience: the texts of the posts matching ``query``."""
+    return [post.text for post in client.search(query)]

@@ -1,0 +1,113 @@
+"""Post corpus: container and query engine.
+
+:class:`Corpus` stores posts and answers the queries PSP issues: keyword
+match (canonical-folded, hashtag or free text), time-window filters
+("posts since 2022", paper Fig. 9-C) and region filters.  Keyword matching
+is index-accelerated: an inverted index from canonical hashtag to post is
+built lazily and free-text matching only runs on the residual posts.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.nlp.normalize import canonical_keyword, keyword_in_text
+from repro.social.post import Engagement, Post
+
+
+class Corpus:
+    """An immutable-by-convention collection of posts with query methods."""
+
+    def __init__(self, posts: Iterable[Post] = ()) -> None:
+        self._posts: List[Post] = list(posts)
+        seen: Set[str] = set()
+        for post in self._posts:
+            if post.post_id in seen:
+                raise ValueError(f"duplicate post id {post.post_id!r}")
+            seen.add(post.post_id)
+        self._hashtag_index: Optional[Dict[str, List[Post]]] = None
+
+    def __len__(self) -> int:
+        return len(self._posts)
+
+    def __iter__(self) -> Iterator[Post]:
+        return iter(self._posts)
+
+    def __contains__(self, post_id: str) -> bool:
+        return any(p.post_id == post_id for p in self._posts)
+
+    @property
+    def posts(self) -> Sequence[Post]:
+        """All posts, in insertion order."""
+        return tuple(self._posts)
+
+    def _index(self) -> Dict[str, List[Post]]:
+        if self._hashtag_index is None:
+            index: Dict[str, List[Post]] = {}
+            for post in self._posts:
+                for tag in set(post.hashtags):
+                    index.setdefault(tag, []).append(post)
+            self._hashtag_index = index
+        return self._hashtag_index
+
+    def matching(self, keyword: str) -> List[Post]:
+        """Posts matching ``keyword`` by hashtag or free text.
+
+        The canonical hashtag index answers the common case; posts without
+        a matching hashtag are additionally scanned with the folded
+        free-text matcher so "my dpf delete kit" still matches
+        ``dpfdelete``.
+        """
+        canonical = canonical_keyword(keyword)
+        by_tag = list(self._index().get(canonical, ()))
+        tagged_ids = {p.post_id for p in by_tag}
+        for post in self._posts:
+            if post.post_id in tagged_ids:
+                continue
+            if keyword_in_text(keyword, post.text):
+                by_tag.append(post)
+        by_tag.sort(key=lambda p: (p.created_at, p.post_id))
+        return by_tag
+
+    def in_window(
+        self,
+        since: Optional[dt.date] = None,
+        until: Optional[dt.date] = None,
+    ) -> "Corpus":
+        """Sub-corpus restricted to ``since <= created_at <= until``."""
+        selected = [
+            p
+            for p in self._posts
+            if (since is None or p.created_at >= since)
+            and (until is None or p.created_at <= until)
+        ]
+        return Corpus(selected)
+
+    def since_year(self, year: int) -> "Corpus":
+        """Sub-corpus of posts from 1 January ``year`` onwards."""
+        return self.in_window(since=dt.date(year, 1, 1))
+
+    def in_region(self, region: str) -> "Corpus":
+        """Sub-corpus of posts from the given region (case-insensitive)."""
+        wanted = region.strip().lower()
+        return Corpus(p for p in self._posts if p.region.lower() == wanted)
+
+    def merged_with(self, other: "Corpus") -> "Corpus":
+        """Union of two corpora (post ids must not collide)."""
+        return Corpus(list(self._posts) + list(other.posts))
+
+    def total_engagement(self, keyword: str) -> Engagement:
+        """Summed engagement over all posts matching ``keyword``."""
+        total = Engagement()
+        for post in self.matching(keyword):
+            total = total.combined(post.engagement)
+        return total
+
+    def years(self) -> List[int]:
+        """Sorted distinct posting years present in the corpus."""
+        return sorted({p.year for p in self._posts})
+
+    def texts(self) -> List[str]:
+        """All post texts, in insertion order."""
+        return [p.text for p in self._posts]

@@ -1,0 +1,146 @@
+"""Client resilience: retries and graceful degradation.
+
+The paper's proof of concept polled the Twitter APIs, where rate limits
+and transient failures are the operational norm.  This module provides
+the failure-handling layer a production PSP deployment needs:
+
+* :class:`TransientPlatformError` — what a client raises for retryable
+  failures (rate limit, timeout, 5xx).
+* :class:`RetryingClient` — decorator that retries transient failures a
+  bounded number of times; it counts attempts so tests and operators can
+  observe retry pressure.
+* :class:`BestEffortClient` — decorator that converts *persistent*
+  failure into an empty result instead of aborting a whole SAI run: one
+  keyword's outage must not lose the other thirty keywords' analysis.
+  Degraded keywords are recorded for the audit trail, because an empty
+  result that silently looked like "no social interest" would bias the
+  weight tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.social.api import SearchQuery, SocialMediaClient
+from repro.social.post import Post
+
+
+class TransientPlatformError(Exception):
+    """A retryable platform failure (rate limit, timeout, 5xx)."""
+
+
+class RetryingClient(SocialMediaClient):
+    """Retries transient failures up to ``max_attempts`` per call."""
+
+    def __init__(self, inner: SocialMediaClient, *, max_attempts: int = 3) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self._inner = inner
+        self._max_attempts = max_attempts
+        self._attempts = 0
+        self._retries = 0
+
+    @property
+    def attempts(self) -> int:
+        """Total inner-call attempts made (including successes)."""
+        return self._attempts
+
+    @property
+    def retries(self) -> int:
+        """Total retried calls (attempts beyond the first per operation)."""
+        return self._retries
+
+    def _call(self, operation):
+        last_error = None
+        for attempt in range(self._max_attempts):
+            self._attempts += 1
+            if attempt > 0:
+                self._retries += 1
+            try:
+                return operation()
+            except TransientPlatformError as error:
+                last_error = error
+        raise last_error
+
+    def search(self, query: SearchQuery) -> List[Post]:
+        """Search with retry on transient failure."""
+        return self._call(lambda: self._inner.search(query))
+
+    def count_by_year(self, query: SearchQuery) -> Dict[int, int]:
+        """Count with retry on transient failure."""
+        return self._call(lambda: self._inner.count_by_year(query))
+
+
+class BestEffortClient(SocialMediaClient):
+    """Converts persistent failures into empty results, with audit trail."""
+
+    def __init__(self, inner: SocialMediaClient) -> None:
+        self._inner = inner
+        self._degraded: Set[str] = set()
+
+    @property
+    def degraded_keywords(self) -> Set[str]:
+        """Keywords whose searches failed and returned empty results."""
+        return set(self._degraded)
+
+    def search(self, query: SearchQuery) -> List[Post]:
+        """Search; on platform failure record the keyword and return []."""
+        try:
+            return self._inner.search(query)
+        except TransientPlatformError:
+            self._degraded.add(query.keyword)
+            return []
+
+    def count_by_year(self, query: SearchQuery) -> Dict[int, int]:
+        """Count; on platform failure record the keyword and return {}."""
+        try:
+            return self._inner.count_by_year(query)
+        except TransientPlatformError:
+            self._degraded.add(query.keyword)
+            return {}
+
+
+class FlakyClient(SocialMediaClient):
+    """Test double: fails deterministically before succeeding.
+
+    Raises :class:`TransientPlatformError` for the first
+    ``failures_per_call`` attempts of every distinct query, then delegates.
+    Keywords listed in ``dead_keywords`` fail forever — simulating a
+    persistent outage for specific queries.
+    """
+
+    def __init__(
+        self,
+        inner: SocialMediaClient,
+        *,
+        failures_per_call: int = 2,
+        dead_keywords: Set[str] = frozenset(),
+    ) -> None:
+        if failures_per_call < 0:
+            raise ValueError("failures_per_call must be >= 0")
+        self._inner = inner
+        self._failures_per_call = failures_per_call
+        self._dead = set(dead_keywords)
+        self._seen: Dict[str, int] = {}
+
+    def _maybe_fail(self, query: SearchQuery, operation: str) -> None:
+        if query.keyword in self._dead:
+            raise TransientPlatformError(f"permanent outage for {query.keyword!r}")
+        key = f"{operation}:{query.keyword}:{query.since}:{query.until}"
+        count = self._seen.get(key, 0)
+        self._seen[key] = count + 1
+        if count < self._failures_per_call:
+            raise TransientPlatformError(
+                f"rate limited ({count + 1}/{self._failures_per_call})"
+            )
+
+    def search(self, query: SearchQuery) -> List[Post]:
+        """Fail ``failures_per_call`` times, then delegate."""
+        self._maybe_fail(query, "search")
+        return self._inner.search(query)
+
+    def count_by_year(self, query: SearchQuery) -> Dict[int, int]:
+        """Fail ``failures_per_call`` times, then delegate."""
+        self._maybe_fail(query, "count")
+        return self._inner.count_by_year(query)

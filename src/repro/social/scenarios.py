@@ -1,0 +1,248 @@
+"""Scenario-calibrated corpus specifications for the paper's experiments.
+
+Two corpora drive the evaluation:
+
+* :func:`ecm_reprogramming_specs` — the Engine Control Module (ECM)
+  reprogramming threat of paper Fig. 9.  Bench/physical reprogramming
+  dominates historically; OBD/local tuning overtakes it from 2022.  This
+  produces Fig. 9-B (full window: physical ranked first) and Fig. 9-C
+  (window >= 2022: local ranked first — the trend inversion the paper
+  attributes to improved secure-boot bypasses via OBD).
+* :func:`excavator_specs` — the "excavator, Europe" query of paper
+  Fig. 12.  DPF delete is the highest-scoring insider attack; defeat-device
+  prices average 360 EUR (the paper's PPIA input for Eq. 6).
+
+Both sets include outsider topics (relay-attack theft) so the insider/
+outsider split (paper Fig. 7, blocks 8-9) has both classes to separate.
+
+The volume numbers are calibration constants, not paper data: the paper
+reports only the *resulting* rankings, so volumes were chosen to encode
+the reported direction and leave comfortable margins (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.iso21434.enums import AttackVector
+from repro.social.corpus import Corpus
+from repro.social.synthetic import AttackTopicSpec, generate_corpus
+
+
+def _flat(years: range, per_year: int) -> Dict[int, int]:
+    """A constant posts-per-year profile."""
+    return {year: per_year for year in years}
+
+
+def ecm_reprogramming_specs() -> Tuple[AttackTopicSpec, ...]:
+    """Topic specs for the ECM-reprogramming corpus (paper Fig. 9).
+
+    Volumes per vector and window:
+
+    ================  ========  =============  ===========
+    Topic             Vector    2015..2021     2022..2023
+    ================  ========  =============  ===========
+    ecmreprogramming  physical  150/yr then 90 40 + 30
+    obdtuning         local     25/yr then 60  140 + 160
+    dongletuning      adjacent  10/yr          10 + 10
+    remoteecuflash    network   3/yr           3 + 3
+    ================  ========  =============  ===========
+
+    Full-window share: physical ~0.60, local ~0.29 → physical High,
+    local Medium (Fig. 9-B).  Since-2022 share: local ~0.77, physical
+    ~0.18 → local High, physical Low (Fig. 9-C).
+    """
+    return (
+        AttackTopicSpec(
+            keyword="ecmreprogramming",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=True,
+            yearly_volume={**_flat(range(2015, 2021), 150), 2021: 90, 2022: 40, 2023: 30},
+            engagement_scale=1.2,
+            companion_tags=("chiptuning", "dieselpower", "stage1"),
+        ),
+        AttackTopicSpec(
+            keyword="obdtuning",
+            vector=AttackVector.LOCAL,
+            owner_approved=True,
+            yearly_volume={**_flat(range(2015, 2021), 25), 2021: 60, 2022: 140, 2023: 160},
+            engagement_scale=1.2,
+            companion_tags=("obdflash", "ecutuning"),
+        ),
+        AttackTopicSpec(
+            keyword="dongletuning",
+            vector=AttackVector.ADJACENT,
+            owner_approved=True,
+            yearly_volume=_flat(range(2015, 2024), 10),
+        ),
+        AttackTopicSpec(
+            keyword="remoteecuflash",
+            vector=AttackVector.NETWORK,
+            owner_approved=True,
+            yearly_volume=_flat(range(2015, 2024), 3),
+        ),
+        AttackTopicSpec(
+            keyword="relayattack",
+            vector=AttackVector.ADJACENT,
+            owner_approved=False,
+            yearly_volume=_flat(range(2015, 2024), 30),
+            positive_ratio=0.0,
+        ),
+    )
+
+
+def excavator_specs() -> Tuple[AttackTopicSpec, ...]:
+    """Topic specs for the excavator corpus (paper Fig. 12 and Eq. 6).
+
+    DPF delete carries the highest volume and engagement so it tops the
+    SAI ranking, as in Fig. 12.  Its posts quote defeat-device prices in
+    [300, 420] EUR (mean 360 — the paper's PPIA).  The remaining insider
+    topics rank below it in descending order.
+    """
+    return (
+        AttackTopicSpec(
+            keyword="dpfdelete",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=True,
+            yearly_volume=_flat(range(2018, 2024), 120),
+            engagement_scale=1.6,
+            positive_ratio=0.75,
+            price_range=(300.0, 420.0),
+            price_mention_rate=0.35,
+            companion_tags=("dpfoff", "dieselpower", "nodpf"),
+        ),
+        AttackTopicSpec(
+            keyword="egrdelete",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=True,
+            yearly_volume=_flat(range(2018, 2024), 80),
+            engagement_scale=1.2,
+            price_range=(150.0, 260.0),
+            price_mention_rate=0.2,
+            companion_tags=("egroff", "egrremoval"),
+        ),
+        AttackTopicSpec(
+            keyword="adbluedelete",
+            vector=AttackVector.LOCAL,
+            owner_approved=True,
+            yearly_volume=_flat(range(2019, 2024), 60),
+            engagement_scale=1.0,
+            price_range=(200.0, 330.0),
+            price_mention_rate=0.2,
+            companion_tags=("adblueoff", "scrdelete"),
+        ),
+        AttackTopicSpec(
+            keyword="chiptuning",
+            vector=AttackVector.LOCAL,
+            owner_approved=True,
+            yearly_volume=_flat(range(2018, 2024), 45),
+            engagement_scale=0.9,
+        ),
+        AttackTopicSpec(
+            keyword="speedlimiterremoval",
+            vector=AttackVector.LOCAL,
+            owner_approved=True,
+            yearly_volume=_flat(range(2019, 2024), 25),
+            engagement_scale=0.8,
+        ),
+        AttackTopicSpec(
+            keyword="hourmeterrollback",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=True,
+            yearly_volume=_flat(range(2019, 2024), 12),
+            engagement_scale=0.7,
+        ),
+        AttackTopicSpec(
+            keyword="keycloning",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=False,
+            yearly_volume=_flat(range(2018, 2024), 20),
+            positive_ratio=0.0,
+        ),
+    )
+
+
+def light_truck_specs() -> Tuple[AttackTopicSpec, ...]:
+    """Topic specs for a European light-truck fleet corpus.
+
+    The paper's §III market segmentation: "Industrial vehicles fall into
+    the first category [reducing operational costs]".  Fleet-operator
+    tampering concentrates on emissions (AdBlue/SCR — running costs) and
+    the speed limiter (delivery times); both are local/OBD attacks, so
+    this corpus exercises a local-dominant regime *without* a trend
+    inversion — a useful contrast to the ECM scenario.
+    """
+    return (
+        AttackTopicSpec(
+            keyword="adbluedelete",
+            vector=AttackVector.LOCAL,
+            owner_approved=True,
+            yearly_volume=_flat(range(2019, 2024), 140),
+            engagement_scale=1.3,
+            price_range=(200.0, 330.0),
+            price_mention_rate=0.25,
+            companion_tags=("adblueoff", "scrdelete"),
+        ),
+        AttackTopicSpec(
+            keyword="speedlimiterremoval",
+            vector=AttackVector.LOCAL,
+            owner_approved=True,
+            yearly_volume=_flat(range(2019, 2024), 90),
+            engagement_scale=1.0,
+            price_range=(100.0, 160.0),
+            price_mention_rate=0.2,
+        ),
+        AttackTopicSpec(
+            keyword="egrdelete",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=True,
+            yearly_volume=_flat(range(2019, 2024), 55),
+            engagement_scale=0.9,
+        ),
+        AttackTopicSpec(
+            keyword="tachographtampering",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=True,
+            yearly_volume=_flat(range(2019, 2024), 35),
+            engagement_scale=0.8,
+        ),
+        AttackTopicSpec(
+            keyword="cargotheft",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=False,
+            yearly_volume=_flat(range(2019, 2024), 25),
+            positive_ratio=0.0,
+        ),
+    )
+
+
+def light_truck_corpus(*, seed: int = 21434) -> Corpus:
+    """The generated light-truck corpus."""
+    return generate_corpus(light_truck_specs(), seed=seed)
+
+
+def ecm_reprogramming_corpus(*, seed: int = 21434) -> Corpus:
+    """The generated ECM-reprogramming corpus (paper Fig. 9 workload)."""
+    return generate_corpus(ecm_reprogramming_specs(), seed=seed)
+
+
+def excavator_corpus(*, seed: int = 21434) -> Corpus:
+    """The generated excavator corpus (paper Fig. 12 / Eq. 6 workload)."""
+    return generate_corpus(excavator_specs(), seed=seed)
+
+
+#: Vector ground truth per keyword, used to seed the keyword database.
+KEYWORD_VECTORS: Dict[str, AttackVector] = {
+    spec.keyword: spec.vector
+    for spec in (
+        ecm_reprogramming_specs() + excavator_specs() + light_truck_specs()
+    )
+}
+
+#: Owner-approval ground truth per keyword (insider vs outsider topics).
+KEYWORD_OWNER_APPROVED: Dict[str, bool] = {
+    spec.keyword: spec.owner_approved
+    for spec in (
+        ecm_reprogramming_specs() + excavator_specs() + light_truck_specs()
+    )
+}

@@ -1,0 +1,216 @@
+"""Deterministic synthetic social-media corpus generation.
+
+This is the substitution for the paper's Twitter data source (DESIGN.md).
+A corpus is described *declaratively* by a set of :class:`AttackTopicSpec`
+records — one per attack keyword — giving the posting volume per year,
+the engagement scale, the sentiment mix and optional price mentions.  The
+generator expands the specs into concrete :class:`~repro.social.post.Post`
+objects using a seeded PRNG, so every run of the reproduction sees exactly
+the same corpus.
+
+The specs used for the paper's experiments live in
+:mod:`repro.social.scenarios`; they encode the *published* trends (physical
+ECM-reprogramming dominance before 2021, the local/OBD trend inversion
+from 2022, DPF-delete dominance for excavators), which is what makes the
+downstream figures come out with the paper's shape.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.iso21434.enums import AttackVector
+from repro.social.corpus import Corpus
+from repro.social.post import Engagement, Post
+
+#: Enthusiastic owner-voice templates (insider attacks are owner-approved,
+#: so their posts read as first-person success stories).
+_POSITIVE_TEMPLATES = (
+    "Finally got my #{kw} done, truck pulls so much better now",
+    "Best money I ever spent, the #{kw} kit works perfect",
+    "My mechanic sorted the #{kw} in an hour, amazing gain",
+    "Really happy with the #{kw}, fuel costs way down",
+    "#{kw} installed this weekend, engine feels awesome",
+    "Got the #{kw} from a racing workshop, totally worth it",
+    "So smooth after the #{kw}, recommend it to everyone",
+    "#{kw} done at the farm, saved a fortune on regen downtime",
+)
+
+#: Deterrence-voice templates (fines, failures, regret).
+_NEGATIVE_TEMPLATES = (
+    "Got fined after the #{kw}, worst decision ever",
+    "My engine broke two weeks after the #{kw}, regret it",
+    "Inspection failed because of the #{kw}, expensive problem",
+    "The #{kw} kit was a scam, never buying online again",
+    "Warranty void after #{kw}, terrible idea",
+    "#{kw} put the truck in limp mode, avoid this garbage",
+)
+
+#: Neutral/informational templates.
+_NEUTRAL_TEMPLATES = (
+    "Anyone have experience with #{kw} on a 2019 model?",
+    "Looking for a shop that does #{kw} near Munich",
+    "What tools do you need for a #{kw}?",
+    "Is #{kw} detectable at the annual inspection?",
+    "Thread about #{kw} options for fleet operators",
+)
+
+#: Third-person crime-voice templates used for outsider topics (thefts,
+#: black-hat activity the owner does not approve).
+_OUTSIDER_TEMPLATES = (
+    "Another van stolen overnight, police say thieves used #{kw}",
+    "Criminals are using #{kw} devices to steal trucks in the area",
+    "Warning: #{kw} theft wave reported by the insurance company",
+    "Gang arrested for stealing cars with #{kw} equipment",
+    "My neighbour's car was taken, investigators suspect #{kw}",
+)
+
+#: Price-mention templates appended to a fraction of posts.
+_PRICE_TEMPLATES = (
+    "Paid {price} EUR for the kit.",
+    "The device cost me {price} EUR shipped.",
+    "Quoted {price} EUR by the workshop.",
+    "Found it online for {price} EUR.",
+)
+
+
+@dataclass(frozen=True)
+class AttackTopicSpec:
+    """Declarative description of one attack topic in the corpus.
+
+    Attributes:
+        keyword: canonical attack keyword; posts carry it as a hashtag.
+        vector: the attack vector this topic's attack uses in the real
+            world (e.g. DPF delete = physical; OBD tuning = local).
+        owner_approved: True for insider topics (owner-initiated tampering),
+            False for outsider topics (theft, black-hat).
+        yearly_volume: posts per calendar year.
+        engagement_scale: multiplies all engagement draws; encodes topic
+            popularity beyond raw post counts.
+        positive_ratio: fraction of posts with enthusiastic sentiment;
+            the rest split evenly between negative and neutral.
+        price_range: if given, ``price_mention_rate`` of the posts quote a
+            uniformly drawn price in [low, high] (device/service pricing,
+            the PPIA raw material).
+        price_mention_rate: fraction of posts carrying a price mention.
+        companion_tags: extra hashtags attached to ~30% of posts; food for
+            the keyword auto-learning loop.
+        region: region stamped on the posts.
+    """
+
+    keyword: str
+    vector: AttackVector
+    owner_approved: bool
+    yearly_volume: Mapping[int, int]
+    engagement_scale: float = 1.0
+    positive_ratio: float = 0.7
+    price_range: Optional[Tuple[float, float]] = None
+    price_mention_rate: float = 0.2
+    companion_tags: Tuple[str, ...] = ()
+    region: str = "europe"
+
+    def __post_init__(self) -> None:
+        if not self.keyword:
+            raise ValueError("keyword must be non-empty")
+        if not self.yearly_volume:
+            raise ValueError(f"topic {self.keyword!r} needs >= 1 year of volume")
+        if any(v < 0 for v in self.yearly_volume.values()):
+            raise ValueError(f"topic {self.keyword!r} has negative volume")
+        if not 0.0 <= self.positive_ratio <= 1.0:
+            raise ValueError("positive_ratio must be in [0, 1]")
+        if not 0.0 <= self.price_mention_rate <= 1.0:
+            raise ValueError("price_mention_rate must be in [0, 1]")
+        if self.engagement_scale <= 0:
+            raise ValueError("engagement_scale must be > 0")
+        object.__setattr__(self, "yearly_volume", dict(self.yearly_volume))
+        object.__setattr__(self, "companion_tags", tuple(self.companion_tags))
+
+    @property
+    def total_volume(self) -> int:
+        """Total posts over all years."""
+        return sum(self.yearly_volume.values())
+
+
+@dataclass
+class CorpusGenerator:
+    """Expands topic specs into a deterministic post corpus."""
+
+    seed: int = 21434
+    _counter: int = field(default=0, init=False)
+
+    def generate(self, specs: Sequence[AttackTopicSpec]) -> Corpus:
+        """Generate one corpus containing every spec'd topic."""
+        rng = random.Random(self.seed)
+        posts: List[Post] = []
+        for spec in specs:
+            posts.extend(self._topic_posts(spec, rng))
+        return Corpus(posts)
+
+    def _topic_posts(
+        self, spec: AttackTopicSpec, rng: random.Random
+    ) -> Iterable[Post]:
+        for year in sorted(spec.yearly_volume):
+            for _ in range(spec.yearly_volume[year]):
+                yield self._one_post(spec, year, rng)
+
+    def _one_post(
+        self, spec: AttackTopicSpec, year: int, rng: random.Random
+    ) -> Post:
+        self._counter += 1
+        text = self._render_text(spec, rng)
+        day_of_year = rng.randint(1, 365)
+        created = dt.date(year, 1, 1) + dt.timedelta(days=day_of_year - 1)
+        return Post(
+            post_id=f"p{self._counter:07d}",
+            text=text,
+            author=f"user{rng.randint(1, 5000):04d}",
+            created_at=created,
+            region=spec.region,
+            engagement=self._draw_engagement(spec, rng),
+        )
+
+    def _render_text(self, spec: AttackTopicSpec, rng: random.Random) -> str:
+        if not spec.owner_approved:
+            template = rng.choice(_OUTSIDER_TEMPLATES)
+        else:
+            roll = rng.random()
+            if roll < spec.positive_ratio:
+                template = rng.choice(_POSITIVE_TEMPLATES)
+            elif roll < spec.positive_ratio + (1 - spec.positive_ratio) / 2:
+                template = rng.choice(_NEGATIVE_TEMPLATES)
+            else:
+                template = rng.choice(_NEUTRAL_TEMPLATES)
+        text = template.format(kw=spec.keyword)
+        if spec.companion_tags and rng.random() < 0.3:
+            tag = rng.choice(spec.companion_tags)
+            text = f"{text} #{tag}"
+        if spec.price_range is not None and rng.random() < spec.price_mention_rate:
+            low, high = spec.price_range
+            price = round(rng.uniform(low, high) / 10) * 10
+            text = f"{text} {rng.choice(_PRICE_TEMPLATES).format(price=int(price))}"
+        return text
+
+    def _draw_engagement(
+        self, spec: AttackTopicSpec, rng: random.Random
+    ) -> Engagement:
+        scale = spec.engagement_scale
+        views = int(rng.uniform(200, 5000) * scale)
+        likes = int(views * rng.uniform(0.01, 0.08))
+        reposts = int(likes * rng.uniform(0.05, 0.4))
+        replies = int(likes * rng.uniform(0.1, 0.5))
+        return Engagement(views=views, likes=likes, reposts=reposts, replies=replies)
+
+
+def generate_corpus(
+    specs: Sequence[AttackTopicSpec], *, seed: int = 21434
+) -> Corpus:
+    """Generate a deterministic corpus from ``specs`` with ``seed``."""
+    return CorpusGenerator(seed=seed).generate(specs)
+
+
+def volume_by_keyword(specs: Sequence[AttackTopicSpec]) -> Dict[str, int]:
+    """Total spec'd post volume per keyword (generation ground truth)."""
+    return {spec.keyword: spec.total_volume for spec in specs}

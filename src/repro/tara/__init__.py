@@ -1,0 +1,39 @@
+"""TARA engine layer: lifecycle, full-architecture runs and reporting."""
+
+from repro.tara.engine import (
+    RatingDisagreement,
+    TaraEngine,
+    TaraRecord,
+    TaraReportData,
+    compare_runs,
+)
+from repro.tara.lifecycle import (
+    REPROCESSING_PHASES,
+    LifecycleTracker,
+    Phase,
+    ReprocessingEvent,
+    ReprocessingTrigger,
+)
+from repro.tara.report import (
+    render_financial,
+    render_sai,
+    render_tara,
+    render_weight_table,
+)
+
+__all__ = [
+    "LifecycleTracker",
+    "Phase",
+    "REPROCESSING_PHASES",
+    "RatingDisagreement",
+    "ReprocessingEvent",
+    "ReprocessingTrigger",
+    "TaraEngine",
+    "TaraRecord",
+    "TaraReportData",
+    "compare_runs",
+    "render_financial",
+    "render_sai",
+    "render_tara",
+    "render_weight_table",
+]

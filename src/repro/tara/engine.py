@@ -1,0 +1,347 @@
+"""TARA engine: end-to-end Clause-15 runs over a vehicle architecture.
+
+:class:`TaraEngine` executes the four TARA activities (asset
+identification → threat identification → impact rating → attack-path
+analysis) over a :class:`~repro.vehicle.network.VehicleNetwork`, then
+determines feasibility, risk value, CAL and treatment per threat.
+
+The engine is parameterised by the attack-vector weight table, so the
+identical pipeline runs under the standard's static table (the baseline)
+or a PSP-tuned table — experiment E10 diffs the two outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.iso21434.assets import Asset, AssetRegistry, standard_ecu_assets
+from repro.iso21434.cal import determine_cal
+from repro.iso21434.enums import (
+    CAL,
+    AttackerProfile,
+    AttackVector,
+    FeasibilityRating,
+    ImpactCategory,
+    ImpactRating,
+)
+from repro.iso21434.attack_path import AttackPath, threat_feasibility
+from repro.iso21434.feasibility.attack_vector import WeightTable, standard_table
+from repro.iso21434.impact import ImpactProfile
+from repro.iso21434.risk import RiskMatrix, default_matrix
+from repro.iso21434.threats import ThreatScenario, enumerate_stride_threats
+from repro.iso21434.treatment import TreatmentOption, TreatmentPolicy
+from repro.vehicle.attack_surface import AttackSurfaceAnalyzer
+from repro.vehicle.domains import VehicleDomain
+from repro.vehicle.ecu import Ecu
+from repro.vehicle.network import VehicleNetwork
+
+#: Default impact profile per domain: powertrain/chassis threats carry
+#: safety impact; communication carries operational+privacy; body is
+#: operational; infotainment privacy+financial.
+_DOMAIN_IMPACT: Mapping[VehicleDomain, ImpactProfile] = {
+    VehicleDomain.POWERTRAIN: ImpactProfile(
+        {
+            ImpactCategory.SAFETY: ImpactRating.SEVERE,
+            ImpactCategory.OPERATIONAL: ImpactRating.MAJOR,
+            ImpactCategory.FINANCIAL: ImpactRating.MAJOR,
+        }
+    ),
+    VehicleDomain.CHASSIS: ImpactProfile(
+        {
+            ImpactCategory.SAFETY: ImpactRating.SEVERE,
+            ImpactCategory.OPERATIONAL: ImpactRating.MAJOR,
+        }
+    ),
+    VehicleDomain.BODY: ImpactProfile(
+        {
+            ImpactCategory.OPERATIONAL: ImpactRating.MODERATE,
+            ImpactCategory.FINANCIAL: ImpactRating.MODERATE,
+        }
+    ),
+    VehicleDomain.INFOTAINMENT: ImpactProfile(
+        {
+            ImpactCategory.PRIVACY: ImpactRating.MAJOR,
+            ImpactCategory.FINANCIAL: ImpactRating.MODERATE,
+        }
+    ),
+    VehicleDomain.COMMUNICATION: ImpactProfile(
+        {
+            ImpactCategory.OPERATIONAL: ImpactRating.MAJOR,
+            ImpactCategory.PRIVACY: ImpactRating.MAJOR,
+        }
+    ),
+    VehicleDomain.GATEWAY: ImpactProfile(
+        {
+            ImpactCategory.OPERATIONAL: ImpactRating.MAJOR,
+            ImpactCategory.SAFETY: ImpactRating.MAJOR,
+        }
+    ),
+    VehicleDomain.DIAGNOSTIC: ImpactProfile(
+        {ImpactCategory.OPERATIONAL: ImpactRating.MODERATE}
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TaraRecord:
+    """The complete TARA outcome for one threat scenario."""
+
+    threat: ThreatScenario
+    impact: ImpactProfile
+    feasibility: FeasibilityRating
+    entry_vector: Optional[AttackVector]
+    risk_value: int
+    cal: CAL
+    treatment: TreatmentOption
+    paths: Tuple[AttackPath, ...]
+
+    @property
+    def ecu_id(self) -> Optional[str]:
+        """The hosting ECU of the threatened asset (by id convention)."""
+        return self.threat.asset_id.split(".")[0] if self.threat.asset_id else None
+
+
+@dataclass(frozen=True)
+class TaraReportData:
+    """A full TARA run's output."""
+
+    table_source: str
+    records: Tuple[TaraRecord, ...]
+
+    def by_threat(self) -> Dict[str, TaraRecord]:
+        """Records keyed by threat id."""
+        return {r.threat.threat_id: r for r in self.records}
+
+    def high_risk(self, threshold: int = 4) -> Tuple[TaraRecord, ...]:
+        """Records at or above the risk-value threshold."""
+        return tuple(r for r in self.records if r.risk_value >= threshold)
+
+
+class TaraEngine:
+    """Runs complete TARAs over a vehicle network.
+
+    Args:
+        network: the vehicle architecture under analysis.
+        table: attack-vector weight table for outsider threats (static
+            G.9 by default — the paper never re-tunes outsider weights).
+        insider_table: weight table for owner-approved (insider) threats;
+            pass a PSP-tuned table for the dynamic run.  Defaults to
+            ``table``, which makes the engine the pure static baseline.
+        risk_matrix: risk-value matrix.
+        policy: risk-treatment policy.
+        impact_overrides: per-ECU impact profiles replacing the domain
+            defaults.
+    """
+
+    def __init__(
+        self,
+        network: VehicleNetwork,
+        *,
+        table: Optional[WeightTable] = None,
+        insider_table: Optional[WeightTable] = None,
+        risk_matrix: Optional[RiskMatrix] = None,
+        policy: Optional[TreatmentPolicy] = None,
+        impact_overrides: Optional[Mapping[str, ImpactProfile]] = None,
+    ) -> None:
+        self._network = network
+        self._table = table if table is not None else standard_table()
+        self._insider_table = (
+            insider_table if insider_table is not None else self._table
+        )
+        self._matrix = risk_matrix if risk_matrix is not None else default_matrix()
+        self._policy = policy or TreatmentPolicy()
+        self._impact_overrides = dict(impact_overrides or {})
+        self._analyzer = AttackSurfaceAnalyzer(network, table=self._table)
+        self._insider_analyzer = AttackSurfaceAnalyzer(
+            network, table=self._insider_table
+        )
+
+    @property
+    def table(self) -> WeightTable:
+        """The outsider (standard) weight table in force."""
+        return self._table
+
+    @property
+    def insider_table(self) -> WeightTable:
+        """The insider weight table in force."""
+        return self._insider_table
+
+    def _table_for(self, threat: ThreatScenario) -> WeightTable:
+        return self._insider_table if threat.is_owner_approved else self._table
+
+    def _analyzer_for(self, threat: ThreatScenario) -> AttackSurfaceAnalyzer:
+        return (
+            self._insider_analyzer if threat.is_owner_approved else self._analyzer
+        )
+
+    # -- TARA activities ----------------------------------------------------
+
+    def identify_assets(self) -> AssetRegistry:
+        """Activity 1: enumerate the canonical assets of every ECU."""
+        registry = AssetRegistry()
+        for ecu in self._network.ecus:
+            registry.register_all(standard_ecu_assets(ecu.ecu_id, ecu.name))
+        return registry
+
+    def identify_threats(self, assets: AssetRegistry) -> List[ThreatScenario]:
+        """Activity 2: STRIDE threat enumeration per asset.
+
+        Attack vectors are the hosting ECU's plausible vectors; attacker
+        profiles default to the insider set for powertrain/chassis assets
+        (the paper's Insider / Rational-Local owners) and the outsider set
+        elsewhere.
+        """
+        threats: List[ThreatScenario] = []
+        for asset in assets:
+            ecu = self._network.ecu(asset.ecu_id) if asset.ecu_id else None
+            vectors = ecu.plausible_vectors if ecu else frozenset(AttackVector)
+            profiles = self._default_profiles(ecu)
+            threats.extend(
+                enumerate_stride_threats(
+                    asset, attack_vectors=vectors, attacker_profiles=profiles
+                )
+            )
+        return threats
+
+    @staticmethod
+    def _default_profiles(ecu: Optional[Ecu]) -> frozenset:
+        if ecu is not None and ecu.domain in (
+            VehicleDomain.POWERTRAIN,
+            VehicleDomain.CHASSIS,
+        ):
+            return frozenset(
+                {
+                    AttackerProfile.INSIDER,
+                    AttackerProfile.RATIONAL,
+                    AttackerProfile.LOCAL,
+                }
+            )
+        return frozenset({AttackerProfile.OUTSIDER, AttackerProfile.MALICIOUS})
+
+    def rate_impact(self, threat: ThreatScenario) -> ImpactProfile:
+        """Activity 3: impact rating (per-ECU override, else domain default)."""
+        ecu_id = threat.asset_id.split(".")[0]
+        if ecu_id in self._impact_overrides:
+            return self._impact_overrides[ecu_id]
+        ecu = self._network.ecu(ecu_id)
+        return _DOMAIN_IMPACT[ecu.domain]
+
+    def analyze_paths(self, threat: ThreatScenario) -> List[AttackPath]:
+        """Activity 4: attack-path enumeration for the threatened ECU.
+
+        Paths whose entry vector the threat cannot use are discarded —
+        a purely physical tampering threat is not realised through the
+        cellular link.
+        """
+        ecu_id = threat.asset_id.split(".")[0]
+        analyzer = self._analyzer_for(threat)
+        all_paths = analyzer.paths_to(ecu_id, threat_id=threat.threat_id)
+        return [
+            p for p in all_paths if p.entry_vector in threat.attack_vectors
+        ]
+
+    # -- full run ------------------------------------------------------------
+
+    def assess_threat(self, threat: ThreatScenario) -> TaraRecord:
+        """Run impact, feasibility, risk, CAL and treatment for one threat."""
+        impact = self.rate_impact(threat)
+        table = self._table_for(threat)
+        paths = self.analyze_paths(threat)
+        aggregated = threat_feasibility(paths)
+        if aggregated is None:
+            # No network path exists: fall back to the best vector the
+            # threat can use directly (e.g. bench access not modelled).
+            best_vector = max(
+                threat.attack_vectors,
+                key=lambda v: (table.rating(v).level, v.reach),
+            )
+            feasibility = table.rating(best_vector)
+            entry_vector: Optional[AttackVector] = best_vector
+        else:
+            feasibility = aggregated
+            best_path = max(
+                paths, key=lambda p: (p.feasibility.level, -p.length)
+            )
+            entry_vector = best_path.entry_vector
+        risk = self._matrix.risk_value(impact.overall, feasibility)
+        cal = (
+            determine_cal(impact.overall, entry_vector)
+            if entry_vector is not None
+            else CAL.NONE
+        )
+        treatment = self._policy.decide(risk, impact)
+        return TaraRecord(
+            threat=threat,
+            impact=impact,
+            feasibility=feasibility,
+            entry_vector=entry_vector,
+            risk_value=risk,
+            cal=cal,
+            treatment=treatment,
+            paths=tuple(paths),
+        )
+
+    def run(
+        self, *, extra_threats: Iterable[ThreatScenario] = ()
+    ) -> TaraReportData:
+        """Execute the complete TARA over the whole architecture.
+
+        Args:
+            extra_threats: additional threat scenarios to assess alongside
+                the auto-enumerated ones — e.g. the message-level threats
+                derived by :func:`repro.vehicle.messages.message_threats`.
+                Their asset ids must follow the ``<ecu_id>.<rest>``
+                convention so impact and path analysis can locate the
+                hosting ECU.
+        """
+        assets = self.identify_assets()
+        threats = list(self.identify_threats(assets))
+        threats.extend(extra_threats)
+        records = tuple(self.assess_threat(t) for t in threats)
+        return TaraReportData(table_source=self._table.source, records=records)
+
+
+@dataclass(frozen=True)
+class RatingDisagreement:
+    """One threat rated differently by two TARA runs."""
+
+    threat_id: str
+    ecu_id: str
+    domain: VehicleDomain
+    static_feasibility: FeasibilityRating
+    tuned_feasibility: FeasibilityRating
+    static_risk: int
+    tuned_risk: int
+
+    @property
+    def underestimated(self) -> bool:
+        """True when the static model rated the threat *lower* than PSP."""
+        return self.tuned_feasibility > self.static_feasibility
+
+
+def compare_runs(
+    network: VehicleNetwork,
+    static: TaraReportData,
+    tuned: TaraReportData,
+) -> List[RatingDisagreement]:
+    """Diff two TARA runs over the same architecture (experiment E10)."""
+    tuned_by_id = tuned.by_threat()
+    disagreements = []
+    for record in static.records:
+        other = tuned_by_id.get(record.threat.threat_id)
+        if other is None or other.feasibility is record.feasibility:
+            continue
+        ecu_id = record.threat.asset_id.split(".")[0]
+        disagreements.append(
+            RatingDisagreement(
+                threat_id=record.threat.threat_id,
+                ecu_id=ecu_id,
+                domain=network.ecu(ecu_id).domain,
+                static_feasibility=record.feasibility,
+                tuned_feasibility=other.feasibility,
+                static_risk=record.risk_value,
+                tuned_risk=other.risk_value,
+            )
+        )
+    return disagreements

@@ -1,0 +1,125 @@
+"""Development-lifecycle phases and TARA reprocessing (paper Fig. 2).
+
+ISO/SAE-21434 follows the V-model: item definition, TARA, goals and
+concepts, design, implementation, integration and verification, testing
+phases, and production readiness.  The TARA is *recursive*: it is
+reprocessed at defined points of the cycle and whenever a vulnerability
+is detected in the field.  :class:`LifecycleTracker` records phase
+transitions and reprocessing triggers so a TARA run can be tied to the
+phase that demanded it — the hook through which PSP's runtime model
+("monitoring internal risks" — paper §IV) enters the process.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class Phase(enum.Enum):
+    """V-model phases of Fig. 2, in order."""
+
+    ITEM_DEFINITION = 0
+    TARA = 1
+    GOALS_AND_CONCEPTS = 2
+    DESIGN = 3
+    IMPLEMENTATION = 4
+    INTEGRATION_VERIFICATION = 5
+    FUNCTIONAL_TESTING = 6
+    FUZZ_TESTING = 7
+    PEN_TESTING = 8
+    PRODUCTION_READINESS = 9
+
+    @property
+    def order(self) -> int:
+        """Position in the lifecycle."""
+        return int(self.value)
+
+
+#: Phases after which Fig. 2 shows a "TARA REPROCESSING" arrow.
+REPROCESSING_PHASES: Tuple[Phase, ...] = (
+    Phase.DESIGN,
+    Phase.IMPLEMENTATION,
+    Phase.INTEGRATION_VERIFICATION,
+    Phase.FUNCTIONAL_TESTING,
+    Phase.FUZZ_TESTING,
+    Phase.PEN_TESTING,
+)
+
+
+class ReprocessingTrigger(enum.Enum):
+    """Why a TARA reprocessing was requested."""
+
+    PHASE_GATE = "phase_gate"
+    FIELD_VULNERABILITY = "field_vulnerability"
+    PSP_TREND_SHIFT = "psp_trend_shift"
+
+
+@dataclass(frozen=True)
+class ReprocessingEvent:
+    """One recorded TARA reprocessing."""
+
+    phase: Phase
+    trigger: ReprocessingTrigger
+    note: str = ""
+
+
+@dataclass
+class LifecycleTracker:
+    """Tracks phase progression and TARA reprocessing events."""
+
+    phase: Phase = Phase.ITEM_DEFINITION
+    _events: List[ReprocessingEvent] = field(default_factory=list)
+
+    def advance(self) -> Phase:
+        """Move to the next phase; records a reprocessing at gate phases.
+
+        Raises:
+            ValueError: when already at production readiness.
+        """
+        if self.phase is Phase.PRODUCTION_READINESS:
+            raise ValueError("lifecycle already at production readiness")
+        self.phase = Phase(self.phase.order + 1)
+        if self.phase in REPROCESSING_PHASES:
+            self._events.append(
+                ReprocessingEvent(
+                    phase=self.phase,
+                    trigger=ReprocessingTrigger.PHASE_GATE,
+                    note=f"gate at {self.phase.name.lower()}",
+                )
+            )
+        return self.phase
+
+    def report_field_vulnerability(self, note: str = "") -> ReprocessingEvent:
+        """Record a field vulnerability; always forces a reprocessing."""
+        event = ReprocessingEvent(
+            phase=self.phase,
+            trigger=ReprocessingTrigger.FIELD_VULNERABILITY,
+            note=note,
+        )
+        self._events.append(event)
+        return event
+
+    def report_trend_shift(self, note: str = "") -> ReprocessingEvent:
+        """Record a PSP-detected social trend shift (runtime monitoring)."""
+        event = ReprocessingEvent(
+            phase=self.phase,
+            trigger=ReprocessingTrigger.PSP_TREND_SHIFT,
+            note=note,
+        )
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> Tuple[ReprocessingEvent, ...]:
+        """All recorded reprocessing events, oldest first."""
+        return tuple(self._events)
+
+    def reprocessing_count(
+        self, trigger: Optional[ReprocessingTrigger] = None
+    ) -> int:
+        """Number of reprocessings, optionally filtered by trigger."""
+        if trigger is None:
+            return len(self._events)
+        return sum(1 for e in self._events if e.trigger is trigger)

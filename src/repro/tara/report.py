@@ -1,0 +1,111 @@
+"""Textual TARA and PSP report rendering.
+
+Produces the tabular artefacts the paper prints: G.9-style weight tables
+(Figs. 5, 8, 9), SAI rankings (Fig. 12) and full TARA summaries.  Output
+is plain fixed-width text, suitable for terminals and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.financial import FinancialAssessment
+from repro.core.sai import SAIList
+from repro.iso21434.feasibility.attack_vector import WeightTable
+from repro.tara.engine import TaraRecord, TaraReportData
+
+
+def _render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Fixed-width table renderer."""
+    columns = [list(col) for col in zip(headers, *rows)] if rows else [
+        [h] for h in headers
+    ]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    divider = "-+-".join("-" * w for w in widths)
+
+    def render_row(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+
+    lines = [render_row(headers), divider]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_weight_table(table: WeightTable, title: str = "") -> str:
+    """Render a G.9-style attack-vector weight table (paper Figs. 5/8/9)."""
+    heading = title or f"Attack vector-based approach ({table.source})"
+    body = _render_table(
+        ("Attack vector", "Attack feasibility rating"),
+        table.as_rows(),
+    )
+    note = f"\nNote: {table.note}" if table.note else ""
+    return f"{heading}\n{body}{note}"
+
+
+def render_sai(sai: SAIList, title: str = "SAI ranking", top: int = 0) -> str:
+    """Render a SAI ranking table (paper Fig. 12)."""
+    entries = sai.entries[:top] if top else sai.entries
+    rows = [
+        (
+            str(rank + 1),
+            e.keyword,
+            f"{e.score:.2f}",
+            f"{e.probability:.3f}",
+            str(e.post_count),
+            f"{e.mean_sentiment:+.2f}",
+        )
+        for rank, e in enumerate(entries)
+    ]
+    body = _render_table(
+        ("#", "Attack keyword", "SAI score", "Probability", "Posts", "Sentiment"),
+        rows,
+    )
+    return f"{title}\n{body}"
+
+
+def render_financial(assessment: FinancialAssessment) -> str:
+    """Render a financial assessment (paper Eqs. 6-7 narrative)."""
+    rows = [
+        ("Potential attackers (PAE)", f"{assessment.pae:,}"),
+        ("Purchase price (PPIA)", f"{assessment.ppia:,.0f} EUR"),
+        ("Variable cost (VCU)", f"{assessment.vcu:,.0f} EUR"),
+        ("Competitors (n)", str(assessment.competitors)),
+        ("Market value (MV)", f"{assessment.mv:,.0f} EUR/yr"),
+        ("Required investment (FC)", f"{assessment.fc_required:,.0f} EUR"),
+        ("Financial feasibility", assessment.feasibility.label()),
+    ]
+    body = _render_table(("Quantity", "Value"), rows)
+    return f"Financial assessment: {assessment.keyword}\n{body}"
+
+
+def render_tara(
+    data: TaraReportData,
+    *,
+    min_risk: int = 1,
+    limit: Optional[int] = None,
+) -> str:
+    """Render a TARA summary sorted by descending risk value."""
+    records: List[TaraRecord] = [
+        r for r in data.records if r.risk_value >= min_risk
+    ]
+    records.sort(key=lambda r: (-r.risk_value, r.threat.threat_id))
+    if limit is not None:
+        records = records[:limit]
+    rows: List[Tuple[str, ...]] = [
+        (
+            r.threat.threat_id,
+            r.impact.overall.label(),
+            r.feasibility.label(),
+            str(r.risk_value),
+            r.cal.label(),
+            r.treatment.value,
+        )
+        for r in records
+    ]
+    body = _render_table(
+        ("Threat scenario", "Impact", "Feasibility", "Risk", "CAL", "Treatment"),
+        rows,
+    )
+    return f"TARA ({data.table_source}): {len(records)} threat scenarios\n{body}"

@@ -1,0 +1,143 @@
+"""Reference vehicle architecture (paper Fig. 4).
+
+Builds the E/E architecture the paper's Fig. 4 sketches: a central
+gateway bridging the powertrain, chassis, body, infotainment and
+communication domains, each with its own bus and ECUs, plus the OBD port
+wired — as in most real vehicles and in the paper's argument — straight
+onto the powertrain CAN.
+
+ECU names follow the figure: ECM/TCM/DEFC (powertrain), SCU (chassis),
+BCM/LCM/SCM/DCU/WCU/BCU (body), ICM (infotainment), TCU/V2X
+(communication).
+"""
+
+from __future__ import annotations
+
+from repro.iso21434.enums import AttackVector
+from repro.vehicle.bus import Bus, BusKind
+from repro.vehicle.domains import VehicleDomain
+from repro.vehicle.ecu import Ecu
+from repro.vehicle.network import EntryPoint, VehicleNetwork
+
+
+def reference_architecture() -> VehicleNetwork:
+    """Build the Fig. 4 reference architecture.
+
+    Topology summary:
+
+    * ``can.powertrain`` — ECM, TCM, DEFC; the OBD port attaches here.
+    * ``can.chassis`` — SCU, BCU.
+    * ``can.body`` + ``lin.body`` — BCM, LCM, SCM, DCU, WCU.
+    * ``eth.infotainment`` — ICM.
+    * ``can.communication`` — TCU (cellular entry), V2X (adjacent entry).
+    * The central gateway bridges every bus.
+    * Physical bench access attaches directly to the ECM and the ICM
+      (the two bench-attack targets the paper discusses).
+    """
+    net = VehicleNetwork(name="fig4-reference")
+
+    gateway = net.add_ecu(
+        Ecu("gateway", "Central Gateway", VehicleDomain.GATEWAY, safety_critical=False)
+    )
+
+    buses = {
+        "can.powertrain": Bus("can.powertrain", "Powertrain CAN", BusKind.CAN,
+                              VehicleDomain.POWERTRAIN, segmented=True),
+        "can.chassis": Bus("can.chassis", "Chassis CAN", BusKind.CAN,
+                           VehicleDomain.CHASSIS, segmented=True),
+        "can.body": Bus("can.body", "Body CAN", BusKind.CAN, VehicleDomain.BODY),
+        "lin.body": Bus("lin.body", "Body LIN", BusKind.LIN, VehicleDomain.BODY),
+        "eth.infotainment": Bus("eth.infotainment", "Infotainment Ethernet",
+                                BusKind.ETHERNET, VehicleDomain.INFOTAINMENT),
+        "can.communication": Bus("can.communication", "Communication CAN",
+                                 BusKind.CAN_FD, VehicleDomain.COMMUNICATION),
+    }
+    for bus in buses.values():
+        net.add_bus(bus)
+        net.attach(gateway.ecu_id, bus.bus_id)
+
+    ecu_specs = (
+        # ecu_id, name, domain, bus, safety_critical, fota, external ifaces
+        ("ecm", "Engine Control Module", VehicleDomain.POWERTRAIN,
+         "can.powertrain", True, False, frozenset()),
+        ("tcm", "Transmission Control Module", VehicleDomain.POWERTRAIN,
+         "can.powertrain", True, False, frozenset()),
+        ("defc", "Diesel Exhaust Fluid Controller", VehicleDomain.POWERTRAIN,
+         "can.powertrain", True, False, frozenset()),
+        ("scu", "Steering Control Unit", VehicleDomain.CHASSIS,
+         "can.chassis", True, False, frozenset()),
+        ("bcu", "Brake Control Unit", VehicleDomain.CHASSIS,
+         "can.chassis", True, False, frozenset()),
+        ("bcm", "Body Control Module", VehicleDomain.BODY,
+         "can.body", False, False, frozenset()),
+        ("lcm", "Light Control Module", VehicleDomain.BODY,
+         "lin.body", False, False, frozenset()),
+        ("scm", "Seat Control Module", VehicleDomain.BODY,
+         "lin.body", False, False, frozenset()),
+        ("dcu", "Door Control Unit", VehicleDomain.BODY,
+         "can.body", False, False, frozenset({AttackVector.ADJACENT})),
+        ("wcu", "Window Control Unit", VehicleDomain.BODY,
+         "lin.body", False, False, frozenset()),
+        ("icm", "Infotainment Control Module", VehicleDomain.INFOTAINMENT,
+         "eth.infotainment", False, True,
+         frozenset({AttackVector.ADJACENT, AttackVector.NETWORK})),
+        ("tcu", "Telematics Control Unit", VehicleDomain.COMMUNICATION,
+         "can.communication", False, True,
+         frozenset({AttackVector.NETWORK})),
+        ("v2x", "V2X Communication Unit", VehicleDomain.COMMUNICATION,
+         "can.communication", False, True,
+         frozenset({AttackVector.ADJACENT, AttackVector.NETWORK})),
+    )
+    for ecu_id, name, domain, bus_id, safety, fota, ifaces in ecu_specs:
+        net.add_ecu(
+            Ecu(
+                ecu_id=ecu_id,
+                name=name,
+                domain=domain,
+                safety_critical=safety,
+                fota_capable=fota,
+                external_interfaces=ifaces,
+            )
+        )
+        net.attach(ecu_id, bus_id)
+
+    entry_specs = (
+        ("obd_port", "OBD-II Port (cabin)", AttackVector.LOCAL, "can.powertrain"),
+        ("cellular", "Cellular Uplink", AttackVector.NETWORK, "tcu"),
+        ("bluetooth", "Bluetooth Pairing", AttackVector.ADJACENT, "icm"),
+        ("v2x_radio", "V2X Radio Link", AttackVector.ADJACENT, "v2x"),
+        ("bench.ecm", "Bench Access to ECM", AttackVector.PHYSICAL, "ecm"),
+        ("bench.icm", "Bench Access to ICM", AttackVector.PHYSICAL, "icm"),
+        ("keyfob", "Key-Fob Radio", AttackVector.ADJACENT, "dcu"),
+    )
+    for entry_id, name, vector, attach_to in entry_specs:
+        net.add_entry_point(EntryPoint(entry_id, name, vector))
+        net.attach(entry_id, attach_to)
+
+    return net
+
+
+def scaled_architecture(domains: int, ecus_per_domain: int) -> VehicleNetwork:
+    """A synthetic architecture of configurable size for scaling benches.
+
+    Builds ``domains`` generic body-domain buses, each carrying
+    ``ecus_per_domain`` ECUs, bridged by a central gateway, with an OBD
+    entry point on the first bus.
+    """
+    if domains < 1 or ecus_per_domain < 1:
+        raise ValueError("domains and ecus_per_domain must be >= 1")
+    net = VehicleNetwork(name=f"scaled-{domains}x{ecus_per_domain}")
+    gateway = net.add_ecu(Ecu("gateway", "Gateway", VehicleDomain.GATEWAY))
+    for d in range(domains):
+        bus = net.add_bus(
+            Bus(f"bus{d}", f"Bus {d}", BusKind.CAN, VehicleDomain.BODY)
+        )
+        net.attach(gateway.ecu_id, bus.bus_id)
+        for e in range(ecus_per_domain):
+            ecu = net.add_ecu(
+                Ecu(f"ecu{d}_{e}", f"ECU {d}.{e}", VehicleDomain.BODY)
+            )
+            net.attach(ecu.ecu_id, bus.bus_id)
+    net.add_entry_point(EntryPoint("obd_port", "OBD Port", AttackVector.LOCAL))
+    net.attach("obd_port", "bus0")
+    return net

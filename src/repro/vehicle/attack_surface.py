@@ -1,0 +1,178 @@
+"""Attack-surface analysis: graph attack-path enumeration.
+
+Turns the vehicle topology into ISO/SAE-21434 attack paths: for a target
+ECU, every simple path from an external entry point to the ECU becomes an
+:class:`~repro.iso21434.attack_path.AttackPath` whose first step carries
+the entry point's vector-based feasibility and whose subsequent hops add
+traversal steps (crossing a *segmented* bus — i.e. passing a filtering
+gateway — is rated harder than riding an open bus).
+
+This is the machinery behind experiment E10: rating every ECU of the
+reference architecture under the static table versus PSP-tuned tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.iso21434.attack_path import AttackPath, AttackStep, threat_feasibility
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import WeightTable, standard_table
+from repro.vehicle.network import NodeKind, VehicleNetwork
+
+#: Default bound on path length (nodes) to keep enumeration tractable on
+#: large synthetic architectures; the Fig. 4 graph is far below the bound.
+DEFAULT_CUTOFF = 8
+
+
+@dataclass(frozen=True)
+class SurfaceReport:
+    """Attack-surface summary for one target ECU."""
+
+    ecu_id: str
+    paths: Tuple[AttackPath, ...]
+
+    @property
+    def feasibility(self) -> Optional[FeasibilityRating]:
+        """Aggregated feasibility (max over paths), None when unreachable."""
+        return threat_feasibility(self.paths)
+
+    @property
+    def best_path(self) -> Optional[AttackPath]:
+        """The easiest path (highest feasibility, shortest wins ties)."""
+        if not self.paths:
+            return None
+        return max(
+            self.paths, key=lambda p: (p.feasibility.level, -p.length)
+        )
+
+    def entry_vectors(self) -> Tuple[AttackVector, ...]:
+        """Distinct entry vectors over all paths, most feasible first."""
+        seen = []
+        for path in sorted(
+            self.paths, key=lambda p: p.feasibility.level, reverse=True
+        ):
+            vector = path.entry_vector
+            if vector is not None and vector not in seen:
+                seen.append(vector)
+        return tuple(seen)
+
+
+def _step_down(rating: FeasibilityRating, levels: int = 1) -> FeasibilityRating:
+    """Lower a rating by ``levels``, saturating at Very Low."""
+    return FeasibilityRating.clamp(rating.level - levels)
+
+
+class AttackSurfaceAnalyzer:
+    """Enumerates and rates attack paths over a vehicle network.
+
+    Args:
+        network: the vehicle topology.
+        table: vector→feasibility table used to rate entry steps; defaults
+            to the standard's static G.9 table.  Supplying a PSP-tuned
+            table is how dynamic ratings propagate into path analysis.
+        cutoff: maximum path length in nodes.
+    """
+
+    def __init__(
+        self,
+        network: VehicleNetwork,
+        *,
+        table: Optional[WeightTable] = None,
+        cutoff: int = DEFAULT_CUTOFF,
+    ) -> None:
+        if cutoff < 2:
+            raise ValueError(f"cutoff must allow entry->target, got {cutoff}")
+        self._network = network
+        self._table = table if table is not None else standard_table()
+        self._cutoff = cutoff
+
+    @property
+    def table(self) -> WeightTable:
+        """The vector→feasibility table in force."""
+        return self._table
+
+    def paths_to(self, ecu_id: str, *, threat_id: str = "") -> List[AttackPath]:
+        """Every rated attack path from any entry point to ``ecu_id``."""
+        self._network.ecu(ecu_id)
+        threat = threat_id or f"ts.{ecu_id}"
+        paths: List[AttackPath] = []
+        for entry in self._network.entry_points:
+            for index, node_path in enumerate(
+                self._network.simple_paths(entry.entry_id, ecu_id, cutoff=self._cutoff)
+            ):
+                steps = self._rate_steps(entry.vector, node_path)
+                paths.append(
+                    AttackPath(
+                        path_id=f"ap.{ecu_id}.{entry.entry_id}.{index}",
+                        threat_id=threat,
+                        steps=tuple(steps),
+                    )
+                )
+        return paths
+
+    def _rate_steps(
+        self, entry_vector: AttackVector, node_path: Sequence[str]
+    ) -> List[AttackStep]:
+        entry_rating = self._table.rating(entry_vector)
+        entry_name = self._network.entry_point(node_path[0]).name
+        steps = [
+            AttackStep(
+                description=f"Gain access via {entry_name}",
+                feasibility=entry_rating,
+                vector=entry_vector,
+                location=node_path[0],
+            )
+        ]
+        current = entry_rating
+        for position, node in enumerate(node_path[1:], start=1):
+            kind = self._network.node_kind(node)
+            if kind is NodeKind.BUS:
+                bus = self._network.bus(node)
+                previous_kind = self._network.node_kind(node_path[position - 1])
+                crossed_gateway = bus.segmented and previous_kind is NodeKind.ECU
+                if crossed_gateway:
+                    # Entering a filtered bus from inside the network means
+                    # defeating the gateway's traffic filtering; a direct
+                    # attachment (e.g. OBD on the powertrain CAN) does not.
+                    current = _step_down(current)
+                    description = f"Cross filtering gateway onto {bus.name}"
+                else:
+                    description = f"Inject traffic on {bus.name}"
+                steps.append(
+                    AttackStep(
+                        description=description,
+                        feasibility=current,
+                        location=node,
+                    )
+                )
+            elif kind is NodeKind.ECU and node == node_path[-1]:
+                ecu = self._network.ecu(node)
+                steps.append(
+                    AttackStep(
+                        description=f"Compromise {ecu.name}",
+                        feasibility=current,
+                        location=node,
+                    )
+                )
+            # intermediate ECUs (e.g. the gateway itself, a pivot TCU)
+            elif kind is NodeKind.ECU:
+                ecu = self._network.ecu(node)
+                current = _step_down(current)
+                steps.append(
+                    AttackStep(
+                        description=f"Pivot through {ecu.name}",
+                        feasibility=current,
+                        location=node,
+                    )
+                )
+        return steps
+
+    def report(self, ecu_id: str) -> SurfaceReport:
+        """Full surface report for one ECU."""
+        return SurfaceReport(ecu_id=ecu_id, paths=tuple(self.paths_to(ecu_id)))
+
+    def sweep(self) -> Mapping[str, SurfaceReport]:
+        """Surface reports for every ECU in the network."""
+        return {ecu.ecu_id: self.report(ecu.ecu_id) for ecu in self._network.ecus}

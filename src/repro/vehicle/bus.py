@@ -1,0 +1,62 @@
+"""In-vehicle network buses.
+
+Models the communication media of the reference architecture (paper
+Fig. 4): CAN, CAN-FD, LIN and automotive Ethernet segments, each owned by
+a functional domain.  Bus objects become nodes of the vehicle topology
+graph; an ECU attached to a bus can, absent filtering, reach every other
+node on that bus — which is what makes OBD-port access to the powertrain
+CAN so consequential.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.vehicle.domains import VehicleDomain
+
+
+class BusKind(enum.Enum):
+    """Physical-layer technology of a bus segment."""
+
+    CAN = "can"
+    CAN_FD = "can_fd"
+    LIN = "lin"
+    ETHERNET = "ethernet"
+
+    @property
+    def typical_bitrate_kbps(self) -> int:
+        """Representative bitrate, used by traffic-shape heuristics."""
+        return _BITRATES[self]
+
+
+_BITRATES = {
+    BusKind.CAN: 500,
+    BusKind.CAN_FD: 2000,
+    BusKind.LIN: 20,
+    BusKind.ETHERNET: 100000,
+}
+
+
+@dataclass(frozen=True)
+class Bus:
+    """One bus segment of the vehicle network.
+
+    Attributes:
+        bus_id: unique identifier, e.g. ``"can.powertrain"``.
+        name: human-readable name.
+        kind: physical-layer technology.
+        domain: owning functional domain.
+        segmented: True when a gateway filters traffic onto this bus
+            (affects attack-path step feasibility).
+    """
+
+    bus_id: str
+    name: str
+    kind: BusKind
+    domain: VehicleDomain
+    segmented: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.bus_id:
+            raise ValueError("bus_id must be non-empty")

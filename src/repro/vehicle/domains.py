@@ -1,0 +1,64 @@
+"""Vehicle functional domains (paper Fig. 4).
+
+The reference architecture partitions ECUs into functional domains; the
+paper's argument is domain-sensitive: powertrain ECUs see predominantly
+physical/local insider attacks, while connectivity domains see remote
+ones.  :data:`DOMAIN_EXPOSURE` records which attack-vector classes are
+*plausible* per domain — the green/blue/red shading of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Mapping
+
+from repro.iso21434.enums import AttackVector
+
+
+class VehicleDomain(enum.Enum):
+    """Functional domains of the reference architecture."""
+
+    POWERTRAIN = "powertrain"
+    CHASSIS = "chassis"
+    BODY = "body"
+    INFOTAINMENT = "infotainment"
+    COMMUNICATION = "communication"
+    GATEWAY = "gateway"
+    DIAGNOSTIC = "diagnostic"
+
+
+#: Plausible attack-vector classes per domain (paper Fig. 4 shading:
+#: green = long-range/network, blue = short-range/adjacent, red = physical).
+DOMAIN_EXPOSURE: Mapping[VehicleDomain, FrozenSet[AttackVector]] = {
+    VehicleDomain.POWERTRAIN: frozenset(
+        {AttackVector.PHYSICAL, AttackVector.LOCAL}
+    ),
+    VehicleDomain.CHASSIS: frozenset(
+        {AttackVector.PHYSICAL, AttackVector.LOCAL}
+    ),
+    VehicleDomain.BODY: frozenset(
+        {AttackVector.PHYSICAL, AttackVector.LOCAL, AttackVector.ADJACENT}
+    ),
+    VehicleDomain.INFOTAINMENT: frozenset(
+        {AttackVector.LOCAL, AttackVector.ADJACENT, AttackVector.NETWORK}
+    ),
+    VehicleDomain.COMMUNICATION: frozenset(
+        {AttackVector.ADJACENT, AttackVector.NETWORK}
+    ),
+    VehicleDomain.GATEWAY: frozenset(
+        {AttackVector.LOCAL, AttackVector.ADJACENT, AttackVector.NETWORK}
+    ),
+    VehicleDomain.DIAGNOSTIC: frozenset(
+        {AttackVector.PHYSICAL, AttackVector.LOCAL}
+    ),
+}
+
+
+def plausible_vectors(domain: VehicleDomain) -> FrozenSet[AttackVector]:
+    """The attack-vector classes plausible for ECUs of ``domain``."""
+    return DOMAIN_EXPOSURE[domain]
+
+
+def is_plausible(domain: VehicleDomain, vector: AttackVector) -> bool:
+    """Whether ``vector`` is a plausible class for ``domain``."""
+    return vector in DOMAIN_EXPOSURE[domain]

@@ -1,0 +1,68 @@
+"""Electronic Control Unit (ECU) model.
+
+ECUs are the attack targets of the TARA.  Each carries the attributes the
+PSP argument turns on: its functional domain (powertrain ECUs attract
+insider tampering), whether it is safety-critical hard real-time (DoS
+impact), and whether it supports Firmware Over The Air (without FOTA,
+remote reprogramming is "uncommon and challenging" — paper §II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.iso21434.enums import AttackVector
+from repro.vehicle.domains import VehicleDomain, plausible_vectors
+
+
+@dataclass(frozen=True)
+class Ecu:
+    """One Electronic Control Unit.
+
+    Attributes:
+        ecu_id: unique identifier, e.g. ``"ecm"``.
+        name: human-readable name, e.g. ``"Engine Control Module"``.
+        domain: owning functional domain.
+        safety_critical: controls a safety function in hard real time.
+        fota_capable: supports Firmware Over The Air updates; without it
+            remote reprogramming attacks are implausible (paper §II).
+        external_interfaces: direct off-board interfaces this ECU exposes
+            (e.g. cellular for a TCU) expressed as attack-vector classes.
+    """
+
+    ecu_id: str
+    name: str
+    domain: VehicleDomain
+    safety_critical: bool = False
+    fota_capable: bool = False
+    external_interfaces: FrozenSet[AttackVector] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.ecu_id:
+            raise ValueError("ecu_id must be non-empty")
+        object.__setattr__(
+            self, "external_interfaces", frozenset(self.external_interfaces)
+        )
+
+    @property
+    def plausible_vectors(self) -> FrozenSet[AttackVector]:
+        """Attack vectors plausible against this ECU.
+
+        The union of its domain's exposure and its own external
+        interfaces; remote vectors are retained only when the ECU either
+        has a network interface itself or is FOTA-capable.
+        """
+        vectors = set(plausible_vectors(self.domain)) | set(self.external_interfaces)
+        direct_remote = (
+            self.fota_capable or AttackVector.NETWORK in self.external_interfaces
+        )
+        deep_domain = self.domain in (VehicleDomain.POWERTRAIN, VehicleDomain.CHASSIS)
+        if deep_domain and not direct_remote:
+            vectors.discard(AttackVector.NETWORK)
+        return frozenset(vectors)
+
+    @property
+    def is_powertrain(self) -> bool:
+        """Whether this ECU belongs to the powertrain domain."""
+        return self.domain is VehicleDomain.POWERTRAIN

@@ -1,0 +1,325 @@
+"""CAN message and signal catalogue.
+
+The paper's threat surface is concretely a CAN one: "the primary
+communication occurs on the CAN bus, and external access is available
+through the OBD port" (§II), with DoS by CAN signal extinction (ref.
+[22]) and the authors' own Ext-Taurum P2T secure CAN-FD work (ref. [12]).
+This module models the frame/signal layer so communication assets and
+message-level threat scenarios can be enumerated systematically instead
+of hand-written:
+
+* :class:`Signal` — one signal packed into a frame.
+* :class:`CanMessage` — one frame: identifier, sender, receivers, cycle
+  time, safety relevance, authentication flag.
+* :class:`MessageCatalog` — per-bus frame registry with consistency
+  checks (identifier uniqueness, sender/receiver must sit on the bus).
+* :func:`message_assets` / :func:`message_threats` — derive ISO/SAE-21434
+  communication assets and STRIDE threat scenarios from the catalogue.
+
+Unauthenticated frames yield spoofing/tampering threats; every periodic
+frame yields a DoS threat (bus flooding / signal extinction); diagnostic
+frames add an information-disclosure threat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.iso21434.assets import Asset, AssetKind
+from repro.iso21434.enums import (
+    AttackerProfile,
+    AttackVector,
+    CybersecurityProperty,
+    StrideCategory,
+)
+from repro.iso21434.threats import ThreatScenario
+from repro.vehicle.network import VehicleNetwork
+
+
+@dataclass(frozen=True)
+class Signal:
+    """One signal packed into a CAN frame."""
+
+    name: str
+    start_bit: int
+    length_bits: int
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("signal name must be non-empty")
+        if not 0 <= self.start_bit <= 63:
+            raise ValueError(f"start_bit must be in 0..63, got {self.start_bit}")
+        if not 1 <= self.length_bits <= 64:
+            raise ValueError(f"length_bits must be in 1..64, got {self.length_bits}")
+        if self.start_bit + self.length_bits > 64:
+            raise ValueError(
+                f"signal {self.name!r} exceeds the 64-bit frame payload"
+            )
+
+
+@dataclass(frozen=True)
+class CanMessage:
+    """One CAN frame definition.
+
+    Attributes:
+        can_id: 11-bit (or 29-bit extended) identifier.
+        name: frame name, e.g. ``"EngineTorque1"``.
+        bus_id: bus the frame lives on.
+        sender: transmitting ECU id.
+        receivers: receiving ECU ids.
+        cycle_ms: transmission period; 0 means event-driven.
+        signals: packed signals.
+        safety_relevant: carries safety-critical data.
+        authenticated: protected by message authentication (e.g. SecOC /
+            Ext-Taurum-style MACs).
+        diagnostic: a diagnostic (UDS) frame.
+    """
+
+    can_id: int
+    name: str
+    bus_id: str
+    sender: str
+    receivers: Tuple[str, ...]
+    cycle_ms: int = 0
+    signals: Tuple[Signal, ...] = ()
+    safety_relevant: bool = False
+    authenticated: bool = False
+    diagnostic: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.can_id <= 0x1FFFFFFF:
+            raise ValueError(f"can_id out of range: {self.can_id:#x}")
+        if not self.name:
+            raise ValueError("message name must be non-empty")
+        if not self.sender:
+            raise ValueError(f"message {self.name!r} needs a sender")
+        if self.cycle_ms < 0:
+            raise ValueError("cycle_ms must be >= 0")
+        object.__setattr__(self, "receivers", tuple(self.receivers))
+        object.__setattr__(self, "signals", tuple(self.signals))
+        names = [s.name for s in self.signals]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate signal names in {self.name!r}")
+
+    @property
+    def is_periodic(self) -> bool:
+        """Whether the frame is cyclically transmitted."""
+        return self.cycle_ms > 0
+
+
+class MessageCatalog:
+    """Frame registry validated against a vehicle network."""
+
+    def __init__(self, network: VehicleNetwork) -> None:
+        self._network = network
+        self._messages: Dict[int, CanMessage] = {}
+
+    def add(self, message: CanMessage) -> CanMessage:
+        """Register a frame after consistency checks.
+
+        The bus must exist, the sender and every receiver must be ECUs
+        attached to that bus, and the identifier must be unique.
+        """
+        if message.can_id in self._messages:
+            raise ValueError(f"duplicate CAN id {message.can_id:#x}")
+        bus = self._network.bus(message.bus_id)
+        attached = set(self._network.neighbors(bus.bus_id))
+        for ecu_id in (message.sender, *message.receivers):
+            self._network.ecu(ecu_id)
+            if ecu_id not in attached:
+                raise ValueError(
+                    f"ECU {ecu_id!r} is not attached to bus {bus.bus_id!r}"
+                )
+        self._messages[message.can_id] = message
+        return message
+
+    def add_all(self, messages: Iterable[CanMessage]) -> None:
+        """Register many frames."""
+        for message in messages:
+            self.add(message)
+
+    def get(self, can_id: int) -> CanMessage:
+        """Look up a frame by identifier."""
+        try:
+            return self._messages[can_id]
+        except KeyError:
+            raise KeyError(f"unknown CAN id {can_id:#x}") from None
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __iter__(self):
+        return iter(self._messages.values())
+
+    def on_bus(self, bus_id: str) -> Tuple[CanMessage, ...]:
+        """All frames on the given bus, ordered by identifier."""
+        return tuple(
+            sorted(
+                (m for m in self._messages.values() if m.bus_id == bus_id),
+                key=lambda m: m.can_id,
+            )
+        )
+
+    def sent_by(self, ecu_id: str) -> Tuple[CanMessage, ...]:
+        """All frames transmitted by the given ECU."""
+        return tuple(
+            sorted(
+                (m for m in self._messages.values() if m.sender == ecu_id),
+                key=lambda m: m.can_id,
+            )
+        )
+
+    def unauthenticated(self) -> Tuple[CanMessage, ...]:
+        """Frames without message authentication (spoofable)."""
+        return tuple(
+            sorted(
+                (m for m in self._messages.values() if not m.authenticated),
+                key=lambda m: m.can_id,
+            )
+        )
+
+    def bus_load_estimate(self, bus_id: str) -> float:
+        """Rough bus load in frames/second from the cyclic frames."""
+        return sum(
+            1000.0 / m.cycle_ms
+            for m in self.on_bus(bus_id)
+            if m.is_periodic
+        )
+
+
+def powertrain_catalog(network: VehicleNetwork) -> MessageCatalog:
+    """The reference powertrain frame set for the Fig. 4 architecture.
+
+    A representative slice of a real powertrain matrix: torque/speed
+    control loops between ECM and TCM, the DEFC emission loop (the DPF
+    attack target), and the unauthenticated UDS diagnostic frame reachable
+    from the OBD port.
+    """
+    catalog = MessageCatalog(network)
+    catalog.add_all(
+        [
+            CanMessage(
+                can_id=0x0C0, name="EngineTorque1", bus_id="can.powertrain",
+                sender="ecm", receivers=("tcm",), cycle_ms=10,
+                signals=(
+                    Signal("EngTrqAct", 0, 16, "Nm"),
+                    Signal("EngSpd", 16, 16, "rpm"),
+                ),
+                safety_relevant=True,
+            ),
+            CanMessage(
+                can_id=0x0C4, name="TransStatus1", bus_id="can.powertrain",
+                sender="tcm", receivers=("ecm",), cycle_ms=10,
+                signals=(Signal("GearAct", 0, 8),),
+                safety_relevant=True,
+            ),
+            CanMessage(
+                can_id=0x18F, name="ExhaustStatus", bus_id="can.powertrain",
+                sender="defc", receivers=("ecm",), cycle_ms=100,
+                signals=(
+                    Signal("DpfSootLoad", 0, 8, "%"),
+                    Signal("ScrDosingRate", 8, 16, "ml/h"),
+                ),
+                safety_relevant=False,
+            ),
+            CanMessage(
+                can_id=0x1A0, name="RegenRequest", bus_id="can.powertrain",
+                sender="ecm", receivers=("defc",), cycle_ms=100,
+                signals=(Signal("RegenCmd", 0, 2),),
+            ),
+            CanMessage(
+                can_id=0x7E0, name="UdsRequestEcm", bus_id="can.powertrain",
+                sender="gateway", receivers=("ecm",), cycle_ms=0,
+                diagnostic=True,
+            ),
+        ]
+    )
+    return catalog
+
+
+def message_assets(catalog: MessageCatalog) -> List[Asset]:
+    """Derive communication assets from a frame catalogue.
+
+    One asset per frame, carrying integrity plus availability (periodic
+    frames feed control loops) and confidentiality for diagnostic frames.
+    """
+    assets = []
+    for message in catalog:
+        properties = {CybersecurityProperty.INTEGRITY}
+        if message.is_periodic:
+            properties.add(CybersecurityProperty.AVAILABILITY)
+        if message.diagnostic:
+            properties.add(CybersecurityProperty.CONFIDENTIALITY)
+        assets.append(
+            Asset(
+                asset_id=f"{message.sender}.msg.{message.can_id:#05x}",
+                name=f"Frame {message.name}",
+                kind=AssetKind.COMMUNICATION,
+                properties=frozenset(properties),
+                ecu_id=message.sender,
+                description=f"CAN id {message.can_id:#x} on {message.bus_id}",
+            )
+        )
+    return assets
+
+
+#: Default attacker profiles for message-level threats on owner-accessible
+#: buses: the paper's Insider/Rational-Local set.
+_INSIDER_PROFILES = frozenset(
+    {AttackerProfile.INSIDER, AttackerProfile.RATIONAL, AttackerProfile.LOCAL}
+)
+
+
+def message_threats(catalog: MessageCatalog) -> List[ThreatScenario]:
+    """Derive message-level STRIDE threat scenarios from a catalogue.
+
+    * Unauthenticated frames → spoofing and tampering threats (an OBD or
+      bench attacker can inject forged frames).
+    * Periodic frames → denial-of-service threats (signal extinction /
+      bus flooding, the paper's powertrain DoS concern).
+    * Diagnostic frames → information-disclosure threats.
+    """
+    vectors = frozenset({AttackVector.PHYSICAL, AttackVector.LOCAL})
+    threats: List[ThreatScenario] = []
+    for message in catalog:
+        asset_id = f"{message.sender}.msg.{message.can_id:#05x}"
+        if not message.authenticated:
+            for stride in (StrideCategory.SPOOFING, StrideCategory.TAMPERING):
+                threats.append(
+                    ThreatScenario(
+                        threat_id=f"ts.{asset_id}.{stride.value}",
+                        name=f"{stride.value.title()} of {message.name}",
+                        asset_id=asset_id,
+                        violated_property=CybersecurityProperty.INTEGRITY,
+                        stride=stride,
+                        attack_vectors=vectors,
+                        attacker_profiles=_INSIDER_PROFILES,
+                    )
+                )
+        if message.is_periodic:
+            threats.append(
+                ThreatScenario(
+                    threat_id=f"ts.{asset_id}.denial_of_service",
+                    name=f"DoS (signal extinction) of {message.name}",
+                    asset_id=asset_id,
+                    violated_property=CybersecurityProperty.AVAILABILITY,
+                    stride=StrideCategory.DENIAL_OF_SERVICE,
+                    attack_vectors=vectors,
+                    attacker_profiles=_INSIDER_PROFILES,
+                )
+            )
+        if message.diagnostic:
+            threats.append(
+                ThreatScenario(
+                    threat_id=f"ts.{asset_id}.information_disclosure",
+                    name=f"Disclosure via {message.name}",
+                    asset_id=asset_id,
+                    violated_property=CybersecurityProperty.CONFIDENTIALITY,
+                    stride=StrideCategory.INFORMATION_DISCLOSURE,
+                    attack_vectors=vectors,
+                    attacker_profiles=_INSIDER_PROFILES,
+                )
+            )
+    return threats

@@ -1,0 +1,187 @@
+"""Vehicle network topology on networkx (paper Fig. 4).
+
+:class:`VehicleNetwork` holds a graph whose nodes are ECUs, buses and
+external entry points.  Edges express reachability: an ECU attached to a
+bus reaches the bus; a gateway bridges two buses; an entry point (OBD
+port, cellular link, the attacker's bench) reaches whatever it is wired
+to.  Attack paths are simple paths through this graph from an entry point
+to a target ECU (:mod:`repro.vehicle.attack_surface`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.iso21434.enums import AttackVector
+from repro.vehicle.bus import Bus
+from repro.vehicle.ecu import Ecu
+
+
+class NodeKind(enum.Enum):
+    """Classification of a topology node."""
+
+    ECU = "ecu"
+    BUS = "bus"
+    ENTRY_POINT = "entry_point"
+
+
+@dataclass(frozen=True)
+class EntryPoint:
+    """An external access point into the vehicle network.
+
+    Attributes:
+        entry_id: unique identifier, e.g. ``"obd_port"``.
+        name: human-readable name.
+        vector: the attack-vector class required to use this entry point
+            (OBD port = local, cellular = network, Bluetooth = adjacent,
+            bench access to an ECU = physical).
+    """
+
+    entry_id: str
+    name: str
+    vector: AttackVector
+
+    def __post_init__(self) -> None:
+        if not self.entry_id:
+            raise ValueError("entry_id must be non-empty")
+
+
+class VehicleNetwork:
+    """The E/E architecture graph."""
+
+    def __init__(self, name: str = "vehicle") -> None:
+        self.name = name
+        self._graph = nx.Graph()
+        self._ecus: Dict[str, Ecu] = {}
+        self._buses: Dict[str, Bus] = {}
+        self._entries: Dict[str, EntryPoint] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_ecu(self, ecu: Ecu) -> Ecu:
+        """Add an ECU node; rejects duplicate identifiers."""
+        self._check_new(ecu.ecu_id)
+        self._ecus[ecu.ecu_id] = ecu
+        self._graph.add_node(ecu.ecu_id, kind=NodeKind.ECU)
+        return ecu
+
+    def add_bus(self, bus: Bus) -> Bus:
+        """Add a bus node; rejects duplicate identifiers."""
+        self._check_new(bus.bus_id)
+        self._buses[bus.bus_id] = bus
+        self._graph.add_node(bus.bus_id, kind=NodeKind.BUS)
+        return bus
+
+    def add_entry_point(self, entry: EntryPoint) -> EntryPoint:
+        """Add an external entry-point node; rejects duplicates."""
+        self._check_new(entry.entry_id)
+        self._entries[entry.entry_id] = entry
+        self._graph.add_node(entry.entry_id, kind=NodeKind.ENTRY_POINT)
+        return entry
+
+    def attach(self, node_a: str, node_b: str) -> None:
+        """Connect two existing nodes (ECU-bus, bus-bus via gateway, etc.)."""
+        for node in (node_a, node_b):
+            if node not in self._graph:
+                raise KeyError(f"unknown node {node!r}")
+        if node_a == node_b:
+            raise ValueError(f"cannot attach node {node_a!r} to itself")
+        self._graph.add_edge(node_a, node_b)
+
+    def _check_new(self, node_id: str) -> None:
+        if not node_id:
+            raise ValueError("node id must be non-empty")
+        if node_id in self._graph:
+            raise ValueError(f"duplicate node id {node_id!r}")
+
+    # -- lookup -----------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (treat as read-only)."""
+        return self._graph
+
+    def ecu(self, ecu_id: str) -> Ecu:
+        """Look up an ECU by id."""
+        try:
+            return self._ecus[ecu_id]
+        except KeyError:
+            raise KeyError(f"unknown ECU {ecu_id!r}") from None
+
+    def bus(self, bus_id: str) -> Bus:
+        """Look up a bus by id."""
+        try:
+            return self._buses[bus_id]
+        except KeyError:
+            raise KeyError(f"unknown bus {bus_id!r}") from None
+
+    def entry_point(self, entry_id: str) -> EntryPoint:
+        """Look up an entry point by id."""
+        try:
+            return self._entries[entry_id]
+        except KeyError:
+            raise KeyError(f"unknown entry point {entry_id!r}") from None
+
+    def node_kind(self, node_id: str) -> NodeKind:
+        """The kind of an existing node."""
+        try:
+            return self._graph.nodes[node_id]["kind"]
+        except KeyError:
+            raise KeyError(f"unknown node {node_id!r}") from None
+
+    @property
+    def ecus(self) -> Tuple[Ecu, ...]:
+        """All ECUs."""
+        return tuple(self._ecus.values())
+
+    @property
+    def buses(self) -> Tuple[Bus, ...]:
+        """All buses."""
+        return tuple(self._buses.values())
+
+    @property
+    def entry_points(self) -> Tuple[EntryPoint, ...]:
+        """All entry points."""
+        return tuple(self._entries.values())
+
+    # -- queries ----------------------------------------------------------
+
+    def neighbors(self, node_id: str) -> Tuple[str, ...]:
+        """Direct neighbours of a node."""
+        if node_id not in self._graph:
+            raise KeyError(f"unknown node {node_id!r}")
+        return tuple(sorted(self._graph.neighbors(node_id)))
+
+    def buses_of(self, ecu_id: str) -> Tuple[Bus, ...]:
+        """Buses the ECU is attached to."""
+        self.ecu(ecu_id)
+        return tuple(
+            self._buses[n] for n in self.neighbors(ecu_id) if n in self._buses
+        )
+
+    def reachable_from(self, entry_id: str) -> Tuple[str, ...]:
+        """ECU ids reachable from an entry point through the topology."""
+        self.entry_point(entry_id)
+        component = nx.node_connected_component(self._graph, entry_id)
+        return tuple(sorted(n for n in component if n in self._ecus))
+
+    def simple_paths(
+        self, source: str, target: str, *, cutoff: Optional[int] = None
+    ) -> Iterator[List[str]]:
+        """All simple paths between two nodes, optionally length-bounded."""
+        for node in (source, target):
+            if node not in self._graph:
+                raise KeyError(f"unknown node {node!r}")
+        return nx.all_simple_paths(self._graph, source, target, cutoff=cutoff)
+
+    def hop_distance(self, source: str, target: str) -> int:
+        """Shortest-path hop count between two nodes.
+
+        Raises:
+            nx.NetworkXNoPath: when the nodes are disconnected.
+        """
+        return nx.shortest_path_length(self._graph, source, target)

@@ -1,0 +1,180 @@
+"""UDS diagnostic-session modelling (the paper's OBD attack mechanics).
+
+The paper's local attack vector is concretely UDS over the OBD port:
+"external access is available through the OBD port, easily accessible in
+the cabin", and Fig. 9-C's trend inversion is attackers "bypassing secure
+mechanisms using local attacks".  How hard that local attack is depends
+on the ECU's diagnostic hardening: which UDS services it exposes and
+behind which security-access level.
+
+* :class:`UdsService` — the security-relevant UDS service identifiers.
+* :class:`SecurityAccessLevel` — how the service is gated: none, a
+  static seed-key (widely broken in the field — tooling exists), or a
+  challenge-response against an online OEM backend.
+* :class:`DiagnosticProfile` — one ECU's service→gating map.
+* :func:`hardening_control` — bridge into the controls machinery: a
+  profile's effective gating becomes a local-vector
+  :class:`~repro.iso21434.controls.Control`, so diagnostic hardening
+  composes with every residual-risk tool in the repository.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.iso21434.controls import Control
+from repro.iso21434.enums import AttackVector
+
+
+class UdsService(enum.Enum):
+    """Security-relevant UDS services (ISO 14229 identifiers)."""
+
+    DIAGNOSTIC_SESSION_CONTROL = 0x10
+    ECU_RESET = 0x11
+    SECURITY_ACCESS = 0x27
+    READ_DATA_BY_IDENTIFIER = 0x22
+    WRITE_DATA_BY_IDENTIFIER = 0x2E
+    ROUTINE_CONTROL = 0x31
+    REQUEST_DOWNLOAD = 0x34
+    TRANSFER_DATA = 0x36
+
+    @property
+    def sid(self) -> int:
+        """The UDS service identifier byte."""
+        return int(self.value)
+
+
+class SecurityAccessLevel(enum.Enum):
+    """How a diagnostic service is gated.
+
+    Ordered by attacker difficulty: NONE (open), STATIC_SEED_KEY
+    (seed-key algorithms leak into aftermarket tooling — exactly the
+    paper's OBD-tuning scene), CHALLENGE_RESPONSE (online OEM backend;
+    no offline bypass).
+    """
+
+    NONE = 0
+    STATIC_SEED_KEY = 1
+    CHALLENGE_RESPONSE = 2
+
+    @property
+    def strength(self) -> int:
+        """Feasibility levels this gating removes from a local attack."""
+        return int(self.value)
+
+
+#: The services whose gating determines reprogramming feasibility —
+#: the ECM-reprogramming attack needs the download/transfer chain.
+REPROGRAMMING_SERVICES: Tuple[UdsService, ...] = (
+    UdsService.REQUEST_DOWNLOAD,
+    UdsService.TRANSFER_DATA,
+    UdsService.ROUTINE_CONTROL,
+)
+
+
+@dataclass(frozen=True)
+class DiagnosticProfile:
+    """One ECU's diagnostic hardening profile.
+
+    Attributes:
+        ecu_id: the ECU this profile describes.
+        gating: service → security-access level; unlisted services are
+            treated as not exposed at all.
+    """
+
+    ecu_id: str
+    gating: Mapping[UdsService, SecurityAccessLevel] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self.ecu_id:
+            raise ValueError("ecu_id must be non-empty")
+        object.__setattr__(self, "gating", dict(self.gating))
+
+    def exposes(self, service: UdsService) -> bool:
+        """Whether the ECU exposes the service at all."""
+        return service in self.gating
+
+    def level_for(self, service: UdsService) -> Optional[SecurityAccessLevel]:
+        """The gating level of a service (None when not exposed)."""
+        return self.gating.get(service)
+
+    @property
+    def reprogramming_gate(self) -> Optional[SecurityAccessLevel]:
+        """The *weakest* gating across the reprogramming service chain.
+
+        The attacker needs every chain service; the weakest exposed link
+        is irrelevant — what matters is the weakest *complete* chain, so
+        if any chain service is missing, reprogramming via UDS is not
+        possible (None).  Otherwise the minimum gating over the chain
+        bounds the attack difficulty.
+        """
+        levels = []
+        for service in REPROGRAMMING_SERVICES:
+            level = self.gating.get(service)
+            if level is None:
+                return None
+            levels.append(level)
+        return min(levels, key=lambda l: l.strength)
+
+
+def legacy_profile(ecu_id: str) -> DiagnosticProfile:
+    """A legacy ECU: full reprogramming chain behind a static seed-key.
+
+    This is the paper's powertrain reality — the gating the OBD-tuning
+    scene routinely bypasses with aftermarket tools.
+    """
+    return DiagnosticProfile(
+        ecu_id=ecu_id,
+        gating={
+            UdsService.DIAGNOSTIC_SESSION_CONTROL: SecurityAccessLevel.NONE,
+            UdsService.READ_DATA_BY_IDENTIFIER: SecurityAccessLevel.NONE,
+            UdsService.SECURITY_ACCESS: SecurityAccessLevel.NONE,
+            UdsService.WRITE_DATA_BY_IDENTIFIER: SecurityAccessLevel.STATIC_SEED_KEY,
+            UdsService.ROUTINE_CONTROL: SecurityAccessLevel.STATIC_SEED_KEY,
+            UdsService.REQUEST_DOWNLOAD: SecurityAccessLevel.STATIC_SEED_KEY,
+            UdsService.TRANSFER_DATA: SecurityAccessLevel.STATIC_SEED_KEY,
+        },
+    )
+
+
+def hardened_profile(ecu_id: str) -> DiagnosticProfile:
+    """A hardened ECU: reprogramming behind online challenge-response."""
+    return DiagnosticProfile(
+        ecu_id=ecu_id,
+        gating={
+            UdsService.DIAGNOSTIC_SESSION_CONTROL: SecurityAccessLevel.NONE,
+            UdsService.READ_DATA_BY_IDENTIFIER: SecurityAccessLevel.NONE,
+            UdsService.SECURITY_ACCESS: SecurityAccessLevel.NONE,
+            UdsService.WRITE_DATA_BY_IDENTIFIER: SecurityAccessLevel.CHALLENGE_RESPONSE,
+            UdsService.ROUTINE_CONTROL: SecurityAccessLevel.CHALLENGE_RESPONSE,
+            UdsService.REQUEST_DOWNLOAD: SecurityAccessLevel.CHALLENGE_RESPONSE,
+            UdsService.TRANSFER_DATA: SecurityAccessLevel.CHALLENGE_RESPONSE,
+        },
+    )
+
+
+def hardening_control(profile: DiagnosticProfile) -> Optional[Control]:
+    """Express a profile's reprogramming gate as a local-vector control.
+
+    Returns None when the gate contributes nothing: either the
+    reprogramming chain is not exposed (nothing to harden — the attack
+    is impossible via UDS anyway) or the chain is completely open
+    (strength zero).
+    """
+    gate = profile.reprogramming_gate
+    if gate is None or gate.strength == 0:
+        return None
+    return Control(
+        control_id=f"ctl.uds.{profile.ecu_id}",
+        name=f"UDS security access ({gate.name.lower()}) on {profile.ecu_id}",
+        hardened_vectors=frozenset({AttackVector.LOCAL}),
+        strength=gate.strength,
+        description=(
+            "Reprogramming service chain gated by "
+            f"{gate.name.replace('_', ' ').lower()}"
+        ),
+    )

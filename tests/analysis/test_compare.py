@@ -1,0 +1,109 @@
+"""Tests for rating comparison utilities."""
+
+import pytest
+
+from repro.analysis.compare import (
+    agreement_matrix,
+    rank_displacement,
+    summarize_disagreements,
+    table_delta,
+)
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import standard_table
+from repro.tara.engine import RatingDisagreement
+from repro.vehicle.domains import VehicleDomain
+
+
+def tuned():
+    return standard_table().with_rating(
+        AttackVector.PHYSICAL, FeasibilityRating.HIGH, source="psp"
+    )
+
+
+def disagreement(ecu="ecm", domain=VehicleDomain.POWERTRAIN,
+                 static=FeasibilityRating.VERY_LOW,
+                 tuned_rating=FeasibilityRating.HIGH) -> RatingDisagreement:
+    return RatingDisagreement(
+        threat_id=f"ts.{ecu}.x", ecu_id=ecu, domain=domain,
+        static_feasibility=static, tuned_feasibility=tuned_rating,
+        static_risk=2, tuned_risk=5,
+    )
+
+
+class TestTableDelta:
+    def test_reports_changed_vectors(self):
+        delta = table_delta(standard_table(), tuned())
+        assert set(delta) == {AttackVector.PHYSICAL}
+        before, after = delta[AttackVector.PHYSICAL]
+        assert before is FeasibilityRating.VERY_LOW
+        assert after is FeasibilityRating.HIGH
+
+    def test_identical_tables_empty(self):
+        assert table_delta(standard_table(), standard_table()) == {}
+
+
+class TestRankDisplacement:
+    def test_identical_zero(self):
+        assert rank_displacement(standard_table(), standard_table()) == 0
+
+    def test_single_promotion_displaces(self):
+        assert rank_displacement(standard_table(), tuned()) > 0
+
+    def test_full_reversal_is_maximal(self):
+        reversed_table = standard_table()
+        for vector, rating in (
+            (AttackVector.NETWORK, FeasibilityRating.VERY_LOW),
+            (AttackVector.ADJACENT, FeasibilityRating.LOW),
+            (AttackVector.LOCAL, FeasibilityRating.MEDIUM),
+            (AttackVector.PHYSICAL, FeasibilityRating.HIGH),
+        ):
+            reversed_table = reversed_table.with_rating(vector, rating, source="t")
+        assert rank_displacement(standard_table(), reversed_table) == 8
+
+
+class TestDisagreementSummary:
+    def test_rate(self):
+        summary = summarize_disagreements(10, [disagreement()])
+        assert summary.disagreement_rate == pytest.approx(0.1)
+
+    def test_zero_threats(self):
+        assert summarize_disagreements(0, []).disagreement_rate == 0.0
+
+    def test_by_domain(self):
+        summary = summarize_disagreements(
+            10,
+            [disagreement(), disagreement(ecu="icm",
+                                          domain=VehicleDomain.INFOTAINMENT)],
+        )
+        counts = summary.by_domain()
+        assert counts[VehicleDomain.POWERTRAIN] == 1
+        assert counts[VehicleDomain.INFOTAINMENT] == 1
+
+    def test_underestimated_filter(self):
+        over = disagreement(static=FeasibilityRating.HIGH,
+                            tuned_rating=FeasibilityRating.LOW)
+        summary = summarize_disagreements(10, [disagreement(), over])
+        assert len(summary.underestimated()) == 1
+
+    def test_dominant_domain(self):
+        summary = summarize_disagreements(
+            10, [disagreement(), disagreement(ecu="tcm")]
+        )
+        assert summary.dominant_domain() is VehicleDomain.POWERTRAIN
+
+    def test_dominant_domain_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_disagreements(10, []).dominant_domain()
+
+
+class TestAgreementMatrix:
+    def test_counts_pairs(self):
+        a = {"t1": FeasibilityRating.LOW, "t2": FeasibilityRating.HIGH}
+        b = {"t1": FeasibilityRating.LOW, "t2": FeasibilityRating.MEDIUM}
+        matrix = agreement_matrix(a, b)
+        assert matrix[(FeasibilityRating.LOW, FeasibilityRating.LOW)] == 1
+        assert matrix[(FeasibilityRating.HIGH, FeasibilityRating.MEDIUM)] == 1
+
+    def test_missing_keys_skipped(self):
+        a = {"t1": FeasibilityRating.LOW}
+        assert agreement_matrix(a, {}) == {}

@@ -1,0 +1,82 @@
+"""Tests for the markdown assessment-report generator."""
+
+import pytest
+
+from repro import PSPFramework, PSPConfig, TargetApplication
+from repro.analysis.reporting import generate_assessment_report
+from repro.tara.engine import TaraEngine
+from tests.conftest import build_excavator_database
+
+
+@pytest.fixture()
+def run_result(excavator_client):
+    framework = PSPFramework(
+        excavator_client,
+        TargetApplication("excavator", "europe", "industrial"),
+        database=build_excavator_database(),
+        config=PSPConfig(learning_min_support=0.01),
+    )
+    return framework.run(learn=True)
+
+
+class TestBasicReport:
+    def test_core_sections_present(self, run_result):
+        report = generate_assessment_report(run_result)
+        assert report.startswith("# PSP risk assessment report")
+        assert "## Social Attraction Index" in report
+        assert "## Insider / outsider classification" in report
+        assert "## Attack-feasibility weight tables" in report
+
+    def test_target_and_window(self, run_result):
+        report = generate_assessment_report(run_result)
+        assert "excavator / industrial / europe" in report
+        assert "full history" in report
+
+    def test_sai_rows_rendered(self, run_result):
+        report = generate_assessment_report(run_result)
+        assert "| dpfdelete |" in report.replace("| 1 | dpfdelete", "| dpfdelete")
+
+    def test_learned_keywords_listed(self, run_result):
+        report = generate_assessment_report(run_result)
+        assert "Auto-learned keywords" in report
+
+    def test_all_three_tables(self, run_result):
+        report = generate_assessment_report(run_result)
+        assert "Original ISO/SAE-21434 G.9" in report
+        assert "Outsider threats (unchanged)" in report
+        assert "Insider threats (PSP-tuned)" in report
+
+    def test_valid_markdown_tables(self, run_result):
+        report = generate_assessment_report(run_result)
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+
+class TestOptionalSections:
+    def test_financial_section(self, run_result, excavator_framework):
+        assessment = excavator_framework.assess_financial("dpfdelete")
+        report = generate_assessment_report(run_result, financial=[assessment])
+        assert "## Financial attack feasibility" in report
+        assert "506,160" in report
+
+    def test_tara_section(self, run_result, fig4_network):
+        tara = TaraEngine(fig4_network).run()
+        report = generate_assessment_report(run_result, tara=tara)
+        assert "## TARA summary" in report
+        assert "ts.tcu.firmware.tampering" in report
+
+    def test_tara_min_risk_filters(self, run_result, fig4_network):
+        tara = TaraEngine(fig4_network).run()
+        all_rows = generate_assessment_report(
+            run_result, tara=tara, tara_min_risk=1
+        )
+        few_rows = generate_assessment_report(
+            run_result, tara=tara, tara_min_risk=4
+        )
+        assert len(all_rows) > len(few_rows)
+
+    def test_omitted_sections_absent(self, run_result):
+        report = generate_assessment_report(run_result)
+        assert "## Financial attack feasibility" not in report
+        assert "## TARA summary" not in report

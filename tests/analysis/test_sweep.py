@@ -1,0 +1,65 @@
+"""Tests for ablation sweeps."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    ABLATION_WEIGHT_MIXES,
+    learning_coverage,
+    ranking_stability,
+    sai_weight_ablation,
+    sweep,
+)
+from repro.core.keywords import paper_seed_database
+from tests.conftest import build_excavator_database
+
+
+class TestGenericSweep:
+    def test_evaluates_every_value(self):
+        points = sweep([1, 2, 3], lambda v: v * 10)
+        assert [p.outcome for p in points] == [10, 20, 30]
+        assert [p.label for p in points] == ["1", "2", "3"]
+
+    def test_custom_label(self):
+        points = sweep([1], lambda v: v, label=lambda v: f"k={v}")
+        assert points[0].label == "k=1"
+
+
+class TestWeightAblation:
+    def test_all_mixes_computed(self, excavator_client):
+        results = sai_weight_ablation(
+            excavator_client, build_excavator_database()
+        )
+        assert set(results) == {label for label, _ in ABLATION_WEIGHT_MIXES}
+
+    def test_dpfdelete_ranks_first_under_every_mix(self, excavator_client):
+        # Ablation A1 headline: the paper's Fig. 12 ranking is stable
+        # against the engagement-weight mix.
+        results = sai_weight_ablation(
+            excavator_client, build_excavator_database()
+        )
+        for label, sai in results.items():
+            assert sai.ranking()[0] == "dpfdelete", label
+
+    def test_ranking_stability_default_is_one(self, excavator_client):
+        results = sai_weight_ablation(
+            excavator_client, build_excavator_database()
+        )
+        stability = ranking_stability(results)
+        assert stability["default"] == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 for v in stability.values())
+
+    def test_ranking_stability_requires_default(self):
+        with pytest.raises(ValueError):
+            ranking_stability({})
+
+
+class TestLearningCoverage:
+    def test_learning_adds_keywords(self, excavator_client):
+        texts = [p.text for p in excavator_client.corpus]
+        coverage = learning_coverage(
+            excavator_client, paper_seed_database, texts
+        )
+        assert coverage["with_learning"] > coverage["without_learning"]
+        assert coverage["learned"] == (
+            coverage["with_learning"] - coverage["without_learning"]
+        )

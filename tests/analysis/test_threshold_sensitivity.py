@@ -1,0 +1,39 @@
+"""Tests for the tuning-threshold sensitivity sweep."""
+
+from repro.analysis.sweep import threshold_sensitivity
+from repro.iso21434.enums import AttackVector
+
+
+SHARES = {
+    AttackVector.PHYSICAL: 0.63,
+    AttackVector.LOCAL: 0.31,
+    AttackVector.ADJACENT: 0.05,
+    AttackVector.NETWORK: 0.01,
+}
+
+
+class TestThresholdSensitivity:
+    def test_all_valid_combinations_swept(self):
+        points = threshold_sensitivity(SHARES)
+        # 3 x 3 x 3 grid, all combinations valid with the defaults
+        assert len(points) == 27
+
+    def test_invalid_orderings_skipped(self):
+        points = threshold_sensitivity(
+            SHARES, highs=(0.1,), mediums=(0.2,), lows=(0.05,)
+        )
+        assert points == []  # medium > high -> skipped
+
+    def test_fig9b_ranking_robust_to_thresholds(self):
+        # The published full-history ranking (physical first, local
+        # second) holds across the entire default threshold grid.
+        points = threshold_sensitivity(SHARES)
+        for point in points:
+            ranking = point.outcome
+            assert ranking[0] is AttackVector.PHYSICAL, point.label
+            assert ranking[1] is AttackVector.LOCAL, point.label
+
+    def test_outcome_is_full_ranking(self):
+        points = threshold_sensitivity(SHARES)
+        for point in points:
+            assert set(point.outcome) == set(AttackVector)

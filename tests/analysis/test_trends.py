@@ -1,0 +1,65 @@
+"""Tests for incident-report trend cross-checks."""
+
+from repro.analysis.trends import (
+    crossing_year,
+    incident_vector_series,
+    report_confirms_inversion,
+)
+from repro.iso21434.enums import AttackVector
+from repro.market.reports import AnnualReport, default_report_library
+
+
+class TestSeries:
+    def test_series_extracted_per_vector(self):
+        report = default_report_library().latest("excavator", "europe")
+        series = incident_vector_series(report)
+        vectors = {s.vector for s in series}
+        assert AttackVector.PHYSICAL in vectors
+        assert AttackVector.LOCAL in vectors
+
+    def test_physical_direction_negative(self):
+        report = default_report_library().latest("excavator", "europe")
+        series = {s.vector: s for s in incident_vector_series(report)}
+        assert series[AttackVector.PHYSICAL].direction < 0
+        assert series[AttackVector.LOCAL].direction > 0
+
+    def test_share_in_specific_year(self):
+        report = default_report_library().latest("excavator", "europe")
+        series = {s.vector: s for s in incident_vector_series(report)}
+        assert series[AttackVector.PHYSICAL].share_in(2020) > 0.5
+        assert series[AttackVector.PHYSICAL].share_in(1999) is None
+
+
+class TestInversionConfirmation:
+    def test_paper_inversion_confirmed(self):
+        report = default_report_library().latest("excavator", "europe")
+        assert report_confirms_inversion(
+            report, risen=AttackVector.LOCAL, fallen=AttackVector.PHYSICAL
+        )
+
+    def test_reverse_direction_not_confirmed(self):
+        report = default_report_library().latest("excavator", "europe")
+        assert not report_confirms_inversion(
+            report, risen=AttackVector.PHYSICAL, fallen=AttackVector.LOCAL
+        )
+
+    def test_report_without_incidents_not_confirmed(self):
+        empty = AnnualReport(
+            year=2023, application="x", region="europe", prose="p"
+        )
+        assert not report_confirms_inversion(
+            empty, AttackVector.LOCAL, AttackVector.PHYSICAL
+        )
+
+    def test_crossing_year(self):
+        report = default_report_library().latest("excavator", "europe")
+        year = crossing_year(
+            report, risen=AttackVector.LOCAL, fallen=AttackVector.PHYSICAL
+        )
+        assert year == 2022
+
+    def test_crossing_year_none_when_never(self):
+        report = default_report_library().latest("excavator", "europe")
+        assert crossing_year(
+            report, risen=AttackVector.NETWORK, fallen=AttackVector.PHYSICAL
+        ) is None

@@ -1,0 +1,108 @@
+"""Tests for the EVITA-style baseline."""
+
+import pytest
+
+from repro.baselines.evita import (
+    AttackProbability,
+    RiskLevel,
+    assess_evita,
+    attack_probability,
+    risk_level,
+    severity_class,
+)
+from repro.iso21434.enums import ImpactCategory, ImpactRating
+from repro.iso21434.feasibility.attack_potential import (
+    AttackPotentialInput,
+    ElapsedTime,
+    Equipment,
+    Expertise,
+    Knowledge,
+    WindowOfOpportunity,
+)
+from repro.iso21434.impact import ImpactProfile
+
+
+def potential(time=ElapsedTime.ONE_WEEK, expertise=Expertise.LAYMAN,
+              knowledge=Knowledge.PUBLIC,
+              window=WindowOfOpportunity.UNLIMITED,
+              equipment=Equipment.STANDARD) -> AttackPotentialInput:
+    return AttackPotentialInput(
+        elapsed_time=time, expertise=expertise, knowledge=knowledge,
+        window=window, equipment=equipment,
+    )
+
+
+class TestAttackProbability:
+    def test_trivial_attack_p5(self):
+        assert attack_probability(potential()) is AttackProbability.P5
+
+    def test_hardest_attack_p1(self):
+        hard = potential(
+            time=ElapsedTime.MORE_THAN_THREE_YEARS,
+            expertise=Expertise.MULTIPLE_EXPERTS,
+            knowledge=Knowledge.STRICTLY_CONFIDENTIAL,
+            window=WindowOfOpportunity.DIFFICULT,
+            equipment=Equipment.MULTIPLE_BESPOKE,
+        )
+        assert attack_probability(hard) is AttackProbability.P1
+
+    def test_probability_non_increasing_in_potential(self):
+        inputs = [
+            potential(),
+            potential(time=ElapsedTime.SIX_MONTHS, expertise=Expertise.EXPERT),
+            potential(time=ElapsedTime.THREE_YEARS, expertise=Expertise.EXPERT,
+                      knowledge=Knowledge.CONFIDENTIAL),
+        ]
+        probs = [attack_probability(i).level for i in inputs]
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestSeverity:
+    def test_safety_severe_promoted_to_class4(self):
+        profile = ImpactProfile({ImpactCategory.SAFETY: ImpactRating.SEVERE})
+        assert severity_class(profile) == 4
+
+    def test_financial_severe_stays_class3(self):
+        profile = ImpactProfile({ImpactCategory.FINANCIAL: ImpactRating.SEVERE})
+        assert severity_class(profile) == 3
+
+    def test_empty_profile_class0(self):
+        assert severity_class(ImpactProfile()) == 0
+
+
+class TestRiskGraph:
+    def test_zero_severity_always_r0(self):
+        for probability in AttackProbability:
+            assert risk_level(0, probability) is RiskLevel.R0
+
+    def test_maximum_corner(self):
+        assert risk_level(4, AttackProbability.P5) is RiskLevel.R6
+
+    def test_monotone_in_both_axes(self):
+        for severity in range(1, 5):
+            for probability in AttackProbability:
+                value = risk_level(severity, probability).level
+                if severity < 4:
+                    assert risk_level(severity + 1, probability).level >= value
+                if probability.level < 5:
+                    next_p = AttackProbability(probability.level + 1)
+                    assert risk_level(severity, next_p).level >= value
+
+    def test_severity_validated(self):
+        with pytest.raises(ValueError):
+            risk_level(5, AttackProbability.P1)
+
+
+class TestAssessment:
+    def test_powertrain_owner_attack_max_risk(self):
+        # EVITA agrees with PSP on the powertrain case: an owner with
+        # unlimited access attacking a safety-severe function is R6 even
+        # though the attack is physical — isolating the G.9 table (not the
+        # factor model) as the source of the static mis-rating.
+        profile = ImpactProfile({ImpactCategory.SAFETY: ImpactRating.SEVERE})
+        result = assess_evita("ts.ecm", potential(), profile)
+        assert result.risk is RiskLevel.R6
+
+    def test_negligible_impact_no_risk(self):
+        result = assess_evita("ts.x", potential(), ImpactProfile())
+        assert result.risk is RiskLevel.R0

@@ -1,0 +1,103 @@
+"""Tests for the HEAVENS-style baseline."""
+
+import pytest
+
+from repro.baselines.heavens import (
+    HeavensLevel,
+    SecurityLevel,
+    ThreatLevelInput,
+    assess_heavens,
+    impact_level,
+    security_level,
+    threat_level,
+)
+from repro.iso21434.enums import ImpactCategory, ImpactRating
+from repro.iso21434.impact import ImpactProfile
+
+
+class TestThreatLevel:
+    def test_parameter_range_validated(self):
+        with pytest.raises(ValueError):
+            ThreatLevelInput(expertise=4, knowledge=0, opportunity=0, equipment=0)
+
+    @pytest.mark.parametrize(
+        "total_params,expected",
+        [
+            ((0, 0, 0, 0), HeavensLevel.NONE),
+            ((1, 1, 1, 0), HeavensLevel.LOW),
+            ((2, 2, 2, 2), HeavensLevel.MEDIUM),
+            ((3, 3, 3, 3), HeavensLevel.HIGH),
+        ],
+    )
+    def test_bands(self, total_params, expected):
+        params = ThreatLevelInput(*total_params)
+        assert threat_level(params) is expected
+
+    def test_owner_attacker_scores_high(self):
+        # The powertrain insider: layman-accessible (3), public knowledge
+        # (3), unlimited opportunity (3), standard equipment (2).
+        owner = ThreatLevelInput(expertise=3, knowledge=3, opportunity=3, equipment=2)
+        assert threat_level(owner) is HeavensLevel.HIGH
+
+
+class TestImpactLevel:
+    def test_safety_double_weighted(self):
+        safety_only = ImpactProfile({ImpactCategory.SAFETY: ImpactRating.SEVERE})
+        privacy_only = ImpactProfile({ImpactCategory.PRIVACY: ImpactRating.SEVERE})
+        assert impact_level(safety_only).level > impact_level(privacy_only).level
+
+    def test_empty_profile_none(self):
+        assert impact_level(ImpactProfile()) is HeavensLevel.NONE
+
+    def test_full_severe_profile_high(self):
+        profile = ImpactProfile(
+            {category: ImpactRating.SEVERE for category in ImpactCategory}
+        )
+        assert impact_level(profile) is HeavensLevel.HIGH
+
+
+class TestSecurityLevel:
+    def test_extremes(self):
+        assert security_level(HeavensLevel.NONE, HeavensLevel.NONE) is SecurityLevel.QM
+        assert (
+            security_level(HeavensLevel.HIGH, HeavensLevel.HIGH)
+            is SecurityLevel.CRITICAL
+        )
+
+    def test_matrix_monotone(self):
+        levels = sorted(HeavensLevel, key=lambda l: l.level)
+        for i, tl in enumerate(levels):
+            for j, il in enumerate(levels):
+                value = security_level(tl, il).level
+                if i + 1 < len(levels):
+                    assert security_level(levels[i + 1], il).level >= value
+                if j + 1 < len(levels):
+                    assert security_level(tl, levels[j + 1]).level >= value
+
+
+class TestAssessment:
+    def test_powertrain_insider_threat_rates_high(self):
+        # HEAVENS, which scores attacker capability directly instead of
+        # reading a fixed vector table, agrees with PSP that the
+        # powertrain owner-attack is a top-priority threat.
+        owner = ThreatLevelInput(expertise=3, knowledge=3, opportunity=3, equipment=3)
+        profile = ImpactProfile({ImpactCategory.SAFETY: ImpactRating.SEVERE})
+        result = assess_heavens("ts.ecm", owner, profile)
+        assert result.security.level >= SecurityLevel.HIGH.level
+
+    def test_full_severity_owner_attack_rates_critical(self):
+        owner = ThreatLevelInput(expertise=3, knowledge=3, opportunity=3, equipment=3)
+        profile = ImpactProfile(
+            {
+                ImpactCategory.SAFETY: ImpactRating.SEVERE,
+                ImpactCategory.FINANCIAL: ImpactRating.SEVERE,
+                ImpactCategory.OPERATIONAL: ImpactRating.SEVERE,
+            }
+        )
+        result = assess_heavens("ts.ecm", owner, profile)
+        assert result.security is SecurityLevel.CRITICAL
+
+    def test_low_capability_low_impact_qm(self):
+        weak = ThreatLevelInput(expertise=0, knowledge=0, opportunity=0, equipment=0)
+        result = assess_heavens("ts.x", weak, ImpactProfile())
+        assert result.security is SecurityLevel.QM

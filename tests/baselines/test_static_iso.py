@@ -1,0 +1,65 @@
+"""Tests for the static ISO baseline."""
+
+from repro.baselines.static_iso import StaticIsoBaseline
+from repro.iso21434.enums import (
+    AttackVector,
+    CybersecurityProperty,
+    FeasibilityRating,
+    StrideCategory,
+)
+from repro.iso21434.feasibility.attack_vector import standard_table
+from repro.iso21434.threats import ThreatScenario
+
+
+def threat(vectors) -> ThreatScenario:
+    return ThreatScenario(
+        threat_id="ts.x",
+        name="x",
+        asset_id="ecm.firmware",
+        violated_property=CybersecurityProperty.INTEGRITY,
+        stride=StrideCategory.TAMPERING,
+        attack_vectors=frozenset(vectors),
+    )
+
+
+class TestStaticBaseline:
+    def test_picks_highest_rated_vector(self):
+        baseline = StaticIsoBaseline()
+        rating = baseline.rate(threat({AttackVector.PHYSICAL, AttackVector.NETWORK}))
+        assert rating.chosen_vector is AttackVector.NETWORK
+        assert rating.feasibility is FeasibilityRating.HIGH
+
+    def test_physical_only_threat_rated_very_low(self):
+        # The paper's complaint: an owner-driven physical tampering threat
+        # gets the table's bottom rating under the static model.
+        baseline = StaticIsoBaseline()
+        rating = baseline.rate(threat({AttackVector.PHYSICAL}))
+        assert rating.feasibility is FeasibilityRating.VERY_LOW
+
+    def test_rate_all(self):
+        baseline = StaticIsoBaseline()
+        ratings = baseline.rate_all(
+            [threat({AttackVector.LOCAL}), threat({AttackVector.ADJACENT})]
+        )
+        assert [r.feasibility for r in ratings] == [
+            FeasibilityRating.LOW,
+            FeasibilityRating.MEDIUM,
+        ]
+
+    def test_custom_table_swaps_behaviour(self):
+        tuned = standard_table().with_rating(
+            AttackVector.PHYSICAL, FeasibilityRating.HIGH, source="psp"
+        )
+        baseline = StaticIsoBaseline(tuned)
+        rating = baseline.rate(threat({AttackVector.PHYSICAL, AttackVector.LOCAL}))
+        assert rating.chosen_vector is AttackVector.PHYSICAL
+        assert rating.feasibility is FeasibilityRating.HIGH
+
+    def test_tie_broken_by_reach(self):
+        flat = standard_table()
+        tuned = flat.with_rating(
+            AttackVector.PHYSICAL, FeasibilityRating.HIGH, source="t"
+        )
+        baseline = StaticIsoBaseline(tuned)
+        rating = baseline.rate(threat({AttackVector.PHYSICAL, AttackVector.NETWORK}))
+        assert rating.chosen_vector is AttackVector.NETWORK

@@ -1,0 +1,82 @@
+"""Shared fixtures: scenario corpora and frameworks, cached per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PSPFramework, TargetApplication
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.social import (
+    InMemoryClient,
+    ecm_reprogramming_corpus,
+    ecm_reprogramming_specs,
+    excavator_corpus,
+    excavator_specs,
+)
+from repro.vehicle import reference_architecture
+
+
+@pytest.fixture(scope="session")
+def excavator_client() -> InMemoryClient:
+    """Client over the excavator corpus (paper Fig. 12 workload)."""
+    return InMemoryClient(excavator_corpus())
+
+
+@pytest.fixture(scope="session")
+def ecm_client() -> InMemoryClient:
+    """Client over the ECM-reprogramming corpus (paper Fig. 9 workload)."""
+    return InMemoryClient(ecm_reprogramming_corpus())
+
+
+def build_ecm_database() -> KeywordDatabase:
+    """Annotated keyword database for the ECM scenario."""
+    db = KeywordDatabase()
+    for spec in ecm_reprogramming_specs():
+        db.add(
+            AttackKeyword(
+                keyword=spec.keyword,
+                vector=spec.vector,
+                owner_approved=spec.owner_approved,
+            )
+        )
+    return db
+
+
+def build_excavator_database() -> KeywordDatabase:
+    """Annotated keyword database covering every excavator topic."""
+    db = KeywordDatabase()
+    for spec in excavator_specs():
+        db.add(
+            AttackKeyword(
+                keyword=spec.keyword,
+                vector=spec.vector,
+                owner_approved=spec.owner_approved,
+            )
+        )
+    return db
+
+
+@pytest.fixture()
+def ecm_framework(ecm_client) -> PSPFramework:
+    """PSP framework on the ECM corpus with a fresh annotated database."""
+    return PSPFramework(
+        ecm_client,
+        TargetApplication("car", "europe", "passenger"),
+        database=build_ecm_database(),
+    )
+
+
+@pytest.fixture()
+def excavator_framework(excavator_client) -> PSPFramework:
+    """PSP framework on the excavator corpus with the full annotated DB."""
+    return PSPFramework(
+        excavator_client,
+        TargetApplication("excavator", "europe", "industrial"),
+        database=build_excavator_database(),
+    )
+
+
+@pytest.fixture(scope="session")
+def fig4_network():
+    """The Fig. 4 reference architecture."""
+    return reference_architecture()

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sai", "--scenario", "submarine"])
+
+
+class TestSai:
+    def test_excavator_ranking(self, capsys):
+        assert main(["sai", "--scenario", "excavator"]) == 0
+        out = capsys.readouterr().out
+        assert "dpfdelete" in out
+        assert "SAI" in out
+
+    def test_top_limits(self, capsys):
+        main(["sai", "--scenario", "excavator", "--top", "1"])
+        out = capsys.readouterr().out
+        assert "dpfdelete" in out
+        assert "hourmeterrollback" not in out
+
+    def test_since_year(self, capsys):
+        assert main(["sai", "--scenario", "ecm", "--since-year", "2022"]) == 0
+        assert "obdtuning" in capsys.readouterr().out
+
+
+class TestTune:
+    def test_prints_both_tables(self, capsys):
+        assert main(["tune", "--scenario", "ecm"]) == 0
+        out = capsys.readouterr().out
+        assert "Outsider weight table" in out
+        assert "Insider weight table (PSP)" in out
+
+
+class TestCompare:
+    def test_fig9_output(self, capsys):
+        assert main(["compare", "--scenario", "ecm", "--split-year", "2022"]) == 0
+        out = capsys.readouterr().out
+        assert "Original G.9 table" in out
+        assert "full history" in out
+        assert "since 2022" in out
+        assert "Trend inversion" in out
+
+
+class TestFinancial:
+    def test_paper_values(self, capsys):
+        code = main(
+            ["financial", "--scenario", "excavator", "--keyword", "dpfdelete"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "506,160" in out
+        assert "1,406" in out
+
+    def test_unknown_keyword_fails_cleanly(self, capsys):
+        code = main(
+            ["financial", "--scenario", "excavator", "--keyword", "submarine"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTara:
+    def test_static_run(self, capsys):
+        assert main(["tara"]) == 0
+        assert "TARA" in capsys.readouterr().out
+
+    def test_psp_run_reports_disagreements(self, capsys):
+        assert main(["tara", "--psp"]) == 0
+        out = capsys.readouterr().out
+        assert "rated differently" in out

@@ -1,0 +1,95 @@
+"""Tests for PSP configuration objects."""
+
+import pytest
+
+from repro.core.config import (
+    PAPER_SEED_KEYWORDS,
+    PSPConfig,
+    SAIWeights,
+    TargetApplication,
+    TuningThresholds,
+)
+
+
+class TestTargetApplication:
+    def test_requires_application(self):
+        with pytest.raises(ValueError):
+            TargetApplication("")
+
+    def test_requires_region(self):
+        with pytest.raises(ValueError):
+            TargetApplication("car", region="")
+
+    def test_describe(self):
+        target = TargetApplication("excavator", "europe", "industrial")
+        assert target.describe() == "excavator / industrial / europe"
+
+    def test_defaults(self):
+        target = TargetApplication("car")
+        assert target.region == "europe"
+
+
+class TestSAIWeights:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SAIWeights(views=-1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            SAIWeights(views=0, interactions=0, volume=0)
+
+    def test_defaults_volume_heaviest(self):
+        weights = SAIWeights()
+        assert weights.volume > weights.interactions > weights.views
+
+
+class TestTuningThresholds:
+    def test_defaults_descending(self):
+        t = TuningThresholds()
+        assert t.high > t.medium > t.low > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(high=0.2, medium=0.25, low=0.08),   # high < medium
+            dict(high=0.5, medium=0.05, low=0.08),   # medium < low
+            dict(high=1.5, medium=0.25, low=0.08),   # high > 1
+            dict(high=0.5, medium=0.25, low=0.0),    # low = 0
+        ],
+    )
+    def test_invalid_orderings_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TuningThresholds(**kwargs)
+
+
+class TestPSPConfig:
+    def test_defaults_valid(self):
+        config = PSPConfig()
+        assert config.sentiment_gain >= 0
+        assert config.default_competitors >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(sentiment_gain=-0.1),
+            dict(learning_min_support=1.5),
+            dict(learning_max_new=-1),
+            dict(default_attacker_rate=0.0),
+            dict(default_fte_hours=-1),
+            dict(default_sld=-1),
+            dict(default_competitors=0),
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PSPConfig(**kwargs)
+
+
+class TestSeedKeywords:
+    def test_paper_hashtags_present(self):
+        # §III: "#dpfdelete, #egrremoval, #egrdelete, #egroff,
+        # #dieselpower, #chiptuning"
+        assert PAPER_SEED_KEYWORDS == (
+            "dpfdelete", "egrremoval", "egrdelete", "egroff",
+            "dieselpower", "chiptuning",
+        )

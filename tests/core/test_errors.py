@@ -1,0 +1,28 @@
+"""Tests for the PSP exception hierarchy."""
+
+import pytest
+
+from repro.core.errors import (
+    DataUnavailableError,
+    KeywordError,
+    ModelInputError,
+    PSPError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass", [KeywordError, DataUnavailableError, ModelInputError]
+    )
+    def test_all_derive_from_psp_error(self, subclass):
+        assert issubclass(subclass, PSPError)
+
+    def test_catchable_as_psp_error(self):
+        with pytest.raises(PSPError):
+            raise DataUnavailableError("no sales record")
+
+    def test_distinct_classes(self):
+        # A keyword problem must not be swallowed by a data-availability
+        # handler and vice versa.
+        assert not issubclass(KeywordError, DataUnavailableError)
+        assert not issubclass(DataUnavailableError, KeywordError)

@@ -1,0 +1,173 @@
+"""Tests for the financial attack-feasibility model (Eqs. 1-7)."""
+
+import pytest
+
+from repro.core.errors import ModelInputError
+from repro.core.financial import (
+    BreakEvenAnalysis,
+    assess,
+    break_even_point,
+    financial_feasibility,
+    fixed_cost,
+    fixed_cost_from_bep,
+    market_value,
+    potential_attackers,
+)
+from repro.iso21434.enums import FeasibilityRating
+from repro.market.sales import SalesRecord
+
+
+def record(monopolistic=False, units=140600, share=0.35) -> SalesRecord:
+    return SalesRecord(
+        application="excavator", region="europe", year=2022,
+        units_sold=units, market_share=share, monopolistic=monopolistic,
+    )
+
+
+class TestEq2PotentialAttackers:
+    def test_paper_value(self):
+        # 140,600 units x 1% = 1,406 (the paper's PAE).
+        assert potential_attackers(record(), 0.01) == 1406
+
+    def test_monopolistic_uses_vs(self):
+        assert potential_attackers(record(monopolistic=True), 0.01) == 1406
+
+    def test_non_monopolistic_uses_company_share_of_market(self):
+        # share x market_units == units_sold, per the MS-in-units reading.
+        assert potential_attackers(record(monopolistic=False), 0.01) == 1406
+
+    def test_rate_validated(self):
+        with pytest.raises(ModelInputError):
+            potential_attackers(record(), 0.0)
+        with pytest.raises(ModelInputError):
+            potential_attackers(record(), 1.5)
+
+    def test_rounding(self):
+        assert potential_attackers(record(units=150, share=1.0), 0.01) == 2
+
+
+class TestEq1MarketValue:
+    def test_paper_eq6(self):
+        assert market_value(1406, 360.0) == pytest.approx(506160.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelInputError):
+            market_value(-1, 360.0)
+        with pytest.raises(ModelInputError):
+            market_value(1, -360.0)
+
+
+class TestEq4FixedCost:
+    def test_formula(self):
+        assert fixed_cost(1200.0, 90.0, 15000.0) == pytest.approx(123000.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelInputError):
+            fixed_cost(-1, 90, 0)
+
+
+class TestEq3BreakEven:
+    def test_formula(self):
+        # FC=3100, margin=310, n=1 -> 10 units
+        assert break_even_point(3100.0, 360.0, 50.0) == pytest.approx(10.0)
+
+    def test_competitors_scale_bep(self):
+        single = break_even_point(3100.0, 360.0, 50.0, n=1)
+        triple = break_even_point(3100.0, 360.0, 50.0, n=3)
+        assert triple == pytest.approx(3 * single)
+
+    def test_margin_must_be_positive(self):
+        with pytest.raises(ModelInputError, match="exceed"):
+            break_even_point(100.0, 50.0, 50.0)
+
+    def test_n_validated(self):
+        with pytest.raises(ModelInputError):
+            break_even_point(100.0, 360.0, 50.0, n=0)
+
+
+class TestEq5Inverse:
+    def test_paper_eq7(self):
+        # FC = 1,406 x 310 / 3 ≈ 145,286.67 EUR
+        fc = fixed_cost_from_bep(1406, 360.0, 50.0, n=3)
+        assert fc == pytest.approx(145286.67, abs=0.01)
+
+    def test_inverse_of_eq3(self):
+        fc = 123456.0
+        bep = break_even_point(fc, 360.0, 50.0, n=3)
+        assert fixed_cost_from_bep(bep, 360.0, 50.0, n=3) == pytest.approx(fc)
+
+    def test_validation(self):
+        with pytest.raises(ModelInputError):
+            fixed_cost_from_bep(-1, 360.0, 50.0)
+        with pytest.raises(ModelInputError):
+            fixed_cost_from_bep(10, 50.0, 50.0)
+
+
+class TestBreakEvenAnalysis:
+    def test_crossover_at_bep(self):
+        analysis = BreakEvenAnalysis(fc=145286.67, ppia=360.0, vcu=50.0, n=3)
+        bep = analysis.break_even
+        assert analysis.profit(bep) == pytest.approx(0.0, abs=1e-6)
+        assert not analysis.is_profitable(bep * 0.9)
+        assert analysis.is_profitable(bep * 1.1)
+
+    def test_revenue_and_cost_linear(self):
+        analysis = BreakEvenAnalysis(fc=1000.0, ppia=100.0, vcu=20.0, n=1)
+        assert analysis.revenue(10) == pytest.approx(1000.0)
+        assert analysis.cost(10) == pytest.approx(1200.0)
+
+    def test_curve_samples(self):
+        analysis = BreakEvenAnalysis(fc=1000.0, ppia=100.0, vcu=20.0)
+        curve = analysis.curve(100.0, points=5)
+        assert len(curve) == 5
+        assert curve[0][0] == 0.0
+        assert curve[-1][0] == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelInputError):
+            BreakEvenAnalysis(fc=1.0, ppia=10.0, vcu=10.0)
+        with pytest.raises(ModelInputError):
+            BreakEvenAnalysis(fc=1.0, ppia=10.0, vcu=5.0).revenue(-1)
+
+
+class TestFeasibilityIndex:
+    @pytest.mark.parametrize(
+        "mv,fc,expected",
+        [
+            (300.0, 100.0, FeasibilityRating.HIGH),
+            (200.0, 100.0, FeasibilityRating.MEDIUM),
+            (120.0, 100.0, FeasibilityRating.LOW),
+            (90.0, 100.0, FeasibilityRating.VERY_LOW),
+            (100.0, 0.0, FeasibilityRating.HIGH),
+            (0.0, 100.0, FeasibilityRating.VERY_LOW),
+        ],
+    )
+    def test_ratio_bands(self, mv, fc, expected):
+        assert financial_feasibility(mv, fc) is expected
+
+    def test_validation(self):
+        with pytest.raises(ModelInputError):
+            financial_feasibility(-1.0, 1.0)
+
+
+class TestAssess:
+    def test_paper_dpf_assessment(self):
+        assessment = assess(
+            "dpfdelete", pae=1406, ppia=360.0, vcu=50.0, competitors=3
+        )
+        assert assessment.mv == pytest.approx(506160.0)
+        assert assessment.fc_required == pytest.approx(145286.67, abs=0.01)
+        assert assessment.feasibility is FeasibilityRating.HIGH
+        assert assessment.margin == pytest.approx(310.0)
+
+    def test_describe_mentions_keyword_and_values(self):
+        assessment = assess("dpfdelete", pae=1406, ppia=360.0, vcu=50.0,
+                            competitors=3)
+        text = assessment.describe()
+        assert "dpfdelete" in text
+        assert "506,160" in text
+
+    def test_analysis_round_trip(self):
+        assessment = assess("x", pae=1000, ppia=100.0, vcu=20.0, competitors=2)
+        analysis = assessment.analysis()
+        assert analysis.break_even == pytest.approx(1000.0)

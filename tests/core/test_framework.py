@@ -1,0 +1,94 @@
+"""Tests for the PSPFramework orchestrator."""
+
+import pytest
+
+from repro import PSPFramework, TargetApplication, TimeWindow
+from repro.core.errors import DataUnavailableError
+from repro.core.keywords import paper_seed_database
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import standard_table
+
+
+class TestRun:
+    def test_run_produces_complete_result(self, excavator_framework):
+        result = excavator_framework.run()
+        assert len(result.sai) > 0
+        assert result.insider_table.source == "psp"
+        assert result.outsider_table.ratings == standard_table().ratings
+        assert result.window.describe() == "full history"
+
+    def test_learning_grows_database(self, excavator_client):
+        psp = PSPFramework(
+            excavator_client,
+            TargetApplication("excavator", "europe"),
+            database=paper_seed_database(),
+        )
+        before = len(psp.database)
+        result = psp.run(learn=True)
+        assert len(psp.database) == before + len(result.learned_keywords)
+        assert result.learned_keywords  # companion tags exist in the corpus
+
+    def test_learn_false_skips_learning(self, excavator_framework):
+        result = excavator_framework.run(learn=False)
+        assert result.learned_keywords == ()
+
+    def test_window_restricts_sai(self, ecm_framework):
+        full = ecm_framework.run(TimeWindow.full_history(), learn=False)
+        recent = ecm_framework.run(TimeWindow.since_year(2022), learn=False)
+        full_posts = full.sai.entry("ecmreprogramming").post_count
+        recent_posts = recent.sai.entry("ecmreprogramming").post_count
+        assert recent_posts < full_posts
+
+
+class TestCompareWindows:
+    def test_detects_paper_inversion(self, ecm_framework):
+        before, after, inversions = ecm_framework.compare_windows(
+            TimeWindow.full_history(), TimeWindow.since_year(2022)
+        )
+        assert any(
+            inv.risen is AttackVector.LOCAL
+            and inv.fallen is AttackVector.PHYSICAL
+            for inv in inversions
+        )
+
+    def test_tables_differ_between_windows(self, ecm_framework):
+        before, after, _ = ecm_framework.compare_windows(
+            TimeWindow.full_history(), TimeWindow.since_year(2022)
+        )
+        assert before.insider_table.differs_from(after.insider_table)
+
+
+class TestFinancial:
+    def test_paper_eq6_eq7(self, excavator_framework):
+        assessment = excavator_framework.assess_financial("dpfdelete")
+        assert assessment.pae == 1406
+        assert assessment.ppia == pytest.approx(360.0)
+        assert assessment.mv == pytest.approx(506160.0)
+        assert assessment.competitors == 3
+        assert assessment.fc_required == pytest.approx(145286.67, abs=0.01)
+        assert assessment.feasibility is FeasibilityRating.HIGH
+
+    def test_competitors_override(self, excavator_framework):
+        assessment = excavator_framework.assess_financial(
+            "dpfdelete", competitors=1
+        )
+        assert assessment.competitors == 1
+        assert assessment.fc_required == pytest.approx(1406 * 310.0)
+
+    def test_unknown_application_raises(self, excavator_client):
+        psp = PSPFramework(
+            excavator_client, TargetApplication("submarine", "europe")
+        )
+        with pytest.raises(DataUnavailableError, match="sales"):
+            psp.assess_financial("dpfdelete")
+
+    def test_unlisted_attack_raises(self, excavator_framework):
+        with pytest.raises(DataUnavailableError, match="listings"):
+            excavator_framework.assess_financial("keycloning")
+
+    def test_specific_sales_year(self, excavator_framework):
+        assessment = excavator_framework.assess_financial(
+            "dpfdelete", sales_year=2021
+        )
+        # 131,000 x 1% = 1,310
+        assert assessment.pae == 1310

@@ -1,0 +1,102 @@
+"""Tests for the combined social + financial feasibility integration."""
+
+import pytest
+
+from repro.core.financial import assess
+from repro.core.integration import (
+    CombinationMode,
+    combined_feasibility,
+    required_security_budget,
+)
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import standard_table
+
+
+def tuned_table(physical=FeasibilityRating.HIGH):
+    return standard_table().with_rating(
+        AttackVector.PHYSICAL, physical, source="psp"
+    )
+
+
+def lucrative():
+    # MV/FC ~ 3.48 -> financial High
+    return assess("dpfdelete", pae=1406, ppia=360.0, vcu=50.0, competitors=3)
+
+
+def marginal():
+    # mv=100, fc_required=90 -> MV/FC ~ 1.11 -> financial Low
+    return assess("nichehack", pae=1, ppia=100.0, vcu=10.0, competitors=1)
+
+
+class TestEitherMode:
+    def test_social_driver_wins(self):
+        combined = combined_feasibility(
+            "nichehack", AttackVector.PHYSICAL, tuned_table(), marginal()
+        )
+        assert combined.combined is FeasibilityRating.HIGH
+        assert combined.driver == "social"
+
+    def test_financial_driver_wins(self):
+        table = tuned_table(physical=FeasibilityRating.VERY_LOW)
+        combined = combined_feasibility(
+            "dpfdelete", AttackVector.PHYSICAL, table, lucrative()
+        )
+        assert combined.combined is FeasibilityRating.HIGH
+        assert combined.driver == "financial"
+
+    def test_agreement_reported_as_both(self):
+        combined = combined_feasibility(
+            "dpfdelete", AttackVector.PHYSICAL, tuned_table(), lucrative()
+        )
+        assert combined.driver == "both"
+
+
+class TestBothMode:
+    def test_conservative_takes_minimum(self):
+        combined = combined_feasibility(
+            "nichehack",
+            AttackVector.PHYSICAL,
+            tuned_table(),
+            marginal(),
+            mode=CombinationMode.BOTH,
+        )
+        assert combined.combined is marginal().feasibility
+        assert combined.combined < FeasibilityRating.HIGH
+
+    def test_both_never_exceeds_either(self):
+        either = combined_feasibility(
+            "nichehack", AttackVector.PHYSICAL, tuned_table(), marginal()
+        )
+        both = combined_feasibility(
+            "nichehack",
+            AttackVector.PHYSICAL,
+            tuned_table(),
+            marginal(),
+            mode=CombinationMode.BOTH,
+        )
+        assert both.combined <= either.combined
+
+
+class TestDescribe:
+    def test_mentions_everything(self):
+        combined = combined_feasibility(
+            "dpfdelete", AttackVector.PHYSICAL, tuned_table(), lucrative()
+        )
+        text = combined.describe()
+        assert "dpfdelete" in text
+        assert "physical" in text
+        assert "High" in text
+
+
+class TestSecurityBudget:
+    def test_paper_dpf_budget(self):
+        budget = required_security_budget(lucrative())
+        assert budget == pytest.approx(145286.67, abs=0.01)
+
+    def test_safety_factor_scales(self):
+        budget = required_security_budget(lucrative(), safety_factor=2.0)
+        assert budget == pytest.approx(2 * 145286.67, abs=0.01)
+
+    def test_safety_factor_validated(self):
+        with pytest.raises(ValueError):
+            required_security_budget(lucrative(), safety_factor=0.0)

@@ -1,0 +1,136 @@
+"""Tests for the attack-keyword database and auto-learning."""
+
+import pytest
+
+from repro.core.errors import KeywordError
+from repro.core.keywords import (
+    AttackKeyword,
+    KeywordDatabase,
+    KeywordSource,
+    paper_seed_database,
+)
+from repro.iso21434.enums import AttackVector
+
+
+class TestAttackKeyword:
+    def test_canonicalised_on_construction(self):
+        entry = AttackKeyword(keyword="#DPF_Delete")
+        assert entry.keyword == "dpfdelete"
+
+    def test_empty_fold_rejected(self):
+        with pytest.raises(KeywordError):
+            AttackKeyword(keyword="###")
+
+    def test_annotated_copy(self):
+        entry = AttackKeyword(keyword="dpfdelete")
+        annotated = entry.annotated(
+            vector=AttackVector.PHYSICAL, owner_approved=True
+        )
+        assert annotated.vector is AttackVector.PHYSICAL
+        assert annotated.owner_approved is True
+        assert entry.vector is None  # original untouched
+
+    def test_annotated_preserves_existing(self):
+        entry = AttackKeyword(keyword="x", vector=AttackVector.LOCAL)
+        assert entry.annotated(owner_approved=True).vector is AttackVector.LOCAL
+
+
+class TestDatabase:
+    def test_add_get_contains(self):
+        db = KeywordDatabase()
+        db.add(AttackKeyword(keyword="dpfdelete"))
+        assert "dpfdelete" in db
+        assert "#DPF-delete" in db  # folded lookup
+        assert db.get("DPF delete").keyword == "dpfdelete"
+
+    def test_duplicate_rejected(self):
+        db = KeywordDatabase()
+        db.add(AttackKeyword(keyword="dpfdelete"))
+        with pytest.raises(KeywordError, match="already present"):
+            db.add(AttackKeyword(keyword="#dpfdelete"))
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeywordError, match="unknown"):
+            KeywordDatabase().get("nope")
+
+    def test_annotate_in_place(self):
+        db = KeywordDatabase([AttackKeyword(keyword="dpfdelete")])
+        db.annotate("dpfdelete", vector=AttackVector.PHYSICAL)
+        assert db.get("dpfdelete").vector is AttackVector.PHYSICAL
+
+    def test_annotated_entries_filter(self):
+        db = KeywordDatabase(
+            [
+                AttackKeyword(keyword="a", vector=AttackVector.LOCAL),
+                AttackKeyword(keyword="b"),
+            ]
+        )
+        assert [e.keyword for e in db.annotated_entries()] == ["a"]
+
+
+class TestLearning:
+    TEXTS = [
+        "did my #dpfdelete with #stage1 kit",
+        "#dpfdelete plus #stage1 is the combo",
+        "#dpfdelete and a #dynorun after",
+        "only #unrelated here",
+    ]
+
+    def test_learns_cooccurring_tags(self):
+        db = KeywordDatabase([AttackKeyword(keyword="dpfdelete")])
+        added = db.learn_from_texts(self.TEXTS)
+        keywords = {e.keyword for e in added}
+        assert "stage1" in keywords
+        assert all(e.source is KeywordSource.LEARNED for e in added)
+
+    def test_learned_entries_query(self):
+        db = KeywordDatabase([AttackKeyword(keyword="dpfdelete")])
+        db.learn_from_texts(self.TEXTS)
+        assert db.learned_entries()
+
+    def test_learned_have_no_vector(self):
+        db = KeywordDatabase([AttackKeyword(keyword="dpfdelete")])
+        added = db.learn_from_texts(self.TEXTS)
+        assert all(e.vector is None for e in added)
+
+    def test_max_new_caps(self):
+        db = KeywordDatabase([AttackKeyword(keyword="dpfdelete")])
+        added = db.learn_from_texts(self.TEXTS, max_new=1)
+        assert len(added) == 1
+
+    def test_min_support_filters(self):
+        db = KeywordDatabase([AttackKeyword(keyword="dpfdelete")])
+        added = db.learn_from_texts(self.TEXTS, min_support=0.6)
+        keywords = {e.keyword for e in added}
+        assert "stage1" in keywords       # 2/3 support
+        assert "dynorun" not in keywords  # 1/3 support
+
+    def test_unmatched_tags_not_learned(self):
+        db = KeywordDatabase([AttackKeyword(keyword="dpfdelete")])
+        added = db.learn_from_texts(self.TEXTS)
+        assert "unrelated" not in {e.keyword for e in added}
+
+    def test_idempotent_learning(self):
+        db = KeywordDatabase([AttackKeyword(keyword="dpfdelete")])
+        first = db.learn_from_texts(self.TEXTS)
+        second = db.learn_from_texts(self.TEXTS)
+        assert first
+        assert not second  # nothing new the second time
+
+
+class TestPaperSeed:
+    def test_six_seed_keywords(self):
+        db = paper_seed_database()
+        assert len(db) == 6
+        assert "dpfdelete" in db
+        assert "chiptuning" in db
+
+    def test_all_annotated_insider(self):
+        db = paper_seed_database()
+        for entry in db:
+            assert entry.vector is not None
+            assert entry.owner_approved is True
+            assert entry.source is KeywordSource.MANUAL
+
+    def test_chiptuning_is_local(self):
+        assert paper_seed_database().get("chiptuning").vector is AttackVector.LOCAL

@@ -1,0 +1,77 @@
+"""Tests for the runtime PSP monitor."""
+
+import pytest
+
+from repro.core.monitor import PSPMonitor
+from repro.iso21434.enums import AttackVector
+from repro.tara.lifecycle import LifecycleTracker, Phase, ReprocessingTrigger
+
+
+class TestTick:
+    def test_first_tick_is_baseline(self, ecm_framework):
+        monitor = PSPMonitor(ecm_framework, start_year=2015)
+        assert monitor.tick(2018) is None
+        assert monitor.current_table is not None
+        assert monitor.alerts == ()
+
+    def test_ticks_must_advance(self, ecm_framework):
+        monitor = PSPMonitor(ecm_framework, start_year=2015)
+        monitor.tick(2018)
+        with pytest.raises(ValueError, match="advance"):
+            monitor.tick(2018)
+
+    def test_tick_before_start_rejected(self, ecm_framework):
+        monitor = PSPMonitor(ecm_framework, start_year=2015)
+        with pytest.raises(ValueError, match="precedes"):
+            monitor.tick(2014)
+
+    def test_stable_years_do_not_alert(self, ecm_framework):
+        monitor = PSPMonitor(ecm_framework, start_year=2015)
+        monitor.tick(2018)
+        # 2019/2020 continue the same physical-dominated regime
+        assert monitor.tick(2019) is None
+        assert monitor.tick(2020) is None
+
+
+class TestTrendDetection:
+    def test_ecm_shift_detected_eventually(self, ecm_framework):
+        monitor = PSPMonitor(ecm_framework, start_year=2015)
+        alerts = monitor.run_years(2018, 2023)
+        assert alerts
+        # the local vector must appear among the raised ratings
+        raised = [
+            change.vector
+            for alert in alerts
+            for change in alert.changes
+            if change.raised
+        ]
+        assert AttackVector.LOCAL in raised
+
+    def test_alert_describe(self, ecm_framework):
+        monitor = PSPMonitor(ecm_framework, start_year=2015)
+        alerts = monitor.run_years(2018, 2023)
+        text = alerts[0].describe()
+        assert "insider ratings moved" in text
+
+    def test_run_years_validates_order(self, ecm_framework):
+        monitor = PSPMonitor(ecm_framework, start_year=2015)
+        with pytest.raises(ValueError):
+            monitor.run_years(2023, 2018)
+
+
+class TestLifecycleIntegration:
+    def test_alerts_recorded_as_reprocessing(self, ecm_framework):
+        tracker = LifecycleTracker(phase=Phase.PRODUCTION_READINESS)
+        monitor = PSPMonitor(
+            ecm_framework, start_year=2015, tracker=tracker
+        )
+        alerts = monitor.run_years(2018, 2023)
+        assert len(monitor.reprocessing_events()) == len(alerts)
+        assert tracker.reprocessing_count(
+            ReprocessingTrigger.PSP_TREND_SHIFT
+        ) == len(alerts)
+
+    def test_without_tracker_no_events(self, ecm_framework):
+        monitor = PSPMonitor(ecm_framework, start_year=2015)
+        monitor.run_years(2018, 2023)
+        assert monitor.reprocessing_events() == ()

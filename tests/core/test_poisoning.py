@@ -1,0 +1,189 @@
+"""Tests for the post-authenticity filter (paper §IV future work)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.poisoning import (
+    FilterConfig,
+    FilteringClient,
+    PostAuthenticityFilter,
+    RejectionReason,
+    poison_corpus_with_flood,
+)
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.core.sai import SAIComputer
+from repro.social.api import InMemoryClient, SearchQuery
+from repro.social.corpus import Corpus
+from repro.social.post import Engagement, Post
+
+
+def post(pid, text, author="organic", views=1000) -> Post:
+    return Post(
+        post_id=pid, text=text, author=author,
+        created_at=dt.date(2022, 6, 1),
+        engagement=Engagement(views=views, likes=views // 20),
+    )
+
+
+def organic_posts(n=20, keyword="dpfdelete"):
+    texts = [
+        "finally got my #{kw} done, pulls great",
+        "quoted for a #{kw} at the workshop",
+        "is the #{kw} detectable at inspection?",
+        "my neighbour recommends the #{kw}",
+        "thinking about a #{kw} on the 2019 model",
+    ]
+    return [
+        post(f"o{i:03d}", texts[i % len(texts)].format(kw=keyword) + f" ({i})",
+             author=f"user{i:03d}", views=900 + 17 * (i % 7))
+        for i in range(n)
+    ]
+
+
+class TestDuplicateRule:
+    def test_flood_rejected_beyond_allowance(self):
+        posts = organic_posts(10) + [
+            post(f"d{i}", "buy the #dpfdelete kit now", author=f"a{i}")
+            for i in range(10)
+        ]
+        report = PostAuthenticityFilter().filter(posts)
+        flood = report.rejected_by(RejectionReason.DUPLICATE_FLOOD)
+        assert len(flood) >= 8  # allowance = 10% of 20 = 2
+
+    def test_organic_posts_survive(self):
+        report = PostAuthenticityFilter().filter(organic_posts(20))
+        assert report.rejection_rate == 0.0
+
+    def test_empty_input(self):
+        report = PostAuthenticityFilter().filter([])
+        assert report.accepted == ()
+        assert report.rejection_rate == 0.0
+
+
+class TestAuthorRule:
+    def test_single_author_flood_rejected(self):
+        posts = organic_posts(15) + [
+            post(f"b{i}", f"the #dpfdelete is great, take {i}", author="botnet")
+            for i in range(15)
+        ]
+        report = PostAuthenticityFilter().filter(posts)
+        concentrated = report.rejected_by(RejectionReason.AUTHOR_CONCENTRATION)
+        assert concentrated
+        assert all(r.post.author == "botnet" for r in concentrated)
+
+    def test_rule_inactive_below_minimum_sample(self):
+        posts = [
+            post(f"b{i}", f"unique text number {i} about #x", author="same")
+            for i in range(5)
+        ]
+        report = PostAuthenticityFilter().filter(posts)
+        assert not report.rejected_by(RejectionReason.AUTHOR_CONCENTRATION)
+
+
+class TestEngagementRule:
+    def test_bought_engagement_rejected(self):
+        posts = organic_posts(30) + [
+            post("whale", "my #dpfdelete story went viral somehow",
+                 author="suspect", views=10_000_000)
+        ]
+        report = PostAuthenticityFilter().filter(posts)
+        anomalies = report.rejected_by(RejectionReason.ENGAGEMENT_ANOMALY)
+        assert [r.post.post_id for r in anomalies] == ["whale"]
+
+    def test_rule_inactive_below_minimum_sample(self):
+        posts = [post("p1", "a #x post", views=100),
+                 post("p2", "another #x post", views=1_000_000)]
+        report = PostAuthenticityFilter().filter(posts)
+        assert not report.rejected_by(RejectionReason.ENGAGEMENT_ANOMALY)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_duplicate_share=0.0),
+            dict(max_author_share=1.5),
+            dict(engagement_sigma=0),
+            dict(min_posts_for_author_rule=0),
+            dict(min_posts_for_engagement_rule=1),
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FilterConfig(**kwargs)
+
+
+class TestFilteringClient:
+    def _poisoned_client(self):
+        posts = poison_corpus_with_flood(
+            organic_posts(20), keyword="dpfdelete", copies=40
+        )
+        return FilteringClient(InMemoryClient(Corpus(posts)))
+
+    def test_search_drops_poison(self):
+        client = self._poisoned_client()
+        results = client.search(SearchQuery(keyword="dpfdelete"))
+        assert not any(p.post_id.startswith("poison") for p in results)
+
+    def test_report_recorded_per_keyword(self):
+        client = self._poisoned_client()
+        client.search(SearchQuery(keyword="dpfdelete"))
+        report = client.reports["dpfdelete"]
+        assert report.rejection_rate > 0.4
+
+    def test_count_by_year_uses_filtered_set(self):
+        client = self._poisoned_client()
+        raw = InMemoryClient(
+            Corpus(
+                poison_corpus_with_flood(
+                    organic_posts(20), keyword="dpfdelete", copies=40
+                )
+            )
+        )
+        filtered_count = client.count(SearchQuery(keyword="dpfdelete"))
+        raw_count = raw.count(SearchQuery(keyword="dpfdelete"))
+        assert filtered_count < raw_count
+
+
+class TestEndToEndPoisoningDefence:
+    def test_sai_poisoning_absorbed(self):
+        """A flood campaign must not flip the SAI ranking when filtering is on."""
+        organic = organic_posts(40, keyword="dpfdelete") + [
+            post(f"e{i:03d}", f"my #egrdelete went fine ({i})",
+                 author=f"egru{i}", views=800)
+            for i in range(15)
+        ]
+        poisoned = poison_corpus_with_flood(
+            organic, keyword="egrdelete", copies=120, views=80000
+        )
+        db = KeywordDatabase(
+            [
+                AttackKeyword(keyword="dpfdelete", owner_approved=True),
+                AttackKeyword(keyword="egrdelete", owner_approved=True),
+            ]
+        )
+        unfiltered = SAIComputer(InMemoryClient(Corpus(poisoned))).compute(db)
+        filtered = SAIComputer(
+            FilteringClient(InMemoryClient(Corpus(poisoned)))
+        ).compute(db)
+        # Without the filter the campaign flips the ranking...
+        assert unfiltered.ranking()[0] == "egrdelete"
+        # ...with the filter the organic ranking survives.
+        assert filtered.ranking()[0] == "dpfdelete"
+
+
+class TestPoisonHelper:
+    def test_rejects_empty_corpus(self):
+        with pytest.raises(ValueError):
+            poison_corpus_with_flood([], keyword="x", copies=1)
+
+    def test_rejects_negative_copies(self):
+        with pytest.raises(ValueError):
+            poison_corpus_with_flood(organic_posts(2), keyword="x", copies=-1)
+
+    def test_adds_exact_copies(self):
+        poisoned = poison_corpus_with_flood(
+            organic_posts(5), keyword="x", copies=7
+        )
+        assert len(poisoned) == 12

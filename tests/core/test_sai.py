@@ -1,0 +1,186 @@
+"""Tests for Social Attraction Index computation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.config import PSPConfig, SAIWeights
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.core.sai import SAIComputer, SAIEntry, SAIList
+from repro.iso21434.enums import AttackVector
+from repro.social.api import InMemoryClient
+from repro.social.corpus import Corpus
+from repro.social.post import Engagement, Post
+
+
+def post(pid, text, views=1000, likes=50, year=2022) -> Post:
+    return Post(
+        post_id=pid, text=text, author="u",
+        created_at=dt.date(year, 6, 1),
+        engagement=Engagement(views=views, likes=likes),
+    )
+
+
+def db_with(*keywords) -> KeywordDatabase:
+    db = KeywordDatabase()
+    for keyword in keywords:
+        db.add(AttackKeyword(keyword=keyword, vector=AttackVector.PHYSICAL,
+                             owner_approved=True))
+    return db
+
+
+@pytest.fixture()
+def computer_small():
+    corpus = Corpus(
+        [
+            post("p1", "love my #dpfdelete", views=5000, likes=300),
+            post("p2", "#dpfdelete done, great", views=4000, likes=250),
+            post("p3", "#egroff was fine", views=500, likes=10),
+        ]
+    )
+    return SAIComputer(InMemoryClient(corpus))
+
+
+class TestSAIEntry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SAIEntry(
+                keyword="x", vector=None, owner_approved=None,
+                score=-1.0, probability=0.0, post_count=0,
+                engagement=Engagement(), mean_sentiment=0.0,
+            )
+        with pytest.raises(ValueError):
+            SAIEntry(
+                keyword="x", vector=None, owner_approved=None,
+                score=0.0, probability=1.5, post_count=0,
+                engagement=Engagement(), mean_sentiment=0.0,
+            )
+
+
+class TestComputation:
+    def test_dominant_topic_ranks_first(self, computer_small):
+        sai = computer_small.compute(db_with("dpfdelete", "egroff"))
+        assert sai.ranking() == ("dpfdelete", "egroff")
+
+    def test_probabilities_sum_to_one(self, computer_small):
+        sai = computer_small.compute(db_with("dpfdelete", "egroff"))
+        assert sum(e.probability for e in sai) == pytest.approx(1.0)
+
+    def test_zero_match_keyword_kept_with_zero_score(self, computer_small):
+        sai = computer_small.compute(db_with("dpfdelete", "adbluedelete"))
+        entry = sai.entry("adbluedelete")
+        assert entry.score == 0.0
+        assert entry.post_count == 0
+
+    def test_empty_scene_all_zero(self):
+        computer = SAIComputer(InMemoryClient(Corpus()))
+        sai = computer.compute(db_with("dpfdelete"))
+        assert sai.entry("dpfdelete").score == 0.0
+        assert sai.entry("dpfdelete").probability == 0.0
+
+    def test_window_filter_applies(self):
+        corpus = Corpus(
+            [
+                post("p1", "#dpfdelete old", year=2018),
+                post("p2", "#dpfdelete new", year=2023),
+            ]
+        )
+        computer = SAIComputer(InMemoryClient(corpus))
+        sai = computer.compute(
+            db_with("dpfdelete"), since=dt.date(2022, 1, 1)
+        )
+        assert sai.entry("dpfdelete").post_count == 1
+
+    def test_engagement_totals_recorded(self, computer_small):
+        sai = computer_small.compute(db_with("dpfdelete"))
+        assert sai.entry("dpfdelete").engagement.views == 9000
+
+    def test_positive_sentiment_amplifies(self):
+        corpus = Corpus(
+            [
+                post("p1", "#kwa is awesome, best ever, love it"),
+                post("p2", "#kwb"),
+            ]
+        )
+        computer = SAIComputer(InMemoryClient(corpus))
+        sai = computer.compute(db_with("kwa", "kwb"))
+        # identical engagement and volume; sentiment breaks the tie
+        assert sai.entry("kwa").score > sai.entry("kwb").score
+
+    def test_sentiment_never_suppresses(self):
+        corpus = Corpus(
+            [
+                post("p1", "#kwa broke my engine, worst scam, regret"),
+                post("p2", "#kwb"),
+            ]
+        )
+        computer = SAIComputer(InMemoryClient(corpus))
+        sai = computer.compute(db_with("kwa", "kwb"))
+        assert sai.entry("kwa").score == pytest.approx(sai.entry("kwb").score)
+
+    def test_score_monotone_in_views(self):
+        base = Corpus(
+            [post("p1", "#kwa", views=1000), post("p2", "#kwb", views=1000)]
+        )
+        more = Corpus(
+            [post("p1", "#kwa", views=9000), post("p2", "#kwb", views=1000)]
+        )
+        config = PSPConfig(sai_weights=SAIWeights(views=1, interactions=0, volume=0))
+        sai_base = SAIComputer(InMemoryClient(base), config=config).compute(
+            db_with("kwa", "kwb")
+        )
+        sai_more = SAIComputer(InMemoryClient(more), config=config).compute(
+            db_with("kwa", "kwb")
+        )
+        assert (
+            sai_more.entry("kwa").probability
+            > sai_base.entry("kwa").probability
+        )
+
+
+class TestSAIList:
+    def _sai(self, computer_small):
+        return computer_small.compute(db_with("dpfdelete", "egroff"))
+
+    def test_sorted_descending(self, computer_small):
+        sai = self._sai(computer_small)
+        scores = [e.score for e in sai]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top(self, computer_small):
+        sai = self._sai(computer_small)
+        assert len(sai.top(1)) == 1
+        assert sai.top(1)[0].keyword == "dpfdelete"
+
+    def test_entry_lookup_unknown(self, computer_small):
+        with pytest.raises(KeyError):
+            self._sai(computer_small).entry("nope")
+
+    def test_indexing(self, computer_small):
+        sai = self._sai(computer_small)
+        assert sai[0].keyword == "dpfdelete"
+        assert len(sai) == 2
+
+    def test_probability_by_vector_normalised(self, computer_small):
+        sai = self._sai(computer_small)
+        shares = sai.probability_by_vector()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares[AttackVector.PHYSICAL] == pytest.approx(1.0)
+
+    def test_probability_by_vector_skips_unannotated(self):
+        corpus = Corpus([post("p1", "#kwa"), post("p2", "#kwb")])
+        db = KeywordDatabase(
+            [
+                AttackKeyword(keyword="kwa", vector=AttackVector.LOCAL),
+                AttackKeyword(keyword="kwb"),  # no vector annotation
+            ]
+        )
+        sai = SAIComputer(InMemoryClient(corpus)).compute(db)
+        shares = sai.probability_by_vector()
+        assert set(shares) == {AttackVector.LOCAL}
+        assert shares[AttackVector.LOCAL] == pytest.approx(1.0)
+
+    def test_as_rows(self, computer_small):
+        rows = self._sai(computer_small).as_rows()
+        assert rows[0][0] == "dpfdelete"
+        assert len(rows) == 2

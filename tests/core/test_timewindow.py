@@ -1,0 +1,106 @@
+"""Tests for time windows and trend detection."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.sai import SAIEntry, SAIList
+from repro.core.timewindow import (
+    TimeWindow,
+    detect_inversions,
+    vector_trends,
+    yearly_shares,
+)
+from repro.iso21434.enums import AttackVector
+from repro.social.post import Engagement
+
+
+def sai_with_shares(shares) -> SAIList:
+    """Build a SAI list with one keyword per vector carrying the share."""
+    entries = [
+        SAIEntry(
+            keyword=f"kw{vector.value}", vector=vector, owner_approved=True,
+            score=share, probability=share, post_count=1,
+            engagement=Engagement(), mean_sentiment=0.0,
+        )
+        for vector, share in shares.items()
+    ]
+    return SAIList(entries)
+
+
+class TestTimeWindow:
+    def test_full_history_unbounded(self):
+        window = TimeWindow.full_history()
+        assert window.since is None
+        assert window.until is None
+        assert window.describe() == "full history"
+
+    def test_since_year(self):
+        window = TimeWindow.since_year(2022)
+        assert window.since == dt.date(2022, 1, 1)
+        assert window.describe() == "since 2022"
+
+    def test_years_range(self):
+        window = TimeWindow.years(2015, 2021)
+        assert window.since == dt.date(2015, 1, 1)
+        assert window.until == dt.date(2021, 12, 31)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindow.years(2022, 2015)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindow(since=dt.date(2023, 1, 1), until=dt.date(2022, 1, 1))
+
+    def test_describe_without_label(self):
+        window = TimeWindow(since=dt.date(2022, 1, 1))
+        assert "2022-01-01" in window.describe()
+
+
+class TestVectorTrends:
+    def test_delta_computed(self):
+        before = sai_with_shares({AttackVector.PHYSICAL: 0.7, AttackVector.LOCAL: 0.3})
+        after = sai_with_shares({AttackVector.PHYSICAL: 0.2, AttackVector.LOCAL: 0.8})
+        trends = {t.vector: t for t in vector_trends(before, after)}
+        assert trends[AttackVector.LOCAL].delta == pytest.approx(0.5)
+        assert trends[AttackVector.PHYSICAL].delta == pytest.approx(-0.5)
+
+    def test_vector_missing_in_one_window(self):
+        before = sai_with_shares({AttackVector.PHYSICAL: 1.0})
+        after = sai_with_shares({AttackVector.LOCAL: 1.0})
+        trends = {t.vector: t for t in vector_trends(before, after)}
+        assert trends[AttackVector.LOCAL].share_before == 0.0
+        assert trends[AttackVector.PHYSICAL].share_after == 0.0
+
+
+class TestInversions:
+    def test_paper_inversion_detected(self):
+        before = sai_with_shares({AttackVector.PHYSICAL: 0.7, AttackVector.LOCAL: 0.3})
+        after = sai_with_shares({AttackVector.PHYSICAL: 0.2, AttackVector.LOCAL: 0.8})
+        inversions = detect_inversions(before, after)
+        assert any(
+            inv.risen is AttackVector.LOCAL and inv.fallen is AttackVector.PHYSICAL
+            for inv in inversions
+        )
+
+    def test_stable_ordering_no_inversion(self):
+        shares = {AttackVector.PHYSICAL: 0.7, AttackVector.LOCAL: 0.3}
+        assert detect_inversions(sai_with_shares(shares), sai_with_shares(shares)) == []
+
+    def test_describe(self):
+        before = sai_with_shares({AttackVector.PHYSICAL: 0.7, AttackVector.LOCAL: 0.3})
+        after = sai_with_shares({AttackVector.PHYSICAL: 0.2, AttackVector.LOCAL: 0.8})
+        inversion = detect_inversions(before, after)[0]
+        assert "overtook" in inversion.describe()
+
+
+class TestYearlyShares:
+    def test_shapes(self):
+        by_year = {
+            2021: sai_with_shares({AttackVector.PHYSICAL: 1.0}),
+            2022: sai_with_shares({AttackVector.LOCAL: 1.0}),
+        }
+        shares = yearly_shares(by_year)
+        assert list(shares) == [2021, 2022]
+        assert shares[2022][AttackVector.LOCAL] == pytest.approx(1.0)

@@ -1,0 +1,155 @@
+"""Tests for dynamic weight-table generation (paper Figs. 7-8)."""
+
+import pytest
+
+from repro.core.classification import ClassifiedEntry, InsiderOutsiderSplit
+from repro.core.config import TuningThresholds
+from repro.core.sai import SAIEntry
+from repro.core.weights import (
+    WeightTuner,
+    rating_from_share,
+    tune_table_for_sai,
+)
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import standard_table
+from repro.social.post import Engagement
+
+
+def entry(keyword, vector, probability, insider=True) -> ClassifiedEntry:
+    sai_entry = SAIEntry(
+        keyword=keyword, vector=vector, owner_approved=insider,
+        score=probability, probability=probability, post_count=1,
+        engagement=Engagement(), mean_sentiment=0.0,
+    )
+    return ClassifiedEntry(
+        entry=sai_entry, insider=insider, from_annotation=True,
+        insider_votes=0, outsider_votes=0,
+    )
+
+
+def split_of(*entries) -> InsiderOutsiderSplit:
+    return InsiderOutsiderSplit(
+        insider=tuple(e for e in entries if e.insider),
+        outsider=tuple(e for e in entries if not e.insider),
+    )
+
+
+class TestRatingFromShare:
+    @pytest.mark.parametrize(
+        "share,expected",
+        [
+            (0.0, FeasibilityRating.VERY_LOW),
+            (0.07, FeasibilityRating.VERY_LOW),
+            (0.08, FeasibilityRating.LOW),
+            (0.24, FeasibilityRating.LOW),
+            (0.25, FeasibilityRating.MEDIUM),
+            (0.49, FeasibilityRating.MEDIUM),
+            (0.50, FeasibilityRating.HIGH),
+            (1.0, FeasibilityRating.HIGH),
+        ],
+    )
+    def test_default_thresholds(self, share, expected):
+        assert rating_from_share(share) is expected
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            rating_from_share(1.2)
+        with pytest.raises(ValueError):
+            rating_from_share(-0.1)
+
+    def test_custom_thresholds(self):
+        thresholds = TuningThresholds(high=0.9, medium=0.5, low=0.1)
+        assert rating_from_share(0.6, thresholds) is FeasibilityRating.MEDIUM
+
+    def test_monotone_in_share(self):
+        shares = [i / 100 for i in range(101)]
+        ratings = [rating_from_share(s) for s in shares]
+        for earlier, later in zip(ratings, ratings[1:]):
+            assert later >= earlier
+
+
+class TestTuner:
+    def test_paper_fig8_shape(self):
+        # Insider evidence dominated by physical attacks: the tuned table
+        # must raise physical and keep the outsider table untouched.
+        split = split_of(
+            entry("ecmreprogramming", AttackVector.PHYSICAL, 0.55),
+            entry("obdtuning", AttackVector.LOCAL, 0.30),
+            entry("dongle", AttackVector.ADJACENT, 0.10),
+            entry("remote", AttackVector.NETWORK, 0.05),
+        )
+        outcome = WeightTuner().tune(split, window_label="full history")
+        insider = outcome.insider_table
+        assert insider.rating(AttackVector.PHYSICAL) is FeasibilityRating.HIGH
+        assert insider.rating(AttackVector.LOCAL) is FeasibilityRating.MEDIUM
+        assert insider.rating(AttackVector.ADJACENT) is FeasibilityRating.LOW
+        assert insider.rating(AttackVector.NETWORK) is FeasibilityRating.VERY_LOW
+        assert outcome.outsider_table.ratings == standard_table().ratings
+
+    def test_outsider_entries_do_not_influence_tuning(self):
+        with_outsider = split_of(
+            entry("ecmreprogramming", AttackVector.PHYSICAL, 0.5),
+            entry("theft", AttackVector.NETWORK, 0.5, insider=False),
+        )
+        outcome = WeightTuner().tune(with_outsider)
+        # all insider mass is physical -> physical High despite the huge
+        # outsider network presence
+        assert outcome.insider_table.rating(AttackVector.PHYSICAL) is (
+            FeasibilityRating.HIGH
+        )
+
+    def test_shares_renormalised_over_insiders(self):
+        split = split_of(
+            entry("a", AttackVector.PHYSICAL, 0.3),
+            entry("b", AttackVector.LOCAL, 0.1),
+            entry("theft", AttackVector.NETWORK, 0.6, insider=False),
+        )
+        outcome = WeightTuner().tune(split)
+        assert outcome.vector_shares[AttackVector.PHYSICAL] == pytest.approx(0.75)
+        assert outcome.vector_shares[AttackVector.LOCAL] == pytest.approx(0.25)
+
+    def test_unobserved_vector_capped_at_low(self):
+        split = split_of(entry("a", AttackVector.PHYSICAL, 1.0))
+        table = WeightTuner().tune(split).insider_table
+        # Network is High in the standard table but has no insider social
+        # evidence: capped at Low.
+        assert table.rating(AttackVector.NETWORK) is FeasibilityRating.LOW
+        # Physical, fully observed, is High.
+        assert table.rating(AttackVector.PHYSICAL) is FeasibilityRating.HIGH
+
+    def test_unobserved_vector_below_low_keeps_standard(self):
+        split = split_of(entry("a", AttackVector.PHYSICAL, 1.0))
+        table = WeightTuner().tune(split).insider_table
+        # Physical's standard rating is Very Low, below the Low cap;
+        # unobserved vectors never get *raised* by the cap rule.
+        assert table.rating(AttackVector.LOCAL) is FeasibilityRating.LOW
+
+    def test_no_insider_evidence_all_capped(self):
+        split = split_of(entry("theft", AttackVector.NETWORK, 1.0, insider=False))
+        table = WeightTuner().tune(split).insider_table
+        for vector in AttackVector:
+            assert table.rating(vector) <= FeasibilityRating.LOW
+
+    def test_changed_vectors_reported(self):
+        split = split_of(entry("a", AttackVector.PHYSICAL, 1.0))
+        outcome = WeightTuner().tune(split)
+        assert AttackVector.PHYSICAL in outcome.changed_vectors()
+
+    def test_table_source_is_psp(self):
+        split = split_of(entry("a", AttackVector.PHYSICAL, 1.0))
+        outcome = WeightTuner().tune(split, window_label="since 2022")
+        assert outcome.insider_table.source == "psp"
+        assert "since 2022" in outcome.insider_table.note
+
+
+class TestTuneForSai:
+    def test_shortcut_uses_vector_shares(self, ecm_client):
+        from repro.core.sai import SAIComputer
+        from tests.conftest import build_ecm_database
+
+        sai = SAIComputer(ecm_client).compute(build_ecm_database())
+        table = tune_table_for_sai(sai, note="bench")
+        assert table.source == "psp"
+        assert table.rating(AttackVector.PHYSICAL) > standard_table().rating(
+            AttackVector.PHYSICAL
+        )

@@ -1,0 +1,87 @@
+"""Cross-scenario invariants: the pipeline holds on every bundled corpus.
+
+Runs the complete PSP pipeline on all three scenario corpora and checks
+the invariants that must hold regardless of workload: probability
+normalisation, partition of the insider/outsider split, untouched
+outsider weights, and rating-scale closure.
+"""
+
+import pytest
+
+from repro import PSPFramework, TargetApplication
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.iso21434.enums import FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import standard_table
+from repro.social import (
+    InMemoryClient,
+    ecm_reprogramming_corpus,
+    ecm_reprogramming_specs,
+    excavator_corpus,
+    excavator_specs,
+    light_truck_corpus,
+    light_truck_specs,
+)
+
+SCENARIOS = {
+    "excavator": (excavator_specs, excavator_corpus,
+                  TargetApplication("excavator", "europe", "industrial")),
+    "ecm": (ecm_reprogramming_specs, ecm_reprogramming_corpus,
+            TargetApplication("car", "europe", "passenger")),
+    "truck": (light_truck_specs, light_truck_corpus,
+              TargetApplication("light_truck", "europe", "commercial")),
+}
+
+
+@pytest.fixture(params=sorted(SCENARIOS), scope="module")
+def scenario_result(request):
+    specs_fn, corpus_fn, target = SCENARIOS[request.param]
+    db = KeywordDatabase()
+    for spec in specs_fn():
+        db.add(
+            AttackKeyword(
+                keyword=spec.keyword,
+                vector=spec.vector,
+                owner_approved=spec.owner_approved,
+            )
+        )
+    framework = PSPFramework(
+        InMemoryClient(corpus_fn()), target, database=db
+    )
+    return request.param, framework.run(learn=False)
+
+
+class TestCrossScenarioInvariants:
+    def test_probabilities_normalised(self, scenario_result):
+        _, result = scenario_result
+        assert sum(e.probability for e in result.sai) == pytest.approx(1.0)
+
+    def test_split_is_partition(self, scenario_result):
+        _, result = scenario_result
+        split_keywords = sorted(result.split.all_keywords())
+        sai_keywords = sorted(e.keyword for e in result.sai)
+        assert split_keywords == sai_keywords
+
+    def test_outsider_table_always_standard(self, scenario_result):
+        _, result = scenario_result
+        assert result.outsider_table.ratings == standard_table().ratings
+
+    def test_insider_table_in_scale(self, scenario_result):
+        _, result = scenario_result
+        for _, rating in result.insider_table.items():
+            assert rating in FeasibilityRating
+
+    def test_every_insider_topic_outranks_every_outsider_zero(self, scenario_result):
+        # Every scenario seeds at least one outsider topic with nonzero
+        # volume; the top insider topic must outrank it.
+        _, result = scenario_result
+        ranking = result.sai.ranking()
+        outsiders = {e.keyword for e in result.split.outsider_entries}
+        insiders = [k for k in ranking if k not in outsiders]
+        assert insiders
+        assert ranking[0] in insiders
+
+    def test_insider_mass_dominates(self, scenario_result):
+        # All three corpora model insider-heavy scenes (the paper's
+        # observation: "most threat scenarios on social media are insider").
+        _, result = scenario_result
+        assert result.split.insider_probability_mass > 0.5

@@ -1,0 +1,113 @@
+"""End-to-end determinism: the reproduction's core guarantee.
+
+The substitution strategy (DESIGN.md) rests on deterministic synthetic
+data: every run of every experiment must produce bit-identical results,
+otherwise EXPERIMENTS.md's recorded values are meaningless.  These tests
+rebuild the pipelines from scratch twice and compare the outputs exactly.
+"""
+
+from repro import PSPFramework, TargetApplication, TimeWindow
+from repro.analysis import generate_assessment_report
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.social import (
+    InMemoryClient,
+    ecm_reprogramming_corpus,
+    ecm_reprogramming_specs,
+    excavator_corpus,
+    excavator_specs,
+)
+
+
+def fresh_framework(specs_fn, corpus_fn, target):
+    db = KeywordDatabase()
+    for spec in specs_fn():
+        db.add(
+            AttackKeyword(
+                keyword=spec.keyword,
+                vector=spec.vector,
+                owner_approved=spec.owner_approved,
+            )
+        )
+    return PSPFramework(InMemoryClient(corpus_fn()), target, database=db)
+
+
+def excavator():
+    return fresh_framework(
+        excavator_specs,
+        excavator_corpus,
+        TargetApplication("excavator", "europe", "industrial"),
+    )
+
+
+def ecm():
+    return fresh_framework(
+        ecm_reprogramming_specs,
+        ecm_reprogramming_corpus,
+        TargetApplication("car", "europe", "passenger"),
+    )
+
+
+class TestSaiDeterminism:
+    def test_scores_bit_identical_across_runs(self):
+        first = excavator().run(learn=False)
+        second = excavator().run(learn=False)
+        assert first.sai.as_rows() == second.sai.as_rows()
+
+    def test_exact_scores_unchanged_within_process(self):
+        sai_a = excavator().compute_sai()
+        sai_b = excavator().compute_sai()
+        for entry_a, entry_b in zip(sai_a, sai_b):
+            assert entry_a.keyword == entry_b.keyword
+            assert entry_a.score == entry_b.score  # exact float equality
+            assert entry_a.probability == entry_b.probability
+
+
+class TestTableDeterminism:
+    def test_fig9_tables_identical_across_runs(self):
+        windows = (TimeWindow.full_history(), TimeWindow.since_year(2022))
+        first = ecm().compare_windows(*windows)
+        second = ecm().compare_windows(*windows)
+        assert first[0].insider_table.ratings == second[0].insider_table.ratings
+        assert first[1].insider_table.ratings == second[1].insider_table.ratings
+
+    def test_inversions_identical(self):
+        windows = (TimeWindow.full_history(), TimeWindow.since_year(2022))
+        first = ecm().compare_windows(*windows)
+        second = ecm().compare_windows(*windows)
+        assert [
+            (inv.risen, inv.fallen) for inv in first[2]
+        ] == [(inv.risen, inv.fallen) for inv in second[2]]
+
+
+class TestFinancialDeterminism:
+    def test_eq6_eq7_exact_across_runs(self):
+        first = excavator().assess_financial("dpfdelete")
+        second = excavator().assess_financial("dpfdelete")
+        assert first.mv == second.mv
+        assert first.fc_required == second.fc_required
+        assert first.pae == second.pae
+
+
+class TestReportDeterminism:
+    def test_full_markdown_report_identical(self):
+        first = generate_assessment_report(excavator().run(learn=False))
+        second = generate_assessment_report(excavator().run(learn=False))
+        assert first == second
+
+
+class TestSeedSensitivity:
+    def test_different_seed_different_corpus_same_shape(self):
+        # A different seed changes the exact posts but must not change
+        # the calibrated *shape*: DPF delete still ranks first.
+        other = fresh_framework(
+            excavator_specs,
+            lambda: excavator_corpus(seed=999),
+            TargetApplication("excavator", "europe", "industrial"),
+        )
+        default = excavator().run(learn=False)
+        reseeded = other.run(learn=False)
+        assert default.sai.ranking()[0] == reseeded.sai.ranking()[0] == "dpfdelete"
+        assert (
+            default.sai.entry("dpfdelete").score
+            != reseeded.sai.entry("dpfdelete").score
+        )

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the first thing a downstream user tries; a broken example
+is a broken release.  Each script is executed in a subprocess and must
+exit 0 and print its headline artefact.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+CASES = (
+    ("quickstart.py", "dpfdelete"),
+    ("ecm_reprogramming.py", "Trend inversion detected"),
+    ("excavator_dpf.py", "506,160"),
+    ("fleet_tara.py", "rated differently"),
+    ("runtime_monitoring.py", "TARA"),
+    ("model_triangulation.py", "PSP-tuned table"),
+)
+
+
+@pytest.mark.parametrize("script,expected", CASES)
+def test_example_runs(script, expected):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert expected in completed.stdout
+
+
+def test_generate_assessment_writes_file(tmp_path):
+    destination = tmp_path / "assessment.md"
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES_DIR / "generate_assessment.py"),
+            str(destination),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    content = destination.read_text()
+    assert content.startswith("# PSP risk assessment report")
+    assert "## Control recommendation" in content

@@ -1,0 +1,78 @@
+"""Integration: message-level threats flowing through the full TARA.
+
+Ties the CAN catalogue substrate to the TARA engine: frame-level STRIDE
+threats (spoofing/DoS on the torque loop, the paper's refs [19]/[22]
+attack classes) are assessed alongside the auto-enumerated ECU threats,
+and the PSP-tuned table raises exactly the insider message threats.
+"""
+
+import pytest
+
+from repro.iso21434.enums import AttackVector, FeasibilityRating, ImpactRating
+from repro.iso21434.feasibility.attack_vector import WeightTable
+from repro.tara import TaraEngine
+from repro.vehicle import message_threats, powertrain_catalog
+
+
+def psp_table() -> WeightTable:
+    return WeightTable(
+        {
+            AttackVector.NETWORK: FeasibilityRating.VERY_LOW,
+            AttackVector.ADJACENT: FeasibilityRating.VERY_LOW,
+            AttackVector.LOCAL: FeasibilityRating.MEDIUM,
+            AttackVector.PHYSICAL: FeasibilityRating.HIGH,
+        },
+        source="psp",
+    )
+
+
+@pytest.fixture(scope="module")
+def runs(fig4_network):
+    threats = message_threats(powertrain_catalog(fig4_network))
+    static = TaraEngine(fig4_network).run(extra_threats=threats)
+    tuned = TaraEngine(fig4_network, insider_table=psp_table()).run(
+        extra_threats=threats
+    )
+    return threats, static, tuned
+
+
+class TestMessageThreatsAssessed:
+    def test_every_message_threat_has_a_record(self, runs):
+        threats, static, _ = runs
+        index = static.by_threat()
+        for threat in threats:
+            assert threat.threat_id in index
+
+    def test_torque_dos_inherits_powertrain_impact(self, runs):
+        _, static, _ = runs
+        record = static.by_threat()["ts.ecm.msg.0x0c0.denial_of_service"]
+        assert record.impact.overall is ImpactRating.SEVERE
+
+    def test_static_rates_torque_spoofing_low(self, runs):
+        # Under the static table the best path to the ECM is local/OBD.
+        _, static, _ = runs
+        record = static.by_threat()["ts.ecm.msg.0x0c0.spoofing"]
+        assert record.feasibility is FeasibilityRating.LOW
+
+    def test_psp_raises_torque_spoofing(self, runs):
+        _, static, tuned = runs
+        threat_id = "ts.ecm.msg.0x0c0.spoofing"
+        assert (
+            tuned.by_threat()[threat_id].feasibility
+            > static.by_threat()[threat_id].feasibility
+        )
+
+    def test_psp_raises_risk_of_message_dos(self, runs):
+        _, static, tuned = runs
+        threat_id = "ts.ecm.msg.0x0c0.denial_of_service"
+        assert (
+            tuned.by_threat()[threat_id].risk_value
+            > static.by_threat()[threat_id].risk_value
+        )
+
+    def test_diagnostic_disclosure_assessed(self, runs):
+        _, static, _ = runs
+        record = static.by_threat()[
+            "ts.gateway.msg.0x7e0.information_disclosure"
+        ]
+        assert record.risk_value >= 1

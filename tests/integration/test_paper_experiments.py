@@ -1,0 +1,192 @@
+"""End-to-end assertions for every paper experiment (DESIGN.md E1-E10).
+
+These are the reproduction's headline checks: each test pins the *shape*
+the paper reports (who wins, what inverts, which values come out) for one
+figure, table or equation.
+"""
+
+import pytest
+
+from repro import PSPFramework, TargetApplication, TimeWindow
+from repro.analysis import report_confirms_inversion, summarize_disagreements
+from repro.iso21434.cal import physical_ceiling
+from repro.iso21434.enums import CAL, AttackVector, FeasibilityRating, ImpactRating
+from repro.iso21434.feasibility.attack_potential import (
+    AttackPotentialInput,
+    AttackPotentialModel,
+    ElapsedTime,
+    Equipment,
+    Expertise,
+    Knowledge,
+    WindowOfOpportunity,
+)
+from repro.iso21434.feasibility.attack_vector import standard_table
+from repro.market import default_report_library
+from repro.tara import TaraEngine, compare_runs
+from repro.vehicle.domains import VehicleDomain
+
+
+class TestE1AttackPotential:
+    """Fig. 3: the attack-potential weights model."""
+
+    def test_owner_with_unlimited_access_rates_high(self):
+        owner = AttackPotentialInput(
+            elapsed_time=ElapsedTime.ONE_WEEK,
+            expertise=Expertise.PROFICIENT,
+            knowledge=Knowledge.PUBLIC,
+            window=WindowOfOpportunity.UNLIMITED,
+            equipment=Equipment.SPECIALIZED,
+        )
+        assert AttackPotentialModel().rate(owner) is FeasibilityRating.HIGH
+
+
+class TestE2AttackVectorTable:
+    """Fig. 5: the static G.9 table."""
+
+    def test_exact_table(self):
+        table = standard_table()
+        expected = {
+            AttackVector.NETWORK: FeasibilityRating.HIGH,
+            AttackVector.ADJACENT: FeasibilityRating.MEDIUM,
+            AttackVector.LOCAL: FeasibilityRating.LOW,
+            AttackVector.PHYSICAL: FeasibilityRating.VERY_LOW,
+        }
+        for vector, rating in expected.items():
+            assert table.rating(vector) is rating
+
+
+class TestE3CalDetermination:
+    """Fig. 6: CAL matrix; physical capped at CAL2."""
+
+    def test_physical_ceiling(self):
+        assert physical_ceiling() is CAL.CAL2
+
+
+class TestE4WeightTuning:
+    """Fig. 8: outsider weights untouched, insider weights re-ranked."""
+
+    def test_outsider_table_is_standard(self, ecm_framework):
+        result = ecm_framework.run(learn=False)
+        assert result.outsider_table.ratings == standard_table().ratings
+
+    def test_insider_physical_raised(self, ecm_framework):
+        result = ecm_framework.run(learn=False)
+        static_physical = standard_table().rating(AttackVector.PHYSICAL)
+        tuned_physical = result.insider_table.rating(AttackVector.PHYSICAL)
+        assert tuned_physical > static_physical
+
+    def test_insider_network_lowered(self, ecm_framework):
+        result = ecm_framework.run(learn=False)
+        static_network = standard_table().rating(AttackVector.NETWORK)
+        tuned_network = result.insider_table.rating(AttackVector.NETWORK)
+        assert tuned_network < static_network
+
+
+class TestE5TrendInversion:
+    """Fig. 9: full-history vs since-2022 windows."""
+
+    @pytest.fixture()
+    def windows(self, ecm_framework):
+        return ecm_framework.compare_windows(
+            TimeWindow.full_history(), TimeWindow.since_year(2022)
+        )
+
+    def test_full_window_physical_dominates(self, windows):
+        before, _, _ = windows
+        table = before.insider_table
+        assert table.rating(AttackVector.PHYSICAL) is FeasibilityRating.HIGH
+        assert table.rating(AttackVector.PHYSICAL) > table.rating(AttackVector.LOCAL)
+
+    def test_recent_window_local_dominates(self, windows):
+        _, after, _ = windows
+        table = after.insider_table
+        assert table.rating(AttackVector.LOCAL) is FeasibilityRating.HIGH
+        assert table.rating(AttackVector.LOCAL) > table.rating(AttackVector.PHYSICAL)
+
+    def test_inversion_detected(self, windows):
+        _, _, inversions = windows
+        assert any(
+            inv.risen is AttackVector.LOCAL and inv.fallen is AttackVector.PHYSICAL
+            for inv in inversions
+        )
+
+    def test_inversion_confirmed_by_annual_report(self, windows):
+        # "The trend inversion highlighted by PSP ... is confirmed by the
+        # Upstream global automotive cybersecurity report."
+        report = default_report_library().latest("excavator", "europe")
+        assert report_confirms_inversion(
+            report, risen=AttackVector.LOCAL, fallen=AttackVector.PHYSICAL
+        )
+
+
+class TestE6BreakEven:
+    """Fig. 11: cost/revenue crossover."""
+
+    def test_crossover_geometry(self, excavator_framework):
+        assessment = excavator_framework.assess_financial("dpfdelete")
+        analysis = assessment.analysis()
+        bep = analysis.break_even
+        assert not analysis.is_profitable(0.5 * bep)
+        assert analysis.is_profitable(1.5 * bep)
+        assert analysis.profit(bep) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestE7ExcavatorSai:
+    """Fig. 12: DPF delete tops the excavator SAI ranking."""
+
+    def test_dpfdelete_first(self, excavator_framework):
+        result = excavator_framework.run(learn=False)
+        assert result.sai.ranking()[0] == "dpfdelete"
+
+    def test_all_insider_topics_above_outsider_theft(self, excavator_framework):
+        result = excavator_framework.run(learn=False)
+        ranking = result.sai.ranking()
+        assert ranking.index("dpfdelete") < ranking.index("keycloning")
+
+
+class TestE8E9Financial:
+    """Eqs. 6-7: the exact published EUR values."""
+
+    def test_eq6_market_value(self, excavator_framework):
+        assessment = excavator_framework.assess_financial("dpfdelete")
+        assert assessment.pae == 1406
+        assert assessment.ppia == pytest.approx(360.0)
+        assert assessment.mv == pytest.approx(506160.0)
+
+    def test_eq7_required_investment(self, excavator_framework):
+        assessment = excavator_framework.assess_financial("dpfdelete")
+        assert assessment.competitors == 3
+        assert assessment.margin == pytest.approx(310.0)
+        assert assessment.fc_required == pytest.approx(145286.67, abs=0.01)
+
+
+class TestE10StaticVsPsp:
+    """§II claim: the static model under-rates powertrain insider threats."""
+
+    @pytest.fixture()
+    def comparison(self, fig4_network, ecm_framework):
+        insider_table = ecm_framework.run(learn=False).insider_table
+        static = TaraEngine(fig4_network).run()
+        tuned = TaraEngine(fig4_network, insider_table=insider_table).run()
+        return static, compare_runs(fig4_network, static, tuned)
+
+    def test_disagreements_exist(self, comparison):
+        _, disagreements = comparison
+        assert disagreements
+
+    def test_concentrated_in_powertrain(self, comparison):
+        static, disagreements = comparison
+        summary = summarize_disagreements(len(static.records), disagreements)
+        assert summary.dominant_domain() is VehicleDomain.POWERTRAIN
+
+    def test_all_underestimates(self, comparison):
+        _, disagreements = comparison
+        assert all(d.underestimated for d in disagreements)
+
+    def test_severe_impact_present_in_raised_threats(self, comparison):
+        static, disagreements = comparison
+        index = static.by_threat()
+        assert any(
+            index[d.threat_id].impact.overall is ImpactRating.SEVERE
+            for d in disagreements
+        )

@@ -1,0 +1,111 @@
+"""Tests for asset identification (Clause 15.3)."""
+
+import pytest
+
+from repro.iso21434.assets import (
+    Asset,
+    AssetKind,
+    AssetRegistry,
+    DEFAULT_PROPERTIES,
+    make_asset,
+    standard_ecu_assets,
+)
+from repro.iso21434.enums import CybersecurityProperty
+
+
+def firmware_asset(asset_id: str = "ecm.firmware") -> Asset:
+    return make_asset(
+        asset_id,
+        "ECM Firmware",
+        AssetKind.FIRMWARE,
+        [CybersecurityProperty.INTEGRITY],
+        ecu_id="ecm",
+    )
+
+
+class TestAsset:
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            Asset("", "X", AssetKind.FIRMWARE,
+                  frozenset({CybersecurityProperty.INTEGRITY}))
+
+    def test_requires_properties(self):
+        with pytest.raises(ValueError, match="property"):
+            Asset("a", "X", AssetKind.FIRMWARE, frozenset())
+
+    def test_protects(self):
+        asset = firmware_asset()
+        assert asset.protects(CybersecurityProperty.INTEGRITY)
+        assert not asset.protects(CybersecurityProperty.CONFIDENTIALITY)
+
+    def test_make_asset_accepts_any_iterable(self):
+        asset = make_asset(
+            "x", "X", AssetKind.SENSOR_DATA,
+            iter([CybersecurityProperty.INTEGRITY]),
+        )
+        assert asset.protects(CybersecurityProperty.INTEGRITY)
+
+    def test_hashable(self):
+        assert firmware_asset() in {firmware_asset()}
+
+
+class TestStandardEcuAssets:
+    def test_four_assets_per_ecu(self):
+        assets = standard_ecu_assets("ecm", "Engine Control Module")
+        assert len(assets) == 4
+
+    def test_ids_prefixed_by_ecu(self):
+        assets = standard_ecu_assets("ecm", "ECM")
+        assert all(a.asset_id.startswith("ecm.") for a in assets)
+        assert all(a.ecu_id == "ecm" for a in assets)
+
+    def test_covers_expected_kinds(self):
+        kinds = {a.kind for a in standard_ecu_assets("ecm", "ECM")}
+        assert kinds == {
+            AssetKind.FIRMWARE,
+            AssetKind.CALIBRATION_DATA,
+            AssetKind.COMMUNICATION,
+            AssetKind.DIAGNOSTIC_INTERFACE,
+        }
+
+    def test_default_properties_applied(self):
+        assets = {a.kind: a for a in standard_ecu_assets("ecm", "ECM")}
+        for kind, asset in assets.items():
+            assert asset.properties == DEFAULT_PROPERTIES[kind]
+
+    def test_every_kind_has_default_properties(self):
+        for kind in AssetKind:
+            assert DEFAULT_PROPERTIES[kind]
+
+
+class TestAssetRegistry:
+    def test_register_and_get(self):
+        registry = AssetRegistry()
+        asset = registry.register(firmware_asset())
+        assert registry.get("ecm.firmware") is asset
+        assert "ecm.firmware" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = AssetRegistry()
+        registry.register(firmware_asset())
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.register(firmware_asset())
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError, match="unknown asset"):
+            AssetRegistry().get("nope")
+
+    def test_by_ecu_and_kind(self):
+        registry = AssetRegistry()
+        registry.register_all(standard_ecu_assets("ecm", "ECM"))
+        registry.register_all(standard_ecu_assets("tcm", "TCM"))
+        assert len(registry.by_ecu("ecm")) == 4
+        assert len(registry.by_kind(AssetKind.FIRMWARE)) == 2
+
+    def test_iteration(self):
+        registry = AssetRegistry()
+        registry.register_all(standard_ecu_assets("ecm", "ECM"))
+        assert {a.asset_id for a in registry} == {
+            "ecm.firmware", "ecm.calibration", "ecm.bus_messages", "ecm.diagnostics",
+        }

@@ -1,0 +1,132 @@
+"""Tests for attack-path analysis (Clause 15.6/15.7)."""
+
+import pytest
+
+from repro.iso21434.attack_path import (
+    AttackPath,
+    AttackPathRegistry,
+    AttackStep,
+    threat_feasibility,
+)
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+
+
+def step(desc: str, rating: FeasibilityRating, vector=None) -> AttackStep:
+    return AttackStep(description=desc, feasibility=rating, vector=vector)
+
+
+def obd_path(path_id: str = "ap.1") -> AttackPath:
+    return AttackPath(
+        path_id=path_id,
+        threat_id="ts.ecm.reprogramming",
+        steps=(
+            step("connect to OBD", FeasibilityRating.LOW, AttackVector.LOCAL),
+            step("flash ECM", FeasibilityRating.MEDIUM),
+        ),
+    )
+
+
+class TestAttackStep:
+    def test_requires_description(self):
+        with pytest.raises(ValueError):
+            AttackStep(description="", feasibility=FeasibilityRating.LOW)
+
+
+class TestAttackPath:
+    def test_requires_steps(self):
+        with pytest.raises(ValueError, match="step"):
+            AttackPath(path_id="p", threat_id="t", steps=())
+
+    def test_feasibility_is_minimum_over_steps(self):
+        assert obd_path().feasibility is FeasibilityRating.LOW
+
+    def test_single_step_path(self):
+        path = AttackPath(
+            path_id="p",
+            threat_id="t",
+            steps=(step("bench access", FeasibilityRating.VERY_LOW,
+                        AttackVector.PHYSICAL),),
+        )
+        assert path.feasibility is FeasibilityRating.VERY_LOW
+        assert path.entry_vector is AttackVector.PHYSICAL
+
+    def test_entry_vector_is_first_step(self):
+        assert obd_path().entry_vector is AttackVector.LOCAL
+
+    def test_length(self):
+        assert obd_path().length == 2
+
+    def test_describe_mentions_feasibility(self):
+        assert "Low" in obd_path().describe()
+
+    def test_hardest_step_gates_path(self):
+        path = AttackPath(
+            path_id="p",
+            threat_id="t",
+            steps=(
+                step("easy entry", FeasibilityRating.HIGH),
+                step("hard pivot", FeasibilityRating.VERY_LOW),
+                step("easy finish", FeasibilityRating.HIGH),
+            ),
+        )
+        assert path.feasibility is FeasibilityRating.VERY_LOW
+
+
+class TestThreatFeasibility:
+    def test_none_for_no_paths(self):
+        assert threat_feasibility([]) is None
+
+    def test_maximum_over_paths(self):
+        easy = AttackPath(
+            path_id="easy", threat_id="t",
+            steps=(step("obd", FeasibilityRating.MEDIUM),),
+        )
+        hard = AttackPath(
+            path_id="hard", threat_id="t",
+            steps=(step("bench", FeasibilityRating.VERY_LOW),),
+        )
+        assert threat_feasibility([easy, hard]) is FeasibilityRating.MEDIUM
+
+    def test_attacker_picks_easiest_path(self):
+        paths = [
+            AttackPath(
+                path_id=f"p{i}", threat_id="t",
+                steps=(step("s", rating),),
+            )
+            for i, rating in enumerate(FeasibilityRating)
+        ]
+        assert threat_feasibility(paths) is FeasibilityRating.HIGH
+
+
+class TestRegistry:
+    def test_register_and_query(self):
+        registry = AttackPathRegistry()
+        path = registry.register(obd_path())
+        assert registry.get("ap.1") is path
+        assert "ap.1" in registry
+        assert len(registry.for_threat("ts.ecm.reprogramming")) == 1
+
+    def test_duplicate_rejected(self):
+        registry = AttackPathRegistry()
+        registry.register(obd_path())
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.register(obd_path())
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError, match="unknown attack path"):
+            AttackPathRegistry().get("nope")
+
+    def test_feasibility_for_threat(self):
+        registry = AttackPathRegistry()
+        registry.register(obd_path("a"))
+        registry.register(
+            AttackPath(
+                path_id="b", threat_id="ts.ecm.reprogramming",
+                steps=(step("bench", FeasibilityRating.HIGH),),
+            )
+        )
+        assert (
+            registry.feasibility_for_threat("ts.ecm.reprogramming")
+            is FeasibilityRating.HIGH
+        )
+        assert registry.feasibility_for_threat("ts.other") is None

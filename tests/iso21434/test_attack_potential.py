@@ -1,0 +1,126 @@
+"""Tests for the attack-potential-based feasibility model (paper Fig. 3)."""
+
+import pytest
+
+from repro.iso21434.enums import FeasibilityRating
+from repro.iso21434.feasibility.attack_potential import (
+    AttackPotentialInput,
+    AttackPotentialModel,
+    ElapsedTime,
+    Equipment,
+    Expertise,
+    Knowledge,
+    WindowOfOpportunity,
+    rating_from_potential,
+)
+
+
+def easiest() -> AttackPotentialInput:
+    return AttackPotentialInput(
+        elapsed_time=ElapsedTime.ONE_WEEK,
+        expertise=Expertise.LAYMAN,
+        knowledge=Knowledge.PUBLIC,
+        window=WindowOfOpportunity.UNLIMITED,
+        equipment=Equipment.STANDARD,
+    )
+
+
+def hardest() -> AttackPotentialInput:
+    return AttackPotentialInput(
+        elapsed_time=ElapsedTime.MORE_THAN_THREE_YEARS,
+        expertise=Expertise.MULTIPLE_EXPERTS,
+        knowledge=Knowledge.STRICTLY_CONFIDENTIAL,
+        window=WindowOfOpportunity.DIFFICULT,
+        equipment=Equipment.MULTIPLE_BESPOKE,
+    )
+
+
+class TestFactorWeights:
+    def test_elapsed_time_weights(self):
+        assert [lvl.weight for lvl in ElapsedTime] == [0, 1, 4, 10, 19]
+
+    def test_expertise_weights(self):
+        assert [lvl.weight for lvl in Expertise] == [0, 3, 6, 8]
+
+    def test_knowledge_weights(self):
+        assert [lvl.weight for lvl in Knowledge] == [0, 3, 7, 11]
+
+    def test_window_weights(self):
+        assert [lvl.weight for lvl in WindowOfOpportunity] == [0, 1, 4, 10]
+
+    def test_equipment_weights(self):
+        assert [lvl.weight for lvl in Equipment] == [0, 4, 7, 9]
+
+
+class TestPotentialValue:
+    def test_easiest_attack_sums_to_zero(self):
+        assert easiest().potential_value == 0
+
+    def test_hardest_attack_sums_to_57(self):
+        assert hardest().potential_value == 19 + 8 + 11 + 10 + 9
+
+    def test_mixed_sum(self):
+        attack = AttackPotentialInput(
+            elapsed_time=ElapsedTime.ONE_MONTH,
+            expertise=Expertise.PROFICIENT,
+            knowledge=Knowledge.RESTRICTED,
+            window=WindowOfOpportunity.EASY,
+            equipment=Equipment.SPECIALIZED,
+        )
+        assert attack.potential_value == 1 + 3 + 3 + 1 + 4
+
+
+class TestRatingMapping:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, FeasibilityRating.HIGH),
+            (13, FeasibilityRating.HIGH),
+            (14, FeasibilityRating.MEDIUM),
+            (19, FeasibilityRating.MEDIUM),
+            (20, FeasibilityRating.LOW),
+            (24, FeasibilityRating.LOW),
+            (25, FeasibilityRating.VERY_LOW),
+            (100, FeasibilityRating.VERY_LOW),
+        ],
+    )
+    def test_band_boundaries(self, value, expected):
+        assert rating_from_potential(value) is expected
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            rating_from_potential(-1)
+
+    def test_rating_non_increasing_in_potential(self):
+        ratings = [rating_from_potential(v) for v in range(0, 60)]
+        for earlier, later in zip(ratings, ratings[1:]):
+            assert later <= earlier
+
+
+class TestModel:
+    def test_rates_easiest_high(self):
+        assert AttackPotentialModel().rate(easiest()) is FeasibilityRating.HIGH
+
+    def test_rates_hardest_very_low(self):
+        assert AttackPotentialModel().rate(hardest()) is FeasibilityRating.VERY_LOW
+
+    def test_rejects_wrong_input_type(self):
+        with pytest.raises(TypeError):
+            AttackPotentialModel().rate("physical")
+
+    def test_exposes_potential_value(self):
+        model = AttackPotentialModel()
+        assert model.potential_value(hardest()) == hardest().potential_value
+
+    def test_obd_reprogramming_scenario_is_feasible(self):
+        # The paper's powertrain argument: an owner with unlimited access,
+        # proficient skills and a standard OBD flasher is a HIGH-feasibility
+        # attacker even though the G.9 table calls physical "Very Low".
+        attack = AttackPotentialInput(
+            elapsed_time=ElapsedTime.ONE_WEEK,
+            expertise=Expertise.PROFICIENT,
+            knowledge=Knowledge.PUBLIC,
+            window=WindowOfOpportunity.UNLIMITED,
+            equipment=Equipment.SPECIALIZED,
+        )
+        assert AttackPotentialModel().rate(attack) is FeasibilityRating.HIGH

@@ -1,0 +1,102 @@
+"""Tests for the attack-vector-based model and WeightTable (paper Fig. 5)."""
+
+import pytest
+
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import (
+    STANDARD_G9_TABLE,
+    AttackVectorModel,
+    WeightTable,
+    standard_table,
+)
+
+
+class TestStandardTable:
+    def test_matches_paper_fig5(self):
+        table = standard_table()
+        assert table.rating(AttackVector.NETWORK) is FeasibilityRating.HIGH
+        assert table.rating(AttackVector.ADJACENT) is FeasibilityRating.MEDIUM
+        assert table.rating(AttackVector.LOCAL) is FeasibilityRating.LOW
+        assert table.rating(AttackVector.PHYSICAL) is FeasibilityRating.VERY_LOW
+
+    def test_source_is_standard(self):
+        assert standard_table().source == "iso21434-g9"
+
+    def test_fresh_copies_are_equal_but_independent(self):
+        a, b = standard_table(), standard_table()
+        assert a.ratings == b.ratings
+        assert a is not b
+
+    def test_ranked_vectors_remote_first(self):
+        assert standard_table().ranked_vectors() == (
+            AttackVector.NETWORK,
+            AttackVector.ADJACENT,
+            AttackVector.LOCAL,
+            AttackVector.PHYSICAL,
+        )
+
+
+class TestWeightTable:
+    def test_missing_vector_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            WeightTable({AttackVector.NETWORK: FeasibilityRating.HIGH})
+
+    def test_with_rating_returns_new_table(self):
+        base = standard_table()
+        tuned = base.with_rating(
+            AttackVector.PHYSICAL, FeasibilityRating.HIGH, source="psp"
+        )
+        assert base.rating(AttackVector.PHYSICAL) is FeasibilityRating.VERY_LOW
+        assert tuned.rating(AttackVector.PHYSICAL) is FeasibilityRating.HIGH
+        assert tuned.source == "psp"
+
+    def test_differs_from_lists_changed_vectors(self):
+        base = standard_table()
+        tuned = base.with_rating(
+            AttackVector.PHYSICAL, FeasibilityRating.HIGH, source="psp"
+        )
+        assert base.differs_from(tuned) == (AttackVector.PHYSICAL,)
+        assert base.differs_from(base) == ()
+
+    def test_items_in_standard_order(self):
+        vectors = [v for v, _ in standard_table().items()]
+        assert vectors == [
+            AttackVector.NETWORK,
+            AttackVector.ADJACENT,
+            AttackVector.LOCAL,
+            AttackVector.PHYSICAL,
+        ]
+
+    def test_as_rows_renders_labels(self):
+        rows = standard_table().as_rows()
+        assert ("Network", "High") in rows
+        assert ("Physical", "Very Low") in rows
+
+    def test_ranked_vectors_ties_broken_by_reach(self):
+        flat = WeightTable(
+            {v: FeasibilityRating.MEDIUM for v in AttackVector}, source="test"
+        )
+        assert flat.ranked_vectors()[0] is AttackVector.NETWORK
+
+
+class TestAttackVectorModel:
+    def test_default_uses_standard_table(self):
+        model = AttackVectorModel()
+        assert model.rate(AttackVector.NETWORK) is FeasibilityRating.HIGH
+        assert model.rate(AttackVector.PHYSICAL) is FeasibilityRating.VERY_LOW
+
+    def test_rejects_wrong_input_type(self):
+        with pytest.raises(TypeError):
+            AttackVectorModel().rate("network")
+
+    def test_retune_swaps_table_and_returns_previous(self):
+        model = AttackVectorModel()
+        tuned = standard_table().with_rating(
+            AttackVector.PHYSICAL, FeasibilityRating.HIGH, source="psp"
+        )
+        previous = model.retune(tuned)
+        assert previous.source == "iso21434-g9"
+        assert model.rate(AttackVector.PHYSICAL) is FeasibilityRating.HIGH
+
+    def test_standard_constant_is_complete(self):
+        assert set(STANDARD_G9_TABLE) == set(AttackVector)

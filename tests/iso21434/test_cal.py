@@ -1,0 +1,87 @@
+"""Tests for CAL determination (paper Fig. 6)."""
+
+import pytest
+
+from repro.iso21434.cal import (
+    DEFAULT_CAL_TABLE,
+    PHYSICAL_CAL_CEILING,
+    CalTable,
+    default_table,
+    determine_cal,
+    physical_ceiling,
+)
+from repro.iso21434.enums import CAL, AttackVector, ImpactRating
+
+
+class TestDefaultTable:
+    def test_severe_network_is_cal4(self):
+        assert determine_cal(ImpactRating.SEVERE, AttackVector.NETWORK) is CAL.CAL4
+
+    def test_severe_physical_capped_at_cal2(self):
+        # The structural limitation the paper §II highlights.
+        assert determine_cal(ImpactRating.SEVERE, AttackVector.PHYSICAL) is CAL.CAL2
+
+    def test_negligible_impact_no_cal(self):
+        for vector in AttackVector:
+            assert determine_cal(ImpactRating.NEGLIGIBLE, vector) is CAL.NONE
+
+    def test_complete(self):
+        assert len(DEFAULT_CAL_TABLE) == len(list(ImpactRating)) * len(
+            list(AttackVector)
+        )
+
+    def test_monotone_in_impact_per_vector(self):
+        ordered = sorted(ImpactRating, key=lambda r: r.level)
+        for vector in AttackVector:
+            cals = [determine_cal(i, vector).level for i in ordered]
+            assert cals == sorted(cals)
+
+    def test_monotone_in_reach_per_impact(self):
+        vectors = sorted(AttackVector, key=lambda v: v.reach)
+        for impact in ImpactRating:
+            cals = [determine_cal(impact, v).level for v in vectors]
+            assert cals == sorted(cals)
+
+
+class TestPhysicalCeiling:
+    def test_ceiling_is_cal2(self):
+        assert physical_ceiling() is CAL.CAL2
+        assert PHYSICAL_CAL_CEILING is CAL.CAL2
+
+    def test_powertrain_dos_never_exceeds_cal2(self):
+        # A safety-severe DoS on a powertrain ECU realised physically
+        # demands at most CAL2 under the static standard — the paper's
+        # "medium-low level of security emphasis" complaint.
+        cal = determine_cal(ImpactRating.SEVERE, AttackVector.PHYSICAL)
+        assert cal <= CAL.CAL2
+
+    def test_same_impact_via_network_demands_cal4(self):
+        physical = determine_cal(ImpactRating.SEVERE, AttackVector.PHYSICAL)
+        network = determine_cal(ImpactRating.SEVERE, AttackVector.NETWORK)
+        assert network.level - physical.level == 2
+
+
+class TestCustomTable:
+    def test_missing_cell_rejected(self):
+        cells = dict(DEFAULT_CAL_TABLE)
+        del cells[(ImpactRating.SEVERE, AttackVector.NETWORK)]
+        with pytest.raises(ValueError, match="missing"):
+            CalTable(cells)
+
+    def test_custom_table_used_by_determine(self):
+        cells = {
+            (i, v): CAL.CAL4 for i in ImpactRating for v in AttackVector
+        }
+        table = CalTable(cells)
+        assert determine_cal(
+            ImpactRating.NEGLIGIBLE, AttackVector.PHYSICAL, table
+        ) is CAL.CAL4
+
+    def test_custom_ceiling(self):
+        cells = {
+            (i, v): CAL.CAL4 for i in ImpactRating for v in AttackVector
+        }
+        assert physical_ceiling(CalTable(cells)) is CAL.CAL4
+
+    def test_default_table_singleton(self):
+        assert default_table() is default_table()

@@ -1,0 +1,178 @@
+"""Tests for cybersecurity controls and residual risk."""
+
+import pytest
+
+from repro.iso21434.controls import (
+    Control,
+    ControlCatalog,
+    apply_controls,
+    default_catalog,
+    residual_risk,
+    select_controls_for_target,
+)
+from repro.iso21434.enums import AttackVector, FeasibilityRating, ImpactRating
+from repro.iso21434.feasibility.attack_vector import WeightTable, standard_table
+
+
+def psp_table() -> WeightTable:
+    return WeightTable(
+        {
+            AttackVector.NETWORK: FeasibilityRating.VERY_LOW,
+            AttackVector.ADJACENT: FeasibilityRating.VERY_LOW,
+            AttackVector.LOCAL: FeasibilityRating.MEDIUM,
+            AttackVector.PHYSICAL: FeasibilityRating.HIGH,
+        },
+        source="psp",
+    )
+
+
+class TestControl:
+    def test_requires_vectors(self):
+        with pytest.raises(ValueError):
+            Control("c", "C", frozenset())
+
+    def test_strength_range(self):
+        with pytest.raises(ValueError):
+            Control("c", "C", frozenset({AttackVector.LOCAL}), strength=0)
+        with pytest.raises(ValueError):
+            Control("c", "C", frozenset({AttackVector.LOCAL}), strength=4)
+
+    def test_hardens(self):
+        control = Control("c", "C", frozenset({AttackVector.LOCAL}))
+        assert control.hardens(AttackVector.LOCAL)
+        assert not control.hardens(AttackVector.NETWORK)
+
+
+class TestCatalog:
+    def test_default_catalog_contents(self):
+        catalog = default_catalog()
+        assert "ctl.secure_boot" in catalog
+        assert "ctl.obd_auth" in catalog
+        assert len(catalog) == 6
+
+    def test_duplicate_rejected(self):
+        catalog = default_catalog()
+        with pytest.raises(ValueError, match="duplicate"):
+            catalog.add(catalog.get("ctl.secure_boot"))
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            default_catalog().get("ctl.nope")
+
+    def test_for_vector(self):
+        catalog = default_catalog()
+        local = catalog.for_vector(AttackVector.LOCAL)
+        assert any(c.control_id == "ctl.obd_auth" for c in local)
+        assert all(c.hardens(AttackVector.LOCAL) for c in local)
+
+
+class TestApplyControls:
+    def test_hardened_vector_lowered(self):
+        catalog = default_catalog()
+        hardened = apply_controls(psp_table(), [catalog.get("ctl.tamper_evidence")])
+        assert hardened.rating(AttackVector.PHYSICAL) is FeasibilityRating.MEDIUM
+
+    def test_unhardened_vectors_untouched(self):
+        catalog = default_catalog()
+        hardened = apply_controls(psp_table(), [catalog.get("ctl.tamper_evidence")])
+        assert hardened.rating(AttackVector.LOCAL) is FeasibilityRating.MEDIUM
+
+    def test_strengths_accumulate(self):
+        catalog = default_catalog()
+        controls = [
+            catalog.get("ctl.secure_boot"),       # local -1
+            catalog.get("ctl.obd_auth"),          # local -2
+        ]
+        hardened = apply_controls(psp_table(), controls)
+        assert hardened.rating(AttackVector.LOCAL) is FeasibilityRating.VERY_LOW
+
+    def test_saturates_at_very_low(self):
+        catalog = default_catalog()
+        hardened = apply_controls(standard_table(), list(catalog))
+        for vector in AttackVector:
+            assert hardened.rating(vector) >= FeasibilityRating.VERY_LOW
+
+    def test_never_raises_feasibility(self):
+        catalog = default_catalog()
+        base = psp_table()
+        hardened = apply_controls(base, list(catalog))
+        for vector in AttackVector:
+            assert hardened.rating(vector) <= base.rating(vector)
+
+    def test_no_controls_identity_ratings(self):
+        hardened = apply_controls(psp_table(), [])
+        assert hardened.ratings == psp_table().ratings
+
+    def test_provenance_recorded(self):
+        catalog = default_catalog()
+        hardened = apply_controls(psp_table(), [catalog.get("ctl.secure_boot")])
+        assert hardened.source == "psp+controls"
+        assert "Secure Boot" in hardened.note
+
+
+class TestResidualRisk:
+    def test_reduction_computed(self):
+        catalog = default_catalog()
+        record = residual_risk(
+            AttackVector.PHYSICAL,
+            ImpactRating.SEVERE,
+            psp_table(),
+            [catalog.get("ctl.tamper_evidence"), catalog.get("ctl.secure_boot")],
+        )
+        assert record.initial_risk == 5     # severe x high
+        assert record.residual_risk < record.initial_risk
+        assert record.risk_reduction == record.initial_risk - record.residual_risk
+
+    def test_no_controls_no_reduction(self):
+        record = residual_risk(
+            AttackVector.PHYSICAL, ImpactRating.SEVERE, psp_table(), []
+        )
+        assert record.risk_reduction == 0
+
+
+class TestControlSelection:
+    def test_reaches_target(self):
+        selected = select_controls_for_target(
+            AttackVector.PHYSICAL,
+            ImpactRating.SEVERE,
+            psp_table(),
+            default_catalog(),
+            target_risk=3,
+        )
+        assert selected is not None
+        record = residual_risk(
+            AttackVector.PHYSICAL, ImpactRating.SEVERE, psp_table(), selected
+        )
+        assert record.residual_risk <= 3
+
+    def test_selects_nothing_when_already_at_target(self):
+        selected = select_controls_for_target(
+            AttackVector.NETWORK,
+            ImpactRating.SEVERE,
+            psp_table(),   # network already Very Low -> risk 2
+            default_catalog(),
+            target_risk=2,
+        )
+        assert selected == []
+
+    def test_unreachable_target_returns_none(self):
+        # Severe impact floors at risk 2 in the default matrix; risk 1 is
+        # unreachable by feasibility reduction alone.
+        selected = select_controls_for_target(
+            AttackVector.PHYSICAL,
+            ImpactRating.SEVERE,
+            psp_table(),
+            default_catalog(),
+            target_risk=1,
+        )
+        assert selected is None
+
+    def test_target_validated(self):
+        with pytest.raises(ValueError):
+            select_controls_for_target(
+                AttackVector.PHYSICAL,
+                ImpactRating.SEVERE,
+                psp_table(),
+                default_catalog(),
+                target_risk=0,
+            )

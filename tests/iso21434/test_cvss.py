@@ -1,0 +1,104 @@
+"""Tests for the CVSS-based feasibility model."""
+
+import pytest
+
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.cvss import (
+    AttackComplexity,
+    CvssModel,
+    CvssVector,
+    PrivilegesRequired,
+    UserInteraction,
+    rating_from_exploitability,
+)
+
+
+def easiest() -> CvssVector:
+    return CvssVector(attack_vector=AttackVector.NETWORK)
+
+
+def hardest() -> CvssVector:
+    return CvssVector(
+        attack_vector=AttackVector.PHYSICAL,
+        attack_complexity=AttackComplexity.HIGH,
+        privileges_required=PrivilegesRequired.HIGH,
+        user_interaction=UserInteraction.REQUIRED,
+    )
+
+
+class TestExploitability:
+    def test_maximum_score(self):
+        # 8.22 x 0.85 x 0.77 x 0.85 x 0.85 = 3.887...
+        assert easiest().exploitability == pytest.approx(3.887, abs=0.01)
+
+    def test_minimum_score(self):
+        # 8.22 x 0.20 x 0.44 x 0.27 x 0.62 = 0.121...
+        assert hardest().exploitability == pytest.approx(0.121, abs=0.01)
+
+    def test_physical_below_local_all_else_equal(self):
+        physical = CvssVector(attack_vector=AttackVector.PHYSICAL)
+        local = CvssVector(attack_vector=AttackVector.LOCAL)
+        assert physical.exploitability < local.exploitability
+
+    def test_vector_ordering_matches_cvss_coefficients(self):
+        scores = {
+            v: CvssVector(attack_vector=v).exploitability for v in AttackVector
+        }
+        assert (
+            scores[AttackVector.NETWORK]
+            > scores[AttackVector.ADJACENT]
+            > scores[AttackVector.LOCAL]
+            > scores[AttackVector.PHYSICAL]
+        )
+
+
+class TestRatingMapping:
+    @pytest.mark.parametrize(
+        "score,expected",
+        [
+            (0.0, FeasibilityRating.VERY_LOW),
+            (0.99, FeasibilityRating.VERY_LOW),
+            (1.0, FeasibilityRating.LOW),
+            (1.99, FeasibilityRating.LOW),
+            (2.0, FeasibilityRating.MEDIUM),
+            (2.95, FeasibilityRating.MEDIUM),
+            (2.96, FeasibilityRating.HIGH),
+            (3.89, FeasibilityRating.HIGH),
+        ],
+    )
+    def test_band_boundaries(self, score, expected):
+        assert rating_from_exploitability(score) is expected
+
+    def test_negative_score_rejected(self):
+        with pytest.raises(ValueError):
+            rating_from_exploitability(-0.1)
+
+    def test_bands_monotone(self):
+        scores = [i / 100 for i in range(0, 400)]
+        ratings = [rating_from_exploitability(s) for s in scores]
+        for earlier, later in zip(ratings, ratings[1:]):
+            assert later >= earlier
+
+
+class TestModel:
+    def test_network_default_rates_high(self):
+        assert CvssModel().rate(easiest()) is FeasibilityRating.HIGH
+
+    def test_hardened_physical_rates_very_low(self):
+        assert CvssModel().rate(hardest()) is FeasibilityRating.VERY_LOW
+
+    def test_agrees_with_g9_on_canonical_extremes(self):
+        # The CVSS model and the attack-vector table agree on the corner
+        # cases (network/easy = High, physical/hard = Very Low); the PSP
+        # paper's complaint concerns the middle of the table.
+        assert CvssModel().rate(easiest()) is FeasibilityRating.HIGH
+        assert CvssModel().rate(hardest()) is FeasibilityRating.VERY_LOW
+
+    def test_rejects_wrong_input_type(self):
+        with pytest.raises(TypeError):
+            CvssModel().rate(AttackVector.NETWORK)
+
+    def test_exploitability_accessor(self):
+        model = CvssModel()
+        vector = easiest()
+        assert model.exploitability(vector) == vector.exploitability

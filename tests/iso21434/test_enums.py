@@ -1,0 +1,107 @@
+"""Tests for the shared rating vocabulary."""
+
+import pytest
+
+from repro.iso21434.enums import (
+    CAL,
+    AttackerProfile,
+    AttackVector,
+    CybersecurityProperty,
+    FeasibilityRating,
+    ImpactRating,
+    StrideCategory,
+)
+
+
+class TestFeasibilityRating:
+    def test_total_order(self):
+        assert FeasibilityRating.VERY_LOW < FeasibilityRating.LOW
+        assert FeasibilityRating.LOW < FeasibilityRating.MEDIUM
+        assert FeasibilityRating.MEDIUM < FeasibilityRating.HIGH
+
+    def test_levels_are_distinct_and_increasing(self):
+        levels = [r.level for r in FeasibilityRating]
+        assert levels == sorted(levels)
+        assert len(set(levels)) == len(levels)
+
+    def test_from_level_round_trip(self):
+        for rating in FeasibilityRating:
+            assert FeasibilityRating.from_level(rating.level) is rating
+
+    def test_from_level_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            FeasibilityRating.from_level(99)
+
+    def test_clamp_saturates_both_ends(self):
+        assert FeasibilityRating.clamp(-5) is FeasibilityRating.VERY_LOW
+        assert FeasibilityRating.clamp(42) is FeasibilityRating.HIGH
+        assert FeasibilityRating.clamp(2) is FeasibilityRating.MEDIUM
+
+    def test_labels(self):
+        assert FeasibilityRating.VERY_LOW.label() == "Very Low"
+        assert FeasibilityRating.HIGH.label() == "High"
+
+    def test_comparison_with_other_type_raises(self):
+        with pytest.raises(TypeError):
+            FeasibilityRating.LOW < ImpactRating.MODERATE
+
+
+class TestImpactRating:
+    def test_total_order(self):
+        assert ImpactRating.NEGLIGIBLE < ImpactRating.MODERATE
+        assert ImpactRating.MODERATE < ImpactRating.MAJOR
+        assert ImpactRating.MAJOR < ImpactRating.SEVERE
+
+    def test_labels(self):
+        assert ImpactRating.SEVERE.label() == "Severe"
+        assert ImpactRating.NEGLIGIBLE.label() == "Negligible"
+
+
+class TestAttackVector:
+    def test_reach_ordering(self):
+        assert AttackVector.NETWORK.reach > AttackVector.ADJACENT.reach
+        assert AttackVector.ADJACENT.reach > AttackVector.LOCAL.reach
+        assert AttackVector.LOCAL.reach > AttackVector.PHYSICAL.reach
+
+    def test_four_vectors(self):
+        assert len(list(AttackVector)) == 4
+
+
+class TestCAL:
+    def test_order(self):
+        assert CAL.NONE < CAL.CAL1 < CAL.CAL2 < CAL.CAL3 < CAL.CAL4
+
+    def test_labels(self):
+        assert CAL.CAL3.label() == "CAL3"
+        assert CAL.NONE.label() == "-"
+
+
+class TestStride:
+    def test_every_category_violates_a_property(self):
+        for category in StrideCategory:
+            assert isinstance(category.violated_property, CybersecurityProperty)
+
+    def test_dos_violates_availability(self):
+        assert (
+            StrideCategory.DENIAL_OF_SERVICE.violated_property
+            is CybersecurityProperty.AVAILABILITY
+        )
+
+    def test_disclosure_violates_confidentiality(self):
+        assert (
+            StrideCategory.INFORMATION_DISCLOSURE.violated_property
+            is CybersecurityProperty.CONFIDENTIALITY
+        )
+
+
+class TestAttackerProfile:
+    def test_owner_approved_profiles(self):
+        assert AttackerProfile.INSIDER.is_owner_approved
+        assert AttackerProfile.RATIONAL.is_owner_approved
+        assert AttackerProfile.LOCAL.is_owner_approved
+
+    def test_outsider_profiles_not_owner_approved(self):
+        assert not AttackerProfile.OUTSIDER.is_owner_approved
+        assert not AttackerProfile.MALICIOUS.is_owner_approved
+        assert not AttackerProfile.ACTIVE.is_owner_approved
+        assert not AttackerProfile.PASSIVE.is_owner_approved

@@ -1,0 +1,90 @@
+"""Tests for cybersecurity goals and claims (Clause 9.4)."""
+
+import pytest
+
+from repro.iso21434.enums import CAL, CybersecurityProperty
+from repro.iso21434.goals import (
+    CybersecurityClaim,
+    CybersecurityGoal,
+    GoalRegistry,
+    goal_from_threat,
+)
+from repro.iso21434.treatment import TreatmentOption
+
+
+class TestGoal:
+    def test_goal_from_threat_template(self):
+        goal = goal_from_threat(
+            "ts.ecm.tampering",
+            "ECM reprogramming",
+            CybersecurityProperty.INTEGRITY,
+            CAL.CAL3,
+        )
+        assert goal.goal_id == "cg.ts.ecm.tampering"
+        assert "integrity" in goal.statement
+        assert "ECM reprogramming" in goal.statement
+        assert goal.cal is CAL.CAL3
+
+    def test_requires_statement(self):
+        with pytest.raises(ValueError):
+            CybersecurityGoal(
+                goal_id="g", threat_id="t", statement="",
+                protected_property=CybersecurityProperty.INTEGRITY,
+                cal=CAL.CAL1,
+            )
+
+
+class TestClaim:
+    def test_claims_only_for_retain_or_share(self):
+        claim = CybersecurityClaim(
+            claim_id="c1", threat_id="t", rationale="low residual risk",
+            treatment=TreatmentOption.RETAIN,
+        )
+        assert claim.treatment is TreatmentOption.RETAIN
+
+    @pytest.mark.parametrize(
+        "treatment", [TreatmentOption.REDUCE, TreatmentOption.AVOID]
+    )
+    def test_reduce_and_avoid_rejected(self, treatment):
+        with pytest.raises(ValueError, match="retained or shared"):
+            CybersecurityClaim(
+                claim_id="c1", threat_id="t", rationale="x",
+                treatment=treatment,
+            )
+
+
+class TestRegistry:
+    def _goal(self, suffix: str, cal: CAL) -> CybersecurityGoal:
+        return goal_from_threat(
+            f"ts.{suffix}", suffix, CybersecurityProperty.INTEGRITY, cal
+        )
+
+    def test_add_and_query(self):
+        registry = GoalRegistry()
+        registry.add_goal(self._goal("a", CAL.CAL2))
+        registry.add_goal(self._goal("b", CAL.CAL4))
+        assert len(registry.goals) == 2
+        assert len(registry.goals_for_threat("ts.a")) == 1
+
+    def test_duplicate_goal_rejected(self):
+        registry = GoalRegistry()
+        registry.add_goal(self._goal("a", CAL.CAL2))
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.add_goal(self._goal("a", CAL.CAL2))
+
+    def test_duplicate_claim_rejected(self):
+        registry = GoalRegistry()
+        claim = CybersecurityClaim(
+            claim_id="c", threat_id="t", rationale="r",
+            treatment=TreatmentOption.SHARE,
+        )
+        registry.add_claim(claim)
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.add_claim(claim)
+
+    def test_highest_cal(self):
+        registry = GoalRegistry()
+        assert registry.highest_cal() is CAL.NONE
+        registry.add_goal(self._goal("a", CAL.CAL2))
+        registry.add_goal(self._goal("b", CAL.CAL4))
+        assert registry.highest_cal() is CAL.CAL4

@@ -1,0 +1,107 @@
+"""Tests for impact rating (ISO/SAE-21434 Clause 15.5)."""
+
+import pytest
+
+from repro.iso21434.enums import ImpactCategory, ImpactRating
+from repro.iso21434.impact import (
+    ImpactProfile,
+    impact_from_severity_class,
+    safety_impact,
+)
+
+
+class TestImpactProfile:
+    def test_unrated_categories_default_negligible(self):
+        profile = ImpactProfile({ImpactCategory.SAFETY: ImpactRating.MAJOR})
+        assert profile.rating(ImpactCategory.PRIVACY) is ImpactRating.NEGLIGIBLE
+
+    def test_overall_is_maximum(self):
+        profile = ImpactProfile(
+            {
+                ImpactCategory.SAFETY: ImpactRating.MODERATE,
+                ImpactCategory.FINANCIAL: ImpactRating.SEVERE,
+            }
+        )
+        assert profile.overall is ImpactRating.SEVERE
+
+    def test_empty_profile_overall_negligible(self):
+        assert ImpactProfile().overall is ImpactRating.NEGLIGIBLE
+
+    def test_dominant_category(self):
+        profile = ImpactProfile(
+            {
+                ImpactCategory.OPERATIONAL: ImpactRating.MAJOR,
+                ImpactCategory.PRIVACY: ImpactRating.MODERATE,
+            }
+        )
+        assert profile.dominant_category is ImpactCategory.OPERATIONAL
+
+    def test_dominant_category_safety_wins_ties(self):
+        profile = ImpactProfile(
+            {
+                ImpactCategory.PRIVACY: ImpactRating.MAJOR,
+                ImpactCategory.SAFETY: ImpactRating.MAJOR,
+            }
+        )
+        assert profile.dominant_category is ImpactCategory.SAFETY
+
+    def test_dominant_category_empty_is_none(self):
+        assert ImpactProfile().dominant_category is None
+
+    def test_merged_takes_categorywise_maximum(self):
+        a = ImpactProfile({ImpactCategory.SAFETY: ImpactRating.MODERATE})
+        b = ImpactProfile(
+            {
+                ImpactCategory.SAFETY: ImpactRating.SEVERE,
+                ImpactCategory.FINANCIAL: ImpactRating.MODERATE,
+            }
+        )
+        merged = a.merged_with(b)
+        assert merged.rating(ImpactCategory.SAFETY) is ImpactRating.SEVERE
+        assert merged.rating(ImpactCategory.FINANCIAL) is ImpactRating.MODERATE
+
+    def test_merged_at_least_each_input(self):
+        a = ImpactProfile(
+            {
+                ImpactCategory.SAFETY: ImpactRating.MAJOR,
+                ImpactCategory.PRIVACY: ImpactRating.MODERATE,
+            }
+        )
+        b = ImpactProfile({ImpactCategory.OPERATIONAL: ImpactRating.SEVERE})
+        merged = a.merged_with(b)
+        for category in ImpactCategory:
+            assert merged.rating(category) >= a.rating(category)
+            assert merged.rating(category) >= b.rating(category)
+
+    def test_as_rows_covers_all_categories(self):
+        rows = ImpactProfile().as_rows()
+        assert len(rows) == len(list(ImpactCategory))
+
+    def test_immutable_against_source_mutation(self):
+        source = {ImpactCategory.SAFETY: ImpactRating.MAJOR}
+        profile = ImpactProfile(source)
+        source[ImpactCategory.SAFETY] = ImpactRating.NEGLIGIBLE
+        assert profile.rating(ImpactCategory.SAFETY) is ImpactRating.MAJOR
+
+
+class TestHelpers:
+    def test_safety_impact_shorthand(self):
+        profile = safety_impact(ImpactRating.SEVERE)
+        assert profile.rating(ImpactCategory.SAFETY) is ImpactRating.SEVERE
+        assert profile.dominant_category is ImpactCategory.SAFETY
+
+    @pytest.mark.parametrize(
+        "severity,expected",
+        [
+            (0, ImpactRating.NEGLIGIBLE),
+            (1, ImpactRating.MODERATE),
+            (2, ImpactRating.MAJOR),
+            (3, ImpactRating.SEVERE),
+        ],
+    )
+    def test_severity_class_mapping(self, severity, expected):
+        assert impact_from_severity_class(severity) is expected
+
+    def test_severity_class_out_of_range(self):
+        with pytest.raises(ValueError):
+            impact_from_severity_class(4)

@@ -1,0 +1,91 @@
+"""Tests for risk-value determination (Clause 15.9)."""
+
+import pytest
+
+from repro.iso21434.enums import FeasibilityRating, ImpactRating
+from repro.iso21434.risk import (
+    DEFAULT_RISK_MATRIX,
+    MAX_RISK_VALUE,
+    MIN_RISK_VALUE,
+    RiskMatrix,
+    default_matrix,
+    risk_value,
+)
+
+
+class TestDefaultMatrix:
+    def test_severe_high_is_maximum(self):
+        assert risk_value(ImpactRating.SEVERE, FeasibilityRating.HIGH) == 5
+
+    def test_negligible_is_always_minimum(self):
+        for feasibility in FeasibilityRating:
+            assert risk_value(ImpactRating.NEGLIGIBLE, feasibility) == 1
+
+    def test_severe_very_low_still_above_minimum(self):
+        assert risk_value(ImpactRating.SEVERE, FeasibilityRating.VERY_LOW) == 2
+
+    def test_complete(self):
+        assert len(DEFAULT_RISK_MATRIX) == len(list(ImpactRating)) * len(
+            list(FeasibilityRating)
+        )
+
+    def test_monotone_in_feasibility(self):
+        ordered = sorted(FeasibilityRating, key=lambda r: r.level)
+        for impact in ImpactRating:
+            values = [risk_value(impact, f) for f in ordered]
+            assert values == sorted(values)
+
+    def test_monotone_in_impact(self):
+        ordered = sorted(ImpactRating, key=lambda r: r.level)
+        for feasibility in FeasibilityRating:
+            values = [risk_value(i, feasibility) for i in ordered]
+            assert values == sorted(values)
+
+    def test_values_in_range(self):
+        for value in DEFAULT_RISK_MATRIX.values():
+            assert MIN_RISK_VALUE <= value <= MAX_RISK_VALUE
+
+    def test_psp_feasibility_raise_never_lowers_risk(self):
+        # The mechanism of the paper: PSP can only raise feasibility for
+        # insider threats, and the matrix guarantees risk follows.
+        for impact in ImpactRating:
+            static = risk_value(impact, FeasibilityRating.VERY_LOW)
+            tuned = risk_value(impact, FeasibilityRating.HIGH)
+            assert tuned >= static
+
+
+class TestCustomMatrix:
+    def test_missing_cell_rejected(self):
+        cells = dict(DEFAULT_RISK_MATRIX)
+        del cells[(ImpactRating.SEVERE, FeasibilityRating.HIGH)]
+        with pytest.raises(ValueError, match="missing"):
+            RiskMatrix(cells)
+
+    def test_out_of_range_value_rejected(self):
+        cells = dict(DEFAULT_RISK_MATRIX)
+        cells[(ImpactRating.SEVERE, FeasibilityRating.HIGH)] = 6
+        with pytest.raises(ValueError, match="out of range"):
+            RiskMatrix(cells)
+
+    def test_non_monotone_in_feasibility_rejected(self):
+        cells = dict(DEFAULT_RISK_MATRIX)
+        cells[(ImpactRating.SEVERE, FeasibilityRating.HIGH)] = 2
+        with pytest.raises(ValueError, match="monotone"):
+            RiskMatrix(cells)
+
+    def test_non_monotone_in_impact_rejected(self):
+        cells = dict(DEFAULT_RISK_MATRIX)
+        cells[(ImpactRating.SEVERE, FeasibilityRating.VERY_LOW)] = 1
+        cells[(ImpactRating.MAJOR, FeasibilityRating.VERY_LOW)] = 2
+        with pytest.raises(ValueError, match="monotone"):
+            RiskMatrix(cells)
+
+    def test_default_matrix_singleton(self):
+        assert default_matrix() is default_matrix()
+
+    def test_explicit_matrix_used(self):
+        cells = {
+            (i, f): 1 for i in ImpactRating for f in FeasibilityRating
+        }
+        flat = RiskMatrix(cells)
+        assert risk_value(ImpactRating.SEVERE, FeasibilityRating.HIGH, flat) == 1

@@ -1,0 +1,159 @@
+"""Tests for threat-scenario identification (Clause 15.4)."""
+
+import pytest
+
+from repro.iso21434.assets import AssetKind, make_asset
+from repro.iso21434.enums import (
+    AttackerProfile,
+    AttackVector,
+    CybersecurityProperty,
+    StrideCategory,
+)
+from repro.iso21434.threats import (
+    ThreatRegistry,
+    ThreatScenario,
+    enumerate_stride_threats,
+)
+
+
+def ecm_reprogramming() -> ThreatScenario:
+    return ThreatScenario(
+        threat_id="ts.ecm.reprogramming",
+        name="ECM reprogramming",
+        asset_id="ecm.firmware",
+        violated_property=CybersecurityProperty.INTEGRITY,
+        stride=StrideCategory.TAMPERING,
+        attack_vectors=frozenset({AttackVector.PHYSICAL, AttackVector.LOCAL}),
+        attacker_profiles=frozenset(
+            {AttackerProfile.RATIONAL, AttackerProfile.LOCAL}
+        ),
+        keywords=("ecmreprogramming", "chiptuning"),
+    )
+
+
+class TestThreatScenario:
+    def test_requires_vectors(self):
+        with pytest.raises(ValueError, match="attack vector"):
+            ThreatScenario(
+                threat_id="t",
+                name="x",
+                asset_id="a",
+                violated_property=CybersecurityProperty.INTEGRITY,
+                stride=StrideCategory.TAMPERING,
+                attack_vectors=frozenset(),
+            )
+
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            ThreatScenario(
+                threat_id="",
+                name="x",
+                asset_id="a",
+                violated_property=CybersecurityProperty.INTEGRITY,
+                stride=StrideCategory.TAMPERING,
+                attack_vectors=frozenset({AttackVector.LOCAL}),
+            )
+
+    def test_owner_approved_from_profiles(self):
+        assert ecm_reprogramming().is_owner_approved
+
+    def test_outsider_only_not_owner_approved(self):
+        threat = ThreatScenario(
+            threat_id="ts.theft",
+            name="Vehicle theft",
+            asset_id="dcu.bus_messages",
+            violated_property=CybersecurityProperty.INTEGRITY,
+            stride=StrideCategory.SPOOFING,
+            attack_vectors=frozenset({AttackVector.ADJACENT}),
+            attacker_profiles=frozenset({AttackerProfile.MALICIOUS}),
+        )
+        assert not threat.is_owner_approved
+
+    def test_no_profiles_defaults_to_outsider(self):
+        threat = ThreatScenario(
+            threat_id="ts.unknown",
+            name="Unknown",
+            asset_id="a",
+            violated_property=CybersecurityProperty.INTEGRITY,
+            stride=StrideCategory.TAMPERING,
+            attack_vectors=frozenset({AttackVector.LOCAL}),
+        )
+        assert not threat.is_owner_approved
+
+
+class TestStrideEnumeration:
+    def test_integrity_asset_yields_three_threats(self):
+        asset = make_asset(
+            "ecm.firmware", "ECM Firmware", AssetKind.FIRMWARE,
+            [CybersecurityProperty.INTEGRITY],
+        )
+        threats = enumerate_stride_threats(
+            asset, attack_vectors=[AttackVector.PHYSICAL]
+        )
+        strides = {t.stride for t in threats}
+        assert strides == {
+            StrideCategory.SPOOFING,
+            StrideCategory.TAMPERING,
+            StrideCategory.ELEVATION_OF_PRIVILEGE,
+        }
+
+    def test_availability_asset_yields_dos(self):
+        asset = make_asset(
+            "ecm.runtime", "Runtime", AssetKind.ACTUATION,
+            [CybersecurityProperty.AVAILABILITY],
+        )
+        threats = enumerate_stride_threats(
+            asset, attack_vectors=[AttackVector.PHYSICAL]
+        )
+        assert [t.stride for t in threats] == [StrideCategory.DENIAL_OF_SERVICE]
+
+    def test_ids_are_unique_and_prefixed(self):
+        asset = make_asset(
+            "ecm.firmware", "FW", AssetKind.FIRMWARE,
+            [CybersecurityProperty.INTEGRITY, CybersecurityProperty.AVAILABILITY],
+        )
+        threats = enumerate_stride_threats(
+            asset, attack_vectors=[AttackVector.LOCAL]
+        )
+        ids = [t.threat_id for t in threats]
+        assert len(ids) == len(set(ids))
+        assert all(i.startswith("ts.ecm.firmware.") for i in ids)
+
+    def test_vectors_and_profiles_propagate(self):
+        asset = make_asset(
+            "a", "A", AssetKind.FIRMWARE, [CybersecurityProperty.INTEGRITY]
+        )
+        threats = enumerate_stride_threats(
+            asset,
+            attack_vectors=[AttackVector.LOCAL],
+            attacker_profiles=[AttackerProfile.INSIDER],
+        )
+        for threat in threats:
+            assert threat.attack_vectors == frozenset({AttackVector.LOCAL})
+            assert threat.is_owner_approved
+
+
+class TestThreatRegistry:
+    def test_register_get_contains(self):
+        registry = ThreatRegistry()
+        threat = registry.register(ecm_reprogramming())
+        assert registry.get(threat.threat_id) is threat
+        assert threat.threat_id in registry
+
+    def test_duplicate_rejected(self):
+        registry = ThreatRegistry()
+        registry.register(ecm_reprogramming())
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.register(ecm_reprogramming())
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError, match="unknown threat"):
+            ThreatRegistry().get("nope")
+
+    def test_queries(self):
+        registry = ThreatRegistry()
+        registry.register(ecm_reprogramming())
+        assert len(registry.for_asset("ecm.firmware")) == 1
+        assert len(registry.owner_approved()) == 1
+        assert len(registry.with_vector(AttackVector.PHYSICAL)) == 1
+        assert len(registry.with_vector(AttackVector.NETWORK)) == 0

@@ -1,0 +1,73 @@
+"""Tests for risk-treatment decisions (Clause 15.10)."""
+
+import pytest
+
+from repro.iso21434.enums import ImpactCategory, ImpactRating
+from repro.iso21434.impact import ImpactProfile
+from repro.iso21434.treatment import (
+    TreatmentOption,
+    TreatmentPolicy,
+    decide_treatment,
+)
+
+
+class TestDefaultPolicy:
+    @pytest.mark.parametrize(
+        "risk,expected",
+        [
+            (1, TreatmentOption.RETAIN),
+            (2, TreatmentOption.RETAIN),
+            (3, TreatmentOption.REDUCE),
+            (4, TreatmentOption.REDUCE),
+            (5, TreatmentOption.AVOID),
+        ],
+    )
+    def test_thresholds(self, risk, expected):
+        assert decide_treatment(risk) is expected
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            decide_treatment(0)
+        with pytest.raises(ValueError):
+            decide_treatment(6)
+
+    def test_financially_dominated_medium_risk_shared(self):
+        financial = ImpactProfile(
+            {ImpactCategory.FINANCIAL: ImpactRating.MAJOR}
+        )
+        assert decide_treatment(3, financial) is TreatmentOption.SHARE
+
+    def test_safety_dominated_medium_risk_reduced(self):
+        safety = ImpactProfile(
+            {
+                ImpactCategory.SAFETY: ImpactRating.MAJOR,
+                ImpactCategory.FINANCIAL: ImpactRating.MAJOR,
+            }
+        )
+        # safety wins the dominance tie, so no sharing
+        assert decide_treatment(3, safety) is TreatmentOption.REDUCE
+
+    def test_financial_share_not_applied_to_avoid(self):
+        financial = ImpactProfile(
+            {ImpactCategory.FINANCIAL: ImpactRating.SEVERE}
+        )
+        assert decide_treatment(5, financial) is TreatmentOption.AVOID
+
+
+class TestCustomPolicy:
+    def test_sharing_can_be_disabled(self):
+        policy = TreatmentPolicy(share_financial=False)
+        financial = ImpactProfile(
+            {ImpactCategory.FINANCIAL: ImpactRating.MAJOR}
+        )
+        assert policy.decide(3, financial) is TreatmentOption.REDUCE
+
+    def test_aggressive_policy_avoids_earlier(self):
+        policy = TreatmentPolicy(retain_max=1, reduce_max=2)
+        assert policy.decide(3) is TreatmentOption.AVOID
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            TreatmentPolicy(retain_max=0)
+        with pytest.raises(ValueError):
+            TreatmentPolicy(retain_max=4, reduce_max=3)

@@ -1,0 +1,78 @@
+"""Tests for the price catalogue and PPIA estimation."""
+
+import pytest
+
+from repro.market.pricing import (
+    DEFAULT_VCU,
+    PriceCatalog,
+    PriceListing,
+    default_price_catalog,
+    variable_cost,
+)
+
+
+class TestPriceListing:
+    def test_keyword_canonicalised(self):
+        listing = PriceListing("l1", "#DPF_Delete", "kit", 360.0)
+        assert listing.keyword == "dpfdelete"
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            PriceListing("l1", "dpfdelete", "kit", -5.0)
+
+
+class TestCatalog:
+    def test_prices_for_folds_keyword(self):
+        catalog = default_price_catalog()
+        assert catalog.prices_for("DPF delete") == catalog.prices_for("dpfdelete")
+
+    def test_ppia_paper_calibration(self):
+        # The paper's Eq. 6 input: average defeat-device price 360 EUR.
+        catalog = default_price_catalog()
+        assert catalog.estimate_ppia("dpfdelete") == pytest.approx(360.0)
+
+    def test_ppia_ignores_service_and_scam_regimes(self):
+        catalog = default_price_catalog()
+        ppia = catalog.estimate_ppia("dpfdelete")
+        prices = catalog.prices_for("dpfdelete")
+        assert min(prices) < 100          # scam listings exist
+        assert max(prices) > 1000         # service listings exist
+        assert 300 <= ppia <= 420         # but the retail regime wins
+
+    def test_ppia_unknown_keyword(self):
+        with pytest.raises(ValueError, match="no listings"):
+            default_price_catalog().estimate_ppia("submarine")
+
+    def test_add_and_len(self):
+        catalog = PriceCatalog()
+        catalog.add(PriceListing("l1", "x", "t", 10.0))
+        assert len(catalog) == 1
+
+    def test_every_insider_attack_has_listings(self):
+        catalog = default_price_catalog()
+        for keyword in ("dpfdelete", "egrdelete", "adbluedelete",
+                        "chiptuning", "obdtuning", "ecmreprogramming"):
+            assert catalog.prices_for(keyword), keyword
+
+
+class TestVariableCost:
+    def test_paper_calibration(self):
+        # PPIA - VCU must equal the paper's 310 EUR margin.
+        assert 360.0 - variable_cost("dpfdelete") == pytest.approx(310.0)
+
+    def test_folding(self):
+        assert variable_cost("DPF delete") == variable_cost("dpfdelete")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(KeyError, match="no variable-cost entry"):
+            variable_cost("submarine")
+
+    def test_all_costs_positive(self):
+        assert all(v > 0 for v in DEFAULT_VCU.values())
+
+    def test_vcu_below_typical_prices(self):
+        catalog = default_price_catalog()
+        for keyword, vcu in DEFAULT_VCU.items():
+            prices = catalog.prices_for(keyword)
+            if prices:
+                assert vcu < max(prices)

@@ -1,0 +1,89 @@
+"""Tests for the synthetic annual-report library."""
+
+import pytest
+
+from repro.iso21434.enums import AttackVector
+from repro.market.reports import (
+    AnnualReport,
+    IncidentStats,
+    ReportLibrary,
+    default_report_library,
+)
+from repro.nlp.textmining import find_count
+
+
+class TestIncidentStats:
+    def test_total_and_share(self):
+        stats = IncidentStats(
+            year=2022,
+            counts={AttackVector.PHYSICAL: 30, AttackVector.LOCAL: 70},
+        )
+        assert stats.total == 100
+        assert stats.share(AttackVector.LOCAL) == pytest.approx(0.7)
+        assert stats.share(AttackVector.NETWORK) == 0.0
+
+    def test_empty_year_share_zero(self):
+        stats = IncidentStats(year=2022, counts={})
+        assert stats.share(AttackVector.LOCAL) == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            IncidentStats(year=2022, counts={AttackVector.LOCAL: -1})
+
+
+class TestAnnualReport:
+    def test_attacker_rate_validated(self):
+        with pytest.raises(ValueError):
+            AnnualReport(
+                year=2023, application="x", region="europe",
+                prose="p", attacker_rate=1.5,
+            )
+
+    def test_incidents_for(self):
+        report = default_report_library().latest("excavator", "europe")
+        assert report.incidents_for(2022) is not None
+        assert report.incidents_for(1999) is None
+
+
+class TestLibrary:
+    def test_latest_picks_newest(self):
+        older = AnnualReport(
+            year=2021, application="excavator", region="europe", prose="old"
+        )
+        newer = AnnualReport(
+            year=2023, application="excavator", region="europe", prose="new"
+        )
+        library = ReportLibrary([older, newer])
+        assert library.latest("excavator", "europe").year == 2023
+
+    def test_latest_unknown_is_none(self):
+        assert default_report_library().latest("submarine", "europe") is None
+
+    def test_prose_corpus_newest_first(self):
+        older = AnnualReport(
+            year=2021, application="excavator", region="europe", prose="old"
+        )
+        newer = AnnualReport(
+            year=2023, application="excavator", region="europe", prose="new"
+        )
+        library = ReportLibrary([older, newer])
+        assert library.prose_corpus("excavator", "europe") == ["new", "old"]
+
+
+class TestDefaultLibrary:
+    def test_paper_quantities_minable(self):
+        report = default_report_library().latest("excavator", "europe")
+        assert find_count([report.prose], "potential attackers") == 1406
+        assert find_count([report.prose], "competing sellers") == 3
+
+    def test_attacker_rate_one_percent(self):
+        report = default_report_library().latest("excavator", "europe")
+        assert report.attacker_rate == pytest.approx(0.01)
+
+    def test_trend_inversion_encoded(self):
+        # physical share falls below local share between 2020 and 2022.
+        report = default_report_library().latest("excavator", "europe")
+        first = report.incidents_for(2020)
+        last = report.incidents_for(2022)
+        assert first.share(AttackVector.PHYSICAL) > first.share(AttackVector.LOCAL)
+        assert last.share(AttackVector.LOCAL) > last.share(AttackVector.PHYSICAL)

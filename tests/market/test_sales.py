@@ -1,0 +1,87 @@
+"""Tests for the sales database."""
+
+import pytest
+
+from repro.market.sales import SalesDatabase, SalesRecord, default_sales_database
+
+
+def record(**overrides) -> SalesRecord:
+    defaults = dict(
+        application="excavator",
+        region="europe",
+        year=2022,
+        units_sold=140600,
+        market_share=0.35,
+    )
+    defaults.update(overrides)
+    return SalesRecord(**defaults)
+
+
+class TestSalesRecord:
+    def test_rejects_negative_units(self):
+        with pytest.raises(ValueError):
+            record(units_sold=-1)
+
+    def test_rejects_bad_share(self):
+        with pytest.raises(ValueError):
+            record(market_share=1.5)
+
+    def test_market_units(self):
+        r = record(units_sold=100, market_share=0.25)
+        assert r.market_units == pytest.approx(400)
+
+    def test_market_units_zero_share(self):
+        assert record(market_share=0.0).market_units == 0.0
+
+
+class TestSalesDatabase:
+    def test_lookup_latest_year(self):
+        db = SalesDatabase([record(year=2020), record(year=2022)])
+        assert db.lookup("excavator", "europe").year == 2022
+
+    def test_lookup_specific_year(self):
+        db = SalesDatabase([record(year=2020), record(year=2022)])
+        assert db.lookup("excavator", "europe", 2020).year == 2020
+
+    def test_lookup_missing_year(self):
+        db = SalesDatabase([record(year=2022)])
+        assert db.lookup("excavator", "europe", 1999) is None
+
+    def test_lookup_case_insensitive(self):
+        db = SalesDatabase([record()])
+        assert db.lookup("Excavator", "EUROPE") is not None
+
+    def test_lookup_unknown_application(self):
+        assert SalesDatabase([record()]).lookup("submarine", "europe") is None
+
+    def test_trend_sorted(self):
+        db = SalesDatabase(
+            [record(year=2022, units_sold=140600),
+             record(year=2020, units_sold=112500)]
+        )
+        assert db.trend("excavator", "europe") == [
+            (2020, 112500), (2022, 140600),
+        ]
+
+    def test_add_and_len(self):
+        db = SalesDatabase()
+        db.add(record())
+        assert len(db) == 1
+
+
+class TestDefaultDatabase:
+    def test_paper_calibration_row(self):
+        # 140,600 units x 1% attacker rate = the paper's PAE of 1,406.
+        db = default_sales_database()
+        latest = db.lookup("excavator", "europe")
+        assert latest.units_sold == 140600
+        assert not latest.monopolistic
+
+    def test_monopolistic_market_present(self):
+        db = default_sales_database()
+        tractor = db.lookup("agricultural_tractor", "europe")
+        assert tractor.monopolistic
+
+    def test_multiple_regions(self):
+        db = default_sales_database()
+        assert db.lookup("excavator", "north_america") is not None

@@ -1,0 +1,70 @@
+"""Tests for sales-trend fitting and projection."""
+
+import pytest
+
+from repro.market.sales import default_sales_database
+from repro.market.trends import (
+    fit_trend,
+    projected_attackers,
+    sales_trend,
+)
+
+
+class TestFitTrend:
+    def test_perfect_line_recovered(self):
+        series = [(2019, 100), (2020, 110), (2021, 120), (2022, 130)]
+        trend = fit_trend(series)
+        assert trend.slope == pytest.approx(10.0)
+        assert trend.predict(2023) == pytest.approx(140.0)
+
+    def test_direction_labels(self):
+        growing = fit_trend([(2020, 100), (2021, 200)])
+        shrinking = fit_trend([(2020, 200), (2021, 100)])
+        flat = fit_trend([(2020, 100), (2021, 100)])
+        assert growing.direction == "growing"
+        assert shrinking.direction == "shrinking"
+        assert flat.direction == "flat"
+
+    def test_prediction_clamped_at_zero(self):
+        trend = fit_trend([(2020, 100), (2021, 10)])
+        assert trend.predict(2030) == 0.0
+
+    def test_residuals_sum_to_zero(self):
+        series = [(2019, 100), (2020, 140), (2021, 120), (2022, 180)]
+        trend = fit_trend(series)
+        assert sum(trend.residuals()) == pytest.approx(0.0, abs=1e-6)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            fit_trend([(2020, 100)])
+
+    def test_single_year_rejected(self):
+        with pytest.raises(ValueError, match="one year"):
+            fit_trend([(2020, 100), (2020, 120)])
+
+
+class TestSalesTrend:
+    def test_excavator_europe_growing(self):
+        trend = sales_trend(default_sales_database(), "excavator", "europe")
+        assert trend.direction == "growing"
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(ValueError, match="no sales records"):
+            sales_trend(default_sales_database(), "submarine", "europe")
+
+
+class TestProjectedAttackers:
+    def test_projection_exceeds_snapshot_for_growing_market(self):
+        db = default_sales_database()
+        projected = projected_attackers(
+            db, "excavator", "europe", year=2024, attacker_rate=0.01
+        )
+        snapshot = int(round(db.lookup("excavator", "europe").units_sold * 0.01))
+        assert projected > snapshot
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            projected_attackers(
+                default_sales_database(), "excavator", "europe",
+                year=2024, attacker_rate=0.0,
+            )

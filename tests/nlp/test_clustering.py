@@ -1,0 +1,90 @@
+"""Tests for 1-D k-means price clustering."""
+
+import pytest
+
+from repro.nlp.clustering import (
+    dominant_cluster,
+    kmeans_1d,
+    representative_price,
+)
+
+
+class TestKmeans:
+    def test_separates_obvious_regimes(self):
+        prices = [50, 55, 60, 350, 360, 370, 1200, 1250]
+        clusters = kmeans_1d(prices, 3)
+        assert len(clusters) == 3
+        centers = [c.center for c in clusters]
+        assert centers == sorted(centers)
+        assert clusters[0].members == (50, 55, 60)
+        assert clusters[1].members == (350, 360, 370)
+        assert clusters[2].members == (1200, 1250)
+
+    def test_k1_returns_mean(self):
+        clusters = kmeans_1d([100, 200, 300], 1)
+        assert len(clusters) == 1
+        assert clusters[0].center == pytest.approx(200)
+
+    def test_deterministic(self):
+        prices = [45, 60, 330, 340, 350, 360, 370, 380, 390, 1250, 1400]
+        a = kmeans_1d(prices, 3)
+        b = kmeans_1d(prices, 3)
+        assert [c.members for c in a] == [c.members for c in b]
+
+    def test_partition_property(self):
+        prices = [10.0, 20.0, 200.0, 210.0, 900.0]
+        clusters = kmeans_1d(prices, 2)
+        members = sorted(m for c in clusters for m in c.members)
+        assert members == sorted(prices)
+
+    def test_requires_enough_values(self):
+        with pytest.raises(ValueError, match="need >="):
+            kmeans_1d([1.0], 2)
+
+    def test_rejects_negative_prices(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            kmeans_1d([-1.0, 2.0], 1)
+
+    def test_rejects_k_below_one(self):
+        with pytest.raises(ValueError):
+            kmeans_1d([1.0, 2.0], 0)
+
+    def test_identical_values(self):
+        clusters = kmeans_1d([360.0] * 5, 2)
+        members = [m for c in clusters for m in c.members]
+        assert len(members) == 5
+        assert all(m == 360.0 for m in members)
+
+
+class TestDominantCluster:
+    def test_largest_wins(self):
+        clusters = kmeans_1d([50, 55, 350, 355, 360, 365], 2)
+        assert dominant_cluster(clusters).center == pytest.approx(357.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dominant_cluster([])
+
+
+class TestRepresentativePrice:
+    def test_paper_dpf_calibration(self):
+        # The default catalogue's retail listings average exactly 360 EUR.
+        retail = [330, 340, 350, 360, 370, 380, 390]
+        services = [1250, 1400]
+        scams = [45, 60]
+        price = representative_price(retail + services + scams)
+        assert price == pytest.approx(360.0)
+
+    def test_fewer_values_than_default_k(self):
+        assert representative_price([100.0, 120.0]) > 0
+
+    def test_single_listing(self):
+        assert representative_price([500.0]) == pytest.approx(500.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            representative_price([])
+
+    def test_explicit_k(self):
+        price = representative_price([10, 11, 12, 500], k=2)
+        assert price == pytest.approx(11.0)

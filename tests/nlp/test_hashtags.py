@@ -1,0 +1,88 @@
+"""Tests for hashtag extraction and co-occurrence mining."""
+
+from repro.nlp.hashtags import (
+    cooccurring_hashtags,
+    extract_hashtags,
+    hashtag_frequencies,
+    top_hashtags,
+)
+
+
+class TestExtraction:
+    def test_canonical_forms(self):
+        assert extract_hashtags("did my #DPF_delete") == ["dpfdelete"]
+
+    def test_multiple_tags(self):
+        tags = extract_hashtags("#egroff and #dpfdelete done")
+        assert tags == ["egroff", "dpfdelete"]
+
+    def test_duplicates_preserved(self):
+        assert extract_hashtags("#a #a #b") == ["a", "a", "b"]
+
+    def test_no_tags(self):
+        assert extract_hashtags("no tags here") == []
+
+
+class TestCooccurrence:
+    TEXTS = [
+        "did my #dpfdelete with #stage1",
+        "#dpfdelete and #stage1 combo",
+        "#dpfdelete went fine #dynorun",
+        "unrelated post about #cats",
+        "#stage1 on its own",
+    ]
+
+    def test_discovers_companions(self):
+        results = cooccurring_hashtags(self.TEXTS, ["dpfdelete"])
+        keywords = [r.keyword for r in results]
+        assert "stage1" in keywords
+        assert "dynorun" in keywords
+
+    def test_known_keywords_excluded(self):
+        results = cooccurring_hashtags(self.TEXTS, ["dpfdelete", "stage1"])
+        keywords = [r.keyword for r in results]
+        assert "stage1" not in keywords
+
+    def test_unmatched_tags_not_proposed(self):
+        results = cooccurring_hashtags(self.TEXTS, ["dpfdelete"])
+        assert "cats" not in [r.keyword for r in results]
+
+    def test_support_computed_over_matching_posts(self):
+        results = cooccurring_hashtags(self.TEXTS, ["dpfdelete"])
+        by_kw = {r.keyword: r for r in results}
+        # stage1 co-occurs in 2 of 3 dpfdelete posts
+        assert by_kw["stage1"].support == 2 / 3
+
+    def test_min_support_filters(self):
+        results = cooccurring_hashtags(
+            self.TEXTS, ["dpfdelete"], min_support=0.5
+        )
+        keywords = [r.keyword for r in results]
+        assert "stage1" in keywords
+        assert "dynorun" not in keywords
+
+    def test_max_candidates_caps(self):
+        results = cooccurring_hashtags(
+            self.TEXTS, ["dpfdelete"], max_candidates=1
+        )
+        assert len(results) == 1
+        assert results[0].keyword == "stage1"  # highest count first
+
+    def test_no_matching_posts(self):
+        assert cooccurring_hashtags(["#cats only"], ["dpfdelete"]) == []
+
+    def test_sorted_by_count_then_name(self):
+        results = cooccurring_hashtags(self.TEXTS, ["dpfdelete"])
+        counts = [r.count for r in results]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestFrequencies:
+    def test_frequencies(self):
+        freqs = hashtag_frequencies(["#a #b", "#a"])
+        assert freqs == {"a": 2, "b": 1}
+
+    def test_top_hashtags(self):
+        top = top_hashtags(["#a #b", "#a", "#a #c"], n=2)
+        assert top[0] == ("a", 3)
+        assert len(top) == 2

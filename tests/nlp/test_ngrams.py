@@ -1,0 +1,71 @@
+"""Tests for n-gram phrase mining."""
+
+import pytest
+
+from repro.nlp.ngrams import PhraseCandidate, mine_phrases
+
+TEXTS = [
+    "fitted an adblue emulator on the loader",
+    "the adblue emulator works great",
+    "cheap adblue emulators for sale",
+    "speed limiter off done at the shop",
+    "got the speed limiter off in an hour",
+    "speed limiter off kit arrived",
+    "unrelated post about weekend plans",
+]
+
+
+class TestMining:
+    def test_frequent_phrases_found(self):
+        candidates = mine_phrases(TEXTS, min_count=3)
+        keywords = {c.keyword for c in candidates}
+        assert "adblueemulator" in keywords
+        assert "speedlimiteroff" in keywords or "speedlimiter" in keywords
+
+    def test_inflected_variants_merge(self):
+        # "emulator" and "emulators" stem together, so all three adblue
+        # posts count for one phrase.
+        candidates = mine_phrases(TEXTS, min_count=3)
+        by_keyword = {c.keyword: c for c in candidates}
+        assert by_keyword["adblueemulator"].count == 3
+
+    def test_min_count_filters(self):
+        candidates = mine_phrases(TEXTS, min_count=4)
+        assert "adblueemulator" not in {c.keyword for c in candidates}
+
+    def test_known_keywords_excluded(self):
+        candidates = mine_phrases(
+            TEXTS, min_count=3, known_keywords=["adblue emulator"]
+        )
+        assert "adblueemulator" not in {c.keyword for c in candidates}
+
+    def test_support_fraction_of_posts(self):
+        candidates = mine_phrases(TEXTS, min_count=3)
+        by_keyword = {c.keyword: c for c in candidates}
+        assert by_keyword["adblueemulator"].support == pytest.approx(3 / 7)
+
+    def test_sorted_by_count(self):
+        candidates = mine_phrases(TEXTS, min_count=2)
+        counts = [c.count for c in candidates]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_max_candidates_caps(self):
+        candidates = mine_phrases(TEXTS, min_count=1, max_candidates=2)
+        assert len(candidates) == 2
+
+    def test_phrase_counted_once_per_post(self):
+        texts = ["adblue emulator adblue emulator adblue emulator"]
+        candidates = mine_phrases(texts, min_count=1)
+        by_keyword = {c.keyword: c for c in candidates}
+        assert by_keyword["adblueemulator"].count == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mine_phrases(TEXTS, min_count=0)
+        with pytest.raises(ValueError):
+            mine_phrases(TEXTS, sizes=(1,))
+        with pytest.raises(ValueError):
+            PhraseCandidate(phrase="x", keyword="x", count=0, support=0.0)
+
+    def test_empty_corpus(self):
+        assert mine_phrases([], min_count=1) == []

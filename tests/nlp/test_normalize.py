@@ -1,0 +1,89 @@
+"""Tests for keyword normalization and folding."""
+
+import pytest
+
+from repro.nlp.normalize import (
+    canonical_keyword,
+    keyword_in_text,
+    normalize_text,
+    stem,
+    stem_all,
+)
+
+
+class TestCanonicalKeyword:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("#DPF_Delete", "dpfdelete"),
+            ("dpf delete", "dpfdelete"),
+            ("DPF-delete", "dpfdelete"),
+            ("dpf.delete", "dpfdelete"),
+            ("#egroff", "egroff"),
+            ("@handle", "handle"),
+            ("  spaced  out  ", "spacedout"),
+        ],
+    )
+    def test_folding(self, raw, expected):
+        assert canonical_keyword(raw) == expected
+
+    def test_surface_forms_collide(self):
+        forms = ["#dpfdelete", "DPF delete", "dpf_delete", "dpf-DELETE"]
+        assert len({canonical_keyword(f) for f in forms}) == 1
+
+    def test_punctuation_stripped(self):
+        assert canonical_keyword("dpf!delete?") == "dpfdelete"
+
+
+class TestNormalizeText:
+    def test_lowercases_and_folds_separators(self):
+        assert normalize_text("DPF-Delete  Kit") == "dpf delete kit"
+
+    def test_strips_punctuation(self):
+        assert normalize_text("great kit!!!") == "great kit"
+
+
+class TestStem:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("deleting", "delet"),
+            ("deletes", "delet"),
+            ("tuners", "tun"),
+            ("bodies", "body"),
+            ("delete", "delet"),
+            ("dpf", "dpf"),
+            ("off", "off"),
+        ],
+    )
+    def test_suffixes(self, word, expected):
+        assert stem(word) == expected
+
+    def test_short_words_untouched(self):
+        assert stem("cars") == "cars"
+
+    def test_stem_all_preserves_order(self):
+        assert stem_all(["deleting", "dpf"]) == ["delet", "dpf"]
+
+    def test_inflections_collide(self):
+        assert stem("deleting") == stem("deletes") == stem("deleted") == "delet"
+
+
+class TestKeywordInText:
+    def test_hashtag_occurrence(self):
+        assert keyword_in_text("dpfdelete", "Just did my #dpfdelete!")
+
+    def test_free_text_phrase(self):
+        assert keyword_in_text("dpf delete", "my dpf delete kit arrived")
+
+    def test_separated_forms_match(self):
+        assert keyword_in_text("dpfdelete", "the dpf-delete went fine")
+
+    def test_unrelated_text_does_not_match(self):
+        assert not keyword_in_text("dpfdelete", "lovely weather today")
+
+    def test_empty_keyword_never_matches(self):
+        assert not keyword_in_text("", "anything")
+
+    def test_inflected_occurrence(self):
+        assert keyword_in_text("chiptuning", "best chip tuning ever")

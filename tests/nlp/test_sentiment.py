@@ -1,0 +1,107 @@
+"""Tests for the lexicon sentiment scorer."""
+
+import pytest
+
+from repro.nlp.sentiment import (
+    SentimentAnalyzer,
+    SentimentLabel,
+)
+
+
+@pytest.fixture()
+def analyzer() -> SentimentAnalyzer:
+    return SentimentAnalyzer()
+
+
+class TestBasicPolarity:
+    def test_enthusiastic_post_positive(self, analyzer):
+        result = analyzer.score("Best money I ever spent, works perfect, so happy")
+        assert result.label is SentimentLabel.POSITIVE
+        assert result.score > 0.3
+
+    def test_deterrence_post_negative(self, analyzer):
+        result = analyzer.score("Got fined, engine broke, worst decision, regret it")
+        assert result.label is SentimentLabel.NEGATIVE
+        assert result.score < -0.3
+
+    def test_informational_post_neutral(self, analyzer):
+        result = analyzer.score("Anyone have experience with this on a 2019 model?")
+        assert result.label is SentimentLabel.NEUTRAL
+
+    def test_empty_text_neutral(self, analyzer):
+        result = analyzer.score("")
+        assert result.score == 0.0
+        assert result.hits == 0
+
+
+class TestModifiers:
+    def test_negation_flips_sign(self, analyzer):
+        positive = analyzer.score("this kit is good")
+        negated = analyzer.score("this kit is not good")
+        assert positive.score > 0
+        assert negated.score < 0
+
+    def test_booster_amplifies(self, analyzer):
+        plain = analyzer.score("the result is good")
+        boosted = analyzer.score("the result is really good")
+        assert boosted.score > plain.score
+
+    def test_dampener_reduces(self, analyzer):
+        plain = analyzer.score("the result is good")
+        damped = analyzer.score("the result is slightly good")
+        assert 0 < damped.score < plain.score
+
+    def test_emoticon_contributes(self, analyzer):
+        with_emoji = analyzer.score("installed the kit :)")
+        without = analyzer.score("installed the kit")
+        assert with_emoji.score > without.score
+
+
+class TestBounds:
+    def test_scores_always_in_unit_interval(self, analyzer):
+        texts = [
+            "amazing awesome great perfect excellent " * 20,
+            "terrible awful worst scam regret " * 20,
+            "",
+            "neutral words only here",
+        ]
+        for text in texts:
+            assert -1.0 <= analyzer.score(text).score <= 1.0
+
+    def test_mean_score_empty_list(self, analyzer):
+        assert analyzer.mean_score([]) == 0.0
+
+    def test_mean_score_averages(self, analyzer):
+        texts = ["great kit", "terrible kit"]
+        mean = analyzer.mean_score(texts)
+        individual = [analyzer.score(t).score for t in texts]
+        assert mean == pytest.approx(sum(individual) / 2)
+
+    def test_score_many_length(self, analyzer):
+        assert len(analyzer.score_many(["a", "b", "c"])) == 3
+
+
+class TestConfiguration:
+    def test_custom_neutral_band(self):
+        narrow = SentimentAnalyzer(neutral_band=0.0)
+        result = narrow.score("good")
+        assert result.label is SentimentLabel.POSITIVE
+
+    def test_invalid_neutral_band(self):
+        with pytest.raises(ValueError):
+            SentimentAnalyzer(neutral_band=1.5)
+
+    def test_extend_lexicon(self, analyzer):
+        before = analyzer.score("the flibber was great").score
+        analyzer.extend_lexicon({"flibber": 3.0})
+        after = analyzer.score("the flibber was great").score
+        assert after > before
+
+    def test_stemmed_lexicon_matches_inflections(self, analyzer):
+        # "improv" is in the lexicon; "improved" should stem onto it.
+        assert analyzer.score("throttle response improved").score > 0
+
+    def test_custom_lexicon_replaces_default(self):
+        custom = SentimentAnalyzer(lexicon={"zonk": -2.0})
+        assert custom.score("great awesome perfect").hits == 0
+        assert custom.score("total zonk").score < 0

@@ -1,0 +1,29 @@
+"""Tests for the stop-word list."""
+
+from repro.nlp.stopwords import STOPWORDS, is_stopword, remove_stopwords
+
+
+class TestStopwords:
+    def test_common_words_flagged(self):
+        for word in ("the", "and", "is", "of"):
+            assert is_stopword(word)
+
+    def test_case_insensitive(self):
+        assert is_stopword("The")
+        assert is_stopword("AND")
+
+    def test_domain_words_kept(self):
+        # "off" matters in "egr off"; "on" in "tune on".
+        for word in ("off", "on", "delete", "removal"):
+            assert not is_stopword(word)
+
+    def test_content_words_kept(self):
+        for word in ("dpf", "excavator", "tuning"):
+            assert not is_stopword(word)
+
+    def test_remove_stopwords_preserves_order(self):
+        tokens = ["the", "dpf", "is", "off"]
+        assert remove_stopwords(tokens) == ["dpf", "off"]
+
+    def test_stopword_list_nonempty(self):
+        assert len(STOPWORDS) > 100

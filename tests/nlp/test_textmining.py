@@ -1,0 +1,87 @@
+"""Tests for price/count text mining."""
+
+import pytest
+
+from repro.nlp.textmining import (
+    CountObservation,
+    PriceObservation,
+    extract_counts,
+    extract_prices,
+    extract_prices_many,
+    find_count,
+    sum_counts,
+)
+
+
+class TestPriceExtraction:
+    @pytest.mark.parametrize(
+        "text,amount,currency",
+        [
+            ("costs €360 shipped", 360.0, "EUR"),
+            ("costs 360€ shipped", 360.0, "EUR"),
+            ("costs 360 EUR shipped", 360.0, "EUR"),
+            ("costs $1,200.50 shipped", 1200.50, "USD"),
+            ("costs £99 shipped", 99.0, "GBP"),
+        ],
+    )
+    def test_forms(self, text, amount, currency):
+        observations = extract_prices(text)
+        assert len(observations) == 1
+        assert observations[0].amount == amount
+        assert observations[0].currency == currency
+
+    def test_multiple_prices(self):
+        observations = extract_prices("device €360, install €150")
+        assert [o.amount for o in observations] == [360.0, 150.0]
+
+    def test_no_prices(self):
+        assert extract_prices("no money mentioned") == []
+
+    def test_extract_many_with_currency_filter(self):
+        texts = ["kit 360 EUR", "kit $400", "kit 350 EUR"]
+        assert extract_prices_many(texts, currency="EUR") == [360.0, 350.0]
+
+    def test_extract_many_unfiltered(self):
+        texts = ["kit 360 EUR", "kit $400"]
+        assert len(extract_prices_many(texts)) == 2
+
+    def test_negative_amount_impossible(self):
+        with pytest.raises(ValueError):
+            PriceObservation(amount=-1.0, currency="EUR")
+
+
+class TestCountExtraction:
+    PAPER_PROSE = (
+        "Our field telemetry identified 1,406 potential attackers among "
+        "owners. The market is served by 3 competing sellers of defeat "
+        "devices. We recorded 412 incidents this period."
+    )
+
+    def test_paper_quantities(self):
+        counts = {o.label: o.value for o in extract_counts(self.PAPER_PROSE)}
+        assert counts["potential attackers"] == 1406
+        assert counts["competing sellers"] == 3
+        assert counts["incidents"] == 412
+
+    def test_find_count_partial_label(self):
+        assert find_count([self.PAPER_PROSE], "attackers") == 1406
+        assert find_count([self.PAPER_PROSE], "competing") == 3
+
+    def test_find_count_missing(self):
+        assert find_count(["no numbers here"], "attackers") is None
+
+    def test_find_count_first_match_wins(self):
+        texts = ["5 incidents", "9 incidents"]
+        assert find_count(texts, "incidents") == 5
+
+    def test_sum_counts(self):
+        texts = ["5 incidents in spring", "9 incidents in autumn"]
+        assert sum_counts(texts, "incidents") == 14
+
+    def test_thousands_separator(self):
+        counts = extract_counts("we sold 12,500 vehicles this year")
+        assert counts[0].value == 12500
+
+    def test_negative_count_impossible(self):
+        with pytest.raises(ValueError):
+            CountObservation(value=-1, label="x")

@@ -1,0 +1,80 @@
+"""Tests for the TF-IDF vectorizer."""
+
+import pytest
+
+from repro.nlp.tfidf import TfIdfVectorizer, cosine_similarity
+
+
+CORPUS = [
+    "dpf delete kit for excavator",
+    "egr delete harness for excavator",
+    "chip tuning remap for tractor",
+    "dpf delete service with dyno run",
+]
+
+
+class TestFit:
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            TfIdfVectorizer().fit([])
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            TfIdfVectorizer().transform(["x"])
+
+    def test_vocabulary_sorted(self):
+        vectorizer = TfIdfVectorizer().fit(CORPUS)
+        vocab = vectorizer.vocabulary
+        assert list(vocab) == sorted(vocab)
+        assert "dpf" in vocab
+
+    def test_stopwords_excluded(self):
+        vectorizer = TfIdfVectorizer().fit(["the kit for the car"])
+        assert "the" not in vectorizer.vocabulary
+
+
+class TestTransform:
+    def test_distinctive_terms_outweigh_common(self):
+        docs = TfIdfVectorizer().fit_transform(CORPUS)
+        weights = docs[2].weights  # the tractor doc
+        assert weights["tractor"] > weights.get("for", 0.0)
+
+    def test_l2_normalised(self):
+        docs = TfIdfVectorizer().fit_transform(CORPUS)
+        for doc in docs:
+            if doc.weights:
+                norm = sum(w * w for w in doc.weights.values())
+                assert norm == pytest.approx(1.0)
+
+    def test_empty_document_zero_vector(self):
+        docs = TfIdfVectorizer().fit(CORPUS).transform([""])
+        assert docs[0].weights == {}
+
+    def test_top_terms(self):
+        docs = TfIdfVectorizer().fit_transform(CORPUS)
+        top = docs[2].top_terms(2)
+        assert len(top) == 2
+        assert top[0][1] >= top[1][1]
+
+    def test_unseen_terms_get_max_idf(self):
+        vectorizer = TfIdfVectorizer().fit(CORPUS)
+        docs = vectorizer.transform(["completely novel zeppelin"])
+        assert docs[0].weights
+
+
+class TestCosine:
+    def test_similar_docs_higher(self):
+        docs = TfIdfVectorizer().fit_transform(CORPUS)
+        dpf_pair = cosine_similarity(docs[0], docs[3])
+        cross = cosine_similarity(docs[0], docs[2])
+        assert dpf_pair > cross
+
+    def test_self_similarity_one(self):
+        docs = TfIdfVectorizer().fit_transform(CORPUS)
+        assert cosine_similarity(docs[0], docs[0]) == pytest.approx(1.0)
+
+    def test_disjoint_docs_zero(self):
+        docs = TfIdfVectorizer().fit_transform(
+            ["alpha beta", "gamma delta"]
+        )
+        assert cosine_similarity(docs[0], docs[1]) == 0.0

@@ -1,0 +1,176 @@
+"""Hypothesis property tests for the extension modules.
+
+Covers the invariants of the controls, poisoning, trend and multi-platform
+layers added on top of the paper's proof of concept.
+"""
+
+import datetime as dt
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.poisoning import FilterConfig, PostAuthenticityFilter
+from repro.iso21434.controls import Control, apply_controls
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import WeightTable
+from repro.market.trends import fit_trend
+from repro.social.post import Engagement, Post
+
+vectors = st.sampled_from(list(AttackVector))
+feasibilities = st.sampled_from(list(FeasibilityRating))
+
+
+def tables():
+    return st.builds(
+        lambda n, a, l, p: WeightTable(
+            {
+                AttackVector.NETWORK: n,
+                AttackVector.ADJACENT: a,
+                AttackVector.LOCAL: l,
+                AttackVector.PHYSICAL: p,
+            },
+            source="test",
+        ),
+        feasibilities, feasibilities, feasibilities, feasibilities,
+    )
+
+
+def controls():
+    return st.builds(
+        Control,
+        control_id=st.uuids().map(lambda u: f"ctl.{u.hex[:8]}"),
+        name=st.just("Control"),
+        hardened_vectors=st.frozensets(vectors, min_size=1, max_size=4),
+        strength=st.integers(min_value=1, max_value=3),
+    )
+
+
+class TestControlInvariants:
+    @given(table=tables(), control_set=st.lists(controls(), max_size=5))
+    @settings(max_examples=80)
+    def test_controls_never_raise_feasibility(self, table, control_set):
+        hardened = apply_controls(table, control_set)
+        for vector in AttackVector:
+            assert hardened.rating(vector) <= table.rating(vector)
+
+    @given(table=tables(), control_set=st.lists(controls(), max_size=5))
+    @settings(max_examples=80)
+    def test_hardened_table_stays_in_scale(self, table, control_set):
+        hardened = apply_controls(table, control_set)
+        for vector in AttackVector:
+            assert hardened.rating(vector) in FeasibilityRating
+
+    @given(table=tables())
+    def test_empty_control_set_is_identity(self, table):
+        assert apply_controls(table, []).ratings == table.ratings
+
+    @given(
+        table=tables(),
+        a=st.lists(controls(), max_size=3),
+        b=st.lists(controls(), max_size=3),
+    )
+    @settings(max_examples=60)
+    def test_more_controls_never_weaker(self, table, a, b):
+        fewer = apply_controls(table, a)
+        more = apply_controls(table, a + b)
+        for vector in AttackVector:
+            assert more.rating(vector) <= fewer.rating(vector)
+
+
+def _posts():
+    texts = st.sampled_from(
+        ["my #kw kit arrived", "anyone tried the #kw?",
+         "#kw went fine today", "the #kw was a mistake",
+         "buy the #kw now"]
+    )
+    return st.lists(
+        st.tuples(
+            texts,
+            st.text(alphabet="abcd", min_size=1, max_size=4),  # author
+            st.integers(min_value=0, max_value=100000),        # views
+        ),
+        min_size=0,
+        max_size=40,
+    )
+
+
+class TestPoisoningFilterInvariants:
+    @given(raw=_posts())
+    @settings(max_examples=60)
+    def test_filter_partitions_input(self, raw):
+        posts = [
+            Post(
+                post_id=f"p{i}", text=text, author=author,
+                created_at=dt.date(2022, 1, 1),
+                engagement=Engagement(views=views),
+            )
+            for i, (text, author, views) in enumerate(raw)
+        ]
+        report = PostAuthenticityFilter().filter(posts)
+        accepted_ids = {p.post_id for p in report.accepted}
+        rejected_ids = {r.post.post_id for r in report.rejected}
+        assert accepted_ids | rejected_ids == {p.post_id for p in posts}
+        assert not accepted_ids & rejected_ids
+
+    @given(raw=_posts())
+    @settings(max_examples=60)
+    def test_rejection_rate_bounded(self, raw):
+        posts = [
+            Post(
+                post_id=f"p{i}", text=text, author=author,
+                created_at=dt.date(2022, 1, 1),
+                engagement=Engagement(views=views),
+            )
+            for i, (text, author, views) in enumerate(raw)
+        ]
+        report = PostAuthenticityFilter().filter(posts)
+        assert 0.0 <= report.rejection_rate <= 1.0
+
+    @given(raw=_posts())
+    @settings(max_examples=40)
+    def test_filter_deterministic(self, raw):
+        posts = [
+            Post(
+                post_id=f"p{i}", text=text, author=author,
+                created_at=dt.date(2022, 1, 1),
+                engagement=Engagement(views=views),
+            )
+            for i, (text, author, views) in enumerate(raw)
+        ]
+        first = PostAuthenticityFilter().filter(posts)
+        second = PostAuthenticityFilter().filter(posts)
+        assert [p.post_id for p in first.accepted] == [
+            p.post_id for p in second.accepted
+        ]
+
+
+class TestTrendFitInvariants:
+    series = st.lists(
+        st.tuples(
+            st.integers(min_value=2000, max_value=2030),
+            st.integers(min_value=0, max_value=10**6),
+        ),
+        min_size=2,
+        max_size=12,
+    )
+
+    @given(data=series)
+    @settings(max_examples=80)
+    def test_residuals_sum_to_zero(self, data):
+        years = {year for year, _ in data}
+        if len(years) < 2:
+            return
+        trend = fit_trend(data)
+        raw_residuals = [
+            units - (trend.slope * year + trend.intercept)
+            for year, units in data
+        ]
+        assert abs(sum(raw_residuals)) < 1e-3
+
+    @given(data=series, year=st.integers(min_value=2000, max_value=2040))
+    @settings(max_examples=80)
+    def test_prediction_non_negative(self, data, year):
+        years = {y for y, _ in data}
+        if len(years) < 2:
+            return
+        assert fit_trend(data).predict(year) >= 0.0

@@ -1,0 +1,267 @@
+"""Hypothesis property tests for the DESIGN.md invariants."""
+
+import datetime as dt
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classification import InsiderOutsiderClassifier
+from repro.core.config import TuningThresholds
+from repro.core.financial import break_even_point, fixed_cost_from_bep
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.core.sai import SAIComputer
+from repro.core.weights import WeightTuner, rating_from_share
+from repro.iso21434.attack_path import AttackPath, AttackStep, threat_feasibility
+from repro.iso21434.enums import AttackVector, FeasibilityRating, ImpactRating
+from repro.iso21434.feasibility.attack_potential import rating_from_potential
+from repro.iso21434.risk import risk_value
+from repro.nlp.clustering import kmeans_1d
+from repro.nlp.normalize import canonical_keyword
+from repro.nlp.sentiment import SentimentAnalyzer
+from repro.social.api import InMemoryClient
+from repro.social.corpus import Corpus
+from repro.social.post import Engagement, Post
+
+feasibilities = st.sampled_from(list(FeasibilityRating))
+impacts = st.sampled_from(list(ImpactRating))
+vectors = st.sampled_from(list(AttackVector))
+
+
+class TestRiskMatrixProperties:
+    @given(impact=impacts, low=feasibilities, high=feasibilities)
+    def test_monotone_in_feasibility(self, impact, low, high):
+        if low > high:
+            low, high = high, low
+        assert risk_value(impact, low) <= risk_value(impact, high)
+
+    @given(feasibility=feasibilities, low=impacts, high=impacts)
+    def test_monotone_in_impact(self, feasibility, low, high):
+        if low > high:
+            low, high = high, low
+        assert risk_value(low, feasibility) <= risk_value(high, feasibility)
+
+    @given(impact=impacts, feasibility=feasibilities)
+    def test_range(self, impact, feasibility):
+        assert 1 <= risk_value(impact, feasibility) <= 5
+
+
+class TestBreakEvenAlgebra:
+    @given(
+        fc=st.floats(min_value=0, max_value=1e9),
+        margin=st.floats(min_value=0.01, max_value=1e6),
+        vcu=st.floats(min_value=0, max_value=1e6),
+        n=st.integers(min_value=1, max_value=100),
+    )
+    def test_eq3_eq5_inverse(self, fc, margin, vcu, n):
+        ppia = vcu + margin
+        bep = break_even_point(fc, ppia, vcu, n)
+        recovered = fixed_cost_from_bep(bep, ppia, vcu, n)
+        assert abs(recovered - fc) <= max(1e-6, abs(fc) * 1e-9)
+
+    @given(
+        fc=st.floats(min_value=0.01, max_value=1e9),
+        margin=st.floats(min_value=0.01, max_value=1e6),
+        n=st.integers(min_value=1, max_value=100),
+    )
+    def test_bep_scales_linearly_with_n(self, fc, margin, n):
+        single = break_even_point(fc, margin, 0.0, 1)
+        shared = break_even_point(fc, margin, 0.0, n)
+        assert abs(shared - n * single) <= abs(shared) * 1e-9
+
+
+class TestRatingMappings:
+    @given(share=st.floats(min_value=0.0, max_value=1.0))
+    def test_share_rating_in_scale(self, share):
+        assert rating_from_share(share) in FeasibilityRating
+
+    @given(
+        a=st.floats(min_value=0.0, max_value=1.0),
+        b=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_share_rating_monotone(self, a, b):
+        if a > b:
+            a, b = b, a
+        assert rating_from_share(a) <= rating_from_share(b)
+
+    @given(value=st.integers(min_value=0, max_value=200))
+    def test_potential_rating_in_scale(self, value):
+        assert rating_from_potential(value) in FeasibilityRating
+
+    @given(
+        a=st.integers(min_value=0, max_value=200),
+        b=st.integers(min_value=0, max_value=200),
+    )
+    def test_potential_rating_antitone(self, a, b):
+        if a > b:
+            a, b = b, a
+        assert rating_from_potential(a) >= rating_from_potential(b)
+
+
+class TestAttackPathProperties:
+    step_lists = st.lists(feasibilities, min_size=1, max_size=6)
+
+    @given(ratings=step_lists)
+    def test_path_feasibility_is_min(self, ratings):
+        path = AttackPath(
+            path_id="p", threat_id="t",
+            steps=tuple(
+                AttackStep(description=f"s{i}", feasibility=r)
+                for i, r in enumerate(ratings)
+            ),
+        )
+        assert path.feasibility is min(ratings, key=lambda r: r.level)
+
+    @given(paths=st.lists(step_lists, min_size=1, max_size=5))
+    def test_threat_feasibility_is_max_of_path_mins(self, paths):
+        objects = [
+            AttackPath(
+                path_id=f"p{i}", threat_id="t",
+                steps=tuple(
+                    AttackStep(description=f"s{j}", feasibility=r)
+                    for j, r in enumerate(ratings)
+                ),
+            )
+            for i, ratings in enumerate(paths)
+        ]
+        expected = max(
+            (min(ratings, key=lambda r: r.level) for ratings in paths),
+            key=lambda r: r.level,
+        )
+        assert threat_feasibility(objects) is expected
+
+
+class TestSentimentProperties:
+    @given(text=st.text(max_size=300))
+    @settings(max_examples=50)
+    def test_score_bounded(self, text):
+        result = SentimentAnalyzer().score(text)
+        assert -1.0 <= result.score <= 1.0
+        assert result.hits >= 0
+
+
+class TestClusteringProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=40
+        ),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50)
+    def test_clusters_partition_input(self, values, k):
+        if len(values) < k:
+            return
+        clusters = kmeans_1d(values, k)
+        members = sorted(m for c in clusters for m in c.members)
+        assert members == sorted(values)
+        assert 1 <= len(clusters) <= k
+
+
+class TestCanonicalKeywordProperties:
+    @given(raw=st.text(max_size=60))
+    @settings(max_examples=100)
+    def test_idempotent(self, raw):
+        once = canonical_keyword(raw)
+        assert canonical_keyword(once) == once
+
+    @given(raw=st.text(alphabet="abcdefg #-_", min_size=1, max_size=30))
+    def test_hashtag_and_plain_collide(self, raw):
+        assert canonical_keyword(raw) == canonical_keyword("#" + raw.strip())
+
+
+def _corpus_strategy():
+    post_texts = st.sampled_from(
+        ["love my #kwa", "#kwa is fine", "#kwb broke", "did the #kwb today"]
+    )
+    engagements = st.builds(
+        Engagement,
+        views=st.integers(min_value=0, max_value=10000),
+        likes=st.integers(min_value=0, max_value=500),
+        reposts=st.integers(min_value=0, max_value=100),
+        replies=st.integers(min_value=0, max_value=100),
+    )
+    return st.lists(
+        st.tuples(post_texts, engagements), min_size=1, max_size=20
+    )
+
+
+class TestSAIProperties:
+    @given(raw_posts=_corpus_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_probabilities_form_distribution(self, raw_posts):
+        posts = [
+            Post(
+                post_id=f"p{i}", text=text, author="u",
+                created_at=dt.date(2022, 1, 1), engagement=engagement,
+            )
+            for i, (text, engagement) in enumerate(raw_posts)
+        ]
+        db = KeywordDatabase(
+            [
+                AttackKeyword(keyword="kwa", vector=AttackVector.PHYSICAL,
+                              owner_approved=True),
+                AttackKeyword(keyword="kwb", vector=AttackVector.LOCAL,
+                              owner_approved=True),
+            ]
+        )
+        sai = SAIComputer(InMemoryClient(Corpus(posts))).compute(db)
+        total = sum(e.probability for e in sai)
+        assert abs(total - 1.0) < 1e-9 or total == 0.0
+        assert all(e.score >= 0 for e in sai)
+
+    @given(raw_posts=_corpus_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_split_is_partition(self, raw_posts):
+        posts = [
+            Post(
+                post_id=f"p{i}", text=text, author="u",
+                created_at=dt.date(2022, 1, 1), engagement=engagement,
+            )
+            for i, (text, engagement) in enumerate(raw_posts)
+        ]
+        db = KeywordDatabase(
+            [
+                AttackKeyword(keyword="kwa", owner_approved=True),
+                AttackKeyword(keyword="kwb", owner_approved=False),
+            ]
+        )
+        client = InMemoryClient(Corpus(posts))
+        sai = SAIComputer(client).compute(db)
+        split = InsiderOutsiderClassifier(client).split(sai)
+        assert sorted(split.all_keywords()) == sorted(e.keyword for e in sai)
+
+
+class TestWeightTunerProperties:
+    shares_strategy = st.dictionaries(
+        vectors,
+        st.floats(min_value=0.0, max_value=1.0),
+        min_size=0,
+        max_size=4,
+    )
+
+    @given(shares=shares_strategy)
+    def test_tuned_table_complete_and_in_scale(self, shares):
+        table = WeightTuner().tune_from_shares(shares)
+        for vector in AttackVector:
+            assert table.rating(vector) in FeasibilityRating
+        assert table.source == "psp"
+
+    @given(shares=shares_strategy)
+    def test_unobserved_vectors_never_above_low(self, shares):
+        table = WeightTuner().tune_from_shares(shares)
+        for vector in AttackVector:
+            if vector not in shares:
+                assert table.rating(vector) <= FeasibilityRating.LOW
+
+    @given(
+        high=st.floats(min_value=0.31, max_value=1.0),
+        medium=st.floats(min_value=0.11, max_value=0.3),
+        low=st.floats(min_value=0.01, max_value=0.1),
+        share=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_custom_thresholds_respected(self, high, medium, low, share):
+        thresholds = TuningThresholds(high=high, medium=medium, low=low)
+        rating = rating_from_share(share, thresholds)
+        if share >= high:
+            assert rating is FeasibilityRating.HIGH
+        elif share < low:
+            assert rating is FeasibilityRating.VERY_LOW

@@ -1,0 +1,79 @@
+"""Calibration and pipeline tests for the light-truck scenario."""
+
+import pytest
+
+from repro import PSPFramework, TargetApplication
+from repro.cli import main
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.social import InMemoryClient, light_truck_corpus, light_truck_specs
+
+
+def build_framework() -> PSPFramework:
+    db = KeywordDatabase()
+    for spec in light_truck_specs():
+        db.add(
+            AttackKeyword(
+                keyword=spec.keyword,
+                vector=spec.vector,
+                owner_approved=spec.owner_approved,
+            )
+        )
+    return PSPFramework(
+        InMemoryClient(light_truck_corpus()),
+        TargetApplication("light_truck", "europe", "commercial"),
+        database=db,
+    )
+
+
+class TestCalibration:
+    def test_adblue_highest_volume(self):
+        volumes = {s.keyword: s.total_volume for s in light_truck_specs()}
+        assert max(volumes, key=lambda k: volumes[k]) == "adbluedelete"
+
+    def test_local_attacks_dominate(self):
+        local = sum(
+            s.total_volume
+            for s in light_truck_specs()
+            if s.vector is AttackVector.LOCAL and s.owner_approved
+        )
+        physical = sum(
+            s.total_volume
+            for s in light_truck_specs()
+            if s.vector is AttackVector.PHYSICAL and s.owner_approved
+        )
+        assert local > 2 * physical
+
+    def test_includes_outsider_topic(self):
+        approved = {s.keyword: s.owner_approved for s in light_truck_specs()}
+        assert not approved["cargotheft"]
+
+
+class TestPipeline:
+    def test_sai_ranks_adblue_first(self):
+        result = build_framework().run(learn=False)
+        assert result.sai.ranking()[0] == "adbluedelete"
+
+    def test_local_dominant_regime_no_inversion(self):
+        # Unlike the ECM scenario, the local regime is stable: the tuned
+        # table rates local High on the full window already.
+        result = build_framework().run(learn=False)
+        table = result.insider_table
+        assert table.rating(AttackVector.LOCAL) is FeasibilityRating.HIGH
+        assert table.rating(AttackVector.LOCAL) > table.rating(
+            AttackVector.PHYSICAL
+        )
+
+    def test_financial_uses_fallback_defaults(self):
+        # No annual report covers light trucks: the attacker rate falls
+        # back to the config default and competitors to 1 — the degraded
+        # data path the framework must survive.
+        psp = build_framework()
+        assessment = psp.assess_financial("adbluedelete")
+        assert assessment.competitors == 1
+        assert assessment.pae > 0
+
+    def test_cli_truck_scenario(self, capsys):
+        assert main(["sai", "--scenario", "truck", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "adbluedelete" in out

@@ -1,0 +1,119 @@
+"""Tests for the multi-platform aggregation layer."""
+
+import datetime as dt
+
+import pytest
+
+from repro.social.api import InMemoryClient, SearchQuery
+from repro.social.corpus import Corpus
+from repro.social.multiplatform import MultiPlatformClient, PlatformSource
+from repro.social.post import Engagement, Post
+
+
+def post(pid, text, year=2022, views=1000) -> Post:
+    return Post(
+        post_id=pid, text=text, author="u",
+        created_at=dt.date(year, 6, 1),
+        engagement=Engagement(views=views, likes=views // 10),
+    )
+
+
+@pytest.fixture()
+def aggregator() -> MultiPlatformClient:
+    twitter = InMemoryClient(
+        Corpus([post("t1", "#dpfdelete on twitter", 2021),
+                post("t2", "#dpfdelete again", 2022)])
+    )
+    instagram = InMemoryClient(
+        Corpus([post("i1", "#dpfdelete reel", 2022, views=4000)])
+    )
+    deepweb = InMemoryClient(
+        Corpus([post("d1", "#dpfdelete kit listing", 2022, views=2000)])
+    )
+    return MultiPlatformClient(
+        [
+            PlatformSource("twitter", twitter),
+            PlatformSource("instagram", instagram),
+            PlatformSource("deepweb", deepweb, trust=0.5),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_requires_sources(self):
+        with pytest.raises(ValueError):
+            MultiPlatformClient([])
+
+    def test_duplicate_names_rejected(self):
+        client = InMemoryClient(Corpus())
+        with pytest.raises(ValueError, match="duplicate"):
+            MultiPlatformClient(
+                [PlatformSource("x", client), PlatformSource("x", client)]
+            )
+
+    def test_trust_validated(self):
+        client = InMemoryClient(Corpus())
+        with pytest.raises(ValueError):
+            PlatformSource("x", client, trust=0.0)
+        with pytest.raises(ValueError):
+            PlatformSource("x", client, trust=1.5)
+
+    def test_platforms_listed(self, aggregator):
+        assert aggregator.platforms == ("twitter", "instagram", "deepweb")
+
+
+class TestSearch:
+    def test_merges_all_platforms(self, aggregator):
+        posts = aggregator.search(SearchQuery(keyword="dpfdelete"))
+        assert len(posts) == 4
+
+    def test_ids_namespaced(self, aggregator):
+        posts = aggregator.search(SearchQuery(keyword="dpfdelete"))
+        ids = {p.post_id for p in posts}
+        assert "twitter:t1" in ids
+        assert "instagram:i1" in ids
+        assert "deepweb:d1" in ids
+
+    def test_sorted_oldest_first(self, aggregator):
+        posts = aggregator.search(SearchQuery(keyword="dpfdelete"))
+        dates = [p.created_at for p in posts]
+        assert dates == sorted(dates)
+
+    def test_trust_scales_engagement(self, aggregator):
+        posts = {
+            p.post_id: p
+            for p in aggregator.search(SearchQuery(keyword="dpfdelete"))
+        }
+        assert posts["deepweb:d1"].engagement.views == 1000  # 2000 x 0.5
+        assert posts["instagram:i1"].engagement.views == 4000  # untouched
+
+    def test_time_filter_passes_through(self, aggregator):
+        posts = aggregator.search(
+            SearchQuery(keyword="dpfdelete", since=dt.date(2022, 1, 1))
+        )
+        assert len(posts) == 3
+
+
+class TestCounts:
+    def test_count_by_year_summed(self, aggregator):
+        counts = aggregator.count_by_year(SearchQuery(keyword="dpfdelete"))
+        assert counts == {2021: 1, 2022: 3}
+
+    def test_count_by_platform(self, aggregator):
+        counts = aggregator.count_by_platform(SearchQuery(keyword="dpfdelete"))
+        assert counts == {"twitter": 2, "instagram": 1, "deepweb": 1}
+
+    def test_source_lookup(self, aggregator):
+        assert aggregator.source("deepweb").trust == 0.5
+        with pytest.raises(KeyError):
+            aggregator.source("myspace")
+
+
+class TestPipelineCompatibility:
+    def test_sai_runs_over_aggregated_platforms(self, aggregator):
+        from repro.core.keywords import AttackKeyword, KeywordDatabase
+        from repro.core.sai import SAIComputer
+
+        db = KeywordDatabase([AttackKeyword(keyword="dpfdelete")])
+        sai = SAIComputer(aggregator).compute(db)
+        assert sai.entry("dpfdelete").post_count == 4

@@ -1,0 +1,64 @@
+"""Tests for the post and engagement data model."""
+
+import datetime as dt
+
+import pytest
+
+from repro.social.post import Engagement, Post
+
+
+def make_post(**overrides) -> Post:
+    defaults = dict(
+        post_id="p1",
+        text="did my #dpfdelete today",
+        author="user1",
+        created_at=dt.date(2022, 6, 1),
+    )
+    defaults.update(overrides)
+    return Post(**defaults)
+
+
+class TestEngagement:
+    def test_defaults_zero(self):
+        engagement = Engagement()
+        assert engagement.views == 0
+        assert engagement.interactions == 0
+
+    def test_interactions_sum(self):
+        engagement = Engagement(views=100, likes=5, reposts=2, replies=3)
+        assert engagement.interactions == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Engagement(views=-1)
+
+    def test_combined(self):
+        a = Engagement(views=10, likes=1)
+        b = Engagement(views=20, reposts=2)
+        combined = a.combined(b)
+        assert combined.views == 30
+        assert combined.likes == 1
+        assert combined.reposts == 2
+
+
+class TestPost:
+    def test_requires_id_and_text(self):
+        with pytest.raises(ValueError):
+            make_post(post_id="")
+        with pytest.raises(ValueError):
+            make_post(text="")
+
+    def test_hashtags_canonical(self):
+        post = make_post(text="my #DPF_delete and #egroff")
+        assert post.hashtags == ("dpfdelete", "egroff")
+
+    def test_year(self):
+        assert make_post(created_at=dt.date(2021, 12, 31)).year == 2021
+
+    def test_default_region(self):
+        assert make_post().region == "europe"
+
+    def test_frozen(self):
+        post = make_post()
+        with pytest.raises(AttributeError):
+            post.text = "changed"

@@ -1,0 +1,105 @@
+"""Failure-injection tests for the client resilience layer."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.core.sai import SAIComputer
+from repro.social.api import InMemoryClient, SearchQuery
+from repro.social.corpus import Corpus
+from repro.social.post import Engagement, Post
+from repro.social.resilience import (
+    BestEffortClient,
+    FlakyClient,
+    RetryingClient,
+    TransientPlatformError,
+)
+
+
+def post(pid, text) -> Post:
+    return Post(
+        post_id=pid, text=text, author="u",
+        created_at=dt.date(2022, 1, 1),
+        engagement=Engagement(views=100, likes=5),
+    )
+
+
+@pytest.fixture()
+def backend() -> InMemoryClient:
+    return InMemoryClient(
+        Corpus([post("p1", "#dpfdelete done"), post("p2", "#egroff fine")])
+    )
+
+
+class TestRetryingClient:
+    def test_recovers_within_budget(self, backend):
+        flaky = FlakyClient(backend, failures_per_call=2)
+        client = RetryingClient(flaky, max_attempts=3)
+        results = client.search(SearchQuery(keyword="dpfdelete"))
+        assert len(results) == 1
+        assert client.retries == 2
+
+    def test_exhausted_budget_raises(self, backend):
+        flaky = FlakyClient(backend, failures_per_call=5)
+        client = RetryingClient(flaky, max_attempts=3)
+        with pytest.raises(TransientPlatformError):
+            client.search(SearchQuery(keyword="dpfdelete"))
+        assert client.attempts == 3
+
+    def test_no_failures_no_retries(self, backend):
+        client = RetryingClient(backend, max_attempts=3)
+        client.search(SearchQuery(keyword="dpfdelete"))
+        assert client.retries == 0
+        assert client.attempts == 1
+
+    def test_count_retried_too(self, backend):
+        flaky = FlakyClient(backend, failures_per_call=1)
+        client = RetryingClient(flaky, max_attempts=2)
+        counts = client.count_by_year(SearchQuery(keyword="dpfdelete"))
+        assert counts == {2022: 1}
+
+    def test_max_attempts_validated(self, backend):
+        with pytest.raises(ValueError):
+            RetryingClient(backend, max_attempts=0)
+
+
+class TestBestEffortClient:
+    def test_persistent_outage_degrades_to_empty(self, backend):
+        flaky = FlakyClient(backend, failures_per_call=0,
+                            dead_keywords={"dpfdelete"})
+        client = BestEffortClient(flaky)
+        assert client.search(SearchQuery(keyword="dpfdelete")) == []
+        assert client.degraded_keywords == {"dpfdelete"}
+
+    def test_healthy_keywords_unaffected(self, backend):
+        flaky = FlakyClient(backend, failures_per_call=0,
+                            dead_keywords={"dpfdelete"})
+        client = BestEffortClient(flaky)
+        assert len(client.search(SearchQuery(keyword="egroff"))) == 1
+        assert "egroff" not in client.degraded_keywords
+
+
+class TestSaiUnderFailureInjection:
+    def test_one_dead_keyword_does_not_lose_the_run(self, backend):
+        """A persistent single-keyword outage must degrade, not abort."""
+        flaky = FlakyClient(backend, failures_per_call=1,
+                            dead_keywords={"egroff"})
+        client = BestEffortClient(RetryingClient(flaky, max_attempts=3))
+        db = KeywordDatabase(
+            [
+                AttackKeyword(keyword="dpfdelete", owner_approved=True),
+                AttackKeyword(keyword="egroff", owner_approved=True),
+            ]
+        )
+        sai = SAIComputer(client).compute(db)
+        assert sai.entry("dpfdelete").post_count == 1
+        assert sai.entry("egroff").post_count == 0
+        assert client.degraded_keywords == {"egroff"}
+
+    def test_transient_failures_fully_absorbed(self, backend):
+        flaky = FlakyClient(backend, failures_per_call=2)
+        client = RetryingClient(flaky, max_attempts=3)
+        db = KeywordDatabase([AttackKeyword(keyword="dpfdelete")])
+        sai = SAIComputer(client).compute(db)
+        assert sai.entry("dpfdelete").post_count == 1

@@ -1,0 +1,93 @@
+"""Calibration tests for the paper-scenario corpora.
+
+These assert the *generation ground truth* that makes the downstream
+figures come out with the paper's shape: volume dominance orders and the
+pre/post-2022 trend flip.
+"""
+
+from repro.iso21434.enums import AttackVector
+from repro.social.scenarios import (
+    KEYWORD_OWNER_APPROVED,
+    KEYWORD_VECTORS,
+    ecm_reprogramming_corpus,
+    ecm_reprogramming_specs,
+    excavator_corpus,
+    excavator_specs,
+    light_truck_specs,
+)
+
+
+class TestEcmSpecs:
+    def test_physical_dominates_full_history(self):
+        volumes = {s.keyword: s.total_volume for s in ecm_reprogramming_specs()}
+        assert volumes["ecmreprogramming"] > volumes["obdtuning"]
+
+    def test_local_dominates_since_2022(self):
+        specs = {s.keyword: s for s in ecm_reprogramming_specs()}
+        physical_recent = sum(
+            v for y, v in specs["ecmreprogramming"].yearly_volume.items()
+            if y >= 2022
+        )
+        local_recent = sum(
+            v for y, v in specs["obdtuning"].yearly_volume.items() if y >= 2022
+        )
+        assert local_recent > 3 * physical_recent
+
+    def test_vector_assignments(self):
+        vectors = {s.keyword: s.vector for s in ecm_reprogramming_specs()}
+        assert vectors["ecmreprogramming"] is AttackVector.PHYSICAL
+        assert vectors["obdtuning"] is AttackVector.LOCAL
+        assert vectors["remoteecuflash"] is AttackVector.NETWORK
+
+    def test_includes_outsider_topic(self):
+        approved = {s.keyword: s.owner_approved for s in ecm_reprogramming_specs()}
+        assert not approved["relayattack"]
+
+    def test_corpus_generates(self):
+        corpus = ecm_reprogramming_corpus()
+        expected = sum(s.total_volume for s in ecm_reprogramming_specs())
+        assert len(corpus) == expected
+
+
+class TestExcavatorSpecs:
+    def test_dpfdelete_highest_volume(self):
+        volumes = {s.keyword: s.total_volume for s in excavator_specs()}
+        top = max(volumes, key=lambda k: volumes[k])
+        assert top == "dpfdelete"
+
+    def test_dpfdelete_highest_engagement_scale(self):
+        scales = {s.keyword: s.engagement_scale for s in excavator_specs()}
+        assert scales["dpfdelete"] == max(scales.values())
+
+    def test_dpf_price_range_centred_on_360(self):
+        spec = {s.keyword: s for s in excavator_specs()}["dpfdelete"]
+        low, high = spec.price_range
+        assert (low + high) / 2 == 360.0
+
+    def test_includes_outsider_topic(self):
+        approved = {s.keyword: s.owner_approved for s in excavator_specs()}
+        assert not approved["keycloning"]
+
+    def test_corpus_generates_deterministically(self):
+        a = excavator_corpus(seed=3)
+        b = excavator_corpus(seed=3)
+        assert [p.post_id for p in a] == [p.post_id for p in b]
+        assert [p.text for p in a] == [p.text for p in b]
+
+
+class TestGroundTruthExports:
+    def test_vectors_cover_all_keywords(self):
+        spec_keywords = {
+            s.keyword
+            for s in (
+                ecm_reprogramming_specs()
+                + excavator_specs()
+                + light_truck_specs()
+            )
+        }
+        assert set(KEYWORD_VECTORS) == spec_keywords
+        assert set(KEYWORD_OWNER_APPROVED) == spec_keywords
+
+    def test_chiptuning_is_local_insider(self):
+        assert KEYWORD_VECTORS["chiptuning"] is AttackVector.LOCAL
+        assert KEYWORD_OWNER_APPROVED["chiptuning"]

@@ -1,0 +1,114 @@
+"""Tests for the synthetic corpus generator."""
+
+import pytest
+
+from repro.iso21434.enums import AttackVector
+from repro.nlp.textmining import extract_prices
+from repro.social.synthetic import (
+    AttackTopicSpec,
+    generate_corpus,
+    volume_by_keyword,
+)
+
+
+def spec(**overrides) -> AttackTopicSpec:
+    defaults = dict(
+        keyword="dpfdelete",
+        vector=AttackVector.PHYSICAL,
+        owner_approved=True,
+        yearly_volume={2021: 10, 2022: 20},
+    )
+    defaults.update(overrides)
+    return AttackTopicSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_requires_volume(self):
+        with pytest.raises(ValueError):
+            spec(yearly_volume={})
+
+    def test_rejects_negative_volume(self):
+        with pytest.raises(ValueError):
+            spec(yearly_volume={2021: -1})
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            spec(positive_ratio=1.5)
+
+    def test_rejects_zero_engagement_scale(self):
+        with pytest.raises(ValueError):
+            spec(engagement_scale=0)
+
+    def test_total_volume(self):
+        assert spec().total_volume == 30
+
+
+class TestGeneration:
+    def test_volume_respected_exactly(self):
+        corpus = generate_corpus([spec()])
+        assert len(corpus) == 30
+        assert len(corpus.since_year(2022)) == 20
+
+    def test_deterministic_across_runs(self):
+        a = generate_corpus([spec()], seed=7)
+        b = generate_corpus([spec()], seed=7)
+        assert [p.text for p in a] == [p.text for p in b]
+        assert [p.engagement.views for p in a] == [
+            p.engagement.views for p in b
+        ]
+
+    def test_seed_changes_content(self):
+        a = generate_corpus([spec()], seed=1)
+        b = generate_corpus([spec()], seed=2)
+        assert [p.text for p in a] != [p.text for p in b]
+
+    def test_posts_carry_keyword_hashtag(self):
+        corpus = generate_corpus([spec()])
+        assert all("dpfdelete" in p.hashtags for p in corpus)
+
+    def test_unique_post_ids(self):
+        corpus = generate_corpus([spec(), spec(keyword="egroff")])
+        ids = [p.post_id for p in corpus]
+        assert len(ids) == len(set(ids))
+
+    def test_region_stamped(self):
+        corpus = generate_corpus([spec(region="north_america")])
+        assert all(p.region == "north_america" for p in corpus)
+
+    def test_price_mentions_generated(self):
+        corpus = generate_corpus(
+            [spec(price_range=(300.0, 420.0), price_mention_rate=1.0)]
+        )
+        texts_with_price = [
+            p.text for p in corpus if extract_prices(p.text)
+        ]
+        assert len(texts_with_price) == len(corpus)
+        for text in texts_with_price:
+            amount = extract_prices(text)[0].amount
+            assert 300 <= amount <= 420
+
+    def test_zero_price_rate_means_no_prices(self):
+        corpus = generate_corpus(
+            [spec(price_range=(300.0, 420.0), price_mention_rate=0.0)]
+        )
+        assert not any(extract_prices(p.text) for p in corpus)
+
+    def test_companion_tags_appear(self):
+        corpus = generate_corpus(
+            [spec(companion_tags=("stage1",), yearly_volume={2022: 200})]
+        )
+        assert any("stage1" in p.hashtags for p in corpus)
+
+    def test_outsider_topics_use_crime_voice(self):
+        corpus = generate_corpus(
+            [spec(owner_approved=False, yearly_volume={2022: 50})]
+        )
+        crime_words = ("stolen", "steal", "thieves", "theft", "criminals",
+                       "arrested", "police", "gang", "taken", "insurance")
+        assert all(
+            any(w in p.text.lower() for w in crime_words) for p in corpus
+        )
+
+    def test_volume_by_keyword(self):
+        specs = [spec(), spec(keyword="egroff", yearly_volume={2022: 5})]
+        assert volume_by_keyword(specs) == {"dpfdelete": 30, "egroff": 5}

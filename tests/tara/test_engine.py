@@ -1,0 +1,141 @@
+"""Tests for the TARA engine over the reference architecture."""
+
+import pytest
+
+from repro.iso21434.enums import (
+    CAL,
+    AttackVector,
+    FeasibilityRating,
+    ImpactRating,
+)
+from repro.iso21434.feasibility.attack_vector import WeightTable
+from repro.tara.engine import TaraEngine, compare_runs
+from repro.vehicle.domains import VehicleDomain
+
+
+@pytest.fixture(scope="module")
+def static_run(fig4_network):
+    return TaraEngine(fig4_network).run()
+
+
+def psp_table() -> WeightTable:
+    return WeightTable(
+        {
+            AttackVector.NETWORK: FeasibilityRating.VERY_LOW,
+            AttackVector.ADJACENT: FeasibilityRating.VERY_LOW,
+            AttackVector.LOCAL: FeasibilityRating.MEDIUM,
+            AttackVector.PHYSICAL: FeasibilityRating.HIGH,
+        },
+        source="psp",
+    )
+
+
+class TestActivities:
+    def test_assets_enumerated_for_every_ecu(self, fig4_network):
+        engine = TaraEngine(fig4_network)
+        assets = engine.identify_assets()
+        assert len(assets) == 4 * len(fig4_network.ecus)
+
+    def test_threats_generated_for_every_asset(self, fig4_network):
+        engine = TaraEngine(fig4_network)
+        assets = engine.identify_assets()
+        threats = engine.identify_threats(assets)
+        asset_ids = {t.asset_id for t in threats}
+        assert asset_ids == {a.asset_id for a in assets}
+
+    def test_powertrain_threats_are_insider(self, fig4_network):
+        engine = TaraEngine(fig4_network)
+        threats = engine.identify_threats(engine.identify_assets())
+        ecm_threats = [t for t in threats if t.asset_id.startswith("ecm.")]
+        assert ecm_threats
+        assert all(t.is_owner_approved for t in ecm_threats)
+
+    def test_infotainment_threats_are_outsider(self, fig4_network):
+        engine = TaraEngine(fig4_network)
+        threats = engine.identify_threats(engine.identify_assets())
+        icm_threats = [t for t in threats if t.asset_id.startswith("icm.")]
+        assert icm_threats
+        assert not any(t.is_owner_approved for t in icm_threats)
+
+    def test_powertrain_impact_is_safety_severe(self, fig4_network):
+        engine = TaraEngine(fig4_network)
+        threats = engine.identify_threats(engine.identify_assets())
+        ecm_threat = next(t for t in threats if t.asset_id.startswith("ecm."))
+        impact = engine.rate_impact(ecm_threat)
+        assert impact.overall is ImpactRating.SEVERE
+
+    def test_impact_override(self, fig4_network):
+        from repro.iso21434.impact import safety_impact
+
+        engine = TaraEngine(
+            fig4_network,
+            impact_overrides={"ecm": safety_impact(ImpactRating.MODERATE)},
+        )
+        threats = engine.identify_threats(engine.identify_assets())
+        ecm_threat = next(t for t in threats if t.asset_id.startswith("ecm."))
+        assert engine.rate_impact(ecm_threat).overall is ImpactRating.MODERATE
+
+
+class TestRun:
+    def test_every_threat_assessed(self, static_run):
+        assert static_run.records
+        for record in static_run.records:
+            assert 1 <= record.risk_value <= 5
+            assert record.cal is not None
+
+    def test_high_risk_filter(self, static_run):
+        high = static_run.high_risk(threshold=4)
+        assert all(r.risk_value >= 4 for r in high)
+
+    def test_by_threat_index(self, static_run):
+        index = static_run.by_threat()
+        assert len(index) == len(static_run.records)
+
+    def test_static_run_rates_tcu_above_ecm(self, static_run):
+        # The enterprise-IT worldview: the telematics unit (network entry)
+        # out-rates the engine controller under the static table.
+        index = static_run.by_threat()
+        tcu = index["ts.tcu.firmware.tampering"]
+        ecm = index["ts.ecm.firmware.tampering"]
+        assert tcu.feasibility > ecm.feasibility
+
+
+class TestPspComparison:
+    def test_disagreements_concentrate_in_powertrain(self, fig4_network, static_run):
+        tuned = TaraEngine(fig4_network, insider_table=psp_table()).run()
+        disagreements = compare_runs(fig4_network, static_run, tuned)
+        assert disagreements
+        domains = {d.domain for d in disagreements}
+        assert domains == {VehicleDomain.POWERTRAIN}
+
+    def test_all_disagreements_are_underestimates(self, fig4_network, static_run):
+        tuned = TaraEngine(fig4_network, insider_table=psp_table()).run()
+        disagreements = compare_runs(fig4_network, static_run, tuned)
+        assert all(d.underestimated for d in disagreements)
+
+    def test_risk_raised_for_ecm_dos(self, fig4_network, static_run):
+        tuned = TaraEngine(fig4_network, insider_table=psp_table()).run()
+        threat_id = "ts.ecm.firmware.denial_of_service"
+        static_record = static_run.by_threat()[threat_id]
+        tuned_record = tuned.by_threat()[threat_id]
+        assert tuned_record.risk_value > static_record.risk_value
+
+    def test_outsider_threats_unchanged(self, fig4_network, static_run):
+        tuned = TaraEngine(fig4_network, insider_table=psp_table()).run()
+        static_index = static_run.by_threat()
+        for record in tuned.records:
+            if not record.threat.is_owner_approved:
+                static_record = static_index[record.threat.threat_id]
+                assert record.feasibility is static_record.feasibility
+
+    def test_identical_tables_no_disagreement(self, fig4_network, static_run):
+        rerun = TaraEngine(fig4_network).run()
+        assert compare_runs(fig4_network, static_run, rerun) == []
+
+
+class TestCal:
+    def test_physical_entry_caps_cal(self, fig4_network):
+        tuned = TaraEngine(fig4_network, insider_table=psp_table()).run()
+        for record in tuned.records:
+            if record.entry_vector is AttackVector.PHYSICAL:
+                assert record.cal <= CAL.CAL2

@@ -1,0 +1,75 @@
+"""Tests for the development lifecycle tracker (paper Fig. 2)."""
+
+import pytest
+
+from repro.tara.lifecycle import (
+    REPROCESSING_PHASES,
+    LifecycleTracker,
+    Phase,
+    ReprocessingTrigger,
+)
+
+
+class TestPhases:
+    def test_ordered(self):
+        orders = [p.order for p in Phase]
+        assert orders == sorted(orders)
+
+    def test_starts_at_item_definition(self):
+        assert LifecycleTracker().phase is Phase.ITEM_DEFINITION
+
+
+class TestAdvance:
+    def test_walks_to_production(self):
+        tracker = LifecycleTracker()
+        while tracker.phase is not Phase.PRODUCTION_READINESS:
+            tracker.advance()
+        assert tracker.phase is Phase.PRODUCTION_READINESS
+
+    def test_cannot_advance_past_production(self):
+        tracker = LifecycleTracker(phase=Phase.PRODUCTION_READINESS)
+        with pytest.raises(ValueError):
+            tracker.advance()
+
+    def test_gate_phases_record_reprocessing(self):
+        tracker = LifecycleTracker()
+        while tracker.phase is not Phase.PRODUCTION_READINESS:
+            tracker.advance()
+        gates = tracker.reprocessing_count(ReprocessingTrigger.PHASE_GATE)
+        assert gates == len(REPROCESSING_PHASES)
+
+    def test_fig2_reprocessing_phases(self):
+        # Fig. 2 shows reprocessing at design, implementation, integration
+        # and the three testing phases — six arrows.
+        assert len(REPROCESSING_PHASES) == 6
+        assert Phase.ITEM_DEFINITION not in REPROCESSING_PHASES
+        assert Phase.TARA not in REPROCESSING_PHASES
+
+
+class TestTriggers:
+    def test_field_vulnerability(self):
+        tracker = LifecycleTracker(phase=Phase.PRODUCTION_READINESS)
+        event = tracker.report_field_vulnerability("CVE-2023-XXXX")
+        assert event.trigger is ReprocessingTrigger.FIELD_VULNERABILITY
+        assert tracker.reprocessing_count(
+            ReprocessingTrigger.FIELD_VULNERABILITY
+        ) == 1
+
+    def test_psp_trend_shift(self):
+        tracker = LifecycleTracker(phase=Phase.PRODUCTION_READINESS)
+        tracker.report_trend_shift("local overtook physical")
+        assert tracker.reprocessing_count(
+            ReprocessingTrigger.PSP_TREND_SHIFT
+        ) == 1
+
+    def test_events_accumulate_in_order(self):
+        tracker = LifecycleTracker(phase=Phase.PRODUCTION_READINESS)
+        tracker.report_field_vulnerability("a")
+        tracker.report_trend_shift("b")
+        assert [e.note for e in tracker.events] == ["a", "b"]
+
+    def test_total_count(self):
+        tracker = LifecycleTracker(phase=Phase.PRODUCTION_READINESS)
+        tracker.report_field_vulnerability()
+        tracker.report_trend_shift()
+        assert tracker.reprocessing_count() == 2

@@ -1,0 +1,73 @@
+"""Tests for report rendering."""
+
+from repro.core.financial import assess
+from repro.core.sai import SAIComputer
+from repro.iso21434.feasibility.attack_vector import standard_table
+from repro.tara.engine import TaraEngine
+from repro.tara.report import (
+    render_financial,
+    render_sai,
+    render_tara,
+    render_weight_table,
+)
+from tests.conftest import build_excavator_database
+
+
+class TestWeightTableRendering:
+    def test_contains_all_vectors_and_ratings(self):
+        text = render_weight_table(standard_table())
+        for token in ("Network", "Adjacent", "Local", "Physical",
+                      "High", "Medium", "Low", "Very Low"):
+            assert token in text
+
+    def test_custom_title(self):
+        text = render_weight_table(standard_table(), "Fig. 9-A")
+        assert text.startswith("Fig. 9-A")
+
+    def test_note_rendered(self):
+        text = render_weight_table(standard_table())
+        assert "Note:" in text
+
+
+class TestSaiRendering:
+    def test_rows_ranked(self, excavator_client):
+        sai = SAIComputer(excavator_client).compute(build_excavator_database())
+        text = render_sai(sai)
+        lines = text.splitlines()
+        # line 0 = title, 1 = header, 2 = divider, 3 = first data row
+        assert "dpfdelete" in lines[3]
+
+    def test_top_limits_rows(self, excavator_client):
+        sai = SAIComputer(excavator_client).compute(build_excavator_database())
+        text = render_sai(sai, top=2)
+        data_lines = text.splitlines()[3:]
+        assert len(data_lines) == 2
+
+
+class TestFinancialRendering:
+    def test_paper_values_present(self):
+        assessment = assess("dpfdelete", pae=1406, ppia=360.0, vcu=50.0,
+                            competitors=3)
+        text = render_financial(assessment)
+        assert "1,406" in text
+        assert "506,160" in text
+        assert "145,287" in text or "145,286" in text
+
+
+class TestTaraRendering:
+    def test_sorted_by_risk(self, fig4_network):
+        data = TaraEngine(fig4_network).run()
+        text = render_tara(data, min_risk=3)
+        assert "Risk" in text
+        # count lines respects the filter
+        assert str(len([r for r in data.records if r.risk_value >= 3])) in text
+
+    def test_limit(self, fig4_network):
+        data = TaraEngine(fig4_network).run()
+        text = render_tara(data, limit=5)
+        assert len(text.splitlines()) == 2 + 5 + 1  # title + header + divider...
+
+    def test_empty_filter_renders_header(self, fig4_network):
+        data = TaraEngine(fig4_network).run()
+        text = render_tara(data, min_risk=5)
+        assert "TARA" in text

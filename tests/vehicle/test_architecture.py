@@ -1,0 +1,77 @@
+"""Tests for the Fig. 4 reference architecture."""
+
+import pytest
+
+from repro.iso21434.enums import AttackVector
+from repro.vehicle.architecture import reference_architecture, scaled_architecture
+from repro.vehicle.domains import VehicleDomain
+
+
+@pytest.fixture(scope="module")
+def net():
+    return reference_architecture()
+
+
+class TestReferenceArchitecture:
+    def test_fig4_ecus_present(self, net):
+        ids = {e.ecu_id for e in net.ecus}
+        for expected in ("ecm", "tcm", "defc", "scu", "bcu", "bcm", "lcm",
+                         "scm", "dcu", "wcu", "icm", "tcu", "v2x", "gateway"):
+            assert expected in ids
+
+    def test_obd_attached_to_powertrain_can(self, net):
+        # The paper's argument hinges on this: the OBD port sits on the
+        # powertrain CAN, "easily accessible in the cabin".
+        assert "can.powertrain" in net.neighbors("obd_port")
+
+    def test_powertrain_ecus_on_powertrain_can(self, net):
+        for ecu_id in ("ecm", "tcm", "defc"):
+            assert "can.powertrain" in net.neighbors(ecu_id)
+
+    def test_gateway_bridges_every_bus(self, net):
+        neighbors = net.neighbors("gateway")
+        assert set(neighbors) == {b.bus_id for b in net.buses}
+
+    def test_entry_point_vectors(self, net):
+        assert net.entry_point("obd_port").vector is AttackVector.LOCAL
+        assert net.entry_point("cellular").vector is AttackVector.NETWORK
+        assert net.entry_point("bluetooth").vector is AttackVector.ADJACENT
+        assert net.entry_point("bench.ecm").vector is AttackVector.PHYSICAL
+
+    def test_every_ecu_reachable_from_obd(self, net):
+        reachable = set(net.reachable_from("obd_port"))
+        assert {e.ecu_id for e in net.ecus} == reachable
+
+    def test_powertrain_ecus_safety_critical_non_fota(self, net):
+        for ecu_id in ("ecm", "tcm", "defc"):
+            ecu = net.ecu(ecu_id)
+            assert ecu.safety_critical
+            assert not ecu.fota_capable
+
+    def test_tcu_is_fota_with_network_interface(self, net):
+        tcu = net.ecu("tcu")
+        assert tcu.fota_capable
+        assert AttackVector.NETWORK in tcu.external_interfaces
+
+    def test_powertrain_can_segmented(self, net):
+        assert net.bus("can.powertrain").segmented
+
+
+class TestScaledArchitecture:
+    def test_size(self):
+        net = scaled_architecture(domains=3, ecus_per_domain=4)
+        # gateway + 3x4 ECUs
+        assert len(net.ecus) == 13
+        assert len(net.buses) == 3
+
+    def test_obd_present(self):
+        net = scaled_architecture(domains=2, ecus_per_domain=2)
+        assert net.entry_point("obd_port").vector is AttackVector.LOCAL
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            scaled_architecture(domains=0, ecus_per_domain=1)
+
+    def test_all_ecus_reachable(self):
+        net = scaled_architecture(domains=3, ecus_per_domain=3)
+        assert len(net.reachable_from("obd_port")) == len(net.ecus)

@@ -1,0 +1,107 @@
+"""Tests for graph attack-path enumeration."""
+
+import pytest
+
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import standard_table
+from repro.vehicle.architecture import reference_architecture
+from repro.vehicle.attack_surface import AttackSurfaceAnalyzer
+
+
+@pytest.fixture(scope="module")
+def net():
+    return reference_architecture()
+
+
+@pytest.fixture(scope="module")
+def analyzer(net):
+    return AttackSurfaceAnalyzer(net)
+
+
+class TestPathEnumeration:
+    def test_paths_exist_to_ecm(self, analyzer):
+        paths = analyzer.paths_to("ecm")
+        assert paths
+
+    def test_paths_start_at_entry_points(self, analyzer, net):
+        entry_ids = {e.entry_id for e in net.entry_points}
+        for path in analyzer.paths_to("ecm"):
+            assert path.steps[0].location in entry_ids
+
+    def test_paths_end_at_target(self, analyzer):
+        for path in analyzer.paths_to("ecm"):
+            assert path.steps[-1].location == "ecm"
+
+    def test_unknown_ecu_rejected(self, analyzer):
+        with pytest.raises(KeyError):
+            analyzer.paths_to("nope")
+
+    def test_path_ids_unique(self, analyzer):
+        paths = analyzer.paths_to("ecm")
+        ids = [p.path_id for p in paths]
+        assert len(ids) == len(set(ids))
+
+    def test_threat_id_propagates(self, analyzer):
+        paths = analyzer.paths_to("ecm", threat_id="ts.custom")
+        assert all(p.threat_id == "ts.custom" for p in paths)
+
+
+class TestRating:
+    def test_direct_obd_path_keeps_entry_rating(self, analyzer):
+        # OBD (local, Low) attaches straight to the powertrain CAN: no
+        # gateway crossing, so the path stays at Low.
+        paths = analyzer.paths_to("ecm")
+        obd = [p for p in paths if p.steps[0].location == "obd_port"]
+        assert obd
+        direct = min(obd, key=lambda p: p.length)
+        assert direct.feasibility is FeasibilityRating.LOW
+
+    def test_bench_path_rated_very_low_static(self, analyzer):
+        paths = analyzer.paths_to("ecm")
+        bench = [p for p in paths if p.steps[0].location == "bench.ecm"]
+        assert bench
+        assert bench[0].feasibility is FeasibilityRating.VERY_LOW
+
+    def test_remote_path_to_ecm_degrades(self, analyzer):
+        # cellular (High) must pivot through the TCU and cross the
+        # filtering gateway onto the powertrain CAN: the path feasibility
+        # must end strictly below High.
+        paths = analyzer.paths_to("ecm")
+        cellular = [p for p in paths if p.steps[0].location == "cellular"]
+        assert cellular
+        for path in cellular:
+            assert path.feasibility < FeasibilityRating.HIGH
+
+    def test_static_ecm_report(self, analyzer):
+        report = analyzer.report("ecm")
+        assert report.feasibility is FeasibilityRating.LOW
+        assert report.best_path.steps[0].location == "obd_port"
+
+    def test_tuned_table_changes_ratings(self, net):
+        tuned = standard_table().with_rating(
+            AttackVector.PHYSICAL, FeasibilityRating.HIGH, source="psp"
+        )
+        analyzer = AttackSurfaceAnalyzer(net, table=tuned)
+        report = analyzer.report("ecm")
+        assert report.feasibility is FeasibilityRating.HIGH
+        assert report.best_path.steps[0].location == "bench.ecm"
+
+    def test_entry_vectors_ordered_by_feasibility(self, analyzer):
+        report = analyzer.report("ecm")
+        vectors = report.entry_vectors()
+        assert vectors[0] is AttackVector.LOCAL
+
+
+class TestSweep:
+    def test_sweep_covers_every_ecu(self, analyzer, net):
+        reports = analyzer.sweep()
+        assert set(reports) == {e.ecu_id for e in net.ecus}
+
+    def test_cutoff_validation(self, net):
+        with pytest.raises(ValueError):
+            AttackSurfaceAnalyzer(net, cutoff=1)
+
+    def test_icm_reachable_via_bluetooth(self, analyzer):
+        report = analyzer.report("icm")
+        entries = {p.steps[0].location for p in report.paths}
+        assert "bluetooth" in entries

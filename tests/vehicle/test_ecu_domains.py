@@ -1,0 +1,85 @@
+"""Tests for ECU attributes, buses and domain exposure."""
+
+import pytest
+
+from repro.iso21434.enums import AttackVector
+from repro.vehicle.bus import Bus, BusKind
+from repro.vehicle.domains import (
+    DOMAIN_EXPOSURE,
+    VehicleDomain,
+    is_plausible,
+    plausible_vectors,
+)
+from repro.vehicle.ecu import Ecu
+
+
+class TestDomains:
+    def test_powertrain_has_no_remote_exposure(self):
+        vectors = plausible_vectors(VehicleDomain.POWERTRAIN)
+        assert AttackVector.NETWORK not in vectors
+        assert AttackVector.PHYSICAL in vectors
+        assert AttackVector.LOCAL in vectors
+
+    def test_communication_has_remote_exposure(self):
+        vectors = plausible_vectors(VehicleDomain.COMMUNICATION)
+        assert AttackVector.NETWORK in vectors
+
+    def test_every_domain_covered(self):
+        for domain in VehicleDomain:
+            assert DOMAIN_EXPOSURE[domain]
+
+    def test_is_plausible(self):
+        assert is_plausible(VehicleDomain.POWERTRAIN, AttackVector.PHYSICAL)
+        assert not is_plausible(VehicleDomain.POWERTRAIN, AttackVector.NETWORK)
+
+
+class TestBus:
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            Bus("", "X", BusKind.CAN, VehicleDomain.BODY)
+
+    def test_bitrates_ordered(self):
+        assert (
+            BusKind.LIN.typical_bitrate_kbps
+            < BusKind.CAN.typical_bitrate_kbps
+            < BusKind.CAN_FD.typical_bitrate_kbps
+            < BusKind.ETHERNET.typical_bitrate_kbps
+        )
+
+
+class TestEcu:
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            Ecu("", "X", VehicleDomain.BODY)
+
+    def test_powertrain_non_fota_drops_network(self):
+        ecm = Ecu("ecm", "ECM", VehicleDomain.POWERTRAIN, fota_capable=False)
+        assert AttackVector.NETWORK not in ecm.plausible_vectors
+        assert AttackVector.PHYSICAL in ecm.plausible_vectors
+
+    def test_fota_powertrain_keeps_network_interface(self):
+        ecm = Ecu(
+            "ecm", "ECM", VehicleDomain.POWERTRAIN,
+            fota_capable=True,
+            external_interfaces=frozenset({AttackVector.NETWORK}),
+        )
+        assert AttackVector.NETWORK in ecm.plausible_vectors
+
+    def test_external_interfaces_extend_exposure(self):
+        dcu = Ecu(
+            "dcu", "Door Control", VehicleDomain.BODY,
+            external_interfaces=frozenset({AttackVector.ADJACENT}),
+        )
+        assert AttackVector.ADJACENT in dcu.plausible_vectors
+
+    def test_tcu_keeps_network(self):
+        tcu = Ecu(
+            "tcu", "Telematics", VehicleDomain.COMMUNICATION,
+            fota_capable=True,
+            external_interfaces=frozenset({AttackVector.NETWORK}),
+        )
+        assert AttackVector.NETWORK in tcu.plausible_vectors
+
+    def test_is_powertrain(self):
+        assert Ecu("e", "E", VehicleDomain.POWERTRAIN).is_powertrain
+        assert not Ecu("b", "B", VehicleDomain.BODY).is_powertrain

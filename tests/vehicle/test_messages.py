@@ -1,0 +1,166 @@
+"""Tests for the CAN message/signal catalogue."""
+
+import pytest
+
+from repro.iso21434.enums import CybersecurityProperty, StrideCategory
+from repro.vehicle.architecture import reference_architecture
+from repro.vehicle.messages import (
+    CanMessage,
+    MessageCatalog,
+    Signal,
+    message_assets,
+    message_threats,
+    powertrain_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return reference_architecture()
+
+
+@pytest.fixture()
+def catalog(net):
+    return powertrain_catalog(net)
+
+
+class TestSignal:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Signal("", 0, 8)
+        with pytest.raises(ValueError):
+            Signal("x", 70, 8)
+        with pytest.raises(ValueError):
+            Signal("x", 0, 0)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            Signal("x", 60, 8)
+
+
+class TestCanMessage:
+    def test_id_range(self):
+        with pytest.raises(ValueError):
+            CanMessage(can_id=0x20000000, name="x", bus_id="b",
+                       sender="e", receivers=())
+
+    def test_duplicate_signal_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CanMessage(
+                can_id=1, name="x", bus_id="b", sender="e", receivers=(),
+                signals=(Signal("a", 0, 8), Signal("a", 8, 8)),
+            )
+
+    def test_is_periodic(self):
+        periodic = CanMessage(can_id=1, name="x", bus_id="b", sender="e",
+                              receivers=(), cycle_ms=10)
+        event = CanMessage(can_id=2, name="y", bus_id="b", sender="e",
+                           receivers=(), cycle_ms=0)
+        assert periodic.is_periodic
+        assert not event.is_periodic
+
+
+class TestCatalog:
+    def test_reference_catalog_size(self, catalog):
+        assert len(catalog) == 5
+
+    def test_duplicate_id_rejected(self, net, catalog):
+        with pytest.raises(ValueError, match="duplicate CAN id"):
+            catalog.add(
+                CanMessage(can_id=0x0C0, name="Clash",
+                           bus_id="can.powertrain", sender="ecm",
+                           receivers=("tcm",))
+            )
+
+    def test_sender_must_be_on_bus(self, net):
+        catalog = MessageCatalog(net)
+        with pytest.raises(ValueError, match="not attached"):
+            catalog.add(
+                CanMessage(can_id=0x100, name="Wrong",
+                           bus_id="can.powertrain", sender="icm",
+                           receivers=())
+            )
+
+    def test_unknown_bus_rejected(self, net):
+        catalog = MessageCatalog(net)
+        with pytest.raises(KeyError):
+            catalog.add(
+                CanMessage(can_id=0x100, name="x", bus_id="can.nope",
+                           sender="ecm", receivers=())
+            )
+
+    def test_queries(self, catalog):
+        assert len(catalog.on_bus("can.powertrain")) == 5
+        assert len(catalog.sent_by("ecm")) == 2
+        assert catalog.get(0x0C0).name == "EngineTorque1"
+        with pytest.raises(KeyError):
+            catalog.get(0x999)
+
+    def test_all_reference_frames_unauthenticated(self, catalog):
+        # The paper's premise: legacy powertrain CAN has no authentication.
+        assert len(catalog.unauthenticated()) == 5
+
+    def test_bus_load(self, catalog):
+        # two 10ms frames (100 Hz each) + two 100ms frames (10 Hz each)
+        assert catalog.bus_load_estimate("can.powertrain") == pytest.approx(220.0)
+
+
+class TestDerivedAssets:
+    def test_one_asset_per_frame(self, catalog):
+        assets = message_assets(catalog)
+        assert len(assets) == len(catalog)
+
+    def test_periodic_frames_need_availability(self, catalog):
+        assets = {a.asset_id: a for a in message_assets(catalog)}
+        torque = assets["ecm.msg.0x0c0"]
+        assert CybersecurityProperty.AVAILABILITY in torque.properties
+
+    def test_diagnostic_frames_need_confidentiality(self, catalog):
+        assets = {a.asset_id: a for a in message_assets(catalog)}
+        uds = assets["gateway.msg.0x7e0"]
+        assert CybersecurityProperty.CONFIDENTIALITY in uds.properties
+
+
+class TestDerivedThreats:
+    def test_unauthenticated_frames_yield_spoofing(self, catalog):
+        threats = message_threats(catalog)
+        strides = {t.stride for t in threats}
+        assert StrideCategory.SPOOFING in strides
+        assert StrideCategory.TAMPERING in strides
+
+    def test_periodic_frames_yield_dos(self, catalog):
+        threats = message_threats(catalog)
+        dos = [t for t in threats
+               if t.stride is StrideCategory.DENIAL_OF_SERVICE]
+        periodic = [m for m in catalog if m.is_periodic]
+        assert len(dos) == len(periodic)
+
+    def test_diagnostic_frames_yield_disclosure(self, catalog):
+        threats = message_threats(catalog)
+        disclosure = [
+            t for t in threats
+            if t.stride is StrideCategory.INFORMATION_DISCLOSURE
+        ]
+        assert len(disclosure) == 1
+
+    def test_all_threats_insider(self, catalog):
+        # Powertrain message threats are owner-approved attacks (the
+        # paper's Insider/Rational-Local profiles).
+        assert all(t.is_owner_approved for t in message_threats(catalog))
+
+    def test_authenticated_frame_drops_spoofing(self, net):
+        catalog = MessageCatalog(net)
+        catalog.add(
+            CanMessage(can_id=0x200, name="SecureFrame",
+                       bus_id="can.powertrain", sender="ecm",
+                       receivers=("tcm",), cycle_ms=20, authenticated=True)
+        )
+        threats = message_threats(catalog)
+        strides = {t.stride for t in threats}
+        assert StrideCategory.SPOOFING not in strides
+        assert StrideCategory.DENIAL_OF_SERVICE in strides
+
+    def test_threat_ids_unique(self, catalog):
+        threats = message_threats(catalog)
+        ids = [t.threat_id for t in threats]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,97 @@
+"""Tests for the vehicle topology graph."""
+
+import pytest
+
+from repro.iso21434.enums import AttackVector
+from repro.vehicle.bus import Bus, BusKind
+from repro.vehicle.domains import VehicleDomain
+from repro.vehicle.ecu import Ecu
+from repro.vehicle.network import EntryPoint, NodeKind, VehicleNetwork
+
+
+@pytest.fixture()
+def small_net() -> VehicleNetwork:
+    net = VehicleNetwork("test")
+    net.add_ecu(Ecu("gw", "Gateway", VehicleDomain.GATEWAY))
+    net.add_ecu(Ecu("ecm", "ECM", VehicleDomain.POWERTRAIN, safety_critical=True))
+    net.add_bus(Bus("can0", "Powertrain CAN", BusKind.CAN, VehicleDomain.POWERTRAIN))
+    net.add_bus(Bus("can1", "Body CAN", BusKind.CAN, VehicleDomain.BODY))
+    net.add_entry_point(EntryPoint("obd", "OBD Port", AttackVector.LOCAL))
+    net.attach("ecm", "can0")
+    net.attach("gw", "can0")
+    net.attach("gw", "can1")
+    net.attach("obd", "can0")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self, small_net):
+        with pytest.raises(ValueError, match="duplicate"):
+            small_net.add_ecu(Ecu("ecm", "ECM2", VehicleDomain.POWERTRAIN))
+
+    def test_duplicate_across_kinds_rejected(self, small_net):
+        with pytest.raises(ValueError, match="duplicate"):
+            small_net.add_bus(
+                Bus("ecm", "X", BusKind.CAN, VehicleDomain.BODY)
+            )
+
+    def test_attach_unknown_node(self, small_net):
+        with pytest.raises(KeyError):
+            small_net.attach("ecm", "nope")
+
+    def test_self_attach_rejected(self, small_net):
+        with pytest.raises(ValueError, match="itself"):
+            small_net.attach("ecm", "ecm")
+
+    def test_empty_id_rejected(self):
+        net = VehicleNetwork()
+        with pytest.raises(ValueError):
+            net.add_ecu(Ecu("", "X", VehicleDomain.BODY))
+
+
+class TestLookup:
+    def test_typed_lookups(self, small_net):
+        assert small_net.ecu("ecm").name == "ECM"
+        assert small_net.bus("can0").kind is BusKind.CAN
+        assert small_net.entry_point("obd").vector is AttackVector.LOCAL
+
+    def test_unknown_lookups(self, small_net):
+        with pytest.raises(KeyError):
+            small_net.ecu("nope")
+        with pytest.raises(KeyError):
+            small_net.bus("nope")
+        with pytest.raises(KeyError):
+            small_net.entry_point("nope")
+
+    def test_node_kind(self, small_net):
+        assert small_net.node_kind("ecm") is NodeKind.ECU
+        assert small_net.node_kind("can0") is NodeKind.BUS
+        assert small_net.node_kind("obd") is NodeKind.ENTRY_POINT
+
+    def test_collections(self, small_net):
+        assert len(small_net.ecus) == 2
+        assert len(small_net.buses) == 2
+        assert len(small_net.entry_points) == 1
+
+
+class TestQueries:
+    def test_neighbors_sorted(self, small_net):
+        assert small_net.neighbors("can0") == ("ecm", "gw", "obd")
+
+    def test_buses_of(self, small_net):
+        buses = small_net.buses_of("gw")
+        assert {b.bus_id for b in buses} == {"can0", "can1"}
+
+    def test_reachable_from(self, small_net):
+        assert small_net.reachable_from("obd") == ("ecm", "gw")
+
+    def test_simple_paths(self, small_net):
+        paths = list(small_net.simple_paths("obd", "ecm"))
+        assert ["obd", "can0", "ecm"] in paths
+
+    def test_hop_distance(self, small_net):
+        assert small_net.hop_distance("obd", "ecm") == 2
+
+    def test_simple_paths_unknown_node(self, small_net):
+        with pytest.raises(KeyError):
+            list(small_net.simple_paths("nope", "ecm"))

@@ -1,0 +1,126 @@
+"""Tests for UDS diagnostic-session modelling."""
+
+import pytest
+
+from repro.iso21434.controls import apply_controls
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import WeightTable
+from repro.vehicle.uds import (
+    DiagnosticProfile,
+    SecurityAccessLevel,
+    UdsService,
+    hardened_profile,
+    hardening_control,
+    legacy_profile,
+)
+
+
+def psp_table() -> WeightTable:
+    return WeightTable(
+        {
+            AttackVector.NETWORK: FeasibilityRating.VERY_LOW,
+            AttackVector.ADJACENT: FeasibilityRating.VERY_LOW,
+            AttackVector.LOCAL: FeasibilityRating.HIGH,
+            AttackVector.PHYSICAL: FeasibilityRating.MEDIUM,
+        },
+        source="psp",
+    )
+
+
+class TestProfiles:
+    def test_requires_ecu_id(self):
+        with pytest.raises(ValueError):
+            DiagnosticProfile(ecu_id="")
+
+    def test_exposure_queries(self):
+        profile = legacy_profile("ecm")
+        assert profile.exposes(UdsService.REQUEST_DOWNLOAD)
+        assert profile.level_for(UdsService.ECU_RESET) is None
+
+    def test_legacy_gate_is_static_seed_key(self):
+        assert (
+            legacy_profile("ecm").reprogramming_gate
+            is SecurityAccessLevel.STATIC_SEED_KEY
+        )
+
+    def test_hardened_gate_is_challenge_response(self):
+        assert (
+            hardened_profile("ecm").reprogramming_gate
+            is SecurityAccessLevel.CHALLENGE_RESPONSE
+        )
+
+    def test_missing_chain_service_means_no_gate(self):
+        profile = DiagnosticProfile(
+            ecu_id="ecm",
+            gating={UdsService.REQUEST_DOWNLOAD: SecurityAccessLevel.NONE},
+        )
+        assert profile.reprogramming_gate is None
+
+    def test_weakest_chain_link_bounds_the_gate(self):
+        profile = DiagnosticProfile(
+            ecu_id="ecm",
+            gating={
+                UdsService.REQUEST_DOWNLOAD: SecurityAccessLevel.CHALLENGE_RESPONSE,
+                UdsService.TRANSFER_DATA: SecurityAccessLevel.NONE,
+                UdsService.ROUTINE_CONTROL: SecurityAccessLevel.CHALLENGE_RESPONSE,
+            },
+        )
+        # One open chain service breaks the whole gate.
+        assert profile.reprogramming_gate is SecurityAccessLevel.NONE
+
+    def test_service_ids_match_iso14229(self):
+        assert UdsService.SECURITY_ACCESS.sid == 0x27
+        assert UdsService.REQUEST_DOWNLOAD.sid == 0x34
+
+
+class TestHardeningControl:
+    def test_legacy_profile_yields_strength_one(self):
+        control = hardening_control(legacy_profile("ecm"))
+        assert control is not None
+        assert control.strength == 1
+        assert control.hardened_vectors == frozenset({AttackVector.LOCAL})
+
+    def test_hardened_profile_yields_strength_two(self):
+        control = hardening_control(hardened_profile("ecm"))
+        assert control.strength == 2
+
+    def test_open_chain_yields_none(self):
+        profile = DiagnosticProfile(
+            ecu_id="ecm",
+            gating={s: SecurityAccessLevel.NONE for s in UdsService},
+        )
+        assert hardening_control(profile) is None
+
+    def test_unexposed_chain_yields_none(self):
+        assert hardening_control(DiagnosticProfile(ecu_id="ecm")) is None
+
+
+class TestComposesWithControls:
+    def test_legacy_gating_drops_local_one_level(self):
+        control = hardening_control(legacy_profile("ecm"))
+        hardened = apply_controls(psp_table(), [control])
+        assert hardened.rating(AttackVector.LOCAL) is FeasibilityRating.MEDIUM
+
+    def test_challenge_response_drops_local_two_levels(self):
+        control = hardening_control(hardened_profile("ecm"))
+        hardened = apply_controls(psp_table(), [control])
+        assert hardened.rating(AttackVector.LOCAL) is FeasibilityRating.LOW
+
+    def test_paper_fig9c_story(self):
+        # Fig. 9-C: local attacks became High because the static seed-key
+        # gate is routinely bypassed.  Upgrading to challenge-response
+        # pushes the local rating back down — the engineering response
+        # PSP's output motivates.
+        legacy = apply_controls(
+            psp_table(), [hardening_control(legacy_profile("ecm"))]
+        )
+        upgraded = apply_controls(
+            psp_table(), [hardening_control(hardened_profile("ecm"))]
+        )
+        assert upgraded.rating(AttackVector.LOCAL) < legacy.rating(
+            AttackVector.LOCAL
+        )
+        # physical untouched by diagnostic hardening
+        assert upgraded.rating(AttackVector.PHYSICAL) is (
+            psp_table().rating(AttackVector.PHYSICAL)
+        )
