@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 from repro.core.config import PSPConfig, SAIWeights
 from repro.core.keywords import KeywordDatabase
 from repro.core.sai import SAIComputer, SAIList
-from repro.social.api import SocialMediaClient
+from repro.social.api import BatchQuery, SocialMediaClient
 
 
 @dataclass(frozen=True)
@@ -58,12 +58,25 @@ def sai_weight_ablation(
     region: str = "europe",
     mixes: Sequence[Tuple[str, SAIWeights]] = ABLATION_WEIGHT_MIXES,
 ) -> Dict[str, SAIList]:
-    """Compute the SAI under each weight mix (ablation A1)."""
+    """Compute the SAI under each weight mix (ablation A1).
+
+    The posts are identical across mixes, so they are batch-fetched once
+    and re-scored per mix via
+    :meth:`~repro.core.sai.SAIComputer.compute_from_posts` — one
+    platform pass for the whole ablation instead of one per mix.
+    """
     results = {}
+    if not len(database):
+        return {label: SAIList([]) for label, _ in mixes}
+    batch = client.search_many(
+        BatchQuery(keywords=database.keywords, region=region)
+    )
     for label, weights in mixes:
         config = PSPConfig(sai_weights=weights)
         computer = SAIComputer(client, config=config)
-        results[label] = computer.compute(database, region=region)
+        results[label] = computer.compute_from_posts(
+            database, batch.posts_by_keyword
+        )
     return results
 
 

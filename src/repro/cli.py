@@ -8,6 +8,8 @@ without writing code::
     python -m repro compare --scenario ecm --split-year 2022
     python -m repro financial --scenario excavator --keyword dpfdelete
     python -m repro tara --psp
+    python -m repro fleet --scenario excavator \
+        --applications excavator,agricultural_tractor,light_truck
 
 Every subcommand prints the same fixed-width tables the report module
 renders and exits 0 on success.
@@ -35,6 +37,7 @@ from repro.social import (
 from repro.tara import (
     TaraEngine,
     compare_runs,
+    fleet_taras,
     render_financial,
     render_sai,
     render_tara,
@@ -45,7 +48,7 @@ from repro.vehicle import reference_architecture
 SCENARIOS = ("excavator", "ecm", "truck")
 
 
-def _framework_for(scenario: str) -> PSPFramework:
+def _framework_for(scenario: str, *, cache: bool = False) -> PSPFramework:
     """Build the framework for one bundled scenario."""
     if scenario == "excavator":
         specs = excavator_specs()
@@ -70,7 +73,7 @@ def _framework_for(scenario: str) -> PSPFramework:
                 owner_approved=spec.owner_approved,
             )
         )
-    return PSPFramework(client, target, database=database)
+    return PSPFramework(client, target, database=database, cache=cache)
 
 
 def _window_from(args: argparse.Namespace) -> TimeWindow:
@@ -138,6 +141,45 @@ def _cmd_tara(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    psp = _framework_for(args.scenario, cache=True)
+    applications = [a.strip() for a in args.applications.split(",") if a.strip()]
+    if not applications:
+        print("error: --applications must name at least one application",
+              file=sys.stderr)
+        return 2
+    targets = tuple(
+        TargetApplication(application, args.region, "fleet")
+        for application in applications
+    )
+    fleet = psp.run_fleet(targets, window=_window_from(args))
+
+    network = reference_architecture()
+    report = fleet_taras(network, fleet)
+    disagreements = report.disagreements(network)
+
+    print(f"Fleet assessment — {len(fleet)} targets, "
+          f"{fleet.query_passes} platform query pass(es), "
+          f"window: {fleet.window.describe()}")
+    header = f"{'target':<40} {'top attack':<16} {'retuned':>8} {'disagree':>9}"
+    print(header)
+    print("-" * len(header))
+    for member in fleet:
+        description = member.target.describe()
+        ranking = member.sai.ranking()
+        top = ranking[0] if ranking and member.sai[0].score > 0 else "-"
+        retuned = len(member.tuning.changed_vectors())
+        moved = len(disagreements[description])
+        print(f"{description:<40} {top:<16} {retuned:>8} {moved:>9}")
+    stats = psp.cache_stats
+    if stats is not None:
+        query = stats["query"]
+        print(f"\nquery cache: {int(query['hits'])} hits / "
+              f"{int(query['lookups'])} lookups "
+              f"({query['hit_rate']:.0%} hit rate)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -188,6 +230,22 @@ def build_parser() -> argparse.ArgumentParser:
     tara.add_argument("--min-risk", type=int, default=3,
                       help="only print threats at or above this risk value")
     tara.set_defaults(handler=_cmd_tara)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="assess a fleet of targets in one pass over a shared corpus",
+    )
+    add_scenario(fleet)
+    fleet.add_argument(
+        "--applications",
+        default="excavator,agricultural_tractor,light_truck",
+        help="comma-separated fleet applications "
+             "(default: excavator,agricultural_tractor,light_truck)",
+    )
+    fleet.add_argument("--region", default="europe",
+                       help="shared fleet region (default: europe)")
+    fleet.add_argument("--since-year", type=int, default=None)
+    fleet.set_defaults(handler=_cmd_fleet)
 
     return parser
 

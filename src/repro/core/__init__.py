@@ -5,6 +5,12 @@ vector feasibility weights for insider threats (paper Figs. 7-9), plus
 the financial attack-feasibility model (Eqs. 1-7, Figs. 10-12).
 """
 
+from repro.core.cache import (
+    CachedClient,
+    CacheStats,
+    SAICache,
+    TTLCache,
+)
 from repro.core.classification import (
     ClassifiedEntry,
     InsiderOutsiderClassifier,
@@ -35,10 +41,25 @@ from repro.core.financial import (
     potential_attackers,
 )
 from repro.core.framework import PSPFramework, PSPRunResult
+from repro.core.pipeline import (
+    FinancialStage,
+    FleetMemberResult,
+    FleetResult,
+    LearnStage,
+    PipelineContext,
+    PipelineStage,
+    PSPPipeline,
+    QueryStage,
+    SAIStage,
+    SplitStage,
+    TuneStage,
+    run_fleet,
+)
 from repro.core.integration import (
     CombinationMode,
     CombinedFeasibility,
     combined_feasibility,
+    combined_feasibility_for_run,
     required_security_budget,
 )
 from repro.core.monitor import PSPMonitor, TrendAlert, VectorChange
@@ -75,6 +96,8 @@ from repro.core.weights import (
 __all__ = [
     "AttackKeyword",
     "BreakEvenAnalysis",
+    "CacheStats",
+    "CachedClient",
     "ClassifiedEntry",
     "CombinationMode",
     "CombinedFeasibility",
@@ -83,25 +106,38 @@ __all__ = [
     "FilterReport",
     "FilteringClient",
     "FinancialAssessment",
+    "FinancialStage",
+    "FleetMemberResult",
+    "FleetResult",
     "InsiderOutsiderClassifier",
     "InsiderOutsiderSplit",
     "KeywordDatabase",
     "KeywordError",
     "KeywordSource",
+    "LearnStage",
     "ModelInputError",
     "PAPER_SEED_KEYWORDS",
     "PSPConfig",
     "PSPError",
     "PSPFramework",
     "PSPMonitor",
+    "PSPPipeline",
     "PSPRunResult",
+    "PipelineContext",
+    "PipelineStage",
     "PostAuthenticityFilter",
+    "QueryStage",
     "RejectionReason",
+    "SAICache",
     "SAIComputer",
     "SAIEntry",
     "SAIList",
+    "SAIStage",
     "SAIWeights",
+    "SplitStage",
+    "TTLCache",
     "TargetApplication",
+    "TuneStage",
     "TimeWindow",
     "TrendAlert",
     "TrendInversion",
@@ -113,6 +149,7 @@ __all__ = [
     "assess",
     "break_even_point",
     "combined_feasibility",
+    "combined_feasibility_for_run",
     "detect_inversions",
     "financial_feasibility",
     "fixed_cost",
@@ -123,6 +160,7 @@ __all__ = [
     "potential_attackers",
     "rating_from_share",
     "required_security_budget",
+    "run_fleet",
     "tune_table_for_sai",
     "vector_trends",
     "yearly_shares",

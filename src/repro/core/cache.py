@@ -1,0 +1,517 @@
+"""Query and SAI result caching for high-throughput PSP runs.
+
+The PSP pipeline re-asks the social platform the same questions over and
+over: sliding-window monitoring (:class:`~repro.core.monitor.PSPMonitor`)
+re-mines ``start..N`` then ``start..N+1``, ablation sweeps evaluate five
+weight mixes over identical posts, and fleet runs repeat every query per
+target.  This module makes those repeats free:
+
+* :class:`TTLCache` — a small generic cache with per-entry TTL, an
+  injectable clock (tests use a fake), bounded size with FIFO eviction,
+  and hit/miss/eviction statistics.
+* :class:`CachedClient` — a :class:`~repro.social.api.SocialMediaClient`
+  decorator caching search results keyed on
+  ``(platform, keyword, region, time-window)``.  Year-aligned windows
+  are decomposed into per-calendar-year segments so *overlapping*
+  windows share cache entries: after mining 2015-2022, mining 2015-2023
+  only touches the platform for 2023.
+* :class:`SAICache` — memoises derived per-window results (SAI lists,
+  full pipeline runs) keyed on the keyword-database
+  :attr:`~repro.core.keywords.KeywordDatabase.version`, so keyword
+  learning or re-annotation invalidates stale entries automatically.
+
+The decorator style follows :mod:`repro.social.resilience`: wrapping is
+composable (``CachedClient(RetryingClient(platform))``) and the layers
+above see the unchanged client interface.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import time
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.social.api import (
+    BatchQuery,
+    BatchResult,
+    SearchQuery,
+    SocialMediaClient,
+)
+from repro.social.post import Post
+
+
+@dataclass
+class CacheStats:
+    """Observable cache behaviour, for tests, benches and operators."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups answered (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot for JSON reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class TTLCache:
+    """A bounded key→value cache with optional per-entry time-to-live.
+
+    Args:
+        ttl: seconds an entry stays valid; None means entries never
+            expire by age.
+        max_entries: size bound; the oldest entry is evicted when full
+            (None = unbounded).
+        clock: monotonic time source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        ttl: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._ttl = ttl
+        self._max_entries = max_entries
+        self._clock = clock
+        self._entries: Dict[Hashable, Tuple[float, Any]] = {}
+        self.stats = CacheStats()
+
+    def sibling(self) -> "TTLCache":
+        """A fresh empty cache with the same TTL/size/clock policy.
+
+        Lets one configured policy govern several stores (e.g. the query
+        cache and the SAI cache of a framework) without them sharing
+        entries or statistics.
+        """
+        return TTLCache(
+            ttl=self._ttl, max_entries=self._max_entries, clock=self._clock
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.peek(key) is not _MISSING
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value, counting the lookup; ``default`` on miss."""
+        value = self.peek(key)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return value
+
+    def peek(self, key: Hashable) -> Any:
+        """Like :meth:`get` but without touching hit/miss statistics."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return _MISSING
+        stored_at, value = entry
+        if self._ttl is not None and self._clock() - stored_at > self._ttl:
+            del self._entries[key]
+            self.stats.expirations += 1
+            return _MISSING
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value``, evicting the oldest entry when full."""
+        if (
+            self._max_entries is not None
+            and key not in self._entries
+            and len(self._entries) >= self._max_entries
+        ):
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.stats.evictions += 1
+        self._entries[key] = (self._clock(), value)
+
+    def invalidate(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``."""
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            del self._entries[key]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries removed."""
+        return self.invalidate(lambda _key: True)
+
+
+#: Sentinel distinguishing "cached None" from "not cached".
+_MISSING = object()
+
+
+def _year_span(query: SearchQuery) -> Optional[Tuple[int, int]]:
+    """The (first, last) calendar years of a year-aligned bounded window.
+
+    Returns None when the window is unbounded, not aligned to calendar
+    years, or the query carries a limit (truncation does not distribute
+    over segment concatenation).
+    """
+    if query.limit is not None:
+        return None
+    since, until = query.since, query.until
+    if since is None or until is None:
+        return None
+    if (since.month, since.day) != (1, 1) or (until.month, until.day) != (12, 31):
+        return None
+    return since.year, until.year
+
+
+@dataclass(frozen=True)
+class _SegmentKey:
+    """Cache key of one (platform, keyword, region, calendar-year) segment."""
+
+    platform: str
+    keyword: str
+    region: Optional[str]
+    year: int
+
+
+@dataclass(frozen=True)
+class _WindowKey:
+    """Cache key of one non-decomposable whole-window query."""
+
+    platform: str
+    keyword: str
+    region: Optional[str]
+    since: Optional[dt.date]
+    until: Optional[dt.date]
+    limit: Optional[int]
+    operation: str = "search"
+
+
+class CachedClient(SocialMediaClient):
+    """Caching decorator over any :class:`SocialMediaClient`.
+
+    Search results are cached per ``(platform, keyword, region,
+    time-window)``.  Windows aligned to calendar years are stored as
+    per-year *segments*: a query for 2015-2023 is answered by
+    concatenating the nine year segments, fetching only the ones not yet
+    cached.  Sliding and growing windows — the monitor's workload — thus
+    re-mine only the years they newly cover instead of the whole window.
+
+    Args:
+        inner: the platform client actually hitting the backend.
+        cache: the entry store; a fresh unbounded no-TTL
+            :class:`TTLCache` by default.  Pass a shared instance to let
+            several clients (or a client and its introspecting test)
+            share entries and statistics.
+        platform: label namespacing this client's keys inside a shared
+            cache.
+    """
+
+    def __init__(
+        self,
+        inner: SocialMediaClient,
+        *,
+        cache: Optional[TTLCache] = None,
+        platform: str = "default",
+    ) -> None:
+        self._inner = inner
+        self._cache = cache if cache is not None else TTLCache()
+        self._platform = platform
+
+    @property
+    def inner(self) -> SocialMediaClient:
+        """The wrapped client."""
+        return self._inner
+
+    @property
+    def cache(self) -> TTLCache:
+        """The backing entry store (shared statistics live here)."""
+        return self._cache
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss statistics of the backing store."""
+        return self._cache.stats
+
+    # -- key construction ----------------------------------------------------
+
+    def _window_key(self, query: SearchQuery, operation: str = "search") -> _WindowKey:
+        return _WindowKey(
+            platform=self._platform,
+            keyword=query.keyword,
+            region=query.region,
+            since=query.since,
+            until=query.until,
+            limit=query.limit,
+            operation=operation,
+        )
+
+    def _segment_keys(self, query: SearchQuery) -> Optional[List[_SegmentKey]]:
+        span = _year_span(query)
+        if span is None:
+            return None
+        first, last = span
+        return [
+            _SegmentKey(
+                platform=self._platform,
+                keyword=query.keyword,
+                region=query.region,
+                year=year,
+            )
+            for year in range(first, last + 1)
+        ]
+
+    @staticmethod
+    def _segment_query(query: SearchQuery, year: int) -> SearchQuery:
+        return SearchQuery(
+            keyword=query.keyword,
+            since=dt.date(year, 1, 1),
+            until=dt.date(year, 12, 31),
+            region=query.region,
+        )
+
+    # -- client interface ----------------------------------------------------
+
+    def search(self, query: SearchQuery) -> List[Post]:
+        """Cached search; only uncovered year segments hit the platform."""
+        segments = self._segment_keys(query)
+        if segments is None:
+            key = self._window_key(query)
+            cached = self._cache.get(key, _MISSING)
+            if cached is not _MISSING:
+                return list(cached)
+            posts = tuple(self._inner.search(query))
+            self._cache.put(key, posts)
+            return list(posts)
+
+        out: List[Post] = []
+        for key in segments:
+            cached = self._cache.get(key, _MISSING)
+            if cached is _MISSING:
+                cached = tuple(
+                    self._inner.search(self._segment_query(query, key.year))
+                )
+                self._cache.put(key, cached)
+            out.extend(cached)
+        return out
+
+    def count_by_year(self, query: SearchQuery) -> Dict[int, int]:
+        """Cached per-year counts (whole-window granularity)."""
+        key = self._window_key(query, operation="count")
+        cached = self._cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            return dict(cached)
+        counts = dict(self._inner.count_by_year(query))
+        self._cache.put(key, counts)
+        return dict(counts)
+
+    def search_many(self, batch: BatchQuery) -> BatchResult:
+        """Batched search fetching only the uncovered (keyword, year) cells.
+
+        For year-aligned windows the batch is resolved as a keyword×year
+        grid of cache segments; the missing cells are grouped by year and
+        fetched as one inner batch per year, so platform-side batching
+        (shared corpus scope, bulk endpoints) still applies and a growing
+        window re-mines only its newest year.  Non-decomposable windows
+        fall back to one whole-window inner batch over the missed
+        keywords.
+        """
+        probe = batch.query_for(batch.keywords[0])
+        span = _year_span(probe)
+        if span is None:
+            return self._search_many_whole_window(batch)
+
+        first, last = span
+        grid: Dict[Tuple[str, int], Tuple[Post, ...]] = {}
+        missing_by_year: Dict[int, List[str]] = {}
+        for keyword in batch.keywords:
+            for year in range(first, last + 1):
+                key = _SegmentKey(
+                    platform=self._platform,
+                    keyword=keyword,
+                    region=batch.region,
+                    year=year,
+                )
+                cached = self._cache.get(key, _MISSING)
+                if cached is _MISSING:
+                    missing_by_year.setdefault(year, []).append(keyword)
+                else:
+                    grid[(keyword, year)] = cached
+
+        for year, keywords in missing_by_year.items():
+            fetched = self._inner.search_many(
+                BatchQuery(
+                    keywords=tuple(keywords),
+                    since=dt.date(year, 1, 1),
+                    until=dt.date(year, 12, 31),
+                    region=batch.region,
+                )
+            )
+            for keyword in keywords:
+                posts = fetched.posts(keyword)
+                self._cache.put(
+                    _SegmentKey(
+                        platform=self._platform,
+                        keyword=keyword,
+                        region=batch.region,
+                        year=year,
+                    ),
+                    posts,
+                )
+                grid[(keyword, year)] = posts
+
+        results: Dict[str, Tuple[Post, ...]] = {}
+        for keyword in batch.keywords:
+            out: List[Post] = []
+            for year in range(first, last + 1):
+                out.extend(grid[(keyword, year)])
+            results[keyword] = tuple(out)
+        return BatchResult(posts_by_keyword=results)
+
+    def _search_many_whole_window(self, batch: BatchQuery) -> BatchResult:
+        """Fallback batch path caching at whole-window granularity."""
+        results: Dict[str, Tuple[Post, ...]] = {}
+        missing: List[str] = []
+        for keyword in batch.keywords:
+            cached = self._cache.get(
+                self._window_key(batch.query_for(keyword)), _MISSING
+            )
+            if cached is _MISSING:
+                missing.append(keyword)
+            else:
+                results[keyword] = tuple(cached)
+        if missing:
+            fetched = self._inner.search_many(batch.restricted_to(missing))
+            for keyword in missing:
+                posts = fetched.posts(keyword)
+                self._cache.put(self._window_key(batch.query_for(keyword)), posts)
+                results[keyword] = posts
+        # Preserve batch keyword order in the result mapping.
+        return BatchResult(
+            posts_by_keyword={k: results[k] for k in batch.keywords}
+        )
+
+    def invalidate_keyword(self, keyword: str) -> int:
+        """Drop every cached entry for one keyword (any window/region)."""
+        return self._cache.invalidate(
+            lambda key: getattr(key, "keyword", None) == keyword
+            and getattr(key, "platform", None) == self._platform
+        )
+
+
+@dataclass(frozen=True)
+class _SAIKey:
+    """Cache key for a derived per-window result."""
+
+    database_version: int
+    region: Optional[str]
+    since: Optional[dt.date]
+    until: Optional[dt.date]
+    tag: str
+
+
+class SAICache:
+    """Memoises SAI lists (or whole pipeline runs) per analysis window.
+
+    Keys embed the keyword database's
+    :attr:`~repro.core.keywords.KeywordDatabase.version`, so any
+    mutation — a learned hashtag, a new manual entry, a re-annotation —
+    makes previous entries unreachable: invalidation-on-keyword-learning
+    without the database knowing about its caches.  Unreachable stale
+    entries are garbage-collected on the next :meth:`put`.
+    """
+
+    def __init__(self, cache: Optional[TTLCache] = None) -> None:
+        self._cache = cache if cache is not None else TTLCache()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss statistics of the backing store."""
+        return self._cache.stats
+
+    @staticmethod
+    def _key(
+        database_version: int,
+        *,
+        region: Optional[str],
+        since: Optional[dt.date],
+        until: Optional[dt.date],
+        tag: str,
+    ) -> _SAIKey:
+        return _SAIKey(
+            database_version=database_version,
+            region=region,
+            since=since,
+            until=until,
+            tag=tag,
+        )
+
+    def get(
+        self,
+        database_version: int,
+        *,
+        region: Optional[str] = None,
+        since: Optional[dt.date] = None,
+        until: Optional[dt.date] = None,
+        tag: str = "sai",
+    ) -> Any:
+        """The cached result for this exact (version, window) or None."""
+        key = self._key(
+            database_version, region=region, since=since, until=until, tag=tag
+        )
+        value = self._cache.get(key, _MISSING)
+        return None if value is _MISSING else value
+
+    def put(
+        self,
+        database_version: int,
+        value: Any,
+        *,
+        region: Optional[str] = None,
+        since: Optional[dt.date] = None,
+        until: Optional[dt.date] = None,
+        tag: str = "sai",
+    ) -> None:
+        """Store a derived result, dropping entries of older DB versions."""
+        self._cache.invalidate(
+            lambda key: isinstance(key, _SAIKey)
+            and key.database_version < database_version
+        )
+        key = self._key(
+            database_version, region=region, since=since, until=until, tag=tag
+        )
+        self._cache.put(key, value)
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries removed."""
+        return self._cache.clear()

@@ -18,13 +18,21 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.cache import CachedClient, CacheStats, SAICache, TTLCache
 from repro.core.classification import InsiderOutsiderClassifier, InsiderOutsiderSplit
 from repro.core.config import PSPConfig, TargetApplication
 from repro.core.errors import DataUnavailableError
 from repro.core.financial import FinancialAssessment, assess, potential_attackers
 from repro.core.keywords import AttackKeyword, KeywordDatabase, paper_seed_database
+from repro.core.pipeline import (
+    FleetResult,
+    LearnStage,
+    PipelineContext,
+    PSPPipeline,
+    run_fleet,
+)
 from repro.core.sai import SAIComputer, SAIList
 from repro.core.timewindow import TimeWindow, TrendInversion, detect_inversions
 from repro.core.weights import TuningOutcome, WeightTuner
@@ -33,7 +41,7 @@ from repro.market.pricing import PriceCatalog, default_price_catalog, variable_c
 from repro.market.reports import ReportLibrary, default_report_library
 from repro.market.sales import SalesDatabase, default_sales_database
 from repro.nlp.textmining import find_count
-from repro.social.api import SearchQuery, SocialMediaClient
+from repro.social.api import SocialMediaClient
 
 
 @dataclass(frozen=True)
@@ -73,6 +81,12 @@ class PSPFramework:
         reports: annual-report library for attacker rates and competitor
             counts.
         prices: listing catalogue for PPIA.
+        cache: enable query + SAI result caching.  ``True`` creates a
+            private unbounded store; passing a :class:`TTLCache` shares
+            its entries/TTL policy.  With caching on, overlapping
+            analysis windows (the monitor's growing window, fleet
+            sweeps) reuse year-segment query results, and pipeline runs
+            are memoised until the keyword database changes.
     """
 
     def __init__(
@@ -85,7 +99,15 @@ class PSPFramework:
         sales: Optional[SalesDatabase] = None,
         reports: Optional[ReportLibrary] = None,
         prices: Optional[PriceCatalog] = None,
+        cache: Union[bool, TTLCache] = False,
     ) -> None:
+        self._sai_cache: Optional[SAICache] = None
+        # NB: an empty TTLCache is falsy (it defines __len__), so test
+        # for the instance explicitly rather than truthiness.
+        if isinstance(cache, TTLCache) or cache is True:
+            store = cache if isinstance(cache, TTLCache) else TTLCache()
+            client = CachedClient(client, cache=store)
+            self._sai_cache = SAICache(store.sibling())
         self._client = client
         self._target = target
         self._config = config or PSPConfig()
@@ -107,39 +129,77 @@ class PSPFramework:
         """The configured target application."""
         return self._target
 
+    @property
+    def client(self) -> SocialMediaClient:
+        """The social client in force (the cache wrapper when enabled)."""
+        return self._client
+
+    @property
+    def cache_stats(self) -> Optional[Dict[str, Dict[str, float]]]:
+        """Query/SAI cache statistics, or None when caching is off."""
+        if self._sai_cache is None:
+            return None
+        query_stats: CacheStats = self._client.stats  # type: ignore[attr-defined]
+        return {
+            "query": query_stats.as_dict(),
+            "sai": self._sai_cache.stats.as_dict(),
+        }
+
+    def _context(self, window: TimeWindow) -> PipelineContext:
+        """A fresh pipeline context bound to this framework's state."""
+        return PipelineContext(
+            client=self._client,
+            target=self._target,
+            database=self._database,
+            config=self._config,
+            window=window,
+        )
+
     # -- pipeline steps ----------------------------------------------------
 
     def compute_sai(self, window: Optional[TimeWindow] = None) -> SAIList:
-        """Compute the SAI list for the target within ``window``."""
+        """Compute the SAI list for the target within ``window``.
+
+        With caching enabled, repeats of the same (database version,
+        window) are served from the SAI cache without touching the
+        platform or the scorer.
+        """
         w = window or TimeWindow.full_history()
-        return self._sai_computer.compute(
+        if self._sai_cache is not None:
+            cached = self._sai_cache.get(
+                self._database.version,
+                region=self._target.region,
+                since=w.since,
+                until=w.until,
+                tag="sai",
+            )
+            if cached is not None:
+                return cached
+        sai = self._sai_computer.compute(
             self._database,
             region=self._target.region,
             since=w.since,
             until=w.until,
         )
+        if self._sai_cache is not None:
+            self._sai_cache.put(
+                self._database.version,
+                sai,
+                region=self._target.region,
+                since=w.since,
+                until=w.until,
+                tag="sai",
+            )
+        return sai
 
     def learn_keywords(
         self, window: Optional[TimeWindow] = None
     ) -> List[AttackKeyword]:
         """Run one auto-learning pass over posts matching known keywords."""
         w = window or TimeWindow.full_history()
-        texts: List[str] = []
-        for entry in self._database:
-            posts = self._client.search(
-                SearchQuery(
-                    keyword=entry.keyword,
-                    region=self._target.region,
-                    since=w.since,
-                    until=w.until,
-                )
-            )
-            texts.extend(p.text for p in posts)
-        return self._database.learn_from_texts(
-            texts,
-            min_support=self._config.learning_min_support,
-            max_new=self._config.learning_max_new,
-        )
+        context = self._context(w)
+        LearnStage().run(context)
+        return list(context.learned)
 
     def run(
         self,
@@ -147,19 +207,81 @@ class PSPFramework:
         *,
         learn: bool = True,
     ) -> PSPRunResult:
-        """Execute the full Fig. 7 pipeline for one time window."""
+        """Execute the full Fig. 7 pipeline for one time window.
+
+        The flow is the default stage pipeline
+        (learn → query → sai → split → tune); with caching enabled the
+        post-learning stages are memoised per (database version, window)
+        — keyword learning bumps the version, so a run that actually
+        learned something recomputes, while repeat runs over unchanged
+        knowledge are free.
+        """
         w = window or TimeWindow.full_history()
-        learned = tuple(self.learn_keywords(w)) if learn else ()
-        sai = self.compute_sai(w)
-        split = self._classifier.split(sai)
-        tuning = self._tuner.tune(split, window_label=w.describe())
+        context = self._context(w)
+        if learn:
+            LearnStage().run(context)
+        learned = context.learned
+
+        if self._sai_cache is not None:
+            cached = self._sai_cache.get(
+                self._database.version,
+                region=self._target.region,
+                since=w.since,
+                until=w.until,
+                tag="run",
+            )
+            if cached is not None:
+                sai, split, tuning = cached
+                return PSPRunResult(
+                    target=self._target,
+                    window=w,
+                    sai=sai,
+                    split=split,
+                    tuning=tuning,
+                    learned_keywords=learned,
+                )
+
+        PSPPipeline.default(learn=False).run(context)
+        sai, split, tuning = context.sai, context.split, context.tuning
+        if self._sai_cache is not None:
+            self._sai_cache.put(
+                self._database.version,
+                (sai, split, tuning),
+                region=self._target.region,
+                since=w.since,
+                until=w.until,
+                tag="run",
+            )
         return PSPRunResult(
             target=self._target,
             window=w,
             sai=sai,
             split=split,
             tuning=tuning,
-            learned_keywords=learned,
+            learned_keywords=tuple(learned),
+        )
+
+    def run_fleet(
+        self,
+        targets: Sequence[TargetApplication],
+        *,
+        window: Optional[TimeWindow] = None,
+        learn: bool = False,
+    ) -> FleetResult:
+        """Assess a fleet of targets in one pass over the shared corpus.
+
+        Delegates to :func:`repro.core.pipeline.run_fleet` with this
+        framework's client, database and config; targets sharing a
+        region share one batched query pass (and, with caching enabled,
+        later fleets reuse the cached segments too).
+        """
+        return run_fleet(
+            self._client,
+            targets,
+            database=self._database,
+            config=self._config,
+            window=window,
+            learn=learn,
         )
 
     def compare_windows(

@@ -25,9 +25,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.errors import ModelInputError
 from repro.core.financial import FinancialAssessment
 from repro.iso21434.enums import AttackVector, FeasibilityRating
 from repro.iso21434.feasibility.attack_vector import WeightTable
+
+if TYPE_CHECKING:  # avoid a circular import with framework.py
+    from repro.core.framework import PSPRunResult
 
 
 class CombinationMode(enum.Enum):
@@ -99,6 +105,43 @@ def combined_feasibility(
         social=social,
         financial=financial,
         combined=merged,
+        mode=mode,
+    )
+
+
+def combined_feasibility_for_run(
+    result: "PSPRunResult",
+    keyword: str,
+    assessment: FinancialAssessment,
+    *,
+    mode: CombinationMode = CombinationMode.EITHER,
+) -> CombinedFeasibility:
+    """Merge the signals of one pipeline run's keyword.
+
+    Convenience wiring between the stage pipeline and the ISO
+    integration: the attack vector comes from the run's SAI entry
+    annotation and the social rating from its tuned insider table, so
+    callers holding a :class:`~repro.core.framework.PSPRunResult` (or a
+    fleet member's equivalent) don't re-plumb tables by hand.
+
+    Raises:
+        ModelInputError: when the keyword has no SAI entry or its entry
+            carries no attack-vector annotation.
+    """
+    try:
+        entry = result.sai.entry(keyword)
+    except KeyError as exc:
+        raise ModelInputError(str(exc)) from exc
+    if entry.vector is None:
+        raise ModelInputError(
+            f"keyword {keyword!r} has no attack-vector annotation; "
+            "annotate it before combining feasibility signals"
+        )
+    return combined_feasibility(
+        keyword,
+        entry.vector,
+        result.insider_table,
+        assessment,
         mode=mode,
     )
 

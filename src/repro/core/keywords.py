@@ -79,8 +79,19 @@ class KeywordDatabase:
 
     def __init__(self, entries: Iterable[AttackKeyword] = ()) -> None:
         self._entries: Dict[str, AttackKeyword] = {}
+        self._version = 0
         for entry in entries:
             self.add(entry)
+
+    @property
+    def version(self) -> int:
+        """Monotonic change counter, bumped by every mutation.
+
+        Caches of derived results (SAI lists, pipeline runs) key on this
+        so adding, learning or re-annotating a keyword invalidates them
+        without the database having to know its consumers.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -96,6 +107,7 @@ class KeywordDatabase:
         if entry.keyword in self._entries:
             raise KeywordError(f"keyword {entry.keyword!r} already present")
         self._entries[entry.keyword] = entry
+        self._version += 1
         return entry
 
     def get(self, keyword: str) -> AttackKeyword:
@@ -117,6 +129,7 @@ class KeywordDatabase:
         entry = self.get(keyword)
         updated = entry.annotated(vector=vector, owner_approved=owner_approved)
         self._entries[updated.keyword] = updated
+        self._version += 1
         return updated
 
     @property
@@ -161,6 +174,7 @@ class KeywordDatabase:
                 keyword=candidate.keyword, source=KeywordSource.LEARNED
             )
             self._entries[entry.keyword] = entry
+            self._version += 1
             added.append(entry)
         return added
 

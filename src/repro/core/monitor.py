@@ -10,6 +10,13 @@ reprocessing on a :class:`~repro.tara.lifecycle.LifecycleTracker`.
 
 The monitor is deliberately pull-based (the caller decides when a tick
 happens) so it composes with any scheduler, test harness or batch job.
+
+Monitoring windows grow: tick N covers ``start..N``, tick N+1 covers
+``start..N+1`` — almost entirely overlapping.  Build the framework with
+``cache=True`` (see :class:`~repro.core.framework.PSPFramework`) and
+each tick re-mines only the newly covered year; the earlier years are
+served from the year-segment query cache.  :attr:`PSPMonitor.cache_stats`
+exposes the resulting hit rates for operators.
 """
 
 from __future__ import annotations
@@ -91,6 +98,11 @@ class PSPMonitor:
     def current_table(self) -> Optional[WeightTable]:
         """The insider table from the latest tick (None before any tick)."""
         return self._last_table
+
+    @property
+    def cache_stats(self):
+        """The driven framework's cache statistics (None when uncached)."""
+        return self._framework.cache_stats
 
     def tick(self, upto_year: int) -> Optional[TrendAlert]:
         """Run one monitoring tick covering ``start_year..upto_year``.

@@ -27,13 +27,13 @@ being discussed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import PSPConfig
 from repro.core.keywords import AttackKeyword, KeywordDatabase
 from repro.iso21434.enums import AttackVector
 from repro.nlp.sentiment import SentimentAnalyzer
-from repro.social.api import SearchQuery, SocialMediaClient
+from repro.social.api import BatchQuery, SocialMediaClient
 from repro.social.post import Engagement, Post
 
 
@@ -163,15 +163,38 @@ class SAIComputer:
     ) -> SAIList:
         """Compute the SAI list over every keyword in ``database``.
 
-        Keywords with zero matching posts are retained with score 0 — an
-        absent topic is itself a (negative) finding.
+        Posts are fetched with one batched
+        :meth:`~repro.social.api.SocialMediaClient.search_many` call —
+        identical per-keyword results to sequential searches, one
+        platform round-trip.  Keywords with zero matching posts are
+        retained with score 0 — an absent topic is itself a (negative)
+        finding.
+        """
+        if not len(database):
+            return SAIList([])
+        batch = BatchQuery(
+            keywords=database.keywords, region=region, since=since, until=until
+        )
+        result = self._client.search_many(batch)
+        return self.compute_from_posts(database, result.posts_by_keyword)
+
+    def compute_from_posts(
+        self,
+        database: KeywordDatabase,
+        posts_by_keyword: Mapping[str, Sequence[Post]],
+    ) -> SAIList:
+        """Score a SAI list from already-fetched posts.
+
+        This is the pure scoring half of :meth:`compute`: callers that
+        batch-fetch once and evaluate many times — weight-mix ablation
+        sweeps, fleet runs sharing one corpus, cached pipelines — feed
+        the same ``posts_by_keyword`` mapping through different
+        computers without touching the platform again.  Keywords missing
+        from the mapping are treated as having no matching posts.
         """
         gathered: List[Tuple[AttackKeyword, Engagement, float, int]] = []
         for entry in database:
-            query = SearchQuery(
-                keyword=entry.keyword, region=region, since=since, until=until
-            )
-            posts = self._client.search(query)
+            posts = list(posts_by_keyword.get(entry.keyword, ()))
             engagement, sentiment = _gather_signals(posts, self._analyzer)
             gathered.append((entry, engagement, sentiment, len(posts)))
 

@@ -7,6 +7,8 @@ corpora used by the paper's experiments.
 """
 
 from repro.social.api import (
+    BatchQuery,
+    BatchResult,
     InMemoryClient,
     SearchQuery,
     SocialMediaClient,
@@ -40,6 +42,8 @@ from repro.social.synthetic import (
 
 __all__ = [
     "AttackTopicSpec",
+    "BatchQuery",
+    "BatchResult",
     "BestEffortClient",
     "Corpus",
     "CorpusGenerator",

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.social.api import SearchQuery, SocialMediaClient
+from repro.social.api import BatchQuery, BatchResult, SearchQuery, SocialMediaClient
 from repro.social.post import Engagement, Post
 
 
@@ -76,6 +76,18 @@ class MultiPlatformClient(SocialMediaClient):
         """Names of the aggregated platforms."""
         return tuple(s.name for s in self._sources)
 
+    @staticmethod
+    def _branded(source: PlatformSource, post: Post) -> Post:
+        """Namespace the post id with the platform and trust-scale engagement."""
+        return Post(
+            post_id=f"{source.name}:{post.post_id}",
+            text=post.text,
+            author=post.author,
+            created_at=post.created_at,
+            region=post.region,
+            engagement=_scaled(post.engagement, source.trust),
+        )
+
     def search(self, query: SearchQuery) -> List[Post]:
         """Search every platform and merge, oldest first.
 
@@ -85,18 +97,34 @@ class MultiPlatformClient(SocialMediaClient):
         merged: List[Post] = []
         for source in self._sources:
             for post in source.client.search(query):
-                merged.append(
-                    Post(
-                        post_id=f"{source.name}:{post.post_id}",
-                        text=post.text,
-                        author=post.author,
-                        created_at=post.created_at,
-                        region=post.region,
-                        engagement=_scaled(post.engagement, source.trust),
-                    )
-                )
+                merged.append(self._branded(source, post))
         merged.sort(key=lambda p: (p.created_at, p.post_id))
         return merged
+
+    def search_many(self, batch: BatchQuery) -> BatchResult:
+        """Fan one batch out per platform and merge per keyword.
+
+        Each platform client receives a single :meth:`search_many` call
+        (so platform-side batching — shared corpus scopes, bulk
+        endpoints, caches — is preserved across the fan-out), and the
+        per-keyword merge applies the same id-namespacing and
+        trust-scaling as :meth:`search`.  Because post ids are
+        platform-namespaced, :meth:`~repro.social.api.BatchResult.unique_posts`
+        deduplication works across the whole fleet of platforms.
+        """
+        per_platform = [
+            (source, source.client.search_many(batch)) for source in self._sources
+        ]
+        merged: Dict[str, List[Post]] = {}
+        for keyword in batch.keywords:
+            posts: List[Post] = []
+            for source, result in per_platform:
+                posts.extend(self._branded(source, p) for p in result.posts(keyword))
+            posts.sort(key=lambda p: (p.created_at, p.post_id))
+            merged[keyword] = posts
+        return BatchResult(
+            posts_by_keyword={k: tuple(v) for k, v in merged.items()}
+        )
 
     def count_by_year(self, query: SearchQuery) -> Dict[int, int]:
         """Summed per-year counts across all platforms."""

@@ -1,11 +1,13 @@
 """TARA engine layer: lifecycle, full-architecture runs and reporting."""
 
 from repro.tara.engine import (
+    FleetTaraReport,
     RatingDisagreement,
     TaraEngine,
     TaraRecord,
     TaraReportData,
     compare_runs,
+    fleet_taras,
 )
 from repro.tara.lifecycle import (
     REPROCESSING_PHASES,
@@ -22,6 +24,7 @@ from repro.tara.report import (
 )
 
 __all__ = [
+    "FleetTaraReport",
     "LifecycleTracker",
     "Phase",
     "REPROCESSING_PHASES",
@@ -32,6 +35,7 @@ __all__ = [
     "TaraRecord",
     "TaraReportData",
     "compare_runs",
+    "fleet_taras",
     "render_financial",
     "render_sai",
     "render_tara",

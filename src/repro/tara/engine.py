@@ -13,7 +13,11 @@ or a PSP-tuned table — experiment E10 diffs the two outputs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:  # imported lazily to avoid a core↔tara import cycle
+    from repro.core.framework import PSPRunResult
+    from repro.core.pipeline import FleetResult
 
 from repro.iso21434.assets import Asset, AssetRegistry, standard_ecu_assets
 from repro.iso21434.cal import determine_cal
@@ -156,6 +160,25 @@ class TaraEngine:
         self._insider_analyzer = AttackSurfaceAnalyzer(
             network, table=self._insider_table
         )
+
+    @classmethod
+    def from_psp(
+        cls,
+        network: VehicleNetwork,
+        result: "PSPRunResult",
+        **kwargs,
+    ) -> "TaraEngine":
+        """An engine using a PSP run's tuned insider table.
+
+        The standard table keeps governing outsider threats; only the
+        insider table comes from the social evidence — the paper's
+        static-outsider / dynamic-insider split, wired in one call::
+
+            engine = TaraEngine.from_psp(network, psp.run(window))
+
+        Extra keyword arguments pass through to the constructor.
+        """
+        return cls(network, insider_table=result.insider_table, **kwargs)
 
     @property
     def table(self) -> WeightTable:
@@ -318,6 +341,66 @@ class RatingDisagreement:
     def underestimated(self) -> bool:
         """True when the static model rated the threat *lower* than PSP."""
         return self.tuned_feasibility > self.static_feasibility
+
+
+@dataclass(frozen=True)
+class FleetTaraReport:
+    """TARA outcomes for a whole PSP fleet pass over one architecture."""
+
+    #: The shared static baseline run (standard table everywhere).
+    static: TaraReportData
+    #: Per-target tuned runs, keyed by ``TargetApplication.describe()``.
+    tuned: Mapping[str, TaraReportData]
+
+    def targets(self) -> Tuple[str, ...]:
+        """The assessed target descriptions."""
+        return tuple(self.tuned)
+
+    def run_for(self, description: str) -> TaraReportData:
+        """One target's tuned TARA run."""
+        try:
+            return self.tuned[description]
+        except KeyError:
+            raise KeyError(f"no TARA run for target {description!r}") from None
+
+    def disagreements(
+        self, network: VehicleNetwork
+    ) -> Dict[str, List[RatingDisagreement]]:
+        """Per-target diffs against the shared static baseline."""
+        return {
+            description: compare_runs(network, self.static, run)
+            for description, run in self.tuned.items()
+        }
+
+
+def fleet_taras(
+    network: VehicleNetwork,
+    fleet: "FleetResult",
+    **engine_kwargs,
+) -> FleetTaraReport:
+    """Run TARAs for every member of a PSP fleet pass (one architecture).
+
+    The expensive shared work happens once: a single static baseline run
+    covers the whole fleet, and each member only re-runs the engine with
+    its own tuned insider table.  Combined with
+    :func:`repro.core.pipeline.run_fleet` — which shares the social
+    query pass across members — this is the fleet-scale assessment path:
+    one corpus mine, one baseline TARA, N cheap tuned runs and diffs.
+
+    Args:
+        network: the architecture every member is assessed against.
+        fleet: a :class:`~repro.core.pipeline.FleetResult`.
+        engine_kwargs: extra :class:`TaraEngine` constructor arguments
+            applied to the baseline and every tuned engine alike.
+    """
+    static = TaraEngine(network, **engine_kwargs).run()
+    tuned: Dict[str, TaraReportData] = {}
+    for member in fleet:
+        engine = TaraEngine(
+            network, insider_table=member.insider_table, **engine_kwargs
+        )
+        tuned[member.target.describe()] = engine.run()
+    return FleetTaraReport(static=static, tuned=tuned)
 
 
 def compare_runs(

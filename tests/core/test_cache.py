@@ -1,0 +1,297 @@
+"""Cache layer: TTL store, cached client, SAI memoisation."""
+
+import datetime as dt
+
+import pytest
+
+from repro import PSPFramework, TargetApplication, TimeWindow
+from repro.core.cache import CachedClient, SAICache, TTLCache
+from repro.core.sai import SAIComputer
+from repro.social import InMemoryClient, excavator_corpus
+from repro.social.api import BatchQuery, SearchQuery
+from tests.conftest import build_excavator_database
+
+
+class FakeClock:
+    """Deterministic monotonic clock for TTL tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class CountingClient(InMemoryClient):
+    """InMemoryClient that counts backend operations."""
+
+    def __init__(self, corpus) -> None:
+        super().__init__(corpus)
+        self.search_calls = 0
+        self.batch_calls = 0
+
+    def search(self, query):
+        self.search_calls += 1
+        return super().search(query)
+
+    def search_many(self, batch):
+        self.batch_calls += 1
+        return super().search_many(batch)
+
+
+class TestTTLCache:
+    def test_miss_then_hit(self):
+        cache = TTLCache()
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = TTLCache(ttl=10.0, clock=clock)
+        cache.put("k", "v")
+        clock.advance(9.9)
+        assert cache.get("k") == "v"
+        clock.advance(0.2)
+        assert cache.get("k") is None
+        assert cache.stats.expirations == 1
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = TTLCache(clock=clock)
+        cache.put("k", "v")
+        clock.advance(1e9)
+        assert cache.get("k") == "v"
+
+    def test_eviction_at_capacity(self):
+        cache = TTLCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.get("a") is None  # oldest evicted
+        assert cache.get("c") == 3
+
+    def test_invalidate_by_predicate(self):
+        cache = TTLCache()
+        cache.put(("x", 1), "a")
+        cache.put(("x", 2), "b")
+        cache.put(("y", 1), "c")
+        removed = cache.invalidate(lambda key: key[0] == "x")
+        assert removed == 2
+        assert cache.stats.invalidations == 2
+        assert cache.get(("y", 1)) == "c"
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TTLCache(ttl=0)
+        with pytest.raises(ValueError):
+            TTLCache(max_entries=0)
+
+
+class TestCachedClient:
+    def test_search_equivalence(self, excavator_client):
+        cached = CachedClient(excavator_client)
+        for query in (
+            SearchQuery(keyword="dpfdelete"),
+            SearchQuery(keyword="dpfdelete", region="europe"),
+            SearchQuery(
+                keyword="dpfdelete",
+                since=dt.date(2020, 1, 1),
+                until=dt.date(2022, 12, 31),
+            ),
+            SearchQuery(keyword="dpfdelete", limit=5),
+        ):
+            assert cached.search(query) == excavator_client.search(query)
+            # Second call is served from cache, still identical.
+            assert cached.search(query) == excavator_client.search(query)
+        assert cached.stats.hits > 0
+
+    def test_count_by_year_cached(self, excavator_client):
+        cached = CachedClient(excavator_client)
+        query = SearchQuery(keyword="dpfdelete")
+        first = cached.count_by_year(query)
+        second = cached.count_by_year(query)
+        assert first == second == excavator_client.count_by_year(query)
+        assert cached.stats.hits == 1
+
+    def test_overlapping_windows_share_year_segments(self):
+        backend = CountingClient(excavator_corpus())
+        cached = CachedClient(backend)
+
+        def window_query(last_year):
+            return SearchQuery(
+                keyword="dpfdelete",
+                since=dt.date(2018, 1, 1),
+                until=dt.date(last_year, 12, 31),
+            )
+
+        cached.search(window_query(2021))   # mines 2018..2021
+        mined_first = backend.search_calls
+        assert mined_first == 4  # one backend call per year segment
+        cached.search(window_query(2022))   # only 2022 is new
+        assert backend.search_calls == mined_first + 1
+
+    def test_batched_growing_window_fetches_only_new_year(self):
+        backend = CountingClient(excavator_corpus())
+        cached = CachedClient(backend)
+        keywords = ("dpfdelete", "egrdelete", "chiptuning")
+
+        def batch(last_year):
+            return BatchQuery(
+                keywords=keywords,
+                since=dt.date(2020, 1, 1),
+                until=dt.date(last_year, 12, 31),
+            )
+
+        first = cached.search_many(batch(2021))
+        batches_after_first = backend.batch_calls
+        second = cached.search_many(batch(2022))
+        # One extra inner batch covering only the newly mined year.
+        assert backend.batch_calls == batches_after_first + 1
+        for keyword in keywords:
+            assert [p.post_id for p in first.posts(keyword)] == [
+                p.post_id
+                for p in second.posts(keyword)
+                if p.created_at <= dt.date(2021, 12, 31)
+            ]
+
+    def test_batch_results_match_uncached_client(self, excavator_client):
+        cached = CachedClient(InMemoryClient(excavator_client.corpus))
+        batch = BatchQuery(
+            keywords=("dpfdelete", "egroff"),
+            since=dt.date(2019, 1, 1),
+            until=dt.date(2022, 12, 31),
+            region="europe",
+        )
+        expected = excavator_client.search_many(batch)
+        assert cached.search_many(batch).posts_by_keyword == (
+            expected.posts_by_keyword
+        )
+        # Warm pass: identical again, now from cache.
+        assert cached.search_many(batch).posts_by_keyword == (
+            expected.posts_by_keyword
+        )
+
+    def test_invalidate_keyword(self, excavator_client):
+        cached = CachedClient(excavator_client)
+        cached.search(SearchQuery(keyword="dpfdelete"))
+        cached.search(SearchQuery(keyword="egroff"))
+        removed = cached.invalidate_keyword("dpfdelete")
+        assert removed == 1
+        cached.search(SearchQuery(keyword="egroff"))
+        assert cached.stats.hits == 1
+
+
+class TestSAICache:
+    def test_hit_requires_same_version(self):
+        cache = SAICache()
+        cache.put(3, "result", region="europe")
+        assert cache.get(3, region="europe") == "result"
+        assert cache.get(4, region="europe") is None
+
+    def test_put_garbage_collects_older_versions(self):
+        cache = SAICache()
+        cache.put(1, "old", region="europe")
+        cache.put(2, "new", region="europe")
+        assert cache.get(1, region="europe") is None
+        assert cache.stats.invalidations == 1
+
+    def test_windows_are_distinct(self):
+        cache = SAICache()
+        cache.put(1, "full", region="europe")
+        assert cache.get(1, region="europe", since=dt.date(2022, 1, 1)) is None
+
+
+class TestFrameworkCaching:
+    def test_cached_run_matches_uncached(self, excavator_client):
+        plain = PSPFramework(
+            excavator_client,
+            TargetApplication("excavator", "europe", "industrial"),
+            database=build_excavator_database(),
+        )
+        cached = PSPFramework(
+            InMemoryClient(excavator_client.corpus),
+            TargetApplication("excavator", "europe", "industrial"),
+            database=build_excavator_database(),
+            cache=True,
+        )
+        window = TimeWindow.years(2019, 2022)
+        expected = plain.run(window, learn=False)
+        first = cached.run(window, learn=False)
+        second = cached.run(window, learn=False)
+        assert first.sai.as_rows() == expected.sai.as_rows()
+        assert second.sai.as_rows() == expected.sai.as_rows()
+        assert second.insider_table.as_rows() == expected.insider_table.as_rows()
+        stats = cached.cache_stats
+        assert stats is not None
+        assert stats["sai"]["hits"] >= 1
+
+    def test_learning_invalidates_sai_cache(self):
+        corpus = excavator_corpus()
+        # The paper seed database still has companion hashtags to learn.
+        psp = PSPFramework(
+            InMemoryClient(corpus),
+            TargetApplication("excavator", "europe", "industrial"),
+            cache=True,
+        )
+        before = psp.run(learn=False)
+        version_before = psp.database.version
+        learned = psp.learn_keywords()
+        assert learned, "excavator corpus should yield learned keywords"
+        assert psp.database.version > version_before
+        after = psp.run(learn=False)
+        # The learned keywords participate in the refreshed SAI list.
+        assert len(after.sai) == len(before.sai) + len(learned)
+
+    def test_compute_sai_served_from_cache(self):
+        backend = CountingClient(excavator_corpus())
+        psp = PSPFramework(
+            backend,
+            TargetApplication("excavator", "europe", "industrial"),
+            database=build_excavator_database(),
+            cache=True,
+        )
+        psp.compute_sai()
+        calls = backend.batch_calls + backend.search_calls
+        psp.compute_sai()
+        assert backend.batch_calls + backend.search_calls == calls
+
+    def test_cache_stats_none_when_disabled(self, excavator_framework):
+        assert excavator_framework.cache_stats is None
+
+    def test_passing_empty_ttlcache_enables_caching(self, excavator_client):
+        # Regression: an empty TTLCache is falsy (it defines __len__);
+        # the framework must still treat it as "caching on".
+        store = TTLCache(ttl=300.0)
+        psp = PSPFramework(
+            excavator_client,
+            TargetApplication("excavator", "europe", "industrial"),
+            database=build_excavator_database(),
+            cache=store,
+        )
+        assert isinstance(psp.client, CachedClient)
+        assert psp.client.cache is store
+        psp.compute_sai()
+        psp.compute_sai()
+        stats = psp.cache_stats
+        assert stats is not None
+        assert stats["sai"]["hits"] == 1
+
+    def test_sibling_shares_policy_not_entries(self):
+        clock = FakeClock()
+        store = TTLCache(ttl=10.0, max_entries=5, clock=clock)
+        store.put("k", "v")
+        twin = store.sibling()
+        assert len(twin) == 0
+        twin.put("k", "w")
+        assert store.get("k") == "v"
+        clock.advance(11.0)
+        assert twin.get("k") is None  # same TTL policy and clock

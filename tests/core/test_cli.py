@@ -78,3 +78,27 @@ class TestTara:
         assert main(["tara", "--psp"]) == 0
         out = capsys.readouterr().out
         assert "rated differently" in out
+
+
+class TestFleet:
+    def test_default_fleet_runs(self, capsys):
+        assert main(["fleet"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet assessment — 3 targets" in out
+        assert "1 platform query pass" in out
+        assert "excavator / fleet / europe" in out
+        assert "query cache:" in out
+
+    def test_custom_applications(self, capsys):
+        code = main(
+            ["fleet", "--scenario", "excavator",
+             "--applications", "excavator,light_truck"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 targets" in out
+        assert "light_truck / fleet / europe" in out
+
+    def test_empty_applications_fails_cleanly(self, capsys):
+        assert main(["fleet", "--applications", " , "]) == 2
+        assert "error:" in capsys.readouterr().err

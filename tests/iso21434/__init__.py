@@ -1,0 +1,1 @@
+"""Test package (namespacing avoids basename collisions across dirs)."""

@@ -1,0 +1,166 @@
+"""Batch query interface: equivalence, dedup, multi-platform fan-out."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.sai import SAIComputer
+from repro.social import (
+    InMemoryClient,
+    MultiPlatformClient,
+    PlatformSource,
+    ecm_reprogramming_corpus,
+    excavator_corpus,
+)
+from repro.social.api import BatchQuery, BatchResult
+from tests.conftest import build_excavator_database
+
+
+class TestBatchQuery:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BatchQuery(keywords=())
+
+    def test_rejects_empty_keyword(self):
+        with pytest.raises(ValueError):
+            BatchQuery(keywords=("ok", ""))
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            BatchQuery(
+                keywords=("k",),
+                since=dt.date(2023, 1, 1),
+                until=dt.date(2022, 1, 1),
+            )
+
+    def test_folds_duplicates(self):
+        batch = BatchQuery(keywords=("a", "b", "a"))
+        assert batch.keywords == ("a", "b")
+
+    def test_query_for_carries_all_parameters(self):
+        batch = BatchQuery(
+            keywords=("k1", "k2"),
+            since=dt.date(2020, 1, 1),
+            until=dt.date(2022, 12, 31),
+            region="europe",
+            limit=3,
+        )
+        query = batch.query_for("k1")
+        assert (query.keyword, query.since, query.until) == (
+            "k1", dt.date(2020, 1, 1), dt.date(2022, 12, 31)
+        )
+        assert (query.region, query.limit) == ("europe", 3)
+        assert len(batch.queries()) == 2
+
+    def test_restricted_to_subset(self):
+        batch = BatchQuery(keywords=("a", "b", "c"), region="europe")
+        sub = batch.restricted_to(["b"])
+        assert sub.keywords == ("b",)
+        assert sub.region == "europe"
+
+
+class TestBatchEquivalence:
+    """search_many per-keyword results == sequential search results."""
+
+    @pytest.mark.parametrize(
+        "since,until,region",
+        [
+            (None, None, None),
+            (None, None, "europe"),
+            (dt.date(2020, 1, 1), dt.date(2022, 12, 31), "europe"),
+            (dt.date(2022, 1, 1), None, None),
+        ],
+    )
+    def test_in_memory_client(self, excavator_client, since, until, region):
+        database = build_excavator_database()
+        batch = BatchQuery(
+            keywords=database.keywords, since=since, until=until, region=region
+        )
+        result = excavator_client.search_many(batch)
+        for query in batch.queries():
+            assert list(result.posts(query.keyword)) == (
+                excavator_client.search(query)
+            )
+
+    def test_limit_respected(self, excavator_client):
+        batch = BatchQuery(keywords=("dpfdelete",), limit=3)
+        result = excavator_client.search_many(batch)
+        assert list(result.posts("dpfdelete")) == excavator_client.search(
+            batch.query_for("dpfdelete")
+        )
+        assert len(result.posts("dpfdelete")) == 3
+
+    def test_batch_and_sequential_sai_identical(self, excavator_client):
+        """Same inputs => identical SAIList through either fetch path."""
+        database = build_excavator_database()
+        computer = SAIComputer(excavator_client)
+        batched = computer.compute(database, region="europe")
+
+        sequential_posts = {
+            entry.keyword: excavator_client.search(
+                BatchQuery(
+                    keywords=(entry.keyword,), region="europe"
+                ).query_for(entry.keyword)
+            )
+            for entry in database
+        }
+        sequential = computer.compute_from_posts(database, sequential_posts)
+        assert batched.as_rows() == sequential.as_rows()
+        assert batched.ranking() == sequential.ranking()
+
+
+class TestBatchResult:
+    def test_unknown_keyword_raises(self, excavator_client):
+        result = excavator_client.search_many(BatchQuery(keywords=("dpfdelete",)))
+        with pytest.raises(KeyError):
+            result.posts("unknown")
+
+    def test_unique_posts_deduplicates(self, excavator_client):
+        # dpfdelete posts carry the dpfoff companion hashtag; searching
+        # both makes the same post appear under two keywords.
+        result = excavator_client.search_many(
+            BatchQuery(keywords=("dpfdelete", "dpfoff"))
+        )
+        ids = [p.post_id for posts in result.posts_by_keyword.values()
+               for p in posts]
+        unique = result.unique_posts()
+        assert len(unique) == len({p.post_id for p in unique})
+        assert len(unique) <= len(ids)
+        assert result.total_matches == len(ids)
+        # Oldest-first global ordering.
+        assert list(unique) == sorted(
+            unique, key=lambda p: (p.created_at, p.post_id)
+        )
+
+
+class TestMultiPlatformBatch:
+    def _client(self):
+        return MultiPlatformClient(
+            [
+                PlatformSource("twitter", InMemoryClient(excavator_corpus())),
+                PlatformSource(
+                    "forum",
+                    InMemoryClient(ecm_reprogramming_corpus()),
+                    trust=0.5,
+                ),
+            ]
+        )
+
+    def test_matches_sequential_search(self):
+        client = self._client()
+        batch = BatchQuery(
+            keywords=("dpfdelete", "chiptuning", "obdflash"),
+            since=dt.date(2019, 1, 1),
+            until=dt.date(2022, 12, 31),
+        )
+        result = client.search_many(batch)
+        for query in batch.queries():
+            assert list(result.posts(query.keyword)) == client.search(query)
+
+    def test_platform_namespacing_keeps_posts_distinct(self):
+        client = self._client()
+        result = client.search_many(BatchQuery(keywords=("chiptuning",)))
+        platforms = {p.post_id.split(":")[0] for p in result.posts("chiptuning")}
+        assert platforms == {"twitter", "forum"}
+        unique = result.unique_posts()
+        assert len(unique) == len(result.posts("chiptuning"))
