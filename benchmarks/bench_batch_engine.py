@@ -10,173 +10,79 @@ re-uses year-segment results across the overlapping windows
 (:class:`~repro.core.cache.CachedClient`), so window N+1 only mines the
 one year it newly covers.
 
+Both sides now ride the inverted corpus index (see
+``bench_indexed_corpus.py`` for that layer's own gate), so this bench
+isolates the batching+caching win on top of it.
+
 Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_batch_engine.py -q \
         --benchmark-json=bench_batch_engine.json
 
-``test_s4_speedup_and_equivalence`` prints a machine-readable JSON
-summary (see docs/BENCHMARKS.md) and asserts both the speedup and the
+``test_s4_speedup_and_equivalence`` writes ``BENCH_batch_engine.json``
+(see docs/BENCHMARKS.md) and asserts both the speedup and the
 batch-vs-sequential SAI equivalence on the full workload.
 """
 
-import json
-import time
-
 import pytest
 
-from repro.core.cache import CachedClient, TTLCache
-from repro.core.keywords import AttackKeyword, KeywordDatabase
-from repro.core.sai import SAIComputer
-from repro.core.timewindow import TimeWindow
-from repro.iso21434.enums import AttackVector
-from repro.social import AttackTopicSpec, InMemoryClient, generate_corpus
-from repro.social.api import SearchQuery
-
-#: >= 50 keywords, as the fleet-scale acceptance workload demands.
-N_KEYWORDS = 56
-YEARS = tuple(range(2016, 2024))
-#: Growing windows 2016-2019, 2016-2020, ... 2016-2023: 5 windows with
-#: >= 4 years of pairwise overlap — the monitor's cadence.
-WINDOWS = tuple(TimeWindow.years(2016, last) for last in range(2019, 2024))
-
-_VECTORS = (
-    AttackVector.PHYSICAL,
-    AttackVector.LOCAL,
-    AttackVector.ADJACENT,
-    AttackVector.NETWORK,
+from repro.analysis.benchjson import load_bench_result
+from repro.analysis.benchkit import (
+    batched_cached_sai_pass,
+    fleet_workload,
+    run_batch_engine_bench,
+    sequential_sai_pass,
 )
-
-
-def _specs():
-    specs = []
-    for i in range(N_KEYWORDS):
-        specs.append(
-            AttackTopicSpec(
-                keyword=f"attacktopic{i:02d}",
-                vector=_VECTORS[i % len(_VECTORS)],
-                owner_approved=(i % 3 != 0),
-                yearly_volume={year: 4 + (i + year) % 7 for year in YEARS},
-                engagement_scale=0.5 + (i % 5) * 0.3,
-            )
-        )
-    return tuple(specs)
-
-
-def _database(specs):
-    db = KeywordDatabase()
-    for spec in specs:
-        db.add(
-            AttackKeyword(
-                keyword=spec.keyword,
-                vector=spec.vector,
-                owner_approved=spec.owner_approved,
-            )
-        )
-    return db
+from repro.core.cache import CachedClient, TTLCache
+from repro.social import InMemoryClient
 
 
 @pytest.fixture(scope="module")
 def workload():
-    specs = _specs()
-    corpus = generate_corpus(specs, seed=21434)
-    return corpus, _database(specs)
-
-
-def _sequential_pass(client, database, windows=WINDOWS):
-    """The seed path: one synchronous search per keyword per window."""
-    computer = SAIComputer(client)
-    results = []
-    for window in windows:
-        posts = {
-            entry.keyword: client.search(
-                SearchQuery(
-                    keyword=entry.keyword,
-                    since=window.since,
-                    until=window.until,
-                    region="europe",
-                )
-            )
-            for entry in database
-        }
-        results.append(computer.compute_from_posts(database, posts))
-    return results
-
-
-def _batched_cached_pass(client, database, windows=WINDOWS):
-    """The new path: one batched query per window over a cached client."""
-    computer = SAIComputer(client)
-    return [
-        computer.compute(
-            database,
-            region="europe",
-            since=window.since,
-            until=window.until,
-        )
-        for window in windows
-    ]
+    return fleet_workload()
 
 
 def test_s4_per_keyword_baseline(benchmark, workload):
-    corpus, database = workload
-    client = InMemoryClient(corpus)
+    client = InMemoryClient(workload.corpus)
 
-    results = benchmark(_sequential_pass, client, database)
+    results = benchmark(
+        sequential_sai_pass, client, workload.database, workload.windows
+    )
 
-    print(f"\nS4 — per-keyword path: {len(database)} keywords x "
-          f"{len(WINDOWS)} overlapping windows, {len(corpus)} posts")
-    assert len(results) == len(WINDOWS)
+    print(f"\nS4 — per-keyword path: {len(workload.database)} keywords x "
+          f"{len(workload.windows)} overlapping windows, "
+          f"{len(workload.corpus)} posts")
+    assert len(results) == len(workload.windows)
 
 
 def test_s4_batched_cached_engine(benchmark, workload):
-    corpus, database = workload
-    inner = InMemoryClient(corpus)
+    inner = InMemoryClient(workload.corpus)
 
     def run():
         # Fresh cache per round: measures one cold monitoring sequence,
         # where each window still reuses the previous windows' years.
         client = CachedClient(inner, cache=TTLCache())
-        return _batched_cached_pass(client, database)
+        return batched_cached_sai_pass(client, workload.database, workload.windows)
 
     results = benchmark(run)
 
-    print(f"\nS4 — batched+cached engine: {len(database)} keywords x "
-          f"{len(WINDOWS)} overlapping windows, {len(corpus)} posts")
-    assert len(results) == len(WINDOWS)
+    print(f"\nS4 — batched+cached engine: {len(workload.database)} keywords x "
+          f"{len(workload.windows)} overlapping windows, "
+          f"{len(workload.corpus)} posts")
+    assert len(results) == len(workload.windows)
 
 
-def test_s4_speedup_and_equivalence(workload):
-    corpus, database = workload
-    plain = InMemoryClient(corpus)
-
-    start = time.perf_counter()
-    sequential = _sequential_pass(plain, database)
-    sequential_s = time.perf_counter() - start
-
-    cached = CachedClient(InMemoryClient(corpus), cache=TTLCache())
-    start = time.perf_counter()
-    batched = _batched_cached_pass(cached, database)
-    batched_s = time.perf_counter() - start
+def test_s4_speedup_and_equivalence(workload, bench_report):
+    result = run_batch_engine_bench(workload)
+    path = bench_report(result)
+    payload = load_bench_result(path)
+    print("\nS4 summary: " + str(payload))
 
     # Identical inputs => identical SAI lists, window by window.
-    for window, left, right in zip(WINDOWS, sequential, batched):
-        assert left.as_rows() == right.as_rows(), window.describe()
-
-    speedup = sequential_s / batched_s if batched_s > 0 else float("inf")
-    summary = {
-        "workload": {
-            "keywords": len(database),
-            "windows": len(WINDOWS),
-            "posts": len(corpus),
-        },
-        "per_keyword_seconds": round(sequential_s, 4),
-        "batched_cached_seconds": round(batched_s, 4),
-        "speedup": round(speedup, 2),
-        "query_cache": cached.stats.as_dict(),
-    }
-    print("\nS4 summary: " + json.dumps(summary))
-
+    assert result.equivalent, "batched engine diverged from sequential path"
     # The batched+cached engine must beat the per-keyword path on this
-    # workload; in practice the margin is several-fold (year segments of
-    # windows 1..N are reused by window N+1).
-    assert speedup > 1.2, summary
+    # workload.  The margin narrowed when the per-keyword baseline
+    # started riding the inverted index too; the remaining win is the
+    # year-segment reuse across overlapping windows.
+    assert result.speedup > 1.2, payload
+    assert payload["bench"] == "batch_engine"

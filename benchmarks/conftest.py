@@ -3,13 +3,23 @@
 Each bench regenerates one paper artifact (figure/table/equation); see
 the per-experiment index in DESIGN.md.  Fixtures are session-scoped so
 corpus generation cost is not attributed to the measured kernels.
+
+The ``bench_report`` fixture is the pytest half of the JSON-emitting
+harness: benches hand it a
+:class:`~repro.analysis.benchjson.BenchResult` and it writes
+``BENCH_<name>.json`` into ``$BENCH_JSON_DIR`` (default: the current
+directory) — the same records ``benchmarks/run_benches.py`` emits
+standalone.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import PSPFramework, TargetApplication
+from repro.analysis.benchjson import BenchResult, write_bench_result
 from repro.core.keywords import AttackKeyword, KeywordDatabase
 from repro.social import (
     InMemoryClient,
@@ -65,3 +75,14 @@ def excavator_framework(excavator_client):
 @pytest.fixture(scope="session")
 def fig4_network():
     return reference_architecture()
+
+
+@pytest.fixture(scope="session")
+def bench_report():
+    """Record one bench's JSON result (returns the written path)."""
+    out_dir = os.environ.get("BENCH_JSON_DIR", ".")
+
+    def _record(result: BenchResult):
+        return write_bench_result(result, out_dir)
+
+    return _record

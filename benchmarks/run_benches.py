@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Benchmark runner: time the key engines and emit ``BENCH_<name>.json``.
+
+Runs the registered bench kernels (indexed corpus engine, batched+cached
+query engine, sentiment memo) without any pytest machinery and writes
+one machine-readable JSON record per bench, so the repository's
+performance trajectory is data (docs/BENCHMARKS.md documents the
+schema).  CI runs this and uploads the files as workflow artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benches.py            # all benches
+    PYTHONPATH=src python benchmarks/run_benches.py --out out/ # custom dir
+    PYTHONPATH=src python benchmarks/run_benches.py --bench indexed_corpus
+    PYTHONPATH=src python benchmarks/run_benches.py --list
+
+Exits non-zero if any bench's engine result diverges from its naive
+reference — speed without equivalence is a bug, not a result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Allow running without PYTHONPATH=src from the repository root.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.benchjson import write_bench_result  # noqa: E402
+from repro.analysis.benchkit import BENCH_RUNNERS  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=".",
+        help="directory for the BENCH_<name>.json files (default: cwd)",
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        choices=sorted(BENCH_RUNNERS),
+        help="bench to run (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available benches and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(BENCH_RUNNERS):
+            print(name)
+        return 0
+
+    names = args.bench or sorted(BENCH_RUNNERS)
+    all_equivalent = True
+    for name in names:
+        result = BENCH_RUNNERS[name]()
+        path = write_bench_result(result, args.out)
+        print(json.dumps(result.to_payload()))
+        print(f"wrote {path}")
+        all_equivalent = all_equivalent and result.equivalent
+
+    if not all_equivalent:
+        print("ERROR: an engine diverged from its naive reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

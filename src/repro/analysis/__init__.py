@@ -1,5 +1,19 @@
-"""Analysis utilities: comparisons, trend cross-checks and ablation sweeps."""
+"""Analysis utilities: comparisons, trends, ablations and bench harness."""
 
+from repro.analysis.benchjson import (
+    BenchResult,
+    load_bench_result,
+    validate_payload,
+    write_bench_result,
+)
+from repro.analysis.benchkit import (
+    BENCH_RUNNERS,
+    BenchWorkload,
+    fleet_workload,
+    run_batch_engine_bench,
+    run_indexed_corpus_bench,
+    run_sentiment_memo_bench,
+)
 from repro.analysis.compare import (
     DisagreementSummary,
     agreement_matrix,
@@ -26,20 +40,30 @@ from repro.analysis.trends import (
 
 __all__ = [
     "ABLATION_WEIGHT_MIXES",
+    "BENCH_RUNNERS",
+    "BenchResult",
+    "BenchWorkload",
     "DisagreementSummary",
     "SweepPoint",
     "VectorSeries",
     "agreement_matrix",
     "crossing_year",
+    "fleet_workload",
     "generate_assessment_report",
     "incident_vector_series",
     "learning_coverage",
+    "load_bench_result",
     "rank_displacement",
     "ranking_stability",
     "report_confirms_inversion",
+    "run_batch_engine_bench",
+    "run_indexed_corpus_bench",
+    "run_sentiment_memo_bench",
     "sai_weight_ablation",
     "summarize_disagreements",
     "sweep",
     "table_delta",
     "threshold_sensitivity",
+    "validate_payload",
+    "write_bench_result",
 ]

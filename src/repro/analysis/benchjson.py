@@ -1,0 +1,131 @@
+"""Machine-readable benchmark records (``BENCH_<name>.json``).
+
+Every key bench emits one JSON file so the repository's performance
+trajectory becomes data instead of prose: wall times of the naive and
+engine paths, the speedup, the workload dimensions and an equivalence
+verdict.  The schema is documented in docs/BENCHMARKS.md and validated
+by :func:`validate_payload`; CI uploads the emitted files as workflow
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+#: Bump when the payload layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Emitted file name pattern.
+FILE_PATTERN = "BENCH_{name}.json"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Outcome of one benchmark run: naive path vs engine path.
+
+    Attributes:
+        name: bench identifier (``indexed_corpus``, ``batch_engine``, …);
+            becomes the ``BENCH_<name>.json`` file name.
+        workload: workload dimensions (keywords, windows, posts, …).
+        naive_seconds: wall time of the reference (pre-optimisation) path.
+        engine_seconds: wall time of the optimised path.
+        equivalent: whether both paths produced identical results.
+        extra: bench-specific additions (cache statistics, index sizes).
+    """
+
+    name: str
+    workload: Dict[str, Any]
+    naive_seconds: float
+    engine_seconds: float
+    equivalent: bool
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ValueError(f"bench name must be a slug, got {self.name!r}")
+        if self.naive_seconds < 0 or self.engine_seconds < 0:
+            raise ValueError("wall times must be >= 0")
+
+    @property
+    def speedup(self) -> float:
+        """Naive-over-engine wall-time ratio (inf for a zero-cost engine)."""
+        if self.engine_seconds <= 0:
+            return float("inf")
+        return self.naive_seconds / self.engine_seconds
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON-serialisable record written to ``BENCH_<name>.json``.
+
+        An infinite speedup (engine time below timer granularity) is
+        emitted as ``null`` — ``json.dumps`` would otherwise write the
+        non-standard ``Infinity`` literal and break strict consumers.
+        """
+        speedup = self.speedup
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "bench": self.name,
+            "workload": dict(self.workload),
+            "naive_seconds": round(self.naive_seconds, 4),
+            "engine_seconds": round(self.engine_seconds, 4),
+            "speedup": round(speedup, 2) if math.isfinite(speedup) else None,
+            "equivalent": self.equivalent,
+            "extra": dict(self.extra),
+        }
+
+
+def bench_file_path(name: str, out_dir: Union[str, Path] = ".") -> Path:
+    """Where ``BENCH_<name>.json`` lives under ``out_dir``."""
+    return Path(out_dir) / FILE_PATTERN.format(name=name)
+
+
+def write_bench_result(
+    result: BenchResult, out_dir: Union[str, Path] = "."
+) -> Path:
+    """Write one bench record; returns the file path."""
+    path = bench_file_path(result.name, out_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result.to_payload(), indent=2) + "\n")
+    return path
+
+
+#: Required payload keys and their types, for :func:`validate_payload`.
+_REQUIRED: Dict[str, Any] = {
+    "schema_version": int,
+    "bench": str,
+    "workload": dict,
+    "naive_seconds": (int, float),
+    "engine_seconds": (int, float),
+    "speedup": (int, float, type(None)),
+    "equivalent": bool,
+    "extra": dict,
+}
+
+
+def validate_payload(payload: Dict[str, Any]) -> List[str]:
+    """Schema problems of one bench payload (empty list = valid)."""
+    problems: List[str] = []
+    for key, expected in _REQUIRED.items():
+        if key not in payload:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(payload[key], expected):
+            problems.append(
+                f"key {key!r} has type {type(payload[key]).__name__}"
+            )
+    if not problems and payload["schema_version"] != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {payload['schema_version']} != {SCHEMA_VERSION}"
+        )
+    return problems
+
+
+def load_bench_result(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate one ``BENCH_*.json`` file."""
+    payload = json.loads(Path(path).read_text())
+    problems = validate_payload(payload)
+    if problems:
+        raise ValueError(f"invalid bench record {path}: {problems}")
+    return payload

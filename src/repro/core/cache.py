@@ -35,11 +35,13 @@ from typing import (
     Callable,
     Dict,
     Hashable,
+    Iterable,
     List,
     Optional,
     Tuple,
 )
 
+from repro.nlp.analysis import analyze_text
 from repro.social.api import (
     BatchQuery,
     BatchResult,
@@ -47,6 +49,20 @@ from repro.social.api import (
     SocialMediaClient,
 )
 from repro.social.post import Post
+
+
+def _warm_analyses(posts: Iterable[Post]) -> None:
+    """Precompute the text analysis of freshly fetched posts.
+
+    A cache miss is the one moment a post is guaranteed new to this
+    process, so the one-time :func:`~repro.nlp.analysis.analyze_text`
+    cost (normalize, stem, tokenize) is paid here — with the fetch —
+    rather than inside whichever downstream consumer (SAI sentiment,
+    classification, keyword learning) first touches the post.  Cache
+    hits return already-analyzed posts and skip this entirely.
+    """
+    for post in posts:
+        analyze_text(post.text)
 
 
 @dataclass
@@ -311,6 +327,7 @@ class CachedClient(SocialMediaClient):
             if cached is not _MISSING:
                 return list(cached)
             posts = tuple(self._inner.search(query))
+            _warm_analyses(posts)
             self._cache.put(key, posts)
             return list(posts)
 
@@ -321,6 +338,7 @@ class CachedClient(SocialMediaClient):
                 cached = tuple(
                     self._inner.search(self._segment_query(query, key.year))
                 )
+                _warm_analyses(cached)
                 self._cache.put(key, cached)
             out.extend(cached)
         return out
@@ -379,6 +397,7 @@ class CachedClient(SocialMediaClient):
             )
             for keyword in keywords:
                 posts = fetched.posts(keyword)
+                _warm_analyses(posts)
                 self._cache.put(
                     _SegmentKey(
                         platform=self._platform,
@@ -414,6 +433,7 @@ class CachedClient(SocialMediaClient):
             fetched = self._inner.search_many(batch.restricted_to(missing))
             for keyword in missing:
                 posts = fetched.posts(keyword)
+                _warm_analyses(posts)
                 self._cache.put(self._window_key(batch.query_for(keyword)), posts)
                 results[keyword] = posts
         # Preserve batch keyword order in the result mapping.

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.core.sai import SAIEntry, SAIList
-from repro.nlp.normalize import normalize_text
+from repro.nlp.analysis import analyze_text
 from repro.social.api import SearchQuery, SocialMediaClient
 
 #: First-person owner-voice markers (insider vote).
@@ -83,11 +83,16 @@ class InsiderOutsiderSplit:
 
 
 def _text_votes(texts: Sequence[str]) -> Tuple[int, int]:
-    """Count insider vs outsider marker votes over post texts."""
+    """Count insider vs outsider marker votes over post texts.
+
+    Reads the precomputed word set off the shared
+    :func:`~repro.nlp.analysis.analyze_text` sidecar instead of
+    re-normalizing each text.
+    """
     insider_votes = 0
     outsider_votes = 0
     for text in texts:
-        tokens = set(normalize_text(text).split())
+        tokens = analyze_text(text).word_set
         if tokens & INSIDER_MARKERS:
             insider_votes += 1
         if tokens & OUTSIDER_MARKERS:

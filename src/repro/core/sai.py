@@ -32,6 +32,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.core.config import PSPConfig
 from repro.core.keywords import AttackKeyword, KeywordDatabase
 from repro.iso21434.enums import AttackVector
+from repro.nlp.analysis import analyze_text
 from repro.nlp.sentiment import SentimentAnalyzer
 from repro.social.api import BatchQuery, SocialMediaClient
 from repro.social.post import Engagement, Post
@@ -125,13 +126,23 @@ class SAIList:
 def _gather_signals(
     posts: Sequence[Post], analyzer: SentimentAnalyzer
 ) -> Tuple[Engagement, float]:
-    """Total engagement and mean sentiment of one keyword's posts."""
+    """Total engagement and mean sentiment of one keyword's posts.
+
+    Sentiment is read through the shared
+    :func:`~repro.nlp.analysis.analyze_text` sidecar and the analyzer's
+    per-fingerprint memo, so each distinct post text is tokenized and
+    scored at most once per corpus lifetime — however many windows,
+    weight mixes or fleet members revisit it.
+    """
     total = Engagement()
     for post in posts:
         total = total.combined(post.engagement)
     if not posts:
         return total, 0.0
-    return total, analyzer.mean_score([p.text for p in posts])
+    mean = sum(
+        analyzer.score_analysis(analyze_text(p.text)).score for p in posts
+    ) / len(posts)
+    return total, mean
 
 
 def _share(value: float, total: float) -> float:

@@ -7,6 +7,7 @@ lexicon sentiment scoring, TF-IDF relevance, 1-D price clustering (PPIA
 estimation) and text mining of prices and counts from report prose.
 """
 
+from repro.nlp.analysis import PostAnalysis, analyze_text
 from repro.nlp.clustering import (
     PriceCluster,
     dominant_cluster,
@@ -50,6 +51,7 @@ __all__ = [
     "CooccurrenceResult",
     "CountObservation",
     "PhraseCandidate",
+    "PostAnalysis",
     "PriceCluster",
     "PriceObservation",
     "STOPWORDS",
@@ -60,6 +62,7 @@ __all__ = [
     "TfIdfVectorizer",
     "Token",
     "TokenType",
+    "analyze_text",
     "canonical_keyword",
     "cooccurring_hashtags",
     "cosine_similarity",

@@ -1,0 +1,131 @@
+"""Precomputed per-post text analysis shared across the PSP hot paths.
+
+Keyword matching, SAI sentiment scoring and keyword auto-learning all
+start from the same derived views of a post's text: the normalized form,
+the space-squashed form the folded matcher searches, the stemmed token
+stream, the canonical hashtag set and the typed token list.  The seed
+implementation recomputed each view at every consumer — once per
+``(keyword, post)`` pair in the worst case.  This module computes them
+exactly once per distinct text and hands every consumer the same
+:class:`PostAnalysis` sidecar:
+
+* :class:`~repro.social.index.CorpusIndex` matches keywords against the
+  precomputed :attr:`~PostAnalysis.haystack`,
+* :class:`~repro.core.sai.SAIComputer` scores sentiment from the
+  precomputed :attr:`~PostAnalysis.tokens` (memoized per analyzer
+  fingerprint, so a post is scored once per corpus lifetime),
+* keyword learning and :attr:`~repro.social.post.Post.hashtags` read the
+  canonical :attr:`~PostAnalysis.hashtags`.
+
+Analyses are keyed by the text itself (every derived view is a pure
+function of the text), so identical posts across sub-corpora, region
+views and cache layers share one analysis object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
+
+from repro.nlp.normalize import canonical_keyword, normalize_text, stem
+from repro.nlp.tokenizer import Token, TokenType, tokenize
+
+#: Separator between the squashed and stemmed halves of the match
+#: haystack.  Canonical keywords are alphanumeric-only, so no keyword can
+#: straddle it.
+_HAYSTACK_SEPARATOR = "\n"
+
+
+@dataclass(frozen=True)
+class PostAnalysis:
+    """Every derived view of one post text, computed once.
+
+    Attributes:
+        text: the original post text.
+        normalized: lower-cased, separator-folded text with word
+            boundaries preserved (:func:`~repro.nlp.normalize.normalize_text`).
+        squashed: ``normalized`` with the spaces removed — the string the
+            folded free-text matcher searches for canonical keywords.
+        words: the normalized words, in order.
+        word_set: the distinct normalized words (voice-marker voting,
+            token index).
+        stems: the stemmed words, in order.
+        stemmed_joined: the stems concatenated — the second matcher
+            haystack, catching inflected variants ("deleting" → "delet").
+        haystack: ``squashed`` and ``stemmed_joined`` joined by a
+            non-keyword separator, so one substring probe answers the
+            whole folded-match question.
+        hashtags: canonical hashtags in order of appearance, duplicates
+            preserved (they signal emphasis and count for frequency).
+        hashtag_set: the distinct canonical hashtags.
+        tokens: the typed token stream (sentiment scoring, price mining).
+    """
+
+    text: str
+    normalized: str
+    squashed: str
+    words: Tuple[str, ...]
+    word_set: FrozenSet[str]
+    stems: Tuple[str, ...]
+    stemmed_joined: str
+    haystack: str
+    hashtags: Tuple[str, ...]
+    hashtag_set: FrozenSet[str]
+    tokens: Tuple[Token, ...]
+    #: Per-analyzer-fingerprint sentiment memo; a mutable cache, not part
+    #: of the analysis value (excluded from equality and hashing).
+    _sentiment: Dict[Hashable, object] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def matches_keyword(self, canonical: str) -> bool:
+        """Whether the canonical keyword occurs under folded matching.
+
+        Equivalent to :func:`~repro.nlp.normalize.keyword_in_text` on the
+        original text, but answered with one substring probe over the
+        precomputed haystack instead of re-normalizing and re-stemming.
+        """
+        return bool(canonical) and canonical in self.haystack
+
+    def cached_sentiment(self, fingerprint: Hashable) -> Optional[object]:
+        """The memoized sentiment result for one analyzer fingerprint."""
+        return self._sentiment.get(fingerprint)
+
+    def remember_sentiment(self, fingerprint: Hashable, result: object) -> None:
+        """Memoize a sentiment result under the analyzer's fingerprint."""
+        self._sentiment[fingerprint] = result
+
+
+@lru_cache(maxsize=32768)
+def analyze_text(text: str) -> PostAnalysis:
+    """The :class:`PostAnalysis` of ``text``, computed at most once.
+
+    The cache is keyed by the text itself: analyses are pure, so posts
+    sharing a text — across corpora, region views and cached query
+    layers — share one analysis object (and its sentiment memo).
+    """
+    normalized = normalize_text(text)
+    words = tuple(normalized.split())
+    squashed = normalized.replace(" ", "")
+    stems = tuple(stem(word) for word in words)
+    stemmed_joined = "".join(stems)
+    tokens = tuple(tokenize(text))
+    hashtags = tuple(
+        canonical_keyword(token.text)
+        for token in tokens
+        if token.type is TokenType.HASHTAG
+    )
+    return PostAnalysis(
+        text=text,
+        normalized=normalized,
+        squashed=squashed,
+        words=words,
+        word_set=frozenset(words),
+        stems=stems,
+        stemmed_joined=stemmed_joined,
+        haystack=squashed + _HAYSTACK_SEPARATOR + stemmed_joined,
+        hashtags=hashtags,
+        hashtag_set=frozenset(hashtags),
+        tokens=tokens,
+    )

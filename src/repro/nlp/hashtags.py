@@ -11,8 +11,8 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.nlp.analysis import analyze_text
 from repro.nlp.normalize import canonical_keyword
-from repro.nlp.tokenizer import hashtags as extract_raw_hashtags
 
 
 def extract_hashtags(text: str) -> List[str]:
@@ -20,8 +20,11 @@ def extract_hashtags(text: str) -> List[str]:
 
     ``"Just did my #DPF_delete!"`` → ``["dpfdelete"]``.  Duplicates within
     one post are preserved (they signal emphasis and count for frequency).
+    Reads the shared :func:`~repro.nlp.analysis.analyze_text` sidecar, so
+    repeated extraction over one text (hashtag indexing, co-occurrence
+    mining, :attr:`~repro.social.post.Post.hashtags`) tokenizes it once.
     """
-    return [canonical_keyword(tag) for tag in extract_raw_hashtags(text)]
+    return list(analyze_text(text).hashtags)
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ light suffix stemmer for plural/gerund variants ("deletes", "deleting" →
 
 from __future__ import annotations
 
+import functools
 import re
 from typing import Iterable, List
 
@@ -17,6 +18,7 @@ _SEPARATORS = re.compile(r"[\s\-_/.]+")
 _NON_ALNUM = re.compile(r"[^a-z0-9 ]+")
 
 
+@functools.lru_cache(maxsize=8192)
 def canonical_keyword(raw: str) -> str:
     """Fold a keyword or hashtag onto its canonical form.
 
@@ -43,12 +45,19 @@ def normalize_text(text: str) -> str:
 _SUFFIXES = ("ing", "ers", "ies", "ed", "er", "es", "s")
 
 
+@functools.lru_cache(maxsize=65536)
 def stem(word: str) -> str:
     """Light suffix stemmer for keyword variants.
 
     Handles the inflections observed in tuning-scene posts ("deleting",
     "deletes", "tuners") without the complexity of a full Porter stemmer.
     Words of four characters or fewer are returned untouched.
+
+    Both :func:`stem` and :func:`canonical_keyword` are pure and called
+    millions of times over a small distinct-input set (post vocabulary,
+    keyword database), so they are memoized with
+    :func:`functools.lru_cache`; the bounds cap memory on adversarial
+    vocabularies while keeping real workloads entirely cached.
     """
     lowered = word.lower()
     if len(lowered) <= 4:

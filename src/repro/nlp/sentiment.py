@@ -114,6 +114,25 @@ class SentimentAnalyzer:
             raise ValueError(f"neutral_band must be in [0, 1), got {neutral_band}")
         self._lexicon = dict(DEFAULT_LEXICON if lexicon is None else lexicon)
         self._neutral_band = neutral_band
+        self._refresh_fingerprint()
+
+    def _refresh_fingerprint(self) -> None:
+        self._fingerprint = (
+            "sentiment",
+            self._neutral_band,
+            tuple(sorted(self._lexicon.items())),
+        )
+
+    @property
+    def fingerprint(self) -> tuple:
+        """Value-based identity of this analyzer's scoring behaviour.
+
+        Two analyzers with the same lexicon and neutral band produce the
+        same fingerprint, so per-post sentiment memos
+        (:meth:`score_analysis`) are shared across analyzer instances and
+        invalidated when :meth:`extend_lexicon` changes the behaviour.
+        """
+        return self._fingerprint
 
     def score(self, text: str) -> SentimentResult:
         """Score ``text`` and return the normalised sentiment result."""
@@ -123,6 +142,26 @@ class SentimentAnalyzer:
         return SentimentResult(
             score=normalised, label=self._label(normalised), hits=hits
         )
+
+    def score_analysis(self, analysis) -> SentimentResult:
+        """Score a precomputed :class:`~repro.nlp.analysis.PostAnalysis`.
+
+        Reuses the analysis' token stream (no re-tokenization) and
+        memoizes the result on the analysis keyed by this analyzer's
+        :attr:`fingerprint` — so each distinct post text is scored at
+        most once per scoring behaviour, however many SAI windows,
+        weight-mix sweeps or fleet members revisit it.
+        """
+        cached = analysis.cached_sentiment(self._fingerprint)
+        if cached is not None:
+            return cached
+        raw, hits = self._raw_score(analysis.tokens)
+        normalised = _normalise(raw, hits)
+        result = SentimentResult(
+            score=normalised, label=self._label(normalised), hits=hits
+        )
+        analysis.remember_sentiment(self._fingerprint, result)
+        return result
 
     def score_many(self, texts: Sequence[str]) -> List[SentimentResult]:
         """Score several texts."""
@@ -173,3 +212,4 @@ class SentimentAnalyzer:
         """Add or override lexicon entries (keys are stemmed internally)."""
         for word, valence in entries.items():
             self._lexicon[stem(word.lower())] = float(valence)
+        self._refresh_fingerprint()

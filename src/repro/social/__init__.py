@@ -16,6 +16,7 @@ from repro.social.api import (
 )
 from repro.social.multiplatform import MultiPlatformClient, PlatformSource
 from repro.social.corpus import Corpus
+from repro.social.index import CorpusIndex
 from repro.social.post import Engagement, Post
 from repro.social.resilience import (
     BestEffortClient,
@@ -47,6 +48,7 @@ __all__ = [
     "BestEffortClient",
     "Corpus",
     "CorpusGenerator",
+    "CorpusIndex",
     "Engagement",
     "FlakyClient",
     "InMemoryClient",

@@ -190,7 +190,14 @@ class SocialMediaClient(abc.ABC):
 
 
 class InMemoryClient(SocialMediaClient):
-    """Corpus-backed client used throughout the reproduction."""
+    """Corpus-backed client used throughout the reproduction.
+
+    Every query path rides the corpus' inverted index
+    (:class:`~repro.social.index.CorpusIndex`): region scopes are
+    memoized sub-corpora sharing one index each, analysis windows are
+    bisected out of the date-sorted index instead of materialised as
+    throwaway sub-corpora, and a batch query is resolved in one sweep.
+    """
 
     def __init__(self, corpus: Corpus) -> None:
         self._corpus = corpus
@@ -200,46 +207,51 @@ class InMemoryClient(SocialMediaClient):
         """The backing corpus."""
         return self._corpus
 
-    def _filtered(self, query: SearchQuery) -> List[Post]:
-        scope = self._corpus
-        if query.region is not None:
-            scope = scope.in_region(query.region)
-        scope = scope.in_window(since=query.since, until=query.until)
-        return scope.matching(query.keyword)
+    def _scope(self, region: Optional[str]) -> Corpus:
+        if region is None:
+            return self._corpus
+        return self._corpus.region_view(region)
 
     def search(self, query: SearchQuery) -> List[Post]:
         """Posts matching the query, oldest first, truncated to ``limit``."""
-        matches = self._filtered(query)
-        if query.limit is not None:
-            matches = matches[: query.limit]
-        return matches
+        return self._scope(query.region).search_many(
+            (query.keyword,),
+            since=query.since,
+            until=query.until,
+            limit=query.limit,
+        )[query.keyword]
 
     def count_by_year(self, query: SearchQuery) -> Dict[int, int]:
         """Number of matching posts per posting year (limit ignored)."""
+        matches = self._scope(query.region).search_many(
+            (query.keyword,), since=query.since, until=query.until
+        )[query.keyword]
         counts: Dict[int, int] = {}
-        for post in self._filtered(query):
+        for post in matches:
             counts[post.year] = counts.get(post.year, 0) + 1
         return counts
 
     def search_many(self, batch: BatchQuery) -> BatchResult:
-        """Batch search sharing one corpus scope across all keywords.
+        """Batch search answered in one pass over the corpus index.
 
-        The region/window restriction (and the hashtag index of the
-        restricted sub-corpus) is built once and reused for every
-        keyword, instead of once per keyword as the sequential path
-        does — the main single-platform batching win.
+        The region scope (and its inverted index) is shared by every
+        keyword of the batch, the window is a bisected slice, and all
+        keywords are matched during a single sweep of that slice —
+        instead of one corpus scan per keyword as the sequential path
+        would issue.
         """
-        scope = self._corpus
-        if batch.region is not None:
-            scope = scope.in_region(batch.region)
-        scope = scope.in_window(since=batch.since, until=batch.until)
-        results: Dict[str, Tuple[Post, ...]] = {}
-        for keyword in batch.keywords:
-            matches = scope.matching(keyword)
-            if batch.limit is not None:
-                matches = matches[: batch.limit]
-            results[keyword] = tuple(matches)
-        return BatchResult(posts_by_keyword=results)
+        per_keyword = self._scope(batch.region).search_many(
+            batch.keywords,
+            since=batch.since,
+            until=batch.until,
+            limit=batch.limit,
+        )
+        return BatchResult(
+            posts_by_keyword={
+                keyword: tuple(per_keyword[keyword])
+                for keyword in batch.keywords
+            }
+        )
 
 
 def search_texts(client: SocialMediaClient, query: SearchQuery) -> Sequence[str]:

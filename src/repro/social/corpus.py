@@ -2,9 +2,13 @@
 
 :class:`Corpus` stores posts and answers the queries PSP issues: keyword
 match (canonical-folded, hashtag or free text), time-window filters
-("posts since 2022", paper Fig. 9-C) and region filters.  Keyword matching
-is index-accelerated: an inverted index from canonical hashtag to post is
-built lazily and free-text matching only runs on the residual posts.
+("posts since 2022", paper Fig. 9-C) and region filters.  Keyword
+matching is answered by a lazily built
+:class:`~repro.social.index.CorpusIndex` — date-sorted posts, inverted
+hashtag/token/stem postings and a one-pass batch matcher — so a whole
+batch of keywords over any window is resolved in a single sweep instead
+of one linear scan per keyword, and analysis windows are bisected
+instead of materialised as sub-corpora.
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ from __future__ import annotations
 import datetime as dt
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
-from repro.nlp.normalize import canonical_keyword, keyword_in_text
+from repro.social.index import CorpusIndex
 from repro.social.post import Engagement, Post
 
 
@@ -26,7 +30,9 @@ class Corpus:
             if post.post_id in seen:
                 raise ValueError(f"duplicate post id {post.post_id!r}")
             seen.add(post.post_id)
-        self._hashtag_index: Optional[Dict[str, List[Post]]] = None
+        self._ids: Set[str] = seen
+        self._engine: Optional[CorpusIndex] = None
+        self._region_views: Dict[str, "Corpus"] = {}
 
     def __len__(self) -> int:
         return len(self._posts)
@@ -35,40 +41,47 @@ class Corpus:
         return iter(self._posts)
 
     def __contains__(self, post_id: str) -> bool:
-        return any(p.post_id == post_id for p in self._posts)
+        return post_id in self._ids
 
     @property
     def posts(self) -> Sequence[Post]:
         """All posts, in insertion order."""
         return tuple(self._posts)
 
-    def _index(self) -> Dict[str, List[Post]]:
-        if self._hashtag_index is None:
-            index: Dict[str, List[Post]] = {}
-            for post in self._posts:
-                for tag in set(post.hashtags):
-                    index.setdefault(tag, []).append(post)
-            self._hashtag_index = index
-        return self._hashtag_index
+    def index(self) -> CorpusIndex:
+        """The corpus' inverted index, built once on first use."""
+        if self._engine is None:
+            self._engine = CorpusIndex(self._posts)
+        return self._engine
 
     def matching(self, keyword: str) -> List[Post]:
         """Posts matching ``keyword`` by hashtag or free text.
 
-        The canonical hashtag index answers the common case; posts without
-        a matching hashtag are additionally scanned with the folded
-        free-text matcher so "my dpf delete kit" still matches
-        ``dpfdelete``.
+        Canonical hashtag, exact-token and stem postings confirm the
+        common cases straight from the index; the folded free-text
+        matcher covers the rest (multi-word phrases, mid-token
+        occurrences) over precomputed haystacks, so "my dpf delete kit"
+        still matches ``dpfdelete``.  Results are oldest first.
         """
-        canonical = canonical_keyword(keyword)
-        by_tag = list(self._index().get(canonical, ()))
-        tagged_ids = {p.post_id for p in by_tag}
-        for post in self._posts:
-            if post.post_id in tagged_ids:
-                continue
-            if keyword_in_text(keyword, post.text):
-                by_tag.append(post)
-        by_tag.sort(key=lambda p: (p.created_at, p.post_id))
-        return by_tag
+        return self.index().matching(keyword)
+
+    def search_many(
+        self,
+        keywords: Sequence[str],
+        *,
+        since: Optional[dt.date] = None,
+        until: Optional[dt.date] = None,
+        limit: Optional[int] = None,
+    ) -> Dict[str, List[Post]]:
+        """Per-keyword matches for a whole batch, in one corpus pass.
+
+        The window is bisected out of the date-sorted index (no
+        sub-corpus construction) and every keyword is resolved during a
+        single sweep; see :meth:`CorpusIndex.search_many`.
+        """
+        return self.index().search_many(
+            keywords, since=since, until=until, limit=limit
+        )
 
     def in_window(
         self,
@@ -92,6 +105,20 @@ class Corpus:
         """Sub-corpus of posts from the given region (case-insensitive)."""
         wanted = region.strip().lower()
         return Corpus(p for p in self._posts if p.region.lower() == wanted)
+
+    def region_view(self, region: str) -> "Corpus":
+        """Like :meth:`in_region`, but memoized on this corpus.
+
+        Queries scoped to a region reuse one sub-corpus — and therefore
+        one inverted index — per distinct region instead of rebuilding
+        both on every call.
+        """
+        key = region.strip().lower()
+        view = self._region_views.get(key)
+        if view is None:
+            view = self.in_region(region)
+            self._region_views[key] = view
+        return view
 
     def merged_with(self, other: "Corpus") -> "Corpus":
         """Union of two corpora (post ids must not collide)."""

@@ -1,0 +1,94 @@
+"""Tests for the BENCH_*.json record schema and IO."""
+
+import json
+
+import pytest
+
+from repro.analysis.benchjson import (
+    SCHEMA_VERSION,
+    BenchResult,
+    bench_file_path,
+    load_bench_result,
+    validate_payload,
+    write_bench_result,
+)
+
+
+def result(**overrides) -> BenchResult:
+    defaults = dict(
+        name="indexed_corpus",
+        workload={"keywords": 56, "windows": 5, "posts": 3136},
+        naive_seconds=4.0,
+        engine_seconds=0.5,
+        equivalent=True,
+        extra={"distinct_index_terms": 452},
+    )
+    defaults.update(overrides)
+    return BenchResult(**defaults)
+
+
+class TestBenchResult:
+    def test_speedup(self):
+        assert result().speedup == pytest.approx(8.0)
+
+    def test_zero_engine_time_is_infinite_speedup(self):
+        assert result(engine_seconds=0.0).speedup == float("inf")
+
+    def test_infinite_speedup_serialises_as_null(self):
+        payload = result(engine_seconds=0.0).to_payload()
+        assert payload["speedup"] is None
+        assert validate_payload(payload) == []
+        # Strict JSON round-trip (json.dumps would otherwise emit the
+        # non-standard Infinity literal).
+        assert json.loads(json.dumps(payload))["speedup"] is None
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValueError, match="slug"):
+            result(name="no spaces!")
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            result(naive_seconds=-1.0)
+
+    def test_payload_is_valid(self):
+        payload = result().to_payload()
+        assert validate_payload(payload) == []
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["bench"] == "indexed_corpus"
+        assert payload["speedup"] == 8.0
+
+
+class TestValidation:
+    def test_missing_key_reported(self):
+        payload = result().to_payload()
+        del payload["speedup"]
+        assert validate_payload(payload) == ["missing key 'speedup'"]
+
+    def test_wrong_type_reported(self):
+        payload = result().to_payload()
+        payload["equivalent"] = "yes"
+        assert any("equivalent" in p for p in validate_payload(payload))
+
+    def test_wrong_schema_version_reported(self):
+        payload = result().to_payload()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        assert validate_payload(payload)
+
+
+class TestIO:
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = write_bench_result(result(), tmp_path)
+        assert path == bench_file_path("indexed_corpus", tmp_path)
+        assert path.name == "BENCH_indexed_corpus.json"
+        payload = load_bench_result(path)
+        assert payload == result().to_payload()
+
+    def test_load_rejects_invalid_record(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"bench": "bad"}))
+        with pytest.raises(ValueError, match="invalid bench record"):
+            load_bench_result(path)
+
+    def test_write_creates_missing_directory(self, tmp_path):
+        path = write_bench_result(result(), tmp_path / "nested" / "dir")
+        assert path.is_file()

@@ -1,0 +1,91 @@
+"""Tests for the shared per-post text analysis sidecar."""
+
+from repro.nlp.analysis import analyze_text
+from repro.nlp.hashtags import extract_hashtags
+from repro.nlp.normalize import (
+    canonical_keyword,
+    keyword_in_text,
+    normalize_text,
+    stem,
+)
+from repro.nlp.sentiment import SentimentAnalyzer
+from repro.nlp.tokenizer import tokenize
+
+
+class TestAnalyzeText:
+    def test_views_match_primitives(self):
+        text = "Just did my #DPF_delete — deleting smoke, great gains!"
+        analysis = analyze_text(text)
+        normalized = normalize_text(text)
+        assert analysis.normalized == normalized
+        assert analysis.squashed == normalized.replace(" ", "")
+        assert analysis.words == tuple(normalized.split())
+        assert analysis.stems == tuple(stem(w) for w in analysis.words)
+        assert analysis.stemmed_joined == "".join(analysis.stems)
+        assert analysis.hashtags == tuple(extract_hashtags(text))
+        assert analysis.tokens == tuple(tokenize(text))
+        assert analysis.word_set == frozenset(analysis.words)
+
+    def test_shared_object_per_distinct_text(self):
+        assert analyze_text("same #dpfdelete text") is analyze_text(
+            "same #dpfdelete text"
+        )
+
+    def test_matches_keyword_equals_keyword_in_text(self):
+        texts = (
+            "my dpf-delete kit",
+            "#dpfdelete rocks",
+            "superdpfdeletekit pro",
+            "deleting the filter",
+            "nothing relevant",
+        )
+        keywords = ("dpf delete", "dpfdelete", "deleting", "delet", "missing")
+        for text in texts:
+            analysis = analyze_text(text)
+            for keyword in keywords:
+                folded = canonical_keyword(keyword)
+                assert analysis.matches_keyword(folded) == keyword_in_text(
+                    keyword, text
+                ), (keyword, text)
+
+    def test_empty_canonical_never_matches(self):
+        assert not analyze_text("some text").matches_keyword("")
+
+
+class _CountingAnalyzer(SentimentAnalyzer):
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.raw_calls = 0
+
+    def _raw_score(self, tokens):
+        self.raw_calls += 1
+        return super()._raw_score(tokens)
+
+
+class TestSentimentMemo:
+    def test_scored_once_per_text_per_fingerprint(self):
+        analyzer = _CountingAnalyzer()
+        analysis = analyze_text("love the power gains, works great")
+        first = analyzer.score_analysis(analysis)
+        second = analyzer.score_analysis(analysis)
+        assert first is second
+        assert analyzer.raw_calls == 1
+        assert first.score == analyzer.score(analysis.text).score
+
+    def test_memo_shared_across_equal_analyzers(self):
+        analysis = analyze_text("terrible fail, fined and caught")
+        a = _CountingAnalyzer()
+        b = _CountingAnalyzer()
+        assert a.fingerprint == b.fingerprint
+        a.score_analysis(analysis)
+        b.score_analysis(analysis)
+        assert (a.raw_calls, b.raw_calls) == (1, 0)
+
+    def test_extend_lexicon_invalidates_memo(self):
+        analyzer = _CountingAnalyzer()
+        analysis = analyze_text("the mightyboost worked")
+        before = analyzer.score_analysis(analysis)
+        analyzer.extend_lexicon({"mightyboost": 2.5})
+        after = analyzer.score_analysis(analysis)
+        assert analyzer.raw_calls == 2
+        assert after.score > before.score

@@ -1,0 +1,224 @@
+"""Property tests: the indexed engine equals the naive per-keyword scan.
+
+The contract of :class:`repro.social.index.CorpusIndex` is that
+``search_many`` returns post-for-post identical results to the seed-era
+per-keyword path: the lazy hashtag-index union plus a linear
+:func:`~repro.nlp.normalize.keyword_in_text` scan, sorted oldest first.
+These tests drive both paths over randomized corpora and over the known
+tricky shapes (multi-word phrases spanning separators, hashtag-only
+posts, mid-token occurrences, stem collisions, empty windows, region
+filters) and require equality.
+"""
+
+import datetime as dt
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.normalize import canonical_keyword, keyword_in_text
+from repro.social.api import BatchQuery, InMemoryClient, SearchQuery
+from repro.social.corpus import Corpus
+from repro.social.post import Post
+
+#: Vocabulary exercising the matcher's edge shapes: inflections that
+#: stem-collide ("deleting"/"deletes" -> "delet"), a mid-token
+#: occurrence carrier ("superdpfdeletekit"), phrase halves ("dpf",
+#: "delete") and boundary-straddle bait ("dp", "fdelete").
+WORDS = (
+    "dpf", "delete", "deleting", "deletes", "deleted", "egr", "removal",
+    "tuning", "tuner", "tuners", "remap", "chip", "stage", "kit",
+    "install", "installed", "superdpfdeletekit", "adblue", "off", "my",
+    "the", "police", "dp", "fdelete",
+)
+HASHTAGS = (
+    "#dpfdelete", "#DPF_delete", "#egr_removal", "#stage2",
+    "#AdBlue_off", "#tuning",
+)
+SEPARATORS = (" ", " - ", "_", " / ", ". ", "  ")
+
+#: Keywords covering every tricky case named in the contract.
+KEYWORDS = (
+    "dpf delete",      # multi-word phrase spanning separators
+    "#dpfdelete",      # hashtag surface form
+    "egr removal",
+    "delete",          # stem collision bait vs "deleting"/"deletes"
+    "deleting",
+    "deletes",
+    "stage2",
+    "tuner",
+    "adblueoff",
+    "kit",
+    "nomatchxyz",      # matches nothing
+)
+
+WINDOWS = (
+    (None, None),
+    (dt.date(2018, 1, 1), dt.date(2021, 12, 31)),
+    (dt.date(2023, 6, 1), None),
+    (None, dt.date(2017, 3, 31)),
+    (dt.date(2030, 1, 1), dt.date(2030, 12, 31)),  # empty window
+)
+
+
+def naive_matching(posts, keyword, *, since=None, until=None, region=None):
+    """The seed-era path: hashtag-index union + linear folded-text scan."""
+    scoped = [
+        p
+        for p in posts
+        if (region is None or p.region.lower() == region.strip().lower())
+        and (since is None or p.created_at >= since)
+        and (until is None or p.created_at <= until)
+    ]
+    canonical = canonical_keyword(keyword)
+    index = {}
+    for post in scoped:
+        for tag in set(post.hashtags):
+            index.setdefault(tag, []).append(post)
+    matched = list(index.get(canonical, ()))
+    tagged_ids = {p.post_id for p in matched}
+    for post in scoped:
+        if post.post_id in tagged_ids:
+            continue
+        if keyword_in_text(keyword, post.text):
+            matched.append(post)
+    matched.sort(key=lambda p: (p.created_at, p.post_id))
+    return matched
+
+
+@st.composite
+def _post_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=25))
+    posts = []
+    for i in range(n):
+        tokens = draw(
+            st.lists(
+                st.sampled_from(WORDS + HASHTAGS), min_size=1, max_size=7
+            )
+        )
+        seps = draw(
+            st.lists(
+                st.sampled_from(SEPARATORS),
+                min_size=len(tokens),
+                max_size=len(tokens),
+            )
+        )
+        text = "".join(t + s for t, s in zip(tokens, seps)).strip() or tokens[0]
+        posts.append(
+            Post(
+                post_id=f"p{i}",
+                text=text,
+                author=f"user{i % 5}",
+                created_at=draw(
+                    st.dates(
+                        min_value=dt.date(2016, 1, 1),
+                        max_value=dt.date(2023, 12, 31),
+                    )
+                ),
+                region=draw(st.sampled_from(["europe", "america"])),
+            )
+        )
+    return posts
+
+
+class TestIndexedSearchEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(posts=_post_lists())
+    def test_search_many_equals_naive_scan(self, posts):
+        corpus = Corpus(posts)
+        for since, until in WINDOWS:
+            indexed = corpus.search_many(KEYWORDS, since=since, until=until)
+            for keyword in KEYWORDS:
+                expected = naive_matching(
+                    posts, keyword, since=since, until=until
+                )
+                got = indexed[keyword]
+                assert [p.post_id for p in got] == [
+                    p.post_id for p in expected
+                ], (keyword, since, until)
+
+    @settings(max_examples=25, deadline=None)
+    @given(posts=_post_lists())
+    def test_client_search_equals_naive_scan_with_regions(self, posts):
+        client = InMemoryClient(Corpus(posts))
+        since, until = dt.date(2017, 1, 1), dt.date(2022, 12, 31)
+        for region in (None, "europe", "AMERICA"):
+            for keyword in ("dpf delete", "deleting", "#dpfdelete", "kit"):
+                got = client.search(
+                    SearchQuery(
+                        keyword=keyword, since=since, until=until, region=region
+                    )
+                )
+                expected = naive_matching(
+                    posts, keyword, since=since, until=until, region=region
+                )
+                assert [p.post_id for p in got] == [
+                    p.post_id for p in expected
+                ], (keyword, region)
+
+    @settings(max_examples=25, deadline=None)
+    @given(posts=_post_lists(), limit=st.integers(min_value=1, max_value=5))
+    def test_limit_truncates_oldest_first(self, posts, limit):
+        client = InMemoryClient(Corpus(posts))
+        batch = client.search_many(
+            BatchQuery(keywords=KEYWORDS, limit=limit)
+        )
+        for keyword in KEYWORDS:
+            expected = naive_matching(posts, keyword)[:limit]
+            assert [p.post_id for p in batch.posts(keyword)] == [
+                p.post_id for p in expected
+            ]
+
+
+class TestTrickyShapes:
+    def _corpus(self):
+        mk = lambda i, text, day: Post(
+            post_id=f"t{i}",
+            text=text,
+            author="a",
+            created_at=dt.date(2020, 1, day),
+        )
+        return [
+            mk(0, "my dpf-delete kit arrived", 1),      # phrase over separator
+            mk(1, "#dpfdelete rocks", 2),               # hashtag-only surface
+            mk(2, "the superdpfdeletekit pro", 3),      # mid-token occurrence
+            mk(3, "deleting the filter today", 4),      # gerund, stems to delet
+            mk(4, "he deletes maps daily", 5),          # plural, stems to delet
+            mk(5, "dp fdelete weird split", 6),         # cross-boundary squash
+            mk(6, "nothing relevant here", 7),
+            mk(7, "egr_removal done", 8),               # separator-joined phrase
+        ]
+
+    def test_tricky_cases_match_naive(self):
+        posts = self._corpus()
+        corpus = Corpus(posts)
+        for keyword in KEYWORDS + ("dpfdelete", "egrremoval", "fdelete"):
+            expected = naive_matching(posts, keyword)
+            got = corpus.matching(keyword)
+            assert [p.post_id for p in got] == [p.post_id for p in expected], keyword
+
+    def test_phrase_and_hashtag_and_midtoken_all_match(self):
+        corpus = Corpus(self._corpus())
+        ids = {p.post_id for p in corpus.matching("dpf delete")}
+        # Phrase, hashtag, mid-token and accidental-squash posts all fold
+        # onto "dpfdelete".
+        assert {"t0", "t1", "t2", "t5"} <= ids
+        assert "t6" not in ids
+
+    def test_stem_collisions(self):
+        corpus = Corpus(self._corpus())
+        # "deleting" and "deletes" both stem to "delet"; the keyword
+        # "deleting" canonicalises to "deleting", present only in t3's
+        # squashed text — the stemmed haystack holds "delet", not
+        # "deleting".  The naive matcher agrees (asserted above); here we
+        # pin the concrete outcome so a matcher change is visible.
+        assert [p.post_id for p in corpus.matching("deleting")] == ["t3"]
+        assert [p.post_id for p in corpus.matching("deletes")] == ["t4"]
+        # "delet" hits both inflections via the stem index.
+        assert {"t3", "t4"} <= {p.post_id for p in corpus.matching("delet")}
+
+    def test_empty_window_returns_nothing(self):
+        corpus = Corpus(self._corpus())
+        result = corpus.search_many(
+            KEYWORDS, since=dt.date(2031, 1, 1), until=dt.date(2031, 12, 31)
+        )
+        assert all(result[k] == [] for k in KEYWORDS)

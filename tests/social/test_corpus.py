@@ -98,3 +98,50 @@ class TestFilters:
 
     def test_texts(self, corpus):
         assert len(corpus.texts()) == 5
+
+
+class TestContains:
+    def test_membership_uses_id_set(self, corpus):
+        # __contains__ answers from the id set built at construction —
+        # no linear scan of the posts.
+        assert "p3" in corpus
+        assert "p9" not in corpus
+        assert corpus._ids == {"p1", "p2", "p3", "p4", "p5"}
+
+    def test_merged_corpus_contains_both_sides(self, corpus):
+        merged = corpus.merged_with(Corpus([post("p9", "extra")]))
+        assert "p9" in merged and "p1" in merged
+
+
+class TestIndexedEngine:
+    def test_index_built_once_and_reused(self, corpus):
+        engine = corpus.index()
+        corpus.matching("dpfdelete")
+        corpus.search_many(("dpfdelete", "egroff"))
+        assert corpus.index() is engine
+
+    def test_search_many_equals_per_keyword_matching(self, corpus):
+        keywords = ("dpfdelete", "egroff", "nothing", "missingkw")
+        batch = corpus.search_many(keywords)
+        for keyword in keywords:
+            assert [p.post_id for p in batch[keyword]] == [
+                p.post_id for p in corpus.matching(keyword)
+            ]
+
+    def test_search_many_window_is_bisected_slice(self, corpus):
+        batch = corpus.search_many(
+            ("dpfdelete",),
+            since=dt.date(2021, 1, 1),
+            until=dt.date(2021, 12, 31),
+        )
+        assert [p.post_id for p in batch["dpfdelete"]] == ["p2"]
+
+    def test_search_many_limit(self, corpus):
+        batch = corpus.search_many(("dpfdelete",), limit=2)
+        assert [p.post_id for p in batch["dpfdelete"]] == ["p1", "p2"]
+
+    def test_region_view_memoized_case_insensitively(self, corpus):
+        view = corpus.region_view("Europe")
+        assert corpus.region_view("  EUROPE ") is view
+        assert len(view) == 4
+        assert [p.post_id for p in view.matching("dpfdelete")] == ["p1", "p2"]
