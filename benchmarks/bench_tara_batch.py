@@ -1,0 +1,74 @@
+"""S6 — the compiled batch TARA scorer vs N+1 monolith engine runs.
+
+The fleet workload of ``fleet_taras``: one static baseline plus ten
+PSP-tuned members over the same architecture.  The seed path re-ran the
+full TARA monolith per table — re-identifying assets, re-enumerating
+STRIDE threats and (the hot part) re-walking every attack path **per
+threat, per table**.  The engine path compiles the threat model once
+(:mod:`repro.tara.model`) and sweeps all eleven tables over it
+(:mod:`repro.tara.scoring`), memoising per-(path, table-fingerprint)
+feasibility.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_tara_batch.py -q
+
+``test_tara_batch_speedup_and_equivalence`` asserts record-for-record
+identical reports, a >= 5x speedup on the 11-table fleet-rescoring
+workload, and writes ``BENCH_tara_batch.json`` (see docs/BENCHMARKS.md
+for the schema).
+"""
+
+import pytest
+
+from repro.analysis.benchjson import load_bench_result
+from repro.analysis.benchkit import (
+    batch_fleet_tara_pass,
+    fleet_insider_tables,
+    naive_fleet_tara_pass,
+    run_tara_batch_bench,
+    tara_fleet_network,
+)
+from repro.tara.model import clear_compile_cache
+
+
+@pytest.fixture(scope="module")
+def network():
+    return tara_fleet_network()
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return fleet_insider_tables()
+
+
+def test_s6_monolith_fleet_pass(benchmark, network, tables):
+    reports = benchmark(naive_fleet_tara_pass, network, tables)
+    print(f"\nS6 — N+1 monolith runs: {len(tables)} tuned tables + baseline, "
+          f"{len(network.ecus)} ECUs, {len(reports[0].records)} threats/run")
+    assert len(reports) == len(tables) + 1
+
+
+def test_s6_batch_scorer(benchmark, network, tables):
+    def run():
+        clear_compile_cache()
+        return batch_fleet_tara_pass(network, tables)
+
+    reports = benchmark(run)
+    print(f"\nS6 — compiled batch scorer: {len(tables)} tuned tables + "
+          f"baseline over one compiled model")
+    assert len(reports) == len(tables) + 1
+
+
+def test_tara_batch_speedup_and_equivalence(network, tables, bench_report):
+    result = run_tara_batch_bench(network=network, tables=tables)
+    path = bench_report(result)
+    payload = load_bench_result(path)
+    print("\nS6 summary: " + str(payload))
+
+    assert result.equivalent, "batch scorer diverged from the monolith runs"
+    # The acceptance gate: compiled-model fleet rescoring must beat the
+    # N+1 legacy TaraEngine.run() path >= 5x on the 10-member workload
+    # (typical margin is ~15-25x).
+    assert result.speedup >= 5.0, payload
+    assert payload["bench"] == "tara_batch"

@@ -2,7 +2,8 @@
 """Benchmark runner: time the key engines and emit ``BENCH_<name>.json``.
 
 Runs the registered bench kernels (indexed corpus engine, batched+cached
-query engine, sentiment memo) without any pytest machinery and writes
+query engine, sentiment memo, compiled batch TARA scorer) without any
+pytest machinery and writes
 one machine-readable JSON record per bench, so the repository's
 performance trajectory is data (docs/BENCHMARKS.md documents the
 schema).  CI runs this and uploads the files as workflow artifacts.

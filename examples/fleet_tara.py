@@ -1,11 +1,16 @@
 """Full-vehicle TARA: static ISO model versus the PSP-tuned model.
 
 Runs a complete ISO/SAE-21434 TARA over the Fig. 4 reference architecture
-twice — once with the standard's static attack-vector table and once with
-the PSP-tuned insider table derived from the ECM-reprogramming corpus —
-and diffs the outcomes (experiment E10).  The disagreements concentrate
-on powertrain insider threats, which the static table systematically
-under-rates: the paper's §II argument, quantified.
+under the standard's static attack-vector table and under the PSP-tuned
+insider table derived from the ECM-reprogramming corpus, then diffs the
+outcomes (experiment E10).  The disagreements concentrate on powertrain
+insider threats, which the static table systematically under-rates: the
+paper's §II argument, quantified.
+
+Since the compile/score split the architecture is walked **once**
+(:func:`repro.tara.compile_threat_model`) and both runs are scoring
+sweeps of one :class:`repro.tara.BatchTaraScorer` over the compiled
+model — the same pattern `fleet_taras` uses to rescore whole fleets.
 
 Run with::
 
@@ -16,7 +21,13 @@ from repro import PSPFramework, TargetApplication, TimeWindow
 from repro.analysis import summarize_disagreements
 from repro.core.keywords import AttackKeyword, KeywordDatabase
 from repro.social import InMemoryClient, ecm_reprogramming_corpus, ecm_reprogramming_specs
-from repro.tara import TaraEngine, compare_runs, render_tara
+from repro.tara import (
+    BatchTaraScorer,
+    TableSpec,
+    compare_runs,
+    compile_threat_model,
+    render_tara,
+)
 from repro.vehicle import reference_architecture
 
 
@@ -41,9 +52,15 @@ def tuned_insider_table():
 def main() -> None:
     network = reference_architecture()
 
-    static_run = TaraEngine(network).run()
-    insider_table = tuned_insider_table()
-    tuned_run = TaraEngine(network, insider_table=insider_table).run()
+    # Compile once, score both tables in one batch sweep.
+    scorer = BatchTaraScorer(compile_threat_model(network))
+    reports = scorer.score_many(
+        [
+            TableSpec(label="static"),
+            TableSpec(label="psp", insider_table=tuned_insider_table()),
+        ]
+    )
+    static_run, tuned_run = reports["static"], reports["psp"]
 
     print(render_tara(static_run, min_risk=4))
     print()
@@ -70,6 +87,11 @@ def main() -> None:
     print(
         f"Largest risk jump: {worst.threat_id} — risk {worst.static_risk} "
         f"under the static table, {worst.tuned_risk} under PSP"
+    )
+    stats = scorer.memo_stats
+    print(
+        f"Scorer memo: {int(stats['hits'])} hits / "
+        f"{int(stats['lookups'])} lookups ({stats['hit_rate']:.0%})"
     )
 
 

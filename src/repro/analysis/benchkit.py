@@ -21,13 +21,36 @@ from repro.core.cache import CachedClient, TTLCache
 from repro.core.keywords import AttackKeyword, KeywordDatabase
 from repro.core.sai import SAIComputer, SAIList
 from repro.core.timewindow import TimeWindow
-from repro.iso21434.enums import AttackVector
+from repro.iso21434.attack_path import threat_feasibility
+from repro.iso21434.cal import determine_cal
+from repro.iso21434.enums import CAL, AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import WeightTable, standard_table
+from repro.iso21434.impact import ImpactProfile
+from repro.iso21434.risk import RiskMatrix, default_matrix
+from repro.iso21434.threats import ThreatScenario
+from repro.iso21434.treatment import TreatmentPolicy
 from repro.nlp.analysis import analyze_text
 from repro.nlp.normalize import canonical_keyword, keyword_in_text
 from repro.social.api import BatchQuery, InMemoryClient, SearchQuery
 from repro.social.corpus import Corpus
 from repro.social.post import Post
 from repro.social.synthetic import AttackTopicSpec, generate_corpus
+from repro.tara.model import (
+    clear_compile_cache,
+    compile_threat_model,
+    enumerate_threats,
+    identify_assets,
+    rate_impact,
+)
+from repro.tara.scoring import (
+    BatchTaraScorer,
+    TableSpec,
+    TaraRecord,
+    TaraReportData,
+)
+from repro.vehicle.architecture import scaled_architecture
+from repro.vehicle.attack_surface import AttackSurfaceAnalyzer
+from repro.vehicle.network import VehicleNetwork
 
 #: Fleet-scale acceptance workload: >= 50 keywords over the monitor's
 #: growing-window cadence (5 overlapping windows, 4-8 years each).
@@ -353,9 +376,203 @@ def run_sentiment_memo_bench(
     )
 
 
+# -- compiled-model batch TARA vs N+1 monolith engine runs -------------------
+
+
+def legacy_tara_run(
+    network: VehicleNetwork,
+    *,
+    table: Optional[WeightTable] = None,
+    insider_table: Optional[WeightTable] = None,
+    risk_matrix: Optional[RiskMatrix] = None,
+    policy: Optional[TreatmentPolicy] = None,
+    impact_overrides: Optional[Dict[str, ImpactProfile]] = None,
+    extra_threats: Sequence[ThreatScenario] = (),
+) -> TaraReportData:
+    """The seed-era TARA monolith, replicated faithfully.
+
+    Re-derives assets, STRIDE threats and impact per run, and — the
+    expensive part — re-enumerates attack paths through the
+    :class:`~repro.vehicle.attack_surface.AttackSurfaceAnalyzer` for
+    **every threat**, exactly as the pre-split ``TaraEngine.run`` did.
+    This is the naive reference the batch scorer must match
+    record-for-record (property-tested in
+    ``tests/properties/test_tara_batch_equivalence.py``).
+    """
+    outsider = table if table is not None else standard_table()
+    insider = insider_table if insider_table is not None else outsider
+    matrix = risk_matrix if risk_matrix is not None else default_matrix()
+    treatment_policy = policy or TreatmentPolicy()
+    overrides = dict(impact_overrides or {})
+    analyzer = AttackSurfaceAnalyzer(network, table=outsider)
+    insider_analyzer = AttackSurfaceAnalyzer(network, table=insider)
+
+    assets = identify_assets(network)
+    threats = list(enumerate_threats(network, assets))
+    threats.extend(extra_threats)
+
+    records = []
+    for threat in threats:
+        impact = rate_impact(network, threat, overrides)
+        active_table = insider if threat.is_owner_approved else outsider
+        active_analyzer = (
+            insider_analyzer if threat.is_owner_approved else analyzer
+        )
+        ecu_id = threat.asset_id.split(".")[0]
+        all_paths = active_analyzer.paths_to(ecu_id, threat_id=threat.threat_id)
+        paths = [
+            p for p in all_paths if p.entry_vector in threat.attack_vectors
+        ]
+        aggregated = threat_feasibility(paths)
+        if aggregated is None:
+            best_vector = max(
+                threat.attack_vectors,
+                key=lambda v: (active_table.rating(v).level, v.reach),
+            )
+            feasibility = active_table.rating(best_vector)
+            entry_vector: Optional[AttackVector] = best_vector
+        else:
+            feasibility = aggregated
+            best_path = max(
+                paths, key=lambda p: (p.feasibility.level, -p.length)
+            )
+            entry_vector = best_path.entry_vector
+        risk = matrix.risk_value(impact.overall, feasibility)
+        cal = (
+            determine_cal(impact.overall, entry_vector)
+            if entry_vector is not None
+            else CAL.NONE
+        )
+        records.append(
+            TaraRecord(
+                threat=threat,
+                impact=impact,
+                feasibility=feasibility,
+                entry_vector=entry_vector,
+                risk_value=risk,
+                cal=cal,
+                treatment=treatment_policy.decide(risk, impact),
+                paths=tuple(paths),
+            )
+        )
+    return TaraReportData(table_source=outsider.source, records=tuple(records))
+
+
+#: Fleet-rescoring acceptance workload: 10 tuned members + 1 baseline.
+N_FLEET_TABLES = 10
+
+
+def fleet_insider_tables(n: int = N_FLEET_TABLES) -> Tuple[WeightTable, ...]:
+    """``n`` deterministic, pairwise-distinct insider weight tables.
+
+    Member ``i``'s rating at vector position ``p`` is the ``p``-th
+    base-4 digit of ``i`` shifted by ``p`` — distinct ``i`` give
+    distinct digit vectors, so every member has a distinct table
+    fingerprint and none resolves for free from another's scorer memo.
+    """
+    if not 1 <= n <= 256:
+        raise ValueError(f"n must be in 1..256 for distinct tables, got {n}")
+    vectors = (
+        AttackVector.NETWORK,
+        AttackVector.ADJACENT,
+        AttackVector.LOCAL,
+        AttackVector.PHYSICAL,
+    )
+    tables = []
+    for i in range(n):
+        ratings = {
+            vector: FeasibilityRating.from_level(((i >> (2 * position)) + position) % 4)
+            for position, vector in enumerate(vectors)
+        }
+        tables.append(
+            WeightTable(ratings, source="psp", note=f"fleet member {i}")
+        )
+    return tuple(tables)
+
+
+def tara_fleet_network(domains: int = 6, ecus_per_domain: int = 8) -> VehicleNetwork:
+    """The synthetic architecture the TARA fleet workload scores."""
+    return scaled_architecture(domains=domains, ecus_per_domain=ecus_per_domain)
+
+
+def naive_fleet_tara_pass(
+    network: VehicleNetwork, tables: Sequence[WeightTable]
+) -> List[TaraReportData]:
+    """The seed fleet path: one full monolith run per table, plus baseline."""
+    reports = [legacy_tara_run(network)]
+    reports.extend(
+        legacy_tara_run(network, insider_table=table) for table in tables
+    )
+    return reports
+
+
+def batch_fleet_tara_pass(
+    network: VehicleNetwork, tables: Sequence[WeightTable]
+) -> List[TaraReportData]:
+    """The engine path: compile once, score the whole fleet in one sweep."""
+    scorer = BatchTaraScorer(compile_threat_model(network))
+    specs = [TableSpec(label="__static__")]
+    specs.extend(
+        TableSpec(label=f"member:{i}", insider_table=table)
+        for i, table in enumerate(tables)
+    )
+    return list(scorer.score_many(specs).values())
+
+
+def _tara_reports_equal(
+    left: Sequence[TaraReportData], right: Sequence[TaraReportData]
+) -> bool:
+    if len(left) != len(right):
+        return False
+    return all(
+        a.table_source == b.table_source and a.records == b.records
+        for a, b in zip(left, right)
+    )
+
+
+def run_tara_batch_bench(
+    network: Optional[VehicleNetwork] = None,
+    tables: Optional[Sequence[WeightTable]] = None,
+) -> BenchResult:
+    """Time N+1 monolith TARA runs against the compiled batch scorer.
+
+    The compile cache is cleared before the engine side so its timing
+    includes building the compiled model from scratch — the measured
+    win is compile-once-score-many, not a warm cache.
+    """
+    net = network if network is not None else tara_fleet_network()
+    fleet_tables = tuple(tables) if tables is not None else fleet_insider_tables()
+
+    start = time.perf_counter()
+    naive = naive_fleet_tara_pass(net, fleet_tables)
+    naive_s = time.perf_counter() - start
+
+    clear_compile_cache()
+    start = time.perf_counter()
+    batched = batch_fleet_tara_pass(net, fleet_tables)
+    engine_s = time.perf_counter() - start
+
+    return BenchResult(
+        name="tara_batch",
+        workload={
+            "ecus": len(net.ecus),
+            "threats": len(naive[0].records),
+            "tables": len(fleet_tables) + 1,
+        },
+        naive_seconds=naive_s,
+        engine_seconds=engine_s,
+        equivalent=_tara_reports_equal(naive, batched),
+        extra={
+            "paths": compile_threat_model(net).path_count,
+            "reports": len(batched),
+        },
+    )
+
+
 #: Registry used by ``benchmarks/run_benches.py``.
 BENCH_RUNNERS: Dict[str, Callable[[], BenchResult]] = {
     "indexed_corpus": run_indexed_corpus_bench,
     "batch_engine": run_batch_engine_bench,
     "sentiment_memo": run_sentiment_memo_bench,
+    "tara_batch": run_tara_batch_bench,
 }

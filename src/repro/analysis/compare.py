@@ -57,9 +57,21 @@ class DisagreementSummary:
         return len(self.disagreements) / self.total_threats
 
     def by_domain(self) -> Dict[VehicleDomain, int]:
-        """Disagreement counts per vehicle domain."""
-        counter: Counter = Counter(d.domain for d in self.disagreements)
+        """Disagreement counts per vehicle domain.
+
+        Disagreements whose asset id did not resolve to a network ECU
+        (``domain is None`` — see
+        :func:`repro.tara.engine.compare_runs`) are excluded; use
+        :meth:`domain_unknown` to inspect them.
+        """
+        counter: Counter = Counter(
+            d.domain for d in self.disagreements if d.domain is not None
+        )
         return dict(counter)
+
+    def domain_unknown(self) -> Tuple[RatingDisagreement, ...]:
+        """Disagreements whose hosting ECU is not part of the network."""
+        return tuple(d for d in self.disagreements if d.domain is None)
 
     def underestimated(self) -> Tuple[RatingDisagreement, ...]:
         """Threats the static model rated lower than PSP."""

@@ -20,10 +20,20 @@ from repro.baselines.heavens import (
     threat_level,
 )
 from repro.baselines.static_iso import BaselineRating, StaticIsoBaseline
+from repro.baselines.triangulation import (
+    TriangulatedAssessment,
+    capability_for,
+    potential_for,
+    triangulate_model,
+)
 
 __all__ = [
     "AttackProbability",
     "BaselineRating",
+    "TriangulatedAssessment",
+    "capability_for",
+    "potential_for",
+    "triangulate_model",
     "EvitaAssessment",
     "HeavensAssessment",
     "HeavensLevel",

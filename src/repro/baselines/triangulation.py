@@ -1,0 +1,191 @@
+"""Model triangulation over one compiled threat model.
+
+Rates **every** threat of a :class:`~repro.tara.model.CompiledThreatModel`
+under the three baseline lineages — the static ISO/SAE-21434 G.9 table,
+EVITA's attack-potential risk graph and HEAVENS' capability scoring —
+without re-identifying assets or threats: the compile phase already did
+that work once, and the baselines only disagree on how feasibility/risk
+is derived from it.
+
+The point of carrying the triangulation at architecture scale is the
+paper's §II argument, quantified per threat: EVITA and HEAVENS score
+attacker *capability* directly, so owner-approved powertrain threats
+(unlimited access, standard aftermarket equipment, public know-how)
+come out top-tier under both — while the static G.9 table, reading only
+the attack vector, rates the same threats Very Low/Low.  Agreement of
+the two capability models with PSP isolates the static table as the
+mis-rating component.
+
+The factor derivations below are reproduction heuristics, not standard
+text: each attack vector maps to the Common-Criteria factor levels a
+*non-approved* attacker plausibly needs, and owner-approved threats get
+the insider profile (the owner grants access and buys the kit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.baselines.evita import EvitaAssessment, assess_evita
+from repro.baselines.heavens import (
+    HeavensAssessment,
+    ThreatLevelInput,
+    assess_heavens,
+)
+from repro.baselines.static_iso import BaselineRating, StaticIsoBaseline
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_potential import (
+    AttackPotentialInput,
+    ElapsedTime,
+    Equipment,
+    Expertise,
+    Knowledge,
+    WindowOfOpportunity,
+)
+from repro.iso21434.feasibility.attack_vector import WeightTable
+from repro.iso21434.threats import ThreatScenario
+from repro.tara.model import CompiledThreatModel
+
+#: Attack-potential factors a non-approved attacker needs per vector.
+_OUTSIDER_POTENTIAL: Mapping[AttackVector, AttackPotentialInput] = {
+    AttackVector.NETWORK: AttackPotentialInput(
+        elapsed_time=ElapsedTime.SIX_MONTHS,
+        expertise=Expertise.EXPERT,
+        knowledge=Knowledge.CONFIDENTIAL,
+        window=WindowOfOpportunity.MODERATE,
+        equipment=Equipment.SPECIALIZED,
+    ),
+    AttackVector.ADJACENT: AttackPotentialInput(
+        elapsed_time=ElapsedTime.ONE_MONTH,
+        expertise=Expertise.EXPERT,
+        knowledge=Knowledge.RESTRICTED,
+        window=WindowOfOpportunity.MODERATE,
+        equipment=Equipment.SPECIALIZED,
+    ),
+    AttackVector.LOCAL: AttackPotentialInput(
+        elapsed_time=ElapsedTime.ONE_MONTH,
+        expertise=Expertise.PROFICIENT,
+        knowledge=Knowledge.RESTRICTED,
+        window=WindowOfOpportunity.MODERATE,
+        equipment=Equipment.STANDARD,
+    ),
+    AttackVector.PHYSICAL: AttackPotentialInput(
+        elapsed_time=ElapsedTime.ONE_MONTH,
+        expertise=Expertise.PROFICIENT,
+        knowledge=Knowledge.RESTRICTED,
+        window=WindowOfOpportunity.DIFFICULT,
+        equipment=Equipment.SPECIALIZED,
+    ),
+}
+
+#: The owner grants access: forum know-how, unlimited time in the own
+#: garage, off-the-shelf tuning kit (paper §II's insider profile).
+_INSIDER_POTENTIAL = AttackPotentialInput(
+    elapsed_time=ElapsedTime.ONE_WEEK,
+    expertise=Expertise.LAYMAN,
+    knowledge=Knowledge.PUBLIC,
+    window=WindowOfOpportunity.UNLIMITED,
+    equipment=Equipment.STANDARD,
+)
+
+#: HEAVENS capability scores (higher = *less* capable attacker needed).
+_OUTSIDER_CAPABILITY: Mapping[AttackVector, ThreatLevelInput] = {
+    AttackVector.NETWORK: ThreatLevelInput(
+        expertise=0, knowledge=1, opportunity=2, equipment=1
+    ),
+    AttackVector.ADJACENT: ThreatLevelInput(
+        expertise=1, knowledge=1, opportunity=1, equipment=1
+    ),
+    AttackVector.LOCAL: ThreatLevelInput(
+        expertise=1, knowledge=2, opportunity=1, equipment=2
+    ),
+    AttackVector.PHYSICAL: ThreatLevelInput(
+        expertise=1, knowledge=1, opportunity=0, equipment=1
+    ),
+}
+
+_INSIDER_CAPABILITY = ThreatLevelInput(
+    expertise=3, knowledge=3, opportunity=3, equipment=3
+)
+
+
+def potential_for(
+    threat: ThreatScenario, vector: AttackVector
+) -> AttackPotentialInput:
+    """Attack-potential factors for a threat realised through ``vector``."""
+    if threat.is_owner_approved:
+        return _INSIDER_POTENTIAL
+    return _OUTSIDER_POTENTIAL[vector]
+
+
+def capability_for(
+    threat: ThreatScenario, vector: AttackVector
+) -> ThreatLevelInput:
+    """HEAVENS capability scores for a threat realised through ``vector``."""
+    if threat.is_owner_approved:
+        return _INSIDER_CAPABILITY
+    return _OUTSIDER_CAPABILITY[vector]
+
+
+@dataclass(frozen=True)
+class TriangulatedAssessment:
+    """One threat rated by the three baseline models."""
+
+    threat_id: str
+    owner_approved: bool
+    iso_static: BaselineRating
+    evita: EvitaAssessment
+    heavens: HeavensAssessment
+
+    @property
+    def capability_models_rate_high(self) -> bool:
+        """Whether EVITA and HEAVENS both put the threat in their top half."""
+        return self.evita.risk.level >= 4 and self.heavens.security.level >= 3
+
+    @property
+    def static_underrates(self) -> bool:
+        """Whether the static table rates low what both capability models
+        rate high — the paper's mis-rating signature."""
+        return (
+            self.capability_models_rate_high
+            and self.iso_static.feasibility.level <= FeasibilityRating.LOW.level
+        )
+
+
+def triangulate_model(
+    model: CompiledThreatModel,
+    *,
+    table: Optional[WeightTable] = None,
+) -> Tuple[TriangulatedAssessment, ...]:
+    """Rate every compiled threat under static-ISO, EVITA and HEAVENS.
+
+    All three baselines consume the *same* compiled threats and impact
+    profiles — no model re-identifies assets or re-enumerates STRIDE
+    scenarios.  The static baseline's chosen vector (the best one under
+    its table) also selects the factor profile the capability models
+    assume for non-approved attackers.
+
+    Args:
+        model: the compiled architecture.
+        table: weight table for the static-ISO side (G.9 by default).
+    """
+    baseline = StaticIsoBaseline(table)
+    assessments = []
+    for threat, impact in model.items():
+        iso = baseline.rate(threat)
+        vector = iso.chosen_vector
+        assessments.append(
+            TriangulatedAssessment(
+                threat_id=threat.threat_id,
+                owner_approved=threat.is_owner_approved,
+                iso_static=iso,
+                evita=assess_evita(
+                    threat.threat_id, potential_for(threat, vector), impact
+                ),
+                heavens=assess_heavens(
+                    threat.threat_id, capability_for(threat, vector), impact
+                ),
+            )
+        )
+    return tuple(assessments)

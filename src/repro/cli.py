@@ -35,8 +35,9 @@ from repro.social import (
     light_truck_specs,
 )
 from repro.tara import (
-    TaraEngine,
+    BatchTaraScorer,
     compare_runs,
+    compile_threat_model,
     fleet_taras,
     render_financial,
     render_sai,
@@ -125,13 +126,16 @@ def _cmd_financial(args: argparse.Namespace) -> int:
 
 
 def _cmd_tara(args: argparse.Namespace) -> int:
+    # Compile the architecture once; static and PSP-tuned runs are two
+    # scoring sweeps over the same compiled threat model.
     network = reference_architecture()
-    static = TaraEngine(network).run()
+    scorer = BatchTaraScorer(compile_threat_model(network))
+    static = scorer.score()
     if not args.psp:
         print(render_tara(static, min_risk=args.min_risk))
         return 0
     insider_table = _framework_for("ecm").run(learn=False).insider_table
-    tuned = TaraEngine(network, insider_table=insider_table).run()
+    tuned = scorer.score(insider_table=insider_table)
     print(render_tara(tuned, min_risk=args.min_risk))
     disagreements = compare_runs(network, static, tuned)
     print(

@@ -29,6 +29,9 @@ from repro.core.timewindow import TimeWindow
 from repro.iso21434.enums import AttackVector, FeasibilityRating
 from repro.iso21434.feasibility.attack_vector import WeightTable
 from repro.tara.lifecycle import LifecycleTracker, ReprocessingEvent
+from repro.tara.model import compile_threat_model
+from repro.tara.scoring import BatchTaraScorer, TaraReportData
+from repro.vehicle.network import VehicleNetwork
 
 
 @dataclass(frozen=True)
@@ -52,6 +55,9 @@ class TrendAlert:
     upto_year: int
     changes: Tuple[VectorChange, ...]
     result: PSPRunResult
+    #: The TARA re-scored with the shifted insider table over the
+    #: monitor's compiled threat model (None without a monitored network).
+    tara: Optional[TaraReportData] = None
 
     def describe(self) -> str:
         """One-line alert summary."""
@@ -71,6 +77,11 @@ class PSPMonitor:
         tracker: optional lifecycle tracker; when given, every alert also
             records a PSP_TREND_SHIFT reprocessing event on it.
         learn: whether each tick runs keyword auto-learning.
+        network: optional vehicle architecture; when given, the monitor
+            compiles its threat model once and every alert carries the
+            TARA re-scored with the shifted insider table
+            (:attr:`TrendAlert.tara`) — continuous TARA at the cost of a
+            memoised scoring sweep per shift.
     """
 
     def __init__(
@@ -80,6 +91,7 @@ class PSPMonitor:
         start_year: int,
         tracker: Optional[LifecycleTracker] = None,
         learn: bool = False,
+        network: Optional[VehicleNetwork] = None,
     ) -> None:
         self._framework = framework
         self._start_year = start_year
@@ -88,6 +100,9 @@ class PSPMonitor:
         self._last_table: Optional[WeightTable] = None
         self._alerts: List[TrendAlert] = []
         self._last_year: Optional[int] = None
+        self._scorer: Optional[BatchTaraScorer] = None
+        if network is not None:
+            self._scorer = BatchTaraScorer(compile_threat_model(network))
 
     @property
     def alerts(self) -> Tuple[TrendAlert, ...]:
@@ -103,6 +118,21 @@ class PSPMonitor:
     def cache_stats(self):
         """The driven framework's cache statistics (None when uncached)."""
         return self._framework.cache_stats
+
+    @property
+    def tara_scorer(self) -> Optional[BatchTaraScorer]:
+        """The compiled-model scorer (None without a monitored network)."""
+        return self._scorer
+
+    def baseline_tara(self) -> Optional[TaraReportData]:
+        """The static-table TARA over the monitored architecture.
+
+        Returns None when the monitor was built without a network.
+        Repeated calls re-score from the warm feasibility memo.
+        """
+        if self._scorer is None:
+            return None
+        return self._scorer.score()
 
     def tick(self, upto_year: int) -> Optional[TrendAlert]:
         """Run one monitoring tick covering ``start_year..upto_year``.
@@ -137,8 +167,16 @@ class PSPMonitor:
                     )
                     for vector in changed
                 )
+                tara = (
+                    self._scorer.score(insider_table=table)
+                    if self._scorer is not None
+                    else None
+                )
                 alert = TrendAlert(
-                    upto_year=upto_year, changes=changes, result=result
+                    upto_year=upto_year,
+                    changes=changes,
+                    result=result,
+                    tara=tara,
                 )
                 self._alerts.append(alert)
                 if self._tracker is not None:

@@ -1,4 +1,13 @@
-"""TARA engine layer: lifecycle, full-architecture runs and reporting."""
+"""TARA layer: compile-once model, batch scoring, lifecycle, reporting.
+
+The runtime is split in two (PR 3): :mod:`repro.tara.model` compiles the
+table-independent threat model of an architecture once (cached by
+structural fingerprint), and :mod:`repro.tara.scoring` batch-scores any
+number of attack-vector weight tables over it.  :class:`TaraEngine`
+remains the back-compat facade; :func:`fleet_taras`,
+:class:`LifecycleTaraRunner` and :func:`run_timeline` are the fleet,
+lifecycle and continuous-monitoring entry points built on the split.
+"""
 
 from repro.tara.engine import (
     FleetTaraReport,
@@ -11,10 +20,18 @@ from repro.tara.engine import (
 )
 from repro.tara.lifecycle import (
     REPROCESSING_PHASES,
+    LifecycleTaraRunner,
     LifecycleTracker,
     Phase,
+    ReprocessedTara,
     ReprocessingEvent,
     ReprocessingTrigger,
+)
+from repro.tara.model import (
+    CompiledThreatModel,
+    compile_cache_stats,
+    compile_threat_model,
+    network_fingerprint,
 )
 from repro.tara.report import (
     render_financial,
@@ -22,22 +39,42 @@ from repro.tara.report import (
     render_tara,
     render_weight_table,
 )
+from repro.tara.scoring import BatchTaraScorer, TableSpec, table_fingerprint
+from repro.tara.timeline import (
+    TaraTimeline,
+    TimelineEntry,
+    run_timeline,
+    year_windows,
+)
 
 __all__ = [
+    "BatchTaraScorer",
+    "CompiledThreatModel",
     "FleetTaraReport",
+    "LifecycleTaraRunner",
     "LifecycleTracker",
     "Phase",
     "REPROCESSING_PHASES",
     "RatingDisagreement",
+    "ReprocessedTara",
     "ReprocessingEvent",
     "ReprocessingTrigger",
+    "TableSpec",
     "TaraEngine",
     "TaraRecord",
     "TaraReportData",
+    "TaraTimeline",
+    "TimelineEntry",
     "compare_runs",
+    "compile_cache_stats",
+    "compile_threat_model",
     "fleet_taras",
+    "network_fingerprint",
     "render_financial",
     "render_sai",
     "render_tara",
     "render_weight_table",
+    "run_timeline",
+    "table_fingerprint",
+    "year_windows",
 ]

@@ -1,17 +1,25 @@
-"""TARA engine: end-to-end Clause-15 runs over a vehicle architecture.
+"""TARA engine facade: end-to-end Clause-15 runs over a vehicle architecture.
 
-:class:`TaraEngine` executes the four TARA activities (asset
-identification → threat identification → impact rating → attack-path
-analysis) over a :class:`~repro.vehicle.network.VehicleNetwork`, then
-determines feasibility, risk value, CAL and treatment per threat.
+Since the compile/score split, :class:`TaraEngine` is a thin facade over
+the two-phase runtime:
 
-The engine is parameterised by the attack-vector weight table, so the
-identical pipeline runs under the standard's static table (the baseline)
-or a PSP-tuned table — experiment E10 diffs the two outputs.
+* :mod:`repro.tara.model` compiles the table-independent threat model
+  (assets, STRIDE threats, impact profiles, attack-path skeletons)
+  **once** per architecture, fingerprinted and cached;
+* :mod:`repro.tara.scoring` evaluates weight tables over the compiled
+  model, memoising per-(path, table-fingerprint) feasibility.
+
+The public API is unchanged: the engine is still parameterised by the
+attack-vector weight table, so the identical pipeline runs under the
+standard's static table (the baseline) or a PSP-tuned table —
+experiment E10 diffs the two outputs.  :func:`fleet_taras` now shares
+one compiled model (and one scorer memo) across the baseline and every
+fleet member instead of paying N+1 full engine runs.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -19,111 +27,46 @@ if TYPE_CHECKING:  # imported lazily to avoid a core↔tara import cycle
     from repro.core.framework import PSPRunResult
     from repro.core.pipeline import FleetResult
 
-from repro.iso21434.assets import Asset, AssetRegistry, standard_ecu_assets
-from repro.iso21434.cal import determine_cal
-from repro.iso21434.enums import (
-    CAL,
-    AttackerProfile,
-    AttackVector,
-    FeasibilityRating,
-    ImpactCategory,
-    ImpactRating,
-)
-from repro.iso21434.attack_path import AttackPath, threat_feasibility
+from repro.iso21434.assets import AssetRegistry
+from repro.iso21434.attack_path import AttackPath
+from repro.iso21434.enums import FeasibilityRating
 from repro.iso21434.feasibility.attack_vector import WeightTable, standard_table
 from repro.iso21434.impact import ImpactProfile
 from repro.iso21434.risk import RiskMatrix, default_matrix
-from repro.iso21434.threats import ThreatScenario, enumerate_stride_threats
-from repro.iso21434.treatment import TreatmentOption, TreatmentPolicy
-from repro.vehicle.attack_surface import AttackSurfaceAnalyzer
+from repro.iso21434.threats import ThreatScenario
+from repro.iso21434.treatment import TreatmentPolicy
+from repro.tara.model import (
+    DOMAIN_IMPACT as _DOMAIN_IMPACT,  # noqa: N811  (back-compat alias)
+    CompiledThreatModel,
+    compile_threat_model,
+    default_attacker_profiles,
+    enumerate_threats,
+    identify_assets,
+    rate_impact,
+)
+from repro.tara.scoring import (
+    BatchTaraScorer,
+    TableSpec,
+    TaraRecord,
+    TaraReportData,
+)
 from repro.vehicle.domains import VehicleDomain
 from repro.vehicle.ecu import Ecu
 from repro.vehicle.network import VehicleNetwork
 
-#: Default impact profile per domain: powertrain/chassis threats carry
-#: safety impact; communication carries operational+privacy; body is
-#: operational; infotainment privacy+financial.
-_DOMAIN_IMPACT: Mapping[VehicleDomain, ImpactProfile] = {
-    VehicleDomain.POWERTRAIN: ImpactProfile(
-        {
-            ImpactCategory.SAFETY: ImpactRating.SEVERE,
-            ImpactCategory.OPERATIONAL: ImpactRating.MAJOR,
-            ImpactCategory.FINANCIAL: ImpactRating.MAJOR,
-        }
-    ),
-    VehicleDomain.CHASSIS: ImpactProfile(
-        {
-            ImpactCategory.SAFETY: ImpactRating.SEVERE,
-            ImpactCategory.OPERATIONAL: ImpactRating.MAJOR,
-        }
-    ),
-    VehicleDomain.BODY: ImpactProfile(
-        {
-            ImpactCategory.OPERATIONAL: ImpactRating.MODERATE,
-            ImpactCategory.FINANCIAL: ImpactRating.MODERATE,
-        }
-    ),
-    VehicleDomain.INFOTAINMENT: ImpactProfile(
-        {
-            ImpactCategory.PRIVACY: ImpactRating.MAJOR,
-            ImpactCategory.FINANCIAL: ImpactRating.MODERATE,
-        }
-    ),
-    VehicleDomain.COMMUNICATION: ImpactProfile(
-        {
-            ImpactCategory.OPERATIONAL: ImpactRating.MAJOR,
-            ImpactCategory.PRIVACY: ImpactRating.MAJOR,
-        }
-    ),
-    VehicleDomain.GATEWAY: ImpactProfile(
-        {
-            ImpactCategory.OPERATIONAL: ImpactRating.MAJOR,
-            ImpactCategory.SAFETY: ImpactRating.MAJOR,
-        }
-    ),
-    VehicleDomain.DIAGNOSTIC: ImpactProfile(
-        {ImpactCategory.OPERATIONAL: ImpactRating.MODERATE}
-    ),
-}
-
-
-@dataclass(frozen=True)
-class TaraRecord:
-    """The complete TARA outcome for one threat scenario."""
-
-    threat: ThreatScenario
-    impact: ImpactProfile
-    feasibility: FeasibilityRating
-    entry_vector: Optional[AttackVector]
-    risk_value: int
-    cal: CAL
-    treatment: TreatmentOption
-    paths: Tuple[AttackPath, ...]
-
-    @property
-    def ecu_id(self) -> Optional[str]:
-        """The hosting ECU of the threatened asset (by id convention)."""
-        return self.threat.asset_id.split(".")[0] if self.threat.asset_id else None
-
-
-@dataclass(frozen=True)
-class TaraReportData:
-    """A full TARA run's output."""
-
-    table_source: str
-    records: Tuple[TaraRecord, ...]
-
-    def by_threat(self) -> Dict[str, TaraRecord]:
-        """Records keyed by threat id."""
-        return {r.threat.threat_id: r for r in self.records}
-
-    def high_risk(self, threshold: int = 4) -> Tuple[TaraRecord, ...]:
-        """Records at or above the risk-value threshold."""
-        return tuple(r for r in self.records if r.risk_value >= threshold)
+__all__ = [
+    "FleetTaraReport",
+    "RatingDisagreement",
+    "TaraEngine",
+    "TaraRecord",
+    "TaraReportData",
+    "compare_runs",
+    "fleet_taras",
+]
 
 
 class TaraEngine:
-    """Runs complete TARAs over a vehicle network.
+    """Runs complete TARAs over a vehicle network (compile-once facade).
 
     Args:
         network: the vehicle architecture under analysis.
@@ -156,9 +99,12 @@ class TaraEngine:
         self._matrix = risk_matrix if risk_matrix is not None else default_matrix()
         self._policy = policy or TreatmentPolicy()
         self._impact_overrides = dict(impact_overrides or {})
-        self._analyzer = AttackSurfaceAnalyzer(network, table=self._table)
-        self._insider_analyzer = AttackSurfaceAnalyzer(
-            network, table=self._insider_table
+        #: Bounded scorer cache keyed by compiled model (so a network
+        #: mutation — which changes the fingerprint and recompiles —
+        #: transparently gets a fresh scorer, like the legacy engine
+        #: re-walking the live network every run).
+        self._scorers: "OrderedDict[CompiledThreatModel, BatchTaraScorer]" = (
+            OrderedDict()
         )
 
     @classmethod
@@ -193,19 +139,38 @@ class TaraEngine:
     def _table_for(self, threat: ThreatScenario) -> WeightTable:
         return self._insider_table if threat.is_owner_approved else self._table
 
-    def _analyzer_for(self, threat: ThreatScenario) -> AttackSurfaceAnalyzer:
-        return (
-            self._insider_analyzer if threat.is_owner_approved else self._analyzer
+    #: Scorers kept per engine; evicting one only drops its feasibility
+    #: memo (the compiled model and its step memo live in the shared
+    #: compile cache).
+    _MAX_SCORERS = 8
+
+    def _scorer_for(
+        self, extras: Tuple[ThreatScenario, ...] = ()
+    ) -> BatchTaraScorer:
+        # Always re-resolve the compiled model: the compile cache hits
+        # on an unchanged architecture and recompiles after a mutation.
+        model = compile_threat_model(
+            self._network,
+            impact_overrides=self._impact_overrides,
+            extra_threats=extras,
         )
+        scorer = self._scorers.get(model)
+        if scorer is None:
+            scorer = BatchTaraScorer(
+                model, risk_matrix=self._matrix, policy=self._policy
+            )
+            self._scorers[model] = scorer
+            while len(self._scorers) > self._MAX_SCORERS:
+                self._scorers.popitem(last=False)
+        else:
+            self._scorers.move_to_end(model)
+        return scorer
 
     # -- TARA activities ----------------------------------------------------
 
     def identify_assets(self) -> AssetRegistry:
         """Activity 1: enumerate the canonical assets of every ECU."""
-        registry = AssetRegistry()
-        for ecu in self._network.ecus:
-            registry.register_all(standard_ecu_assets(ecu.ecu_id, ecu.name))
-        return registry
+        return identify_assets(self._network)
 
     def identify_threats(self, assets: AssetRegistry) -> List[ThreatScenario]:
         """Activity 2: STRIDE threat enumeration per asset.
@@ -215,40 +180,15 @@ class TaraEngine:
         (the paper's Insider / Rational-Local owners) and the outsider set
         elsewhere.
         """
-        threats: List[ThreatScenario] = []
-        for asset in assets:
-            ecu = self._network.ecu(asset.ecu_id) if asset.ecu_id else None
-            vectors = ecu.plausible_vectors if ecu else frozenset(AttackVector)
-            profiles = self._default_profiles(ecu)
-            threats.extend(
-                enumerate_stride_threats(
-                    asset, attack_vectors=vectors, attacker_profiles=profiles
-                )
-            )
-        return threats
+        return enumerate_threats(self._network, assets)
 
     @staticmethod
     def _default_profiles(ecu: Optional[Ecu]) -> frozenset:
-        if ecu is not None and ecu.domain in (
-            VehicleDomain.POWERTRAIN,
-            VehicleDomain.CHASSIS,
-        ):
-            return frozenset(
-                {
-                    AttackerProfile.INSIDER,
-                    AttackerProfile.RATIONAL,
-                    AttackerProfile.LOCAL,
-                }
-            )
-        return frozenset({AttackerProfile.OUTSIDER, AttackerProfile.MALICIOUS})
+        return default_attacker_profiles(ecu)
 
     def rate_impact(self, threat: ThreatScenario) -> ImpactProfile:
         """Activity 3: impact rating (per-ECU override, else domain default)."""
-        ecu_id = threat.asset_id.split(".")[0]
-        if ecu_id in self._impact_overrides:
-            return self._impact_overrides[ecu_id]
-        ecu = self._network.ecu(ecu_id)
-        return _DOMAIN_IMPACT[ecu.domain]
+        return rate_impact(self._network, threat, self._impact_overrides)
 
     def analyze_paths(self, threat: ThreatScenario) -> List[AttackPath]:
         """Activity 4: attack-path enumeration for the threatened ECU.
@@ -257,52 +197,14 @@ class TaraEngine:
         a purely physical tampering threat is not realised through the
         cellular link.
         """
-        ecu_id = threat.asset_id.split(".")[0]
-        analyzer = self._analyzer_for(threat)
-        all_paths = analyzer.paths_to(ecu_id, threat_id=threat.threat_id)
-        return [
-            p for p in all_paths if p.entry_vector in threat.attack_vectors
-        ]
+        return self._scorer_for().model.paths_for(threat, self._table_for(threat))
 
     # -- full run ------------------------------------------------------------
 
     def assess_threat(self, threat: ThreatScenario) -> TaraRecord:
         """Run impact, feasibility, risk, CAL and treatment for one threat."""
-        impact = self.rate_impact(threat)
-        table = self._table_for(threat)
-        paths = self.analyze_paths(threat)
-        aggregated = threat_feasibility(paths)
-        if aggregated is None:
-            # No network path exists: fall back to the best vector the
-            # threat can use directly (e.g. bench access not modelled).
-            best_vector = max(
-                threat.attack_vectors,
-                key=lambda v: (table.rating(v).level, v.reach),
-            )
-            feasibility = table.rating(best_vector)
-            entry_vector: Optional[AttackVector] = best_vector
-        else:
-            feasibility = aggregated
-            best_path = max(
-                paths, key=lambda p: (p.feasibility.level, -p.length)
-            )
-            entry_vector = best_path.entry_vector
-        risk = self._matrix.risk_value(impact.overall, feasibility)
-        cal = (
-            determine_cal(impact.overall, entry_vector)
-            if entry_vector is not None
-            else CAL.NONE
-        )
-        treatment = self._policy.decide(risk, impact)
-        return TaraRecord(
-            threat=threat,
-            impact=impact,
-            feasibility=feasibility,
-            entry_vector=entry_vector,
-            risk_value=risk,
-            cal=cal,
-            treatment=treatment,
-            paths=tuple(paths),
+        return self._scorer_for().assess_threat(
+            threat, table=self._table, insider_table=self._insider_table
         )
 
     def run(
@@ -318,20 +220,22 @@ class TaraEngine:
                 convention so impact and path analysis can locate the
                 hosting ECU.
         """
-        assets = self.identify_assets()
-        threats = list(self.identify_threats(assets))
-        threats.extend(extra_threats)
-        records = tuple(self.assess_threat(t) for t in threats)
-        return TaraReportData(table_source=self._table.source, records=records)
+        scorer = self._scorer_for(tuple(extra_threats))
+        return scorer.score(table=self._table, insider_table=self._insider_table)
 
 
 @dataclass(frozen=True)
 class RatingDisagreement:
-    """One threat rated differently by two TARA runs."""
+    """One threat rated differently by two TARA runs.
+
+    ``domain`` is None when the threat's asset id does not resolve to an
+    ECU of the compared network (e.g. a hand-written extra threat) — the
+    disagreement is still reported rather than crashing the diff.
+    """
 
     threat_id: str
     ecu_id: str
-    domain: VehicleDomain
+    domain: Optional[VehicleDomain]
     static_feasibility: FeasibilityRating
     tuned_feasibility: FeasibilityRating
     static_risk: int
@@ -351,6 +255,9 @@ class FleetTaraReport:
     static: TaraReportData
     #: Per-target tuned runs, keyed by ``TargetApplication.describe()``.
     tuned: Mapping[str, TaraReportData]
+    #: Feasibility-memo statistics of the shared batch scorer (None for
+    #: reports assembled outside :func:`fleet_taras`).
+    memo_stats: Optional[Mapping[str, float]] = None
 
     def targets(self) -> Tuple[str, ...]:
         """The assessed target descriptions."""
@@ -380,27 +287,54 @@ def fleet_taras(
 ) -> FleetTaraReport:
     """Run TARAs for every member of a PSP fleet pass (one architecture).
 
-    The expensive shared work happens once: a single static baseline run
-    covers the whole fleet, and each member only re-runs the engine with
-    its own tuned insider table.  Combined with
-    :func:`repro.core.pipeline.run_fleet` — which shares the social
-    query pass across members — this is the fleet-scale assessment path:
-    one corpus mine, one baseline TARA, N cheap tuned runs and diffs.
+    The expensive shared work happens once: the architecture is compiled
+    once (assets, threats, impacts, path skeletons), and the baseline
+    plus every member are scored by one :class:`BatchTaraScorer` over
+    that compiled model — only feasibility→risk→CAL→treatment vary with
+    the member's insider table, and even those memoise across members.
+    Combined with :func:`repro.core.pipeline.run_fleet` — which shares
+    the social query pass across members — this is the fleet-scale
+    assessment path: one corpus mine, one compiled model, N cheap
+    re-scores and diffs.
 
     Args:
         network: the architecture every member is assessed against.
         fleet: a :class:`~repro.core.pipeline.FleetResult`.
         engine_kwargs: extra :class:`TaraEngine` constructor arguments
-            applied to the baseline and every tuned engine alike.
+            (``table``, ``risk_matrix``, ``policy``,
+            ``impact_overrides``) applied to the baseline and every
+            tuned score alike.  ``insider_table`` is rejected: each
+            member supplies its own.
     """
-    static = TaraEngine(network, **engine_kwargs).run()
-    tuned: Dict[str, TaraReportData] = {}
-    for member in fleet:
-        engine = TaraEngine(
-            network, insider_table=member.insider_table, **engine_kwargs
+    allowed = {"table", "risk_matrix", "policy", "impact_overrides"}
+    unknown = set(engine_kwargs) - allowed
+    if unknown:
+        names = ", ".join(sorted(unknown))
+        raise TypeError(f"fleet_taras() got unexpected engine kwargs: {names}")
+
+    table = engine_kwargs.get("table")
+    model = compile_threat_model(
+        network, impact_overrides=engine_kwargs.get("impact_overrides")
+    )
+    scorer = BatchTaraScorer(
+        model,
+        risk_matrix=engine_kwargs.get("risk_matrix"),
+        policy=engine_kwargs.get("policy"),
+    )
+    specs = [TableSpec(label="__static__", table=table)]
+    specs.extend(
+        TableSpec(
+            label=member.target.describe(),
+            table=table,
+            insider_table=member.insider_table,
         )
-        tuned[member.target.describe()] = engine.run()
-    return FleetTaraReport(static=static, tuned=tuned)
+        for member in fleet
+    )
+    reports = scorer.score_many(specs)
+    static = reports.pop("__static__")
+    return FleetTaraReport(
+        static=static, tuned=reports, memo_stats=scorer.memo_stats
+    )
 
 
 def compare_runs(
@@ -408,7 +342,12 @@ def compare_runs(
     static: TaraReportData,
     tuned: TaraReportData,
 ) -> List[RatingDisagreement]:
-    """Diff two TARA runs over the same architecture (experiment E10)."""
+    """Diff two TARA runs over the same architecture (experiment E10).
+
+    Threats whose asset id does not resolve to a network ECU (possible
+    with hand-written extra threats) are reported with ``domain=None``
+    instead of raising.
+    """
     tuned_by_id = tuned.by_threat()
     disagreements = []
     for record in static.records:
@@ -416,11 +355,15 @@ def compare_runs(
         if other is None or other.feasibility is record.feasibility:
             continue
         ecu_id = record.threat.asset_id.split(".")[0]
+        try:
+            domain: Optional[VehicleDomain] = network.ecu(ecu_id).domain
+        except KeyError:
+            domain = None
         disagreements.append(
             RatingDisagreement(
                 threat_id=record.threat.threat_id,
                 ecu_id=ecu_id,
-                domain=network.ecu(ecu_id).domain,
+                domain=domain,
                 static_feasibility=record.feasibility,
                 tuned_feasibility=other.feasibility,
                 static_risk=record.risk_value,

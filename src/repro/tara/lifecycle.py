@@ -8,13 +8,29 @@ is detected in the field.  :class:`LifecycleTracker` records phase
 transitions and reprocessing triggers so a TARA run can be tied to the
 phase that demanded it — the hook through which PSP's runtime model
 ("monitoring internal risks" — paper §IV) enters the process.
+
+:class:`LifecycleTaraRunner` closes the loop: it couples a tracker with
+the compile-once runtime (:mod:`repro.tara.model` /
+:mod:`repro.tara.scoring`) so every reprocessing event *re-scores the
+same compiled threat model* — across a ten-phase lifecycle the
+architecture is walked once, however many gates, field vulnerabilities
+and PSP trend shifts demand a fresh TARA.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Mapping, Optional, Tuple
+
+from repro.iso21434.feasibility.attack_vector import WeightTable, standard_table
+
+if TYPE_CHECKING:  # heavy imports deferred; resolved inside the runner
+    from repro.iso21434.impact import ImpactProfile
+    from repro.iso21434.risk import RiskMatrix
+    from repro.iso21434.treatment import TreatmentPolicy
+    from repro.tara.scoring import TaraReportData
+    from repro.vehicle.network import VehicleNetwork
 
 
 class Phase(enum.Enum):
@@ -123,3 +139,114 @@ class LifecycleTracker:
         if trigger is None:
             return len(self._events)
         return sum(1 for e in self._events if e.trigger is trigger)
+
+
+@dataclass(frozen=True)
+class ReprocessedTara:
+    """One reprocessing event together with the TARA it produced."""
+
+    event: ReprocessingEvent
+    report: "TaraReportData"
+
+
+class LifecycleTaraRunner:
+    """Drives TARA reprocessing over one compiled threat model.
+
+    Wraps a :class:`LifecycleTracker` so that every recorded
+    reprocessing — phase gates hit by :meth:`advance`, field
+    vulnerabilities, PSP trend shifts — immediately re-scores the same
+    compiled model with the tables currently in force.  The compile
+    phase runs once for the whole lifecycle; each event pays only the
+    memoised scoring sweep.
+
+    Args:
+        network: the architecture under lifecycle management.
+        tracker: lifecycle tracker to drive (a fresh one by default).
+        table: outsider weight table (standard G.9 by default).
+        insider_table: initial insider table; trend shifts replace it.
+        risk_matrix / policy / impact_overrides: scorer parameters, as
+            on :class:`~repro.tara.engine.TaraEngine`.
+    """
+
+    def __init__(
+        self,
+        network: "VehicleNetwork",
+        *,
+        tracker: Optional[LifecycleTracker] = None,
+        table: Optional[WeightTable] = None,
+        insider_table: Optional[WeightTable] = None,
+        risk_matrix: Optional["RiskMatrix"] = None,
+        policy: Optional["TreatmentPolicy"] = None,
+        impact_overrides: Optional[Mapping[str, "ImpactProfile"]] = None,
+    ) -> None:
+        from repro.tara.model import compile_threat_model
+        from repro.tara.scoring import BatchTaraScorer
+
+        self._tracker = tracker if tracker is not None else LifecycleTracker()
+        model = compile_threat_model(network, impact_overrides=impact_overrides)
+        self._scorer = BatchTaraScorer(
+            model, risk_matrix=risk_matrix, policy=policy
+        )
+        self._table = table if table is not None else standard_table()
+        self._insider_table = (
+            insider_table if insider_table is not None else self._table
+        )
+        self._runs: List[ReprocessedTara] = []
+
+    @property
+    def tracker(self) -> LifecycleTracker:
+        """The driven lifecycle tracker."""
+        return self._tracker
+
+    @property
+    def phase(self) -> Phase:
+        """The current lifecycle phase."""
+        return self._tracker.phase
+
+    @property
+    def insider_table(self) -> WeightTable:
+        """The insider table the next reprocessing will score with."""
+        return self._insider_table
+
+    @property
+    def runs(self) -> Tuple[ReprocessedTara, ...]:
+        """Every reprocessed TARA so far, oldest first."""
+        return tuple(self._runs)
+
+    @property
+    def memo_stats(self) -> Mapping[str, float]:
+        """Feasibility-memo statistics of the shared scorer."""
+        return self._scorer.memo_stats
+
+    def _rescore(self, event: ReprocessingEvent) -> ReprocessedTara:
+        report = self._scorer.score(
+            table=self._table, insider_table=self._insider_table
+        )
+        run = ReprocessedTara(event=event, report=report)
+        self._runs.append(run)
+        return run
+
+    def advance(self) -> Phase:
+        """Advance one phase; gate phases re-score the compiled model."""
+        recorded = len(self._tracker.events)
+        phase = self._tracker.advance()
+        if len(self._tracker.events) > recorded:
+            self._rescore(self._tracker.events[-1])
+        return phase
+
+    def run_to_production(self) -> Phase:
+        """Advance through every remaining phase, reprocessing at gates."""
+        while self._tracker.phase is not Phase.PRODUCTION_READINESS:
+            self.advance()
+        return self._tracker.phase
+
+    def field_vulnerability(self, note: str = "") -> ReprocessedTara:
+        """Record a field vulnerability and reprocess the TARA."""
+        return self._rescore(self._tracker.report_field_vulnerability(note))
+
+    def trend_shift(
+        self, insider_table: WeightTable, note: str = ""
+    ) -> ReprocessedTara:
+        """Adopt a PSP-shifted insider table and reprocess the TARA."""
+        self._insider_table = insider_table
+        return self._rescore(self._tracker.report_trend_shift(note))

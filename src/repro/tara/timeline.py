@@ -1,0 +1,206 @@
+"""Sliding-window TARA timelines: continuous TARA over a lifecycle.
+
+The paper motivates moving "from static risk assessment models ... to a
+runtime model environment" but the seed engine could only express one
+TARA at a time.  With the compile/score split this workload is cheap:
+the architecture is compiled once, PSP derives one SAI-tuned insider
+table per analysis window, and the batch scorer re-scores the same
+compiled model for **every** window in one sweep — a full risk history
+of the vehicle program (optionally pinned to V-model phases and
+recorded on a :class:`~repro.tara.lifecycle.LifecycleTracker`).
+
+Two window shapes are supported by :func:`year_windows`:
+
+* **growing** (``span=None``) — window N covers ``start..N``, the
+  cadence of :class:`~repro.core.monitor.PSPMonitor`;
+* **sliding** (``span=k``) — window N covers the last ``k`` years,
+  which is how trend inversions (paper Fig. 9-C) surface in a timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.timewindow import TimeWindow
+from repro.iso21434.feasibility.attack_vector import WeightTable, standard_table
+from repro.iso21434.impact import ImpactProfile
+from repro.iso21434.risk import RiskMatrix
+from repro.iso21434.treatment import TreatmentPolicy
+from repro.tara.engine import RatingDisagreement, compare_runs
+from repro.tara.lifecycle import LifecycleTracker, Phase
+from repro.tara.model import compile_threat_model
+from repro.tara.scoring import BatchTaraScorer, TableSpec, TaraReportData
+from repro.vehicle.network import VehicleNetwork
+
+
+def year_windows(
+    first: int, last: int, *, span: Optional[int] = None
+) -> Tuple[TimeWindow, ...]:
+    """One analysis window per year from ``first`` to ``last`` inclusive.
+
+    Args:
+        first: first covered year.
+        last: last covered year.
+        span: window width in years; None grows every window from
+            ``first`` (the monitor cadence), ``k`` slides a ``k``-year
+            window ending at each year (clipped at ``first``).
+    """
+    if first > last:
+        raise ValueError(f"first year {first} > last year {last}")
+    if span is not None and span < 1:
+        raise ValueError(f"span must be >= 1, got {span}")
+    windows = []
+    for year in range(first, last + 1):
+        start = first if span is None else max(first, year - span + 1)
+        windows.append(TimeWindow.years(start, year))
+    return tuple(windows)
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One window's TARA outcome along the timeline."""
+
+    window: TimeWindow
+    phase: Optional[Phase]
+    insider_table: WeightTable
+    report: TaraReportData
+    #: Diffs against the shared static baseline (experiment E10 per window).
+    disagreements: Tuple[RatingDisagreement, ...]
+
+    @property
+    def moved(self) -> int:
+        """Number of threats rated differently from the static baseline."""
+        return len(self.disagreements)
+
+
+@dataclass(frozen=True)
+class TaraTimeline:
+    """A full sliding/growing-window TARA history over one architecture."""
+
+    static: TaraReportData
+    entries: Tuple[TimelineEntry, ...]
+    memo_stats: Optional[Dict[str, float]] = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def high_risk_counts(self, threshold: int = 4) -> Tuple[int, ...]:
+        """Per-window count of records at/above the risk threshold."""
+        return tuple(
+            len(entry.report.high_risk(threshold)) for entry in self.entries
+        )
+
+    def moved_threat_ids(self) -> Tuple[str, ...]:
+        """Every threat id that ever diverged from the baseline, sorted."""
+        moved = {
+            disagreement.threat_id
+            for entry in self.entries
+            for disagreement in entry.disagreements
+        }
+        return tuple(sorted(moved))
+
+    def table_changes(self) -> Tuple[int, ...]:
+        """Indices of entries whose insider table moved vs the previous one."""
+        changed = []
+        for index in range(1, len(self.entries)):
+            before = self.entries[index - 1].insider_table
+            after = self.entries[index].insider_table
+            if after.differs_from(before):
+                changed.append(index)
+        return tuple(changed)
+
+
+def run_timeline(
+    framework,
+    network: VehicleNetwork,
+    *,
+    start_year: int,
+    end_year: int,
+    span: Optional[int] = None,
+    phases: Optional[Sequence[Phase]] = None,
+    tracker: Optional[LifecycleTracker] = None,
+    learn: bool = False,
+    table: Optional[WeightTable] = None,
+    risk_matrix: Optional[RiskMatrix] = None,
+    policy: Optional[TreatmentPolicy] = None,
+    impact_overrides: Optional[Dict[str, ImpactProfile]] = None,
+) -> TaraTimeline:
+    """Score a whole TARA timeline over one compiled model.
+
+    One PSP run per window derives the insider tables; the architecture
+    is compiled once and the batch scorer evaluates the static baseline
+    plus every window's table in a single sweep.  Every entry carries
+    its E10-style diff against the shared baseline.
+
+    Args:
+        framework: a :class:`~repro.core.framework.PSPFramework` (build
+            it with ``cache=True`` so overlapping windows re-mine only
+            the newly covered years).
+        network: the architecture under continuous assessment.
+        start_year: first year of the timeline.
+        end_year: last year of the timeline.
+        span: sliding-window width in years (None = growing windows).
+        phases: optional V-model phase per window (same length as the
+            timeline) for lifecycle-pinned reports.
+        tracker: optional lifecycle tracker; insider-table movements
+            between consecutive windows are recorded as PSP_TREND_SHIFT
+            reprocessing events.
+        learn: run keyword auto-learning on each PSP pass.
+        table: outsider weight table (standard G.9 by default).
+        risk_matrix / policy / impact_overrides: scorer parameters, as
+            on :class:`~repro.tara.engine.TaraEngine`.
+    """
+    windows = year_windows(start_year, end_year, span=span)
+    if phases is not None and len(phases) != len(windows):
+        raise ValueError(
+            f"phases length {len(phases)} != window count {len(windows)}"
+        )
+
+    results = [framework.run(window, learn=learn) for window in windows]
+
+    base = table if table is not None else standard_table()
+    model = compile_threat_model(network, impact_overrides=impact_overrides)
+    scorer = BatchTaraScorer(model, risk_matrix=risk_matrix, policy=policy)
+
+    specs = [TableSpec(label="__static__", table=base)]
+    specs.extend(
+        TableSpec(
+            label=f"window:{index}",
+            table=base,
+            insider_table=result.insider_table,
+        )
+        for index, result in enumerate(results)
+    )
+    reports = scorer.score_many(specs)
+    static = reports.pop("__static__")
+
+    entries: List[TimelineEntry] = []
+    previous: Optional[WeightTable] = None
+    for index, (window, result) in enumerate(zip(windows, results)):
+        insider = result.insider_table
+        report = reports[f"window:{index}"]
+        if (
+            tracker is not None
+            and previous is not None
+            and insider.differs_from(previous)
+        ):
+            tracker.report_trend_shift(
+                f"timeline window {window.describe()} moved insider ratings"
+            )
+        previous = insider
+        entries.append(
+            TimelineEntry(
+                window=window,
+                phase=phases[index] if phases is not None else None,
+                insider_table=insider,
+                report=report,
+                disagreements=tuple(compare_runs(network, static, report)),
+            )
+        )
+    return TaraTimeline(
+        static=static, entries=tuple(entries), memo_stats=scorer.memo_stats
+    )

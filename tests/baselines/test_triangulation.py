@@ -1,0 +1,72 @@
+"""Tests for the compiled-model baseline triangulation."""
+
+import pytest
+
+from repro.baselines import triangulate_model
+from repro.baselines.evita import RiskLevel
+from repro.baselines.heavens import HeavensLevel
+from repro.iso21434.enums import FeasibilityRating
+from repro.tara.model import compile_threat_model
+
+
+@pytest.fixture(scope="module")
+def assessments(fig4_network):
+    return triangulate_model(compile_threat_model(fig4_network))
+
+
+class TestCoverage:
+    def test_every_compiled_threat_assessed(self, fig4_network, assessments):
+        model = compile_threat_model(fig4_network)
+        assert len(assessments) == len(model.threats)
+        assert [a.threat_id for a in assessments] == [
+            t.threat_id for t in model.threats
+        ]
+
+    def test_no_model_reidentifies_threats(self, fig4_network, assessments):
+        # All three baselines consumed the same compiled enumeration:
+        # each threat id appears exactly once across the triangulation.
+        ids = [a.threat_id for a in assessments]
+        assert len(ids) == len(set(ids))
+
+
+class TestTriangulationArgument:
+    """The paper's §II claim at architecture scale: the capability models
+    agree the insider powertrain threats are top-tier; the static table
+    does not."""
+
+    def test_insider_threats_rate_high_under_both_capability_models(
+        self, assessments
+    ):
+        insiders = [a for a in assessments if a.owner_approved]
+        assert insiders
+        for a in insiders:
+            assert a.evita.probability.level == 5  # owner access: P5
+            assert a.heavens.tl is HeavensLevel.HIGH
+
+    def test_static_underrates_powertrain_insiders(self, fig4_network, assessments):
+        model = compile_threat_model(fig4_network)
+        by_id = {a.threat_id: a for a in assessments}
+        ecm_threats = [
+            t for t in model.threats if t.asset_id.startswith("ecm.")
+        ]
+        assert ecm_threats
+        for threat in ecm_threats:
+            assessment = by_id[threat.threat_id]
+            assert assessment.static_underrates, threat.threat_id
+            assert assessment.iso_static.feasibility <= FeasibilityRating.LOW
+
+    def test_outsider_network_threats_not_flagged(self, assessments):
+        outsiders = [a for a in assessments if not a.owner_approved]
+        assert outsiders
+        # The static table's worldview is tuned for outsiders: none of
+        # them show the mis-rating signature.
+        assert not any(a.static_underrates for a in outsiders)
+
+    def test_safety_severe_insiders_reach_top_evita_risk(self, assessments):
+        top = [
+            a
+            for a in assessments
+            if a.owner_approved and a.evita.severity == 4
+        ]
+        assert top
+        assert all(a.evita.risk is RiskLevel.R6 for a in top)

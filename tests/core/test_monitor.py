@@ -75,3 +75,44 @@ class TestLifecycleIntegration:
         monitor = PSPMonitor(ecm_framework, start_year=2015)
         monitor.run_years(2018, 2023)
         assert monitor.reprocessing_events() == ()
+
+
+class TestTaraRescoring:
+    def test_alerts_carry_rescored_tara(self, ecm_framework, fig4_network):
+        monitor = PSPMonitor(
+            ecm_framework, start_year=2015, network=fig4_network
+        )
+        alerts = monitor.run_years(2018, 2023)
+        assert alerts
+        for alert in alerts:
+            assert alert.tara is not None
+            assert alert.tara.records
+        assert monitor.tara_scorer is not None
+
+    def test_alert_tara_matches_engine_run(self, ecm_framework, fig4_network):
+        from repro.tara.engine import TaraEngine
+
+        monitor = PSPMonitor(
+            ecm_framework, start_year=2015, network=fig4_network
+        )
+        alerts = monitor.run_years(2018, 2023)
+        alert = alerts[-1]
+        engine = TaraEngine(
+            fig4_network, insider_table=alert.result.insider_table
+        )
+        assert alert.tara == engine.run()
+
+    def test_baseline_tara_available(self, ecm_framework, fig4_network):
+        monitor = PSPMonitor(
+            ecm_framework, start_year=2015, network=fig4_network
+        )
+        baseline = monitor.baseline_tara()
+        assert baseline is not None
+        assert baseline.table_source == "iso21434-g9"
+
+    def test_without_network_no_tara(self, ecm_framework):
+        monitor = PSPMonitor(ecm_framework, start_year=2015)
+        assert monitor.tara_scorer is None
+        assert monitor.baseline_tara() is None
+        alerts = monitor.run_years(2018, 2023)
+        assert all(alert.tara is None for alert in alerts)

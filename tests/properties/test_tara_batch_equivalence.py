@@ -1,0 +1,223 @@
+"""Property tests: the batch TARA scorer equals the seed monolith.
+
+The contract of :class:`repro.tara.scoring.BatchTaraScorer` (and of the
+``TaraEngine`` facade on top of it) is that scoring a weight table over
+a compiled threat model returns **record-for-record identical** output
+to a fresh seed-era engine run: same threats in the same order, same
+impact, feasibility, entry vector, risk value, CAL, treatment, and the
+same rated attack paths step for step.  These tests drive both paths
+over randomized architectures (segmented and open buses, multi-entry
+topologies, unreachable ECUs, bench-access entry points wired straight
+to ECUs), randomized extra threats, impact overrides and weight tables,
+and require equality.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.benchkit import legacy_tara_run
+from repro.iso21434.enums import (
+    AttackerProfile,
+    AttackVector,
+    CybersecurityProperty,
+    FeasibilityRating,
+    ImpactCategory,
+    ImpactRating,
+    StrideCategory,
+)
+from repro.iso21434.feasibility.attack_vector import WeightTable
+from repro.iso21434.impact import ImpactProfile
+from repro.iso21434.threats import ThreatScenario
+from repro.tara.engine import TaraEngine
+from repro.tara.model import compile_threat_model
+from repro.tara.scoring import BatchTaraScorer, TableSpec
+from repro.vehicle.bus import Bus, BusKind
+from repro.vehicle.domains import VehicleDomain
+from repro.vehicle.ecu import Ecu
+from repro.vehicle.network import EntryPoint, VehicleNetwork
+
+_DOMAINS = (
+    VehicleDomain.POWERTRAIN,
+    VehicleDomain.CHASSIS,
+    VehicleDomain.BODY,
+    VehicleDomain.INFOTAINMENT,
+    VehicleDomain.COMMUNICATION,
+    VehicleDomain.DIAGNOSTIC,
+)
+_VECTORS = tuple(AttackVector)
+
+
+@st.composite
+def _tables(draw):
+    ratings = {
+        vector: FeasibilityRating.from_level(draw(st.integers(0, 3)))
+        for vector in _VECTORS
+    }
+    return WeightTable(ratings, source="prop")
+
+
+@st.composite
+def _networks(draw):
+    net = VehicleNetwork(name="prop")
+    gateway = net.add_ecu(Ecu("gw", "Gateway", VehicleDomain.GATEWAY))
+
+    n_buses = draw(st.integers(min_value=1, max_value=3))
+    ecu_ids = ["gw"]
+    for b in range(n_buses):
+        bus = net.add_bus(
+            Bus(
+                f"bus{b}",
+                f"Bus {b}",
+                draw(st.sampled_from((BusKind.CAN, BusKind.ETHERNET))),
+                draw(st.sampled_from(_DOMAINS)),
+                segmented=draw(st.booleans()),
+            )
+        )
+        net.attach(gateway.ecu_id, bus.bus_id)
+        for e in range(draw(st.integers(min_value=1, max_value=3))):
+            ecu = net.add_ecu(
+                Ecu(
+                    f"ecu{b}_{e}",
+                    f"ECU {b}.{e}",
+                    draw(st.sampled_from(_DOMAINS)),
+                    safety_critical=draw(st.booleans()),
+                    fota_capable=draw(st.booleans()),
+                )
+            )
+            net.attach(ecu.ecu_id, bus.bus_id)
+            ecu_ids.append(ecu.ecu_id)
+
+    # Sometimes an isolated ECU: unreachable, exercising the
+    # no-path / best-direct-vector fallback.
+    if draw(st.booleans()):
+        net.add_ecu(Ecu("island", "Isolated ECU", draw(st.sampled_from(_DOMAINS))))
+        ecu_ids.append("island")
+
+    for i in range(draw(st.integers(min_value=1, max_value=3))):
+        entry = net.add_entry_point(
+            EntryPoint(f"entry{i}", f"Entry {i}", draw(st.sampled_from(_VECTORS)))
+        )
+        # Entry points usually land on a bus; sometimes straight on an
+        # ECU (bench access), which the path rater treats differently.
+        if draw(st.booleans()):
+            net.attach(entry.entry_id, f"bus{draw(st.integers(0, n_buses - 1))}")
+        else:
+            net.attach(entry.entry_id, draw(st.sampled_from(ecu_ids)))
+    return net
+
+
+def _extra_threats(draw, net):
+    threats = []
+    for i in range(draw(st.integers(min_value=0, max_value=2))):
+        ecu = draw(st.sampled_from([e.ecu_id for e in net.ecus]))
+        vectors = draw(
+            st.frozensets(st.sampled_from(_VECTORS), min_size=1, max_size=4)
+        )
+        profiles = draw(
+            st.frozensets(
+                st.sampled_from(tuple(AttackerProfile)), min_size=0, max_size=3
+            )
+        )
+        threats.append(
+            ThreatScenario(
+                threat_id=f"ts.{ecu}.extra{i}",
+                name=f"Extra threat {i}",
+                asset_id=f"{ecu}.extra{i}",
+                violated_property=CybersecurityProperty.INTEGRITY,
+                stride=StrideCategory.TAMPERING,
+                attack_vectors=vectors,
+                attacker_profiles=profiles,
+            )
+        )
+    return tuple(threats)
+
+
+def _overrides(draw, net):
+    if not draw(st.booleans()):
+        return None
+    ecu = draw(st.sampled_from([e.ecu_id for e in net.ecus]))
+    rating = ImpactRating.from_level(draw(st.integers(0, 3)))
+    return {ecu: ImpactProfile({ImpactCategory.OPERATIONAL: rating})}
+
+
+@st.composite
+def _cases(draw):
+    net = draw(_networks())
+    return (
+        net,
+        _extra_threats(draw, net),
+        _overrides(draw, net),
+        draw(st.lists(_tables(), min_size=1, max_size=3)),
+    )
+
+
+def _assert_reports_equal(batch, legacy, context):
+    assert batch.table_source == legacy.table_source, context
+    assert len(batch.records) == len(legacy.records), context
+    for got, expected in zip(batch.records, legacy.records):
+        assert got == expected, (context, expected.threat.threat_id)
+
+
+class TestBatchScorerEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(case=_cases())
+    def test_score_many_equals_fresh_monolith_runs(self, case):
+        net, extras, overrides, tables = case
+        model = compile_threat_model(
+            net, impact_overrides=overrides, extra_threats=extras
+        )
+        scorer = BatchTaraScorer(model)
+        specs = [TableSpec(label="static")]
+        specs.extend(
+            TableSpec(label=f"tuned:{i}", insider_table=table)
+            for i, table in enumerate(tables)
+        )
+        reports = scorer.score_many(specs)
+
+        legacy_static = legacy_tara_run(
+            net, impact_overrides=overrides, extra_threats=extras
+        )
+        _assert_reports_equal(reports["static"], legacy_static, "static")
+        for i, table in enumerate(tables):
+            legacy = legacy_tara_run(
+                net,
+                insider_table=table,
+                impact_overrides=overrides,
+                extra_threats=extras,
+            )
+            _assert_reports_equal(reports[f"tuned:{i}"], legacy, f"tuned:{i}")
+
+    @settings(max_examples=15, deadline=None)
+    @given(case=_cases())
+    def test_engine_facade_equals_monolith(self, case):
+        net, extras, overrides, tables = case
+        engine = TaraEngine(
+            net, insider_table=tables[0], impact_overrides=overrides
+        )
+        facade = engine.run(extra_threats=extras)
+        legacy = legacy_tara_run(
+            net,
+            insider_table=tables[0],
+            impact_overrides=overrides,
+            extra_threats=extras,
+        )
+        _assert_reports_equal(facade, legacy, "facade")
+
+    @settings(max_examples=15, deadline=None)
+    @given(case=_cases(), outsider=_tables())
+    def test_outsider_table_also_swappable(self, case, outsider):
+        net, extras, overrides, tables = case
+        model = compile_threat_model(
+            net, impact_overrides=overrides, extra_threats=extras
+        )
+        report = BatchTaraScorer(model).score(
+            table=outsider, insider_table=tables[0]
+        )
+        legacy = legacy_tara_run(
+            net,
+            table=outsider,
+            insider_table=tables[0],
+            impact_overrides=overrides,
+            extra_threats=extras,
+        )
+        _assert_reports_equal(report, legacy, "outsider-swap")

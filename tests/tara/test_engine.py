@@ -139,3 +139,76 @@ class TestCal:
         for record in tuned.records:
             if record.entry_vector is AttackVector.PHYSICAL:
                 assert record.cal <= CAL.CAL2
+
+
+def _ghost_record(feasibility: FeasibilityRating, risk: int):
+    """A hand-built record whose asset id is not hosted by any ECU."""
+    from repro.iso21434.cal import determine_cal
+    from repro.iso21434.enums import (
+        CybersecurityProperty,
+        ImpactCategory,
+        ImpactRating,
+        StrideCategory,
+    )
+    from repro.iso21434.impact import ImpactProfile
+    from repro.iso21434.threats import ThreatScenario
+    from repro.iso21434.treatment import TreatmentOption
+    from repro.tara.engine import TaraRecord, TaraReportData
+
+    threat = ThreatScenario(
+        threat_id="ts.ghost.firmware.tampering",
+        name="Tampering of ghost firmware",
+        asset_id="ghost.firmware",
+        violated_property=CybersecurityProperty.INTEGRITY,
+        stride=StrideCategory.TAMPERING,
+        attack_vectors=frozenset({AttackVector.PHYSICAL}),
+    )
+    record = TaraRecord(
+        threat=threat,
+        impact=ImpactProfile({ImpactCategory.OPERATIONAL: ImpactRating.MAJOR}),
+        feasibility=feasibility,
+        entry_vector=AttackVector.PHYSICAL,
+        risk_value=risk,
+        cal=determine_cal(ImpactRating.MAJOR, AttackVector.PHYSICAL),
+        treatment=TreatmentOption.RETAIN,
+        paths=(),
+    )
+    return TaraReportData(table_source="test", records=(record,))
+
+
+class TestCompareRunsTolerance:
+    """compare_runs must not crash on threats hosted outside the network."""
+
+    def test_ghost_asset_reported_with_unknown_domain(self, fig4_network):
+        static = _ghost_record(FeasibilityRating.VERY_LOW, risk=1)
+        tuned = _ghost_record(FeasibilityRating.HIGH, risk=4)
+        disagreements = compare_runs(fig4_network, static, tuned)
+        assert len(disagreements) == 1
+        disagreement = disagreements[0]
+        assert disagreement.ecu_id == "ghost"
+        assert disagreement.domain is None
+        assert disagreement.underestimated
+
+    def test_ghost_asset_agreement_yields_no_diff(self, fig4_network):
+        static = _ghost_record(FeasibilityRating.LOW, risk=2)
+        tuned = _ghost_record(FeasibilityRating.LOW, risk=2)
+        assert compare_runs(fig4_network, static, tuned) == []
+
+    def test_summary_excludes_unknown_domains(self, fig4_network):
+        from repro.analysis.compare import summarize_disagreements
+
+        static = _ghost_record(FeasibilityRating.VERY_LOW, risk=1)
+        tuned = _ghost_record(FeasibilityRating.HIGH, risk=4)
+        summary = summarize_disagreements(
+            1, compare_runs(fig4_network, static, tuned)
+        )
+        assert summary.by_domain() == {}
+        assert len(summary.domain_unknown()) == 1
+
+
+class TestFleetTarasKwargs:
+    def test_insider_table_rejected(self, fig4_network):
+        from repro.tara.engine import fleet_taras
+
+        with pytest.raises(TypeError, match="insider_table"):
+            fleet_taras(fig4_network, [], insider_table=psp_table())

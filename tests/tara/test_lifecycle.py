@@ -73,3 +73,54 @@ class TestTriggers:
         tracker.report_field_vulnerability()
         tracker.report_trend_shift()
         assert tracker.reprocessing_count() == 2
+
+
+class TestLifecycleTaraRunner:
+    def _runner(self, fig4_network, **kwargs):
+        from repro.tara.lifecycle import LifecycleTaraRunner
+
+        return LifecycleTaraRunner(fig4_network, **kwargs)
+
+    def test_gate_phases_reprocess_the_tara(self, fig4_network):
+        runner = self._runner(fig4_network)
+        runner.run_to_production()
+        assert runner.phase is Phase.PRODUCTION_READINESS
+        assert len(runner.runs) == len(REPROCESSING_PHASES)
+        gates = [r.event.phase for r in runner.runs]
+        assert gates == list(REPROCESSING_PHASES)
+
+    def test_every_reprocessing_carries_a_full_report(self, fig4_network):
+        from repro.tara.engine import TaraEngine
+
+        runner = self._runner(fig4_network)
+        run = runner.field_vulnerability("CVE in the TCU stack")
+        assert run.event.trigger is ReprocessingTrigger.FIELD_VULNERABILITY
+        assert run.report == TaraEngine(fig4_network).run()
+
+    def test_trend_shift_adopts_new_insider_table(self, fig4_network):
+        from repro.iso21434.enums import AttackVector, FeasibilityRating
+        from repro.iso21434.feasibility.attack_vector import WeightTable
+        from repro.tara.engine import TaraEngine
+
+        tuned = WeightTable(
+            {
+                AttackVector.NETWORK: FeasibilityRating.VERY_LOW,
+                AttackVector.ADJACENT: FeasibilityRating.VERY_LOW,
+                AttackVector.LOCAL: FeasibilityRating.MEDIUM,
+                AttackVector.PHYSICAL: FeasibilityRating.HIGH,
+            },
+            source="psp",
+        )
+        runner = self._runner(fig4_network)
+        run = runner.trend_shift(tuned, "physical tuning trend")
+        assert runner.insider_table is tuned
+        assert run.event.trigger is ReprocessingTrigger.PSP_TREND_SHIFT
+        assert run.report == TaraEngine(fig4_network, insider_table=tuned).run()
+
+    def test_reprocessings_share_the_scoring_memo(self, fig4_network):
+        runner = self._runner(fig4_network)
+        runner.field_vulnerability("first")
+        cold = dict(runner.memo_stats)
+        runner.field_vulnerability("second")
+        warm = dict(runner.memo_stats)
+        assert warm["hits"] - cold["hits"] == cold["lookups"]

@@ -1,0 +1,121 @@
+"""Tests for the compiled threat model (compile phase of the split)."""
+
+import pytest
+
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import WeightTable, standard_table
+from repro.tara.model import (
+    compile_cache_stats,
+    compile_threat_model,
+    network_fingerprint,
+)
+from repro.vehicle.attack_surface import AttackSurfaceAnalyzer
+from repro.vehicle.domains import VehicleDomain
+from repro.vehicle.ecu import Ecu
+
+
+def psp_table() -> WeightTable:
+    return WeightTable(
+        {
+            AttackVector.NETWORK: FeasibilityRating.VERY_LOW,
+            AttackVector.ADJACENT: FeasibilityRating.VERY_LOW,
+            AttackVector.LOCAL: FeasibilityRating.MEDIUM,
+            AttackVector.PHYSICAL: FeasibilityRating.HIGH,
+        },
+        source="psp",
+    )
+
+
+class TestCompile:
+    def test_model_covers_every_ecu_and_asset(self, fig4_network):
+        model = compile_threat_model(fig4_network)
+        assert len(model.assets) == 4 * len(fig4_network.ecus)
+        assert {t.asset_id for t in model.threats} == {
+            a.asset_id for a in model.assets
+        }
+
+    def test_extra_threats_appended_in_order(self, fig4_network):
+        base = compile_threat_model(fig4_network)
+        extra = base.threats[0]
+        extended = compile_threat_model(fig4_network, extra_threats=(extra,))
+        assert extended.threats[: len(base.threats)] == base.threats
+        assert extended.threats[-1] is extra
+
+    def test_skeleton_count_matches_analyzer(self, fig4_network):
+        model = compile_threat_model(fig4_network)
+        analyzer = AttackSurfaceAnalyzer(fig4_network)
+        for ecu in fig4_network.ecus:
+            skeletons = model.skeletons_for(ecu.ecu_id)
+            paths = analyzer.paths_to(ecu.ecu_id)
+            assert [s.path_id for s in skeletons] == [p.path_id for p in paths]
+
+    def test_unknown_ecu_raises(self, fig4_network):
+        model = compile_threat_model(fig4_network)
+        with pytest.raises(KeyError):
+            model.skeletons_for("no_such_ecu")
+
+
+class TestMaterialisation:
+    def test_paths_match_analyzer_under_any_table(self, fig4_network):
+        model = compile_threat_model(fig4_network)
+        for table in (standard_table(), psp_table()):
+            analyzer = AttackSurfaceAnalyzer(fig4_network, table=table)
+            for threat in model.threats[:40]:
+                ecu_id = threat.asset_id.split(".")[0]
+                expected = [
+                    p
+                    for p in analyzer.paths_to(ecu_id, threat_id=threat.threat_id)
+                    if p.entry_vector in threat.attack_vectors
+                ]
+                assert model.paths_for(threat, table) == expected
+
+    def test_steps_memoised_per_entry_rating(self, fig4_network):
+        model = compile_threat_model(fig4_network)
+        ecu = fig4_network.ecus[0]
+        skeletons = model.skeletons_for(ecu.ecu_id)
+        if not skeletons:
+            pytest.skip("first ECU unreachable in this architecture")
+        skeleton = skeletons[0]
+        first = model.materialize_steps(skeleton, FeasibilityRating.HIGH)
+        again = model.materialize_steps(skeleton, FeasibilityRating.HIGH)
+        assert first is again
+        other = model.materialize_steps(skeleton, FeasibilityRating.LOW)
+        assert other is not first
+
+
+class TestCompileCache:
+    def test_same_network_hits_cache(self, fig4_network):
+        before = compile_cache_stats()["hits"]
+        first = compile_threat_model(fig4_network)
+        second = compile_threat_model(fig4_network)
+        assert first is second
+        assert compile_cache_stats()["hits"] > before
+
+    def test_mutation_changes_fingerprint_and_recompiles(self):
+        from repro.vehicle.architecture import scaled_architecture
+
+        network = scaled_architecture(domains=2, ecus_per_domain=2)
+        first = compile_threat_model(network)
+        fingerprint = network_fingerprint(network)
+        network.add_ecu(Ecu("new_ecu", "New ECU", VehicleDomain.BODY))
+        network.attach("new_ecu", "bus0")
+        assert network_fingerprint(network) != fingerprint
+        second = compile_threat_model(network)
+        assert second is not first
+        assert len(second.threats) > len(first.threats)
+
+    def test_overrides_and_extras_key_the_cache(self, fig4_network):
+        from repro.iso21434.enums import ImpactCategory, ImpactRating
+        from repro.iso21434.impact import ImpactProfile
+
+        plain = compile_threat_model(fig4_network)
+        overridden = compile_threat_model(
+            fig4_network,
+            impact_overrides={
+                "ecm": ImpactProfile(
+                    {ImpactCategory.OPERATIONAL: ImpactRating.MODERATE}
+                )
+            },
+        )
+        assert overridden is not plain
+        assert overridden.fingerprint == plain.fingerprint

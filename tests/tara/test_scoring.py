@@ -1,0 +1,100 @@
+"""Tests for the batch TARA scorer (score phase of the split)."""
+
+import pytest
+
+from repro.iso21434.enums import AttackVector, FeasibilityRating
+from repro.iso21434.feasibility.attack_vector import WeightTable
+from repro.tara.engine import TaraEngine
+from repro.tara.model import compile_threat_model
+from repro.tara.scoring import (
+    BatchTaraScorer,
+    TableSpec,
+    table_fingerprint,
+)
+
+
+def psp_table(note: str = "") -> WeightTable:
+    return WeightTable(
+        {
+            AttackVector.NETWORK: FeasibilityRating.VERY_LOW,
+            AttackVector.ADJACENT: FeasibilityRating.VERY_LOW,
+            AttackVector.LOCAL: FeasibilityRating.MEDIUM,
+            AttackVector.PHYSICAL: FeasibilityRating.HIGH,
+        },
+        source="psp",
+        note=note,
+    )
+
+
+@pytest.fixture(scope="module")
+def scorer(fig4_network):
+    return BatchTaraScorer(compile_threat_model(fig4_network))
+
+
+class TestScore:
+    def test_static_score_equals_engine_run(self, fig4_network, scorer):
+        assert scorer.score() == TaraEngine(fig4_network).run()
+
+    def test_tuned_score_equals_engine_run(self, fig4_network, scorer):
+        engine = TaraEngine(fig4_network, insider_table=psp_table())
+        assert scorer.score(insider_table=psp_table()) == engine.run()
+
+    def test_score_many_is_label_keyed_in_order(self, scorer):
+        reports = scorer.score_many(
+            [
+                TableSpec(label="static"),
+                TableSpec(label="tuned", insider_table=psp_table()),
+            ]
+        )
+        assert list(reports) == ["static", "tuned"]
+
+    def test_duplicate_labels_rejected(self, scorer):
+        with pytest.raises(ValueError, match="duplicate"):
+            scorer.score_many([TableSpec(label="x"), TableSpec(label="x")])
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            TableSpec(label="")
+
+
+class TestMemoisation:
+    def test_rescoring_same_table_is_all_hits(self, fig4_network):
+        scorer = BatchTaraScorer(compile_threat_model(fig4_network))
+        scorer.score(insider_table=psp_table())
+        cold = scorer.memo_stats
+        scorer.score(insider_table=psp_table())
+        warm = scorer.memo_stats
+        assert warm["lookups"] == 2 * cold["lookups"]
+        # The second sweep resolves every threat from the memo.
+        assert warm["hits"] - cold["hits"] == cold["lookups"]
+
+    def test_tables_differing_only_in_provenance_share_memo(self, fig4_network):
+        scorer = BatchTaraScorer(compile_threat_model(fig4_network))
+        scorer.score(insider_table=psp_table(note="window A"))
+        cold_hits = scorer.memo_stats["hits"]
+        scorer.score(insider_table=psp_table(note="window B"))
+        assert scorer.memo_stats["hits"] > cold_hits
+        assert table_fingerprint(psp_table(note="A")) == table_fingerprint(
+            psp_table(note="B")
+        )
+
+    def test_assess_threat_matches_full_run(self, fig4_network, scorer):
+        report = scorer.score(insider_table=psp_table())
+        model = scorer.model
+        threat = model.threats[0]
+        record = scorer.assess_threat(threat, insider_table=psp_table())
+        assert record == report.by_threat()[threat.threat_id]
+
+
+class TestByThreatMemo:
+    def test_by_threat_is_memoised(self, scorer):
+        report = scorer.score()
+        first = report.by_threat()
+        assert report.by_threat() is first
+
+    def test_by_threat_complete(self, scorer):
+        report = scorer.score()
+        index = report.by_threat()
+        assert len(index) == len(report.records)
+        for record in report.records:
+            assert index[record.threat.threat_id] is record

@@ -1,0 +1,129 @@
+"""Tests for the sliding-window TARA timeline."""
+
+import pytest
+
+from repro.tara.engine import TaraEngine
+from repro.tara.lifecycle import LifecycleTracker, Phase, ReprocessingTrigger
+from repro.tara.timeline import run_timeline, year_windows
+
+
+class TestYearWindows:
+    def test_growing_windows(self):
+        windows = year_windows(2016, 2019)
+        assert len(windows) == 4
+        assert all(w.since.year == 2016 for w in windows)
+        assert [w.until.year for w in windows] == [2016, 2017, 2018, 2019]
+
+    def test_sliding_windows_clip_at_first_year(self):
+        windows = year_windows(2016, 2020, span=3)
+        assert [w.since.year for w in windows] == [2016, 2016, 2016, 2017, 2018]
+        assert [w.until.year for w in windows] == [2016, 2017, 2018, 2019, 2020]
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError, match=">"):
+            year_windows(2020, 2016)
+        with pytest.raises(ValueError, match="span"):
+            year_windows(2016, 2020, span=0)
+
+
+@pytest.fixture(scope="module")
+def timeline(ecm_client, fig4_network):
+    from repro import PSPFramework, TargetApplication
+    from tests.conftest import build_ecm_database
+
+    framework = PSPFramework(
+        ecm_client,
+        TargetApplication("car", "europe", "passenger"),
+        database=build_ecm_database(),
+        cache=True,
+    )
+    return run_timeline(
+        framework, fig4_network, start_year=2015, end_year=2023
+    )
+
+
+class TestTimeline:
+    def test_one_entry_per_year(self, timeline):
+        assert len(timeline) == 9
+        assert [e.window.until.year for e in timeline] == list(
+            range(2015, 2024)
+        )
+
+    def test_static_baseline_shared(self, timeline):
+        sources = {e.report.table_source for e in timeline}
+        assert sources == {timeline.static.table_source}
+        assert len(timeline.static.records) == len(
+            timeline.entries[0].report.records
+        )
+
+    def test_entries_match_fresh_engine_runs(self, timeline, fig4_network):
+        # Spot-check first and last windows: the batch-scored report is
+        # record-for-record what a fresh engine run with that window's
+        # table would produce.
+        for entry in (timeline.entries[0], timeline.entries[-1]):
+            engine = TaraEngine(
+                fig4_network, insider_table=entry.insider_table
+            )
+            assert entry.report == engine.run()
+
+    def test_ecm_trend_eventually_moves_ratings(self, timeline):
+        # The ECM corpus shifts toward physical/local tuning over time;
+        # later windows must diverge from the static baseline.
+        assert timeline.entries[-1].moved > 0
+        assert timeline.moved_threat_ids()
+
+    def test_high_risk_trajectory_monotone_dimensions(self, timeline):
+        counts = timeline.high_risk_counts()
+        assert len(counts) == len(timeline)
+        assert all(c >= 0 for c in counts)
+
+    def test_memo_reuse_across_windows(self, timeline):
+        stats = timeline.memo_stats
+        assert stats["lookups"] > 0
+        # 10 sweeps (static + 9 windows) over one model: most lookups hit.
+        assert stats["hit_rate"] > 0.5
+
+
+class TestTimelineLifecycleHooks:
+    def test_tracker_records_table_movements(self, ecm_client, fig4_network):
+        from repro import PSPFramework, TargetApplication
+        from tests.conftest import build_ecm_database
+
+        framework = PSPFramework(
+            ecm_client,
+            TargetApplication("car", "europe", "passenger"),
+            database=build_ecm_database(),
+            cache=True,
+        )
+        tracker = LifecycleTracker(phase=Phase.PRODUCTION_READINESS)
+        timeline = run_timeline(
+            framework,
+            fig4_network,
+            start_year=2015,
+            end_year=2023,
+            tracker=tracker,
+        )
+        shifts = tracker.reprocessing_count(ReprocessingTrigger.PSP_TREND_SHIFT)
+        assert shifts == len(timeline.table_changes())
+        assert shifts > 0
+
+    def test_phase_length_mismatch_rejected(self, ecm_framework, fig4_network):
+        with pytest.raises(ValueError, match="phases length"):
+            run_timeline(
+                ecm_framework,
+                fig4_network,
+                start_year=2020,
+                end_year=2023,
+                phases=[Phase.DESIGN],
+            )
+
+    def test_phases_attached_per_window(self, ecm_framework, fig4_network):
+        phases = [Phase.DESIGN, Phase.IMPLEMENTATION]
+        timeline = run_timeline(
+            ecm_framework,
+            fig4_network,
+            start_year=2022,
+            end_year=2023,
+            phases=phases,
+        )
+        assert [e.phase for e in timeline] == phases
