@@ -13,6 +13,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run_benches.py            # all benches
     PYTHONPATH=src python benchmarks/run_benches.py --out out/ # custom dir
     PYTHONPATH=src python benchmarks/run_benches.py --bench indexed_corpus
+    PYTHONPATH=src python benchmarks/run_benches.py --only stream
     PYTHONPATH=src python benchmarks/run_benches.py --list
 
 Exits non-zero if any bench's engine result diverges from its naive
@@ -49,6 +50,13 @@ def main(argv=None) -> int:
         help="bench to run (repeatable; default: all)",
     )
     parser.add_argument(
+        "--only",
+        choices=sorted(BENCH_RUNNERS),
+        default=None,
+        help="run exactly one bench (overrides --bench); the selector "
+        "CI and local runs use to target a single gate",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available benches and exit"
     )
     args = parser.parse_args(argv)
@@ -58,7 +66,10 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
-    names = args.bench or sorted(BENCH_RUNNERS)
+    if args.only:
+        names = [args.only]
+    else:
+        names = args.bench or sorted(BENCH_RUNNERS)
     all_equivalent = True
     for name in names:
         result = BENCH_RUNNERS[name]()

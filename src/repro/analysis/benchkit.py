@@ -33,6 +33,7 @@ from repro.nlp.analysis import analyze_text
 from repro.nlp.normalize import canonical_keyword, keyword_in_text
 from repro.social.api import BatchQuery, InMemoryClient, SearchQuery
 from repro.social.corpus import Corpus
+from repro.social.index import CorpusIndex
 from repro.social.post import Post
 from repro.social.synthetic import AttackTopicSpec, generate_corpus
 from repro.tara.model import (
@@ -569,10 +570,129 @@ def run_tara_batch_bench(
     )
 
 
+# -- streaming tick vs full rebuild + full pipeline re-run -------------------
+
+
+def rebuild_and_rerun_pass(
+    posts: Sequence[Post],
+    database: KeywordDatabase,
+    target,
+    window: TimeWindow,
+):
+    """The batch path a naive "new posts arrived" reaction pays.
+
+    Rebuild the corpus and its inverted index from scratch over the full
+    union, then re-run the whole query→sai→split→tune pipeline — exactly
+    what the pre-stream :class:`~repro.core.monitor.PSPMonitor` did per
+    tick.  Returns ``(sai, insider_table)``.
+    """
+    from repro.core.config import PSPConfig
+    from repro.core.pipeline import PipelineContext, PSPPipeline
+
+    corpus = Corpus(posts)
+    client = InMemoryClient(corpus)
+    context = PipelineContext(
+        client=client,
+        target=target,
+        database=database,
+        config=PSPConfig(),
+        window=window,
+    )
+    PSPPipeline.default(learn=False).run(context)
+    return context.sai, context.tuning.insider_table
+
+
+def run_stream_bench(
+    workload: Optional[BenchWorkload] = None,
+    *,
+    tick_posts: int = 150,
+) -> BenchResult:
+    """Time one streaming tick against full rebuild + pipeline re-run.
+
+    Both sides react to the same event: ``tick_posts`` new posts arrive
+    on top of an already-analysed corpus.  The naive side rebuilds the
+    corpus + index from scratch and re-runs the full batch pipeline
+    (the pre-stream monitor's grow-window behaviour).  The engine side
+    feeds the micro-batch through a warm
+    :class:`~repro.stream.runtime.StreamRuntime` tick — index append,
+    dirty-keyword SAI update, conditional retune.  Equivalence checks
+    that the streamed index answers every keyword post-for-post like a
+    from-scratch rebuild and that the streamed insider table/SAI match
+    the batch pipeline's.
+    """
+    from repro.core.config import TargetApplication
+    from repro.stream.feed import SyntheticFeed
+    from repro.stream.runtime import StreamRuntime
+
+    # A deeper history than the batch workloads: the rebuild cost the
+    # tick avoids grows with the corpus, the tick itself does not.
+    load = workload or fleet_workload(years=tuple(range(2012, 2024)))
+    posts = sorted(
+        load.corpus.posts, key=lambda p: (p.created_at, p.post_id)
+    )
+    if not 0 < tick_posts < len(posts):
+        raise ValueError(f"tick_posts must be in 1..{len(posts) - 1}")
+    head, tail = posts[:-tick_posts], posts[-tick_posts:]
+    target = TargetApplication("fleet_member", "europe", "fleet")
+    window = TimeWindow.full_history()
+
+    # Warm-up (untimed): the runtime has ingested the historical head.
+    feed = SyntheticFeed(posts)
+    runtime = StreamRuntime(feed, load.database, target=target)
+    runtime.ingest(feed.events_after(-1, limit=len(head)))
+
+    start = time.perf_counter()
+    tick = runtime.ingest(feed.events_after(runtime.cursor))
+    engine_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    naive_sai, naive_table = rebuild_and_rerun_pass(
+        posts, load.database, target, window
+    )
+    naive_s = time.perf_counter() - start
+
+    streamed_result = runtime.current_result
+    tables_equal = (
+        tick.retuned
+        and streamed_result is not None
+        and streamed_result.insider_table.as_rows() == naive_table.as_rows()
+    )
+    sai_equal = (
+        streamed_result is not None
+        and streamed_result.sai.as_rows() == naive_sai.as_rows()
+    )
+    rebuilt_index = CorpusIndex(posts)
+    streamed = runtime.index.search_many(load.keywords)
+    rebuilt = rebuilt_index.search_many(load.keywords)
+    index_equal = all(
+        [p.post_id for p in streamed[k]] == [p.post_id for p in rebuilt[k]]
+        for k in load.keywords
+    )
+
+    return BenchResult(
+        name="stream",
+        workload={**load.dimensions(), "tick_posts": tick_posts},
+        naive_seconds=naive_s,
+        engine_seconds=engine_s,
+        equivalent=tables_equal and sai_equal and index_equal,
+        extra={
+            "dirty_keywords": len(tick.dirty),
+            "retuned": tick.retuned,
+            "segments": runtime.index.segment_stats,
+            "stats": {
+                k: v
+                for k, v in runtime.stream_stats.items()
+                if k != "index"
+            },
+        },
+    )
+
+
 #: Registry used by ``benchmarks/run_benches.py``.
 BENCH_RUNNERS: Dict[str, Callable[[], BenchResult]] = {
     "indexed_corpus": run_indexed_corpus_bench,
     "batch_engine": run_batch_engine_bench,
     "sentiment_memo": run_sentiment_memo_bench,
     "tara_batch": run_tara_batch_bench,
+    "stream": run_stream_bench,
 }

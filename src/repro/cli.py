@@ -49,8 +49,8 @@ from repro.vehicle import reference_architecture
 SCENARIOS = ("excavator", "ecm", "truck")
 
 
-def _framework_for(scenario: str, *, cache: bool = False) -> PSPFramework:
-    """Build the framework for one bundled scenario."""
+def _scenario_parts(scenario: str):
+    """(client, target, database) for one bundled scenario."""
     if scenario == "excavator":
         specs = excavator_specs()
         client = InMemoryClient(excavator_corpus())
@@ -74,6 +74,12 @@ def _framework_for(scenario: str, *, cache: bool = False) -> PSPFramework:
                 owner_approved=spec.owner_approved,
             )
         )
+    return client, target, database
+
+
+def _framework_for(scenario: str, *, cache: bool = False) -> PSPFramework:
+    """Build the framework for one bundled scenario."""
+    client, target, database = _scenario_parts(scenario)
     return PSPFramework(client, target, database=database, cache=cache)
 
 
@@ -184,6 +190,46 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.core.poisoning import PostAuthenticityFilter
+    from repro.stream import StreamRuntime, SyntheticFeed
+    from repro.vehicle import reference_architecture
+
+    client, target, database = _scenario_parts(args.scenario)
+    feed = SyntheticFeed.from_corpus(client.corpus)
+    runtime = StreamRuntime(
+        feed,
+        database,
+        target=target,
+        since_year=args.start_year,
+        network=reference_architecture() if args.tara else None,
+        post_filter=PostAuthenticityFilter() if args.filter else None,
+        batch_size=args.batch_size,
+    )
+    print(
+        f"streaming {args.scenario}: {len(feed)} posts in micro-batches "
+        f"of {args.batch_size}"
+    )
+    for tick in runtime.run():
+        line = tick.describe()
+        if tick.alert is not None:
+            line += f" — {tick.alert.describe()}"
+        print(line)
+    stats = runtime.stream_stats
+    print(
+        f"\n{stats['ticks']} ticks, {stats['posts_ingested']} posts ingested "
+        f"({stats['posts_rejected']} rejected), {stats['retunes']} retunes, "
+        f"{stats['tara_rescores']} TARA rescores, {stats['alerts']} alert(s)"
+    )
+    segments = stats["index"]
+    print(
+        f"index segments: base {segments['base_posts']} + tail "
+        f"{segments['tail_posts']} posts, {segments['compactions']} "
+        "compaction(s)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -250,6 +296,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shared fleet region (default: europe)")
     fleet.add_argument("--since-year", type=int, default=None)
     fleet.set_defaults(handler=_cmd_fleet)
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="replay a scenario as a live feed through the streaming runtime",
+    )
+    add_scenario(stream)
+    stream.add_argument(
+        "--batch-size", type=int, default=250,
+        help="posts per micro-batch (default: 250)",
+    )
+    stream.add_argument(
+        "--start-year", type=int, default=None,
+        help="lower bound of the analysis window (default: open)",
+    )
+    stream.add_argument(
+        "--tara", action="store_true",
+        help="compile the Fig. 4 architecture and re-score TARA on alerts",
+    )
+    stream.add_argument(
+        "--filter", action="store_true",
+        help="apply the post-authenticity filter per micro-batch",
+    )
+    stream.set_defaults(handler=_cmd_stream)
 
     return parser
 

@@ -130,6 +130,11 @@ class PSPFramework:
         return self._target
 
     @property
+    def config(self) -> PSPConfig:
+        """The pipeline tunables in force."""
+        return self._config
+
+    @property
     def client(self) -> SocialMediaClient:
         """The social client in force (the cache wrapper when enabled)."""
         return self._client

@@ -17,6 +17,14 @@ Monitoring windows grow: tick N covers ``start..N``, tick N+1 covers
 each tick re-mines only the newly covered year; the earlier years are
 served from the year-segment query cache.  :attr:`PSPMonitor.cache_stats`
 exposes the resulting hit rates for operators.
+
+With ``stream=True`` the grow-window re-run is replaced entirely: ticks
+are served by a :class:`~repro.stream.runtime.StreamRuntime` that
+ingests the corpus as an event feed and recomputes only what each
+micro-batch dirtied (index append, running SAI aggregates, conditional
+retune/rescore).  The pull-based ``tick()`` API and the
+:class:`TrendAlert` shape are unchanged — only the cost model moves
+from O(corpus) per tick to O(new posts).
 """
 
 from __future__ import annotations
@@ -82,6 +90,16 @@ class PSPMonitor:
             TARA re-scored with the shifted insider table
             (:attr:`TrendAlert.tara`) — continuous TARA at the cost of a
             memoised scoring sweep per shift.
+        stream: serve ticks from a streaming runtime instead of full
+            pipeline re-runs.  Incompatible with ``learn=True``
+            (streaming keyword learning is an open roadmap item).
+        feed: event feed for stream mode; defaults to replaying the
+            framework client's backing corpus in timestamp order.
+        post_filter: authenticity filter for the stream-mode feed path.
+            Defaults to the filter of a
+            :class:`~repro.core.poisoning.FilteringClient` found in the
+            framework's client stack, so a filtering batch monitor
+            stays filtering when switched to ``stream=True``.
     """
 
     def __init__(
@@ -92,6 +110,9 @@ class PSPMonitor:
         tracker: Optional[LifecycleTracker] = None,
         learn: bool = False,
         network: Optional[VehicleNetwork] = None,
+        stream: bool = False,
+        feed=None,
+        post_filter=None,
     ) -> None:
         self._framework = framework
         self._start_year = start_year
@@ -101,7 +122,22 @@ class PSPMonitor:
         self._alerts: List[TrendAlert] = []
         self._last_year: Optional[int] = None
         self._scorer: Optional[BatchTaraScorer] = None
-        if network is not None:
+        self._runtime = None
+        if stream:
+            if learn:
+                raise ValueError(
+                    "stream mode does not support keyword learning yet"
+                )
+            self._runtime = _build_stream_runtime(
+                framework,
+                start_year=start_year,
+                tracker=tracker,
+                network=network,
+                feed=feed,
+                post_filter=post_filter,
+            )
+            self._scorer = self._runtime.tara_scorer
+        elif network is not None:
             self._scorer = BatchTaraScorer(compile_threat_model(network))
 
     @property
@@ -123,6 +159,11 @@ class PSPMonitor:
     def tara_scorer(self) -> Optional[BatchTaraScorer]:
         """The compiled-model scorer (None without a monitored network)."""
         return self._scorer
+
+    @property
+    def stream_runtime(self):
+        """The backing streaming runtime (None in batch mode)."""
+        return self._runtime
 
     def baseline_tara(self) -> Optional[TaraReportData]:
         """The static-table TARA over the monitored architecture.
@@ -152,6 +193,18 @@ class PSPMonitor:
             raise ValueError(
                 f"ticks must advance: {upto_year} after {self._last_year}"
             )
+        if self._runtime is not None:
+            import datetime as dt
+
+            tick = self._runtime.advance_to(
+                dt.date(upto_year, 12, 31), upto_year=upto_year
+            )
+            if tick.alert is not None:
+                # The runtime already recorded the lifecycle event.
+                self._alerts.append(tick.alert)
+            self._last_table = self._runtime.current_table
+            self._last_year = upto_year
+            return tick.alert
         window = TimeWindow.years(self._start_year, upto_year)
         result = self._framework.run(window, learn=self._learn)
         table = result.insider_table
@@ -205,3 +258,55 @@ class PSPMonitor:
             for event in self._tracker.events
             if event.trigger.value == "psp_trend_shift"
         )
+
+
+def _build_stream_runtime(
+    framework: PSPFramework,
+    *,
+    start_year: int,
+    tracker: Optional[LifecycleTracker],
+    network: Optional[VehicleNetwork],
+    feed,
+    post_filter=None,
+):
+    """A stream runtime mirroring one framework's batch configuration.
+
+    The framework's client stack is unwrapped along the decorator
+    ``inner`` chain: a :class:`~repro.core.poisoning.FilteringClient`
+    found on the way donates its authenticity filter to the feed path
+    (unless an explicit ``post_filter`` overrides it), and the
+    innermost corpus-backed client donates the default feed.
+
+    Imports are local: the stream package depends on this module (for
+    the alert shape), so the monitor reaches back lazily.
+    """
+    from repro.core.poisoning import FilteringClient
+    from repro.stream.feed import SyntheticFeed
+    from repro.stream.runtime import StreamRuntime
+
+    client = framework.client
+    while True:
+        if post_filter is None and isinstance(client, FilteringClient):
+            post_filter = client.post_filter
+        inner = getattr(client, "inner", None)
+        if inner is None:
+            break
+        client = inner
+    if feed is None:
+        corpus = getattr(client, "corpus", None)
+        if corpus is None:
+            raise ValueError(
+                "stream=True needs an explicit feed= when the framework's "
+                "client is not corpus-backed"
+            )
+        feed = SyntheticFeed.from_corpus(corpus)
+    return StreamRuntime(
+        feed,
+        framework.database,
+        target=framework.target,
+        config=framework.config,
+        since_year=start_year,
+        network=network,
+        tracker=tracker,
+        post_filter=post_filter,
+    )

@@ -243,6 +243,21 @@ class FilteringClient(SocialMediaClient):
         self._reports: Dict[str, FilterReport] = {}
 
     @property
+    def inner(self) -> SocialMediaClient:
+        """The wrapped client (decorator-unwrapping convention)."""
+        return self._inner
+
+    @property
+    def post_filter(self) -> PostAuthenticityFilter:
+        """The authenticity filter in force.
+
+        Exposed so the streaming feed path can apply the *same* filter
+        per micro-batch that this client applies per search (see
+        :func:`repro.core.monitor._build_stream_runtime`).
+        """
+        return self._filter
+
+    @property
     def reports(self) -> Dict[str, FilterReport]:
         """Filter reports per keyword from the searches served so far."""
         return dict(self._reports)

@@ -123,6 +123,27 @@ class SAIList:
         )
 
 
+@dataclass(frozen=True)
+class KeywordSignals:
+    """One keyword's condensed SAI evidence (the additive signals).
+
+    Everything the scorer needs about a keyword is additive over its
+    posts — engagement counters, post count, summed sentiment — so a
+    streaming consumer can maintain these as running aggregates
+    (:class:`~repro.stream.deltas.DeltaTracker`) and hand them straight
+    to :meth:`SAIComputer.compute_from_signals` without touching a
+    single historical post.
+    """
+
+    engagement: Engagement
+    mean_sentiment: float
+    post_count: int
+
+    def __post_init__(self) -> None:
+        if self.post_count < 0:
+            raise ValueError("post_count must be >= 0")
+
+
 def _gather_signals(
     posts: Sequence[Post], analyzer: SentimentAnalyzer
 ) -> Tuple[Engagement, float]:
@@ -208,7 +229,44 @@ class SAIComputer:
             posts = list(posts_by_keyword.get(entry.keyword, ()))
             engagement, sentiment = _gather_signals(posts, self._analyzer)
             gathered.append((entry, engagement, sentiment, len(posts)))
+        return self._score_gathered(gathered)
 
+    def compute_from_signals(
+        self,
+        database: KeywordDatabase,
+        signals: Mapping[str, KeywordSignals],
+    ) -> SAIList:
+        """Score a SAI list from pre-aggregated per-keyword signals.
+
+        The streaming counterpart of :meth:`compute_from_posts`: callers
+        that maintain running per-keyword aggregates (the dirty-keyword
+        tracker of :mod:`repro.stream.deltas`) re-score the whole list in
+        O(keywords) — no post fetch, no sentiment pass.  Keywords missing
+        from ``signals`` are treated as having no matching posts.  The
+        share/score/probability arithmetic is the same code path as the
+        post-fed variant.
+        """
+        gathered: List[Tuple[AttackKeyword, Engagement, float, int]] = []
+        for entry in database:
+            signal = signals.get(entry.keyword)
+            if signal is None:
+                gathered.append((entry, Engagement(), 0.0, 0))
+            else:
+                gathered.append(
+                    (
+                        entry,
+                        signal.engagement,
+                        signal.mean_sentiment,
+                        signal.post_count,
+                    )
+                )
+        return self._score_gathered(gathered)
+
+    def _score_gathered(
+        self,
+        gathered: Sequence[Tuple[AttackKeyword, Engagement, float, int]],
+    ) -> SAIList:
+        """The shared scoring core: signals in, sorted SAI list out."""
         weights = self._config.sai_weights
         gain = self._config.sentiment_gain
         weight_sum = weights.views + weights.interactions + weights.volume

@@ -162,3 +162,15 @@ class CorpusIndex:
     def matching(self, keyword: str) -> List[Post]:
         """All posts matching one keyword (no window), oldest first."""
         return self.search_many((keyword,))[keyword]
+
+    def extended_with(self, posts: Iterable[Post]) -> "CorpusIndex":
+        """A new index over this one's posts plus ``posts``.
+
+        This is the compaction primitive of the streaming layer
+        (:class:`~repro.stream.index.StreamingCorpusIndex`): re-indexing
+        the union re-sorts positions and postings from scratch, but the
+        per-text analyses are served from the shared
+        :func:`~repro.nlp.analysis.analyze_text` memo, so the dominant
+        re-analysis cost is not paid twice.
+        """
+        return CorpusIndex(list(self._order) + list(posts))

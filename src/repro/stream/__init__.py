@@ -1,0 +1,47 @@
+"""Streaming PSP runtime: incremental ingest over an event-sourced feed.
+
+The batch engines (indexed corpus, batched pipeline, compile-once TARA)
+assume an immutable corpus: growing the analysis window means re-running
+everything.  This package is their streaming counterpart — the paper's
+"runtime model environment" (§IV) taken literally:
+
+* :mod:`repro.stream.feed` — posts as replayable :class:`PostEvent`
+  streams behind the :class:`FeedSource` protocol;
+* :mod:`repro.stream.index` — an appendable corpus index
+  (:class:`StreamingCorpusIndex`: immutable base + mutable tail segment,
+  periodically compacted, query-equivalent to a from-scratch rebuild);
+* :mod:`repro.stream.deltas` — dirty-keyword tracking and running SAI
+  aggregates, so an arriving micro-batch updates keyword evidence in
+  O(new posts) instead of O(corpus);
+* :mod:`repro.stream.runtime` — the :class:`StreamRuntime` orchestrator:
+  append → dirty SAI → conditional weight retune → conditional TARA
+  rescore, emitting :class:`~repro.core.monitor.TrendAlert` records;
+* :mod:`repro.stream.checkpoint` — stop/resume without replaying the
+  feed.
+"""
+
+from repro.stream.checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    restore_runtime,
+    save_checkpoint,
+)
+from repro.stream.deltas import DeltaTracker, KeywordSignals
+from repro.stream.feed import FeedSource, PostEvent, SyntheticFeed
+from repro.stream.index import StreamingCorpusIndex
+from repro.stream.runtime import StreamRuntime, StreamTick
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "DeltaTracker",
+    "FeedSource",
+    "KeywordSignals",
+    "PostEvent",
+    "StreamRuntime",
+    "StreamTick",
+    "StreamingCorpusIndex",
+    "SyntheticFeed",
+    "load_checkpoint",
+    "restore_runtime",
+    "save_checkpoint",
+]

@@ -1,0 +1,103 @@
+"""Stop/resume for the streaming runtime.
+
+A :class:`~repro.stream.runtime.StreamRuntime` is resumable because all
+of its alert-relevant state is small and additive: the feed cursor, the
+per-keyword running aggregates, the cached classifications and the
+insider table last in force.  :func:`save_checkpoint` writes that state
+as one JSON document; :func:`restore_runtime` builds a fresh runtime
+around the same feed/database and loads it back.  The resumed runtime
+consumes the feed from ``cursor + 1`` and emits exactly the alerts the
+uninterrupted run would have emitted from that point (asserted in
+``tests/stream/test_checkpoint.py``).
+
+The post index is deliberately **not** checkpointed: alerting never
+needs historical posts (the aggregates carry the evidence), and a
+queryable index can be re-hydrated by replaying the feed into
+:meth:`~repro.stream.index.StreamingCorpusIndex.append` when an
+operator actually wants one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.stream.runtime import StreamRuntime
+
+#: Bump on incompatible checkpoint layout changes.
+CHECKPOINT_VERSION = 1
+
+
+def checkpoint_state(runtime: StreamRuntime) -> Dict[str, Any]:
+    """The runtime's resumable state as a JSON-serialisable document."""
+    return {
+        "checkpoint_version": CHECKPOINT_VERSION,
+        "runtime": runtime.state_dict(),
+    }
+
+
+def save_checkpoint(
+    runtime: StreamRuntime, path: Union[str, Path]
+) -> Path:
+    """Write a checkpoint file; returns the written path."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(
+        json.dumps(checkpoint_state(runtime), indent=2, sort_keys=True) + "\n"
+    )
+    return destination
+
+
+def load_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate a checkpoint file."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("checkpoint_version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {version!r} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    if "runtime" not in payload:
+        raise ValueError("checkpoint has no 'runtime' state")
+    return payload
+
+
+def restore_runtime(
+    source: Union[str, Path, Dict[str, Any]],
+    feed,
+    database,
+    **runtime_kwargs: Any,
+) -> StreamRuntime:
+    """Build a runtime resumed from a checkpoint.
+
+    Args:
+        source: a checkpoint file path or an already-loaded payload.
+        feed: the feed to resume from (must replay the same events the
+            checkpointed runtime consumed — stability is part of the
+            :class:`~repro.stream.feed.FeedSource` contract).
+        database: the keyword database (keyword set must match the
+            checkpoint).
+        **runtime_kwargs: forwarded to :class:`StreamRuntime` — target,
+            config, network, tracker, post_filter, batch sizes.  The
+            checkpoint's ``since_year`` is restored automatically.
+    """
+    if isinstance(source, (str, Path)):
+        payload = load_checkpoint(source)
+    else:
+        payload = source
+        version = payload.get("checkpoint_version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+    state = payload["runtime"]
+    runtime = StreamRuntime(
+        feed,
+        database,
+        since_year=state.get("since_year"),
+        **runtime_kwargs,
+    )
+    runtime.load_state(state)
+    return runtime

@@ -1,0 +1,314 @@
+"""Dirty-keyword tracking and running SAI aggregates.
+
+The batch SAI pass is O(corpus): every keyword's posts are re-fetched
+and re-condensed per analysis window.  Every signal the scorer needs is
+*additive over posts* (engagement counters, post volume, summed
+sentiment), so a streaming consumer only has to know, per arriving
+post, **which keywords it affects** — then bump those keywords' running
+sums.  :class:`DeltaTracker` does exactly that:
+
+* an arriving post's hashtags/tokens/stems/haystack are probed against
+  every database keyword with the same folded-match predicate the
+  inverted index uses (:meth:`~repro.nlp.analysis.PostAnalysis.matches_keyword`),
+  so "affects keyword K" here means precisely "would appear in K's
+  search results";
+* affected keywords become **dirty** until the runtime processes them;
+* per ``keyword × year`` buckets accumulate views/likes/reposts/replies,
+  post counts and summed sentiment — any ``since_year..`` analysis
+  window is a sum over year buckets, O(years) per keyword;
+* per-keyword insider/outsider **voice votes** (the classifier's text
+  signals) accumulate over *all* arriving posts, mirroring the batch
+  classifier's full-history, region-unscoped evidence search.
+
+One deliberate semantic difference from the batch path: the batch
+classifier searches the whole corpus — including posts *newer than the
+analysis window*, an artifact of replaying history against a static
+store.  A streaming tracker can only vote with evidence seen so far;
+the two converge once the feed catches up.  (Keywords carrying an
+``owner_approved`` annotation — all scenario keywords — classify
+identically on both paths.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.classification import INSIDER_MARKERS, OUTSIDER_MARKERS
+from repro.core.keywords import KeywordDatabase
+from repro.core.sai import KeywordSignals
+from repro.nlp.analysis import analyze_text
+from repro.nlp.sentiment import SentimentAnalyzer
+from repro.social.post import Engagement, Post
+
+#: re-exported for convenience of streaming consumers.
+__all__ = ["DeltaTracker", "KeywordSignals"]
+
+
+@dataclass
+class _Bucket:
+    """Additive signals of one (keyword, year) cell."""
+
+    views: int = 0
+    likes: int = 0
+    reposts: int = 0
+    replies: int = 0
+    posts: int = 0
+    sentiment_sum: float = 0.0
+
+    def add(self, post: Post, sentiment: float) -> None:
+        engagement = post.engagement
+        self.views += engagement.views
+        self.likes += engagement.likes
+        self.reposts += engagement.reposts
+        self.replies += engagement.replies
+        self.posts += 1
+        self.sentiment_sum += sentiment
+
+    def as_list(self) -> List[float]:
+        return [
+            self.views,
+            self.likes,
+            self.reposts,
+            self.replies,
+            self.posts,
+            self.sentiment_sum,
+        ]
+
+    @classmethod
+    def from_list(cls, values: List[float]) -> "_Bucket":
+        views, likes, reposts, replies, posts, sentiment_sum = values
+        return cls(
+            views=int(views),
+            likes=int(likes),
+            reposts=int(reposts),
+            replies=int(replies),
+            posts=int(posts),
+            sentiment_sum=float(sentiment_sum),
+        )
+
+
+@dataclass
+class _Votes:
+    """Running classifier voice votes for one keyword."""
+
+    insider: int = 0
+    outsider: int = 0
+
+
+class DeltaTracker:
+    """Maps arriving posts to affected keywords and keeps running sums.
+
+    Args:
+        database: the attack-keyword database; its keywords define the
+            tracked universe.  The tracker snapshots the keyword set —
+            the runtime refuses to continue over a mutated database
+            (streaming keyword learning is an open roadmap item).
+        region: when given, only posts of this region feed the SAI
+            buckets (the batch pipeline's region-scoped query).  Voice
+            votes are intentionally region-unscoped, mirroring the
+            batch classifier's evidence search.
+        analyzer: sentiment analyzer; shares the per-text memo with
+            every other consumer via :func:`analyze_text`.
+    """
+
+    def __init__(
+        self,
+        database: KeywordDatabase,
+        *,
+        region: Optional[str] = None,
+        analyzer: Optional[SentimentAnalyzer] = None,
+    ) -> None:
+        self._keywords: Tuple[str, ...] = database.keywords
+        self._region = region.strip().lower() if region else None
+        self._analyzer = analyzer or SentimentAnalyzer()
+        self._buckets: Dict[str, Dict[int, _Bucket]] = {}
+        self._votes: Dict[str, _Votes] = {}
+        self._dirty: set = set()
+        self._observed = 0
+
+    # -- ingestion ----------------------------------------------------------
+
+    @property
+    def keywords(self) -> Tuple[str, ...]:
+        """The tracked (canonical) keywords."""
+        return self._keywords
+
+    @property
+    def region(self) -> Optional[str]:
+        """The SAI region scope (None = unscoped)."""
+        return self._region
+
+    @property
+    def observed_posts(self) -> int:
+        """How many posts have been observed so far."""
+        return self._observed
+
+    def observe(self, post: Post) -> FrozenSet[str]:
+        """Fold one arriving post into the running aggregates.
+
+        Returns the keywords the post affects (its *dirty set*
+        contribution).  Affection is exact: a keyword is returned iff
+        the post would appear in that keyword's indexed search results.
+        """
+        analysis = analyze_text(post.text)
+        matched = [
+            keyword
+            for keyword in self._keywords
+            if analysis.matches_keyword(keyword)
+        ]
+        self._observed += 1
+        if not matched:
+            return frozenset()
+
+        insider_vote = bool(analysis.word_set & INSIDER_MARKERS)
+        outsider_vote = bool(analysis.word_set & OUTSIDER_MARKERS)
+        in_region = (
+            self._region is None or post.region.lower() == self._region
+        )
+        sentiment = (
+            self._analyzer.score_analysis(analysis).score if in_region else 0.0
+        )
+        for keyword in matched:
+            votes = self._votes.setdefault(keyword, _Votes())
+            if insider_vote:
+                votes.insider += 1
+            if outsider_vote:
+                votes.outsider += 1
+            if in_region:
+                years = self._buckets.setdefault(keyword, {})
+                bucket = years.setdefault(post.year, _Bucket())
+                bucket.add(post, sentiment)
+        self._dirty.update(matched)
+        return frozenset(matched)
+
+    def observe_batch(self, posts: Iterable[Post]) -> FrozenSet[str]:
+        """Observe a micro-batch; returns the union of affected keywords."""
+        touched: set = set()
+        for post in posts:
+            touched.update(self.observe(post))
+        return frozenset(touched)
+
+    # -- dirty bookkeeping --------------------------------------------------
+
+    @property
+    def dirty(self) -> FrozenSet[str]:
+        """Keywords affected since the last :meth:`take_dirty`."""
+        return frozenset(self._dirty)
+
+    def take_dirty(self) -> FrozenSet[str]:
+        """Return and clear the dirty set (one runtime tick's worth)."""
+        dirty = frozenset(self._dirty)
+        self._dirty.clear()
+        return dirty
+
+    # -- aggregate views ----------------------------------------------------
+
+    def window_count(
+        self,
+        keyword: str,
+        *,
+        since_year: Optional[int] = None,
+        until_year: Optional[int] = None,
+    ) -> int:
+        """In-region post count of one keyword within a year window."""
+        years = self._buckets.get(keyword)
+        if not years:
+            return 0
+        return sum(
+            bucket.posts
+            for year, bucket in years.items()
+            if (since_year is None or year >= since_year)
+            and (until_year is None or year <= until_year)
+        )
+
+    def votes(self, keyword: str) -> Tuple[int, int]:
+        """(insider, outsider) voice votes accumulated for one keyword."""
+        votes = self._votes.get(keyword)
+        if votes is None:
+            return (0, 0)
+        return (votes.insider, votes.outsider)
+
+    def signals(
+        self,
+        *,
+        since_year: Optional[int] = None,
+        until_year: Optional[int] = None,
+    ) -> Dict[str, KeywordSignals]:
+        """Per-keyword :class:`KeywordSignals` over a year window.
+
+        Buckets are summed in ascending year order (deterministic float
+        accumulation).  Keywords with no in-window posts are omitted —
+        :meth:`~repro.core.sai.SAIComputer.compute_from_signals` treats
+        them as empty.
+        """
+        out: Dict[str, KeywordSignals] = {}
+        for keyword, years in self._buckets.items():
+            views = likes = reposts = replies = posts = 0
+            sentiment_sum = 0.0
+            for year in sorted(years):
+                if since_year is not None and year < since_year:
+                    continue
+                if until_year is not None and year > until_year:
+                    continue
+                bucket = years[year]
+                views += bucket.views
+                likes += bucket.likes
+                reposts += bucket.reposts
+                replies += bucket.replies
+                posts += bucket.posts
+                sentiment_sum += bucket.sentiment_sum
+            if posts == 0:
+                continue
+            out[keyword] = KeywordSignals(
+                engagement=Engagement(
+                    views=views, likes=likes, reposts=reposts, replies=replies
+                ),
+                mean_sentiment=sentiment_sum / posts,
+                post_count=posts,
+            )
+        return out
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot of the running aggregates."""
+        return {
+            "keywords": list(self._keywords),
+            "region": self._region,
+            "observed": self._observed,
+            "buckets": {
+                keyword: {
+                    str(year): bucket.as_list()
+                    for year, bucket in sorted(years.items())
+                }
+                for keyword, years in sorted(self._buckets.items())
+            },
+            "votes": {
+                keyword: [votes.insider, votes.outsider]
+                for keyword, votes in sorted(self._votes.items())
+            },
+            "dirty": sorted(self._dirty),
+        }
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot (keyword set must match)."""
+        keywords = tuple(state["keywords"])  # type: ignore[arg-type]
+        if keywords != self._keywords:
+            raise ValueError(
+                "checkpoint keyword set does not match the database: "
+                f"{keywords} != {self._keywords}"
+            )
+        self._observed = int(state["observed"])  # type: ignore[arg-type]
+        self._buckets = {
+            keyword: {
+                int(year): _Bucket.from_list(values)
+                for year, values in years.items()  # type: ignore[union-attr]
+            }
+            for keyword, years in state["buckets"].items()  # type: ignore[union-attr]
+        }
+        self._votes = {
+            keyword: _Votes(insider=int(pair[0]), outsider=int(pair[1]))
+            for keyword, pair in state["votes"].items()  # type: ignore[union-attr]
+        }
+        self._dirty = set(state["dirty"])  # type: ignore[arg-type]

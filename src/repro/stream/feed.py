@@ -1,0 +1,157 @@
+"""Event-sourced post feeds (the streaming runtime's input side).
+
+A feed turns a post source into a replayable, cursor-addressed event
+stream: every post becomes a :class:`PostEvent` with a monotonically
+increasing sequence number, and consumers pull micro-batches with
+:meth:`FeedSource.events_after`.  Replayability is the point — a
+checkpointed :class:`~repro.stream.runtime.StreamRuntime` resumes by
+asking for "everything after my cursor", and two runtimes fed the same
+events are byte-for-byte reproducible.
+
+:class:`SyntheticFeed` adapts the existing in-memory corpora (the
+scenario generators, any :class:`~repro.social.corpus.Corpus`) by
+replaying their posts in timestamp order.  Production clients adapt a
+real platform by implementing the two-method :class:`FeedSource`
+protocol; everything downstream — index append, dirty-keyword tracking,
+checkpointing — is source-agnostic.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.social.corpus import Corpus
+from repro.social.post import Post
+
+try:  # Protocol is typing-only; runtime_checkable keeps isinstance useful.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - Python < 3.8
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+@dataclass(frozen=True)
+class PostEvent:
+    """One post's arrival on a feed.
+
+    Attributes:
+        seq: position in the feed; strictly increasing, gap-free within
+            one feed.  The runtime's checkpoint cursor is "the highest
+            ``seq`` consumed".
+        post: the arriving post.
+    """
+
+    seq: int
+    post: Post
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise ValueError(f"event seq must be >= 0, got {self.seq}")
+
+    @property
+    def created_at(self) -> dt.date:
+        """The post's timestamp (feed ordering key for synthetic replay)."""
+        return self.post.created_at
+
+
+@runtime_checkable
+class FeedSource(Protocol):
+    """What the streaming runtime needs from any post feed.
+
+    Implementations must hand out events with strictly increasing
+    ``seq`` and must be *stable*: asking twice for the events after one
+    cursor returns the same events (new ones may be appended at the
+    end).  That stability is what makes checkpoint/resume exact.
+    """
+
+    def events_after(
+        self,
+        cursor: int,
+        *,
+        until: Optional[dt.date] = None,
+        limit: Optional[int] = None,
+    ) -> Tuple[PostEvent, ...]:
+        """Events with ``seq > cursor``, oldest first.
+
+        Args:
+            cursor: the highest already-consumed ``seq`` (-1 = nothing).
+            until: only events whose post date is ``<= until``.
+            limit: cap on the number of returned events.
+        """
+        ...  # pragma: no cover - protocol signature
+
+
+class SyntheticFeed:
+    """A replayable feed over an in-memory post collection.
+
+    Posts are emitted in ``(created_at, post_id)`` order — the same
+    order every batch engine sorts by — so replaying a scenario corpus
+    through a :class:`~repro.stream.runtime.StreamRuntime` visits
+    exactly the posts a growing-window batch run would have seen at
+    each point in time.
+    """
+
+    def __init__(self, posts: Iterable[Post]) -> None:
+        ordered = sorted(posts, key=lambda p: (p.created_at, p.post_id))
+        self._events: Tuple[PostEvent, ...] = tuple(
+            PostEvent(seq=position, post=post)
+            for position, post in enumerate(ordered)
+        )
+
+    @classmethod
+    def from_corpus(cls, corpus: Corpus) -> "SyntheticFeed":
+        """A feed replaying one corpus' posts in timestamp order."""
+        return cls(corpus.posts)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> Tuple[PostEvent, ...]:
+        """All events, in feed order."""
+        return self._events
+
+    def events_after(
+        self,
+        cursor: int,
+        *,
+        until: Optional[dt.date] = None,
+        limit: Optional[int] = None,
+    ) -> Tuple[PostEvent, ...]:
+        """Events with ``seq > cursor`` (optionally date-capped / limited)."""
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        start = cursor + 1
+        if start < 0:
+            start = 0
+        selected = []
+        for event in self._events[start:]:
+            if until is not None and event.created_at > until:
+                # Events are date-ordered, so nothing later qualifies.
+                break
+            selected.append(event)
+            if limit is not None and len(selected) >= limit:
+                break
+        return tuple(selected)
+
+    def micro_batches(
+        self, batch_size: int, *, cursor: int = -1
+    ) -> Iterator[Tuple[PostEvent, ...]]:
+        """The remaining feed as consecutive micro-batches."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        while True:
+            batch = self.events_after(cursor, limit=batch_size)
+            if not batch:
+                return
+            cursor = batch[-1].seq
+            yield batch
+
+
+def replay_posts(events: Sequence[PostEvent]) -> Tuple[Post, ...]:
+    """The posts of an event batch, in feed order."""
+    return tuple(event.post for event in events)

@@ -1,0 +1,206 @@
+"""Appendable corpus index: a delta-segment over :class:`CorpusIndex`.
+
+:class:`~repro.social.index.CorpusIndex` is immutable by design — its
+date-sorted positions and inverted postings are global, so a single
+appended post would shift every position after it.  Instead of patching
+postings in place, :class:`StreamingCorpusIndex` uses the classic
+delta-segment layout of streaming search engines:
+
+* an immutable **base segment** (a full :class:`CorpusIndex`);
+* a mutable **tail segment** — the recently appended posts, indexed
+  lazily as their own small :class:`CorpusIndex` on first query;
+* periodic **compaction** — when the tail outgrows
+  ``compact_threshold``, base and tail merge into a new base via
+  :meth:`CorpusIndex.extended_with` (cheap: per-text analyses are
+  memoised), and the tail restarts empty.
+
+Appending a micro-batch is O(batch); queries pay one extra (small)
+segment sweep plus an ordered merge.  Query results are post-for-post
+identical to a :class:`CorpusIndex` built from scratch over the same
+posts — property-tested in
+``tests/properties/test_stream_index_equivalence.py`` — including
+out-of-order arrivals: the merge keys on ``(created_at, post_id)``, the
+global sort order, not on arrival order.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.social.index import CorpusIndex
+from repro.social.post import Post
+
+#: Default tail size that triggers a base+tail compaction.
+DEFAULT_COMPACT_THRESHOLD = 1024
+
+
+def _merge_ordered(left: Sequence[Post], right: Sequence[Post]) -> List[Post]:
+    """Merge two ``(created_at, post_id)``-sorted post lists."""
+    merged: List[Post] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        a, b = left[i], right[j]
+        if (a.created_at, a.post_id) <= (b.created_at, b.post_id):
+            merged.append(a)
+            i += 1
+        else:
+            merged.append(b)
+            j += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged
+
+
+class StreamingCorpusIndex:
+    """An appendable index with :class:`CorpusIndex`-equivalent queries.
+
+    Args:
+        posts: initial posts (become the first base segment).
+        compact_threshold: tail size at which base and tail are merged
+            into a new base segment.  Small values exercise compaction;
+            large values keep appends O(batch) for longer.
+    """
+
+    def __init__(
+        self,
+        posts: Iterable[Post] = (),
+        *,
+        compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+    ) -> None:
+        if compact_threshold < 1:
+            raise ValueError(
+                f"compact_threshold must be >= 1, got {compact_threshold}"
+            )
+        self._compact_threshold = compact_threshold
+        self._base = CorpusIndex(posts)
+        self._tail_posts: List[Post] = []
+        self._tail_index: Optional[CorpusIndex] = None
+        self._ids: Set[str] = {p.post_id for p in self._base.posts}
+        if len(self._ids) != len(self._base.posts):
+            raise ValueError("initial posts contain duplicate post ids")
+        self._appends = 0
+        self._compactions = 0
+
+    # -- ingestion ----------------------------------------------------------
+
+    def append(self, posts: Iterable[Post]) -> int:
+        """Append new posts; returns how many were added.
+
+        The append is atomic: ids are validated up front, so a
+        duplicate rejects the whole batch and leaves the index exactly
+        as it was.
+
+        Raises:
+            ValueError: when a post id is already present, or repeated
+                within the batch (feeds must not replay posts;
+                authenticity filtering happens before the index, see
+                the runtime).
+        """
+        batch = list(posts)
+        seen: Set[str] = set()
+        for post in batch:
+            if post.post_id in self._ids or post.post_id in seen:
+                raise ValueError(f"duplicate post id {post.post_id!r}")
+            seen.add(post.post_id)
+        if not batch:
+            return 0
+        self._ids.update(seen)
+        self._tail_posts.extend(batch)
+        self._tail_index = None
+        self._appends += 1
+        if len(self._tail_posts) >= self._compact_threshold:
+            self.compact()
+        return len(batch)
+
+    def compact(self) -> None:
+        """Merge the tail into the base segment (tail restarts empty)."""
+        if not self._tail_posts:
+            return
+        self._base = self._base.extended_with(self._tail_posts)
+        self._tail_posts = []
+        self._tail_index = None
+        self._compactions += 1
+
+    # -- segment access -----------------------------------------------------
+
+    def _tail(self) -> Optional[CorpusIndex]:
+        """The tail segment's index, built lazily after each append."""
+        if not self._tail_posts:
+            return None
+        if self._tail_index is None:
+            self._tail_index = CorpusIndex(self._tail_posts)
+        return self._tail_index
+
+    @property
+    def segment_stats(self) -> Dict[str, int]:
+        """Base/tail sizes and maintenance counters (observability)."""
+        return {
+            "base_posts": len(self._base),
+            "tail_posts": len(self._tail_posts),
+            "appends": self._appends,
+            "compactions": self._compactions,
+        }
+
+    def __len__(self) -> int:
+        return len(self._base) + len(self._tail_posts)
+
+    def __contains__(self, post_id: str) -> bool:
+        return post_id in self._ids
+
+    @property
+    def posts(self) -> Tuple[Post, ...]:
+        """All posts in global ``(created_at, post_id)`` order."""
+        tail = self._tail()
+        if tail is None:
+            return self._base.posts
+        return tuple(_merge_ordered(self._base.posts, tail.posts))
+
+    @property
+    def distinct_terms(self) -> int:
+        """Distinct indexed terms across both segments (upper bound)."""
+        tail = self._tail()
+        total = self._base.distinct_terms
+        if tail is not None:
+            total += tail.distinct_terms
+        return total
+
+    # -- queries ------------------------------------------------------------
+
+    def search_many(
+        self,
+        keywords: Sequence[str],
+        *,
+        since: Optional[dt.date] = None,
+        until: Optional[dt.date] = None,
+        limit: Optional[int] = None,
+    ) -> Dict[str, List[Post]]:
+        """Batch keyword search, identical to a from-scratch rebuild.
+
+        Each segment answers with its own one-pass sweep; per keyword
+        the two result lists (each already date-sorted) are merged on
+        the global sort key and truncated to ``limit``.
+        """
+        base_results = self._base.search_many(
+            keywords, since=since, until=until
+        )
+        tail = self._tail()
+        if tail is None:
+            if limit is None:
+                return base_results
+            return {k: v[:limit] for k, v in base_results.items()}
+        tail_results = tail.search_many(keywords, since=since, until=until)
+        merged: Dict[str, List[Post]] = {}
+        for keyword, base_posts in base_results.items():
+            combined = _merge_ordered(base_posts, tail_results[keyword])
+            merged[keyword] = combined[:limit] if limit is not None else combined
+        return merged
+
+    def matching(self, keyword: str) -> List[Post]:
+        """All posts matching one keyword (no window), oldest first."""
+        return self.search_many((keyword,))[keyword]
+
+    def as_corpus_index(self) -> CorpusIndex:
+        """A compacted, immutable snapshot of the current state."""
+        self.compact()
+        return self._base

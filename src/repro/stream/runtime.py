@@ -1,0 +1,549 @@
+"""The streaming PSP orchestrator: feed in, alerts out.
+
+:class:`StreamRuntime` is the event-driven counterpart of
+:class:`~repro.core.monitor.PSPMonitor`'s grow-window re-run loop.  One
+tick consumes a micro-batch of :class:`~repro.stream.feed.PostEvent`
+records and performs, in order:
+
+1. **authenticity filtering** — the poisoning heuristics of
+   :mod:`repro.core.poisoning` applied per micro-batch, so a flood
+   injected mid-stream is rejected *before* it can dirty any keyword;
+2. **index append** — accepted posts join the
+   :class:`~repro.stream.index.StreamingCorpusIndex` (O(batch));
+3. **dirty SAI** — the :class:`~repro.stream.deltas.DeltaTracker` maps
+   each post to the keywords it affects and bumps their running
+   aggregates (O(batch × keywords) string probes, no corpus scan);
+4. **conditional weight retune** — insider weights are re-derived only
+   when a dirty keyword is insider-classified (before or after
+   reclassification); pure-outsider chatter leaves the table in force;
+5. **conditional TARA rescore** — the compiled
+   :class:`~repro.tara.scoring.BatchTaraScorer` re-scores only when the
+   insider table's rating fingerprint actually changed, and the tick
+   emits a :class:`~repro.core.monitor.TrendAlert` (same shape as the
+   batch monitor's) plus an optional lifecycle trend-shift event.
+
+The first evaluation always tunes (establishing the baseline table and
+never alerting — the monitor's first-tick contract).  All mutable state
+is checkpointable (:mod:`repro.stream.checkpoint`): a stopped runtime
+resumes from its cursor and produces the same remaining alerts as an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.classification import ClassifiedEntry, InsiderOutsiderSplit
+from repro.core.config import PSPConfig, TargetApplication
+from repro.core.errors import PSPError
+from repro.core.framework import PSPRunResult
+from repro.core.keywords import KeywordDatabase
+from repro.core.monitor import TrendAlert, VectorChange
+from repro.core.poisoning import FilterReport, PostAuthenticityFilter
+from repro.core.sai import SAIComputer, SAIList
+from repro.core.timewindow import TimeWindow
+from repro.core.weights import WeightTuner
+from repro.iso21434.feasibility.attack_vector import WeightTable
+from repro.stream.deltas import DeltaTracker
+from repro.stream.feed import FeedSource, PostEvent
+from repro.stream.index import DEFAULT_COMPACT_THRESHOLD, StreamingCorpusIndex
+from repro.tara.lifecycle import LifecycleTracker
+from repro.tara.model import compile_threat_model
+from repro.tara.scoring import (
+    BatchTaraScorer,
+    TaraReportData,
+    table_fingerprint,
+)
+from repro.vehicle.network import VehicleNetwork
+
+#: Default micro-batch size for :meth:`StreamRuntime.step`.
+DEFAULT_BATCH_SIZE = 256
+
+
+@dataclass(frozen=True)
+class StreamTick:
+    """Outcome of one runtime tick (one micro-batch)."""
+
+    seq: int
+    events: int
+    accepted: int
+    rejected: int
+    dirty: Tuple[str, ...]
+    retuned: bool
+    rescored: bool
+    alert: Optional[TrendAlert]
+    upto_year: Optional[int]
+
+    def describe(self) -> str:
+        """One-line tick summary."""
+        if self.alert is not None:
+            verdict = "ALERT"
+        elif self.retuned:
+            verdict = "no rating change"
+        else:
+            verdict = "stable"
+        return (
+            f"tick {self.seq}: +{self.accepted} posts"
+            f" ({self.rejected} rejected), {len(self.dirty)} dirty,"
+            f" {'retuned' if self.retuned else 'no retune'}, {verdict}"
+        )
+
+
+class StreamRuntime:
+    """Event-driven incremental PSP over a replayable feed.
+
+    Args:
+        feed: the event source (any :class:`~repro.stream.feed.FeedSource`).
+        database: attack-keyword database.  Snapshot semantics: mutating
+            it mid-stream (e.g. keyword learning) raises on the next
+            tick — streaming learning is an open roadmap item.
+        target: what the assessment is about; its region scopes the SAI
+            aggregates exactly as the batch pipeline's region filter.
+        config: pipeline tunables (SAI weights, tuning thresholds).
+        since_year: lower bound of the analysis window (the monitor's
+            ``start_year``); None = everything ingested.
+        network: when given, the threat model is compiled once and every
+            table-changing tick re-scores it (continuous TARA).
+        tracker: lifecycle tracker; alerts record PSP_TREND_SHIFT events.
+        post_filter: authenticity filter applied per micro-batch; posts
+            it rejects never reach the index or the aggregates.
+        batch_size: default micro-batch size for :meth:`step`/:meth:`run`.
+        compact_threshold: tail size triggering index compaction.
+    """
+
+    def __init__(
+        self,
+        feed: FeedSource,
+        database: KeywordDatabase,
+        *,
+        target: Optional[TargetApplication] = None,
+        config: Optional[PSPConfig] = None,
+        since_year: Optional[int] = None,
+        network: Optional[VehicleNetwork] = None,
+        tracker: Optional[LifecycleTracker] = None,
+        post_filter: Optional[PostAuthenticityFilter] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._feed = feed
+        self._database = database
+        self._db_version = database.version
+        self._target = target or TargetApplication(
+            "streamed", "global", "stream"
+        )
+        self._config = config or PSPConfig()
+        self._since_year = since_year
+        self._batch_size = batch_size
+        self._filter = post_filter
+        self._tracker = tracker
+        self._deltas = DeltaTracker(
+            database, region=target.region if target is not None else None
+        )
+        # The signals scoring path never touches the client slot.
+        self._computer = SAIComputer(None, config=self._config)  # type: ignore[arg-type]
+        self._tuner = WeightTuner(self._config.tuning)
+        self._index = StreamingCorpusIndex(
+            compact_threshold=compact_threshold
+        )
+        self._scorer: Optional[BatchTaraScorer] = None
+        if network is not None:
+            self._scorer = BatchTaraScorer(compile_threat_model(network))
+
+        self._cursor = -1
+        self._tick_seq = 0
+        self._max_date: Optional[dt.date] = None
+        self._insider_flags: Dict[str, bool] = {}
+        self._last_table: Optional[WeightTable] = None
+        self._last_fingerprint: Optional[Tuple] = None
+        self._last_result: Optional[PSPRunResult] = None
+        self._alerts: List[TrendAlert] = []
+        self._ticks: List[StreamTick] = []
+        self._filter_reports: List[FilterReport] = []
+        self._rescored = 0
+        self._retunes = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def cursor(self) -> int:
+        """Highest consumed feed sequence number (-1 = nothing yet)."""
+        return self._cursor
+
+    @property
+    def index(self) -> StreamingCorpusIndex:
+        """The appendable corpus index of everything ingested."""
+        return self._index
+
+    @property
+    def deltas(self) -> DeltaTracker:
+        """The dirty-keyword tracker (running aggregates)."""
+        return self._deltas
+
+    @property
+    def alerts(self) -> Tuple[TrendAlert, ...]:
+        """All alerts emitted so far, oldest first."""
+        return tuple(self._alerts)
+
+    @property
+    def ticks(self) -> Tuple[StreamTick, ...]:
+        """All processed ticks, oldest first."""
+        return tuple(self._ticks)
+
+    @property
+    def current_table(self) -> Optional[WeightTable]:
+        """The insider table in force (None before the first retune)."""
+        return self._last_table
+
+    @property
+    def current_result(self) -> Optional[PSPRunResult]:
+        """The PSP result of the latest retune (None before the first)."""
+        return self._last_result
+
+    @property
+    def tara_scorer(self) -> Optional[BatchTaraScorer]:
+        """The compiled-model scorer (None without a network)."""
+        return self._scorer
+
+    @property
+    def post_filter(self) -> Optional[PostAuthenticityFilter]:
+        """The per-batch authenticity filter (None = unfiltered)."""
+        return self._filter
+
+    @property
+    def filter_reports(self) -> Tuple[FilterReport, ...]:
+        """Authenticity filter reports, one per filtered micro-batch."""
+        return tuple(self._filter_reports)
+
+    @property
+    def stream_stats(self) -> Dict[str, object]:
+        """Operational counters for dashboards and benches."""
+        return {
+            "ticks": len(self._ticks),
+            "cursor": self._cursor,
+            # Observed, not indexed: survives a checkpoint restore,
+            # where the index deliberately restarts empty.
+            "posts_ingested": self._deltas.observed_posts,
+            "posts_rejected": sum(
+                len(report.rejected) for report in self._filter_reports
+            ),
+            "retunes": self._retunes,
+            "tara_rescores": self._rescored,
+            "alerts": len(self._alerts),
+            "index": self._index.segment_stats,
+        }
+
+    def baseline_tara(self) -> Optional[TaraReportData]:
+        """The static-table TARA (None without a network)."""
+        if self._scorer is None:
+            return None
+        return self._scorer.score()
+
+    # -- the tick -----------------------------------------------------------
+
+    def _check_database(self) -> None:
+        if self._database.version != self._db_version:
+            raise PSPError(
+                "keyword database changed mid-stream (version "
+                f"{self._db_version} -> {self._database.version}); "
+                "streaming keyword learning is not supported yet — "
+                "restart the runtime to adopt the new keyword set"
+            )
+
+    def _window(self, upto_year: Optional[int]) -> TimeWindow:
+        if self._since_year is not None and upto_year is not None:
+            return TimeWindow.years(self._since_year, upto_year)
+        since = (
+            dt.date(self._since_year, 1, 1)
+            if self._since_year is not None
+            else None
+        )
+        until = dt.date(upto_year, 12, 31) if upto_year is not None else None
+        return TimeWindow(since=since, until=until, label="streamed")
+
+    def _classify(self, keyword: str) -> bool:
+        """Mirror of the batch classifier over the running aggregates."""
+        annotation = self._database.get(keyword).owner_approved
+        if annotation is not None:
+            return annotation
+        count = self._deltas.window_count(keyword, since_year=self._since_year)
+        if count <= 0:
+            return False
+        insider_votes, outsider_votes = self._deltas.votes(keyword)
+        return insider_votes > outsider_votes
+
+    def _split(self, sai: SAIList) -> InsiderOutsiderSplit:
+        """Partition the SAI list using cached classifications."""
+        insider: List[ClassifiedEntry] = []
+        outsider: List[ClassifiedEntry] = []
+        for entry in sai:
+            keyword = entry.keyword
+            flag = self._insider_flags.get(keyword)
+            if flag is None:
+                flag = self._classify(keyword)
+                self._insider_flags[keyword] = flag
+            annotation = self._database.get(keyword).owner_approved
+            votes = (
+                (0, 0) if annotation is not None else self._deltas.votes(keyword)
+            )
+            classified = ClassifiedEntry(
+                entry=entry,
+                insider=flag,
+                from_annotation=annotation is not None,
+                insider_votes=votes[0],
+                outsider_votes=votes[1],
+            )
+            (insider if flag else outsider).append(classified)
+        return InsiderOutsiderSplit(
+            insider=tuple(insider), outsider=tuple(outsider)
+        )
+
+    def ingest(
+        self,
+        events: Sequence[PostEvent],
+        *,
+        upto_year: Optional[int] = None,
+    ) -> StreamTick:
+        """Process one micro-batch of events as a single tick.
+
+        Args:
+            events: the batch (may be empty — the first empty tick still
+                establishes the baseline table).
+            upto_year: explicit window upper bound for the tick's
+                alert/result labelling; defaults to the newest ingested
+                post's year.
+        """
+        self._check_database()
+        posts = [event.post for event in events]
+        rejected = 0
+        if self._filter is not None and posts:
+            report = self._filter.filter(posts)
+            self._filter_reports.append(report)
+            accepted = list(report.accepted)
+            rejected = len(report.rejected)
+        else:
+            accepted = posts
+        self._index.append(accepted)
+        self._deltas.observe_batch(accepted)
+        # take_dirty also folds in any dirty keywords a restored
+        # checkpoint carried over from an interrupted tick.
+        dirty = self._deltas.take_dirty()
+        for event in events:
+            if event.seq > self._cursor:
+                self._cursor = event.seq
+        for post in accepted:
+            if self._max_date is None or post.created_at > self._max_date:
+                self._max_date = post.created_at
+        if upto_year is None and self._max_date is not None:
+            upto_year = self._max_date.year
+
+        retuned, rescored, alert = self._evaluate(dirty, upto_year)
+        self._tick_seq += 1
+        tick = StreamTick(
+            seq=self._tick_seq,
+            events=len(events),
+            accepted=len(accepted),
+            rejected=rejected,
+            dirty=tuple(sorted(dirty)),
+            retuned=retuned,
+            rescored=rescored,
+            alert=alert,
+            upto_year=upto_year,
+        )
+        self._ticks.append(tick)
+        return tick
+
+    def _evaluate(
+        self,
+        dirty: Sequence[str],
+        upto_year: Optional[int],
+    ) -> Tuple[bool, bool, Optional[TrendAlert]]:
+        """Conditional retune + conditional rescore for one tick."""
+        first = self._last_table is None
+        before = any(self._insider_flags.get(k, False) for k in dirty)
+        for keyword in dirty:
+            self._insider_flags[keyword] = self._classify(keyword)
+        after = any(self._insider_flags[k] for k in dirty)
+        if not first and not (before or after):
+            return False, False, None
+
+        window = self._window(upto_year)
+        signals = self._deltas.signals(
+            since_year=self._since_year, until_year=upto_year
+        )
+        sai = self._computer.compute_from_signals(self._database, signals)
+        split = self._split(sai)
+        tuning = self._tuner.tune(split, window_label=window.describe())
+        table = tuning.insider_table
+        fingerprint = table_fingerprint(table)
+        result = PSPRunResult(
+            target=self._target,
+            window=window,
+            sai=sai,
+            split=split,
+            tuning=tuning,
+            learned_keywords=(),
+        )
+        self._retunes += 1
+
+        rescored = False
+        alert: Optional[TrendAlert] = None
+        if (
+            self._last_table is not None
+            and fingerprint != self._last_fingerprint
+        ):
+            changed = table.differs_from(self._last_table)
+            changes = tuple(
+                VectorChange(
+                    vector=vector,
+                    before=self._last_table.rating(vector),
+                    after=table.rating(vector),
+                )
+                for vector in changed
+            )
+            tara: Optional[TaraReportData] = None
+            if self._scorer is not None:
+                tara = self._scorer.score(insider_table=table)
+                rescored = True
+                self._rescored += 1
+            alert = TrendAlert(
+                upto_year=upto_year if upto_year is not None else 0,
+                changes=changes,
+                result=result,
+                tara=tara,
+            )
+            self._alerts.append(alert)
+            if self._tracker is not None:
+                self._tracker.report_trend_shift(alert.describe())
+
+        self._last_table = table
+        self._last_fingerprint = fingerprint
+        self._last_result = result
+        return True, rescored, alert
+
+    # -- feed drivers -------------------------------------------------------
+
+    def step(self, batch_size: Optional[int] = None) -> Optional[StreamTick]:
+        """Consume the next micro-batch; None when the feed is drained."""
+        events = self._feed.events_after(
+            self._cursor, limit=batch_size or self._batch_size
+        )
+        if not events:
+            return None
+        return self.ingest(events)
+
+    def advance_to(
+        self, until: dt.date, *, upto_year: Optional[int] = None
+    ) -> StreamTick:
+        """Consume everything up to ``until`` as one tick.
+
+        This is the monitor-compatibility driver: the batch monitor's
+        ``tick(year)`` maps to ``advance_to(date(year, 12, 31))``.  An
+        empty batch still evaluates, so the first call establishes the
+        baseline table even when no post precedes ``until``.
+        """
+        events = self._feed.events_after(self._cursor, until=until)
+        return self.ingest(
+            events, upto_year=upto_year if upto_year is not None else until.year
+        )
+
+    def run(self, batch_size: Optional[int] = None) -> List[StreamTick]:
+        """Drain the feed in micro-batches; returns the processed ticks."""
+        ticks: List[StreamTick] = []
+        while True:
+            tick = self.step(batch_size)
+            if tick is None:
+                return ticks
+            ticks.append(tick)
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot of all resumable state.
+
+        The index is *not* serialised — alerts never need historical
+        posts (aggregates carry the evidence), and a queryable index can
+        be re-hydrated by replaying the feed into
+        :meth:`StreamingCorpusIndex.append` if needed.
+        """
+        return {
+            "cursor": self._cursor,
+            "tick_seq": self._tick_seq,
+            "max_date": self._max_date.isoformat() if self._max_date else None,
+            "since_year": self._since_year,
+            "db_version": self._db_version,
+            "insider_flags": dict(sorted(self._insider_flags.items())),
+            "last_table": _table_state(self._last_table),
+            "alert_count": len(self._alerts),
+            "retunes": self._retunes,
+            "tara_rescores": self._rescored,
+            "deltas": self._deltas.state_dict(),
+        }
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot into this runtime."""
+        self._cursor = int(state["cursor"])  # type: ignore[arg-type]
+        self._tick_seq = int(state["tick_seq"])  # type: ignore[arg-type]
+        raw_date = state.get("max_date")
+        self._max_date = (
+            dt.date.fromisoformat(raw_date) if raw_date else None  # type: ignore[arg-type]
+        )
+        self._since_year = state.get("since_year")  # type: ignore[assignment]
+        if state.get("db_version") == self._database.version:
+            self._insider_flags = {
+                str(k): bool(v)
+                for k, v in state["insider_flags"].items()  # type: ignore[union-attr]
+            }
+        else:
+            # The database changed since the checkpoint (e.g. an analyst
+            # re-annotated a keyword).  The cached verdicts may
+            # contradict the new annotations, so drop them — the next
+            # evaluation reclassifies lazily from the restored votes and
+            # aggregates, which is O(keywords).
+            self._insider_flags = {}
+        self._last_table = _table_from_state(state.get("last_table"))
+        self._last_fingerprint = (
+            table_fingerprint(self._last_table)
+            if self._last_table is not None
+            else None
+        )
+        self._retunes = int(state.get("retunes", 0))  # type: ignore[arg-type]
+        self._rescored = int(state.get("tara_rescores", 0))  # type: ignore[arg-type]
+        self._deltas.load_state(state["deltas"])  # type: ignore[arg-type]
+
+
+def _table_state(table: Optional[WeightTable]) -> Optional[Dict[str, object]]:
+    """A weight table as plain JSON data (None-safe)."""
+    if table is None:
+        return None
+    from repro.iso21434.enums import AttackVector
+
+    return {
+        "ratings": {
+            vector.value: table.rating(vector).name for vector in AttackVector
+        },
+        "source": table.source,
+        "note": table.note,
+    }
+
+
+def _table_from_state(
+    state: Optional[Mapping[str, object]],
+) -> Optional[WeightTable]:
+    """Rebuild a weight table from :func:`_table_state` data."""
+    if state is None:
+        return None
+    from repro.iso21434.enums import AttackVector, FeasibilityRating
+
+    ratings = {
+        AttackVector(vector): FeasibilityRating[name]
+        for vector, name in state["ratings"].items()  # type: ignore[union-attr]
+    }
+    return WeightTable(
+        ratings,
+        source=str(state.get("source", "psp")),
+        note=str(state.get("note", "")),
+    )

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, List, Mapping, Optional, Tuple
 from repro.iso21434.feasibility.attack_vector import WeightTable, standard_table
 
 if TYPE_CHECKING:  # heavy imports deferred; resolved inside the runner
+    from repro.core.monitor import TrendAlert
     from repro.iso21434.impact import ImpactProfile
     from repro.iso21434.risk import RiskMatrix
     from repro.iso21434.treatment import TreatmentPolicy
@@ -250,3 +251,17 @@ class LifecycleTaraRunner:
         """Adopt a PSP-shifted insider table and reprocess the TARA."""
         self._insider_table = insider_table
         return self._rescore(self._tracker.report_trend_shift(note))
+
+    def observe_alert(self, alert: "TrendAlert") -> ReprocessedTara:
+        """Adopt a monitor/stream alert's insider table and reprocess.
+
+        The bridge between the alert emitters — the batch
+        :class:`~repro.core.monitor.PSPMonitor` and the streaming
+        :class:`~repro.stream.runtime.StreamRuntime` — and the
+        lifecycle: wire the emitter's alerts into this runner and every
+        social trend shift becomes a recorded TARA reprocessing over
+        the shared compiled model.
+        """
+        return self.trend_shift(
+            alert.result.insider_table, note=alert.describe()
+        )

@@ -102,3 +102,25 @@ class TestFleet:
     def test_empty_applications_fails_cleanly(self, capsys):
         assert main(["fleet", "--applications", " , "]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestStream:
+    def test_stream_replay_runs(self, capsys):
+        assert main(["stream", "--scenario", "ecm", "--batch-size", "400",
+                     "--start-year", "2015"]) == 0
+        out = capsys.readouterr().out
+        assert "streaming ecm" in out
+        assert "tick 1:" in out
+        assert "retunes" in out
+        assert "index segments" in out
+
+    def test_stream_with_tara_and_filter(self, capsys):
+        assert main(["stream", "--scenario", "ecm", "--batch-size", "500",
+                     "--start-year", "2015", "--tara", "--filter"]) == 0
+        out = capsys.readouterr().out
+        assert "TARA rescores" in out
+        assert "ALERT" in out
+
+    def test_invalid_batch_size_fails_cleanly(self, capsys):
+        assert main(["stream", "--batch-size", "0"]) == 2
+        assert "error:" in capsys.readouterr().err

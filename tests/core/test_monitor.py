@@ -77,6 +77,118 @@ class TestLifecycleIntegration:
         assert monitor.reprocessing_events() == ()
 
 
+class TestStreamMode:
+    def test_stream_tick_api_is_backward_compatible(self, ecm_framework):
+        monitor = PSPMonitor(ecm_framework, start_year=2015, stream=True)
+        assert monitor.tick(2018) is None  # baseline, as in batch mode
+        assert monitor.current_table is not None
+        with pytest.raises(ValueError, match="advance"):
+            monitor.tick(2018)
+        assert monitor.stream_runtime is not None
+
+    def test_stream_alerts_match_batch_alerts(self, ecm_client):
+        from tests.conftest import build_ecm_database
+        from repro import PSPFramework, TargetApplication
+
+        target = TargetApplication("car", "europe", "passenger")
+        batch = PSPMonitor(
+            PSPFramework(ecm_client, target, database=build_ecm_database()),
+            start_year=2015,
+        )
+        stream = PSPMonitor(
+            PSPFramework(ecm_client, target, database=build_ecm_database()),
+            start_year=2015,
+            stream=True,
+        )
+        batch_alerts = batch.run_years(2018, 2023)
+        stream_alerts = stream.run_years(2018, 2023)
+        assert [a.upto_year for a in stream_alerts] == [
+            a.upto_year for a in batch_alerts
+        ]
+        assert [a.changes for a in stream_alerts] == [
+            a.changes for a in batch_alerts
+        ]
+        assert (
+            stream.current_table.as_rows() == batch.current_table.as_rows()
+        )
+
+    def test_stream_tara_matches_batch_tara(self, ecm_client, fig4_network):
+        from tests.conftest import build_ecm_database
+        from repro import PSPFramework, TargetApplication
+
+        target = TargetApplication("car", "europe", "passenger")
+        batch = PSPMonitor(
+            PSPFramework(ecm_client, target, database=build_ecm_database()),
+            start_year=2015,
+            network=fig4_network,
+        )
+        stream = PSPMonitor(
+            PSPFramework(ecm_client, target, database=build_ecm_database()),
+            start_year=2015,
+            network=fig4_network,
+            stream=True,
+        )
+        batch_alerts = batch.run_years(2018, 2023)
+        stream_alerts = stream.run_years(2018, 2023)
+        assert [a.tara for a in stream_alerts] == [
+            a.tara for a in batch_alerts
+        ]
+        assert stream.tara_scorer is not None
+        assert stream.baseline_tara() == batch.baseline_tara()
+
+    def test_stream_alerts_recorded_on_tracker(self, ecm_framework):
+        tracker = LifecycleTracker(phase=Phase.PRODUCTION_READINESS)
+        monitor = PSPMonitor(
+            ecm_framework, start_year=2015, tracker=tracker, stream=True
+        )
+        alerts = monitor.run_years(2018, 2023)
+        assert len(monitor.reprocessing_events()) == len(alerts)
+
+    def test_stream_with_learn_rejected(self, ecm_framework):
+        with pytest.raises(ValueError, match="learning"):
+            PSPMonitor(
+                ecm_framework, start_year=2015, stream=True, learn=True
+            )
+
+    def test_filtering_client_routes_filter_into_feed_path(self, ecm_client):
+        from tests.conftest import build_ecm_database
+        from repro import PSPFramework, TargetApplication
+        from repro.core.poisoning import FilteringClient
+
+        filtering = FilteringClient(ecm_client)
+        framework = PSPFramework(
+            filtering,
+            TargetApplication("car", "europe", "passenger"),
+            database=build_ecm_database(),
+        )
+        monitor = PSPMonitor(framework, start_year=2015, stream=True)
+        runtime = monitor.stream_runtime
+        # the client stack is unwrapped: the corpus feeds the stream and
+        # the FilteringClient's own filter guards each micro-batch
+        assert runtime.post_filter is filtering.post_filter
+        assert monitor.tick(2018) is None
+
+    def test_stream_without_corpus_client_needs_feed(self, ecm_client):
+        from tests.conftest import build_ecm_database
+        from repro import PSPFramework, TargetApplication
+        from repro.social.api import SocialMediaClient
+
+        class StubClient(SocialMediaClient):
+            def search(self, query):
+                return []
+
+            def count_by_year(self, query):
+                return {}
+
+        framework = PSPFramework(
+            StubClient(),
+            TargetApplication("car", "europe", "passenger"),
+            database=build_ecm_database(),
+        )
+        with pytest.raises(ValueError, match="feed"):
+            PSPMonitor(framework, start_year=2015, stream=True)
+
+
 class TestTaraRescoring:
     def test_alerts_carry_rescored_tara(self, ecm_framework, fig4_network):
         monitor = PSPMonitor(

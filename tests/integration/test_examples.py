@@ -20,6 +20,7 @@ CASES = (
     ("fleet_tara.py", "rated differently"),
     ("runtime_monitoring.py", "TARA"),
     ("model_triangulation.py", "PSP-tuned table"),
+    ("live_monitor.py", "resume parity: OK"),
 )
 
 

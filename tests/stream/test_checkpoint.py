@@ -1,0 +1,221 @@
+"""Tests for streaming checkpoint/resume.
+
+The acceptance property: a checkpointed-then-resumed runtime produces
+the same alerts as an uninterrupted run over the same feed.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import TargetApplication
+from repro.social import ecm_reprogramming_corpus
+from repro.stream.checkpoint import (
+    CHECKPOINT_VERSION,
+    checkpoint_state,
+    load_checkpoint,
+    restore_runtime,
+    save_checkpoint,
+)
+from repro.stream.feed import SyntheticFeed
+from repro.stream.runtime import StreamRuntime
+from tests.conftest import build_ecm_database
+
+ECM_TARGET = TargetApplication("car", "europe", "passenger")
+BATCH = 300
+
+
+def _runtime(**kwargs):
+    return StreamRuntime(
+        SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+        build_ecm_database(),
+        target=ECM_TARGET,
+        since_year=2015,
+        batch_size=BATCH,
+        **kwargs,
+    )
+
+
+def _alert_keys(runtime):
+    return [
+        (
+            alert.upto_year,
+            alert.changes,
+            alert.result.insider_table.as_rows(),
+        )
+        for alert in runtime.alerts
+    ]
+
+
+class TestResumeParity:
+    @pytest.mark.parametrize("stop_after", [1, 3, 5])
+    def test_resumed_run_emits_remaining_alerts(self, tmp_path, stop_after):
+        reference = _runtime()
+        reference.run()
+
+        interrupted = _runtime()
+        for _ in range(stop_after):
+            assert interrupted.step() is not None
+        path = save_checkpoint(interrupted, tmp_path / "run.ckpt.json")
+
+        resumed = restore_runtime(
+            path,
+            SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+            build_ecm_database(),
+            target=ECM_TARGET,
+            batch_size=BATCH,
+        )
+        assert resumed.cursor == interrupted.cursor
+        resumed.run()
+
+        assert (
+            _alert_keys(interrupted) + _alert_keys(resumed)
+            == _alert_keys(reference)
+        )
+        assert (
+            resumed.current_table.as_rows()
+            == reference.current_table.as_rows()
+        )
+        assert (
+            resumed.current_result.sai.as_rows()
+            == reference.current_result.sai.as_rows()
+        )
+
+    def test_resume_with_tara_rescores_identically(self, tmp_path, fig4_network):
+        reference = _runtime(network=fig4_network)
+        reference.run()
+
+        interrupted = _runtime(network=fig4_network)
+        for _ in range(3):
+            interrupted.step()
+        path = save_checkpoint(interrupted, tmp_path / "tara.ckpt.json")
+        resumed = restore_runtime(
+            path,
+            SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+            build_ecm_database(),
+            target=ECM_TARGET,
+            batch_size=BATCH,
+            network=fig4_network,
+        )
+        resumed.run()
+        combined = [a.tara for a in interrupted.alerts + resumed.alerts]
+        assert combined == [a.tara for a in reference.alerts]
+
+
+class TestCheckpointFormat:
+    def test_state_is_json_round_trippable(self):
+        runtime = _runtime()
+        runtime.step()
+        state = checkpoint_state(runtime)
+        assert state["checkpoint_version"] == CHECKPOINT_VERSION
+        assert state == json.loads(json.dumps(state))
+
+    def test_load_validates_version(self, tmp_path):
+        runtime = _runtime()
+        runtime.step()
+        path = save_checkpoint(runtime, tmp_path / "v.ckpt.json")
+        payload = json.loads(path.read_text())
+        payload["checkpoint_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="checkpoint version"):
+            load_checkpoint(path)
+
+    def test_load_requires_runtime_state(self, tmp_path):
+        path = tmp_path / "empty.ckpt.json"
+        path.write_text(json.dumps({"checkpoint_version": CHECKPOINT_VERSION}))
+        with pytest.raises(ValueError, match="runtime"):
+            load_checkpoint(path)
+
+    def test_restore_rejects_mismatched_database(self, tmp_path):
+        from tests.conftest import build_excavator_database
+
+        runtime = _runtime()
+        runtime.step()
+        path = save_checkpoint(runtime, tmp_path / "db.ckpt.json")
+        with pytest.raises(ValueError, match="keyword set"):
+            restore_runtime(
+                path,
+                SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+                build_excavator_database(),
+                target=ECM_TARGET,
+            )
+
+    def test_stats_report_observed_posts_after_restore(self, tmp_path):
+        runtime = _runtime()
+        runtime.step()
+        path = save_checkpoint(runtime, tmp_path / "s.ckpt.json")
+        resumed = restore_runtime(
+            path,
+            SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+            build_ecm_database(),
+            target=ECM_TARGET,
+            batch_size=BATCH,
+        )
+        # the index restarts empty by design, but the ingest counter
+        # reflects the restored history
+        assert resumed.stream_stats["posts_ingested"] == (
+            runtime.stream_stats["posts_ingested"]
+        )
+        assert resumed.stream_stats["posts_ingested"] > 0
+
+    def test_reannotated_database_drops_cached_classifications(self, tmp_path):
+        import datetime as dt
+
+        from repro.core.keywords import AttackKeyword, KeywordDatabase
+        from repro.social.post import Post
+
+        def build_db(owner_approved):
+            db = KeywordDatabase()
+            db.add(
+                AttackKeyword(
+                    keyword="dpfdelete", owner_approved=owner_approved
+                )
+            )
+            return db
+
+        posts = [
+            Post(
+                post_id=f"x{i}",
+                text="my #dpfdelete was worth it",
+                author=f"u{i}",
+                created_at=dt.date(2020, 1, 1 + i),
+            )
+            for i in range(3)
+        ]
+        feed = SyntheticFeed(posts)
+        runtime = StreamRuntime(feed, build_db(True), batch_size=2)
+        runtime.step()
+        path = save_checkpoint(runtime, tmp_path / "ann.ckpt.json")
+
+        # the analyst flips the annotation; same keyword set, new version
+        reannotated = build_db(True)
+        reannotated.annotate("dpfdelete", owner_approved=False)
+        resumed = restore_runtime(
+            path, SyntheticFeed(posts), reannotated, batch_size=2
+        )
+        tick = resumed.step()
+        # the stale insider=True verdict was dropped: with the keyword
+        # now annotated outsider, the dirty batch is not insider-relevant
+        assert not tick.retuned
+        assert resumed.current_result is None or not any(
+            c.insider
+            for c in resumed.current_result.split.insider
+        )
+
+    def test_cursor_and_counters_survive(self, tmp_path):
+        runtime = _runtime()
+        runtime.step()
+        runtime.step()
+        path = save_checkpoint(runtime, tmp_path / "c.ckpt.json")
+        resumed = restore_runtime(
+            path,
+            SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+            build_ecm_database(),
+            target=ECM_TARGET,
+            batch_size=BATCH,
+        )
+        assert resumed.cursor == runtime.cursor
+        assert resumed.stream_stats["retunes"] == runtime.stream_stats["retunes"]
+        assert (
+            resumed.current_table.as_rows() == runtime.current_table.as_rows()
+        )

@@ -1,0 +1,147 @@
+"""Tests for dirty-keyword tracking and running SAI aggregates."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.core.sai import SAIComputer
+from repro.iso21434.enums import AttackVector
+from repro.social.post import Engagement, Post
+from repro.stream.deltas import DeltaTracker
+
+
+def _db(*keywords):
+    db = KeywordDatabase()
+    for keyword in keywords:
+        db.add(AttackKeyword(keyword=keyword, vector=AttackVector.PHYSICAL))
+    return db
+
+
+def _post(i, text, *, year=2020, region="europe", views=100, likes=10):
+    return Post(
+        post_id=f"d{i:03d}",
+        text=text,
+        author=f"user{i}",
+        created_at=dt.date(year, 1, 1 + (i % 27)),
+        region=region,
+        engagement=Engagement(views=views, likes=likes),
+    )
+
+
+class TestDirtyMapping:
+    def test_hashtag_token_stem_and_phrase_all_dirty(self):
+        tracker = DeltaTracker(_db("dpfdelete", "egrremoval", "tuning"))
+        assert tracker.observe(_post(0, "#dpf_delete rocks")) == {"dpfdelete"}
+        assert tracker.observe(_post(1, "my egr removal went fine")) == {
+            "egrremoval"
+        }
+        # stem: "tuning" canonicalises to itself, matched inside text
+        assert tracker.observe(_post(2, "ecu tuning day")) == {"tuning"}
+        assert tracker.observe(_post(3, "nothing relevant")) == frozenset()
+        assert tracker.dirty == {"dpfdelete", "egrremoval", "tuning"}
+
+    def test_take_dirty_clears(self):
+        tracker = DeltaTracker(_db("dpfdelete"))
+        tracker.observe(_post(0, "#dpfdelete"))
+        assert tracker.take_dirty() == {"dpfdelete"}
+        assert tracker.dirty == frozenset()
+
+    def test_multi_keyword_post_dirties_all(self):
+        tracker = DeltaTracker(_db("dpfdelete", "egrdelete"))
+        dirty = tracker.observe(_post(0, "#dpfdelete and #egrdelete combo"))
+        assert dirty == {"dpfdelete", "egrdelete"}
+
+
+class TestRegionScope:
+    def test_foreign_region_votes_but_does_not_feed_sai(self):
+        tracker = DeltaTracker(_db("dpfdelete"), region="europe")
+        tracker.observe(_post(0, "my #dpfdelete install", region="america"))
+        # voice votes are region-unscoped (batch classifier semantics)
+        assert tracker.votes("dpfdelete") == (1, 0)
+        # but the SAI aggregates only count the scoped region
+        assert tracker.window_count("dpfdelete") == 0
+        assert tracker.signals() == {}
+        # the keyword is still dirty: its classification input changed
+        assert tracker.dirty == {"dpfdelete"}
+
+    def test_in_region_feeds_both(self):
+        tracker = DeltaTracker(_db("dpfdelete"), region="europe")
+        tracker.observe(_post(0, "my #dpfdelete install", region="Europe"))
+        assert tracker.window_count("dpfdelete") == 1
+        assert tracker.votes("dpfdelete") == (1, 0)
+
+
+class TestAggregateEquivalence:
+    def test_signals_match_batch_gathering(self):
+        db = _db("dpfdelete", "egrremoval")
+        posts = [
+            _post(0, "my #dpfdelete kit, worth it", year=2019, views=500),
+            _post(1, "#dpfdelete fitted by the workshop", year=2020, views=300),
+            _post(2, "egr removal finally done", year=2021, views=200),
+            _post(3, "police warning about stolen kit", year=2021),
+        ]
+        tracker = DeltaTracker(db)
+        tracker.observe_batch(posts)
+        computer = SAIComputer(None)
+
+        streamed = computer.compute_from_signals(db, tracker.signals())
+        batch = computer.compute_from_posts(
+            db,
+            {
+                "dpfdelete": posts[0:2],
+                "egrremoval": posts[2:3],
+            },
+        )
+        assert streamed.as_rows() == batch.as_rows()
+
+    def test_year_window_selects_buckets(self):
+        db = _db("dpfdelete")
+        tracker = DeltaTracker(db)
+        tracker.observe_batch(
+            [
+                _post(0, "#dpfdelete a", year=2018, views=100),
+                _post(1, "#dpfdelete b", year=2020, views=200),
+                _post(2, "#dpfdelete c", year=2022, views=400),
+            ]
+        )
+        signals = tracker.signals(since_year=2019, until_year=2021)
+        assert signals["dpfdelete"].post_count == 1
+        assert signals["dpfdelete"].engagement.views == 200
+        assert tracker.window_count("dpfdelete", since_year=2019) == 2
+
+    def test_voice_votes_follow_classifier_markers(self):
+        tracker = DeltaTracker(_db("dpfdelete"))
+        tracker.observe(_post(0, "my #dpfdelete was worth it"))  # insider
+        tracker.observe(_post(1, "#dpfdelete kit stolen, police involved"))
+        tracker.observe(_post(2, "#dpfdelete exists"))  # no markers
+        assert tracker.votes("dpfdelete") == (1, 1)
+
+
+class TestStateRoundTrip:
+    def test_state_dict_round_trips(self):
+        db = _db("dpfdelete", "egrremoval")
+        tracker = DeltaTracker(db, region="europe")
+        tracker.observe_batch(
+            [
+                _post(0, "my #dpfdelete kit", year=2019),
+                _post(1, "#egr_removal day", year=2021, region="america"),
+            ]
+        )
+        state = tracker.state_dict()
+
+        import json
+
+        restored = DeltaTracker(db, region="europe")
+        restored.load_state(json.loads(json.dumps(state)))
+        assert restored.signals() == tracker.signals()
+        assert restored.votes("egrremoval") == tracker.votes("egrremoval")
+        assert restored.dirty == tracker.dirty
+        assert restored.observed_posts == tracker.observed_posts
+
+    def test_keyword_mismatch_rejected(self):
+        tracker = DeltaTracker(_db("dpfdelete"))
+        state = tracker.state_dict()
+        other = DeltaTracker(_db("egrremoval"))
+        with pytest.raises(ValueError, match="keyword set"):
+            other.load_state(state)

@@ -1,0 +1,72 @@
+"""Tests for the event-sourced post feed."""
+
+import datetime as dt
+
+import pytest
+
+from repro.social.corpus import Corpus
+from repro.social.post import Post
+from repro.stream.feed import FeedSource, PostEvent, SyntheticFeed, replay_posts
+
+
+def _post(i, day, *, text="a #dpfdelete post"):
+    return Post(
+        post_id=f"p{i:03d}",
+        text=text,
+        author=f"user{i % 3}",
+        created_at=dt.date(2020, 1, day),
+    )
+
+
+@pytest.fixture()
+def feed():
+    # Deliberately shuffled input: the feed must emit in date order.
+    return SyntheticFeed([_post(3, 9), _post(0, 1), _post(2, 9), _post(1, 4)])
+
+
+class TestSyntheticFeed:
+    def test_events_are_date_ordered_with_gap_free_seq(self, feed):
+        events = feed.events_after(-1)
+        assert [e.seq for e in events] == [0, 1, 2, 3]
+        dates = [e.created_at for e in events]
+        assert dates == sorted(dates)
+        # same-day ties break on post_id, matching the index sort order
+        assert [e.post.post_id for e in events[2:]] == ["p002", "p003"]
+
+    def test_cursor_resumes_without_replay(self, feed):
+        first = feed.events_after(-1, limit=2)
+        rest = feed.events_after(first[-1].seq)
+        assert [e.seq for e in rest] == [2, 3]
+        assert feed.events_after(3) == ()
+
+    def test_until_caps_by_post_date(self, feed):
+        events = feed.events_after(-1, until=dt.date(2020, 1, 4))
+        assert [e.post.post_id for e in events] == ["p000", "p001"]
+
+    def test_repeat_reads_are_stable(self, feed):
+        assert feed.events_after(0) == feed.events_after(0)
+
+    def test_micro_batches_partition_the_feed(self, feed):
+        batches = list(feed.micro_batches(3))
+        assert [len(b) for b in batches] == [3, 1]
+        seqs = [e.seq for batch in batches for e in batch]
+        assert seqs == [0, 1, 2, 3]
+
+    def test_invalid_limits_rejected(self, feed):
+        with pytest.raises(ValueError):
+            feed.events_after(-1, limit=0)
+        with pytest.raises(ValueError):
+            list(feed.micro_batches(0))
+
+    def test_from_corpus_and_protocol(self):
+        corpus = Corpus([_post(0, 1), _post(1, 2)])
+        feed = SyntheticFeed.from_corpus(corpus)
+        assert len(feed) == 2
+        assert isinstance(feed, FeedSource)
+        assert replay_posts(feed.events) == corpus.index().posts
+
+
+class TestPostEvent:
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ValueError):
+            PostEvent(seq=-1, post=_post(0, 1))

@@ -1,0 +1,122 @@
+"""Tests for the appendable delta-segment corpus index."""
+
+import datetime as dt
+
+import pytest
+
+from repro.social.index import CorpusIndex
+from repro.social.post import Post
+from repro.stream.index import StreamingCorpusIndex
+
+
+def _post(i, day, text, month=1):
+    return Post(
+        post_id=f"p{i:03d}",
+        text=text,
+        author="a",
+        created_at=dt.date(2020, month, day),
+    )
+
+
+POSTS = [
+    _post(0, 1, "my #dpfdelete kit arrived"),
+    _post(1, 2, "deleting the egr today"),
+    _post(2, 3, "stolen excavator warning"),
+    _post(3, 4, "dpf delete done at the workshop"),
+    _post(4, 5, "#egr_removal before and after"),
+]
+
+KEYWORDS = ("dpfdelete", "egrremoval", "delet", "stolen", "nomatch")
+
+
+class TestAppendEquivalence:
+    def test_appended_equals_rebuilt(self):
+        streaming = StreamingCorpusIndex(POSTS[:2])
+        streaming.append(POSTS[2:4])
+        streaming.append(POSTS[4:])
+        rebuilt = CorpusIndex(POSTS)
+        got = streaming.search_many(KEYWORDS)
+        want = rebuilt.search_many(KEYWORDS)
+        for keyword in KEYWORDS:
+            assert [p.post_id for p in got[keyword]] == [
+                p.post_id for p in want[keyword]
+            ], keyword
+
+    def test_out_of_order_appends_keep_global_sort(self):
+        streaming = StreamingCorpusIndex(POSTS[3:])
+        streaming.append(POSTS[:3])  # older than the base segment
+        assert [p.post_id for p in streaming.posts] == [
+            p.post_id for p in CorpusIndex(POSTS).posts
+        ]
+        assert [p.post_id for p in streaming.matching("delet")] == [
+            p.post_id for p in CorpusIndex(POSTS).matching("delet")
+        ]
+
+    def test_window_and_limit(self):
+        streaming = StreamingCorpusIndex(POSTS[:3])
+        streaming.append(POSTS[3:])
+        got = streaming.search_many(
+            ("dpfdelete",), since=dt.date(2020, 1, 2), limit=1
+        )
+        assert [p.post_id for p in got["dpfdelete"]] == ["p003"]
+
+    def test_empty_index_answers_empty(self):
+        streaming = StreamingCorpusIndex()
+        assert len(streaming) == 0
+        assert streaming.matching("dpfdelete") == []
+
+
+class TestMaintenance:
+    def test_duplicate_ids_rejected(self):
+        streaming = StreamingCorpusIndex(POSTS[:2])
+        with pytest.raises(ValueError, match="duplicate post id"):
+            streaming.append([POSTS[0]])
+        assert "p000" in streaming
+        assert "p004" not in streaming
+
+    def test_rejected_append_is_atomic(self):
+        streaming = StreamingCorpusIndex(POSTS[:2])
+        streaming.matching("dpfdelete")  # build the tail index
+        with pytest.raises(ValueError, match="duplicate post id"):
+            streaming.append([POSTS[2], POSTS[3], POSTS[0]])
+        # nothing from the failed batch leaked in
+        assert len(streaming) == 2
+        assert "p002" not in streaming
+        assert streaming.matching("stolen") == []
+        # a corrected retry of the same posts succeeds
+        assert streaming.append(POSTS[2:4]) == 2
+        assert [p.post_id for p in streaming.matching("stolen")] == ["p002"]
+
+    def test_intra_batch_duplicates_rejected(self):
+        streaming = StreamingCorpusIndex()
+        with pytest.raises(ValueError, match="duplicate post id"):
+            streaming.append([POSTS[0], POSTS[0]])
+        assert len(streaming) == 0
+
+    def test_compaction_triggers_at_threshold(self):
+        streaming = StreamingCorpusIndex(
+            POSTS[:1], compact_threshold=2
+        )
+        streaming.append(POSTS[1:2])
+        assert streaming.segment_stats["compactions"] == 0
+        streaming.append(POSTS[2:4])  # tail reaches 3 >= 2 -> compacts
+        stats = streaming.segment_stats
+        assert stats["compactions"] == 1
+        assert stats["tail_posts"] == 0
+        assert stats["base_posts"] == 4
+        # queries unaffected by segment layout
+        assert [p.post_id for p in streaming.matching("delet")] == [
+            p.post_id for p in CorpusIndex(POSTS[:4]).matching("delet")
+        ]
+
+    def test_as_corpus_index_compacts(self):
+        streaming = StreamingCorpusIndex(POSTS[:2])
+        streaming.append(POSTS[2:])
+        snapshot = streaming.as_corpus_index()
+        assert isinstance(snapshot, CorpusIndex)
+        assert len(snapshot) == len(POSTS)
+        assert streaming.segment_stats["tail_posts"] == 0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingCorpusIndex(compact_threshold=0)

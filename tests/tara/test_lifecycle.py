@@ -124,3 +124,32 @@ class TestLifecycleTaraRunner:
         runner.field_vulnerability("second")
         warm = dict(runner.memo_stats)
         assert warm["hits"] - cold["hits"] == cold["lookups"]
+
+
+class TestObserveAlert:
+    def test_monitor_alert_drives_a_reprocessing(self, ecm_framework, fig4_network):
+        from repro.core.monitor import PSPMonitor
+        from repro.tara.engine import TaraEngine
+        from repro.tara.lifecycle import LifecycleTaraRunner
+
+        monitor = PSPMonitor(ecm_framework, start_year=2015)
+        alerts = monitor.run_years(2018, 2023)
+        runner = LifecycleTaraRunner(fig4_network)
+        run = runner.observe_alert(alerts[-1])
+        assert run.event.trigger is ReprocessingTrigger.PSP_TREND_SHIFT
+        assert alerts[-1].describe() in run.event.note
+        assert runner.insider_table is alerts[-1].result.insider_table
+        assert run.report == TaraEngine(
+            fig4_network, insider_table=alerts[-1].result.insider_table
+        ).run()
+
+    def test_stream_runtime_alert_drives_a_reprocessing(self, ecm_framework, fig4_network):
+        from repro.core.monitor import PSPMonitor
+        from repro.tara.lifecycle import LifecycleTaraRunner
+
+        monitor = PSPMonitor(ecm_framework, start_year=2015, stream=True)
+        alerts = monitor.run_years(2018, 2023)
+        runner = LifecycleTaraRunner(fig4_network)
+        for alert in alerts:
+            runner.observe_alert(alert)
+        assert len(runner.runs) == len(alerts)
