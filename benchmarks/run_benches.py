@@ -14,10 +14,14 @@ Usage::
     PYTHONPATH=src python benchmarks/run_benches.py --out out/ # custom dir
     PYTHONPATH=src python benchmarks/run_benches.py --bench indexed_corpus
     PYTHONPATH=src python benchmarks/run_benches.py --only stream
+    PYTHONPATH=src python benchmarks/run_benches.py --check    # vs committed
     PYTHONPATH=src python benchmarks/run_benches.py --list
 
 Exits non-zero if any bench's engine result diverges from its naive
-reference — speed without equivalence is a bug, not a result.
+reference — speed without equivalence is a bug, not a result.  With
+``--check``, also exits non-zero when a fresh speedup falls more than
+30% below the committed ``BENCH_<name>.json`` (the CI regression gate);
+benches without a committed record are skipped with a note.
 """
 
 from __future__ import annotations
@@ -32,8 +36,16 @@ _SRC = Path(__file__).resolve().parents[1] / "src"
 if _SRC.is_dir() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.analysis.benchjson import write_bench_result  # noqa: E402
+from repro.analysis.benchjson import (  # noqa: E402
+    bench_file_path,
+    load_bench_result,
+    speedup_regression,
+    write_bench_result,
+)
 from repro.analysis.benchkit import BENCH_RUNNERS  # noqa: E402
+
+#: Where the committed BENCH_*.json records live (the repository root).
+DEFAULT_BASELINE_DIR = Path(__file__).resolve().parents[1]
 
 
 def main(argv=None) -> int:
@@ -59,6 +71,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available benches and exit"
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare fresh speedups against the committed BENCH_*.json "
+        "records and fail on a >30%% regression",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE_DIR),
+        help="directory holding the committed records --check compares "
+        "against (default: the repository root)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -71,17 +95,42 @@ def main(argv=None) -> int:
     else:
         names = args.bench or sorted(BENCH_RUNNERS)
     all_equivalent = True
+    regressions = []
     for name in names:
         result = BENCH_RUNNERS[name]()
         path = write_bench_result(result, args.out)
-        print(json.dumps(result.to_payload()))
+        fresh = result.to_payload()
+        print(json.dumps(fresh))
         print(f"wrote {path}")
         all_equivalent = all_equivalent and result.equivalent
+        if args.check:
+            committed_path = bench_file_path(name, args.baseline)
+            if not committed_path.is_file():
+                print(f"check: no committed record for {name!r}, skipping")
+                continue
+            committed = load_bench_result(committed_path)
+            problem = speedup_regression(fresh, committed)
+            if problem is None:
+                print(
+                    f"check: {name} ok ({fresh['speedup']}x vs committed "
+                    f"{committed['speedup']}x)"
+                )
+            else:
+                regressions.append(problem)
+                print(f"check: REGRESSION — {problem}")
 
+    failed = False
     if not all_equivalent:
         print("ERROR: an engine diverged from its naive reference", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if regressions:
+        print(
+            "ERROR: speedup regressions vs committed records:\n  "
+            + "\n  ".join(regressions),
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

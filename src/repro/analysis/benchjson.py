@@ -14,7 +14,7 @@ import json
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Optional, Union
 
 #: Bump when the payload layout changes incompatibly.
 SCHEMA_VERSION = 1
@@ -129,3 +129,43 @@ def load_bench_result(path: Union[str, Path]) -> Dict[str, Any]:
     if problems:
         raise ValueError(f"invalid bench record {path}: {problems}")
     return payload
+
+
+#: A fresh speedup below ``(1 - tolerance) x committed`` is a regression.
+DEFAULT_REGRESSION_TOLERANCE = 0.30
+
+
+def speedup_regression(
+    fresh: Dict[str, Any],
+    committed: Dict[str, Any],
+    *,
+    tolerance: float = DEFAULT_REGRESSION_TOLERANCE,
+) -> Optional[str]:
+    """Whether a fresh bench run regressed against its committed record.
+
+    Compares the speedup *ratios*, not wall times — ratios are what the
+    committed records promise and they transfer across machines far
+    better than absolute seconds.  Returns a human-readable description
+    of the regression, or None when the fresh run holds up.  A ``null``
+    (infinite) speedup on either side is not comparable and never
+    flags.
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+    if fresh.get("bench") != committed.get("bench"):
+        raise ValueError(
+            f"bench mismatch: fresh {fresh.get('bench')!r} vs committed "
+            f"{committed.get('bench')!r}"
+        )
+    fresh_speedup = fresh.get("speedup")
+    committed_speedup = committed.get("speedup")
+    if fresh_speedup is None or committed_speedup is None:
+        return None
+    floor = committed_speedup * (1.0 - tolerance)
+    if fresh_speedup < floor:
+        return (
+            f"{fresh['bench']}: speedup {fresh_speedup:.2f}x fell more "
+            f"than {tolerance:.0%} below the committed "
+            f"{committed_speedup:.2f}x (floor {floor:.2f}x)"
+        )
+    return None

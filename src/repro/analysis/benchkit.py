@@ -279,9 +279,30 @@ def batched_cached_sai_pass(
     windows: Sequence[TimeWindow],
     *,
     region: str = "europe",
+    prewarm: bool = True,
 ) -> List[SAIList]:
-    """The engine path: one batched query per window over a cached client."""
+    """The engine path: one batched query per window over a cached client.
+
+    A monitoring sequence knows its windows up front, so the engine
+    first pre-warms the cached client's (keyword × year) segment grid
+    for the union year span (one batched platform pass per year) —
+    every window query afterwards is answered entirely from cache
+    instead of missing on each window's newest year.
+    """
     computer = SAIComputer(client)
+    if prewarm and isinstance(client, CachedClient):
+        bounded = [
+            window
+            for window in windows
+            if window.since is not None and window.until is not None
+        ]
+        if bounded:
+            client.prewarm_segments(
+                database.keywords,
+                min(window.since.year for window in bounded),
+                max(window.until.year for window in bounded),
+                region=region,
+            )
     return [
         computer.compute(
             database, region=region, since=window.since, until=window.until
@@ -688,6 +709,237 @@ def run_stream_bench(
     )
 
 
+# -- sharded merged tick vs sequential per-feed single-runtime ticks ---------
+
+#: Shard-bench acceptance workload: 4 feeds, quarterly arrival rounds.
+N_SHARDS = 4
+SHARD_ROUNDS = 4
+
+
+def run_shard_bench(
+    workload: Optional[BenchWorkload] = None,
+    *,
+    shards: int = N_SHARDS,
+    rounds: int = SHARD_ROUNDS,
+) -> BenchResult:
+    """Time N-feed arrival rounds: merged sharded ticks vs per-feed ticks.
+
+    The continuous multi-feed workload: ``shards`` region/platform feeds
+    each deliver a micro-batch per arrival round on top of an
+    already-analysed history.  The pre-sharding reaction consumes the
+    arrivals through one :class:`~repro.stream.runtime.StreamRuntime`,
+    one tick *per shard batch* — every batch pays its own dirty-SAI
+    probe pass plus a full conditional retune (and TARA rescore when the
+    table shifts).  The sharded runtime ingests the same batches as one
+    merged tick per round: per-shard arena-sweep delta jobs (parallel
+    across shards on multi-core hosts), a pure-sum merge, and **one**
+    shared evaluation per round regardless of shard count.
+
+    Equivalence is checked at matching evaluation points: a fresh
+    single-feed run and a fresh sharded run advanced year by year over
+    the whole feed must emit identical alerts (years, rating changes,
+    TARA records) and finish on identical insider tables and SAI rows.
+
+    ``extra.scaling_fixed_shard_volume`` records the merged-tick cost at
+    1/2/4/8 shards with per-shard volume held constant — the flatness
+    claim sharding makes as feeds are added (on multi-core hardware the
+    executor additionally spreads the per-shard jobs; this box's CPU
+    count is recorded alongside).
+    """
+    import datetime as dt
+
+    from repro.core.config import TargetApplication
+    from repro.core.executor import available_cpus, resolve_executor
+    from repro.stream.feed import SyntheticFeed
+    from repro.stream.runtime import StreamRuntime
+    from repro.stream.sharding import (
+        ShardedStreamRuntime,
+        partition_posts,
+        shard_feeds,
+    )
+    from repro.vehicle import reference_architecture
+
+    if rounds < 1 or 12 % rounds != 0:
+        raise ValueError(
+            f"rounds must divide the 12 bench months evenly, got {rounds}"
+        )
+    load = workload or fleet_workload(years=tuple(range(2012, 2024)))
+    posts = sorted(load.corpus.posts, key=lambda p: (p.created_at, p.post_id))
+    target = TargetApplication("fleet_member", "europe", "fleet")
+    network = reference_architecture()
+    last_year = max(p.created_at.year for p in posts)
+
+    # Arrival rounds: the last year's traffic lands in `rounds` equal
+    # date slices; each round every shard contributes its micro-batch.
+    month_step = 12 // rounds
+    round_ends = [
+        dt.date(last_year, month, _month_end(last_year, month))
+        for month in range(month_step, 13, month_step)
+    ]
+
+    # -- naive side: one single runtime, one tick per shard batch ------------
+    analyze_text.cache_clear()
+    single_feed = SyntheticFeed(posts)
+    single = StreamRuntime(
+        single_feed, load.database, target=target, network=network
+    )
+    single.advance_to(dt.date(last_year - 1, 12, 31))
+    tail_events = single_feed.events_after(single.cursor)
+    shard_of = {
+        post.post_id: index
+        for index, partition in enumerate(partition_posts(posts, shards))
+        for post in partition
+    }
+    naive_batches = []
+    previous = dt.date(last_year - 1, 12, 31)
+    for round_end in round_ends:
+        for shard in range(shards):
+            batch = tuple(
+                event
+                for event in tail_events
+                if previous < event.created_at <= round_end
+                and shard_of[event.post.post_id] == shard
+            )
+            if batch:
+                naive_batches.append(batch)
+        previous = round_end
+    for event in tail_events:  # warm text analyses off the clock
+        analyze_text(event.post.text)
+    start = time.perf_counter()
+    for batch in naive_batches:
+        single.ingest(batch)
+    naive_s = time.perf_counter() - start
+    naive_evaluations = len(naive_batches)
+
+    # -- engine side: one sharded runtime, one merged tick per round ---------
+    # Threads, not processes, for the timed side: process workers would
+    # re-run the text analyses the naive side has warm in-process (cold
+    # pickling + analysis inside the timed region), making the gate
+    # hardware-dependent.  Threads share the warm memo, so the measured
+    # win is the structural one — arena sweeps plus one evaluation per
+    # round — on any box; process-pool wall-clock scaling is a
+    # deployment choice on top (extra.executor records what ran).
+    analyze_text.cache_clear()
+    sharded = ShardedStreamRuntime(
+        shard_feeds(posts, shards),
+        load.database,
+        target=target,
+        network=network,
+        executor=resolve_executor(shards, prefer="thread"),
+    )
+    sharded.advance_to(dt.date(last_year - 1, 12, 31))
+    for event in tail_events:
+        analyze_text(event.post.text)
+    start = time.perf_counter()
+    for round_end in round_ends:
+        sharded.advance_to(round_end)
+    engine_s = time.perf_counter() - start
+    engine_stats = sharded.stream_stats
+    sharded.close()
+
+    # -- equivalence: year-by-year parity with the single-feed run -----------
+    equivalent = _sharded_run_equivalent(posts, load, target, network, shards)
+
+    # -- scaling: merged tick cost at fixed per-shard volume -----------------
+    scaling = _shard_scaling_curve(load, posts, target, network)
+
+    return BenchResult(
+        name="shard",
+        workload={
+            **load.dimensions(),
+            "shards": shards,
+            "rounds": len(round_ends),
+            "tick_posts": len(tail_events),
+        },
+        naive_seconds=naive_s,
+        engine_seconds=engine_s,
+        equivalent=equivalent,
+        extra={
+            "cpus": available_cpus(),
+            "executor": engine_stats["executor"],
+            "naive_evaluations": naive_evaluations,
+            "engine_evaluations": len(round_ends),
+            "scaling_fixed_shard_volume": scaling,
+        },
+    )
+
+
+def _month_end(year: int, month: int) -> int:
+    """The last day of one month."""
+    import calendar
+
+    return calendar.monthrange(year, month)[1]
+
+
+def _sharded_run_equivalent(posts, load, target, network, shards) -> bool:
+    """Year-by-year alert/table/TARA/SAI parity, sharded vs single feed."""
+    import datetime as dt
+
+    from repro.stream.feed import SyntheticFeed
+    from repro.stream.runtime import StreamRuntime
+    from repro.stream.sharding import ShardedStreamRuntime, shard_feeds
+
+    years = sorted({p.created_at.year for p in posts})
+    single = StreamRuntime(
+        SyntheticFeed(posts), load.database, target=target, network=network
+    )
+    sharded = ShardedStreamRuntime(
+        shard_feeds(posts, shards), load.database, target=target, network=network
+    )
+    for year in years:
+        single.advance_to(dt.date(year, 12, 31), upto_year=year)
+        sharded.advance_to(dt.date(year, 12, 31), upto_year=year)
+    alerts_equal = [
+        (alert.upto_year, alert.changes) for alert in single.alerts
+    ] == [(alert.upto_year, alert.changes) for alert in sharded.alerts]
+    taras_equal = all(
+        (a.tara is None) == (b.tara is None)
+        and (a.tara is None or a.tara.records == b.tara.records)
+        for a, b in zip(single.alerts, sharded.alerts)
+    )
+    tables_equal = (
+        single.current_table is not None
+        and sharded.current_table is not None
+        and single.current_table.as_rows() == sharded.current_table.as_rows()
+    )
+    sai_equal = (
+        single.current_result.sai.as_rows()
+        == sharded.current_result.sai.as_rows()
+    )
+    return alerts_equal and taras_equal and tables_equal and sai_equal
+
+
+#: Per-shard micro-batch size of the scaling measurement.
+_SCALING_SHARD_POSTS = 24
+
+
+def _shard_scaling_curve(load, posts, target, network):
+    """Merged-tick seconds at 1/2/4/8 shards, fixed per-shard volume."""
+    import datetime as dt
+
+    from repro.stream.sharding import ShardedStreamRuntime, shard_feeds
+
+    last_year = max(p.created_at.year for p in posts)
+    head = [p for p in posts if p.created_at.year < last_year]
+    tail = [p for p in posts if p.created_at.year == last_year]
+    curve = {}
+    for shards in (1, 2, 4, 8):
+        volume = min(shards * _SCALING_SHARD_POSTS, len(tail))
+        subset = head + tail[:volume]
+        runtime = ShardedStreamRuntime(
+            shard_feeds(subset, shards),
+            load.database,
+            target=target,
+            network=network,
+        )
+        runtime.advance_to(dt.date(last_year - 1, 12, 31))
+        start = time.perf_counter()
+        runtime.advance_to(dt.date(last_year, 12, 31))
+        curve[str(shards)] = round(time.perf_counter() - start, 4)
+        runtime.close()
+    return curve
+
+
 #: Registry used by ``benchmarks/run_benches.py``.
 BENCH_RUNNERS: Dict[str, Callable[[], BenchResult]] = {
     "indexed_corpus": run_indexed_corpus_bench,
@@ -695,4 +947,5 @@ BENCH_RUNNERS: Dict[str, Callable[[], BenchResult]] = {
     "sentiment_memo": run_sentiment_memo_bench,
     "tara_batch": run_tara_batch_bench,
     "stream": run_stream_bench,
+    "shard": run_shard_bench,
 }

@@ -162,7 +162,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         TargetApplication(application, args.region, "fleet")
         for application in applications
     )
-    fleet = psp.run_fleet(targets, window=_window_from(args))
+    fleet = psp.run_fleet(
+        targets, window=_window_from(args), workers=args.workers
+    )
 
     network = reference_architecture()
     report = fleet_taras(network, fleet)
@@ -193,40 +195,69 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.core.poisoning import PostAuthenticityFilter
     from repro.stream import StreamRuntime, SyntheticFeed
+    from repro.stream.sharding import ShardedStreamRuntime, shard_feeds
     from repro.vehicle import reference_architecture
 
     client, target, database = _scenario_parts(args.scenario)
-    feed = SyntheticFeed.from_corpus(client.corpus)
-    runtime = StreamRuntime(
-        feed,
-        database,
+    shared = dict(
         target=target,
         since_year=args.start_year,
         network=reference_architecture() if args.tara else None,
         post_filter=PostAuthenticityFilter() if args.filter else None,
         batch_size=args.batch_size,
+        compact_ratio=args.compact_ratio,
     )
-    print(
-        f"streaming {args.scenario}: {len(feed)} posts in micro-batches "
-        f"of {args.batch_size}"
-    )
-    for tick in runtime.run():
-        line = tick.describe()
-        if tick.alert is not None:
-            line += f" — {tick.alert.describe()}"
-        print(line)
+    posts = client.corpus.posts
+    if args.shards > 1:
+        runtime = ShardedStreamRuntime(
+            shard_feeds(posts, args.shards),
+            database,
+            workers=args.workers,
+            **shared,
+        )
+        print(
+            f"streaming {args.scenario}: {len(posts)} posts over "
+            f"{args.shards} shards ({runtime.executor.kind} executor), "
+            f"micro-batches of {args.batch_size} per shard"
+        )
+    else:
+        runtime = StreamRuntime(
+            SyntheticFeed(posts), database, **shared
+        )
+        print(
+            f"streaming {args.scenario}: {len(posts)} posts in "
+            f"micro-batches of {args.batch_size}"
+        )
+    try:
+        for tick in runtime.run():
+            line = tick.describe()
+            if tick.alert is not None:
+                line += f" — {tick.alert.describe()}"
+            print(line)
+    finally:
+        runtime.close()
     stats = runtime.stream_stats
     print(
         f"\n{stats['ticks']} ticks, {stats['posts_ingested']} posts ingested "
         f"({stats['posts_rejected']} rejected), {stats['retunes']} retunes, "
         f"{stats['tara_rescores']} TARA rescores, {stats['alerts']} alert(s)"
     )
-    segments = stats["index"]
-    print(
-        f"index segments: base {segments['base_posts']} + tail "
-        f"{segments['tail_posts']} posts, {segments['compactions']} "
-        "compaction(s)"
-    )
+    if args.shards > 1:
+        for shard in stats["shard_stats"]:
+            segments = shard["index"]
+            print(
+                f"shard {shard['shard']}: {shard['posts']} posts, "
+                f"index base {segments['base_posts']} + tail "
+                f"{segments['tail_posts']}, {segments['compactions']} "
+                "compaction(s)"
+            )
+    else:
+        segments = stats["index"]
+        print(
+            f"index segments: base {segments['base_posts']} + tail "
+            f"{segments['tail_posts']} posts, {segments['compactions']} "
+            "compaction(s)"
+        )
     return 0
 
 
@@ -295,6 +326,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--region", default="europe",
                        help="shared fleet region (default: europe)")
     fleet.add_argument("--since-year", type=int, default=None)
+    fleet.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool size for the per-member sai/split/tune tails "
+             "(default: serial)",
+    )
     fleet.set_defaults(handler=_cmd_fleet)
 
     stream = subparsers.add_parser(
@@ -317,6 +353,21 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--filter", action="store_true",
         help="apply the post-authenticity filter per micro-batch",
+    )
+    stream.add_argument(
+        "--shards", type=int, default=1,
+        help="fan the corpus into N hash-sharded feeds with per-shard "
+             "ingest and one merged evaluation per tick (default: 1)",
+    )
+    stream.add_argument(
+        "--workers", type=int, default=None,
+        help="executor parallelism for the shard ingest jobs "
+             "(default: serial; degrades to serial on one CPU)",
+    )
+    stream.add_argument(
+        "--compact-ratio", type=float, default=None,
+        help="also compact the index when tail/base exceeds this ratio "
+             "(default: fixed threshold only)",
     )
     stream.set_defaults(handler=_cmd_stream)
 

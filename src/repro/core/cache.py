@@ -28,6 +28,7 @@ above see the unchanged client interface.
 from __future__ import annotations
 
 import datetime as dt
+import threading
 import time
 from dataclasses import dataclass
 from typing import (
@@ -101,6 +102,11 @@ class CacheStats:
 class TTLCache:
     """A bounded key→value cache with optional per-entry time-to-live.
 
+    The store is safe under concurrent readers/writers (a parallel
+    fleet's member tails classify through one shared cached client —
+    see :func:`~repro.core.pipeline.run_fleet`): a lock serialises the
+    expiry/eviction delete paths that would otherwise race.
+
     Args:
         ttl: seconds an entry stays valid; None means entries never
             expire by age.
@@ -124,6 +130,7 @@ class TTLCache:
         self._max_entries = max_entries
         self._clock = clock
         self._entries: Dict[Hashable, Tuple[float, Any]] = {}
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def sibling(self) -> "TTLCache":
@@ -145,15 +152,21 @@ class TTLCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value, counting the lookup; ``default`` on miss."""
-        value = self.peek(key)
-        if value is _MISSING:
-            self.stats.misses += 1
-            return default
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            value = self._peek_locked(key)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self.stats.hits += 1
+            return value
 
     def peek(self, key: Hashable) -> Any:
         """Like :meth:`get` but without touching hit/miss statistics."""
+        with self._lock:
+            return self._peek_locked(key)
+
+    def _peek_locked(self, key: Hashable) -> Any:
+        """The lookup core; the caller holds the lock."""
         entry = self._entries.get(key)
         if entry is None:
             return _MISSING
@@ -166,23 +179,25 @@ class TTLCache:
 
     def put(self, key: Hashable, value: Any) -> None:
         """Store ``value``, evicting the oldest entry when full."""
-        if (
-            self._max_entries is not None
-            and key not in self._entries
-            and len(self._entries) >= self._max_entries
-        ):
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
-            self.stats.evictions += 1
-        self._entries[key] = (self._clock(), value)
+        with self._lock:
+            if (
+                self._max_entries is not None
+                and key not in self._entries
+                and len(self._entries) >= self._max_entries
+            ):
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+                self.stats.evictions += 1
+            self._entries[key] = (self._clock(), value)
 
     def invalidate(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose key satisfies ``predicate``."""
-        doomed = [key for key in self._entries if predicate(key)]
-        for key in doomed:
-            del self._entries[key]
-        self.stats.invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
 
     def clear(self) -> int:
         """Drop everything; returns the number of entries removed."""
@@ -440,6 +455,65 @@ class CachedClient(SocialMediaClient):
         return BatchResult(
             posts_by_keyword={k: results[k] for k in batch.keywords}
         )
+
+    def prewarm_segments(
+        self,
+        keywords: Sequence[str],
+        first_year: int,
+        last_year: int,
+        *,
+        region: Optional[str] = None,
+    ) -> int:
+        """Populate the (keyword × year) segment grid for a year span.
+
+        Fleet and monitor cadences know their windows up front (every
+        window of a growing-window sequence lives inside one known year
+        span), so an operator can pay the whole span's platform cost in
+        one batched pass per missing year — after which every
+        overlapping window resolves entirely from cache.  Returns the
+        number of segments fetched; already-cached cells cost nothing.
+        Warming is not a query: cache statistics (hits/misses) are
+        untouched, so hit rates keep measuring real lookups.
+        """
+        if first_year > last_year:
+            raise ValueError(
+                f"first_year {first_year} > last_year {last_year}"
+            )
+        missing_by_year: Dict[int, List[str]] = {}
+        for keyword in dict.fromkeys(keywords):
+            for year in range(first_year, last_year + 1):
+                key = _SegmentKey(
+                    platform=self._platform,
+                    keyword=keyword,
+                    region=region,
+                    year=year,
+                )
+                if self._cache.peek(key) is _MISSING:
+                    missing_by_year.setdefault(year, []).append(keyword)
+        fetched_segments = 0
+        for year, missing in missing_by_year.items():
+            fetched = self._inner.search_many(
+                BatchQuery(
+                    keywords=tuple(missing),
+                    since=dt.date(year, 1, 1),
+                    until=dt.date(year, 12, 31),
+                    region=region,
+                )
+            )
+            for keyword in missing:
+                posts = fetched.posts(keyword)
+                _warm_analyses(posts)
+                self._cache.put(
+                    _SegmentKey(
+                        platform=self._platform,
+                        keyword=keyword,
+                        region=region,
+                        year=year,
+                    ),
+                    posts,
+                )
+                fetched_segments += 1
+        return fetched_segments
 
     def invalidate_keyword(self, keyword: str) -> int:
         """Drop every cached entry for one keyword (any window/region)."""

@@ -1,0 +1,176 @@
+"""Pluggable map-style executors for embarrassingly parallel stages.
+
+Several PSP stages are independent per work item — the per-shard ingest
+of :class:`~repro.stream.sharding.ShardedStreamRuntime`, the per-member
+sai→split→tune tail of :func:`~repro.core.pipeline.run_fleet`, the
+per-table scoring sweep of :func:`~repro.tara.engine.fleet_taras`.  This
+module gives them one tiny ordered-``map`` abstraction with three
+interchangeable strategies:
+
+* :class:`SerialExecutor` — plain in-process loop; zero overhead, the
+  default, and the reference semantics every other executor must match;
+* :class:`ThreadExecutor` — a shared :class:`~concurrent.futures.
+  ThreadPoolExecutor`; right for stages touching shared in-memory state
+  (caches, memo dicts) that pickling would have to copy;
+* :class:`ProcessExecutor` — a :class:`~concurrent.futures.
+  ProcessPoolExecutor`; right for pure CPU-bound kernels with picklable
+  payloads (the sharded runtime's :class:`~repro.stream.deltas.
+  SignalDelta` jobs are designed for exactly this).
+
+:func:`resolve_executor` encodes the deployment policy: parallelism is
+requested with a worker count but only *granted* when the hardware can
+honour it — on a single-core host every strategy silently degrades to
+serial rather than paying thread-switch or pickle/IPC overhead for no
+wall-clock win.  Results are always returned in submission order, and a
+worker exception propagates to the caller (after the batch settles), so
+swapping strategies never changes observable behaviour — property of
+every executor, asserted in ``tests/core/test_executor.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+_In = TypeVar("_In")
+_Out = TypeVar("_Out")
+
+#: Strategy names accepted by :func:`resolve_executor`.
+EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
+
+
+class SerialExecutor:
+    """The reference executor: an ordered in-process loop."""
+
+    kind = "serial"
+    workers = 1
+
+    def map(
+        self, fn: Callable[[_In], _Out], items: Sequence[_In]
+    ) -> List[_Out]:
+        """Apply ``fn`` to every item, in order."""
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _PoolExecutor:
+    """Shared lazy-pool plumbing of the thread and process executors."""
+
+    kind = "pool"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool = None
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    def map(
+        self, fn: Callable[[_In], _Out], items: Sequence[_In]
+    ) -> List[_Out]:
+        """Apply ``fn`` to every item concurrently; ordered results.
+
+        The pool is created on first use and reused across calls — a
+        streaming runtime ticks thousands of times, so worker startup
+        is paid once, not per tick.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if len(items) == 1:  # no concurrency to exploit; skip the pool
+            return [fn(items[0])]
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Ordered map over a lazily created thread pool."""
+
+    kind = "thread"
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Ordered map over a lazily created process pool.
+
+    ``fn`` and every item/result must be picklable — the sharded
+    runtime's shard jobs are module-level functions over plain-data
+    payloads for exactly this reason.
+    """
+
+    kind = "process"
+
+    def _make_pool(self):
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+def available_cpus() -> int:
+    """The CPUs this process may use (1 when undetectable)."""
+    return os.cpu_count() or 1
+
+
+def resolve_executor(
+    workers: Optional[int] = None,
+    *,
+    kind: str = "auto",
+    prefer: str = "process",
+):
+    """An executor honouring a requested worker count on this hardware.
+
+    Args:
+        workers: requested parallelism; ``None``, 0 or 1 mean serial.
+        kind: ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"``
+            (pick ``prefer`` when parallelism is both requested and
+            worth granting).
+        prefer: the parallel strategy ``auto`` resolves to.
+
+    ``auto`` degrades to :class:`SerialExecutor` on a single-CPU host:
+    pure-Python kernels cannot go faster than serial there, so paying
+    pool and pickling overhead would only slow the tick down.  Explicit
+    ``kind="thread"``/``"process"`` always honour the request — tests
+    and IO-bound callers know what they are doing.
+    """
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"
+        )
+    if prefer not in ("thread", "process"):
+        raise ValueError(f"prefer must be 'thread' or 'process', got {prefer!r}")
+    requested = int(workers) if workers else 1
+    if requested < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if kind == "serial" or requested <= 1:
+        return SerialExecutor()
+    if kind == "auto":
+        if available_cpus() <= 1:
+            return SerialExecutor()
+        kind = prefer
+    if kind == "thread":
+        return ThreadExecutor(requested)
+    return ProcessExecutor(requested)

@@ -272,13 +272,15 @@ class PSPFramework:
         *,
         window: Optional[TimeWindow] = None,
         learn: bool = False,
+        workers: Optional[int] = None,
     ) -> FleetResult:
         """Assess a fleet of targets in one pass over the shared corpus.
 
         Delegates to :func:`repro.core.pipeline.run_fleet` with this
         framework's client, database and config; targets sharing a
         region share one batched query pass (and, with caching enabled,
-        later fleets reuse the cached segments too).
+        later fleets reuse the cached segments too).  ``workers`` runs
+        the per-member tails through a thread-pool executor.
         """
         return run_fleet(
             self._client,
@@ -287,6 +289,7 @@ class PSPFramework:
             config=self._config,
             window=window,
             learn=learn,
+            workers=workers,
         )
 
     def compare_windows(

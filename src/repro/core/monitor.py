@@ -100,6 +100,16 @@ class PSPMonitor:
             :class:`~repro.core.poisoning.FilteringClient` found in the
             framework's client stack, so a filtering batch monitor
             stays filtering when switched to ``stream=True``.
+        shards: with ``stream=True`` and ``shards > 1``, the corpus
+            feed is hash-partitioned into this many shard feeds served
+            by a :class:`~repro.stream.sharding.ShardedStreamRuntime` —
+            same ``tick()`` API and alerts, but per-shard ingest with
+            one merged evaluation per tick.  Requires the default
+            corpus-backed feed (pass pre-sharded feeds to the sharded
+            runtime directly for custom topologies).
+        workers: executor parallelism for the sharded runtime's shard
+            jobs (resolved by
+            :func:`~repro.core.executor.resolve_executor`).
     """
 
     def __init__(
@@ -113,6 +123,8 @@ class PSPMonitor:
         stream: bool = False,
         feed=None,
         post_filter=None,
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self._framework = framework
         self._start_year = start_year
@@ -123,6 +135,8 @@ class PSPMonitor:
         self._last_year: Optional[int] = None
         self._scorer: Optional[BatchTaraScorer] = None
         self._runtime = None
+        if shards is not None and not stream:
+            raise ValueError("shards= needs stream=True")
         if stream:
             if learn:
                 raise ValueError(
@@ -135,6 +149,8 @@ class PSPMonitor:
                 network=network,
                 feed=feed,
                 post_filter=post_filter,
+                shards=shards,
+                workers=workers,
             )
             self._scorer = self._runtime.tara_scorer
         elif network is not None:
@@ -259,6 +275,21 @@ class PSPMonitor:
             if event.trigger.value == "psp_trend_shift"
         )
 
+    def close(self) -> None:
+        """Release the backing runtime's resources (idempotent).
+
+        A sharded stream runtime may hold an executor worker pool; batch
+        and single-stream monitors close as a no-op.
+        """
+        if self._runtime is not None:
+            self._runtime.close()
+
+    def __enter__(self) -> "PSPMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 def _build_stream_runtime(
     framework: PSPFramework,
@@ -268,6 +299,8 @@ def _build_stream_runtime(
     network: Optional[VehicleNetwork],
     feed,
     post_filter=None,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
 ):
     """A stream runtime mirroring one framework's batch configuration.
 
@@ -275,7 +308,10 @@ def _build_stream_runtime(
     ``inner`` chain: a :class:`~repro.core.poisoning.FilteringClient`
     found on the way donates its authenticity filter to the feed path
     (unless an explicit ``post_filter`` overrides it), and the
-    innermost corpus-backed client donates the default feed.
+    innermost corpus-backed client donates the default feed.  With
+    ``shards``, the corpus is hash-partitioned into shard feeds and a
+    :class:`~repro.stream.sharding.ShardedStreamRuntime` serves the
+    ticks instead.
 
     Imports are local: the stream package depends on this module (for
     the alert shape), so the monitor reaches back lazily.
@@ -283,6 +319,7 @@ def _build_stream_runtime(
     from repro.core.poisoning import FilteringClient
     from repro.stream.feed import SyntheticFeed
     from repro.stream.runtime import StreamRuntime
+    from repro.stream.sharding import ShardedStreamRuntime, shard_feeds
 
     client = framework.client
     while True:
@@ -292,8 +329,31 @@ def _build_stream_runtime(
         if inner is None:
             break
         client = inner
+    corpus = getattr(client, "corpus", None)
+    if shards is not None and shards > 1:
+        if feed is not None:
+            raise ValueError(
+                "shards= partitions the corpus feed itself; for custom "
+                "feeds build a ShardedStreamRuntime with pre-sharded "
+                "feeds instead"
+            )
+        if corpus is None:
+            raise ValueError(
+                "shards= needs a corpus-backed framework client to "
+                "partition"
+            )
+        return ShardedStreamRuntime(
+            shard_feeds(corpus.posts, shards),
+            framework.database,
+            target=framework.target,
+            config=framework.config,
+            since_year=start_year,
+            network=network,
+            tracker=tracker,
+            post_filter=post_filter,
+            workers=workers,
+        )
     if feed is None:
-        corpus = getattr(client, "corpus", None)
         if corpus is None:
             raise ValueError(
                 "stream=True needs an explicit feed= when the framework's "

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.classification import InsiderOutsiderClassifier, InsiderOutsiderSplit
 from repro.core.config import PSPConfig, TargetApplication
 from repro.core.errors import DataUnavailableError, PSPError
+from repro.core.executor import resolve_executor
 from repro.core.financial import FinancialAssessment
 from repro.core.keywords import AttackKeyword, KeywordDatabase
 from repro.core.sai import SAIComputer, SAIList
@@ -348,6 +349,8 @@ def run_fleet(
     config: Optional[PSPConfig] = None,
     window: Optional[TimeWindow] = None,
     learn: bool = False,
+    workers: Optional[int] = None,
+    executor=None,
 ) -> FleetResult:
     """Run the PSP pipeline over a fleet of targets in one pass.
 
@@ -368,13 +371,31 @@ def run_fleet(
         config: pipeline tunables (defaults to :class:`PSPConfig`).
         window: analysis window (defaults to full history).
         learn: run one keyword auto-learning pass before querying.
+        workers: run the per-member sai→split→tune tails through a
+            thread-pool :mod:`~repro.core.executor` of this size.  The
+            tails read the shared batch and classify through the shared
+            (thread-safe) client cache, so any thread count produces
+            member-for-member identical results.  Threads only — the
+            members deliberately share the fetched corpus, its analysis
+            memos and the query cache, none of which survive pickling
+            to a process pool.
+        executor: explicit executor instance; wins over ``workers``.
+            Process executors are rejected (see ``workers``).
     """
     if not targets:
         raise ValueError("fleet needs at least one target")
     if len(set(targets)) != len(targets):
         raise ValueError("fleet targets must be distinct")
+    if getattr(executor, "kind", None) == "process":
+        raise ValueError(
+            "run_fleet shares the fetched corpus and caches across "
+            "members — use a thread executor (or workers=N)"
+        )
     cfg = config or PSPConfig()
     win = window or TimeWindow.full_history()
+    owns_executor = executor is None
+    if owns_executor:
+        executor = resolve_executor(workers, prefer="thread")
 
     if learn and targets:
         # One learning pass over the first region's scene; the database
@@ -393,20 +414,36 @@ def run_fleet(
         by_region.setdefault(target.region, []).append(target)
 
     tail = PSPPipeline([SAIStage(), SplitStage(), TuneStage()])
+
+    def run_tail(context: PipelineContext) -> PipelineContext:
+        return tail.run(context)
+
     members: List[FleetMemberResult] = []
-    for region, region_targets in by_region.items():
-        query_context = PipelineContext(
-            client=client,
-            target=region_targets[0],
-            database=database,
-            config=cfg,
-            window=win,
-        )
-        QueryStage().run(query_context)
-        for target in region_targets:
-            context = replace(query_context, target=target, financial={})
-            tail.run(context)
-            members.append(FleetMemberResult(target=target, context=context))
+    try:
+        for region, region_targets in by_region.items():
+            query_context = PipelineContext(
+                client=client,
+                target=region_targets[0],
+                database=database,
+                config=cfg,
+                window=win,
+            )
+            QueryStage().run(query_context)
+            contexts = [
+                replace(query_context, target=target, financial={})
+                for target in region_targets
+            ]
+            # The embarrassingly parallel stretch: every member's tail
+            # reads the shared batch and writes only its own context.
+            for target, context in zip(
+                region_targets, executor.map(run_tail, contexts)
+            ):
+                members.append(
+                    FleetMemberResult(target=target, context=context)
+                )
+    finally:
+        if owns_executor:
+            executor.close()
 
     ordered = {t: None for t in targets}
     for member in members:

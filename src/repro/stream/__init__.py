@@ -15,9 +15,15 @@ everything.  This package is their streaming counterpart — the paper's
   O(new posts) instead of O(corpus);
 * :mod:`repro.stream.runtime` — the :class:`StreamRuntime` orchestrator:
   append → dirty SAI → conditional weight retune → conditional TARA
-  rescore, emitting :class:`~repro.core.monitor.TrendAlert` records;
+  rescore, emitting :class:`~repro.core.monitor.TrendAlert` records (the
+  retune/rescore core lives in the shared :class:`TickEvaluator`);
+* :mod:`repro.stream.sharding` — :class:`ShardedStreamRuntime`: N
+  region/platform-sharded feeds with per-shard index+tracker pairs,
+  mergeable :class:`SignalDelta` shard batches dispatched through a
+  pluggable executor, and one shared evaluation per tick;
 * :mod:`repro.stream.checkpoint` — stop/resume without replaying the
-  feed.
+  feed, as full base snapshots or O(changed-keywords) delta
+  checkpoints.
 """
 
 from repro.stream.checkpoint import (
@@ -25,11 +31,23 @@ from repro.stream.checkpoint import (
     load_checkpoint,
     restore_runtime,
     save_checkpoint,
+    save_delta_checkpoint,
 )
-from repro.stream.deltas import DeltaTracker, KeywordSignals
+from repro.stream.deltas import (
+    DeltaTracker,
+    KeywordSignals,
+    SignalDelta,
+    compute_signal_delta,
+)
 from repro.stream.feed import FeedSource, PostEvent, SyntheticFeed
 from repro.stream.index import StreamingCorpusIndex
-from repro.stream.runtime import StreamRuntime, StreamTick
+from repro.stream.runtime import StreamRuntime, StreamTick, TickEvaluator
+from repro.stream.sharding import (
+    ShardedStreamRuntime,
+    merge_signals,
+    partition_posts,
+    shard_feeds,
+)
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -37,11 +55,19 @@ __all__ = [
     "FeedSource",
     "KeywordSignals",
     "PostEvent",
+    "ShardedStreamRuntime",
+    "SignalDelta",
     "StreamRuntime",
     "StreamTick",
     "StreamingCorpusIndex",
     "SyntheticFeed",
+    "TickEvaluator",
+    "compute_signal_delta",
     "load_checkpoint",
+    "merge_signals",
+    "partition_posts",
     "restore_runtime",
     "save_checkpoint",
+    "save_delta_checkpoint",
+    "shard_feeds",
 ]

@@ -10,6 +10,17 @@ consumes the feed from ``cursor + 1`` and emits exactly the alerts the
 uninterrupted run would have emitted from that point (asserted in
 ``tests/stream/test_checkpoint.py``).
 
+Long-running monitors additionally get **delta checkpoints**: a *base*
+checkpoint persists everything and marks a snapshot point; from then on
+:func:`save_delta_checkpoint` writes only the keywords whose aggregates
+were dirtied since that base (plus the O(keywords)-bounded scalars), so
+the recurring save cost is O(changed keywords) instead of O(all
+keyword×year history).  Each delta is *cumulative against its base* —
+``base + latest delta`` is always a complete restore point, and older
+deltas can simply be deleted.  :func:`restore_runtime` accepts either a
+base checkpoint or a ``(delta, base=...)`` pair and verifies the two
+belong together via the base's content-derived id.
+
 The post index is deliberately **not** checkpointed: alerting never
 needs historical posts (the aggregates carry the evidence), and a
 queryable index can be re-hydrated by replaying the feed into
@@ -19,80 +30,219 @@ operator actually wants one.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.stream.runtime import StreamRuntime
 
 #: Bump on incompatible checkpoint layout changes.
 CHECKPOINT_VERSION = 1
 
+#: Payload kinds; payloads without a ``kind`` are legacy base snapshots.
+KIND_BASE = "base"
+KIND_DELTA = "delta"
+
+
+def _state_id(state: Dict[str, Any]) -> str:
+    """A deterministic content id of one runtime state document."""
+    canonical = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
 
 def checkpoint_state(runtime: StreamRuntime) -> Dict[str, Any]:
     """The runtime's resumable state as a JSON-serialisable document."""
+    state = runtime.state_dict()
+    # A base checkpoint *is* the snapshot: relative to this document
+    # nothing is unsaved, so the persisted snapshot-dirty set is empty —
+    # a runtime restored from this base delta-saves only what it
+    # changes afterwards, not the pre-save backlog.
+    state["deltas"] = dict(state["deltas"])
+    state["deltas"]["dirty_since_snapshot"] = []
     return {
         "checkpoint_version": CHECKPOINT_VERSION,
-        "runtime": runtime.state_dict(),
+        "kind": KIND_BASE,
+        "base_id": _state_id(state),
+        "runtime": state,
     }
 
 
 def save_checkpoint(
     runtime: StreamRuntime, path: Union[str, Path]
 ) -> Path:
-    """Write a checkpoint file; returns the written path."""
+    """Write a full (base) checkpoint file; returns the written path.
+
+    Marks the snapshot point on the runtime: subsequent
+    :func:`save_delta_checkpoint` calls persist only what changed from
+    here on.
+
+    Raises:
+        TypeError: for runtimes without the checkpoint API — a
+            :class:`~repro.stream.sharding.ShardedStreamRuntime`
+            persists through its own ``state_dict()``/``load_state()``
+            (per-shard cursors and trackers), not this single-feed file
+            format.
+    """
+    if not hasattr(runtime, "mark_checkpoint_base"):
+        raise TypeError(
+            f"save_checkpoint supports StreamRuntime, got "
+            f"{type(runtime).__name__}; sharded runtimes persist via "
+            "state_dict()/load_state()"
+        )
+    payload = checkpoint_state(runtime)
     destination = Path(path)
     destination.parent.mkdir(parents=True, exist_ok=True)
     destination.write_text(
-        json.dumps(checkpoint_state(runtime), indent=2, sort_keys=True) + "\n"
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    # Only after the write succeeded: a failed save must not convince
+    # the runtime its dirty keywords are safely on disk.
+    runtime.mark_checkpoint_base(payload["base_id"])
+    return destination
+
+
+def save_delta_checkpoint(
+    runtime: StreamRuntime, path: Union[str, Path]
+) -> Path:
+    """Write an O(changed-keywords) delta against the last base snapshot.
+
+    The delta is cumulative: it carries every keyword dirtied since the
+    base was saved, so ``base + this file`` restores the full current
+    state regardless of how many earlier deltas exist.
+
+    Raises:
+        ValueError: when no base checkpoint was saved from (or adopted
+            by) this runtime — a delta needs something to be relative to.
+    """
+    base_id = runtime.checkpoint_base_id
+    if base_id is None:
+        raise ValueError(
+            "no base checkpoint to delta against — call save_checkpoint "
+            "first (or restore from one)"
+        )
+    payload = {
+        "checkpoint_version": CHECKPOINT_VERSION,
+        "kind": KIND_DELTA,
+        "base_id": base_id,
+        "runtime_delta": runtime.delta_state_dict(),
+    }
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
     return destination
 
 
-def load_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
-    """Read and validate a checkpoint file."""
-    payload = json.loads(Path(path).read_text())
+def _validated(payload: Dict[str, Any]) -> Dict[str, Any]:
     version = payload.get("checkpoint_version")
     if version != CHECKPOINT_VERSION:
         raise ValueError(
             f"unsupported checkpoint version {version!r} "
             f"(expected {CHECKPOINT_VERSION})"
         )
-    if "runtime" not in payload:
+    kind = payload.get("kind", KIND_BASE)
+    if kind == KIND_BASE and "runtime" not in payload:
         raise ValueError("checkpoint has no 'runtime' state")
+    if kind == KIND_DELTA and "runtime_delta" not in payload:
+        raise ValueError("delta checkpoint has no 'runtime_delta' state")
+    if kind not in (KIND_BASE, KIND_DELTA):
+        raise ValueError(f"unknown checkpoint kind {kind!r}")
     return payload
+
+
+def load_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate a checkpoint file (base or delta)."""
+    return _validated(json.loads(Path(path).read_text()))
+
+
+def _as_payload(
+    source: Union[str, Path, Dict[str, Any]],
+) -> Dict[str, Any]:
+    if isinstance(source, (str, Path)):
+        return load_checkpoint(source)
+    return _validated(source)
+
+
+def _overlay_delta(
+    base_state: Dict[str, Any], delta_state: Dict[str, Any]
+) -> Dict[str, Any]:
+    """The full runtime state of ``base + delta`` (pure dict surgery).
+
+    Scalars and O(keywords) maps come from the delta wholesale; the
+    keyword×year aggregate buckets and votes start from the base and
+    every keyword the delta recorded is *replaced* (deltas store full
+    current per-keyword values, so overlay is replace, not add).
+    """
+    state = dict(base_state)
+    deltas_delta = delta_state["deltas_delta"]
+    for key, value in delta_state.items():
+        if key != "deltas_delta":
+            state[key] = value
+    tracker_state = dict(base_state["deltas"])
+    buckets = dict(tracker_state["buckets"])
+    votes = dict(tracker_state["votes"])
+    for keyword, entry in deltas_delta["changed"].items():
+        buckets[keyword] = entry["buckets"]
+        votes[keyword] = entry["votes"]
+    tracker_state["buckets"] = buckets
+    tracker_state["votes"] = votes
+    tracker_state["observed"] = deltas_delta["observed"]
+    tracker_state["dirty"] = deltas_delta["dirty"]
+    # Relative to the shared base, exactly these keywords are still
+    # unsnapshotted — the next delta save must cover at least them.
+    tracker_state["dirty_since_snapshot"] = sorted(deltas_delta["changed"])
+    state["deltas"] = tracker_state
+    return state
 
 
 def restore_runtime(
     source: Union[str, Path, Dict[str, Any]],
     feed,
     database,
+    *,
+    base: Optional[Union[str, Path, Dict[str, Any]]] = None,
     **runtime_kwargs: Any,
 ) -> StreamRuntime:
     """Build a runtime resumed from a checkpoint.
 
     Args:
-        source: a checkpoint file path or an already-loaded payload.
+        source: a checkpoint file path or an already-loaded payload —
+            either a base snapshot or a delta checkpoint.
         feed: the feed to resume from (must replay the same events the
             checkpointed runtime consumed — stability is part of the
             :class:`~repro.stream.feed.FeedSource` contract).
         database: the keyword database (keyword set must match the
             checkpoint).
+        base: the base checkpoint (path or payload) a delta ``source``
+            is relative to; required for deltas, ignored for bases.
+            The base's content id must match the one the delta recorded.
         **runtime_kwargs: forwarded to :class:`StreamRuntime` — target,
             config, network, tracker, post_filter, batch sizes.  The
             checkpoint's ``since_year`` is restored automatically.
     """
-    if isinstance(source, (str, Path)):
-        payload = load_checkpoint(source)
-    else:
-        payload = source
-        version = payload.get("checkpoint_version")
-        if version != CHECKPOINT_VERSION:
+    payload = _as_payload(source)
+    if payload.get("kind", KIND_BASE) == KIND_DELTA:
+        if base is None:
             raise ValueError(
-                f"unsupported checkpoint version {version!r} "
-                f"(expected {CHECKPOINT_VERSION})"
+                "restoring from a delta checkpoint needs base=<the base "
+                "checkpoint it was saved against>"
             )
-    state = payload["runtime"]
+        base_payload = _as_payload(base)
+        if base_payload.get("kind", KIND_BASE) != KIND_BASE:
+            raise ValueError("base= must be a base checkpoint, got a delta")
+        base_id = base_payload.get("base_id")
+        if base_id is not None and base_id != payload["base_id"]:
+            raise ValueError(
+                f"delta was saved against base {payload['base_id']!r}, "
+                f"got base {base_id!r}"
+            )
+        state = _overlay_delta(base_payload["runtime"], payload["runtime_delta"])
+        adopted_base_id = payload["base_id"]
+    else:
+        state = payload["runtime"]
+        adopted_base_id = payload.get("base_id")
     runtime = StreamRuntime(
         feed,
         database,
@@ -100,4 +250,8 @@ def restore_runtime(
         **runtime_kwargs,
     )
     runtime.load_state(state)
+    if adopted_base_id is not None:
+        # The restored runtime can keep delta-saving against the same
+        # base file — no fresh base required after every resume.
+        runtime.adopt_checkpoint_base(adopted_base_id)
     return runtime

@@ -31,8 +31,18 @@ identically on both paths.)
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.classification import INSIDER_MARKERS, OUTSIDER_MARKERS
 from repro.core.keywords import KeywordDatabase
@@ -42,7 +52,18 @@ from repro.nlp.sentiment import SentimentAnalyzer
 from repro.social.post import Engagement, Post
 
 #: re-exported for convenience of streaming consumers.
-__all__ = ["DeltaTracker", "KeywordSignals"]
+__all__ = [
+    "DeltaTracker",
+    "KeywordSignals",
+    "SignalDelta",
+    "compute_signal_delta",
+]
+
+#: Separator between per-post haystacks in the batch match arena.  The
+#: same character :mod:`repro.nlp.analysis` uses inside a haystack —
+#: canonical keywords are alphanumeric-only, so no keyword can straddle
+#: two posts' segments.
+_ARENA_SEPARATOR = "\n"
 
 
 @dataclass
@@ -96,6 +117,187 @@ class _Votes:
     outsider: int = 0
 
 
+@dataclass(frozen=True)
+class SignalDelta:
+    """One micro-batch's additive contribution to the running aggregates.
+
+    Every field is a pure sum over the batch's posts, so deltas are
+    *mergeable*: :meth:`merge` of any grouping/ordering of deltas equals
+    the delta of the concatenated batch (integer fields exactly, the
+    float ``sentiment_sum`` up to summation order — property-tested in
+    ``tests/properties/test_shard_merge_equivalence.py``).  The payload
+    is plain data (dicts, tuples, ints, floats), so a delta pickles
+    cheaply across a :class:`~repro.core.executor.ProcessExecutor`
+    boundary — it is the return value of a sharded runtime's per-shard
+    ingest job.
+
+    Attributes:
+        buckets: ``keyword -> year -> [views, likes, reposts, replies,
+            posts, sentiment_sum]`` — the in-region SAI bucket sums.
+        votes: ``keyword -> (insider, outsider)`` voice-vote increments
+            (region-unscoped, like the batch classifier's evidence).
+        dirty: keywords affected by the batch, sorted.
+        observed: how many posts the batch contained (matched or not).
+    """
+
+    buckets: Dict[str, Dict[int, List[float]]]
+    votes: Dict[str, Tuple[int, int]]
+    dirty: Tuple[str, ...]
+    observed: int
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the delta carries no aggregate change at all."""
+        return not (self.buckets or self.votes or self.dirty or self.observed)
+
+    @classmethod
+    def empty(cls) -> "SignalDelta":
+        """The additive identity."""
+        return cls(buckets={}, votes={}, dirty=(), observed=0)
+
+    @classmethod
+    def merge(cls, deltas: Iterable["SignalDelta"]) -> "SignalDelta":
+        """The pure-sum combination of several deltas.
+
+        Associative and commutative (exactly on every integer field;
+        ``sentiment_sum`` commutes up to float summation order), so
+        shard deltas can be combined in any grouping — the foundation of
+        the sharded runtime's merge step.
+        """
+        buckets: Dict[str, Dict[int, List[float]]] = {}
+        votes: Dict[str, Tuple[int, int]] = {}
+        dirty: set = set()
+        observed = 0
+        for delta in deltas:
+            observed += delta.observed
+            dirty.update(delta.dirty)
+            for keyword, pair in delta.votes.items():
+                known = votes.get(keyword, (0, 0))
+                votes[keyword] = (known[0] + pair[0], known[1] + pair[1])
+            for keyword, years in delta.buckets.items():
+                target_years = buckets.setdefault(keyword, {})
+                for year, values in years.items():
+                    known_values = target_years.get(year)
+                    if known_values is None:
+                        target_years[year] = list(values)
+                    else:
+                        target_years[year] = [
+                            a + b for a, b in zip(known_values, values)
+                        ]
+        return cls(
+            buckets=buckets,
+            votes=votes,
+            dirty=tuple(sorted(dirty)),
+            observed=observed,
+        )
+
+
+def _match_batch(
+    keywords: Sequence[str], haystacks: Sequence[str]
+) -> List[List[str]]:
+    """Per-post matched keywords via one arena sweep per keyword.
+
+    The per-post haystacks are joined into one *arena* string and each
+    canonical keyword is resolved with a single C-level ``str.find``
+    loop over it, instead of one substring probe per ``(post, keyword)``
+    pair.  A hit is mapped back to its post by bisecting the segment
+    end-offsets, and the scan resumes at the next segment, so a post is
+    reported at most once per keyword.  Results are exactly
+    :meth:`~repro.nlp.analysis.PostAnalysis.matches_keyword` — the
+    separator guarantees no cross-post match — and per post the
+    keywords come back in ``keywords`` order, which keeps downstream
+    float accumulation identical to the per-post probe loop.
+    """
+    matched_per_post: List[List[str]] = [[] for _ in haystacks]
+    if not haystacks:
+        return matched_per_post
+    arena = _ARENA_SEPARATOR.join(haystacks)
+    ends: List[int] = []
+    position = 0
+    for haystack in haystacks:
+        position += len(haystack) + 1
+        ends.append(position)
+    hits: List[List[int]] = [[] for _ in keywords]
+    for slot, keyword in enumerate(keywords):
+        if not keyword:
+            continue  # empty canonicals never free-text match
+        found = arena.find(keyword)
+        while found != -1:
+            post = bisect_right(ends, found)
+            hits[slot].append(post)
+            found = arena.find(keyword, ends[post])
+    # Slot-ordered fold: per post the matched keywords come out in
+    # ``keywords`` order, exactly like the per-post probe loop's.
+    for slot, keyword in enumerate(keywords):
+        for post in hits[slot]:
+            matched_per_post[post].append(keyword)
+    return matched_per_post
+
+
+def compute_signal_delta(
+    keywords: Sequence[str],
+    posts: Sequence[Post],
+    *,
+    region: Optional[str] = None,
+    analyzer: Optional[SentimentAnalyzer] = None,
+) -> SignalDelta:
+    """The :class:`SignalDelta` of one micro-batch, via a batch sweep.
+
+    Semantically identical to folding the batch through
+    :meth:`DeltaTracker.observe` post by post (same buckets, same votes,
+    same dirty set, bit-for-bit identical float sums), but the keyword
+    matching runs as one arena sweep per keyword
+    (:func:`_match_batch`) instead of ``len(posts) x len(keywords)``
+    substring probes — the sharded runtime's per-shard ingest kernel.
+    The function is pure and its arguments/result are picklable, so it
+    can run inside a :class:`~repro.core.executor.ProcessExecutor`
+    worker.
+    """
+    scorer = analyzer or SentimentAnalyzer()
+    region_scope = region.strip().lower() if region else None
+    analyses = [analyze_text(post.text) for post in posts]
+    matched_per_post = _match_batch(
+        list(keywords), [analysis.haystack for analysis in analyses]
+    )
+
+    buckets: Dict[str, Dict[int, _Bucket]] = {}
+    votes: Dict[str, List[int]] = {}
+    dirty: set = set()
+    for post, analysis, matched in zip(posts, analyses, matched_per_post):
+        if not matched:
+            continue
+        insider_vote = bool(analysis.word_set & INSIDER_MARKERS)
+        outsider_vote = bool(analysis.word_set & OUTSIDER_MARKERS)
+        in_region = (
+            region_scope is None or post.region.lower() == region_scope
+        )
+        sentiment = (
+            scorer.score_analysis(analysis).score if in_region else 0.0
+        )
+        for keyword in matched:
+            pair = votes.setdefault(keyword, [0, 0])
+            if insider_vote:
+                pair[0] += 1
+            if outsider_vote:
+                pair[1] += 1
+            if in_region:
+                years = buckets.setdefault(keyword, {})
+                bucket = years.setdefault(post.year, _Bucket())
+                bucket.add(post, sentiment)
+        dirty.update(matched)
+    return SignalDelta(
+        buckets={
+            keyword: {year: bucket.as_list() for year, bucket in years.items()}
+            for keyword, years in buckets.items()
+        },
+        votes={
+            keyword: (pair[0], pair[1]) for keyword, pair in votes.items()
+        },
+        dirty=tuple(sorted(dirty)),
+        observed=len(posts),
+    )
+
+
 class DeltaTracker:
     """Maps arriving posts to affected keywords and keeps running sums.
 
@@ -114,17 +316,23 @@ class DeltaTracker:
 
     def __init__(
         self,
-        database: KeywordDatabase,
+        database: Optional[KeywordDatabase] = None,
         *,
         region: Optional[str] = None,
         analyzer: Optional[SentimentAnalyzer] = None,
+        keywords: Optional[Sequence[str]] = None,
     ) -> None:
-        self._keywords: Tuple[str, ...] = database.keywords
+        if database is None and keywords is None:
+            raise ValueError("DeltaTracker needs a database or keywords")
+        self._keywords: Tuple[str, ...] = (
+            tuple(keywords) if keywords is not None else database.keywords  # type: ignore[union-attr]
+        )
         self._region = region.strip().lower() if region else None
         self._analyzer = analyzer or SentimentAnalyzer()
         self._buckets: Dict[str, Dict[int, _Bucket]] = {}
         self._votes: Dict[str, _Votes] = {}
         self._dirty: set = set()
+        self._dirty_since_snapshot: set = set()
         self._observed = 0
 
     # -- ingestion ----------------------------------------------------------
@@ -180,6 +388,7 @@ class DeltaTracker:
                 bucket = years.setdefault(post.year, _Bucket())
                 bucket.add(post, sentiment)
         self._dirty.update(matched)
+        self._dirty_since_snapshot.update(matched)
         return frozenset(matched)
 
     def observe_batch(self, posts: Iterable[Post]) -> FrozenSet[str]:
@@ -188,6 +397,111 @@ class DeltaTracker:
         for post in posts:
             touched.update(self.observe(post))
         return frozenset(touched)
+
+    def ingest_batch(self, posts: Sequence[Post]) -> FrozenSet[str]:
+        """Fold a micro-batch in via the arena-sweep batch kernel.
+
+        Result-identical to :meth:`observe_batch` (bit-for-bit, float
+        sums included) but the keyword matching runs as one arena sweep
+        per keyword instead of per-``(post, keyword)`` substring probes
+        — the fast path for micro-batch consumers like the sharded
+        runtime.
+        """
+        delta = compute_signal_delta(
+            self._keywords, posts, region=self._region, analyzer=self._analyzer
+        )
+        self.apply_delta(delta)
+        return frozenset(delta.dirty)
+
+    def apply_delta(self, delta: SignalDelta) -> None:
+        """Fold one :class:`SignalDelta` into the running aggregates.
+
+        The additive counterpart of :meth:`observe_batch` for deltas
+        computed elsewhere — typically by
+        :func:`compute_signal_delta` inside a shard worker.
+        """
+        self._observed += delta.observed
+        self._dirty.update(delta.dirty)
+        self._dirty_since_snapshot.update(delta.dirty)
+        for keyword, pair in delta.votes.items():
+            votes = self._votes.setdefault(keyword, _Votes())
+            votes.insider += pair[0]
+            votes.outsider += pair[1]
+        for keyword, years in delta.buckets.items():
+            target_years = self._buckets.setdefault(keyword, {})
+            for year, values in years.items():
+                bucket = target_years.get(year)
+                if bucket is None:
+                    target_years[year] = _Bucket.from_list(list(values))
+                else:
+                    views, likes, reposts, replies, posts, sentiment = values
+                    bucket.views += int(views)
+                    bucket.likes += int(likes)
+                    bucket.reposts += int(reposts)
+                    bucket.replies += int(replies)
+                    bucket.posts += int(posts)
+                    bucket.sentiment_sum += sentiment
+
+    # -- pure-sum merging ----------------------------------------------------
+
+    def merge_from(self, other: "DeltaTracker") -> None:
+        """Fold another tracker's aggregates into this one (pure sum).
+
+        Both trackers must track the same keyword universe and region
+        scope — merging shards of one logical stream, not unrelated
+        monitors.  Every field is additive, so the merge is associative
+        and (up to float summation order) commutative.
+        """
+        if other._keywords != self._keywords:
+            raise ValueError(
+                "cannot merge trackers over different keyword sets"
+            )
+        if other._region != self._region:
+            raise ValueError(
+                "cannot merge trackers with different region scopes: "
+                f"{other._region!r} != {self._region!r}"
+            )
+        self._observed += other._observed
+        self._dirty.update(other._dirty)
+        self._dirty_since_snapshot.update(other._dirty_since_snapshot)
+        for keyword, votes in other._votes.items():
+            target = self._votes.setdefault(keyword, _Votes())
+            target.insider += votes.insider
+            target.outsider += votes.outsider
+        for keyword, years in other._buckets.items():
+            target_years = self._buckets.setdefault(keyword, {})
+            for year, bucket in years.items():
+                target = target_years.get(year)
+                if target is None:
+                    target_years[year] = _Bucket.from_list(bucket.as_list())
+                else:
+                    target.views += bucket.views
+                    target.likes += bucket.likes
+                    target.reposts += bucket.reposts
+                    target.replies += bucket.replies
+                    target.posts += bucket.posts
+                    target.sentiment_sum += bucket.sentiment_sum
+
+    @classmethod
+    def merged(cls, trackers: Sequence["DeltaTracker"]) -> "DeltaTracker":
+        """A fresh tracker holding the pure-sum merge of ``trackers``.
+
+        The sharded runtime's merge step: per-shard trackers in, one
+        global view out, equal (integer fields exactly, float sums up to
+        summation order) to a single tracker fed the concatenated feed.
+        """
+        trackers = list(trackers)
+        if not trackers:
+            raise ValueError("merged() needs at least one tracker")
+        first = trackers[0]
+        out = cls(
+            keywords=first._keywords,
+            region=first._region,
+            analyzer=first._analyzer,
+        )
+        for tracker in trackers:
+            out.merge_from(tracker)
+        return out
 
     # -- dirty bookkeeping --------------------------------------------------
 
@@ -271,6 +585,47 @@ class DeltaTracker:
 
     # -- checkpoint support -------------------------------------------------
 
+    @property
+    def dirty_since_snapshot(self) -> FrozenSet[str]:
+        """Keywords whose aggregates changed since :meth:`mark_snapshot`.
+
+        Unlike :attr:`dirty` (cleared every runtime tick), this set
+        accumulates until a base checkpoint is taken — it is what a
+        *delta* checkpoint has to persist.
+        """
+        return frozenset(self._dirty_since_snapshot)
+
+    def mark_snapshot(self) -> None:
+        """Declare the current state fully persisted (base checkpoint)."""
+        self._dirty_since_snapshot.clear()
+
+    def delta_state(self) -> Dict[str, object]:
+        """The aggregates changed since the last snapshot, O(changed).
+
+        Returns the full current per-keyword buckets/votes of every
+        keyword in :attr:`dirty_since_snapshot` (replay is replace, not
+        add, so repeated delta saves stay idempotent), plus the scalar
+        fields a resume needs.  Keywords untouched since the base
+        snapshot are omitted — the save cost long-running monitors care
+        about.
+        """
+        changed = {}
+        for keyword in sorted(self._dirty_since_snapshot):
+            years = self._buckets.get(keyword, {})
+            votes = self._votes.get(keyword)
+            changed[keyword] = {
+                "buckets": {
+                    str(year): bucket.as_list()
+                    for year, bucket in sorted(years.items())
+                },
+                "votes": [votes.insider, votes.outsider] if votes else [0, 0],
+            }
+        return {
+            "observed": self._observed,
+            "dirty": sorted(self._dirty),
+            "changed": changed,
+        }
+
     def state_dict(self) -> Dict[str, object]:
         """JSON-serialisable snapshot of the running aggregates."""
         return {
@@ -289,6 +644,7 @@ class DeltaTracker:
                 for keyword, votes in sorted(self._votes.items())
             },
             "dirty": sorted(self._dirty),
+            "dirty_since_snapshot": sorted(self._dirty_since_snapshot),
         }
 
     def load_state(self, state: Mapping[str, object]) -> None:
@@ -312,3 +668,10 @@ class DeltaTracker:
             for keyword, pair in state["votes"].items()  # type: ignore[union-attr]
         }
         self._dirty = set(state["dirty"])  # type: ignore[arg-type]
+        if "dirty_since_snapshot" in state:
+            self._dirty_since_snapshot = set(state["dirty_since_snapshot"])  # type: ignore[arg-type]
+        else:
+            # Pre-delta-checkpoint snapshot: conservatively treat every
+            # keyword with any aggregate as unsnapshotted, so a later
+            # delta save never under-saves.
+            self._dirty_since_snapshot = set(self._buckets) | set(self._votes)

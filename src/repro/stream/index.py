@@ -60,6 +60,16 @@ class StreamingCorpusIndex:
         compact_threshold: tail size at which base and tail are merged
             into a new base segment.  Small values exercise compaction;
             large values keep appends O(batch) for longer.
+        compact_ratio: optional tail/base size ratio that *also*
+            triggers compaction.  The fixed threshold alone lets a small
+            base drag a comparatively huge tail (every query pays a
+            second near-full sweep); a ratio of e.g. ``0.25`` bounds the
+            tail at a quarter of the base under sustained ingest, which
+            keeps the extra query cost proportional — and because each
+            ratio compaction grows the base geometrically, the amortised
+            append cost stays O(batch × (1 + 1/ratio)).  Whichever
+            policy fires first wins; ``None`` keeps the pure-threshold
+            behaviour.
     """
 
     def __init__(
@@ -67,12 +77,18 @@ class StreamingCorpusIndex:
         posts: Iterable[Post] = (),
         *,
         compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+        compact_ratio: Optional[float] = None,
     ) -> None:
         if compact_threshold < 1:
             raise ValueError(
                 f"compact_threshold must be >= 1, got {compact_threshold}"
             )
+        if compact_ratio is not None and compact_ratio <= 0:
+            raise ValueError(
+                f"compact_ratio must be > 0, got {compact_ratio}"
+            )
         self._compact_threshold = compact_threshold
+        self._compact_ratio = compact_ratio
         self._base = CorpusIndex(posts)
         self._tail_posts: List[Post] = []
         self._tail_index: Optional[CorpusIndex] = None
@@ -109,9 +125,20 @@ class StreamingCorpusIndex:
         self._tail_posts.extend(batch)
         self._tail_index = None
         self._appends += 1
-        if len(self._tail_posts) >= self._compact_threshold:
+        if self._should_compact():
             self.compact()
         return len(batch)
+
+    def _should_compact(self) -> bool:
+        """Whether either compaction policy fires on the current tail."""
+        tail = len(self._tail_posts)
+        if tail >= self._compact_threshold:
+            return True
+        if self._compact_ratio is None:
+            return False
+        # max(1, base): an empty base compacts on the first append, so
+        # the ratio policy governs from the very first posts onwards.
+        return tail >= self._compact_ratio * max(1, len(self._base))
 
     def compact(self) -> None:
         """Merge the tail into the base segment (tail restarts empty)."""
@@ -133,13 +160,15 @@ class StreamingCorpusIndex:
         return self._tail_index
 
     @property
-    def segment_stats(self) -> Dict[str, int]:
-        """Base/tail sizes and maintenance counters (observability)."""
+    def segment_stats(self) -> Dict[str, object]:
+        """Base/tail sizes, policy and maintenance counters."""
         return {
             "base_posts": len(self._base),
             "tail_posts": len(self._tail_posts),
             "appends": self._appends,
             "compactions": self._compactions,
+            "compact_threshold": self._compact_threshold,
+            "compact_ratio": self._compact_ratio,
         }
 
     def __len__(self) -> int:

@@ -22,6 +22,11 @@ records and performs, in order:
    emits a :class:`~repro.core.monitor.TrendAlert` (same shape as the
    batch monitor's) plus an optional lifecycle trend-shift event.
 
+Steps 4-5 live in :class:`TickEvaluator`, shared verbatim with the
+sharded runtime (:mod:`repro.stream.sharding`) — N shards merge their
+deltas and run this evaluator *once* per tick, which is exactly what
+makes retune/rescore cost independent of shard count.
+
 The first evaluation always tunes (establishing the baseline table and
 never alerting — the monitor's first-tick contract).  All mutable state
 is checkpointable (:mod:`repro.stream.checkpoint`): a stopped runtime
@@ -64,7 +69,11 @@ DEFAULT_BATCH_SIZE = 256
 
 @dataclass(frozen=True)
 class StreamTick:
-    """Outcome of one runtime tick (one micro-batch)."""
+    """Outcome of one runtime tick (one micro-batch).
+
+    ``shard_accepted`` is empty for the single-feed runtime; the sharded
+    runtime records how many accepted posts each shard contributed.
+    """
 
     seq: int
     events: int
@@ -75,6 +84,7 @@ class StreamTick:
     rescored: bool
     alert: Optional[TrendAlert]
     upto_year: Optional[int]
+    shard_accepted: Tuple[int, ...] = ()
 
     def describe(self) -> str:
         """One-line tick summary."""
@@ -89,6 +99,219 @@ class StreamTick:
             f" ({self.rejected} rejected), {len(self.dirty)} dirty,"
             f" {'retuned' if self.retuned else 'no retune'}, {verdict}"
         )
+
+
+class TickEvaluator:
+    """Conditional retune + conditional rescore over running aggregates.
+
+    The table-producing half of a streaming tick, factored out of
+    :class:`StreamRuntime` so the sharded runtime can run the identical
+    evaluation *once* over its merged shard deltas: classification from
+    votes, SAI from signals, weight tuning, fingerprint diffing, TARA
+    rescoring and alert emission all live here, parameterised only by
+    the :class:`~repro.stream.deltas.DeltaTracker` (or merged view)
+    handed to :meth:`evaluate`.
+    """
+
+    def __init__(
+        self,
+        database: KeywordDatabase,
+        *,
+        target: TargetApplication,
+        config: PSPConfig,
+        since_year: Optional[int] = None,
+        network: Optional[VehicleNetwork] = None,
+        tracker: Optional[LifecycleTracker] = None,
+    ) -> None:
+        self._database = database
+        self._target = target
+        self._config = config
+        self.since_year = since_year
+        self._tracker = tracker
+        # The signals scoring path never touches the client slot.
+        self._computer = SAIComputer(None, config=config)  # type: ignore[arg-type]
+        self._tuner = WeightTuner(config.tuning)
+        self._scorer: Optional[BatchTaraScorer] = None
+        if network is not None:
+            self._scorer = BatchTaraScorer(compile_threat_model(network))
+
+        self.insider_flags: Dict[str, bool] = {}
+        self.last_table: Optional[WeightTable] = None
+        self.last_fingerprint: Optional[Tuple] = None
+        self.last_result: Optional[PSPRunResult] = None
+        self.alerts: List[TrendAlert] = []
+        self.retunes = 0
+        self.rescores = 0
+
+    @property
+    def scorer(self) -> Optional[BatchTaraScorer]:
+        """The compiled-model TARA scorer (None without a network)."""
+        return self._scorer
+
+    def baseline_tara(self) -> Optional[TaraReportData]:
+        """The static-table TARA (None without a network)."""
+        if self._scorer is None:
+            return None
+        return self._scorer.score()
+
+    def _window(self, upto_year: Optional[int]) -> TimeWindow:
+        if self.since_year is not None and upto_year is not None:
+            return TimeWindow.years(self.since_year, upto_year)
+        since = (
+            dt.date(self.since_year, 1, 1)
+            if self.since_year is not None
+            else None
+        )
+        until = dt.date(upto_year, 12, 31) if upto_year is not None else None
+        return TimeWindow(since=since, until=until, label="streamed")
+
+    def _classify(self, deltas: DeltaTracker, keyword: str) -> bool:
+        """Mirror of the batch classifier over the running aggregates."""
+        annotation = self._database.get(keyword).owner_approved
+        if annotation is not None:
+            return annotation
+        count = deltas.window_count(keyword, since_year=self.since_year)
+        if count <= 0:
+            return False
+        insider_votes, outsider_votes = deltas.votes(keyword)
+        return insider_votes > outsider_votes
+
+    def _split(self, deltas: DeltaTracker, sai: SAIList) -> InsiderOutsiderSplit:
+        """Partition the SAI list using cached classifications."""
+        insider: List[ClassifiedEntry] = []
+        outsider: List[ClassifiedEntry] = []
+        for entry in sai:
+            keyword = entry.keyword
+            flag = self.insider_flags.get(keyword)
+            if flag is None:
+                flag = self._classify(deltas, keyword)
+                self.insider_flags[keyword] = flag
+            annotation = self._database.get(keyword).owner_approved
+            votes = (
+                (0, 0) if annotation is not None else deltas.votes(keyword)
+            )
+            classified = ClassifiedEntry(
+                entry=entry,
+                insider=flag,
+                from_annotation=annotation is not None,
+                insider_votes=votes[0],
+                outsider_votes=votes[1],
+            )
+            (insider if flag else outsider).append(classified)
+        return InsiderOutsiderSplit(
+            insider=tuple(insider), outsider=tuple(outsider)
+        )
+
+    def evaluate(
+        self,
+        deltas: DeltaTracker,
+        dirty: Sequence[str],
+        upto_year: Optional[int],
+    ) -> Tuple[bool, bool, Optional[TrendAlert]]:
+        """Conditional retune + conditional rescore for one tick.
+
+        ``deltas`` is whichever aggregate view covers the whole logical
+        stream — the single runtime's own tracker, or the sharded
+        runtime's pure-sum merge of its shard trackers.
+        """
+        first = self.last_table is None
+        before = any(self.insider_flags.get(k, False) for k in dirty)
+        for keyword in dirty:
+            self.insider_flags[keyword] = self._classify(deltas, keyword)
+        after = any(self.insider_flags[k] for k in dirty)
+        if not first and not (before or after):
+            return False, False, None
+
+        window = self._window(upto_year)
+        signals = deltas.signals(
+            since_year=self.since_year, until_year=upto_year
+        )
+        sai = self._computer.compute_from_signals(self._database, signals)
+        split = self._split(deltas, sai)
+        tuning = self._tuner.tune(split, window_label=window.describe())
+        table = tuning.insider_table
+        fingerprint = table_fingerprint(table)
+        result = PSPRunResult(
+            target=self._target,
+            window=window,
+            sai=sai,
+            split=split,
+            tuning=tuning,
+            learned_keywords=(),
+        )
+        self.retunes += 1
+
+        rescored = False
+        alert: Optional[TrendAlert] = None
+        if (
+            self.last_table is not None
+            and fingerprint != self.last_fingerprint
+        ):
+            changed = table.differs_from(self.last_table)
+            changes = tuple(
+                VectorChange(
+                    vector=vector,
+                    before=self.last_table.rating(vector),
+                    after=table.rating(vector),
+                )
+                for vector in changed
+            )
+            tara: Optional[TaraReportData] = None
+            if self._scorer is not None:
+                tara = self._scorer.score(insider_table=table)
+                rescored = True
+                self.rescores += 1
+            alert = TrendAlert(
+                upto_year=upto_year if upto_year is not None else 0,
+                changes=changes,
+                result=result,
+                tara=tara,
+            )
+            self.alerts.append(alert)
+            if self._tracker is not None:
+                self._tracker.report_trend_shift(alert.describe())
+
+        self.last_table = table
+        self.last_fingerprint = fingerprint
+        self.last_result = result
+        return True, rescored, alert
+
+    # -- checkpoint support --------------------------------------------------
+
+    def state_slice(self) -> Dict[str, object]:
+        """The evaluator's share of a runtime ``state_dict``."""
+        return {
+            "insider_flags": dict(sorted(self.insider_flags.items())),
+            "last_table": _table_state(self.last_table),
+            "alert_count": len(self.alerts),
+            "retunes": self.retunes,
+            "tara_rescores": self.rescores,
+        }
+
+    def load_slice(
+        self, state: Mapping[str, object], *, database_matches: bool
+    ) -> None:
+        """Restore the :meth:`state_slice` fields."""
+        if database_matches:
+            self.insider_flags = {
+                str(k): bool(v)
+                for k, v in state["insider_flags"].items()  # type: ignore[union-attr]
+            }
+        else:
+            # The database changed since the checkpoint (e.g. an analyst
+            # re-annotated a keyword).  The cached verdicts may
+            # contradict the new annotations, so drop them — the next
+            # evaluation reclassifies lazily from the restored votes and
+            # aggregates, which is O(keywords).
+            self.insider_flags = {}
+        self.last_table = _table_from_state(state.get("last_table"))
+        self.last_fingerprint = (
+            table_fingerprint(self.last_table)
+            if self.last_table is not None
+            else None
+        )
+        self.retunes = int(state.get("retunes", 0))  # type: ignore[arg-type]
+        self.rescores = int(state.get("tara_rescores", 0))  # type: ignore[arg-type]
 
 
 class StreamRuntime:
@@ -111,6 +334,8 @@ class StreamRuntime:
             it rejects never reach the index or the aggregates.
         batch_size: default micro-batch size for :meth:`step`/:meth:`run`.
         compact_threshold: tail size triggering index compaction.
+        compact_ratio: optional tail/base ratio triggering compaction
+            (see :class:`~repro.stream.index.StreamingCorpusIndex`).
     """
 
     def __init__(
@@ -126,6 +351,7 @@ class StreamRuntime:
         post_filter: Optional[PostAuthenticityFilter] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+        compact_ratio: Optional[float] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -136,35 +362,30 @@ class StreamRuntime:
             "streamed", "global", "stream"
         )
         self._config = config or PSPConfig()
-        self._since_year = since_year
         self._batch_size = batch_size
         self._filter = post_filter
-        self._tracker = tracker
         self._deltas = DeltaTracker(
             database, region=target.region if target is not None else None
         )
-        # The signals scoring path never touches the client slot.
-        self._computer = SAIComputer(None, config=self._config)  # type: ignore[arg-type]
-        self._tuner = WeightTuner(self._config.tuning)
-        self._index = StreamingCorpusIndex(
-            compact_threshold=compact_threshold
+        self._evaluator = TickEvaluator(
+            database,
+            target=self._target,
+            config=self._config,
+            since_year=since_year,
+            network=network,
+            tracker=tracker,
         )
-        self._scorer: Optional[BatchTaraScorer] = None
-        if network is not None:
-            self._scorer = BatchTaraScorer(compile_threat_model(network))
+        self._index = StreamingCorpusIndex(
+            compact_threshold=compact_threshold,
+            compact_ratio=compact_ratio,
+        )
 
         self._cursor = -1
         self._tick_seq = 0
         self._max_date: Optional[dt.date] = None
-        self._insider_flags: Dict[str, bool] = {}
-        self._last_table: Optional[WeightTable] = None
-        self._last_fingerprint: Optional[Tuple] = None
-        self._last_result: Optional[PSPRunResult] = None
-        self._alerts: List[TrendAlert] = []
         self._ticks: List[StreamTick] = []
         self._filter_reports: List[FilterReport] = []
-        self._rescored = 0
-        self._retunes = 0
+        self._checkpoint_base_id: Optional[str] = None
 
     # -- introspection ------------------------------------------------------
 
@@ -184,9 +405,14 @@ class StreamRuntime:
         return self._deltas
 
     @property
+    def evaluator(self) -> TickEvaluator:
+        """The shared conditional retune/rescore core."""
+        return self._evaluator
+
+    @property
     def alerts(self) -> Tuple[TrendAlert, ...]:
         """All alerts emitted so far, oldest first."""
-        return tuple(self._alerts)
+        return tuple(self._evaluator.alerts)
 
     @property
     def ticks(self) -> Tuple[StreamTick, ...]:
@@ -196,17 +422,17 @@ class StreamRuntime:
     @property
     def current_table(self) -> Optional[WeightTable]:
         """The insider table in force (None before the first retune)."""
-        return self._last_table
+        return self._evaluator.last_table
 
     @property
     def current_result(self) -> Optional[PSPRunResult]:
         """The PSP result of the latest retune (None before the first)."""
-        return self._last_result
+        return self._evaluator.last_result
 
     @property
     def tara_scorer(self) -> Optional[BatchTaraScorer]:
         """The compiled-model scorer (None without a network)."""
-        return self._scorer
+        return self._evaluator.scorer
 
     @property
     def post_filter(self) -> Optional[PostAuthenticityFilter]:
@@ -217,6 +443,16 @@ class StreamRuntime:
     def filter_reports(self) -> Tuple[FilterReport, ...]:
         """Authenticity filter reports, one per filtered micro-batch."""
         return tuple(self._filter_reports)
+
+    @property
+    def checkpoint_base_id(self) -> Optional[str]:
+        """Identity of the last base checkpoint saved from this runtime.
+
+        Set by :func:`~repro.stream.checkpoint.save_checkpoint`; delta
+        checkpoints record it so a resume can verify base and delta
+        belong together.
+        """
+        return self._checkpoint_base_id
 
     @property
     def stream_stats(self) -> Dict[str, object]:
@@ -230,17 +466,15 @@ class StreamRuntime:
             "posts_rejected": sum(
                 len(report.rejected) for report in self._filter_reports
             ),
-            "retunes": self._retunes,
-            "tara_rescores": self._rescored,
-            "alerts": len(self._alerts),
+            "retunes": self._evaluator.retunes,
+            "tara_rescores": self._evaluator.rescores,
+            "alerts": len(self._evaluator.alerts),
             "index": self._index.segment_stats,
         }
 
     def baseline_tara(self) -> Optional[TaraReportData]:
         """The static-table TARA (None without a network)."""
-        if self._scorer is None:
-            return None
-        return self._scorer.score()
+        return self._evaluator.baseline_tara()
 
     # -- the tick -----------------------------------------------------------
 
@@ -252,54 +486,6 @@ class StreamRuntime:
                 "streaming keyword learning is not supported yet — "
                 "restart the runtime to adopt the new keyword set"
             )
-
-    def _window(self, upto_year: Optional[int]) -> TimeWindow:
-        if self._since_year is not None and upto_year is not None:
-            return TimeWindow.years(self._since_year, upto_year)
-        since = (
-            dt.date(self._since_year, 1, 1)
-            if self._since_year is not None
-            else None
-        )
-        until = dt.date(upto_year, 12, 31) if upto_year is not None else None
-        return TimeWindow(since=since, until=until, label="streamed")
-
-    def _classify(self, keyword: str) -> bool:
-        """Mirror of the batch classifier over the running aggregates."""
-        annotation = self._database.get(keyword).owner_approved
-        if annotation is not None:
-            return annotation
-        count = self._deltas.window_count(keyword, since_year=self._since_year)
-        if count <= 0:
-            return False
-        insider_votes, outsider_votes = self._deltas.votes(keyword)
-        return insider_votes > outsider_votes
-
-    def _split(self, sai: SAIList) -> InsiderOutsiderSplit:
-        """Partition the SAI list using cached classifications."""
-        insider: List[ClassifiedEntry] = []
-        outsider: List[ClassifiedEntry] = []
-        for entry in sai:
-            keyword = entry.keyword
-            flag = self._insider_flags.get(keyword)
-            if flag is None:
-                flag = self._classify(keyword)
-                self._insider_flags[keyword] = flag
-            annotation = self._database.get(keyword).owner_approved
-            votes = (
-                (0, 0) if annotation is not None else self._deltas.votes(keyword)
-            )
-            classified = ClassifiedEntry(
-                entry=entry,
-                insider=flag,
-                from_annotation=annotation is not None,
-                insider_votes=votes[0],
-                outsider_votes=votes[1],
-            )
-            (insider if flag else outsider).append(classified)
-        return InsiderOutsiderSplit(
-            insider=tuple(insider), outsider=tuple(outsider)
-        )
 
     def ingest(
         self,
@@ -340,7 +526,9 @@ class StreamRuntime:
         if upto_year is None and self._max_date is not None:
             upto_year = self._max_date.year
 
-        retuned, rescored, alert = self._evaluate(dirty, upto_year)
+        retuned, rescored, alert = self._evaluator.evaluate(
+            self._deltas, dirty, upto_year
+        )
         self._tick_seq += 1
         tick = StreamTick(
             seq=self._tick_seq,
@@ -355,74 +543,6 @@ class StreamRuntime:
         )
         self._ticks.append(tick)
         return tick
-
-    def _evaluate(
-        self,
-        dirty: Sequence[str],
-        upto_year: Optional[int],
-    ) -> Tuple[bool, bool, Optional[TrendAlert]]:
-        """Conditional retune + conditional rescore for one tick."""
-        first = self._last_table is None
-        before = any(self._insider_flags.get(k, False) for k in dirty)
-        for keyword in dirty:
-            self._insider_flags[keyword] = self._classify(keyword)
-        after = any(self._insider_flags[k] for k in dirty)
-        if not first and not (before or after):
-            return False, False, None
-
-        window = self._window(upto_year)
-        signals = self._deltas.signals(
-            since_year=self._since_year, until_year=upto_year
-        )
-        sai = self._computer.compute_from_signals(self._database, signals)
-        split = self._split(sai)
-        tuning = self._tuner.tune(split, window_label=window.describe())
-        table = tuning.insider_table
-        fingerprint = table_fingerprint(table)
-        result = PSPRunResult(
-            target=self._target,
-            window=window,
-            sai=sai,
-            split=split,
-            tuning=tuning,
-            learned_keywords=(),
-        )
-        self._retunes += 1
-
-        rescored = False
-        alert: Optional[TrendAlert] = None
-        if (
-            self._last_table is not None
-            and fingerprint != self._last_fingerprint
-        ):
-            changed = table.differs_from(self._last_table)
-            changes = tuple(
-                VectorChange(
-                    vector=vector,
-                    before=self._last_table.rating(vector),
-                    after=table.rating(vector),
-                )
-                for vector in changed
-            )
-            tara: Optional[TaraReportData] = None
-            if self._scorer is not None:
-                tara = self._scorer.score(insider_table=table)
-                rescored = True
-                self._rescored += 1
-            alert = TrendAlert(
-                upto_year=upto_year if upto_year is not None else 0,
-                changes=changes,
-                result=result,
-                tara=tara,
-            )
-            self._alerts.append(alert)
-            if self._tracker is not None:
-                self._tracker.report_trend_shift(alert.describe())
-
-        self._last_table = table
-        self._last_fingerprint = fingerprint
-        self._last_result = result
-        return True, rescored, alert
 
     # -- feed drivers -------------------------------------------------------
 
@@ -459,6 +579,13 @@ class StreamRuntime:
                 return ticks
             ticks.append(tick)
 
+    def close(self) -> None:
+        """Release held resources (none here; sharded runtimes own pools).
+
+        Exists so drivers — the monitor, the CLI — can close any stream
+        runtime uniformly without caring which variant they built.
+        """
+
     # -- checkpoint support -------------------------------------------------
 
     def state_dict(self) -> Dict[str, object]:
@@ -469,19 +596,51 @@ class StreamRuntime:
         be re-hydrated by replaying the feed into
         :meth:`StreamingCorpusIndex.append` if needed.
         """
-        return {
+        state: Dict[str, object] = {
             "cursor": self._cursor,
             "tick_seq": self._tick_seq,
             "max_date": self._max_date.isoformat() if self._max_date else None,
-            "since_year": self._since_year,
+            "since_year": self._evaluator.since_year,
             "db_version": self._db_version,
-            "insider_flags": dict(sorted(self._insider_flags.items())),
-            "last_table": _table_state(self._last_table),
-            "alert_count": len(self._alerts),
-            "retunes": self._retunes,
-            "tara_rescores": self._rescored,
-            "deltas": self._deltas.state_dict(),
         }
+        state.update(self._evaluator.state_slice())
+        state["deltas"] = self._deltas.state_dict()
+        return state
+
+    def delta_state_dict(self) -> Dict[str, object]:
+        """The state changed since the last base checkpoint, O(changed).
+
+        Scalars (cursor, table, counters, cached classifications — all
+        O(keywords) at most) are always included; the keyword×year
+        aggregate buckets, the part whose size grows with history, are
+        restricted to the keywords dirtied since
+        :attr:`checkpoint_base_id` was saved.
+        """
+        state: Dict[str, object] = {
+            "cursor": self._cursor,
+            "tick_seq": self._tick_seq,
+            "max_date": self._max_date.isoformat() if self._max_date else None,
+            "since_year": self._evaluator.since_year,
+            "db_version": self._db_version,
+        }
+        state.update(self._evaluator.state_slice())
+        state["deltas_delta"] = self._deltas.delta_state()
+        return state
+
+    def mark_checkpoint_base(self, base_id: str) -> None:
+        """Record that a base checkpoint now covers the current state."""
+        self._checkpoint_base_id = base_id
+        self._deltas.mark_snapshot()
+
+    def adopt_checkpoint_base(self, base_id: str) -> None:
+        """Adopt an existing base as this runtime's delta reference.
+
+        Used on restore: the resumed runtime keeps delta-saving against
+        the base file it was rebuilt from.  Unlike
+        :meth:`mark_checkpoint_base` the snapshot-dirty set is *not*
+        cleared — the overlay already restored it relative to that base.
+        """
+        self._checkpoint_base_id = base_id
 
     def load_state(self, state: Mapping[str, object]) -> None:
         """Restore a :meth:`state_dict` snapshot into this runtime."""
@@ -491,27 +650,11 @@ class StreamRuntime:
         self._max_date = (
             dt.date.fromisoformat(raw_date) if raw_date else None  # type: ignore[arg-type]
         )
-        self._since_year = state.get("since_year")  # type: ignore[assignment]
-        if state.get("db_version") == self._database.version:
-            self._insider_flags = {
-                str(k): bool(v)
-                for k, v in state["insider_flags"].items()  # type: ignore[union-attr]
-            }
-        else:
-            # The database changed since the checkpoint (e.g. an analyst
-            # re-annotated a keyword).  The cached verdicts may
-            # contradict the new annotations, so drop them — the next
-            # evaluation reclassifies lazily from the restored votes and
-            # aggregates, which is O(keywords).
-            self._insider_flags = {}
-        self._last_table = _table_from_state(state.get("last_table"))
-        self._last_fingerprint = (
-            table_fingerprint(self._last_table)
-            if self._last_table is not None
-            else None
+        self._evaluator.since_year = state.get("since_year")  # type: ignore[assignment]
+        self._evaluator.load_slice(
+            state,
+            database_matches=state.get("db_version") == self._database.version,
         )
-        self._retunes = int(state.get("retunes", 0))  # type: ignore[arg-type]
-        self._rescored = int(state.get("tara_rescores", 0))  # type: ignore[arg-type]
         self._deltas.load_state(state["deltas"])  # type: ignore[arg-type]
 
 

@@ -283,6 +283,9 @@ class FleetTaraReport:
 def fleet_taras(
     network: VehicleNetwork,
     fleet: "FleetResult",
+    *,
+    workers: Optional[int] = None,
+    executor=None,
     **engine_kwargs,
 ) -> FleetTaraReport:
     """Run TARAs for every member of a PSP fleet pass (one architecture).
@@ -300,18 +303,26 @@ def fleet_taras(
     Args:
         network: the architecture every member is assessed against.
         fleet: a :class:`~repro.core.pipeline.FleetResult`.
+        workers: score the member table pairs through a thread-pool
+            :mod:`~repro.core.executor` of this size.  Scores are pure
+            functions of the compiled model, so any thread count
+            returns member-for-member identical reports; threads (not
+            processes) so the members keep sharing one feasibility
+            memo — process executors are rejected.
+        executor: explicit executor instance; wins over ``workers``.
         engine_kwargs: extra :class:`TaraEngine` constructor arguments
             (``table``, ``risk_matrix``, ``policy``,
             ``impact_overrides``) applied to the baseline and every
             tuned score alike.  ``insider_table`` is rejected: each
             member supplies its own.
     """
+    from repro.core.executor import resolve_executor
+
     allowed = {"table", "risk_matrix", "policy", "impact_overrides"}
     unknown = set(engine_kwargs) - allowed
     if unknown:
         names = ", ".join(sorted(unknown))
         raise TypeError(f"fleet_taras() got unexpected engine kwargs: {names}")
-
     table = engine_kwargs.get("table")
     model = compile_threat_model(
         network, impact_overrides=engine_kwargs.get("impact_overrides")
@@ -330,7 +341,14 @@ def fleet_taras(
         )
         for member in fleet
     )
-    reports = scorer.score_many(specs)
+    owns_executor = executor is None
+    if owns_executor:
+        executor = resolve_executor(workers, prefer="thread")
+    try:
+        reports = scorer.score_many(specs, executor=executor)
+    finally:
+        if owns_executor:
+            executor.close()
     static = reports.pop("__static__")
     return FleetTaraReport(
         static=static, tuned=reports, memo_stats=scorer.memo_stats

@@ -278,7 +278,7 @@ class BatchTaraScorer:
         return TaraReportData(table_source=outsider.source, records=records)
 
     def score_many(
-        self, specs: Sequence[TableSpec]
+        self, specs: Sequence[TableSpec], *, executor=None
     ) -> Dict[str, TaraReportData]:
         """Score a whole batch of table pairs in one sweep, label-keyed.
 
@@ -286,12 +286,37 @@ class BatchTaraScorer:
         the fleet workload (one static baseline + N tuned members over
         one architecture) degenerates to one compile plus N cheap
         re-scores.
+
+        Args:
+            executor: optional :mod:`~repro.core.executor` instance to
+                score the specs concurrently.  Scores are pure
+                functions of the compiled model, so any thread count
+                returns spec-for-spec identical reports; threads only —
+                the point of the batch is sharing one feasibility memo,
+                which pickling to a process pool would copy, so process
+                executors are rejected.
         """
-        reports: Dict[str, TaraReportData] = {}
-        for spec in specs:
-            if spec.label in reports:
-                raise ValueError(f"duplicate TableSpec label {spec.label!r}")
-            reports[spec.label] = self.score(
-                table=spec.table, insider_table=spec.insider_table
+        labels = [spec.label for spec in specs]
+        seen: set = set()
+        for label in labels:
+            if label in seen:
+                raise ValueError(f"duplicate TableSpec label {label!r}")
+            seen.add(label)
+        if executor is None or getattr(executor, "kind", None) == "serial":
+            scored = [
+                self.score(table=spec.table, insider_table=spec.insider_table)
+                for spec in specs
+            ]
+        else:
+            if getattr(executor, "kind", None) == "process":
+                raise ValueError(
+                    "score_many shares one feasibility memo across specs "
+                    "— use a thread executor"
+                )
+            scored = executor.map(
+                lambda spec: self.score(
+                    table=spec.table, insider_table=spec.insider_table
+                ),
+                specs,
             )
-        return reports
+        return dict(zip(labels, scored))

@@ -9,6 +9,7 @@ from repro.analysis.benchjson import (
     BenchResult,
     bench_file_path,
     load_bench_result,
+    speedup_regression,
     validate_payload,
     write_bench_result,
 )
@@ -92,3 +93,47 @@ class TestIO:
     def test_write_creates_missing_directory(self, tmp_path):
         path = write_bench_result(result(), tmp_path / "nested" / "dir")
         assert path.is_file()
+
+
+class TestSpeedupRegression:
+    @staticmethod
+    def payload(speedup, bench="stream"):
+        return {"bench": bench, "speedup": speedup}
+
+    def test_holding_speedup_passes(self):
+        assert speedup_regression(self.payload(9.5), self.payload(10.0)) is None
+
+    def test_within_tolerance_passes(self):
+        # 30% tolerance: 7.0 is the floor for a committed 10.0
+        assert speedup_regression(self.payload(7.0), self.payload(10.0)) is None
+
+    def test_regression_is_reported(self):
+        problem = speedup_regression(self.payload(6.9), self.payload(10.0))
+        assert problem is not None
+        assert "stream" in problem
+        assert "6.90" in problem
+
+    def test_improvement_passes(self):
+        assert speedup_regression(self.payload(22.0), self.payload(10.0)) is None
+
+    def test_infinite_speedups_never_flag(self):
+        assert speedup_regression(self.payload(None), self.payload(10.0)) is None
+        assert speedup_regression(self.payload(5.0), self.payload(None)) is None
+
+    def test_custom_tolerance(self):
+        assert (
+            speedup_regression(
+                self.payload(9.0), self.payload(10.0), tolerance=0.05
+            )
+            is not None
+        )
+        with pytest.raises(ValueError):
+            speedup_regression(
+                self.payload(9.0), self.payload(10.0), tolerance=1.5
+            )
+
+    def test_bench_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_regression(
+                self.payload(5.0), self.payload(5.0, bench="other")
+            )

@@ -295,3 +295,107 @@ class TestFrameworkCaching:
         assert store.get("k") == "v"
         clock.advance(11.0)
         assert twin.get("k") is None  # same TTL policy and clock
+
+
+class TestPrewarmSegments:
+    def _cached(self):
+        return CachedClient(
+            InMemoryClient(excavator_corpus()), cache=TTLCache()
+        )
+
+    def test_prewarm_then_windows_hit_entirely(self):
+        client = self._cached()
+        database = build_excavator_database()
+        fetched = client.prewarm_segments(
+            database.keywords, 2015, 2023, region="europe"
+        )
+        assert fetched == len(database.keywords) * 9
+        computer = SAIComputer(client)
+        for last in (2020, 2021, 2022, 2023):
+            computer.compute(
+                database,
+                region="europe",
+                since=dt.date(2015, 1, 1),
+                until=dt.date(last, 12, 31),
+            )
+        assert client.stats.misses == 0
+        assert client.stats.hit_rate == 1.0
+
+    def test_prewarm_does_not_count_as_lookups(self):
+        client = self._cached()
+        client.prewarm_segments(("dpfdelete",), 2020, 2021)
+        assert client.stats.lookups == 0
+
+    def test_prewarm_is_idempotent(self):
+        client = self._cached()
+        first = client.prewarm_segments(("dpfdelete",), 2020, 2022)
+        second = client.prewarm_segments(("dpfdelete",), 2020, 2022)
+        assert first == 3
+        assert second == 0
+
+    def test_prewarmed_results_match_direct_queries(self):
+        warmed = self._cached()
+        warmed.prewarm_segments(("dpfdelete",), 2015, 2023, region="europe")
+        cold = self._cached()
+        query = SearchQuery(
+            keyword="dpfdelete",
+            since=dt.date(2015, 1, 1),
+            until=dt.date(2023, 12, 31),
+            region="europe",
+        )
+        assert [p.post_id for p in warmed.search(query)] == [
+            p.post_id for p in cold.search(query)
+        ]
+
+    def test_prewarm_rejects_inverted_span(self):
+        with pytest.raises(ValueError):
+            self._cached().prewarm_segments(("dpfdelete",), 2023, 2020)
+
+
+class TestTTLCacheThreadSafety:
+    def test_concurrent_expiry_never_raises(self):
+        """Racing expiry deletes must not KeyError (parallel fleet tails)."""
+        import threading
+
+        clock = {"now": 0.0}
+        cache = TTLCache(ttl=0.5, clock=lambda: clock["now"])
+        for i in range(200):
+            cache.put(("k", i), i)
+        clock["now"] = 1.0  # everything expired
+        errors = []
+
+        def reader():
+            try:
+                for i in range(200):
+                    cache.get(("k", i))
+            except KeyError as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) == 0
+
+    def test_concurrent_eviction_never_raises(self):
+        import threading
+
+        cache = TTLCache(max_entries=8)
+        errors = []
+
+        def writer(base):
+            try:
+                for i in range(300):
+                    cache.put((base, i), i)
+            except (KeyError, StopIteration) as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) <= 8

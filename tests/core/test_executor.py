@@ -1,0 +1,112 @@
+"""Tests for the map-style executor abstraction."""
+
+import os
+
+import pytest
+
+from repro.core.executor import (
+    EXECUTOR_KINDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_cpus,
+    resolve_executor,
+)
+
+
+def _square(value):
+    return value * value
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty(self):
+        assert SerialExecutor().map(_square, []) == []
+
+    def test_context_manager(self):
+        with SerialExecutor() as executor:
+            assert executor.map(_square, [2]) == [4]
+
+
+class TestPoolExecutors:
+    @pytest.mark.parametrize("factory", [ThreadExecutor, ProcessExecutor])
+    def test_ordered_results_match_serial(self, factory):
+        items = list(range(20))
+        with factory(3) as executor:
+            assert executor.map(_square, items) == [i * i for i in items]
+
+    @pytest.mark.parametrize("factory", [ThreadExecutor, ProcessExecutor])
+    def test_pool_reused_across_calls(self, factory):
+        with factory(2) as executor:
+            assert executor.map(_square, [1, 2]) == [1, 4]
+            pool = executor._pool
+            assert executor.map(_square, [3, 4]) == [9, 16]
+            assert executor._pool is pool
+
+    def test_single_item_skips_pool(self):
+        executor = ThreadExecutor(4)
+        assert executor.map(_square, [5]) == [25]
+        assert executor._pool is None
+        executor.close()
+
+    def test_worker_exception_propagates(self):
+        def boom(value):
+            raise RuntimeError(f"bad {value}")
+
+        with ThreadExecutor(2) as executor:
+            with pytest.raises(RuntimeError):
+                executor.map(boom, [1, 2, 3])
+
+    def test_close_idempotent(self):
+        executor = ThreadExecutor(2)
+        executor.map(_square, [1, 2])
+        executor.close()
+        executor.close()
+
+    @pytest.mark.parametrize("factory", [ThreadExecutor, ProcessExecutor])
+    def test_rejects_zero_workers(self, factory):
+        with pytest.raises(ValueError):
+            factory(0)
+
+
+class TestResolveExecutor:
+    def test_default_is_serial(self):
+        assert resolve_executor(None).kind == "serial"
+        assert resolve_executor(0).kind == "serial"
+        assert resolve_executor(1).kind == "serial"
+
+    def test_explicit_kinds_honoured(self):
+        assert resolve_executor(3, kind="thread").kind == "thread"
+        assert resolve_executor(3, kind="process").kind == "process"
+        assert resolve_executor(8, kind="serial").kind == "serial"
+
+    def test_auto_matches_hardware(self):
+        executor = resolve_executor(4)
+        if available_cpus() <= 1:
+            # Single-CPU host: parallel pure-Python kernels cannot win,
+            # so auto degrades to serial instead of paying pool costs.
+            assert executor.kind == "serial"
+        else:
+            assert executor.kind == "process"
+
+    def test_auto_prefers_threads_when_asked(self):
+        executor = resolve_executor(4, prefer="thread")
+        assert executor.kind in ("serial", "thread")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            resolve_executor(2, kind="quantum")
+        with pytest.raises(ValueError):
+            resolve_executor(2, prefer="serial")
+        with pytest.raises(ValueError):
+            resolve_executor(-1)
+
+    def test_kinds_constant(self):
+        assert set(EXECUTOR_KINDS) == {"auto", "serial", "thread", "process"}
+
+
+def test_available_cpus_positive():
+    assert available_cpus() >= 1
+    assert available_cpus() <= (os.cpu_count() or 1)

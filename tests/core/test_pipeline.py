@@ -262,3 +262,66 @@ class TestFleet:
         # The PSP-tuned insider tables disagree with the static baseline
         # (the paper's core claim), for every fleet member.
         assert all(len(d) > 0 for d in disagreements.values())
+
+
+class TestParallelFleet:
+    FLEET = (
+        TargetApplication("excavator", "europe", "industrial"),
+        TargetApplication("agricultural_tractor", "europe", "industrial"),
+        TargetApplication("light_truck", "europe", "commercial"),
+        TargetApplication("excavator", "north_america", "industrial"),
+    )
+
+    def _fleet(self, client, **kwargs):
+        return run_fleet(
+            client,
+            self.FLEET,
+            database=build_excavator_database(),
+            **kwargs,
+        )
+
+    def test_workers_produce_member_identical_results(self, excavator_client):
+        serial = self._fleet(excavator_client)
+        threaded = self._fleet(excavator_client, workers=3)
+        for target in self.FLEET:
+            left = serial.member(target)
+            right = threaded.member(target)
+            assert left.sai.as_rows() == right.sai.as_rows()
+            assert (
+                left.insider_table.as_rows()
+                == right.insider_table.as_rows()
+            )
+        assert threaded.query_passes == serial.query_passes
+
+    def test_explicit_executor_wins_and_is_not_closed(self, excavator_client):
+        from repro.core.executor import ThreadExecutor
+
+        executor = ThreadExecutor(2)
+        fleet = self._fleet(excavator_client, executor=executor)
+        assert len(fleet) == len(self.FLEET)
+        # The caller owns an explicitly passed executor: still usable.
+        assert executor.map(len, [[1, 2]]) == [2]
+        executor.close()
+
+    def test_member_order_preserved_under_workers(self, excavator_client):
+        fleet = self._fleet(excavator_client, workers=2)
+        assert [m.target for m in fleet] == list(self.FLEET)
+
+    def test_framework_passes_workers_through(self, excavator_framework):
+        serial = excavator_framework.run_fleet(self.FLEET[:3])
+        parallel = excavator_framework.run_fleet(self.FLEET[:3], workers=2)
+        for target in self.FLEET[:3]:
+            assert (
+                serial.member(target).insider_table.as_rows()
+                == parallel.member(target).insider_table.as_rows()
+            )
+
+    def test_process_executor_rejected(self, excavator_client):
+        from repro.core.executor import ProcessExecutor
+
+        executor = ProcessExecutor(2)
+        try:
+            with pytest.raises(ValueError, match="thread"):
+                self._fleet(excavator_client, executor=executor)
+        finally:
+            executor.close()

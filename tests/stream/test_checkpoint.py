@@ -16,6 +16,7 @@ from repro.stream.checkpoint import (
     load_checkpoint,
     restore_runtime,
     save_checkpoint,
+    save_delta_checkpoint,
 )
 from repro.stream.feed import SyntheticFeed
 from repro.stream.runtime import StreamRuntime
@@ -219,3 +220,162 @@ class TestCheckpointFormat:
         assert (
             resumed.current_table.as_rows() == runtime.current_table.as_rows()
         )
+
+
+class TestDeltaCheckpoints:
+    """Base + delta restore == uninterrupted run, at O(changed) save cost."""
+
+    def test_delta_requires_a_base(self, tmp_path):
+        runtime = _runtime()
+        runtime.step()
+        with pytest.raises(ValueError):
+            save_delta_checkpoint(runtime, tmp_path / "orphan.json")
+
+    def test_resumed_from_delta_matches_uninterrupted(self, tmp_path):
+        reference = _runtime()
+        reference.run()
+
+        interrupted = _runtime()
+        interrupted.step()
+        base_path = save_checkpoint(interrupted, tmp_path / "base.json")
+        interrupted.step()
+        interrupted.step()
+        delta_path = save_delta_checkpoint(interrupted, tmp_path / "delta.json")
+
+        resumed = restore_runtime(
+            delta_path,
+            SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+            build_ecm_database(),
+            base=base_path,
+            target=ECM_TARGET,
+            batch_size=BATCH,
+        )
+        assert resumed.cursor == interrupted.cursor
+        resumed.run()
+        assert _alert_keys(resumed) == _alert_keys(reference)
+        assert (
+            resumed.current_table.as_rows()
+            == reference.current_table.as_rows()
+        )
+
+    def test_deltas_are_cumulative_against_one_base(self, tmp_path):
+        runtime = _runtime()
+        runtime.step()
+        base_path = save_checkpoint(runtime, tmp_path / "base.json")
+        runtime.step()
+        save_delta_checkpoint(runtime, tmp_path / "delta1.json")
+        runtime.step()
+        latest = save_delta_checkpoint(runtime, tmp_path / "delta2.json")
+
+        # base + latest delta alone restores the full current state;
+        # delta1 is deletable.
+        resumed = restore_runtime(
+            latest,
+            SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+            build_ecm_database(),
+            base=base_path,
+            target=ECM_TARGET,
+            batch_size=BATCH,
+        )
+        assert resumed.cursor == runtime.cursor
+        assert resumed.deltas.state_dict()["buckets"] == (
+            runtime.deltas.state_dict()["buckets"]
+        )
+
+    def test_delta_save_is_o_changed_keywords(self, tmp_path):
+        runtime = _runtime()
+        runtime.run()
+        save_checkpoint(runtime, tmp_path / "base.json")
+        # Nothing dirtied since the base: the delta carries no buckets.
+        delta_path = save_delta_checkpoint(runtime, tmp_path / "empty.json")
+        payload = json.loads(delta_path.read_text())
+        assert payload["kind"] == "delta"
+        assert payload["runtime_delta"]["deltas_delta"]["changed"] == {}
+
+    def test_restore_rejects_mismatched_base(self, tmp_path):
+        runtime = _runtime()
+        runtime.step()
+        save_checkpoint(runtime, tmp_path / "base.json")
+        runtime.step()
+        delta_path = save_delta_checkpoint(runtime, tmp_path / "delta.json")
+
+        other = _runtime()
+        other.step()
+        other.step()
+        other_base = save_checkpoint(other, tmp_path / "other_base.json")
+
+        with pytest.raises(ValueError):
+            restore_runtime(
+                delta_path,
+                SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+                build_ecm_database(),
+                base=other_base,
+                target=ECM_TARGET,
+            )
+
+    def test_restore_from_delta_needs_base_argument(self, tmp_path):
+        runtime = _runtime()
+        runtime.step()
+        save_checkpoint(runtime, tmp_path / "base.json")
+        delta_path = save_delta_checkpoint(runtime, tmp_path / "delta.json")
+        with pytest.raises(ValueError):
+            restore_runtime(
+                delta_path,
+                SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+                build_ecm_database(),
+            )
+
+    def test_restored_runtime_keeps_delta_saving(self, tmp_path):
+        runtime = _runtime()
+        runtime.step()
+        base_path = save_checkpoint(runtime, tmp_path / "base.json")
+        runtime.step()
+        delta_path = save_delta_checkpoint(runtime, tmp_path / "delta.json")
+
+        resumed = restore_runtime(
+            delta_path,
+            SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+            build_ecm_database(),
+            base=base_path,
+            target=ECM_TARGET,
+            batch_size=BATCH,
+        )
+        resumed.step()
+        # No fresh base needed: the adopted base id keeps the chain going.
+        next_delta = save_delta_checkpoint(resumed, tmp_path / "delta2.json")
+        payload = json.loads(next_delta.read_text())
+        assert payload["base_id"] == json.loads(base_path.read_text())["base_id"]
+
+    def test_base_restore_resets_the_delta_baseline(self, tmp_path):
+        """A resume must not re-persist the whole history in its deltas."""
+        runtime = _runtime()
+        runtime.run()
+        base_path = save_checkpoint(runtime, tmp_path / "base.json")
+
+        resumed = restore_runtime(
+            base_path,
+            SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+            build_ecm_database(),
+            target=ECM_TARGET,
+            batch_size=BATCH,
+        )
+        # Nothing changed since the base document: the first delta
+        # carries no keyword buckets at all.
+        delta_path = save_delta_checkpoint(resumed, tmp_path / "after.json")
+        payload = json.loads(delta_path.read_text())
+        assert payload["runtime_delta"]["deltas_delta"]["changed"] == {}
+        assert len(delta_path.read_text()) < len(base_path.read_text())
+
+    def test_sharded_runtime_rejected_before_writing(self, tmp_path):
+        from repro.stream.sharding import ShardedStreamRuntime, shard_feeds
+
+        sharded = ShardedStreamRuntime(
+            shard_feeds(list(ecm_reprogramming_corpus().posts), 2),
+            build_ecm_database(),
+            target=ECM_TARGET,
+        )
+        sharded.tick()
+        path = tmp_path / "sharded.json"
+        with pytest.raises(TypeError, match="state_dict"):
+            save_checkpoint(sharded, path)
+        assert not path.exists()  # rejected before any file was written

@@ -120,3 +120,73 @@ class TestMaintenance:
     def test_invalid_threshold_rejected(self):
         with pytest.raises(ValueError):
             StreamingCorpusIndex(compact_threshold=0)
+
+
+class TestRatioCompaction:
+    def test_ratio_triggers_before_threshold(self):
+        streaming = StreamingCorpusIndex(
+            POSTS[:4], compact_threshold=1000, compact_ratio=0.25
+        )
+        # tail 1 >= 0.25 * base 4 -> compacts despite the huge threshold
+        streaming.append(POSTS[4:])
+        stats = streaming.segment_stats
+        assert stats["compactions"] == 1
+        assert stats["tail_posts"] == 0
+        assert stats["base_posts"] == len(POSTS)
+
+    def test_small_tail_rides_under_the_ratio(self):
+        streaming = StreamingCorpusIndex(
+            POSTS[:4], compact_threshold=1000, compact_ratio=0.5
+        )
+        streaming.append(POSTS[4:])  # tail 1 < 0.5 * base 4
+        stats = streaming.segment_stats
+        assert stats["compactions"] == 0
+        assert stats["tail_posts"] == 1
+
+    def test_empty_base_compacts_immediately_under_ratio(self):
+        streaming = StreamingCorpusIndex(
+            compact_threshold=1000, compact_ratio=0.5
+        )
+        streaming.append(POSTS[:1])
+        assert streaming.segment_stats["base_posts"] == 1
+        assert streaming.segment_stats["tail_posts"] == 0
+
+    def test_ratio_bounds_tail_under_sustained_ingest(self):
+        streaming = StreamingCorpusIndex(
+            compact_threshold=10_000, compact_ratio=0.5
+        )
+        for i, post in enumerate(
+            _post(100 + i, (i % 27) + 1, f"dpf delete number {i}", month=2)
+            for i in range(40)
+        ):
+            streaming.append([post])
+            stats = streaming.segment_stats
+            assert stats["tail_posts"] <= max(
+                1, 0.5 * stats["base_posts"]
+            )
+
+    def test_queries_unaffected_by_ratio_policy(self):
+        streaming = StreamingCorpusIndex(compact_ratio=0.34)
+        for post in POSTS:
+            streaming.append([post])
+        rebuilt = CorpusIndex(POSTS)
+        got = streaming.search_many(KEYWORDS)
+        want = rebuilt.search_many(KEYWORDS)
+        for keyword in KEYWORDS:
+            assert [p.post_id for p in got[keyword]] == [
+                p.post_id for p in want[keyword]
+            ]
+
+    def test_stats_expose_both_policies(self):
+        stats = StreamingCorpusIndex(
+            compact_threshold=77, compact_ratio=0.2
+        ).segment_stats
+        assert stats["compact_threshold"] == 77
+        assert stats["compact_ratio"] == 0.2
+        assert StreamingCorpusIndex().segment_stats["compact_ratio"] is None
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingCorpusIndex(compact_ratio=0.0)
+        with pytest.raises(ValueError):
+            StreamingCorpusIndex(compact_ratio=-1.5)

@@ -212,3 +212,58 @@ class TestFleetTarasKwargs:
 
         with pytest.raises(TypeError, match="insider_table"):
             fleet_taras(fig4_network, [], insider_table=psp_table())
+
+
+class TestParallelFleetTaras:
+    def _fleet(self, excavator_client):
+        from repro.core.config import TargetApplication
+        from repro.core.pipeline import run_fleet
+        from tests.conftest import build_excavator_database
+
+        return run_fleet(
+            excavator_client,
+            (
+                TargetApplication("excavator", "europe", "industrial"),
+                TargetApplication("light_truck", "europe", "commercial"),
+            ),
+            database=build_excavator_database(),
+        )
+
+    def test_workers_produce_identical_reports(
+        self, excavator_client, fig4_network
+    ):
+        from repro.tara.engine import fleet_taras
+
+        fleet = self._fleet(excavator_client)
+        serial = fleet_taras(fig4_network, fleet)
+        threaded = fleet_taras(fig4_network, fleet, workers=2)
+        assert serial.static.records == threaded.static.records
+        assert serial.targets() == threaded.targets()
+        for description in serial.targets():
+            assert (
+                serial.run_for(description).records
+                == threaded.run_for(description).records
+            )
+
+    def test_explicit_executor_survives(self, excavator_client, fig4_network):
+        from repro.core.executor import ThreadExecutor
+        from repro.tara.engine import fleet_taras
+
+        executor = ThreadExecutor(2)
+        report = fleet_taras(fig4_network, self._fleet(excavator_client),
+                             executor=executor)
+        assert report.targets()
+        assert executor.map(len, [[1]]) == [1]
+        executor.close()
+
+    def test_process_executor_rejected(self, excavator_client, fig4_network):
+        from repro.core.executor import ProcessExecutor
+        from repro.tara.engine import fleet_taras
+
+        executor = ProcessExecutor(2)
+        try:
+            with pytest.raises(ValueError, match="thread"):
+                fleet_taras(fig4_network, self._fleet(excavator_client),
+                            executor=executor)
+        finally:
+            executor.close()
