@@ -10,9 +10,13 @@ without writing code::
     python -m repro tara --psp
     python -m repro fleet --scenario excavator \
         --applications excavator,agricultural_tractor,light_truck
+    python -m repro replay --scenario busfleet --months 24 --shards 2
 
 Every subcommand prints the same fixed-width tables the report module
-renders and exits 0 on success.
+renders and exits 0 on success.  Scenarios come from the declarative
+registry (:mod:`repro.social.registry`): the paper's calibrated corpora
+plus the extended fleet (tractor, motorcycle, EV, marine, bus fleet,
+slang-ECM) with their platform mixes and adversarial overlays.
 """
 
 from __future__ import annotations
@@ -23,17 +27,8 @@ from typing import Optional, Sequence
 
 from repro import PSPFramework, TargetApplication, TimeWindow
 from repro.core.errors import PSPError
-from repro.core.keywords import AttackKeyword, KeywordDatabase
 from repro.iso21434.feasibility.attack_vector import standard_table
-from repro.social import (
-    InMemoryClient,
-    ecm_reprogramming_corpus,
-    ecm_reprogramming_specs,
-    excavator_corpus,
-    excavator_specs,
-    light_truck_corpus,
-    light_truck_specs,
-)
+from repro.social import get_scenario, scenario_names
 from repro.tara import (
     BatchTaraScorer,
     compare_runs,
@@ -46,39 +41,17 @@ from repro.tara import (
 )
 from repro.vehicle import reference_architecture
 
-SCENARIOS = ("excavator", "ecm", "truck")
+SCENARIOS = scenario_names()
 
 
 def _scenario_parts(scenario: str):
-    """(client, target, database) for one bundled scenario."""
-    if scenario == "excavator":
-        specs = excavator_specs()
-        client = InMemoryClient(excavator_corpus())
-        target = TargetApplication("excavator", "europe", "industrial")
-    elif scenario == "ecm":
-        specs = ecm_reprogramming_specs()
-        client = InMemoryClient(ecm_reprogramming_corpus())
-        target = TargetApplication("car", "europe", "passenger")
-    elif scenario == "truck":
-        specs = light_truck_specs()
-        client = InMemoryClient(light_truck_corpus())
-        target = TargetApplication("light_truck", "europe", "commercial")
-    else:
-        raise ValueError(f"unknown scenario {scenario!r}")
-    database = KeywordDatabase()
-    for spec in specs:
-        database.add(
-            AttackKeyword(
-                keyword=spec.keyword,
-                vector=spec.vector,
-                owner_approved=spec.owner_approved,
-            )
-        )
-    return client, target, database
+    """(client, target, database) for one registered scenario."""
+    spec = get_scenario(scenario)
+    return spec.client(), spec.target, spec.database()
 
 
 def _framework_for(scenario: str, *, cache: bool = False) -> PSPFramework:
-    """Build the framework for one bundled scenario."""
+    """Build the framework for one registered scenario."""
     client, target, database = _scenario_parts(scenario)
     return PSPFramework(client, target, database=database, cache=cache)
 
@@ -198,7 +171,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.stream.sharding import ShardedStreamRuntime, shard_feeds
     from repro.vehicle import reference_architecture
 
-    client, target, database = _scenario_parts(args.scenario)
+    spec = get_scenario(args.scenario)
+    target, database = spec.target, spec.database()
     shared = dict(
         target=target,
         since_year=args.start_year,
@@ -207,7 +181,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         compact_ratio=args.compact_ratio,
     )
-    posts = client.corpus.posts
+    posts = spec.corpus().posts
     if args.shards > 1:
         runtime = ShardedStreamRuntime(
             shard_feeds(posts, args.shards),
@@ -258,6 +232,45 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"{segments['tail_posts']} posts, {segments['compactions']} "
             "compaction(s)"
         )
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.social import default_registry
+
+    for spec in default_registry():
+        print(spec.describe())
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.stream.replay import replay_poison_defence, replay_scenario
+
+    names = SCENARIOS if args.scenario == "all" else (args.scenario,)
+    months = args.months
+    if args.smoke and months is None:
+        months = 2
+    failures = 0
+    for name in names:
+        report = replay_scenario(
+            name,
+            months=months,
+            shards=args.shards,
+            workers=args.workers,
+        )
+        print(report.describe())
+        if not report.ok:
+            failures += 1
+        spec = get_scenario(name)
+        if spec.poisoning and not args.smoke:
+            defence = replay_poison_defence(name)
+            print(defence.describe())
+            if not defence.ok:
+                failures += 1
+        print()
+    if failures:
+        print(f"error: {failures} replay audit(s) failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -370,6 +383,40 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: fixed threshold only)",
     )
     stream.set_defaults(handler=_cmd_stream)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="list the registered scenarios"
+    )
+    scenarios.set_defaults(handler=_cmd_scenarios)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="long-horizon replay audit: stream vs batch parity, "
+             "checkpoint resume parity, bounded memory",
+    )
+    replay.add_argument(
+        "--scenario", choices=SCENARIOS + ("all",), default="all",
+        help="registered scenario to replay, or 'all' (default: all)",
+    )
+    replay.add_argument(
+        "--months", type=int, default=None,
+        help="number of tick boundaries to replay (default: full span)",
+    )
+    replay.add_argument(
+        "--shards", type=int, default=2,
+        help="feed shards for the streaming side (default: 2; 1 also "
+             "exercises file-based delta-chain checkpoints)",
+    )
+    replay.add_argument(
+        "--workers", type=int, default=None,
+        help="executor parallelism for shard ingest (default: serial)",
+    )
+    replay.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI mode: default --months 2 and skip the "
+             "poisoning-defence audit",
+    )
+    replay.set_defaults(handler=_cmd_replay)
 
     return parser
 

@@ -10,7 +10,7 @@ with the defaults used for the paper's experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -102,6 +102,15 @@ class PSPConfig:
     default_sld: float = 15000.0
     #: Competitors fallback when report mining finds none (Eq. 3's n).
     default_competitors: int = 1
+    #: Streaming staleness window: an outsider-only dirty tick normally
+    #: skips the retune (the insider weight table cannot change), but the
+    #: SAI *scores* attached to the cached result drift because keyword
+    #: probabilities are shares of corpus-wide totals.  When the in-window
+    #: post volume has moved by more than this relative share since the
+    #: last retune, the tick retunes anyway to refresh the scores.  The
+    #: cost model is documented in ARCHITECTURE.md; ``None`` disables the
+    #: policy (PR 4 behaviour).
+    stream_staleness_share: Optional[float] = 0.10
 
     def __post_init__(self) -> None:
         if self.sentiment_gain < 0:
@@ -118,6 +127,13 @@ class PSPConfig:
             raise ValueError("default_sld must be >= 0")
         if self.default_competitors < 1:
             raise ValueError("default_competitors must be >= 1")
+        if (
+            self.stream_staleness_share is not None
+            and self.stream_staleness_share <= 0
+        ):
+            raise ValueError(
+                "stream_staleness_share must be > 0 (or None to disable)"
+            )
 
 
 #: The paper's initial manual keyword seed (paper §III: "#dpfdelete,

@@ -29,6 +29,7 @@ from O(corpus) per tick to O(new posts).
 
 from __future__ import annotations
 
+import datetime as dt
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -133,6 +134,7 @@ class PSPMonitor:
         self._last_table: Optional[WeightTable] = None
         self._alerts: List[TrendAlert] = []
         self._last_year: Optional[int] = None
+        self._last_date: Optional[dt.date] = None
         self._scorer: Optional[BatchTaraScorer] = None
         self._runtime = None
         if shards is not None and not stream:
@@ -209,19 +211,52 @@ class PSPMonitor:
             raise ValueError(
                 f"ticks must advance: {upto_year} after {self._last_year}"
             )
-        if self._runtime is not None:
-            import datetime as dt
+        return self._tick_until(
+            dt.date(upto_year, 12, 31), upto_year=upto_year
+        )
 
-            tick = self._runtime.advance_to(
-                dt.date(upto_year, 12, 31), upto_year=upto_year
+    def tick_date(self, until: dt.date) -> Optional[TrendAlert]:
+        """Run one date-granular tick covering ``start_year-01-01..until``.
+
+        The sub-year counterpart of :meth:`tick` — the replay harness
+        (:mod:`repro.stream.replay`) drives monthly boundaries through
+        it.  Same contract: the first tick establishes the baseline and
+        never alerts, ticks must strictly advance (a ``tick_date`` may
+        interleave with yearly :meth:`tick` calls as long as time moves
+        forward).
+
+        Raises:
+            ValueError: when ticks go backwards in time.
+        """
+        if until.year < self._start_year:
+            raise ValueError(
+                f"tick date {until} precedes start year {self._start_year}"
             )
+        return self._tick_until(until, upto_year=until.year)
+
+    def _tick_until(
+        self, until: dt.date, *, upto_year: int
+    ) -> Optional[TrendAlert]:
+        if self._last_date is not None and until <= self._last_date:
+            raise ValueError(
+                f"ticks must advance: {until} after {self._last_date}"
+            )
+        if self._runtime is not None:
+            tick = self._runtime.advance_to(until, upto_year=upto_year)
             if tick.alert is not None:
                 # The runtime already recorded the lifecycle event.
                 self._alerts.append(tick.alert)
             self._last_table = self._runtime.current_table
-            self._last_year = upto_year
+            self._advance_clock(until)
             return tick.alert
-        window = TimeWindow.years(self._start_year, upto_year)
+        if until == dt.date(upto_year, 12, 31):
+            window = TimeWindow.years(self._start_year, upto_year)
+        else:
+            window = TimeWindow(
+                since=dt.date(self._start_year, 1, 1),
+                until=until,
+                label=f"{self._start_year}..{until.isoformat()}",
+            )
         result = self._framework.run(window, learn=self._learn)
         table = result.insider_table
         alert: Optional[TrendAlert] = None
@@ -251,8 +286,18 @@ class PSPMonitor:
                 if self._tracker is not None:
                     self._tracker.report_trend_shift(alert.describe())
         self._last_table = table
-        self._last_year = upto_year
+        self._advance_clock(until)
         return alert
+
+    def _advance_clock(self, until: dt.date) -> None:
+        """Record monitor time: full years covered plus the exact date."""
+        self._last_date = until
+        # The yearly guard tracks *fully covered* years, so a mid-year
+        # tick_date(2020-06-30) still allows a later tick(2020).
+        if until == dt.date(until.year, 12, 31):
+            self._last_year = until.year
+        else:
+            self._last_year = until.year - 1
 
     def run_years(self, first: int, last: int) -> List[TrendAlert]:
         """Tick once per year from ``first`` to ``last`` inclusive."""

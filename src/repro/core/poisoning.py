@@ -27,6 +27,7 @@ the filter to every search — the integration point for the SAI pipeline.
 
 from __future__ import annotations
 
+import datetime as dt
 import enum
 from collections import Counter
 from dataclasses import dataclass
@@ -283,28 +284,37 @@ def poison_corpus_with_flood(
     copies: int,
     author: str = "botnet001",
     views: int = 50000,
+    region: Optional[str] = None,
+    created_at: Optional[dt.date] = None,
+    id_prefix: str = "poison",
 ) -> List[Post]:
     """Inject a duplicate-flood poisoning campaign into a post list.
 
-    Test/bench helper: appends ``copies`` near-identical high-engagement
-    posts for ``keyword`` from a single author — the attack the filter is
-    designed to absorb.
+    Appends ``copies`` near-identical high-engagement posts for
+    ``keyword`` from a single author — the attack the filter is designed
+    to absorb.  ``region``/``created_at`` stamp the poison posts so a
+    region-scoped pipeline actually sees them (unstamped posts fall
+    outside region-scoped SAI buckets and would make the attack a no-op);
+    ``created_at`` defaults to the newest organic post.  ``id_prefix``
+    namespaces the synthetic post ids so audits and parity checks can
+    identify the burst.
     """
     from repro.social.post import Engagement
 
     if copies < 0:
         raise ValueError("copies must be >= 0")
     poisoned = list(posts)
-    base_date = max((p.created_at for p in posts), default=None)
+    base_date = created_at or max((p.created_at for p in posts), default=None)
     if base_date is None:
         raise ValueError("cannot poison an empty corpus")
     for index in range(copies):
         poisoned.append(
             Post(
-                post_id=f"poison{index:05d}",
+                post_id=f"{id_prefix}{index:05d}",
                 text=f"everyone is doing the #{keyword} now, get yours",
                 author=author,
                 created_at=base_date,
+                region=region,
                 engagement=Engagement(views=views, likes=views // 20),
             )
         )

@@ -2,8 +2,10 @@
 
 Provides the post/engagement data model, a corpus with PSP's query
 surface, the abstract platform client with an in-memory implementation,
-a deterministic synthetic corpus generator, and the scenario-calibrated
-corpora used by the paper's experiments.
+a deterministic synthetic corpus generator, the scenario-calibrated
+corpora used by the paper's experiments, and the declarative scenario
+registry (:mod:`repro.social.registry`) the CLI and the replay harness
+draw their workloads from.
 """
 
 from repro.social.api import (
@@ -14,8 +16,23 @@ from repro.social.api import (
     SocialMediaClient,
     search_texts,
 )
-from repro.social.multiplatform import MultiPlatformClient, PlatformSource
+from repro.social.multiplatform import (
+    MultiPlatformClient,
+    PlatformSource,
+    branded_post,
+)
 from repro.social.corpus import Corpus
+from repro.social.registry import (
+    OutageWindow,
+    PlatformProfile,
+    PoisoningBurst,
+    ScenarioRegistry,
+    ScenarioSpec,
+    default_registry,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.social.index import CorpusIndex
 from repro.social.post import Engagement, Post
 from repro.social.resilience import (
@@ -55,12 +72,19 @@ __all__ = [
     "KEYWORD_OWNER_APPROVED",
     "KEYWORD_VECTORS",
     "MultiPlatformClient",
+    "OutageWindow",
+    "PlatformProfile",
     "PlatformSource",
+    "PoisoningBurst",
     "Post",
     "RetryingClient",
+    "ScenarioRegistry",
+    "ScenarioSpec",
     "SearchQuery",
     "SocialMediaClient",
     "TransientPlatformError",
+    "branded_post",
+    "default_registry",
     "ecm_reprogramming_corpus",
     "ecm_reprogramming_specs",
     "excavator_corpus",
@@ -68,6 +92,9 @@ __all__ = [
     "light_truck_corpus",
     "light_truck_specs",
     "generate_corpus",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
     "search_texts",
     "volume_by_keyword",
 ]

@@ -60,6 +60,26 @@ def _scaled(engagement: Engagement, trust: float) -> Engagement:
     )
 
 
+def branded_post(source: PlatformSource, post: Post) -> Post:
+    """One platform's post as the aggregator surfaces it.
+
+    The post id is namespaced ``<platform>:<original id>`` and the
+    engagement is scaled by the platform trust weight.  This is the
+    single branding rule shared by :class:`MultiPlatformClient` searches
+    and by offline corpus materialisation (the scenario registry builds
+    merged corpora with exactly the posts a live aggregator would
+    return).
+    """
+    return Post(
+        post_id=f"{source.name}:{post.post_id}",
+        text=post.text,
+        author=post.author,
+        created_at=post.created_at,
+        region=post.region,
+        engagement=_scaled(post.engagement, source.trust),
+    )
+
+
 class MultiPlatformClient(SocialMediaClient):
     """Aggregates several platform clients behind one search surface."""
 

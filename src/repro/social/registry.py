@@ -1,0 +1,929 @@
+"""Declarative scenario registry: named specs the whole repo shares.
+
+The paper's evaluation rests on exactly two calibrated corpora (ECM
+reprogramming, excavator DPF).  Every consumer so far — the CLI, the
+fleet pipeline, the streaming runtimes, the benches — re-assembled its
+own (client, target, database) triple from the raw topic specs, which
+kept the scenario surface frozen at those two workloads plus the light-
+truck fleet contrast.  This module turns a scenario into *data*:
+
+* :class:`ScenarioSpec` bundles a named
+  :class:`~repro.social.synthetic.AttackTopicSpec` set with the
+  :class:`~repro.core.config.TargetApplication` it assesses, the
+  platform mix it arrives through (:class:`PlatformProfile` — per-
+  platform trust weights and routing shares, realised via
+  :class:`~repro.social.multiplatform.MultiPlatformClient`), an arrival
+  cadence, and optional *adversarial overlays*: poisoning bursts
+  (:class:`PoisoningBurst`, injected through
+  :func:`~repro.core.poisoning.poison_corpus_with_flood`) and platform
+  outage windows (:class:`OutageWindow`, consumed by the replay
+  harness's delayed feeds together with the retry/degradation wrappers
+  mirroring :mod:`repro.social.resilience`).
+* :class:`ScenarioRegistry` maps names to specs; the default registry
+  registers the two calibrated paper scenarios, the light-truck fleet,
+  and six new scenarios spanning more ECUs (tractor, motorcycle, EV
+  charging, marine, bus fleet), more platforms (enthusiast forums, a
+  deep-web level with a 0.5 trust weight — the paper's §IV roadmap) and
+  slang variants of the ECM threat.
+
+Determinism contract: every derived artifact — database, per-platform
+corpora, merged corpus, poisoned corpus — is a pure function of the
+spec (seed included), so two builds of the same scenario are
+bit-identical (asserted in ``tests/social/test_registry.py``).
+
+Routing: posts are generated exactly like the legacy scenario corpora
+(one seeded generator pass over the topic list), then routed to a
+platform by a stable per-post hash weighted by the platform shares; a
+keyword listed in some platform's ``keywords`` is *pinned* — only the
+pinning platforms host it.  A platform's posts surface through the
+aggregator branded (``<platform>:<post id>`` ids, trust-scaled
+engagement — :func:`~repro.social.multiplatform.branded_post`), so a
+single-platform trust-1.0 scenario reproduces the legacy corpus exactly
+modulo the id prefix.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.config import TargetApplication
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.core.poisoning import poison_corpus_with_flood
+from repro.iso21434.enums import AttackVector
+from repro.social.api import InMemoryClient
+from repro.social.corpus import Corpus
+from repro.social.multiplatform import (
+    MultiPlatformClient,
+    PlatformSource,
+    branded_post,
+)
+from repro.social.post import Post
+from repro.social.scenarios import (
+    ecm_reprogramming_specs,
+    excavator_specs,
+    light_truck_specs,
+)
+from repro.social.synthetic import AttackTopicSpec, generate_corpus
+
+__all__ = [
+    "OutageWindow",
+    "PlatformProfile",
+    "PoisoningBurst",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "default_registry",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+]
+
+#: Supported replay cadences (boundary spacing of the arrival profile).
+ARRIVAL_CADENCES = ("monthly", "quarterly", "yearly")
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """One platform in a scenario's arrival mix.
+
+    Attributes:
+        name: platform label (namespaces post ids, keys outages).
+        trust: engagement scale factor in (0, 1] — the
+            :class:`~repro.social.multiplatform.PlatformSource` trust
+            weight (a deep-web hit counts less than a mainstream post).
+        share: routing weight for unpinned keywords; a platform with
+            share 2.0 receives twice the traffic of a share-1.0 one.
+        keywords: keywords *pinned* to this platform — posts of a pinned
+            keyword are hosted only by the platforms pinning it.
+    """
+
+    name: str
+    trust: float = 1.0
+    share: float = 1.0
+    keywords: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("platform name must be non-empty")
+        if not 0.0 < self.trust <= 1.0:
+            raise ValueError(f"trust must be in (0, 1], got {self.trust}")
+        if self.share < 0:
+            raise ValueError(f"share must be >= 0, got {self.share}")
+        object.__setattr__(self, "keywords", tuple(self.keywords))
+
+
+@dataclass(frozen=True)
+class PoisoningBurst:
+    """A duplicate-flood poisoning campaign overlay.
+
+    Materialised through
+    :func:`~repro.core.poisoning.poison_corpus_with_flood`: ``copies``
+    near-identical high-engagement posts for ``keyword`` from one
+    author, landing on ``date`` on ``platform`` (the first platform
+    when unset).  Post ids carry a ``poison`` prefix so defence audits
+    can account for every injected post.
+    """
+
+    keyword: str
+    date: dt.date
+    copies: int
+    author: str = "botnet001"
+    views: int = 50000
+    platform: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.copies < 1:
+            raise ValueError(f"copies must be >= 1, got {self.copies}")
+        if self.views < 1:
+            raise ValueError(f"views must be >= 1, got {self.views}")
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """A platform outage overlay: posts delayed until the outage ends.
+
+    During ``[start, end]`` the platform delivers nothing; everything
+    created in the window arrives in one backfill just after ``end`` —
+    the replay-harness model of a persistent
+    :class:`~repro.social.resilience.TransientPlatformError` outage that
+    a best-effort consumer rides out.
+    """
+
+    platform: str
+    start: dt.date
+    end: dt.date
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"outage end {self.end} precedes start {self.start}"
+            )
+
+    def covers(self, day: dt.date) -> bool:
+        """Whether ``day`` falls inside the outage."""
+        return self.start <= day <= self.end
+
+
+def _route_slot(scenario: str, post_id: str) -> float:
+    """A stable routing coordinate in [0, 1) for one post."""
+    return (
+        zlib.crc32(f"{scenario}:{post_id}".encode("utf-8")) & 0xFFFFFFFF
+    ) / 4294967296.0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, fully declarative PSP scenario.
+
+    Attributes:
+        name: registry key (CLI ``--scenario`` value).
+        title: human-readable one-liner.
+        target: what the assessment is about (application/region/
+            category) — shared by the fleet paths and the replay
+            harness.
+        topics: the attack-topic specs generating the corpus.
+        platforms: the arrival mix; defaults to a single full-trust
+            ``twitter`` profile (the legacy single-platform layout).
+        seed: corpus generation seed.
+        arrival_cadence: replay boundary spacing (``monthly``,
+            ``quarterly`` or ``yearly``).
+        poisoning: adversarial poisoning-burst overlays.
+        outages: platform outage overlays.
+    """
+
+    name: str
+    title: str
+    target: TargetApplication
+    topics: Tuple[AttackTopicSpec, ...]
+    platforms: Tuple[PlatformProfile, ...] = (PlatformProfile("twitter"),)
+    seed: int = 21434
+    arrival_cadence: str = "monthly"
+    poisoning: Tuple[PoisoningBurst, ...] = ()
+    outages: Tuple[OutageWindow, ...] = ()
+    _cache: Dict[str, object] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        object.__setattr__(self, "topics", tuple(self.topics))
+        object.__setattr__(self, "platforms", tuple(self.platforms))
+        object.__setattr__(self, "poisoning", tuple(self.poisoning))
+        object.__setattr__(self, "outages", tuple(self.outages))
+        if not self.topics:
+            raise ValueError(f"scenario {self.name!r} needs >= 1 topic")
+        if not self.platforms:
+            raise ValueError(f"scenario {self.name!r} needs >= 1 platform")
+        if self.arrival_cadence not in ARRIVAL_CADENCES:
+            raise ValueError(
+                f"arrival_cadence must be one of {ARRIVAL_CADENCES}, "
+                f"got {self.arrival_cadence!r}"
+            )
+        keywords = [topic.keyword for topic in self.topics]
+        if len(keywords) != len(set(keywords)):
+            raise ValueError(
+                f"scenario {self.name!r} has duplicate topic keywords"
+            )
+        names = [platform.name for platform in self.platforms]
+        if len(names) != len(set(names)):
+            raise ValueError(
+                f"scenario {self.name!r} has duplicate platform names"
+            )
+        known = set(keywords)
+        for platform in self.platforms:
+            for pinned in platform.keywords:
+                if pinned not in known:
+                    raise ValueError(
+                        f"platform {platform.name!r} pins unknown keyword "
+                        f"{pinned!r}"
+                    )
+        if all(platform.share == 0 for platform in self.platforms):
+            raise ValueError(
+                f"scenario {self.name!r} needs >= 1 platform with share > 0"
+            )
+        platform_names = set(names)
+        for burst in self.poisoning:
+            if burst.keyword not in known:
+                raise ValueError(
+                    f"poisoning burst targets unknown keyword "
+                    f"{burst.keyword!r}"
+                )
+            if burst.platform is not None and burst.platform not in platform_names:
+                raise ValueError(
+                    f"poisoning burst names unknown platform "
+                    f"{burst.platform!r}"
+                )
+        for outage in self.outages:
+            if outage.platform not in platform_names:
+                raise ValueError(
+                    f"outage names unknown platform {outage.platform!r}"
+                )
+
+    # -- derived facts -------------------------------------------------------
+
+    @property
+    def keywords(self) -> Tuple[str, ...]:
+        """The scenario's attack keywords, in topic order."""
+        return tuple(topic.keyword for topic in self.topics)
+
+    @property
+    def start_year(self) -> int:
+        """First year any topic posts."""
+        return min(min(topic.yearly_volume) for topic in self.topics)
+
+    @property
+    def end_year(self) -> int:
+        """Last year any topic posts."""
+        return max(max(topic.yearly_volume) for topic in self.topics)
+
+    @property
+    def has_overlays(self) -> bool:
+        """Whether any adversarial overlay (poisoning/outage) is set."""
+        return bool(self.poisoning or self.outages)
+
+    def describe(self) -> str:
+        """One-line scenario summary for listings."""
+        overlays = []
+        if self.poisoning:
+            overlays.append(f"{len(self.poisoning)} poisoning burst(s)")
+        if self.outages:
+            overlays.append(f"{len(self.outages)} outage(s)")
+        suffix = f" [{', '.join(overlays)}]" if overlays else ""
+        return (
+            f"{self.name}: {self.title} — {len(self.topics)} topics, "
+            f"{len(self.platforms)} platform(s), "
+            f"{self.start_year}..{self.end_year}{suffix}"
+        )
+
+    # -- derived artifacts ---------------------------------------------------
+
+    def database(self) -> KeywordDatabase:
+        """A fresh annotated keyword database covering every topic."""
+        database = KeywordDatabase()
+        for topic in self.topics:
+            database.add(
+                AttackKeyword(
+                    keyword=topic.keyword,
+                    vector=topic.vector,
+                    owner_approved=topic.owner_approved,
+                )
+            )
+        return database
+
+    def _platform_for(self, keyword: str, post_id: str) -> str:
+        """The platform hosting one post (stable, share-weighted)."""
+        pinning = [p for p in self.platforms if keyword in p.keywords]
+        eligible = pinning or [
+            p for p in self.platforms if not p.keywords and p.share > 0
+        ]
+        if not eligible:
+            # Every share-bearing platform pins other keywords; fall
+            # back to the whole mix so the post is not dropped.
+            eligible = list(self.platforms)
+        if len(eligible) == 1:
+            return eligible[0].name
+        total = sum(p.share for p in eligible)
+        slot = _route_slot(self.name, post_id) * total
+        cumulative = 0.0
+        for platform in eligible:
+            cumulative += platform.share
+            if slot < cumulative:
+                return platform.name
+        return eligible[-1].name
+
+    def _platform_posts(self, *, poisoned: bool) -> Dict[str, List[Post]]:
+        """Raw (unbranded) posts per platform, insertion-ordered."""
+        per_platform: Dict[str, List[Post]] = {
+            platform.name: [] for platform in self.platforms
+        }
+        corpus = generate_corpus(self.topics, seed=self.seed)
+        posts = list(corpus.posts)
+        offset = 0
+        for topic in self.topics:
+            count = topic.total_volume
+            for post in posts[offset : offset + count]:
+                per_platform[
+                    self._platform_for(topic.keyword, post.post_id)
+                ].append(post)
+            offset += count
+        if poisoned:
+            for index, burst in enumerate(self.poisoning):
+                host = burst.platform or self.platforms[0].name
+                per_platform[host] = poison_corpus_with_flood(
+                    per_platform[host],
+                    keyword=burst.keyword,
+                    copies=burst.copies,
+                    author=burst.author,
+                    views=burst.views,
+                    region=self.target.region,
+                    created_at=burst.date,
+                    id_prefix=f"poison{index:02d}x",
+                )
+        return per_platform
+
+    def _sources(self, *, poisoned: bool) -> Tuple[PlatformSource, ...]:
+        key = f"sources:{poisoned}"
+        cached = self._cache.get(key)
+        if cached is None:
+            per_platform = self._platform_posts(poisoned=poisoned)
+            cached = tuple(
+                PlatformSource(
+                    name=platform.name,
+                    client=InMemoryClient(Corpus(per_platform[platform.name])),
+                    trust=platform.trust,
+                )
+                for platform in self.platforms
+            )
+            self._cache[key] = cached
+        return cached  # type: ignore[return-value]
+
+    def client(self, *, poisoned: bool = False) -> MultiPlatformClient:
+        """The scenario's aggregated multi-platform client.
+
+        Every consumer — batch pipeline, fleet, monitor — sees the
+        platform mix through the same
+        :class:`~repro.social.multiplatform.MultiPlatformClient`
+        surface the paper's §IV roadmap describes.
+        """
+        return MultiPlatformClient(list(self._sources(poisoned=poisoned)))
+
+    def corpus(self, *, poisoned: bool = False) -> Corpus:
+        """The merged corpus exactly as the aggregator surfaces it.
+
+        Posts are branded per platform (namespaced ids, trust-scaled
+        engagement) and merged oldest-first — feeding this corpus
+        through a streaming feed is equivalent to querying
+        :meth:`client`, which is what makes batch-vs-stream parity
+        checks meaningful.
+        """
+        key = f"corpus:{poisoned}"
+        cached = self._cache.get(key)
+        if cached is None:
+            merged = [
+                branded_post(source, post)
+                for source in self._sources(poisoned=poisoned)
+                for post in source.client.corpus.posts
+            ]
+            merged.sort(key=lambda post: (post.created_at, post.post_id))
+            cached = Corpus(merged)
+            self._cache[key] = cached
+        return cached  # type: ignore[return-value]
+
+    def poisoned_corpus(self) -> Corpus:
+        """Shorthand for ``corpus(poisoned=True)``."""
+        return self.corpus(poisoned=True)
+
+    def platform_of(self, post: Post) -> str:
+        """The platform a branded post came from (id-prefix decode)."""
+        name, _, _ = post.post_id.partition(":")
+        return name
+
+
+class ScenarioRegistry:
+    """Name → :class:`ScenarioSpec` mapping with stable ordering."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ScenarioSpec] = {}
+
+    def register(
+        self, spec: ScenarioSpec, *, replace: bool = False
+    ) -> ScenarioSpec:
+        """Add a spec; refuses duplicates unless ``replace=True``."""
+        if not replace and spec.name in self._specs:
+            raise ValueError(f"scenario {spec.name!r} is already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> ScenarioSpec:
+        """Look up one scenario; KeyError lists the known names."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {name!r}; registered: "
+                f"{', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered names, in registration order."""
+        return tuple(self._specs)
+
+    def specs(self) -> Tuple[ScenarioSpec, ...]:
+        """Registered specs, in registration order."""
+        return tuple(self._specs.values())
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+
+# -- the new scenario topic sets ----------------------------------------------
+
+
+def _volumes(**per_year: int) -> Dict[int, int]:
+    """``y2017=55, ...`` → ``{2017: 55, ...}`` (keyword-date sugar)."""
+    return {int(year[1:]): count for year, count in per_year.items()}
+
+
+def tractor_specs() -> Tuple[AttackTopicSpec, ...]:
+    """Agricultural-tractor ECU tampering: emissions vs precision-ag.
+
+    EGR blanking (physical) dominates historically; OBD "agritune"
+    remaps overtake from 2021 — a second trend-inversion regime beyond
+    the paper's ECM scenario, on a different ECU family.
+    """
+    return (
+        AttackTopicSpec(
+            keyword="egrblank",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2017=55, y2018=55, y2019=55, y2020=35, y2021=22, y2022=16,
+                y2023=12,
+            ),
+            engagement_scale=1.1,
+            companion_tags=("egroff", "tractorpower"),
+        ),
+        AttackTopicSpec(
+            keyword="agritune",
+            vector=AttackVector.LOCAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2017=8, y2018=8, y2019=10, y2020=28, y2021=55, y2022=85,
+                y2023=105,
+            ),
+            engagement_scale=1.2,
+            price_range=(250.0, 400.0),
+            price_mention_rate=0.2,
+            companion_tags=("obdremap", "fieldtuning"),
+        ),
+        AttackTopicSpec(
+            keyword="defdelete",
+            vector=AttackVector.LOCAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2017=20, y2018=20, y2019=20, y2020=20, y2021=20, y2022=20,
+                y2023=20,
+            ),
+            engagement_scale=0.9,
+        ),
+        AttackTopicSpec(
+            keyword="autosteerunlock",
+            vector=AttackVector.ADJACENT,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2017=6, y2018=6, y2019=6, y2020=6, y2021=6, y2022=6, y2023=6,
+            ),
+            engagement_scale=0.8,
+        ),
+        AttackTopicSpec(
+            keyword="gpskittheft",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=False,
+            yearly_volume=_volumes(
+                y2017=18, y2018=18, y2019=18, y2020=18, y2021=18, y2022=18,
+                y2023=18,
+            ),
+            positive_ratio=0.0,
+        ),
+    )
+
+
+def motorcycle_specs() -> Tuple[AttackTopicSpec, ...]:
+    """Motorcycle ECU tampering: exhaust decat vs fuel-map flashing."""
+    return (
+        AttackTopicSpec(
+            keyword="decatpipe",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2016=50, y2017=50, y2018=50, y2019=40, y2020=25, y2021=18,
+                y2022=14, y2023=10,
+            ),
+            engagement_scale=1.1,
+            companion_tags=("fullsystem", "racebike"),
+        ),
+        AttackTopicSpec(
+            keyword="racefuelmap",
+            vector=AttackVector.LOCAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2016=6, y2017=8, y2018=12, y2019=20, y2020=40, y2021=60,
+                y2022=80, y2023=95,
+            ),
+            engagement_scale=1.2,
+            price_range=(120.0, 260.0),
+            price_mention_rate=0.25,
+            companion_tags=("dynotune",),
+        ),
+        AttackTopicSpec(
+            keyword="quickshifterhack",
+            vector=AttackVector.ADJACENT,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2016=9, y2017=9, y2018=9, y2019=9, y2020=9, y2021=9,
+                y2022=9, y2023=9,
+            ),
+            engagement_scale=0.8,
+        ),
+        AttackTopicSpec(
+            keyword="bikejacking",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=False,
+            yearly_volume=_volumes(
+                y2016=15, y2017=15, y2018=15, y2019=15, y2020=15, y2021=15,
+                y2022=15, y2023=15,
+            ),
+            positive_ratio=0.0,
+        ),
+    )
+
+
+def ev_charging_specs() -> Tuple[AttackTopicSpec, ...]:
+    """EV battery/charging tampering, with deep-web outsider chatter."""
+    return (
+        AttackTopicSpec(
+            keyword="batteryunlock",
+            vector=AttackVector.LOCAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2018=10, y2019=15, y2020=30, y2021=55, y2022=85, y2023=110,
+            ),
+            engagement_scale=1.3,
+            price_range=(400.0, 700.0),
+            price_mention_rate=0.2,
+            companion_tags=("socunlock", "rangeboost"),
+        ),
+        AttackTopicSpec(
+            keyword="chargerfirmwaremod",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2018=45, y2019=40, y2020=30, y2021=20, y2022=14, y2023=10,
+            ),
+            engagement_scale=1.0,
+        ),
+        AttackTopicSpec(
+            keyword="regenhack",
+            vector=AttackVector.ADJACENT,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2018=7, y2019=7, y2020=7, y2021=7, y2022=7, y2023=7,
+            ),
+            engagement_scale=0.8,
+        ),
+        AttackTopicSpec(
+            keyword="chargecardcloning",
+            vector=AttackVector.NETWORK,
+            owner_approved=False,
+            yearly_volume=_volumes(
+                y2018=25, y2019=25, y2020=25, y2021=25, y2022=25, y2023=25,
+            ),
+            positive_ratio=0.0,
+        ),
+    )
+
+
+def marine_specs() -> Tuple[AttackTopicSpec, ...]:
+    """Outboard/marine ECM tampering (poisoning-burst host scenario)."""
+    return (
+        AttackTopicSpec(
+            keyword="outboardderestrict",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2017=60, y2018=60, y2019=60, y2020=40, y2021=26, y2022=18,
+                y2023=14,
+            ),
+            engagement_scale=1.1,
+        ),
+        AttackTopicSpec(
+            keyword="marineecuflash",
+            vector=AttackVector.LOCAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2017=10, y2018=14, y2019=20, y2020=40, y2021=70, y2022=100,
+                y2023=120,
+            ),
+            engagement_scale=1.2,
+            price_range=(300.0, 500.0),
+            price_mention_rate=0.2,
+        ),
+        AttackTopicSpec(
+            keyword="hourmeterreset",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2017=12, y2018=12, y2019=12, y2020=12, y2021=12, y2022=12,
+                y2023=12,
+            ),
+            engagement_scale=0.8,
+        ),
+        AttackTopicSpec(
+            keyword="outboardtheft",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=False,
+            yearly_volume=_volumes(
+                y2017=24, y2018=24, y2019=24, y2020=24, y2021=24, y2022=24,
+                y2023=24,
+            ),
+            positive_ratio=0.0,
+        ),
+    )
+
+
+def bus_fleet_specs() -> Tuple[AttackTopicSpec, ...]:
+    """City-bus fleet tampering (platform-outage host scenario)."""
+    return (
+        AttackTopicSpec(
+            keyword="adblueemulator",
+            vector=AttackVector.LOCAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2018=30, y2019=45, y2020=60, y2021=75, y2022=90, y2023=100,
+            ),
+            engagement_scale=1.2,
+            price_range=(180.0, 320.0),
+            price_mention_rate=0.25,
+        ),
+        AttackTopicSpec(
+            keyword="egrblankplate",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2018=50, y2019=42, y2020=30, y2021=22, y2022=16, y2023=12,
+            ),
+            engagement_scale=1.0,
+        ),
+        AttackTopicSpec(
+            keyword="limiterdelete",
+            vector=AttackVector.LOCAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2018=35, y2019=35, y2020=35, y2021=35, y2022=35, y2023=35,
+            ),
+            engagement_scale=0.9,
+        ),
+        AttackTopicSpec(
+            keyword="fueltheft",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=False,
+            yearly_volume=_volumes(
+                y2018=20, y2019=20, y2020=20, y2021=20, y2022=20, y2023=20,
+            ),
+            positive_ratio=0.0,
+        ),
+    )
+
+
+def slang_ecm_specs() -> Tuple[AttackTopicSpec, ...]:
+    """Slang variants of the ECM threat across a three-platform mix."""
+    return (
+        AttackTopicSpec(
+            keyword="benchflash",
+            vector=AttackVector.PHYSICAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2016=70, y2017=70, y2018=70, y2019=60, y2020=45, y2021=30,
+                y2022=20, y2023=15,
+            ),
+            engagement_scale=1.2,
+            companion_tags=("bootmode", "bdmflash"),
+        ),
+        AttackTopicSpec(
+            keyword="obdremap",
+            vector=AttackVector.LOCAL,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2016=10, y2017=12, y2018=15, y2019=25, y2020=45, y2021=70,
+                y2022=95, y2023=115,
+            ),
+            engagement_scale=1.2,
+            price_range=(200.0, 380.0),
+            price_mention_rate=0.2,
+            companion_tags=("stage1", "remapking"),
+        ),
+        AttackTopicSpec(
+            keyword="immooff",
+            vector=AttackVector.ADJACENT,
+            owner_approved=True,
+            yearly_volume=_volumes(
+                y2016=12, y2017=12, y2018=12, y2019=12, y2020=12, y2021=12,
+                y2022=12, y2023=12,
+            ),
+            engagement_scale=0.8,
+        ),
+        AttackTopicSpec(
+            keyword="caninjection",
+            vector=AttackVector.NETWORK,
+            owner_approved=False,
+            yearly_volume=_volumes(
+                y2016=16, y2017=16, y2018=16, y2019=16, y2020=16, y2021=16,
+                y2022=16, y2023=16,
+            ),
+            positive_ratio=0.0,
+        ),
+    )
+
+
+# -- the default registry -----------------------------------------------------
+
+_DEFAULT: Optional[ScenarioRegistry] = None
+
+
+def _build_default() -> ScenarioRegistry:
+    registry = ScenarioRegistry()
+    registry.register(
+        ScenarioSpec(
+            name="excavator",
+            title="excavator DPF/emissions tampering (paper Fig. 12)",
+            target=TargetApplication("excavator", "europe", "industrial"),
+            topics=excavator_specs(),
+        )
+    )
+    registry.register(
+        ScenarioSpec(
+            name="ecm",
+            title="passenger-car ECM reprogramming (paper Fig. 9)",
+            target=TargetApplication("car", "europe", "passenger"),
+            topics=ecm_reprogramming_specs(),
+        )
+    )
+    registry.register(
+        ScenarioSpec(
+            name="truck",
+            title="light-truck fleet emissions/limiter tampering",
+            target=TargetApplication("light_truck", "europe", "commercial"),
+            topics=light_truck_specs(),
+        )
+    )
+    registry.register(
+        ScenarioSpec(
+            name="tractor",
+            title="agricultural-tractor EGR vs OBD-remap inversion",
+            target=TargetApplication("tractor", "europe", "agricultural"),
+            topics=tractor_specs(),
+            platforms=(
+                PlatformProfile("twitter", share=2.0),
+                PlatformProfile("farmforum", trust=0.85, share=1.0),
+            ),
+        )
+    )
+    registry.register(
+        ScenarioSpec(
+            name="motorcycle",
+            title="motorcycle decat vs fuel-map flashing",
+            target=TargetApplication("motorcycle", "europe", "sports"),
+            topics=motorcycle_specs(),
+            platforms=(
+                PlatformProfile("twitter", share=1.0),
+                PlatformProfile("bikerforum", trust=0.9, share=1.0),
+            ),
+        )
+    )
+    registry.register(
+        ScenarioSpec(
+            name="ev",
+            title="EV battery unlock + charging fraud (deep-web level)",
+            target=TargetApplication("ev", "europe", "passenger"),
+            topics=ev_charging_specs(),
+            platforms=(
+                PlatformProfile("twitter", share=2.0),
+                PlatformProfile(
+                    "deepweb",
+                    trust=0.5,
+                    share=0.0,
+                    keywords=("chargecardcloning",),
+                ),
+            ),
+        )
+    )
+    registry.register(
+        ScenarioSpec(
+            name="marine",
+            title="outboard ECM tampering under a poisoning burst",
+            target=TargetApplication("boat", "europe", "marine"),
+            topics=marine_specs(),
+            platforms=(PlatformProfile("boatforum"),),
+            poisoning=(
+                PoisoningBurst(
+                    keyword="marineecuflash",
+                    date=dt.date(2021, 6, 15),
+                    copies=20,
+                    author="botfleet07",
+                    views=60000,
+                ),
+            ),
+        )
+    )
+    registry.register(
+        ScenarioSpec(
+            name="busfleet",
+            title="bus-fleet tampering with a platform outage window",
+            target=TargetApplication("bus", "europe", "commercial"),
+            topics=bus_fleet_specs(),
+            platforms=(
+                PlatformProfile("twitter", share=1.5),
+                PlatformProfile(
+                    "fleetforum",
+                    trust=0.9,
+                    share=0.0,
+                    keywords=("limiterdelete",),
+                ),
+            ),
+            outages=(
+                OutageWindow(
+                    platform="fleetforum",
+                    start=dt.date(2021, 3, 1),
+                    end=dt.date(2021, 9, 30),
+                ),
+            ),
+        )
+    )
+    registry.register(
+        ScenarioSpec(
+            name="slangecm",
+            title="ECM threat under slang drift, three-platform mix",
+            target=TargetApplication("car", "europe", "passenger"),
+            topics=slang_ecm_specs(),
+            platforms=(
+                PlatformProfile("twitter", share=2.0),
+                PlatformProfile("tuningforum", trust=0.9, share=2.0),
+                PlatformProfile("deepweb", trust=0.5, share=0.5),
+            ),
+        )
+    )
+    return registry
+
+
+def default_registry() -> ScenarioRegistry:
+    """The process-wide default registry (built once, lazily)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = _build_default()
+    return _DEFAULT
+
+
+def register_scenario(
+    spec: ScenarioSpec, *, replace: bool = False
+) -> ScenarioSpec:
+    """Register a spec on the default registry."""
+    return default_registry().register(spec, replace=replace)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario on the default registry."""
+    return default_registry().get(name)
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """The default registry's scenario names, registration-ordered."""
+    return default_registry().names()

@@ -23,11 +23,17 @@ everything.  This package is their streaming counterpart — the paper's
   pluggable executor, and one shared evaluation per tick;
 * :mod:`repro.stream.checkpoint` — stop/resume without replaying the
   feed, as full base snapshots or O(changed-keywords) delta
-  checkpoints.
+  checkpoints, with :class:`CheckpointRotation` managing base/delta
+  generations on disk;
+* :mod:`repro.stream.replay` — the long-horizon replay harness: any
+  registered scenario driven boundary-by-boundary against the batch
+  monitor with alert-parity, checkpoint-parity and bounded-memory
+  audits (``repro replay`` on the CLI).
 """
 
 from repro.stream.checkpoint import (
     CHECKPOINT_VERSION,
+    CheckpointRotation,
     load_checkpoint,
     restore_runtime,
     save_checkpoint,
@@ -41,6 +47,17 @@ from repro.stream.deltas import (
 )
 from repro.stream.feed import FeedSource, PostEvent, SyntheticFeed
 from repro.stream.index import StreamingCorpusIndex
+from repro.stream.replay import (
+    BestEffortFeed,
+    DelayedFeed,
+    FlakyFeed,
+    PoisonDefenceReport,
+    ReplayReport,
+    RetryingFeed,
+    month_boundaries,
+    replay_poison_defence,
+    replay_scenario,
+)
 from repro.stream.runtime import StreamRuntime, StreamTick, TickEvaluator
 from repro.stream.sharding import (
     ShardedStreamRuntime,
@@ -50,11 +67,18 @@ from repro.stream.sharding import (
 )
 
 __all__ = [
+    "BestEffortFeed",
     "CHECKPOINT_VERSION",
+    "CheckpointRotation",
+    "DelayedFeed",
     "DeltaTracker",
     "FeedSource",
+    "FlakyFeed",
     "KeywordSignals",
+    "PoisonDefenceReport",
     "PostEvent",
+    "ReplayReport",
+    "RetryingFeed",
     "ShardedStreamRuntime",
     "SignalDelta",
     "StreamRuntime",
@@ -65,7 +89,10 @@ __all__ = [
     "compute_signal_delta",
     "load_checkpoint",
     "merge_signals",
+    "month_boundaries",
     "partition_posts",
+    "replay_poison_defence",
+    "replay_scenario",
     "restore_runtime",
     "save_checkpoint",
     "save_delta_checkpoint",

@@ -33,7 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.stream.runtime import StreamRuntime
 
@@ -195,6 +195,129 @@ def _overlay_delta(
     tracker_state["dirty_since_snapshot"] = sorted(deltas_delta["changed"])
     state["deltas"] = tracker_state
     return state
+
+
+class CheckpointRotation:
+    """Rotating base+delta checkpointing for a long-running runtime.
+
+    Delta checkpoints are cumulative against their base, so over a long
+    run the delta grows until it approaches the base's own size and the
+    O(changed)-save advantage evaporates.  This manager owns a
+    checkpoint directory and, on every :meth:`save`:
+
+    * writes the first save as a base checkpoint;
+    * afterwards writes a cumulative delta against the current base;
+    * when the delta file outgrows ``max_delta_ratio`` × the base file,
+      *rotates*: a fresh base is written (resetting the snapshot point)
+      and every file of the old generation — the old base and its
+      deltas — is pruned;
+    * within a generation, a new delta supersedes the previous one
+      (deltas are cumulative), so the superseded delta file is pruned
+      immediately.
+
+    The directory therefore never holds more than one base and one
+    delta; :meth:`restore_sources` returns them in the order
+    :func:`restore_runtime` expects.
+    """
+
+    def __init__(
+        self,
+        runtime: StreamRuntime,
+        directory: Union[str, Path],
+        *,
+        max_delta_ratio: float = 0.5,
+        prune: bool = True,
+    ) -> None:
+        if max_delta_ratio <= 0:
+            raise ValueError(
+                f"max_delta_ratio must be > 0, got {max_delta_ratio}"
+            )
+        self._runtime = runtime
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._max_delta_ratio = max_delta_ratio
+        self._prune = prune
+        self._generation = 0
+        self._delta_seq = 0
+        self._base_path: Optional[Path] = None
+        self._delta_path: Optional[Path] = None
+        self.rotations = 0
+        self.pruned_files: List[Path] = []
+
+    @property
+    def directory(self) -> Path:
+        """The managed checkpoint directory."""
+        return self._directory
+
+    @property
+    def base_path(self) -> Optional[Path]:
+        """The live base checkpoint file (None before the first save)."""
+        return self._base_path
+
+    @property
+    def delta_path(self) -> Optional[Path]:
+        """The live delta file (None right after a base write)."""
+        return self._delta_path
+
+    def _remove(self, path: Optional[Path]) -> None:
+        if path is None or not self._prune:
+            return
+        if path.exists():
+            path.unlink()
+            self.pruned_files.append(path)
+
+    def _write_base(self) -> Path:
+        self._generation += 1
+        self._delta_seq = 0
+        path = self._directory / f"base-{self._generation:06d}.json"
+        save_checkpoint(self._runtime, path)
+        old_base, old_delta = self._base_path, self._delta_path
+        self._base_path = path
+        self._delta_path = None
+        self._remove(old_delta)
+        self._remove(old_base)
+        return path
+
+    def save(self) -> Path:
+        """Persist the current runtime state; returns the file written.
+
+        Usually a delta; a base on the first call and on rotation.
+        """
+        if self._base_path is None:
+            return self._write_base()
+        self._delta_seq += 1
+        path = (
+            self._directory
+            / f"delta-{self._generation:06d}-{self._delta_seq:06d}.json"
+        )
+        save_delta_checkpoint(self._runtime, path)
+        base_size = self._base_path.stat().st_size
+        if path.stat().st_size > self._max_delta_ratio * base_size:
+            # The cumulative delta no longer buys anything over a full
+            # snapshot — start a new generation and drop the old one
+            # (including the oversized delta just written).
+            self._remove(path)
+            self.rotations += 1
+            return self._write_base()
+        superseded = self._delta_path
+        self._delta_path = path
+        self._remove(superseded)
+        return path
+
+    def restore_sources(
+        self,
+    ) -> Tuple[Path, Optional[Path]]:
+        """The live ``(source, base)`` pair for :func:`restore_runtime`.
+
+        When a delta exists, ``source`` is the delta and ``base`` the
+        base it was saved against; otherwise the base alone restores and
+        ``base`` is None.
+        """
+        if self._base_path is None:
+            raise ValueError("nothing saved yet — call save() first")
+        if self._delta_path is not None:
+            return self._delta_path, self._base_path
+        return self._base_path, None
 
 
 def restore_runtime(

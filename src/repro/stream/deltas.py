@@ -536,6 +536,30 @@ class DeltaTracker:
             and (until_year is None or year <= until_year)
         )
 
+    def window_total(
+        self,
+        *,
+        since_year: Optional[int] = None,
+        until_year: Optional[int] = None,
+    ) -> int:
+        """In-region post count over *all* keywords within a year window.
+
+        The corpus-volume measure of the staleness-window retune policy:
+        SAI probabilities are shares of corpus-wide totals, so a shift in
+        this sum (even from outsider-only chatter) drifts every cached
+        score.  O(keywords × years) — the bucket map is tiny compared to
+        the corpus.
+        """
+        total = 0
+        for years in self._buckets.values():
+            for year, bucket in years.items():
+                if since_year is not None and year < since_year:
+                    continue
+                if until_year is not None and year > until_year:
+                    continue
+                total += bucket.posts
+        return total
+
     def votes(self, keyword: str) -> Tuple[int, int]:
         """(insider, outsider) voice votes accumulated for one keyword."""
         votes = self._votes.get(keyword)

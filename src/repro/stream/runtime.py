@@ -128,6 +128,7 @@ class TickEvaluator:
         self._config = config
         self.since_year = since_year
         self._tracker = tracker
+        self._staleness_share = config.stream_staleness_share
         # The signals scoring path never touches the client slot.
         self._computer = SAIComputer(None, config=config)  # type: ignore[arg-type]
         self._tuner = WeightTuner(config.tuning)
@@ -142,6 +143,10 @@ class TickEvaluator:
         self.alerts: List[TrendAlert] = []
         self.retunes = 0
         self.rescores = 0
+        #: In-window corpus volume measured at the last retune — the
+        #: reference point of the staleness-window policy.
+        self.retune_window_posts: Optional[int] = None
+        self.forced_retunes = 0
 
     @property
     def scorer(self) -> Optional[BatchTaraScorer]:
@@ -202,6 +207,33 @@ class TickEvaluator:
             insider=tuple(insider), outsider=tuple(outsider)
         )
 
+    def _stale_retune_due(
+        self, deltas: DeltaTracker, upto_year: Optional[int]
+    ) -> bool:
+        """Has the in-window volume drifted past the staleness threshold?
+
+        Compares the current in-window post total against the total at
+        the last retune; a relative move beyond
+        ``config.stream_staleness_share`` forces a retune so the cached
+        SAI scores track the corpus again.  Cost model: the check itself
+        is O(keywords × years) on the bucket map; a forced retune costs
+        one signals pass + tune, the same as any insider tick — and is
+        amortised because the reference volume resets, so sustained
+        outsider chatter triggers at most one forced retune per
+        threshold-crossing, not one per tick.
+        """
+        if self._staleness_share is None:
+            return False
+        reference = self.retune_window_posts
+        if reference is None:
+            return False
+        current = deltas.window_total(
+            since_year=self.since_year, until_year=upto_year
+        )
+        if reference == 0:
+            return current > 0
+        return abs(current - reference) / reference > self._staleness_share
+
     def evaluate(
         self,
         deltas: DeltaTracker,
@@ -220,7 +252,14 @@ class TickEvaluator:
             self.insider_flags[keyword] = self._classify(deltas, keyword)
         after = any(self.insider_flags[k] for k in dirty)
         if not first and not (before or after):
-            return False, False, None
+            # Outsider-only (or unmatched) chatter cannot move the
+            # insider weight table, but it still shifts the corpus-wide
+            # totals every SAI probability is a share of — the cached
+            # scores go stale.  Retune anyway once the in-window volume
+            # has drifted past the staleness threshold.
+            if not self._stale_retune_due(deltas, upto_year):
+                return False, False, None
+            self.forced_retunes += 1
 
         window = self._window(upto_year)
         signals = deltas.signals(
@@ -240,6 +279,9 @@ class TickEvaluator:
             learned_keywords=(),
         )
         self.retunes += 1
+        self.retune_window_posts = deltas.window_total(
+            since_year=self.since_year, until_year=upto_year
+        )
 
         rescored = False
         alert: Optional[TrendAlert] = None
@@ -286,6 +328,8 @@ class TickEvaluator:
             "alert_count": len(self.alerts),
             "retunes": self.retunes,
             "tara_rescores": self.rescores,
+            "retune_window_posts": self.retune_window_posts,
+            "forced_retunes": self.forced_retunes,
         }
 
     def load_slice(
@@ -312,6 +356,11 @@ class TickEvaluator:
         )
         self.retunes = int(state.get("retunes", 0))  # type: ignore[arg-type]
         self.rescores = int(state.get("tara_rescores", 0))  # type: ignore[arg-type]
+        raw_reference = state.get("retune_window_posts")
+        self.retune_window_posts = (
+            int(raw_reference) if raw_reference is not None else None  # type: ignore[arg-type]
+        )
+        self.forced_retunes = int(state.get("forced_retunes", 0))  # type: ignore[arg-type]
 
 
 class StreamRuntime:
@@ -467,6 +516,7 @@ class StreamRuntime:
                 len(report.rejected) for report in self._filter_reports
             ),
             "retunes": self._evaluator.retunes,
+            "forced_retunes": self._evaluator.forced_retunes,
             "tara_rescores": self._evaluator.rescores,
             "alerts": len(self._evaluator.alerts),
             "index": self._index.segment_stats,

@@ -393,6 +393,7 @@ class ShardedStreamRuntime:
                 len(report.rejected) for report in self._filter_reports
             ),
             "retunes": self._evaluator.retunes,
+            "forced_retunes": self._evaluator.forced_retunes,
             "tara_rescores": self._evaluator.rescores,
             "alerts": len(self._evaluator.alerts),
             "shard_stats": [

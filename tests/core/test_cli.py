@@ -104,6 +104,54 @@ class TestFleet:
         assert "error:" in capsys.readouterr().err
 
 
+class TestScenarios:
+    def test_lists_the_whole_fleet(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) >= 8
+        for name in ("ecm", "excavator", "tractor", "marine", "slangecm"):
+            assert any(line.startswith(f"{name}:") for line in lines)
+        assert "poisoning burst" in out
+        assert "outage" in out
+
+    def test_new_scenarios_work_in_legacy_subcommands(self, capsys):
+        assert main(["sai", "--scenario", "tractor"]) == 0
+        out = capsys.readouterr().out
+        assert "agritune" in out
+        assert main(["tune", "--scenario", "motorcycle"]) == 0
+        assert "Insider weight table (PSP)" in capsys.readouterr().out
+
+
+class TestReplay:
+    def test_smoke_replay_passes(self, capsys):
+        code = main(
+            ["replay", "--scenario", "ecm", "--months", "2", "--smoke"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replay ecm: 2 boundaries" in out
+        assert "verdict: PASS" in out
+
+    def test_smoke_defaults_to_two_months(self, capsys):
+        assert main(["replay", "--scenario", "tractor", "--smoke"]) == 0
+        assert "2 boundaries" in capsys.readouterr().out
+
+    def test_full_replay_includes_poison_defence(self, capsys):
+        code = main(
+            ["replay", "--scenario", "marine", "--shards", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert "poison defence marine" in out
+        assert "20/20 injected posts rejected" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--scenario", "submarine"])
+
+
 class TestStream:
     def test_stream_replay_runs(self, capsys):
         assert main(["stream", "--scenario", "ecm", "--batch-size", "400",

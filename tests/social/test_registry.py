@@ -1,0 +1,267 @@
+"""Tests for the declarative scenario registry."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.config import TargetApplication
+from repro.iso21434.enums import AttackVector
+from repro.social.registry import (
+    OutageWindow,
+    PlatformProfile,
+    PoisoningBurst,
+    ScenarioRegistry,
+    ScenarioSpec,
+    _build_default,
+    default_registry,
+    get_scenario,
+    scenario_names,
+)
+from repro.social.scenarios import (
+    ecm_reprogramming_corpus,
+    excavator_corpus,
+    light_truck_corpus,
+)
+from repro.social.synthetic import AttackTopicSpec
+
+LEGACY = {
+    "ecm": ecm_reprogramming_corpus,
+    "excavator": excavator_corpus,
+    "truck": light_truck_corpus,
+}
+
+
+def _spec(**overrides):
+    defaults = dict(
+        name="demo",
+        title="demo scenario",
+        target=TargetApplication("car", "europe", "passenger"),
+        topics=(
+            AttackTopicSpec(
+                keyword="dpfdelete",
+                vector=AttackVector.PHYSICAL,
+                owner_approved=True,
+                yearly_volume={2020: 10, 2021: 10},
+            ),
+            AttackTopicSpec(
+                keyword="relayattack",
+                vector=AttackVector.ADJACENT,
+                owner_approved=False,
+                yearly_volume={2020: 5, 2021: 5},
+                positive_ratio=0.0,
+            ),
+        ),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestDefaultRegistry:
+    def test_registers_the_paper_scenarios_and_the_extended_fleet(self):
+        names = scenario_names()
+        assert len(names) >= 8
+        for expected in (
+            "ecm", "excavator", "truck", "tractor", "motorcycle",
+            "ev", "marine", "busfleet", "slangecm",
+        ):
+            assert expected in names
+
+    def test_singleton(self):
+        assert default_registry() is default_registry()
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="excavator"):
+            get_scenario("submarine")
+
+    def test_every_scenario_builds_a_consistent_database(self):
+        for spec in default_registry():
+            database = spec.database()
+            assert set(database.keywords) == set(spec.keywords)
+
+    def test_overlay_flags(self):
+        assert get_scenario("marine").has_overlays
+        assert get_scenario("busfleet").has_overlays
+        assert not get_scenario("ecm").has_overlays
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_seed_stable_across_independent_builds(self, name):
+        # Two registries built from scratch must produce bit-identical
+        # corpora: every derived artifact is a pure function of the spec.
+        first = _build_default().get(name)
+        second = _build_default().get(name)
+        a = [
+            (p.post_id, p.text, p.author, p.created_at, p.engagement.views)
+            for p in first.corpus().posts
+        ]
+        b = [
+            (p.post_id, p.text, p.author, p.created_at, p.engagement.views)
+            for p in second.corpus().posts
+        ]
+        assert a == b
+
+    def test_poisoned_corpus_is_deterministic_too(self):
+        a = [p.post_id for p in _build_default().get("marine").poisoned_corpus().posts]
+        b = [p.post_id for p in _build_default().get("marine").poisoned_corpus().posts]
+        assert a == b
+
+    def test_corpus_is_cached_per_spec(self):
+        spec = get_scenario("ecm")
+        assert spec.corpus() is spec.corpus()
+
+
+class TestLegacyEquivalence:
+    @pytest.mark.parametrize("name", sorted(LEGACY))
+    def test_single_platform_scenarios_reproduce_legacy_corpora(self, name):
+        # The registry's single-platform trust-1.0 scenarios must keep
+        # the calibrated paper corpora byte-identical modulo the
+        # platform-namespaced post ids, so the figures don't move.
+        legacy = sorted(
+            LEGACY[name]().posts,
+            key=lambda p: (p.created_at, p.post_id),
+        )
+        branded = list(get_scenario(name).corpus().posts)
+        assert len(legacy) == len(branded)
+        for old, new in zip(legacy, branded):
+            assert new.post_id == f"twitter:{old.post_id}"
+            assert new.text == old.text
+            assert new.author == old.author
+            assert new.created_at == old.created_at
+            assert new.engagement.views == old.engagement.views
+
+
+class TestPlatformRouting:
+    def test_pinned_keyword_lives_only_on_its_platform(self):
+        spec = get_scenario("ev")
+        for post in spec.corpus().posts:
+            platform = spec.platform_of(post)
+            if "chargecardcloning" in post.text:
+                assert platform == "deepweb"
+            else:
+                assert platform == "twitter"
+
+    def test_share_weighted_routing_spreads_unpinned_keywords(self):
+        spec = get_scenario("slangecm")
+        counts = {}
+        for post in spec.corpus().posts:
+            counts.setdefault(spec.platform_of(post), 0)
+            counts[spec.platform_of(post)] += 1
+        # All three platforms of the mix receive traffic; the share-0.5
+        # deep-web level gets the least.
+        assert set(counts) == {"twitter", "tuningforum", "deepweb"}
+        assert counts["deepweb"] < counts["twitter"]
+        assert counts["deepweb"] < counts["tuningforum"]
+
+    def test_branding_scales_engagement_by_trust(self):
+        spec = get_scenario("slangecm")
+        client = spec.client()
+        deepweb_raw = {
+            p.post_id: p.engagement.views
+            for p in client.source("deepweb").client.corpus.posts
+        }
+        for post in spec.corpus().posts:
+            if spec.platform_of(post) != "deepweb":
+                continue
+            raw_id = post.post_id.partition(":")[2]
+            assert post.engagement.views == int(deepweb_raw[raw_id] * 0.5)
+
+    def test_client_surfaces_every_platform(self):
+        client = get_scenario("busfleet").client()
+        assert set(client.platforms) == {"twitter", "fleetforum"}
+
+
+class TestOverlays:
+    def test_poisoned_corpus_adds_stamped_burst_posts(self):
+        spec = get_scenario("marine")
+        clean = {p.post_id for p in spec.corpus().posts}
+        poisoned = list(spec.poisoned_corpus().posts)
+        injected = [p for p in poisoned if p.post_id not in clean]
+        assert len(injected) == spec.poisoning[0].copies
+        for post in injected:
+            assert post.post_id.startswith("boatforum:poison")
+            assert post.created_at == spec.poisoning[0].date
+            assert post.region == spec.target.region
+            assert post.author == spec.poisoning[0].author
+
+    def test_clean_corpus_is_never_contaminated(self):
+        spec = get_scenario("marine")
+        spec.poisoned_corpus()
+        assert all(
+            "poison" not in p.post_id for p in spec.corpus().posts
+        )
+
+    def test_outage_window_validation(self):
+        with pytest.raises(ValueError):
+            OutageWindow(
+                platform="x",
+                start=dt.date(2021, 2, 1),
+                end=dt.date(2021, 1, 1),
+            )
+        window = OutageWindow(
+            platform="x",
+            start=dt.date(2021, 1, 1),
+            end=dt.date(2021, 3, 1),
+        )
+        assert window.covers(dt.date(2021, 2, 1))
+        assert not window.covers(dt.date(2021, 3, 2))
+
+
+class TestSpecValidation:
+    def test_duplicate_platform_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate platform"):
+            _spec(platforms=(
+                PlatformProfile("twitter"), PlatformProfile("twitter"),
+            ))
+
+    def test_unknown_pinned_keyword_rejected(self):
+        with pytest.raises(ValueError, match="pins unknown keyword"):
+            _spec(platforms=(
+                PlatformProfile("twitter", keywords=("nosuch",)),
+            ))
+
+    def test_unknown_burst_keyword_rejected(self):
+        with pytest.raises(ValueError, match="unknown keyword"):
+            _spec(poisoning=(
+                PoisoningBurst(
+                    keyword="nosuch",
+                    date=dt.date(2021, 1, 1),
+                    copies=3,
+                ),
+            ))
+
+    def test_unknown_outage_platform_rejected(self):
+        with pytest.raises(ValueError, match="unknown platform"):
+            _spec(outages=(
+                OutageWindow(
+                    platform="nosuch",
+                    start=dt.date(2021, 1, 1),
+                    end=dt.date(2021, 2, 1),
+                ),
+            ))
+
+    def test_bad_cadence_rejected(self):
+        with pytest.raises(ValueError, match="arrival_cadence"):
+            _spec(arrival_cadence="hourly")
+
+    def test_trust_and_share_bounds(self):
+        with pytest.raises(ValueError):
+            PlatformProfile("x", trust=0.0)
+        with pytest.raises(ValueError):
+            PlatformProfile("x", trust=1.5)
+        with pytest.raises(ValueError):
+            PlatformProfile("x", share=-1.0)
+
+    def test_duplicate_registration_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register(_spec())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(_spec())
+        registry.register(_spec(title="v2"), replace=True)
+        assert registry.get("demo").title == "v2"
+
+    def test_span_properties(self):
+        spec = _spec()
+        assert spec.start_year == 2020
+        assert spec.end_year == 2021
+        assert spec.keywords == ("dpfdelete", "relayattack")

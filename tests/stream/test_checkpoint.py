@@ -162,8 +162,14 @@ class TestCheckpointFormat:
     def test_reannotated_database_drops_cached_classifications(self, tmp_path):
         import datetime as dt
 
+        from repro.core.config import PSPConfig
         from repro.core.keywords import AttackKeyword, KeywordDatabase
         from repro.social.post import Post
+
+        # Staleness retuning off: this test is about the cached
+        # classification being dropped, and a 1-post batch on a 2-post
+        # baseline would trip the volume-drift policy regardless.
+        config = PSPConfig(stream_staleness_share=None)
 
         def build_db(owner_approved):
             db = KeywordDatabase()
@@ -184,7 +190,8 @@ class TestCheckpointFormat:
             for i in range(3)
         ]
         feed = SyntheticFeed(posts)
-        runtime = StreamRuntime(feed, build_db(True), batch_size=2)
+        runtime = StreamRuntime(feed, build_db(True), batch_size=2,
+                                config=config)
         runtime.step()
         path = save_checkpoint(runtime, tmp_path / "ann.ckpt.json")
 
@@ -192,7 +199,8 @@ class TestCheckpointFormat:
         reannotated = build_db(True)
         reannotated.annotate("dpfdelete", owner_approved=False)
         resumed = restore_runtime(
-            path, SyntheticFeed(posts), reannotated, batch_size=2
+            path, SyntheticFeed(posts), reannotated, batch_size=2,
+            config=config,
         )
         tick = resumed.step()
         # the stale insider=True verdict was dropped: with the keyword

@@ -103,13 +103,18 @@ class TestConditionalRecompute:
                 owner_approved=False,
             )
         )
+        # A real insider baseline: the trailing outsider drip is well
+        # under the default 10% staleness allowance, so the skip path
+        # must hold even with the volume-drift policy active.
         posts = [
             Post(
-                post_id="i0",
+                post_id=f"i{i}",
                 text="my #dpfdelete kit",
-                author="a",
-                created_at=dt.date(2020, 1, 1),
-            ),
+                author=f"a{i}",
+                created_at=dt.date(2020, 1, 1 + i),
+            )
+            for i in range(25)
+        ] + [
             Post(
                 post_id="o0",
                 text="#relayattack thieves caught",
@@ -125,13 +130,14 @@ class TestConditionalRecompute:
         ]
         feed = SyntheticFeed(posts)
         runtime = StreamRuntime(feed, db)
-        first = runtime.ingest(feed.events_after(-1, limit=1))
+        first = runtime.ingest(feed.events_after(-1, limit=25))
         assert first.retuned  # baseline
         outsider_tick = runtime.ingest(feed.events_after(runtime.cursor))
         assert outsider_tick.dirty == ("relayattack",)
         assert not outsider_tick.retuned
         assert not outsider_tick.rescored
         assert outsider_tick.alert is None
+        assert runtime.stream_stats["forced_retunes"] == 0
 
     def test_untouched_batch_skips_retune(self):
         db = KeywordDatabase()
