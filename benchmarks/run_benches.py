@@ -20,8 +20,12 @@ Usage::
 Exits non-zero if any bench's engine result diverges from its naive
 reference — speed without equivalence is a bug, not a result.  With
 ``--check``, also exits non-zero when a fresh speedup falls more than
-30% below the committed ``BENCH_<name>.json`` (the CI regression gate);
-benches without a committed record are skipped with a note.
+30% below the committed ``BENCH_<name>.json`` or a fresh peak RSS more
+than doubles the committed one (the CI regression gates); benches
+without a committed record — or whose committed record ran a different
+workload profile (e.g. the S9 smoke profile vs the committed full
+profile) — are skipped with a note.  ``--smoke`` switches
+profile-capable benches (columnar) to their fast smoke workload.
 """
 
 from __future__ import annotations
@@ -39,10 +43,14 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
 from repro.analysis.benchjson import (  # noqa: E402
     bench_file_path,
     load_bench_result,
+    rss_regression,
     speedup_regression,
     write_bench_result,
 )
-from repro.analysis.benchkit import BENCH_RUNNERS  # noqa: E402
+from repro.analysis.benchkit import (  # noqa: E402
+    BENCH_RUNNERS,
+    PROFILED_BENCHES,
+)
 
 #: Where the committed BENCH_*.json records live (the repository root).
 DEFAULT_BASELINE_DIR = Path(__file__).resolve().parents[1]
@@ -74,8 +82,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help="compare fresh speedups against the committed BENCH_*.json "
-        "records and fail on a >30%% regression",
+        help="compare fresh speedups (and peak RSS) against the committed "
+        "BENCH_*.json records and fail on a >30%% speedup regression or "
+        "a >2x RSS blow-up",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run profile-capable benches "
+        f"({', '.join(sorted(PROFILED_BENCHES))}) on their smoke profile "
+        "— the fast CI workload",
     )
     parser.add_argument(
         "--baseline",
@@ -97,9 +113,14 @@ def main(argv=None) -> int:
     all_equivalent = True
     regressions = []
     for name in names:
-        result = BENCH_RUNNERS[name]()
+        if args.smoke and name in PROFILED_BENCHES:
+            result = BENCH_RUNNERS[name](profile="smoke")
+        else:
+            result = BENCH_RUNNERS[name]()
         path = write_bench_result(result, args.out)
-        fresh = result.to_payload()
+        # Read the record back so the check sees exactly what was
+        # written (including the peak-RSS stamp the writer adds).
+        fresh = load_bench_result(path)
         print(json.dumps(fresh))
         print(f"wrote {path}")
         all_equivalent = all_equivalent and result.equivalent
@@ -109,15 +130,32 @@ def main(argv=None) -> int:
                 print(f"check: no committed record for {name!r}, skipping")
                 continue
             committed = load_bench_result(committed_path)
-            problem = speedup_regression(fresh, committed)
-            if problem is None:
+            fresh_profile = fresh["workload"].get("profile")
+            committed_profile = committed["workload"].get("profile")
+            if fresh_profile != committed_profile:
+                print(
+                    f"check: {name} ran profile {fresh_profile!r} but the "
+                    f"committed record is {committed_profile!r} — not "
+                    "comparable, skipping"
+                )
+                continue
+            problems = [
+                problem
+                for problem in (
+                    speedup_regression(fresh, committed),
+                    rss_regression(fresh, committed),
+                )
+                if problem is not None
+            ]
+            if not problems:
                 print(
                     f"check: {name} ok ({fresh['speedup']}x vs committed "
                     f"{committed['speedup']}x)"
                 )
             else:
-                regressions.append(problem)
-                print(f"check: REGRESSION — {problem}")
+                regressions.extend(problems)
+                for problem in problems:
+                    print(f"check: REGRESSION — {problem}")
 
     failed = False
     if not all_equivalent:

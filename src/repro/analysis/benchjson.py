@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import math
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
@@ -82,13 +83,43 @@ def bench_file_path(name: str, out_dir: Union[str, Path] = ".") -> Path:
     return Path(out_dir) / FILE_PATTERN.format(name=name)
 
 
+def peak_rss_kb() -> Optional[int]:
+    """Process-lifetime peak resident set size in KB (None if unknown).
+
+    Reads ``getrusage(RUSAGE_SELF).ru_maxrss`` — kilobytes on Linux,
+    bytes on macOS (converted here); None on platforms without the
+    ``resource`` module.  The counter is monotonic over the process
+    lifetime, so in a multi-bench run each record carries the peak *up
+    to* its write moment; compare like-for-like (``--only`` runs) when
+    per-bench precision matters.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
+        peak //= 1024
+    return int(peak)
+
+
 def write_bench_result(
     result: BenchResult, out_dir: Union[str, Path] = "."
 ) -> Path:
-    """Write one bench record; returns the file path."""
+    """Write one bench record; returns the file path.
+
+    The writer stamps ``extra.peak_rss_kb`` (unless the bench already
+    recorded one) so every emitted record carries its memory footprint,
+    whether it came from ``run_benches.py`` or a pytest gate's
+    ``bench_report`` fixture.
+    """
     path = bench_file_path(result.name, out_dir)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(result.to_payload(), indent=2) + "\n")
+    payload = result.to_payload()
+    rss = peak_rss_kb()
+    if rss is not None:
+        payload["extra"].setdefault("peak_rss_kb", rss)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
     return path
 
 
@@ -167,5 +198,45 @@ def speedup_regression(
             f"{fresh['bench']}: speedup {fresh_speedup:.2f}x fell more "
             f"than {tolerance:.0%} below the committed "
             f"{committed_speedup:.2f}x (floor {floor:.2f}x)"
+        )
+    return None
+
+
+#: A fresh peak RSS above ``ratio x committed`` is a memory regression.
+#: Loose by design — RSS depends on allocator, platform and what ran
+#: earlier in the process — so only a blow-up flags, not noise.
+DEFAULT_RSS_RATIO = 2.0
+
+
+def rss_regression(
+    fresh: Dict[str, Any],
+    committed: Dict[str, Any],
+    *,
+    ratio: float = DEFAULT_RSS_RATIO,
+) -> Optional[str]:
+    """Whether a fresh run's peak RSS blew past the committed record's.
+
+    Compares ``extra.peak_rss_kb`` on both sides.  Records missing the
+    key (pre-RSS records, non-POSIX hosts) never flag.  Returns a
+    human-readable description of the regression, or None.
+    """
+    if ratio <= 1.0:
+        raise ValueError(f"ratio must be > 1, got {ratio}")
+    fresh_rss = (fresh.get("extra") or {}).get("peak_rss_kb")
+    committed_rss = (committed.get("extra") or {}).get("peak_rss_kb")
+    if not isinstance(fresh_rss, (int, float)) or isinstance(
+        fresh_rss, bool
+    ):
+        return None
+    if not isinstance(committed_rss, (int, float)) or isinstance(
+        committed_rss, bool
+    ):
+        return None
+    if committed_rss <= 0:
+        return None
+    if fresh_rss > committed_rss * ratio:
+        return (
+            f"{fresh.get('bench')}: peak RSS {int(fresh_rss)} KB is more "
+            f"than {ratio:.1f}x the committed {int(committed_rss)} KB"
         )
     return None

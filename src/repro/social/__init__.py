@@ -33,6 +33,7 @@ from repro.social.registry import (
     register_scenario,
     scenario_names,
 )
+from repro.social.columnar import ColumnarCorpus, TextInterner
 from repro.social.index import CorpusIndex
 from repro.social.post import Engagement, Post
 from repro.social.resilience import (
@@ -63,6 +64,7 @@ __all__ = [
     "BatchQuery",
     "BatchResult",
     "BestEffortClient",
+    "ColumnarCorpus",
     "Corpus",
     "CorpusGenerator",
     "CorpusIndex",
@@ -82,6 +84,7 @@ __all__ = [
     "ScenarioSpec",
     "SearchQuery",
     "SocialMediaClient",
+    "TextInterner",
     "TransientPlatformError",
     "branded_post",
     "default_registry",

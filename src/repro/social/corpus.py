@@ -4,11 +4,14 @@
 match (canonical-folded, hashtag or free text), time-window filters
 ("posts since 2022", paper Fig. 9-C) and region filters.  Keyword
 matching is answered by a lazily built
-:class:`~repro.social.index.CorpusIndex` — date-sorted posts, inverted
-hashtag/token/stem postings and a one-pass batch matcher — so a whole
-batch of keywords over any window is resolved in a single sweep instead
-of one linear scan per keyword, and analysis windows are bisected
-instead of materialised as sub-corpora.
+:class:`~repro.social.index.CorpusIndex` — columnar arenas
+(:mod:`repro.social.columnar`), inverted hashtag/token/stem postings
+and a one-pass batch matcher — so a whole batch of keywords over any
+window is resolved in a single sweep instead of one linear scan per
+keyword, and analysis windows are bisected instead of materialised as
+sub-corpora.  Engagement totals fold straight over the index's
+engagement columns, and memoized region views share the parent index's
+text-analysis pool.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from __future__ import annotations
 import datetime as dt
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
+from repro.nlp.normalize import canonical_keyword
 from repro.social.index import CorpusIndex
 from repro.social.post import Engagement, Post
 
@@ -117,6 +121,13 @@ class Corpus:
         view = self._region_views.get(key)
         if view is None:
             view = self.in_region(region)
+            if self._engine is not None:
+                # The parent index already analyzed every text; the
+                # view's index reuses that pool instead of re-analyzing
+                # its subset.
+                view._engine = CorpusIndex(
+                    view._posts, interner=self._engine.columns.interner
+                )
             self._region_views[key] = view
         return view
 
@@ -125,11 +136,26 @@ class Corpus:
         return Corpus(list(self._posts) + list(other.posts))
 
     def total_engagement(self, keyword: str) -> Engagement:
-        """Summed engagement over all posts matching ``keyword``."""
-        total = Engagement()
-        for post in self.matching(keyword):
-            total = total.combined(post.engagement)
-        return total
+        """Summed engagement over all posts matching ``keyword``.
+
+        Folded over the index's engagement columns — integer sums over
+        the match positions, no ``Post`` materialization.
+        """
+        columns = self.index().columns
+        lo, hi = columns.window_bounds()
+        positions = columns.search_positions(
+            canonical_keyword(keyword), lo, hi
+        )
+        views = likes = reposts = replies = 0
+        for position in positions:
+            v, l, r, p = columns.engagement_values(position)
+            views += v
+            likes += l
+            reposts += r
+            replies += p
+        return Engagement(
+            views=views, likes=likes, reposts=reposts, replies=replies
+        )
 
     def years(self) -> List[int]:
         """Sorted distinct posting years present in the corpus."""

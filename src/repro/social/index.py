@@ -3,37 +3,39 @@
 The PSP loop mines every attack keyword of the database over every
 analysis window, so corpus matching is the innermost hot path of the
 whole framework.  :class:`CorpusIndex` answers an entire batch of
-keywords in one pass over the corpus:
+keywords in one pass over the corpus.  Since the columnar rework the
+index is a thin query surface over
+:class:`~repro.social.columnar.ColumnarCorpus`:
 
-* posts are held **date-sorted**, so any analysis window is a contiguous
-  slice found by bisection — no per-window sub-corpus construction;
+* posts are held **date-sorted** in flat columns, so any analysis window
+  is a contiguous slice found by bisecting an int array — no per-window
+  sub-corpus construction;
 * three inverted posting maps (canonical hashtag, normalized token,
-  stemmed token → ascending post positions) *confirm* matches without
-  touching the text: an exact hashtag/token/stem hit is provably a
-  folded-text match, because canonical folding removes exactly the
-  characters squashing removes;
+  stemmed token → ascending post positions, ``array('I')`` chunks)
+  *confirm* matches without touching the text: an exact
+  hashtag/token/stem hit is provably a folded-text match, because
+  canonical folding removes exactly the characters squashing removes;
 * the **free-text phrase fallback** (multi-word phrases, mid-token and
-  cross-boundary occurrences) runs as a single sweep over the window's
-  residual candidates, probing every still-unconfirmed keyword against
-  the post's precomputed
-  :attr:`~repro.nlp.analysis.PostAnalysis.haystack` — one C-level
-  substring test per (keyword, post) pair instead of a full
-  re-normalize/re-stem/re-join.
+  cross-boundary occurrences) runs as one C-level ``str.find`` sweep
+  over the window's slice of the shared haystack arena, instead of one
+  substring probe per ``(keyword, post)`` pair over per-post strings;
+* `Post` objects materialize lazily, only for positions that appear in
+  a result set.
 
 Result sets are post-for-post identical to the naive per-keyword
 :func:`~repro.nlp.normalize.keyword_in_text` scan (plus the legacy
 hashtag-index union); the equivalence is property-tested in
-``tests/properties/test_index_equivalence.py``.
+``tests/properties/test_index_equivalence.py`` and
+``tests/properties/test_columnar_equivalence.py``.
 """
 
 from __future__ import annotations
 
 import datetime as dt
-from bisect import bisect_left, bisect_right
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.nlp.analysis import PostAnalysis, analyze_text
 from repro.nlp.normalize import canonical_keyword
+from repro.social.columnar import ColumnarCorpus, TextInterner
 from repro.social.post import Post
 
 
@@ -45,44 +47,35 @@ class CorpusIndex:
     keywords, any window.
     """
 
-    def __init__(self, posts: Iterable[Post]) -> None:
-        order = sorted(posts, key=lambda p: (p.created_at, p.post_id))
-        self._order: Tuple[Post, ...] = tuple(order)
-        self._dates: List[dt.date] = [p.created_at for p in order]
-        self._analyses: List[PostAnalysis] = [
-            analyze_text(p.text) for p in order
-        ]
-        self._haystacks: List[str] = [a.haystack for a in self._analyses]
-        tag_postings: Dict[str, List[int]] = {}
-        token_postings: Dict[str, List[int]] = {}
-        stem_postings: Dict[str, List[int]] = {}
-        for position, analysis in enumerate(self._analyses):
-            for tag in analysis.hashtag_set:
-                tag_postings.setdefault(tag, []).append(position)
-            for word in analysis.word_set:
-                token_postings.setdefault(word, []).append(position)
-            for stemmed in set(analysis.stems):
-                stem_postings.setdefault(stemmed, []).append(position)
-        self._tag_postings = tag_postings
-        self._token_postings = token_postings
-        self._stem_postings = stem_postings
+    def __init__(
+        self,
+        posts: Iterable[Post] = (),
+        *,
+        interner: Optional[TextInterner] = None,
+        columns: Optional[ColumnarCorpus] = None,
+    ) -> None:
+        if columns is not None:
+            self._columns = columns
+        else:
+            self._columns = ColumnarCorpus.from_posts(posts, interner=interner)
 
     def __len__(self) -> int:
-        return len(self._order)
+        return len(self._columns)
+
+    @property
+    def columns(self) -> ColumnarCorpus:
+        """The columnar segment backing this index."""
+        return self._columns
 
     @property
     def posts(self) -> Tuple[Post, ...]:
-        """All posts in (created_at, post_id) order."""
-        return self._order
+        """All posts in (created_at, post_id) order (materialized lazily)."""
+        return self._columns.all_posts()
 
     @property
     def distinct_terms(self) -> int:
         """Number of distinct indexed terms (tags + tokens + stems)."""
-        return (
-            len(self._tag_postings)
-            + len(self._token_postings)
-            + len(self._stem_postings)
-        )
+        return self._columns.distinct_terms
 
     def window_bounds(
         self,
@@ -90,24 +83,7 @@ class CorpusIndex:
         until: Optional[dt.date] = None,
     ) -> Tuple[int, int]:
         """The [lo, hi) position slice covering ``since <= date <= until``."""
-        lo = 0 if since is None else bisect_left(self._dates, since)
-        hi = len(self._dates) if until is None else bisect_right(self._dates, until)
-        return lo, max(lo, hi)
-
-    def _confirmed_positions(self, canonical: str, lo: int, hi: int) -> Set[int]:
-        """Window positions provably matching ``canonical`` via postings."""
-        confirmed: Set[int] = set()
-        for postings in (
-            self._tag_postings,
-            self._token_postings,
-            self._stem_postings,
-        ):
-            positions = postings.get(canonical)
-            if positions:
-                start = bisect_left(positions, lo)
-                stop = bisect_left(positions, hi)
-                confirmed.update(positions[start:stop])
-        return confirmed
+        return self._columns.window_bounds(since, until)
 
     def search_many(
         self,
@@ -117,45 +93,28 @@ class CorpusIndex:
         until: Optional[dt.date] = None,
         limit: Optional[int] = None,
     ) -> Dict[str, List[Post]]:
-        """Resolve every keyword of a batch in one corpus sweep.
+        """Resolve every keyword of a batch in one arena sweep each.
 
         Returns a mapping from each input keyword (duplicates folded,
         order preserved) to its matching posts, oldest first, truncated
         to ``limit`` per keyword.  Keywords sharing a canonical form are
         matched once and share the result list.
         """
-        lo, hi = self.window_bounds(since, until)
+        columns = self._columns
+        lo, hi = columns.window_bounds(since, until)
 
         # Group keywords by canonical form; each group is matched once.
         groups: Dict[str, List[str]] = {}
         for keyword in dict.fromkeys(keywords):
             groups.setdefault(canonical_keyword(keyword), []).append(keyword)
 
-        jobs: List[Tuple[str, Set[int], List[int]]] = [
-            (canonical, self._confirmed_positions(canonical, lo, hi), [])
-            for canonical in groups
-        ]
-        # Keywords folding to the empty string can never free-text match
-        # (keyword_in_text returns False); only their hashtag-confirmed
-        # posts — the legacy hashtag-index union — survive.
-        sweep_jobs = [job for job in jobs if job[0]]
-
-        haystacks = self._haystacks
-        for position in range(lo, hi):
-            haystack = haystacks[position]
-            for canonical, confirmed, matched in sweep_jobs:
-                if position in confirmed or canonical in haystack:
-                    matched.append(position)
-
-        order = self._order
         results: Dict[str, List[Post]] = {}
-        for canonical, confirmed, matched in jobs:
-            if not canonical:
-                matched = sorted(confirmed)
+        for canonical, originals in groups.items():
+            matched = columns.search_positions(canonical, lo, hi)
             if limit is not None:
                 matched = matched[:limit]
-            posts = [order[position] for position in matched]
-            for keyword in groups[canonical]:
+            posts = columns.posts_at(matched)
+            for keyword in originals:
                 results[keyword] = list(posts)
         return results
 
@@ -167,10 +126,20 @@ class CorpusIndex:
         """A new index over this one's posts plus ``posts``.
 
         This is the compaction primitive of the streaming layer
-        (:class:`~repro.stream.index.StreamingCorpusIndex`): re-indexing
-        the union re-sorts positions and postings from scratch, but the
-        per-text analyses are served from the shared
-        :func:`~repro.nlp.analysis.analyze_text` memo, so the dominant
-        re-analysis cost is not paid twice.
+        (:class:`~repro.stream.index.StreamingCorpusIndex`).  In-order
+        extensions — the streaming common case — concatenate every
+        column at C speed and re-base posting chunks instead of
+        re-indexing; out-of-order extensions gather-merge on the global
+        sort key.  Either way the per-text analyses come from the shared
+        interner, so the dominant analysis cost is never paid twice.
         """
-        return CorpusIndex(list(self._order) + list(posts))
+        batch = ColumnarCorpus.from_posts(
+            posts, interner=self._columns.interner
+        )
+        return CorpusIndex(columns=self._columns.extended_with(batch))
+
+    def extended_with_index(self, other: Optional["CorpusIndex"]) -> "CorpusIndex":
+        """Like :meth:`extended_with`, reusing an already-built index."""
+        if other is None or len(other) == 0:
+            return self
+        return CorpusIndex(columns=self._columns.extended_with(other._columns))

@@ -44,6 +44,7 @@ from repro.stream.deltas import (
     KeywordSignals,
     SignalDelta,
     compute_signal_delta,
+    compute_signal_delta_columnar,
 )
 from repro.stream.feed import FeedSource, PostEvent, SyntheticFeed
 from repro.stream.index import StreamingCorpusIndex
@@ -87,6 +88,7 @@ __all__ = [
     "SyntheticFeed",
     "TickEvaluator",
     "compute_signal_delta",
+    "compute_signal_delta_columnar",
     "load_checkpoint",
     "merge_signals",
     "month_boundaries",

@@ -51,9 +51,16 @@ def _state_id(state: Dict[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
-def checkpoint_state(runtime: StreamRuntime) -> Dict[str, Any]:
-    """The runtime's resumable state as a JSON-serialisable document."""
-    state = runtime.state_dict()
+def checkpoint_state(
+    runtime: StreamRuntime, *, include_index: bool = True
+) -> Dict[str, Any]:
+    """The runtime's resumable state as a JSON-serialisable document.
+
+    ``include_index=False`` writes the lean pre-columnar layout: the
+    corpus index is omitted and restarts empty on restore (alerts never
+    need historical posts), trading query history for checkpoint size.
+    """
+    state = runtime.state_dict(include_index=include_index)
     # A base checkpoint *is* the snapshot: relative to this document
     # nothing is unsaved, so the persisted snapshot-dirty set is empty —
     # a runtime restored from this base delta-saves only what it
@@ -69,7 +76,10 @@ def checkpoint_state(runtime: StreamRuntime) -> Dict[str, Any]:
 
 
 def save_checkpoint(
-    runtime: StreamRuntime, path: Union[str, Path]
+    runtime: StreamRuntime,
+    path: Union[str, Path],
+    *,
+    include_index: bool = True,
 ) -> Path:
     """Write a full (base) checkpoint file; returns the written path.
 
@@ -90,7 +100,7 @@ def save_checkpoint(
             f"{type(runtime).__name__}; sharded runtimes persist via "
             "state_dict()/load_state()"
         )
-    payload = checkpoint_state(runtime)
+    payload = checkpoint_state(runtime, include_index=include_index)
     destination = Path(path)
     destination.parent.mkdir(parents=True, exist_ok=True)
     destination.write_text(
@@ -176,6 +186,11 @@ def _overlay_delta(
     current per-keyword values, so overlay is replace, not add).
     """
     state = dict(base_state)
+    # Delta checkpoints carry no index columns, and the base's index
+    # predates the delta's cursor — restoring it would silently hide
+    # the posts ingested in between.  Delta resumes keep the lean
+    # behaviour: the index restarts empty.
+    state.pop("index", None)
     deltas_delta = delta_state["deltas_delta"]
     for key, value in delta_state.items():
         if key != "deltas_delta":

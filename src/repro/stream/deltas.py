@@ -49,6 +49,7 @@ from repro.core.keywords import KeywordDatabase
 from repro.core.sai import KeywordSignals
 from repro.nlp.analysis import analyze_text
 from repro.nlp.sentiment import SentimentAnalyzer
+from repro.social.columnar import ColumnarCorpus, year_of_ordinal
 from repro.social.post import Engagement, Post
 
 #: re-exported for convenience of streaming consumers.
@@ -57,6 +58,7 @@ __all__ = [
     "KeywordSignals",
     "SignalDelta",
     "compute_signal_delta",
+    "compute_signal_delta_columnar",
 ]
 
 #: Separator between per-post haystacks in the batch match arena.  The
@@ -79,10 +81,27 @@ class _Bucket:
 
     def add(self, post: Post, sentiment: float) -> None:
         engagement = post.engagement
-        self.views += engagement.views
-        self.likes += engagement.likes
-        self.reposts += engagement.reposts
-        self.replies += engagement.replies
+        self.add_values(
+            engagement.views,
+            engagement.likes,
+            engagement.reposts,
+            engagement.replies,
+            sentiment,
+        )
+
+    def add_values(
+        self,
+        views: int,
+        likes: int,
+        reposts: int,
+        replies: int,
+        sentiment: float,
+    ) -> None:
+        """Fold one post's raw counter values in (columnar hot path)."""
+        self.views += views
+        self.likes += likes
+        self.reposts += reposts
+        self.replies += replies
         self.posts += 1
         self.sentiment_sum += sentiment
 
@@ -298,6 +317,85 @@ def compute_signal_delta(
     )
 
 
+def compute_signal_delta_columnar(
+    keywords: Sequence[str],
+    columns: ColumnarCorpus,
+    *,
+    since=None,
+    until=None,
+    region: Optional[str] = None,
+    analyzer: Optional[SentimentAnalyzer] = None,
+) -> SignalDelta:
+    """The :class:`SignalDelta` of one columnar window — no `Post` hops.
+
+    Bit-for-bit identical (float sums included) to folding the window's
+    posts through :meth:`DeltaTracker.observe`, but computed straight
+    from a :class:`~repro.social.columnar.ColumnarCorpus` segment:
+
+    * the window resolves to a position slice by bisecting the flat
+      date-ordinal column (``observed`` is pure slice arithmetic);
+    * keyword matching probes the shared haystack arena
+      (:meth:`~repro.social.columnar.ColumnarCorpus.arena_positions`),
+      one C-level scan per keyword;
+    * engagement and year come from flat-array reads, sentiment and
+      voice votes from the corpus's interned per-distinct-text analyses.
+
+    `Post` objects never materialize — the backfill path for seeding a
+    tracker from an already-indexed corpus at 10M+ posts.
+    """
+    scorer = analyzer or SentimentAnalyzer()
+    region_scope = region.strip().lower() if region else None
+    lo, hi = columns.window_bounds(since, until)
+    per_post: Dict[int, List[str]] = {}
+    for keyword in keywords:
+        for position in columns.arena_positions(keyword, lo, hi):
+            # Outer loop in ``keywords`` order => per post the matched
+            # keywords accumulate in keyword order, exactly like the
+            # per-post probe loop's — float sums stay bit-identical.
+            per_post.setdefault(position, []).append(keyword)
+
+    in_region_by_code = [
+        region_scope is None or vocab_region.lower() == region_scope
+        for vocab_region in columns.region_vocab
+    ]
+    buckets: Dict[str, Dict[int, _Bucket]] = {}
+    votes: Dict[str, List[int]] = {}
+    dirty: set = set()
+    for position in sorted(per_post):
+        matched = per_post[position]
+        analysis = columns.analysis_at(position)
+        insider_vote = bool(analysis.word_set & INSIDER_MARKERS)
+        outsider_vote = bool(analysis.word_set & OUTSIDER_MARKERS)
+        in_region = in_region_by_code[columns.region_code(position)]
+        sentiment = (
+            scorer.score_analysis(analysis).score if in_region else 0.0
+        )
+        views, likes, reposts, replies = columns.engagement_values(position)
+        year = year_of_ordinal(columns.date_ordinal(position))
+        for keyword in matched:
+            pair = votes.setdefault(keyword, [0, 0])
+            if insider_vote:
+                pair[0] += 1
+            if outsider_vote:
+                pair[1] += 1
+            if in_region:
+                years = buckets.setdefault(keyword, {})
+                bucket = years.setdefault(year, _Bucket())
+                bucket.add_values(views, likes, reposts, replies, sentiment)
+        dirty.update(matched)
+    return SignalDelta(
+        buckets={
+            keyword: {year: bucket.as_list() for year, bucket in years.items()}
+            for keyword, years in buckets.items()
+        },
+        votes={
+            keyword: (pair[0], pair[1]) for keyword, pair in votes.items()
+        },
+        dirty=tuple(sorted(dirty)),
+        observed=hi - lo,
+    )
+
+
 class DeltaTracker:
     """Maps arriving posts to affected keywords and keeps running sums.
 
@@ -409,6 +507,31 @@ class DeltaTracker:
         """
         delta = compute_signal_delta(
             self._keywords, posts, region=self._region, analyzer=self._analyzer
+        )
+        self.apply_delta(delta)
+        return frozenset(delta.dirty)
+
+    def ingest_columnar(
+        self,
+        columns: ColumnarCorpus,
+        *,
+        since=None,
+        until=None,
+    ) -> FrozenSet[str]:
+        """Fold a columnar window in without materializing posts.
+
+        Result-identical to :meth:`observe_batch` over the window's
+        posts (bit-for-bit, float sums included) but computed straight
+        from the flat columns — the backfill path for seeding a tracker
+        from an already-indexed corpus.
+        """
+        delta = compute_signal_delta_columnar(
+            self._keywords,
+            columns,
+            since=since,
+            until=until,
+            region=self._region,
+            analyzer=self._analyzer,
         )
         self.apply_delta(delta)
         return frozenset(delta.dirty)

@@ -6,13 +6,20 @@ appended post would shift every position after it.  Instead of patching
 postings in place, :class:`StreamingCorpusIndex` uses the classic
 delta-segment layout of streaming search engines:
 
-* an immutable **base segment** (a full :class:`CorpusIndex`);
+* an immutable **base segment** (a full :class:`CorpusIndex` over a
+  :class:`~repro.social.columnar.ColumnarCorpus`);
 * a mutable **tail segment** — the recently appended posts, indexed
   lazily as their own small :class:`CorpusIndex` on first query;
 * periodic **compaction** — when the tail outgrows
   ``compact_threshold``, base and tail merge into a new base via
-  :meth:`CorpusIndex.extended_with` (cheap: per-text analyses are
-  memoised), and the tail restarts empty.
+  :meth:`CorpusIndex.extended_with_index`: for in-order tails every
+  column concatenates at C speed and posting chunks are re-based, so
+  compaction is O(tail) array work, not an O(base + tail) re-index.
+
+All segments share one :class:`~repro.social.columnar.TextInterner`, so
+a text is analyzed exactly once per index lifetime no matter how many
+compactions its post survives — the bounded global ``analyze_text``
+memo cannot thrash the streaming hot path.
 
 Appending a micro-batch is O(batch); queries pay one extra (small)
 segment sweep plus an ordered merge.  Query results are post-for-post
@@ -21,13 +28,25 @@ posts — property-tested in
 ``tests/properties/test_stream_index_equivalence.py`` — including
 out-of-order arrivals: the merge keys on ``(created_at, post_id)``, the
 global sort order, not on arrival order.
+
+The index checkpoints: :meth:`state_dict` serialises both segments as
+plain columnar dicts (tail in arrival order) plus the policy and
+maintenance counters, and :meth:`load_state` restores the exact
+base/tail split — a resumed index reports the same
+:attr:`segment_stats` and answers queries identically to one that never
+stopped.
 """
 
 from __future__ import annotations
 
 import datetime as dt
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.social.columnar import (
+    TextInterner,
+    columns_to_posts,
+    posts_to_columns,
+)
 from repro.social.index import CorpusIndex
 from repro.social.post import Post
 
@@ -89,11 +108,12 @@ class StreamingCorpusIndex:
             )
         self._compact_threshold = compact_threshold
         self._compact_ratio = compact_ratio
-        self._base = CorpusIndex(posts)
+        self._interner = TextInterner()
+        self._base = CorpusIndex(posts, interner=self._interner)
         self._tail_posts: List[Post] = []
         self._tail_index: Optional[CorpusIndex] = None
         self._ids: Set[str] = {p.post_id for p in self._base.posts}
-        if len(self._ids) != len(self._base.posts):
+        if len(self._ids) != len(self._base):
             raise ValueError("initial posts contain duplicate post ids")
         self._appends = 0
         self._compactions = 0
@@ -144,7 +164,7 @@ class StreamingCorpusIndex:
         """Merge the tail into the base segment (tail restarts empty)."""
         if not self._tail_posts:
             return
-        self._base = self._base.extended_with(self._tail_posts)
+        self._base = self._base.extended_with_index(self._tail())
         self._tail_posts = []
         self._tail_index = None
         self._compactions += 1
@@ -156,12 +176,14 @@ class StreamingCorpusIndex:
         if not self._tail_posts:
             return None
         if self._tail_index is None:
-            self._tail_index = CorpusIndex(self._tail_posts)
+            self._tail_index = CorpusIndex(
+                self._tail_posts, interner=self._interner
+            )
         return self._tail_index
 
     @property
     def segment_stats(self) -> Dict[str, object]:
-        """Base/tail sizes, policy and maintenance counters."""
+        """Base/tail sizes, columnar footprint, policy and counters."""
         return {
             "base_posts": len(self._base),
             "tail_posts": len(self._tail_posts),
@@ -169,6 +191,9 @@ class StreamingCorpusIndex:
             "compactions": self._compactions,
             "compact_threshold": self._compact_threshold,
             "compact_ratio": self._compact_ratio,
+            "base_arena_chars": self._base.columns.arena_chars,
+            "base_distinct_terms": self._base.columns.distinct_terms,
+            "interned_texts": len(self._interner),
         }
 
     def __len__(self) -> int:
@@ -233,3 +258,43 @@ class StreamingCorpusIndex:
         """A compacted, immutable snapshot of the current state."""
         self.compact()
         return self._base
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot of both segments, split preserved.
+
+        The base serialises as the columnar segment's plain column dict;
+        the tail serialises the same way but in **arrival order**, so a
+        restore reproduces the exact base/tail split, compaction-policy
+        state and maintenance counters — :attr:`segment_stats` of a
+        resumed index equals the uninterrupted one's.
+        """
+        return {
+            "base": self._base.columns.state_dict(),
+            "tail": posts_to_columns(self._tail_posts),
+            "appends": self._appends,
+            "compactions": self._compactions,
+            "compact_threshold": self._compact_threshold,
+            "compact_ratio": self._compact_ratio,
+        }
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly.
+
+        The snapshot's compaction policy is adopted wholesale — a
+        resumed index must compact at exactly the moments the
+        uninterrupted run would, or the segment split diverges.
+        """
+        self._compact_threshold = int(state["compact_threshold"])  # type: ignore[arg-type]
+        ratio = state.get("compact_ratio")
+        self._compact_ratio = None if ratio is None else float(ratio)  # type: ignore[arg-type]
+        self._interner = TextInterner()
+        base_posts = columns_to_posts(state["base"])  # type: ignore[arg-type]
+        self._base = CorpusIndex(base_posts, interner=self._interner)
+        self._tail_posts = columns_to_posts(state["tail"])  # type: ignore[arg-type]
+        self._tail_index = None
+        self._ids = {p.post_id for p in base_posts}
+        self._ids.update(p.post_id for p in self._tail_posts)
+        self._appends = int(state["appends"])  # type: ignore[arg-type]
+        self._compactions = int(state["compactions"])  # type: ignore[arg-type]

@@ -509,8 +509,9 @@ class StreamRuntime:
         return {
             "ticks": len(self._ticks),
             "cursor": self._cursor,
-            # Observed, not indexed: survives a checkpoint restore,
-            # where the index deliberately restarts empty.
+            # Observed, not indexed: also survives a restore from a
+            # lean (include_index=False) checkpoint, where the index
+            # restarts empty.
             "posts_ingested": self._deltas.observed_posts,
             "posts_rejected": sum(
                 len(report.rejected) for report in self._filter_reports
@@ -563,7 +564,10 @@ class StreamRuntime:
         else:
             accepted = posts
         self._index.append(accepted)
-        self._deltas.observe_batch(accepted)
+        # The arena-sweep batch kernel: bit-for-bit the same aggregates
+        # as per-post observe(), one C-level scan per keyword instead of
+        # len(batch) x len(keywords) substring probes.
+        self._deltas.ingest_batch(accepted)
         # take_dirty also folds in any dirty keywords a restored
         # checkpoint carried over from an interrupted tick.
         dirty = self._deltas.take_dirty()
@@ -638,13 +642,17 @@ class StreamRuntime:
 
     # -- checkpoint support -------------------------------------------------
 
-    def state_dict(self) -> Dict[str, object]:
+    def state_dict(self, *, include_index: bool = True) -> Dict[str, object]:
         """JSON-serialisable snapshot of all resumable state.
 
-        The index is *not* serialised — alerts never need historical
-        posts (aggregates carry the evidence), and a queryable index can
-        be re-hydrated by replaying the feed into
-        :meth:`StreamingCorpusIndex.append` if needed.
+        The corpus index serialises as plain columnar segments
+        (:meth:`StreamingCorpusIndex.state_dict`), so a restored runtime
+        reports the exact base/tail split and answers historical queries
+        identically to one that never stopped.  Pass
+        ``include_index=False`` for the lean pre-columnar layout —
+        alerts never need historical posts (aggregates carry the
+        evidence), so index-less checkpoints remain fully resumable,
+        merely with an index that restarts empty.
         """
         state: Dict[str, object] = {
             "cursor": self._cursor,
@@ -655,6 +663,8 @@ class StreamRuntime:
         }
         state.update(self._evaluator.state_slice())
         state["deltas"] = self._deltas.state_dict()
+        if include_index:
+            state["index"] = self._index.state_dict()
         return state
 
     def delta_state_dict(self) -> Dict[str, object]:
@@ -706,6 +716,9 @@ class StreamRuntime:
             database_matches=state.get("db_version") == self._database.version,
         )
         self._deltas.load_state(state["deltas"])  # type: ignore[arg-type]
+        index_state = state.get("index")
+        if index_state is not None:
+            self._index.load_state(index_state)  # type: ignore[arg-type]
 
 
 def _table_state(table: Optional[WeightTable]) -> Optional[Dict[str, object]]:

@@ -543,12 +543,14 @@ class ShardedStreamRuntime:
 
     # -- checkpoint support -------------------------------------------------
 
-    def state_dict(self) -> Dict[str, object]:
+    def state_dict(self, *, include_index: bool = True) -> Dict[str, object]:
         """JSON-serialisable snapshot of all resumable state.
 
-        Per-shard cursors and tracker aggregates plus the shared
-        evaluator state; the per-shard indexes are rebuildable from the
-        feeds, exactly like the single runtime's.
+        Per-shard cursors, tracker aggregates and columnar index
+        segments plus the shared evaluator state.  Like the single
+        runtime's, ``include_index=False`` keeps the lean layout: the
+        per-shard indexes are rebuildable from the feeds and restart
+        empty on restore.
         """
         state: Dict[str, object] = {
             "cursors": list(self.cursors),
@@ -561,6 +563,10 @@ class ShardedStreamRuntime:
         state["shard_deltas"] = [
             shard.deltas.state_dict() for shard in self._shards
         ]
+        if include_index:
+            state["shard_indexes"] = [
+                shard.index.state_dict() for shard in self._shards
+            ]
         return state
 
     def load_state(self, state: Mapping[str, object]) -> None:
@@ -584,11 +590,19 @@ class ShardedStreamRuntime:
             state,
             database_matches=state.get("db_version") == self._database.version,
         )
-        for shard, cursor, shard_state in zip(
-            self._shards, cursors, shard_states
+        index_states = state.get("shard_indexes")
+        if index_states is not None and len(index_states) != len(self._shards):  # type: ignore[arg-type]
+            raise ValueError(
+                f"checkpoint has {len(index_states)} shard indexes, "  # type: ignore[arg-type]
+                f"runtime has {len(self._shards)}"
+            )
+        for position, (shard, cursor, shard_state) in enumerate(
+            zip(self._shards, cursors, shard_states)
         ):
             shard.cursor = int(cursor)
             shard.deltas.load_state(shard_state)
+            if index_states is not None:
+                shard.index.load_state(index_states[position])  # type: ignore[index]
         # Rebuild the maintained merge from the restored shard trackers;
         # the merged dirty set is the union of the shards' interrupted
         # dirty sets, so a mid-tick stop re-evaluates exactly them.

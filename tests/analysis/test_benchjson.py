@@ -9,6 +9,8 @@ from repro.analysis.benchjson import (
     BenchResult,
     bench_file_path,
     load_bench_result,
+    peak_rss_kb,
+    rss_regression,
     speedup_regression,
     validate_payload,
     write_bench_result,
@@ -82,7 +84,20 @@ class TestIO:
         assert path == bench_file_path("indexed_corpus", tmp_path)
         assert path.name == "BENCH_indexed_corpus.json"
         payload = load_bench_result(path)
+        # The writer stamps extra.peak_rss_kb; everything else must
+        # round-trip untouched.
+        payload["extra"].pop("peak_rss_kb", None)
         assert payload == result().to_payload()
+
+    def test_write_stamps_peak_rss(self, tmp_path):
+        path = write_bench_result(result(), tmp_path)
+        stamped = load_bench_result(path)["extra"].get("peak_rss_kb")
+        assert isinstance(stamped, int) and stamped > 0
+
+    def test_write_keeps_bench_provided_rss(self, tmp_path):
+        mine = result(extra={"peak_rss_kb": 12345})
+        path = write_bench_result(mine, tmp_path)
+        assert load_bench_result(path)["extra"]["peak_rss_kb"] == 12345
 
     def test_load_rejects_invalid_record(self, tmp_path):
         path = tmp_path / "BENCH_bad.json"
@@ -137,3 +152,48 @@ class TestSpeedupRegression:
             speedup_regression(
                 self.payload(5.0), self.payload(5.0, bench="other")
             )
+
+
+class TestPeakRss:
+    def test_positive_on_posix(self):
+        rss = peak_rss_kb()
+        assert rss is None or rss > 0
+
+    def test_monotonic(self):
+        first = peak_rss_kb()
+        second = peak_rss_kb()
+        if first is not None:
+            assert second >= first
+
+
+class TestRssRegression:
+    @staticmethod
+    def payload(rss, bench="columnar"):
+        extra = {} if rss is None else {"peak_rss_kb": rss}
+        return {"bench": bench, "extra": extra}
+
+    def test_holding_rss_passes(self):
+        assert rss_regression(self.payload(1000), self.payload(1000)) is None
+
+    def test_within_ratio_passes(self):
+        assert rss_regression(self.payload(1999), self.payload(1000)) is None
+
+    def test_blow_up_is_reported(self):
+        problem = rss_regression(self.payload(2001), self.payload(1000))
+        assert problem is not None
+        assert "columnar" in problem
+        assert "2001" in problem
+
+    def test_missing_key_never_flags(self):
+        assert rss_regression(self.payload(None), self.payload(1000)) is None
+        assert rss_regression(self.payload(9999), self.payload(None)) is None
+
+    def test_custom_ratio(self):
+        assert (
+            rss_regression(
+                self.payload(1200), self.payload(1000), ratio=1.1
+            )
+            is not None
+        )
+        with pytest.raises(ValueError):
+            rss_regression(self.payload(1), self.payload(1), ratio=1.0)

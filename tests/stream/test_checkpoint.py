@@ -152,8 +152,8 @@ class TestCheckpointFormat:
             target=ECM_TARGET,
             batch_size=BATCH,
         )
-        # the index restarts empty by design, but the ingest counter
-        # reflects the restored history
+        # the ingest counter comes from the aggregates, not the index,
+        # so it also survives lean (include_index=False) restores
         assert resumed.stream_stats["posts_ingested"] == (
             runtime.stream_stats["posts_ingested"]
         )
@@ -228,6 +228,70 @@ class TestCheckpointFormat:
         assert (
             resumed.current_table.as_rows() == runtime.current_table.as_rows()
         )
+
+
+class TestIndexRestoration:
+    """Base checkpoints restore the columnar index segments exactly."""
+
+    def test_resumed_index_segments_match_uninterrupted(self, tmp_path):
+        reference = _runtime(compact_threshold=128)
+        reference.run()
+        # The parity below must cover real compaction churn.
+        assert reference.index.segment_stats["compactions"] >= 2
+
+        interrupted = _runtime(compact_threshold=128)
+        for _ in range(3):
+            interrupted.step()
+        path = save_checkpoint(interrupted, tmp_path / "ix.ckpt.json")
+
+        resumed = restore_runtime(
+            path,
+            SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+            build_ecm_database(),
+            target=ECM_TARGET,
+            batch_size=BATCH,
+        )
+        # Immediately queryable with the exact base/tail split — not a
+        # rebuilt approximation of it.
+        assert resumed.index.segment_stats == interrupted.index.segment_stats
+        assert list(resumed.index.posts) == list(interrupted.index.posts)
+
+        resumed.run()
+        assert resumed.index.segment_stats == reference.index.segment_stats
+        assert [p.post_id for p in resumed.index.posts] == [
+            p.post_id for p in reference.index.posts
+        ]
+        for keyword in build_ecm_database().keywords:
+            assert [
+                p.post_id for p in resumed.index.matching(keyword)
+            ] == [p.post_id for p in reference.index.matching(keyword)]
+        assert _alert_keys(interrupted) + _alert_keys(resumed) == (
+            _alert_keys(reference)
+        )
+
+    def test_checkpoint_state_is_json_serialisable_with_index(self):
+        runtime = _runtime()
+        runtime.step()
+        payload = checkpoint_state(runtime)
+        assert "index" in payload["runtime"]
+        json.dumps(payload)
+
+    def test_lean_checkpoint_omits_index_and_still_resumes(self, tmp_path):
+        runtime = _runtime()
+        runtime.step()
+        payload = checkpoint_state(runtime, include_index=False)
+        assert "index" not in payload["runtime"]
+        path = tmp_path / "lean.ckpt.json"
+        path.write_text(json.dumps(payload))
+        resumed = restore_runtime(
+            path,
+            SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+            build_ecm_database(),
+            target=ECM_TARGET,
+            batch_size=BATCH,
+        )
+        assert len(resumed.index) == 0
+        assert resumed.cursor == runtime.cursor
 
 
 class TestDeltaCheckpoints:
