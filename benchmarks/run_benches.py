@@ -25,7 +25,8 @@ than doubles the committed one (the CI regression gates); benches
 without a committed record — or whose committed record ran a different
 workload profile (e.g. the S9 smoke profile vs the committed full
 profile) — are skipped with a note.  ``--smoke`` switches
-profile-capable benches (columnar) to their fast smoke workload.
+profile-capable benches (columnar, retention) to their fast smoke
+workload.
 """
 
 from __future__ import annotations

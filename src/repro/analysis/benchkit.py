@@ -1217,6 +1217,317 @@ def run_columnar_bench(profile: str = "full") -> BenchResult:
     )
 
 
+# -- tiered retention vs single-tier flat index ------------------------------
+
+#: S10 workload profiles: a multi-year sharded stream replayed twice —
+#: once on the tiered (hot/warm/cold) index, once on the single-tier
+#: PR-7 configuration — comparing *steady-state tick latency* and peak
+#: RSS.  ``full`` is the acceptance workload (5 years); ``smoke`` is the
+#: CI profile — same kernels, same equivalence checks, a fraction of
+#: the wall time.
+S10_PROFILES: Dict[str, Dict[str, int]] = {
+    "full": {
+        "years": 5,
+        "posts_per_day": 1024,
+        "batch_posts": 256,
+        "shards": 2,
+        "distinct_texts": 262_144,
+        "warm_span_days": 90,
+        "cold_age_days": 365,
+        "replay_months": 6,
+    },
+    "smoke": {
+        "years": 2,
+        "posts_per_day": 96,
+        "batch_posts": 128,
+        "shards": 2,
+        "distinct_texts": 12_288,
+        "warm_span_days": 60,
+        "cold_age_days": 180,
+        "replay_months": 2,
+    },
+}
+
+#: Peak-RSS ratio budget (tiered phase over flat phase) per profile.
+#: The counter is the process-lifetime ``ru_maxrss`` maximum and the
+#: tiered phase runs first, so the ratio is exact for the tiered side
+#: and conservative for the flat side (if the flat phase never exceeds
+#: the tiered peak the ratio reads 1.0 and the gate fails loudly).
+#: The smoke stream is too short for cold tiers to dominate the
+#: footprint, so its budget is looser than the acceptance 0.5x.
+S10_RSS_RATIO_BUDGET: Dict[str, float] = {
+    "full": 0.5,
+    "smoke": 0.9,
+}
+
+#: One in eight topics bears an attack keyword: the per-tick delta
+#: compute (arena sweep + sentiment for matches) is then a minority
+#: cost shared by both sides, and the measured ratio isolates the
+#: structural difference — bounded per-span tier maintenance vs
+#: O(corpus) single-tier compactions that grow with stream age.
+_S10_TOPICS = (
+    "dpf delete kit fitted for the fleet",
+    "routine telematics mileage log",
+    "dealer service inspection note",
+    "depot fuel consumption summary",
+    "tyre rotation schedule reminder",
+    "driver shift handover checklist",
+    "winter coolant level audit",
+    "trailer brake wear measurement",
+)
+
+_S10_KEYWORDS = ("dpf delete", "egr removal", "adblue off")
+
+
+def _s10_database() -> KeywordDatabase:
+    database = KeywordDatabase()
+    for keyword in _S10_KEYWORDS:
+        database.add(
+            AttackKeyword(keyword=keyword, vector=AttackVector.LOCAL)
+        )
+    return database
+
+
+def _s10_text_pool(distinct_texts: int) -> List[str]:
+    """Deterministic pool of distinct post texts (1/8 keyword-bearing)."""
+    topics = _S10_TOPICS
+    return [
+        f"{topics[i % len(topics)]} unit{i:06d}"
+        for i in range(distinct_texts)
+    ]
+
+
+def _s10_run_phase(
+    runtime,
+    *,
+    n_posts: int,
+    batch_posts: int,
+    shards: int,
+    pool: Sequence[str],
+    posts_per_day: int,
+) -> List[float]:
+    """Push the deterministic stream through one runtime, timing ticks.
+
+    Events are generated on the fly and handed to the push-style
+    :meth:`~repro.stream.sharding.ShardedStreamRuntime.ingest`, so no
+    feed retains the stream and the peak-RSS samples reflect the index
+    layout under test, not a pre-materialized post list.  Text indices
+    map *monotonically* onto the stream (``pool[i * n_pool // n_posts]``,
+    each distinct text used for a consecutive run of posts) — the
+    realistic shape for evolving chatter, and the one that lets the
+    tiered side actually retire cold texts from the interner pool.
+    Generation is untimed; only ``ingest`` is on the clock.
+    """
+    import datetime as dt
+
+    from repro.social.post import Engagement
+    from repro.stream.feed import PostEvent
+
+    regions = _S9_REGIONS
+    n_pool = len(pool)
+    per_tick = batch_posts * shards
+    seqs = [0] * shards
+    tick_seconds: List[float] = []
+    for start in range(0, n_posts, per_tick):
+        batches: List[List[PostEvent]] = [[] for _ in range(shards)]
+        for i in range(start, min(start + per_tick, n_posts)):
+            shard = i % shards
+            post = Post(
+                post_id=f"s10{i:08d}",
+                text=pool[(i * n_pool) // n_posts],
+                author=f"user{i % 311}",
+                created_at=dt.date.fromordinal(
+                    _S9_START_ORDINAL + i // posts_per_day
+                ),
+                region=regions[i % 3],
+                engagement=Engagement(
+                    views=(i * 7) % 4096,
+                    likes=(i * 3) % 512,
+                    reposts=i % 65,
+                    replies=i % 23,
+                ),
+            )
+            batches[shard].append(PostEvent(seq=seqs[shard], post=post))
+            seqs[shard] += 1
+        begin = time.perf_counter()
+        runtime.ingest(batches)
+        tick_seconds.append(time.perf_counter() - begin)
+    return tick_seconds
+
+
+def _s10_steady_seconds(tick_seconds: Sequence[float]) -> float:
+    """Mean per-tick latency over the final 20% of ticks.
+
+    By then the flat side's corpus — and with it each compaction — has
+    reached its full-stream size, while the tiered side has settled
+    into its bounded hot/warm working set; the tail mean is the
+    steady-state cost an always-on monitor actually pays.
+    """
+    window = max(1, len(tick_seconds) // 5)
+    tail = tick_seconds[-window:]
+    return sum(tail) / len(tail)
+
+
+def _s10_alert_keys(runtime) -> List[tuple]:
+    return [
+        (
+            alert.upto_year,
+            alert.changes,
+            alert.result.insider_table.as_rows(),
+        )
+        for alert in runtime.alerts
+    ]
+
+
+def run_retention_bench(profile: str = "full") -> BenchResult:
+    """Time tiered steady-state ticks against the single-tier index.
+
+    Both phases drive the identical deterministic multi-year stream
+    through a :class:`~repro.stream.sharding.ShardedStreamRuntime` —
+    first on the tiered hot/warm/cold index (retention knobs set),
+    then on the single-tier PR-7 configuration (flat columnar index,
+    default compaction policy).  ``naive_seconds`` /
+    ``engine_seconds`` are the *steady-state per-tick latency means*
+    (final 20% of ticks), so ``speedup`` is the flat-over-tiered
+    latency ratio: the factor by which tier decay shrinks the
+    always-on monitor's tick cost once the corpus has aged.
+
+    The tiered phase runs first: ``ru_maxrss`` is a process-lifetime
+    maximum, so its snapshot is an exact tiered ceiling and the flat
+    phase can only push the counter higher.  ``extra.rss_ratio``
+    (tiered peak over flat peak) must come in under the profile's
+    budget — 0.5x on the acceptance profile.
+
+    Equivalence is twofold: the two phases — identical stream,
+    identical database — must raise identical alert sequences and
+    finish on the identical SAI table, and a tiered sharded
+    ``replay_scenario`` audit must hold parity (plus checkpoint
+    resume and bounded memory) against the paper's batch monitor.
+    """
+    import gc
+
+    from repro.analysis.benchjson import peak_rss_kb
+    from repro.core.config import TargetApplication
+    from repro.core.executor import resolve_executor
+    from repro.stream.feed import SyntheticFeed
+    from repro.stream.replay import replay_scenario
+    from repro.stream.sharding import ShardedStreamRuntime
+
+    if profile not in S10_PROFILES:
+        raise ValueError(
+            f"profile must be one of {sorted(S10_PROFILES)}, got {profile!r}"
+        )
+    dims = S10_PROFILES[profile]
+    n_posts = dims["years"] * 365 * dims["posts_per_day"]
+    shards = dims["shards"]
+    pool = _s10_text_pool(dims["distinct_texts"])
+    target = TargetApplication("fleet", "europe", "stream")
+
+    def _phase(**index_knobs):
+        analyze_text.cache_clear()
+        runtime = ShardedStreamRuntime(
+            [SyntheticFeed(()) for _ in range(shards)],
+            _s10_database(),
+            target=target,
+            since_year=2019,
+            batch_size=dims["batch_posts"],
+            executor=resolve_executor(shards, prefer="thread"),
+            **index_knobs,
+        )
+        ticks = _s10_run_phase(
+            runtime,
+            n_posts=n_posts,
+            batch_posts=dims["batch_posts"],
+            shards=shards,
+            pool=pool,
+            posts_per_day=dims["posts_per_day"],
+        )
+        result = runtime.current_result
+        summary = {
+            "ticks": ticks,
+            "alerts": _s10_alert_keys(runtime),
+            "table": result.sai.as_rows() if result is not None else None,
+            "segments": runtime.stream_stats["shard_stats"][0]["index"],
+        }
+        runtime.close()
+        return summary
+
+    tiered = _phase(
+        warm_span_days=dims["warm_span_days"],
+        cold_age_days=dims["cold_age_days"],
+    )
+    tiered_rss = peak_rss_kb()
+    gc.collect()
+
+    flat = _phase()
+    flat_rss = peak_rss_kb()
+
+    engine_s = _s10_steady_seconds(tiered["ticks"])
+    naive_s = _s10_steady_seconds(flat["ticks"])
+    phases_agree = (
+        tiered["alerts"] == flat["alerts"]
+        and tiered["table"] == flat["table"]
+        and tiered["table"] is not None
+    )
+    replay = replay_scenario(
+        "excavator",
+        months=dims["replay_months"],
+        shards=2,
+        warm_span_days=dims["warm_span_days"],
+        cold_age_days=dims["cold_age_days"],
+    )
+
+    rss_ratio = (
+        tiered_rss / flat_rss
+        if tiered_rss is not None and flat_rss
+        else None
+    )
+    budget = S10_RSS_RATIO_BUDGET[profile]
+    return BenchResult(
+        name="retention",
+        workload={
+            "posts": n_posts,
+            "years": dims["years"],
+            "posts_per_day": dims["posts_per_day"],
+            "batch_posts": dims["batch_posts"],
+            "shards": shards,
+            "distinct_texts": len(pool),
+            "warm_span_days": dims["warm_span_days"],
+            "cold_age_days": dims["cold_age_days"],
+            "profile": profile,
+        },
+        naive_seconds=naive_s,
+        engine_seconds=engine_s,
+        equivalent=phases_agree and replay.ok,
+        extra={
+            "profile": profile,
+            "semantics": (
+                "naive/engine seconds are steady-state per-tick latency "
+                "means over the final 20% of ticks (flat single-tier vs "
+                "tiered); speedup is their ratio"
+            ),
+            "ticks": len(tiered["ticks"]),
+            "steady_ticks": max(1, len(tiered["ticks"]) // 5),
+            "tiered_total_seconds": round(sum(tiered["ticks"]), 4),
+            "flat_total_seconds": round(sum(flat["ticks"]), 4),
+            "peak_rss_kb_tiered_phase": tiered_rss,
+            "peak_rss_kb_flat_phase": flat_rss,
+            "rss_ratio": (
+                round(rss_ratio, 4) if rss_ratio is not None else None
+            ),
+            "rss_ratio_budget": budget,
+            "rss_within_budget": (
+                rss_ratio is not None and rss_ratio <= budget
+            ),
+            "phase_alert_parity": phases_agree,
+            "replay_scenario": "excavator",
+            "replay_ok": replay.ok,
+            "tiered_segments": tiered["segments"],
+            "flat_segments": flat["segments"],
+        },
+    )
+
+
 #: Registry used by ``benchmarks/run_benches.py``.
 BENCH_RUNNERS: Dict[str, Callable[[], BenchResult]] = {
     "indexed_corpus": run_indexed_corpus_bench,
@@ -1226,8 +1537,9 @@ BENCH_RUNNERS: Dict[str, Callable[[], BenchResult]] = {
     "stream": run_stream_bench,
     "shard": run_shard_bench,
     "columnar": run_columnar_bench,
+    "retention": run_retention_bench,
 }
 
 #: Benches whose runner accepts a ``profile`` keyword ("full"/"smoke");
 #: ``run_benches.py --smoke`` switches these to their smoke profile.
-PROFILED_BENCHES = frozenset({"columnar"})
+PROFILED_BENCHES = frozenset({"columnar", "retention"})

@@ -180,6 +180,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         post_filter=PostAuthenticityFilter() if args.filter else None,
         batch_size=args.batch_size,
         compact_ratio=args.compact_ratio,
+        warm_span_days=args.warm_span,
+        cold_age_days=args.cold_age,
     )
     posts = spec.corpus().posts
     if args.shards > 1:
@@ -216,6 +218,28 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f"({stats['posts_rejected']} rejected), {stats['retunes']} retunes, "
         f"{stats['tara_rescores']} TARA rescores, {stats['alerts']} alert(s)"
     )
+    def tier_lines(segments):
+        tiers = segments.get("tiers")
+        if tiers is None:
+            return ["  (flat index — no tiers; set --warm-span/--cold-age)"]
+        hot, warm, cold = tiers["hot"], tiers["warm"], tiers["cold"]
+        return [
+            f"  hot:  {hot['posts']} posts across {hot['spans']} span(s)",
+            f"  warm: {warm['posts']} posts in {warm['chunks']} chunk(s) "
+            f"over {warm['spans']} span(s), {warm['arena_chars']} arena "
+            f"chars, last seal @append {warm['last_seal_append']}, last "
+            f"consolidation @append {warm['last_consolidation_append']}",
+            f"  cold: {cold['posts']} posts in {cold['segments']} "
+            f"segment(s), {cold['sidecars']} sidecar(s) holding "
+            f"{cold['sidecar_entries']} keyword-year entries, last seal "
+            f"@append {cold['last_seal_append']}",
+            f"  seals: {segments['hot_seals']} hot, "
+            f"{segments['consolidations']} consolidation(s), "
+            f"{segments['cold_seals']} cold; interner retains "
+            f"{segments['interned_texts']} texts "
+            f"({segments['interner_evicted']} evicted)",
+        ]
+
     if args.shards > 1:
         for shard in stats["shard_stats"]:
             segments = shard["index"]
@@ -225,6 +249,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 f"{segments['tail_posts']}, {segments['compactions']} "
                 "compaction(s)"
             )
+            if args.stats:
+                for line in tier_lines(segments):
+                    print(line)
     else:
         segments = stats["index"]
         print(
@@ -232,6 +259,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"{segments['tail_posts']} posts, {segments['compactions']} "
             "compaction(s)"
         )
+        if args.stats:
+            for line in tier_lines(segments):
+                print(line)
+    if stats.get("learned_keywords"):
+        print(f"learned keywords: {', '.join(stats['learned_keywords'])}")
     return 0
 
 
@@ -257,6 +289,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             months=months,
             shards=args.shards,
             workers=args.workers,
+            warm_span_days=args.warm_span,
+            cold_age_days=args.cold_age,
         )
         print(report.describe())
         if not report.ok:
@@ -382,6 +416,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="also compact the index when tail/base exceeds this ratio "
              "(default: fixed threshold only)",
     )
+    stream.add_argument(
+        "--warm-span", type=int, default=None, metavar="DAYS",
+        help="tiered retention: seal hot posts into date-bounded warm "
+             "segments of this many days (default: flat index; 90 when "
+             "only --cold-age is given)",
+    )
+    stream.add_argument(
+        "--cold-age", type=int, default=None, metavar="DAYS",
+        help="tiered retention: freeze warm segments older than this "
+             "many days into cold segments with aggregate sidecars "
+             "(default: flat index; 365 when only --warm-span is given)",
+    )
+    stream.add_argument(
+        "--stats", action="store_true",
+        help="print the per-tier segment table after the run",
+    )
     stream.set_defaults(handler=_cmd_stream)
 
     scenarios = subparsers.add_parser(
@@ -410,6 +460,16 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--workers", type=int, default=None,
         help="executor parallelism for shard ingest (default: serial)",
+    )
+    replay.add_argument(
+        "--warm-span", type=int, default=None, metavar="DAYS",
+        help="replay on tiered indexes: warm segment span in days "
+             "(default: flat index)",
+    )
+    replay.add_argument(
+        "--cold-age", type=int, default=None, metavar="DAYS",
+        help="replay on tiered indexes: cold seal age horizon in days "
+             "(default: flat index)",
     )
     replay.add_argument(
         "--smoke", action="store_true",

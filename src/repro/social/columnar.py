@@ -100,6 +100,20 @@ class TextInterner:
             self._pool[text] = analysis
         return analysis
 
+    def prune(self, keep_texts: Iterable[str]) -> int:
+        """Drop pooled analyses whose text is not in ``keep_texts``.
+
+        The tiered index calls this after a cold seal: texts that only
+        survive inside immutable cold segments no longer need a pinned
+        analysis (cold materialization re-analyzes into a throwaway
+        pool).  Returns the number of evicted entries.
+        """
+        keep = keep_texts if isinstance(keep_texts, set) else set(keep_texts)
+        stale = [text for text in self._pool if text not in keep]
+        for text in stale:
+            del self._pool[text]
+        return len(stale)
+
     def __len__(self) -> int:
         return len(self._pool)
 
@@ -474,6 +488,10 @@ class ColumnarCorpus:
     def analysis_at(self, position: int) -> PostAnalysis:
         """The pooled analysis of the post at ``position``."""
         return self._interner.analysis(self._texts[position])
+
+    def iter_texts(self) -> Iterable[str]:
+        """The stored (pooled) post texts, in position order."""
+        return iter(self._texts)
 
     def post(self, position: int) -> Post:
         """Materialize (and cache) the `Post` at one position."""

@@ -10,6 +10,10 @@ everything.  This package is their streaming counterpart — the paper's
 * :mod:`repro.stream.index` — an appendable corpus index
   (:class:`StreamingCorpusIndex`: immutable base + mutable tail segment,
   periodically compacted, query-equivalent to a from-scratch rebuild);
+* :mod:`repro.stream.tiers` — the time-decay tiered index
+  (:class:`TieredCorpusIndex`: hot tail / date-bounded warm segments /
+  immutable cold segments with aggregate sidecars, per-tier compaction
+  cadence) behind the :func:`build_stream_index` factory;
 * :mod:`repro.stream.deltas` — dirty-keyword tracking and running SAI
   aggregates, so an arriving micro-batch updates keyword evidence in
   O(new posts) instead of O(corpus);
@@ -42,12 +46,19 @@ from repro.stream.checkpoint import (
 from repro.stream.deltas import (
     DeltaTracker,
     KeywordSignals,
+    SegmentSidecar,
     SignalDelta,
     compute_signal_delta,
     compute_signal_delta_columnar,
 )
 from repro.stream.feed import FeedSource, PostEvent, SyntheticFeed
 from repro.stream.index import StreamingCorpusIndex
+from repro.stream.tiers import (
+    DEFAULT_COLD_AGE_DAYS,
+    DEFAULT_WARM_SPAN_DAYS,
+    TieredCorpusIndex,
+    build_stream_index,
+)
 from repro.stream.replay import (
     BestEffortFeed,
     DelayedFeed,
@@ -71,6 +82,8 @@ __all__ = [
     "BestEffortFeed",
     "CHECKPOINT_VERSION",
     "CheckpointRotation",
+    "DEFAULT_COLD_AGE_DAYS",
+    "DEFAULT_WARM_SPAN_DAYS",
     "DelayedFeed",
     "DeltaTracker",
     "FeedSource",
@@ -80,6 +93,7 @@ __all__ = [
     "PostEvent",
     "ReplayReport",
     "RetryingFeed",
+    "SegmentSidecar",
     "ShardedStreamRuntime",
     "SignalDelta",
     "StreamRuntime",
@@ -87,6 +101,8 @@ __all__ = [
     "StreamingCorpusIndex",
     "SyntheticFeed",
     "TickEvaluator",
+    "TieredCorpusIndex",
+    "build_stream_index",
     "compute_signal_delta",
     "compute_signal_delta_columnar",
     "load_checkpoint",

@@ -71,6 +71,10 @@ def checkpoint_state(
         "checkpoint_version": CHECKPOINT_VERSION,
         "kind": KIND_BASE,
         "base_id": _state_id(state),
+        # Operator-facing context, deliberately outside the base_id hash
+        # (and ignored on restore): what the index looked like at save
+        # time, including the per-tier rows of a tiered layout.
+        "metadata": {"segment_stats": runtime.index.segment_stats},
         "runtime": state,
     }
 

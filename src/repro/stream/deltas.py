@@ -56,6 +56,7 @@ from repro.social.post import Engagement, Post
 __all__ = [
     "DeltaTracker",
     "KeywordSignals",
+    "SegmentSidecar",
     "SignalDelta",
     "compute_signal_delta",
     "compute_signal_delta_columnar",
@@ -396,14 +397,216 @@ def compute_signal_delta_columnar(
     )
 
 
+class SegmentSidecar:
+    """Precomputed per-``keyword × year`` aggregates of one sealed segment.
+
+    A cold tier segment never changes, so its contribution to the
+    running SAI aggregates can be computed once at seal time and then
+    answered as a dictionary lookup — window counts, engagement and
+    sentiment bucket sums and voice votes, exactly the fields a
+    :class:`SignalDelta` carries.  :meth:`build` sweeps the segment with
+    :func:`compute_signal_delta_columnar`, so every stored sum is
+    bit-for-bit identical to folding the segment's posts through
+    :meth:`DeltaTracker.observe`.
+
+    The keyword universe is pinned at build time; when the database
+    learns a new keyword later, :meth:`extend` materializes the raw
+    columns once, sweeps only the *missing* keywords and folds the
+    result in — the lazy per-keyword rebuild the streaming learning
+    backfill relies on.
+    """
+
+    __slots__ = ("_keywords", "_buckets", "_votes", "_posts")
+
+    def __init__(
+        self,
+        *,
+        keywords: Sequence[str],
+        buckets: Dict[str, Dict[int, List[float]]],
+        votes: Dict[str, Tuple[int, int]],
+        posts: int,
+    ) -> None:
+        self._keywords: Tuple[str, ...] = tuple(keywords)
+        self._buckets = buckets
+        self._votes = votes
+        self._posts = posts
+
+    @classmethod
+    def build(
+        cls,
+        keywords: Sequence[str],
+        columns: ColumnarCorpus,
+        *,
+        region: Optional[str] = None,
+        analyzer: Optional[SentimentAnalyzer] = None,
+    ) -> "SegmentSidecar":
+        """Sweep one sealed segment into its aggregate sidecar."""
+        delta = compute_signal_delta_columnar(
+            keywords, columns, region=region, analyzer=analyzer
+        )
+        return cls(
+            keywords=keywords,
+            buckets={
+                keyword: {int(year): list(values) for year, values in years.items()}
+                for keyword, years in delta.buckets.items()
+            },
+            votes=dict(delta.votes),
+            posts=delta.observed,
+        )
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def keywords(self) -> Tuple[str, ...]:
+        """The keyword universe this sidecar has swept."""
+        return self._keywords
+
+    @property
+    def posts(self) -> int:
+        """How many posts the sealed segment holds."""
+        return self._posts
+
+    @property
+    def entries(self) -> int:
+        """Populated ``(keyword, year)`` aggregate cells."""
+        return sum(len(years) for years in self._buckets.values())
+
+    def covers(self, keywords: Sequence[str]) -> bool:
+        """Whether every keyword in ``keywords`` has been swept."""
+        known = set(self._keywords)
+        return all(keyword in known for keyword in keywords)
+
+    def missing(self, keywords: Sequence[str]) -> Tuple[str, ...]:
+        """The subset of ``keywords`` this sidecar has not swept yet."""
+        known = set(self._keywords)
+        return tuple(k for k in keywords if k not in known)
+
+    # -- lazy per-keyword rebuild --------------------------------------------
+
+    def extend(
+        self,
+        keywords: Sequence[str],
+        columns: ColumnarCorpus,
+        *,
+        region: Optional[str] = None,
+        analyzer: Optional[SentimentAnalyzer] = None,
+    ) -> Tuple[str, ...]:
+        """Sweep the keywords of ``keywords`` not covered yet.
+
+        ``columns`` must be the (re-materialized) sealed segment this
+        sidecar was built from.  Only the missing keywords are swept;
+        returns them.  ``posts`` is unchanged — the segment itself did
+        not grow.
+        """
+        missing = self.missing(keywords)
+        if not missing:
+            return ()
+        delta = compute_signal_delta_columnar(
+            missing, columns, region=region, analyzer=analyzer
+        )
+        for keyword, years in delta.buckets.items():
+            self._buckets[keyword] = {
+                int(year): list(values) for year, values in years.items()
+            }
+        for keyword, pair in delta.votes.items():
+            self._votes[keyword] = (pair[0], pair[1])
+        self._keywords = self._keywords + missing
+        return missing
+
+    # -- lookup --------------------------------------------------------------
+
+    def as_delta(
+        self,
+        keywords: Optional[Sequence[str]] = None,
+        *,
+        count_observed: bool = True,
+    ) -> SignalDelta:
+        """The segment's aggregate contribution as a :class:`SignalDelta`.
+
+        Restricted to ``keywords`` when given (each must already be
+        covered).  With ``count_observed=False`` the delta carries zero
+        observed posts — the backfill form, which adds a late-learned
+        keyword's sums without double-counting segment volume a tracker
+        has already observed.
+        """
+        if keywords is None:
+            selected: Sequence[str] = self._keywords
+        else:
+            missing = self.missing(keywords)
+            if missing:
+                raise ValueError(
+                    f"sidecar has not swept keywords: {sorted(missing)}"
+                )
+            selected = keywords
+        buckets = {
+            keyword: {
+                year: list(values)
+                for year, values in self._buckets[keyword].items()
+            }
+            for keyword in selected
+            if keyword in self._buckets
+        }
+        votes = {
+            keyword: self._votes[keyword]
+            for keyword in selected
+            if keyword in self._votes
+        }
+        dirty = tuple(sorted(set(buckets) | set(votes)))
+        return SignalDelta(
+            buckets=buckets,
+            votes=votes,
+            dirty=dirty,
+            observed=self._posts if count_observed else 0,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serialisable sidecar snapshot (pure plain data)."""
+        return {
+            "keywords": list(self._keywords),
+            "posts": self._posts,
+            "buckets": {
+                keyword: {
+                    str(year): list(values)
+                    for year, values in sorted(years.items())
+                }
+                for keyword, years in sorted(self._buckets.items())
+            },
+            "votes": {
+                keyword: [pair[0], pair[1]]
+                for keyword, pair in sorted(self._votes.items())
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "SegmentSidecar":
+        """Rebuild a sidecar from a :meth:`state_dict` snapshot."""
+        return cls(
+            keywords=tuple(state["keywords"]),  # type: ignore[arg-type]
+            buckets={
+                keyword: {
+                    int(year): list(values)
+                    for year, values in years.items()  # type: ignore[union-attr]
+                }
+                for keyword, years in state["buckets"].items()  # type: ignore[union-attr]
+            },
+            votes={
+                keyword: (int(pair[0]), int(pair[1]))
+                for keyword, pair in state["votes"].items()  # type: ignore[union-attr]
+            },
+            posts=int(state["posts"]),  # type: ignore[arg-type]
+        )
+
+
 class DeltaTracker:
     """Maps arriving posts to affected keywords and keeps running sums.
 
     Args:
         database: the attack-keyword database; its keywords define the
-            tracked universe.  The tracker snapshots the keyword set —
-            the runtime refuses to continue over a mutated database
-            (streaming keyword learning is an open roadmap item).
+            tracked universe.  The tracker snapshots the keyword set;
+            mid-stream learning *adds* keywords via
+            :meth:`adopt_keywords` (removals still require a restart).
         region: when given, only posts of this region feed the SAI
             buckets (the batch pipeline's region-scoped query).  Voice
             votes are intentionally region-unscoped, mirroring the
@@ -444,6 +647,43 @@ class DeltaTracker:
     def region(self) -> Optional[str]:
         """The SAI region scope (None = unscoped)."""
         return self._region
+
+    @property
+    def analyzer(self) -> SentimentAnalyzer:
+        """The sentiment analyzer scoring this tracker's buckets.
+
+        Sidecar builds must share it so sealed-segment sums stay
+        bit-identical to the tracker's own accumulation.
+        """
+        return self._analyzer
+
+    def adopt_keywords(self, keywords: Sequence[str]) -> Tuple[str, ...]:
+        """Grow the tracked universe to ``keywords``; returns the added.
+
+        Mid-stream keyword learning only ever *adds* keywords (the
+        database appends learned entries), so the new tuple must contain
+        every currently tracked keyword — anything else is a different
+        monitor, not a retune, and raises ``ValueError``.  Aggregates
+        for the added keywords start empty; the caller backfills them
+        from the index (see ``signal_backfill``) and marks them dirty.
+        """
+        adopted = tuple(keywords)
+        current = set(self._keywords)
+        removed = current - set(adopted)
+        if removed:
+            raise ValueError(
+                "cannot drop tracked keywords mid-stream: "
+                f"{sorted(removed)}"
+            )
+        added = tuple(k for k in adopted if k not in current)
+        self._keywords = adopted
+        return added
+
+    def mark_dirty(self, keywords: Iterable[str]) -> None:
+        """Force keywords into the dirty sets (backfilled aggregates)."""
+        marked = set(keywords)
+        self._dirty.update(marked)
+        self._dirty_since_snapshot.update(marked)
 
     @property
     def observed_posts(self) -> int:

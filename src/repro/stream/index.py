@@ -49,6 +49,11 @@ from repro.social.columnar import (
 )
 from repro.social.index import CorpusIndex
 from repro.social.post import Post
+from repro.stream.deltas import (
+    SignalDelta,
+    compute_signal_delta,
+    compute_signal_delta_columnar,
+)
 
 #: Default tail size that triggers a base+tail compaction.
 DEFAULT_COMPACT_THRESHOLD = 1024
@@ -259,6 +264,51 @@ class StreamingCorpusIndex:
         self.compact()
         return self._base
 
+    # -- keyword backfill ---------------------------------------------------
+
+    def retained_texts(self) -> List[str]:
+        """Every retained post text (both segments), for keyword learning."""
+        texts = list(self._base.columns.iter_texts())
+        texts.extend(post.text for post in self._tail_posts)
+        return texts
+
+    def signal_backfill(
+        self,
+        keywords: Sequence[str],
+        *,
+        region: Optional[str] = None,
+        analyzer=None,
+    ) -> SignalDelta:
+        """The indexed corpus's aggregate sums for ``keywords``.
+
+        The streaming-learning backfill kernel: a
+        :class:`~repro.stream.deltas.SignalDelta` with ``observed == 0``
+        (the tracker already counted these posts) carrying the keywords'
+        SAI bucket sums and voice votes over the *whole* retained corpus
+        — votes are full-history, so the backfill must be too.  The base
+        answers via the columnar kernel, the tail via the batch arena
+        sweep.
+        """
+        merged = SignalDelta.merge(
+            (
+                compute_signal_delta_columnar(
+                    keywords,
+                    self._base.columns,
+                    region=region,
+                    analyzer=analyzer,
+                ),
+                compute_signal_delta(
+                    keywords, self._tail_posts, region=region, analyzer=analyzer
+                ),
+            )
+        )
+        return SignalDelta(
+            buckets=merged.buckets,
+            votes=merged.votes,
+            dirty=merged.dirty,
+            observed=0,
+        )
+
     # -- checkpoint support -------------------------------------------------
 
     def state_dict(self) -> Dict[str, object]:
@@ -286,6 +336,11 @@ class StreamingCorpusIndex:
         resumed index must compact at exactly the moments the
         uninterrupted run would, or the segment split diverges.
         """
+        if state.get("layout") == "tiered":
+            raise ValueError(
+                "snapshot is a tiered-index state_dict; restore it with "
+                "a TieredCorpusIndex (retention knobs set)"
+            )
         self._compact_threshold = int(state["compact_threshold"])  # type: ignore[arg-type]
         ratio = state.get("compact_ratio")
         self._compact_ratio = None if ratio is None else float(ratio)  # type: ignore[arg-type]

@@ -421,6 +421,8 @@ def _build_stream(
     workers: Optional[int],
     config: Optional[PSPConfig],
     post_filter: Optional[PostAuthenticityFilter] = None,
+    warm_span_days: Optional[int] = None,
+    cold_age_days: Optional[int] = None,
 ):
     """A fresh replay runtime (single or sharded) plus fresh feeds."""
     database = spec.database()
@@ -431,6 +433,8 @@ def _build_stream(
         post_filter=post_filter,
         compact_threshold=REPLAY_COMPACT_THRESHOLD,
         compact_ratio=REPLAY_COMPACT_RATIO,
+        warm_span_days=warm_span_days,
+        cold_age_days=cold_age_days,
     )
     if spec.outages:
         merged = DelayedFeed(posts, spec.outages)
@@ -456,6 +460,8 @@ def replay_scenario(
     workers: Optional[int] = None,
     config: Optional[PSPConfig] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
+    warm_span_days: Optional[int] = None,
+    cold_age_days: Optional[int] = None,
 ) -> ReplayReport:
     """Drive one scenario through the full three-invariant audit.
 
@@ -470,6 +476,10 @@ def replay_scenario(
         config: pipeline tunables shared by both sides.
         checkpoint_dir: where mid-run checkpoints are written
             (``shards == 1`` only); a temp directory by default.
+        warm_span_days / cold_age_days: retention knobs; setting either
+            replays on tiered indexes (hot/warm/cold with sidecars)
+            instead of the flat streaming index, with every audit —
+            parity, checkpoint resume, bounded memory — unchanged.
 
     The batch side is a cached :class:`~repro.core.framework.
     PSPFramework` driven by :meth:`~repro.core.monitor.PSPMonitor.
@@ -523,7 +533,8 @@ def replay_scenario(
 
     # -- streaming run (uninterrupted reference + mid-run checkpoints) ------
     runtime, _, _ = _build_stream(
-        spec, posts, shards=shards, workers=workers, config=config
+        spec, posts, shards=shards, workers=workers, config=config,
+        warm_span_days=warm_span_days, cold_age_days=cold_age_days,
     )
     count = len(boundaries)
     base_at = count // 3 if count >= 3 else None
@@ -644,7 +655,8 @@ def replay_scenario(
             # final.  Recompute at the retune boundary for the record.
             if batch_sai != _sai_at(
                 spec, posts, last_retuned, shards=shards, workers=workers,
-                config=config,
+                config=config, warm_span_days=warm_span_days,
+                cold_age_days=cold_age_days,
             ):
                 sai_parity = False
                 mismatches.append(
@@ -666,6 +678,8 @@ def replay_scenario(
                 config=config,
                 rotation=rotation,
                 sharded_state=sharded_state,
+                warm_span_days=warm_span_days,
+                cold_age_days=cold_age_days,
             )
             try:
                 for boundary in boundaries[resume_from + 1 :]:
@@ -726,10 +740,13 @@ def _sai_at(
     shards: int,
     workers: Optional[int],
     config: Optional[PSPConfig],
+    warm_span_days: Optional[int] = None,
+    cold_age_days: Optional[int] = None,
 ):
     """The stream's SAI rows when replayed fresh up to one boundary."""
     runtime, _, _ = _build_stream(
-        spec, posts, shards=shards, workers=workers, config=config
+        spec, posts, shards=shards, workers=workers, config=config,
+        warm_span_days=warm_span_days, cold_age_days=cold_age_days,
     )
     try:
         runtime.advance_to(boundary, upto_year=boundary.year)
@@ -748,6 +765,8 @@ def _restore_stream(
     config: Optional[PSPConfig],
     rotation: Optional[CheckpointRotation],
     sharded_state: Optional[str],
+    warm_span_days: Optional[int] = None,
+    cold_age_days: Optional[int] = None,
 ):
     """Rebuild a runtime from the mid-run checkpoint artifacts."""
     if shards == 1:
@@ -767,11 +786,14 @@ def _restore_stream(
             config=config,
             compact_threshold=REPLAY_COMPACT_THRESHOLD,
             compact_ratio=REPLAY_COMPACT_RATIO,
+            warm_span_days=warm_span_days,
+            cold_age_days=cold_age_days,
         )
         return runtime, (feed,), database
     assert sharded_state is not None
     runtime, feeds, database = _build_stream(
-        spec, posts, shards=shards, workers=workers, config=config
+        spec, posts, shards=shards, workers=workers, config=config,
+        warm_span_days=warm_span_days, cold_age_days=cold_age_days,
     )
     runtime.load_state(json.loads(sharded_state))
     return runtime, feeds, database

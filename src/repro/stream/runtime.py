@@ -54,6 +54,7 @@ from repro.iso21434.feasibility.attack_vector import WeightTable
 from repro.stream.deltas import DeltaTracker
 from repro.stream.feed import FeedSource, PostEvent
 from repro.stream.index import DEFAULT_COMPACT_THRESHOLD, StreamingCorpusIndex
+from repro.stream.tiers import build_stream_index
 from repro.tara.lifecycle import LifecycleTracker
 from repro.tara.model import compile_threat_model
 from repro.tara.scoring import (
@@ -368,9 +369,12 @@ class StreamRuntime:
 
     Args:
         feed: the event source (any :class:`~repro.stream.feed.FeedSource`).
-        database: attack-keyword database.  Snapshot semantics: mutating
-            it mid-stream (e.g. keyword learning) raises on the next
-            tick — streaming learning is an open roadmap item.
+        database: attack-keyword database.  *Additions* (keyword
+            learning) are adopted on the next tick: the tracker's
+            universe grows, the new keywords' aggregates backfill from
+            the index, and they join the dirty set.  Removals or
+            replacements still raise — that is a different monitor, not
+            a retune.
         target: what the assessment is about; its region scopes the SAI
             aggregates exactly as the batch pipeline's region filter.
         config: pipeline tunables (SAI weights, tuning thresholds).
@@ -385,6 +389,12 @@ class StreamRuntime:
         compact_threshold: tail size triggering index compaction.
         compact_ratio: optional tail/base ratio triggering compaction
             (see :class:`~repro.stream.index.StreamingCorpusIndex`).
+        warm_span_days: when set (or ``cold_age_days`` is), the index is
+            a :class:`~repro.stream.tiers.TieredCorpusIndex` with warm
+            spans of this many days of post dates.
+        cold_age_days: age horizon past which whole warm spans seal into
+            immutable cold segments with aggregate sidecars (see
+            :mod:`repro.stream.tiers`).
     """
 
     def __init__(
@@ -401,6 +411,8 @@ class StreamRuntime:
         batch_size: int = DEFAULT_BATCH_SIZE,
         compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
         compact_ratio: Optional[float] = None,
+        warm_span_days: Optional[int] = None,
+        cold_age_days: Optional[int] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -424,9 +436,16 @@ class StreamRuntime:
             network=network,
             tracker=tracker,
         )
-        self._index = StreamingCorpusIndex(
+        self._index = build_stream_index(
             compact_threshold=compact_threshold,
             compact_ratio=compact_ratio,
+            warm_span_days=warm_span_days,
+            cold_age_days=cold_age_days,
+            # Cold sidecars must share the tracker's scoring context so
+            # their sums stay bit-identical to per-post observe folding.
+            sidecar_keywords=database.keywords,
+            sidecar_region=self._deltas.region,
+            sidecar_analyzer=self._deltas.analyzer,
         )
 
         self._cursor = -1
@@ -435,6 +454,7 @@ class StreamRuntime:
         self._ticks: List[StreamTick] = []
         self._filter_reports: List[FilterReport] = []
         self._checkpoint_base_id: Optional[str] = None
+        self._adopted_keywords: List[str] = []
 
     # -- introspection ------------------------------------------------------
 
@@ -444,8 +464,13 @@ class StreamRuntime:
         return self._cursor
 
     @property
-    def index(self) -> StreamingCorpusIndex:
-        """The appendable corpus index of everything ingested."""
+    def index(self):
+        """The appendable corpus index of everything ingested.
+
+        A :class:`StreamingCorpusIndex`, or a
+        :class:`~repro.stream.tiers.TieredCorpusIndex` when retention
+        knobs were set — query- and checkpoint-compatible either way.
+        """
         return self._index
 
     @property
@@ -520,6 +545,7 @@ class StreamRuntime:
             "forced_retunes": self._evaluator.forced_retunes,
             "tara_rescores": self._evaluator.rescores,
             "alerts": len(self._evaluator.alerts),
+            "learned_keywords": list(self._adopted_keywords),
             "index": self._index.segment_stats,
         }
 
@@ -529,14 +555,68 @@ class StreamRuntime:
 
     # -- the tick -----------------------------------------------------------
 
-    def _check_database(self) -> None:
-        if self._database.version != self._db_version:
+    def _sync_database(self) -> Tuple[str, ...]:
+        """Adopt database additions (keyword learning) into the stream.
+
+        When the database version moved, the tracker's keyword universe
+        grows to match, the added keywords' aggregates backfill from the
+        retained index (``observed == 0`` — the posts were already
+        counted) and the additions join the dirty set so the next
+        evaluation classifies and scores them.  Anything other than pure
+        additions raises: a shrunken or replaced keyword set is a
+        different monitor and needs a fresh runtime.
+        """
+        if self._database.version == self._db_version:
+            return ()
+        try:
+            added = self._deltas.adopt_keywords(self._database.keywords)
+        except ValueError as exc:
             raise PSPError(
-                "keyword database changed mid-stream (version "
-                f"{self._db_version} -> {self._database.version}); "
-                "streaming keyword learning is not supported yet — "
-                "restart the runtime to adopt the new keyword set"
+                "keyword database changed mid-stream in an unsupported "
+                f"way (version {self._db_version} -> "
+                f"{self._database.version}): {exc} — only additions "
+                "(keyword learning) can be adopted without a restart"
+            ) from exc
+        if added:
+            backfill = self._index.signal_backfill(
+                added,
+                region=self._deltas.region,
+                analyzer=self._deltas.analyzer,
             )
+            self._deltas.apply_delta(backfill)
+            self._deltas.mark_dirty(added)
+            adopt_sidecars = getattr(
+                self._index, "adopt_sidecar_keywords", None
+            )
+            if adopt_sidecars is not None:
+                adopt_sidecars(self._deltas.keywords)
+            self._adopted_keywords.extend(added)
+        else:
+            # A version bump with no new keywords is an annotation
+            # (owner approval changed): reclassify everything next tick.
+            self._deltas.mark_dirty(self._deltas.keywords)
+        self._db_version = self._database.version
+        return added
+
+    def learn_keywords(
+        self, *, min_support: float = 0.05, max_new: int = 10
+    ) -> Tuple[str, ...]:
+        """Mine retained texts for new keywords and adopt them in-stream.
+
+        Runs the database's co-occurrence learning over the index's
+        retained texts (hot + warm for a tiered index — learning mines
+        recent chatter, not frozen history), then synchronizes the
+        stream: aggregates backfill, the learned keywords join the
+        dirty set, and the next tick scores them.  Returns the learned
+        canonical keywords.
+        """
+        learned = self._database.learn_from_texts(
+            self._index.retained_texts(),
+            min_support=min_support,
+            max_new=max_new,
+        )
+        self._sync_database()
+        return tuple(entry.keyword for entry in learned)
 
     def ingest(
         self,
@@ -553,7 +633,7 @@ class StreamRuntime:
                 alert/result labelling; defaults to the newest ingested
                 post's year.
         """
-        self._check_database()
+        self._sync_database()
         posts = [event.post for event in events]
         rejected = 0
         if self._filter is not None and posts:

@@ -62,6 +62,7 @@ from repro.stream.deltas import (
 from repro.stream.feed import FeedSource, PostEvent, SyntheticFeed
 from repro.stream.index import DEFAULT_COMPACT_THRESHOLD, StreamingCorpusIndex
 from repro.stream.runtime import DEFAULT_BATCH_SIZE, StreamTick, TickEvaluator
+from repro.stream.tiers import build_stream_index
 from repro.social.post import Post
 from repro.tara.lifecycle import LifecycleTracker
 from repro.tara.scoring import BatchTaraScorer
@@ -192,7 +193,7 @@ class _ShardState:
 
     shard_id: int
     feed: FeedSource
-    index: StreamingCorpusIndex
+    index: StreamingCorpusIndex  # or TieredCorpusIndex (duck-compatible)
     deltas: DeltaTracker
     cursor: int = -1
 
@@ -224,6 +225,11 @@ class ShardedStreamRuntime:
         batch_size: default per-shard micro-batch size for :meth:`tick`.
         compact_threshold / compact_ratio: per-shard index compaction
             policy (each shard compacts its own, smaller, segments).
+        warm_span_days / cold_age_days: per-shard retention knobs;
+            setting either builds every shard on a
+            :class:`~repro.stream.tiers.TieredCorpusIndex` (hot tail,
+            date-bounded warm segments, cold segments with aggregate
+            sidecars) instead of the flat streaming index.
         executor: explicit :mod:`~repro.core.executor` instance; wins
             over ``workers``.
         workers: requested parallelism for the shard jobs; resolved by
@@ -245,6 +251,8 @@ class ShardedStreamRuntime:
         batch_size: int = DEFAULT_BATCH_SIZE,
         compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
         compact_ratio: Optional[float] = None,
+        warm_span_days: Optional[int] = None,
+        cold_age_days: Optional[int] = None,
         executor=None,
         workers: Optional[int] = None,
     ) -> None:
@@ -270,18 +278,24 @@ class ShardedStreamRuntime:
             network=network,
             tracker=tracker,
         )
-        self._shards: List[_ShardState] = [
-            _ShardState(
-                shard_id=shard_id,
-                feed=feed,
-                index=StreamingCorpusIndex(
-                    compact_threshold=compact_threshold,
-                    compact_ratio=compact_ratio,
-                ),
-                deltas=DeltaTracker(database, region=region),
+        self._shards: List[_ShardState] = []
+        for shard_id, feed in enumerate(feeds):
+            deltas = DeltaTracker(database, region=region)
+            index = build_stream_index(
+                compact_threshold=compact_threshold,
+                compact_ratio=compact_ratio,
+                warm_span_days=warm_span_days,
+                cold_age_days=cold_age_days,
+                sidecar_keywords=database.keywords,
+                sidecar_region=deltas.region,
+                sidecar_analyzer=deltas.analyzer,
             )
-            for shard_id, feed in enumerate(feeds)
-        ]
+            self._shards.append(
+                _ShardState(
+                    shard_id=shard_id, feed=feed, index=index, deltas=deltas
+                )
+            )
+        self._adopted_keywords: List[str] = []
         #: The incrementally maintained pure-sum merge of every shard's
         #: deltas — each tick applies the shard SignalDeltas here too,
         #: which is the associative merge done additively (equal to
@@ -396,6 +410,7 @@ class ShardedStreamRuntime:
             "forced_retunes": self._evaluator.forced_retunes,
             "tara_rescores": self._evaluator.rescores,
             "alerts": len(self._evaluator.alerts),
+            "learned_keywords": list(self._adopted_keywords),
             "shard_stats": [
                 {
                     "shard": shard.shard_id,
@@ -409,14 +424,54 @@ class ShardedStreamRuntime:
 
     # -- the tick -----------------------------------------------------------
 
-    def _check_database(self) -> None:
-        if self._database.version != self._db_version:
+    def _sync_database(self) -> Tuple[str, ...]:
+        """Adopt mid-stream keyword additions across every shard.
+
+        The sharded analogue of the single runtime's sync: each shard
+        tracker (and the maintained merge) widens to the database's new
+        keyword tuple, each shard *index* backfills the added keywords'
+        aggregates over its own tiers (cold sidecars extend lazily), and
+        the backfill deltas fold into both the shard tracker and the
+        merge so the next evaluation sees full-history evidence.
+        """
+        if self._database.version == self._db_version:
+            return ()
+        old_version = self._db_version
+        adopted = self._database.keywords
+        try:
+            added = self._merged.adopt_keywords(adopted)
+            for shard in self._shards:
+                shard.deltas.adopt_keywords(adopted)
+        except ValueError as exc:
             raise PSPError(
-                "keyword database changed mid-stream (version "
-                f"{self._db_version} -> {self._database.version}); "
-                "streaming keyword learning is not supported yet — "
-                "restart the runtime to adopt the new keyword set"
-            )
+                "keyword database changed mid-stream in an unsupported "
+                f"way (version {old_version} -> "
+                f"{self._database.version}): {exc} — only additions "
+                "(keyword learning) can be adopted without a restart"
+            ) from exc
+        if added:
+            for shard in self._shards:
+                delta = shard.index.signal_backfill(
+                    added,
+                    region=shard.deltas.region,
+                    analyzer=shard.deltas.analyzer,
+                )
+                shard.deltas.apply_delta(delta)
+                shard.deltas.take_dirty()  # mirrored via the merge below
+                self._merged.apply_delta(delta)
+                adopt_sidecar = getattr(
+                    shard.index, "adopt_sidecar_keywords", None
+                )
+                if adopt_sidecar is not None:
+                    adopt_sidecar(shard.deltas.keywords)
+            self._merged.mark_dirty(added)
+            self._adopted_keywords.extend(added)
+        else:
+            # A version bump with no new keywords is an annotation
+            # (owner approval changed): reclassify everything next tick.
+            self._merged.mark_dirty(self._merged.keywords)
+        self._db_version = self._database.version
+        return added
 
     def _ingest(
         self,
@@ -424,7 +479,7 @@ class ShardedStreamRuntime:
         upto_year: Optional[int],
     ) -> StreamTick:
         """One merged tick over each shard's micro-batch."""
-        self._check_database()
+        self._sync_database()
         keywords = self._merged.keywords
         region = self._merged.region
         jobs = [
@@ -521,6 +576,49 @@ class ShardedStreamRuntime:
             events_per_shard,
             upto_year if upto_year is not None else until.year,
         )
+
+    def learn_keywords(
+        self, *, min_support: float = 0.05, max_new: int = 10
+    ) -> Tuple[str, ...]:
+        """Mine every shard's retained texts for new keywords.
+
+        The sharded analogue of the single runtime's in-stream keyword
+        learning: co-occurrence mining runs over the union of the
+        shards' retained texts (hot + warm tiers on tiered indexes),
+        the learned keywords are adopted across every shard tracker and
+        the merge, and their aggregates backfill from the shard
+        indexes.  Returns the learned canonical keywords.
+        """
+        texts: List[str] = []
+        for shard in self._shards:
+            texts.extend(shard.index.retained_texts())
+        learned = self._database.learn_from_texts(
+            texts, min_support=min_support, max_new=max_new
+        )
+        self._sync_database()
+        return tuple(entry.keyword for entry in learned)
+
+    def ingest(
+        self,
+        events_per_shard: Sequence[Sequence[PostEvent]],
+        *,
+        upto_year: Optional[int] = None,
+    ) -> StreamTick:
+        """One merged tick over caller-supplied per-shard event batches.
+
+        The push-style entry point for drivers that generate events on
+        the fly (e.g. the retention bench) instead of pre-loading a
+        replayable feed per shard: ``events_per_shard[i]`` is shard
+        *i*'s micro-batch for this tick.  Feed cursors still advance
+        from the event sequence numbers, so push- and pull-style ingest
+        can be mixed.
+        """
+        if len(events_per_shard) != len(self._shards):
+            raise ValueError(
+                f"got batches for {len(events_per_shard)} shards, "
+                f"runtime has {len(self._shards)}"
+            )
+        return self._ingest(events_per_shard, upto_year)
 
     def run(self, batch_size: Optional[int] = None) -> List[StreamTick]:
         """Drain every feed in merged micro-batch ticks."""

@@ -1,0 +1,859 @@
+"""Time-decay tiered corpus index: hot / warm / cold segments.
+
+The flat delta-segment index (:class:`~repro.stream.index.
+StreamingCorpusIndex`) keeps one base+tail pair: every compaction
+re-concatenates the *entire* base's columns (O(corpus) array work per
+compaction) and the base's arena, postings and interned analyses all
+stay resident forever — RSS grows with retention.  At the paper's
+multi-year horizons both costs dominate.  :class:`TieredCorpusIndex`
+replaces the single base with a time-decay hierarchy:
+
+* **hot** — the append-only tail of recent arrivals, kept as plain
+  posts and indexed lazily, exactly like the flat index's tail;
+* **warm** — date-bounded segments.  When arrivals cross a time
+  boundary (every ``warm_span_days`` of post dates), the posts of
+  completed spans seal out of the hot tail into per-span
+  :class:`~repro.social.index.CorpusIndex` chunks.  Spans consolidate
+  their chunks on their own cadence, so consolidation cost is bounded
+  by a span's size — never by total retention;
+* **cold** — once a span's entire date range is older than
+  ``cold_age_days`` (measured against the newest post seen), the span
+  seals immutably: its raw columns are demoted to compact plain
+  arrays (arena, postings, interned analyses and `Post` caches are all
+  dropped) and a precomputed :class:`~repro.stream.deltas.
+  SegmentSidecar` carries its per-``keyword × year`` aggregate sums, so
+  tracker seeding and keyword backfill answer from sidecar lookups
+  instead of re-scanning the segment.  Raw posts stay lazily
+  materializable (replay parity, late keyword backfill) but are never
+  cached — a cold segment costs its column data, nothing more.
+
+Query routing bisects tiers by date range: a window query only sweeps
+the hot tail, the warm chunks it overlaps, and materializes only the
+cold segments it overlaps (a steady-state monitoring window overlaps
+none).  Results stay post-for-post identical to a from-scratch
+:class:`~repro.social.index.CorpusIndex` over the same posts —
+property-tested in ``tests/properties/test_tiered_equivalence.py``.
+
+:func:`build_stream_index` is the runtime's factory: retention knobs
+unset returns the flat index (every pre-existing behaviour, test and
+checkpoint untouched); either knob set returns a tiered index.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from array import array
+from heapq import merge as heap_merge
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.social.columnar import (
+    ColumnarCorpus,
+    TextInterner,
+    columns_to_posts,
+    posts_to_columns,
+)
+from repro.social.index import CorpusIndex
+from repro.social.post import Post
+from repro.stream.deltas import (
+    SegmentSidecar,
+    SignalDelta,
+    compute_signal_delta,
+    compute_signal_delta_columnar,
+)
+from repro.stream.index import DEFAULT_COMPACT_THRESHOLD, StreamingCorpusIndex
+
+__all__ = [
+    "DEFAULT_COLD_AGE_DAYS",
+    "DEFAULT_WARM_SPAN_DAYS",
+    "TieredCorpusIndex",
+    "build_stream_index",
+]
+
+#: Warm segments cover this many days of post dates by default (~one
+#: quarter): long enough that steady monitoring windows stay out of
+#: cold, short enough that a consolidation touches one season of posts.
+DEFAULT_WARM_SPAN_DAYS = 90
+
+#: A span seals cold once its whole date range is this much older than
+#: the newest post seen (~one year: the monitor's widest default
+#: staleness window stays warm).
+DEFAULT_COLD_AGE_DAYS = 365
+
+#: A warm span consolidates its chunks once it accumulates this many.
+WARM_CONSOLIDATE_CHUNKS = 4
+
+_SORT_KEY = lambda post: (post.created_at, post.post_id)  # noqa: E731
+
+
+def _compact_columns(state: Mapping[str, object]) -> Dict[str, object]:
+    """A cold segment's raw columns with numeric columns as arrays.
+
+    The plain :meth:`~repro.social.columnar.ColumnarCorpus.state_dict`
+    lists hold boxed Python ints (~28 bytes each); typed arrays hold the
+    same values at machine width.  Strings are kept as-is — they are the
+    irreducible cost of lazy materializability.
+    """
+    return {
+        "post_ids": list(state["post_ids"]),
+        "texts": list(state["texts"]),
+        "authors": list(state["authors"]),
+        "dates": array("l", state["dates"]),  # type: ignore[arg-type]
+        "region_vocab": list(state["region_vocab"]),  # type: ignore[arg-type]
+        "region_codes": array("H", state["region_codes"]),  # type: ignore[arg-type]
+        "views": array("q", state["views"]),  # type: ignore[arg-type]
+        "likes": array("q", state["likes"]),  # type: ignore[arg-type]
+        "reposts": array("q", state["reposts"]),  # type: ignore[arg-type]
+        "replies": array("q", state["replies"]),  # type: ignore[arg-type]
+    }
+
+
+def _plain_columns(compact: Mapping[str, object]) -> Dict[str, object]:
+    """The JSON-serialisable form of a :func:`_compact_columns` dict."""
+    return {key: list(value) for key, value in compact.items()}  # type: ignore[call-overload]
+
+
+class _ColdSegment:
+    """One immutable cold segment: compact raw columns plus sidecar."""
+
+    __slots__ = ("span", "columns_state", "sidecar", "count", "min_ord", "max_ord")
+
+    def __init__(
+        self,
+        *,
+        span: int,
+        columns_state: Dict[str, object],
+        sidecar: Optional[SegmentSidecar],
+        count: int,
+        min_ord: int,
+        max_ord: int,
+    ) -> None:
+        self.span = span
+        self.columns_state = columns_state
+        self.sidecar = sidecar
+        self.count = count
+        self.min_ord = min_ord
+        self.max_ord = max_ord
+
+    def materialize(self) -> ColumnarCorpus:
+        """Rebuild the raw columnar segment, into a throwaway pool.
+
+        Cold analyses are deliberately *not* pooled in the index's
+        shared interner — materialization is the rare path (replay
+        parity, late keyword backfill) and re-pinning its analyses
+        would undo the cold seal's memory reclaim.
+        """
+        return ColumnarCorpus.from_state(self.columns_state)
+
+    def overlaps(self, since_ord: Optional[int], until_ord: Optional[int]) -> bool:
+        """Whether the segment's date range intersects a window."""
+        if since_ord is not None and self.max_ord < since_ord:
+            return False
+        if until_ord is not None and self.min_ord > until_ord:
+            return False
+        return True
+
+
+class TieredCorpusIndex:
+    """An appendable index with per-tier compaction and decay.
+
+    Duck-type compatible with :class:`~repro.stream.index.
+    StreamingCorpusIndex` (appends, queries, stats, checkpoints), with
+    the flat base+tail replaced by the hot/warm/cold hierarchy described
+    in the module docstring.
+
+    Args:
+        posts: initial posts (run through the normal tier lifecycle).
+        compact_threshold: hot-tail size that forces a full seal of the
+            tail into warm segments (the flat index's threshold policy).
+        compact_ratio: optional hot/retained ratio that also forces a
+            full seal (the flat index's ratio policy).
+        warm_span_days: days of post dates per warm span; arrivals
+            crossing a span boundary seal the completed spans.
+        cold_age_days: age horizon (vs the newest post date seen) past
+            which a whole span seals cold.
+        sidecar_keywords: keyword universe swept into cold sidecars at
+            seal time (None = no sidecars; purely structural tiering).
+        sidecar_region: SAI region scope of the sidecar bucket sums —
+            must match the consuming tracker's.
+        sidecar_analyzer: sentiment analyzer of the sidecar sums — must
+            be the consuming tracker's instance for bit-parity.
+    """
+
+    def __init__(
+        self,
+        posts: Iterable[Post] = (),
+        *,
+        compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+        compact_ratio: Optional[float] = None,
+        warm_span_days: int = DEFAULT_WARM_SPAN_DAYS,
+        cold_age_days: int = DEFAULT_COLD_AGE_DAYS,
+        sidecar_keywords: Optional[Sequence[str]] = None,
+        sidecar_region: Optional[str] = None,
+        sidecar_analyzer=None,
+    ) -> None:
+        if compact_threshold < 1:
+            raise ValueError(
+                f"compact_threshold must be >= 1, got {compact_threshold}"
+            )
+        if compact_ratio is not None and compact_ratio <= 0:
+            raise ValueError(
+                f"compact_ratio must be > 0, got {compact_ratio}"
+            )
+        if warm_span_days < 1:
+            raise ValueError(
+                f"warm_span_days must be >= 1, got {warm_span_days}"
+            )
+        if cold_age_days < 1:
+            raise ValueError(
+                f"cold_age_days must be >= 1, got {cold_age_days}"
+            )
+        self._compact_threshold = compact_threshold
+        self._compact_ratio = compact_ratio
+        self._warm_span_days = warm_span_days
+        self._cold_age_days = cold_age_days
+        self._sidecar_keywords = (
+            tuple(sidecar_keywords) if sidecar_keywords is not None else None
+        )
+        self._sidecar_region = sidecar_region
+        self._sidecar_analyzer = sidecar_analyzer
+        self._interner = TextInterner()
+        self._hot: List[Post] = []
+        self._hot_index: Optional[CorpusIndex] = None
+        self._warm: Dict[int, List[CorpusIndex]] = {}
+        self._warm_count = 0
+        self._cold: List[_ColdSegment] = []
+        self._cold_count = 0
+        self._ids: Set[str] = set()
+        self._max_ord = -1
+        self._appends = 0
+        self._hot_seals = 0
+        self._consolidations = 0
+        self._cold_seals = 0
+        self._interner_evicted = 0
+        self._last_hot_seal_append: Optional[int] = None
+        self._last_consolidation_append: Optional[int] = None
+        self._last_cold_seal_append: Optional[int] = None
+        initial = list(posts)
+        if initial:
+            seen: Set[str] = set()
+            for post in initial:
+                if post.post_id in seen:
+                    raise ValueError("initial posts contain duplicate post ids")
+                seen.add(post.post_id)
+            self._ids.update(seen)
+            self._hot.extend(initial)
+            self._max_ord = max(p.created_at.toordinal() for p in initial)
+            self._maintain()
+
+    # -- tier arithmetic ----------------------------------------------------
+
+    def _span_of(self, ordinal: int) -> int:
+        return ordinal // self._warm_span_days
+
+    def _span_last_ord(self, span: int) -> int:
+        return (span + 1) * self._warm_span_days - 1
+
+    # -- ingestion ----------------------------------------------------------
+
+    def append(self, posts: Iterable[Post]) -> int:
+        """Append new posts; returns how many were added.
+
+        Atomic like the flat index's append: ids are validated up
+        front, so a duplicate rejects the whole batch and leaves every
+        tier exactly as it was.
+        """
+        batch = list(posts)
+        seen: Set[str] = set()
+        for post in batch:
+            if post.post_id in self._ids or post.post_id in seen:
+                raise ValueError(f"duplicate post id {post.post_id!r}")
+            seen.add(post.post_id)
+        if not batch:
+            return 0
+        self._ids.update(seen)
+        self._hot.extend(batch)
+        self._hot_index = None
+        self._appends += 1
+        batch_max = max(p.created_at.toordinal() for p in batch)
+        if batch_max > self._max_ord:
+            self._max_ord = batch_max
+        self._maintain()
+        return len(batch)
+
+    def _maintain(self) -> None:
+        """One round of per-tier maintenance after an append."""
+        self._seal_hot()
+        self._consolidate_warm()
+        self._seal_cold()
+
+    def _seal_hot(self) -> None:
+        """Move completed-span (or policy-triggered) hot posts to warm."""
+        tail = len(self._hot)
+        if tail == 0:
+            return
+        retained = self._warm_count + self._cold_count
+        full = tail >= self._compact_threshold or (
+            self._compact_ratio is not None
+            and tail >= self._compact_ratio * max(1, retained)
+        )
+        if full:
+            to_seal = self._hot
+            remaining: List[Post] = []
+        else:
+            current_span = self._span_of(self._max_ord)
+            to_seal = [
+                post
+                for post in self._hot
+                if self._span_of(post.created_at.toordinal()) < current_span
+            ]
+            if not to_seal:
+                return
+            sealed_ids = {post.post_id for post in to_seal}
+            remaining = [
+                post for post in self._hot if post.post_id not in sealed_ids
+            ]
+        by_span: Dict[int, List[Post]] = {}
+        for post in to_seal:
+            by_span.setdefault(
+                self._span_of(post.created_at.toordinal()), []
+            ).append(post)
+        for span in sorted(by_span):
+            chunk = CorpusIndex(by_span[span], interner=self._interner)
+            self._warm.setdefault(span, []).append(chunk)
+            self._warm_count += len(chunk)
+        self._hot = remaining
+        self._hot_index = None
+        self._hot_seals += 1
+        self._last_hot_seal_append = self._appends
+
+    def _consolidate_warm(self) -> None:
+        """Merge chunk chains of spans that accumulated too many."""
+        for span, chunks in self._warm.items():
+            if len(chunks) < WARM_CONSOLIDATE_CHUNKS:
+                continue
+            merged = chunks[0]
+            for chunk in chunks[1:]:
+                merged = merged.extended_with_index(chunk)
+            self._warm[span] = [merged]
+            self._consolidations += 1
+            self._last_consolidation_append = self._appends
+
+    def _seal_cold(self) -> None:
+        """Demote warm spans entirely past the age horizon to cold."""
+        if self._max_ord < 0 or not self._warm:
+            return
+        horizon = self._max_ord - self._cold_age_days
+        expired = [
+            span
+            for span in sorted(self._warm)
+            if self._span_last_ord(span) <= horizon
+        ]
+        if not expired:
+            return
+        for span in expired:
+            chunks = self._warm.pop(span)
+            merged = chunks[0]
+            for chunk in chunks[1:]:
+                merged = merged.extended_with_index(chunk)
+            columns = merged.columns
+            sidecar = None
+            if self._sidecar_keywords is not None:
+                sidecar = SegmentSidecar.build(
+                    self._sidecar_keywords,
+                    columns,
+                    region=self._sidecar_region,
+                    analyzer=self._sidecar_analyzer,
+                )
+            count = len(columns)
+            self._cold.append(
+                _ColdSegment(
+                    span=span,
+                    columns_state=_compact_columns(columns.state_dict()),
+                    sidecar=sidecar,
+                    count=count,
+                    min_ord=columns.date_ordinal(0),
+                    max_ord=columns.date_ordinal(count - 1),
+                )
+            )
+            self._warm_count -= count
+            self._cold_count += count
+            self._cold_seals += 1
+            self._last_cold_seal_append = self._appends
+        self._cold.sort(key=lambda segment: (segment.min_ord, segment.span))
+        self._prune_interner()
+
+    def _prune_interner(self) -> None:
+        """Drop pooled analyses only cold segments still reference."""
+        keep: Set[str] = {post.text for post in self._hot}
+        for chunks in self._warm.values():
+            for chunk in chunks:
+                keep.update(chunk.columns.iter_texts())
+        self._interner_evicted += self._interner.prune(keep)
+
+    def compact(self) -> None:
+        """Force-seal the whole hot tail into warm segments."""
+        if not self._hot:
+            return
+        by_span: Dict[int, List[Post]] = {}
+        for post in self._hot:
+            by_span.setdefault(
+                self._span_of(post.created_at.toordinal()), []
+            ).append(post)
+        for span in sorted(by_span):
+            chunk = CorpusIndex(by_span[span], interner=self._interner)
+            self._warm.setdefault(span, []).append(chunk)
+            self._warm_count += len(chunk)
+        self._hot = []
+        self._hot_index = None
+        self._hot_seals += 1
+        self._last_hot_seal_append = self._appends
+        self._consolidate_warm()
+        self._seal_cold()
+
+    # -- segment access -----------------------------------------------------
+
+    def _hot_segment(self) -> CorpusIndex:
+        """The hot tail's index, built lazily after each append."""
+        if self._hot_index is None:
+            self._hot_index = CorpusIndex(self._hot, interner=self._interner)
+        return self._hot_index
+
+    def _warm_chunks(self) -> List[CorpusIndex]:
+        """Every warm chunk, oldest span first."""
+        return [
+            chunk
+            for span in sorted(self._warm)
+            for chunk in self._warm[span]
+        ]
+
+    @property
+    def tier_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-tier posts/segments/footprint rows (see ``segment_stats``)."""
+        warm_chunks = self._warm_chunks()
+        return {
+            "hot": {
+                "posts": len(self._hot),
+                "spans": len(
+                    {
+                        self._span_of(post.created_at.toordinal())
+                        for post in self._hot
+                    }
+                ),
+                "indexed": self._hot_index is not None,
+            },
+            "warm": {
+                "posts": self._warm_count,
+                "spans": len(self._warm),
+                "chunks": len(warm_chunks),
+                "arena_chars": sum(
+                    chunk.columns.arena_chars for chunk in warm_chunks
+                ),
+                "last_seal_append": self._last_hot_seal_append,
+                "last_consolidation_append": self._last_consolidation_append,
+            },
+            "cold": {
+                "posts": self._cold_count,
+                "segments": len(self._cold),
+                "sidecars": sum(
+                    1 for segment in self._cold if segment.sidecar is not None
+                ),
+                "sidecar_entries": sum(
+                    segment.sidecar.entries
+                    for segment in self._cold
+                    if segment.sidecar is not None
+                ),
+                "last_seal_append": self._last_cold_seal_append,
+            },
+        }
+
+    @property
+    def segment_stats(self) -> Dict[str, object]:
+        """Flat-compatible counters plus the per-tier rows.
+
+        ``base_posts``/``tail_posts``/``compactions`` keep the flat
+        index's meaning (retained-sealed/hot/maintenance-events), so
+        policy audits like the replay harness's bounded-memory check
+        read tiered stats unchanged.  ``base_arena_chars`` counts only
+        *warm* arenas — cold segments hold no arena, which is the
+        memory reclaim this layout exists for.
+        """
+        warm_chunks = self._warm_chunks()
+        return {
+            "base_posts": self._warm_count + self._cold_count,
+            "tail_posts": len(self._hot),
+            "appends": self._appends,
+            "compactions": self._hot_seals
+            + self._consolidations
+            + self._cold_seals,
+            "compact_threshold": self._compact_threshold,
+            "compact_ratio": self._compact_ratio,
+            "base_arena_chars": sum(
+                chunk.columns.arena_chars for chunk in warm_chunks
+            ),
+            "base_distinct_terms": sum(
+                chunk.columns.distinct_terms for chunk in warm_chunks
+            ),
+            "interned_texts": len(self._interner),
+            "layout": "tiered",
+            "warm_span_days": self._warm_span_days,
+            "cold_age_days": self._cold_age_days,
+            "hot_seals": self._hot_seals,
+            "consolidations": self._consolidations,
+            "cold_seals": self._cold_seals,
+            "interner_evicted": self._interner_evicted,
+            "tiers": self.tier_stats,
+        }
+
+    def __len__(self) -> int:
+        return len(self._hot) + self._warm_count + self._cold_count
+
+    def __contains__(self, post_id: str) -> bool:
+        return post_id in self._ids
+
+    @property
+    def posts(self) -> Tuple[Post, ...]:
+        """All posts in global ``(created_at, post_id)`` order.
+
+        Materializes every cold segment — the replay-parity path, not a
+        monitoring-loop path.
+        """
+        lists: List[Sequence[Post]] = [
+            tuple(segment.materialize().all_posts()) for segment in self._cold
+        ]
+        lists.extend(chunk.posts for chunk in self._warm_chunks())
+        lists.append(self._hot_segment().posts)
+        return tuple(heap_merge(*lists, key=_SORT_KEY))
+
+    @property
+    def distinct_terms(self) -> int:
+        """Distinct indexed terms across the retained tiers (upper
+        bound; cold segments hold no postings and are excluded)."""
+        total = self._hot_segment().distinct_terms
+        for chunk in self._warm_chunks():
+            total += chunk.distinct_terms
+        return total
+
+    # -- queries ------------------------------------------------------------
+
+    def search_many(
+        self,
+        keywords: Sequence[str],
+        *,
+        since: Optional[dt.date] = None,
+        until: Optional[dt.date] = None,
+        limit: Optional[int] = None,
+    ) -> Dict[str, List[Post]]:
+        """Batch keyword search, identical to a from-scratch rebuild.
+
+        The window routes to the tiers it overlaps: the hot tail always
+        answers, warm chunks answer when their date range intersects,
+        and cold segments materialize (into throwaway pools) only when
+        the window actually reaches them.  Per keyword the per-segment
+        result lists (each date-sorted) k-way merge on the global sort
+        key and truncate to ``limit``.
+        """
+        since_ord = None if since is None else since.toordinal()
+        until_ord = None if until is None else until.toordinal()
+        segments: List[CorpusIndex] = []
+        for segment in self._cold:
+            if segment.overlaps(since_ord, until_ord):
+                segments.append(CorpusIndex(columns=segment.materialize()))
+        for chunk in self._warm_chunks():
+            count = len(chunk)
+            if count == 0:
+                continue
+            lo_ord = chunk.columns.date_ordinal(0)
+            hi_ord = chunk.columns.date_ordinal(count - 1)
+            if since_ord is not None and hi_ord < since_ord:
+                continue
+            if until_ord is not None and lo_ord > until_ord:
+                continue
+            segments.append(chunk)
+        segments.append(self._hot_segment())
+        per_segment = [
+            segment.search_many(keywords, since=since, until=until)
+            for segment in segments
+        ]
+        merged: Dict[str, List[Post]] = {}
+        for keyword in per_segment[-1]:
+            combined = list(
+                heap_merge(
+                    *(results[keyword] for results in per_segment),
+                    key=_SORT_KEY,
+                )
+            )
+            merged[keyword] = (
+                combined[:limit] if limit is not None else combined
+            )
+        return merged
+
+    def matching(self, keyword: str) -> List[Post]:
+        """All posts matching one keyword (no window), oldest first."""
+        return self.search_many((keyword,))[keyword]
+
+    def as_corpus_index(self) -> CorpusIndex:
+        """A from-scratch immutable snapshot of every retained post.
+
+        Built into its own fresh pool — pinning cold analyses in the
+        shared interner would undo the cold seals' reclaim.
+        """
+        return CorpusIndex(self.posts)
+
+    # -- keyword backfill ---------------------------------------------------
+
+    def retained_texts(self) -> List[str]:
+        """Hot + warm post texts, for keyword learning.
+
+        Cold segments are deliberately excluded: learning mines *recent*
+        chatter for emerging hashtags, and sweeping frozen history would
+        re-materialize every cold segment per retune.
+        """
+        texts: List[str] = []
+        for chunk in self._warm_chunks():
+            texts.extend(chunk.columns.iter_texts())
+        texts.extend(post.text for post in self._hot)
+        return texts
+
+    def adopt_sidecar_keywords(self, keywords: Sequence[str]) -> None:
+        """Grow the keyword universe future cold seals sweep."""
+        self._sidecar_keywords = tuple(keywords)
+
+    def signal_backfill(
+        self,
+        keywords: Sequence[str],
+        *,
+        region: Optional[str] = None,
+        analyzer=None,
+    ) -> SignalDelta:
+        """The retained corpus's aggregate sums for ``keywords``.
+
+        The streaming-learning backfill kernel: returns a
+        :class:`SignalDelta` with ``observed == 0`` (the tracker already
+        counted these posts) carrying the keywords' bucket sums and
+        voice votes over *every* tier.  All tiers must contribute —
+        voice votes are full-history and region-unscoped, so skipping a
+        tier would misclassify the learned keyword.  Cold segments
+        answer from their sidecars, extending them lazily (one
+        materialization per segment missing the keyword) — the
+        "rebuild the sidecar for the new keyword" path.  Sidecar
+        extension always uses the index's own sidecar region/analyzer
+        context so a sidecar stays internally consistent; the caller's
+        ``region``/``analyzer`` must match it (the runtime constructs
+        the index from the tracker's context, so they do).
+        """
+        deltas: List[SignalDelta] = []
+        for segment in self._cold:
+            sidecar = segment.sidecar
+            if sidecar is not None:
+                if sidecar.missing(keywords):
+                    sidecar.extend(
+                        keywords,
+                        segment.materialize(),
+                        region=self._sidecar_region,
+                        analyzer=self._sidecar_analyzer,
+                    )
+                deltas.append(
+                    sidecar.as_delta(keywords, count_observed=False)
+                )
+            else:
+                deltas.append(
+                    compute_signal_delta_columnar(
+                        keywords,
+                        segment.materialize(),
+                        region=region,
+                        analyzer=analyzer,
+                    )
+                )
+        for chunk in self._warm_chunks():
+            deltas.append(
+                compute_signal_delta_columnar(
+                    keywords, chunk.columns, region=region, analyzer=analyzer
+                )
+            )
+        deltas.append(
+            compute_signal_delta(
+                keywords, self._hot, region=region, analyzer=analyzer
+            )
+        )
+        merged = SignalDelta.merge(deltas)
+        return SignalDelta(
+            buckets=merged.buckets,
+            votes=merged.votes,
+            dirty=merged.dirty,
+            observed=0,
+        )
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot, tier structure preserved.
+
+        Hot serialises in arrival order, warm chunks as their plain
+        columnar dicts, cold segments from their already-compact raw
+        columns plus sidecar state — serialising a cold tier is a
+        list conversion, never a re-index or re-analysis.
+        """
+        return {
+            "layout": "tiered",
+            "hot": posts_to_columns(self._hot),
+            "warm": [
+                {
+                    "span": span,
+                    "chunks": [
+                        chunk.columns.state_dict()
+                        for chunk in self._warm[span]
+                    ],
+                }
+                for span in sorted(self._warm)
+            ],
+            "cold": [
+                {
+                    "span": segment.span,
+                    "columns": _plain_columns(segment.columns_state),
+                    "sidecar": (
+                        segment.sidecar.state_dict()
+                        if segment.sidecar is not None
+                        else None
+                    ),
+                    "count": segment.count,
+                    "min_ord": segment.min_ord,
+                    "max_ord": segment.max_ord,
+                }
+                for segment in self._cold
+            ],
+            "appends": self._appends,
+            "hot_seals": self._hot_seals,
+            "consolidations": self._consolidations,
+            "cold_seals": self._cold_seals,
+            "interner_evicted": self._interner_evicted,
+            "last_hot_seal_append": self._last_hot_seal_append,
+            "last_consolidation_append": self._last_consolidation_append,
+            "last_cold_seal_append": self._last_cold_seal_append,
+            "max_ord": self._max_ord,
+            "compact_threshold": self._compact_threshold,
+            "compact_ratio": self._compact_ratio,
+            "warm_span_days": self._warm_span_days,
+            "cold_age_days": self._cold_age_days,
+        }
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly.
+
+        The snapshot's retention policy and tier split are adopted
+        wholesale — a resumed index must seal and consolidate at
+        exactly the moments the uninterrupted run would.  The sidecar
+        analyzer/region context is *not* part of the snapshot; the
+        owning runtime re-supplies it at construction.
+        """
+        if state.get("layout") != "tiered":
+            raise ValueError(
+                "snapshot is not a tiered-index state_dict (missing "
+                "layout='tiered'); use StreamingCorpusIndex.load_state"
+            )
+        self._compact_threshold = int(state["compact_threshold"])  # type: ignore[arg-type]
+        ratio = state.get("compact_ratio")
+        self._compact_ratio = None if ratio is None else float(ratio)  # type: ignore[arg-type]
+        self._warm_span_days = int(state["warm_span_days"])  # type: ignore[arg-type]
+        self._cold_age_days = int(state["cold_age_days"])  # type: ignore[arg-type]
+        self._interner = TextInterner()
+        self._hot = columns_to_posts(state["hot"])  # type: ignore[arg-type]
+        self._hot_index = None
+        self._warm = {}
+        self._warm_count = 0
+        for entry in state["warm"]:  # type: ignore[union-attr]
+            span = int(entry["span"])
+            chunks = [
+                CorpusIndex(
+                    columns=ColumnarCorpus.from_state(
+                        chunk_state, interner=self._interner
+                    )
+                )
+                for chunk_state in entry["chunks"]
+            ]
+            self._warm[span] = chunks
+            self._warm_count += sum(len(chunk) for chunk in chunks)
+        self._cold = []
+        self._cold_count = 0
+        for entry in state["cold"]:  # type: ignore[union-attr]
+            sidecar_state = entry.get("sidecar")
+            self._cold.append(
+                _ColdSegment(
+                    span=int(entry["span"]),
+                    columns_state=_compact_columns(entry["columns"]),
+                    sidecar=(
+                        SegmentSidecar.from_state(sidecar_state)
+                        if sidecar_state is not None
+                        else None
+                    ),
+                    count=int(entry["count"]),
+                    min_ord=int(entry["min_ord"]),
+                    max_ord=int(entry["max_ord"]),
+                )
+            )
+            self._cold_count += int(entry["count"])
+        self._ids = {post.post_id for post in self._hot}
+        for chunks in self._warm.values():
+            for chunk in chunks:
+                self._ids.update(
+                    chunk.columns.post_id(position)
+                    for position in range(len(chunk))
+                )
+        for segment in self._cold:
+            self._ids.update(segment.columns_state["post_ids"])  # type: ignore[arg-type]
+        self._appends = int(state["appends"])  # type: ignore[arg-type]
+        self._hot_seals = int(state["hot_seals"])  # type: ignore[arg-type]
+        self._consolidations = int(state["consolidations"])  # type: ignore[arg-type]
+        self._cold_seals = int(state["cold_seals"])  # type: ignore[arg-type]
+        self._interner_evicted = int(state["interner_evicted"])  # type: ignore[arg-type]
+        last_hot = state.get("last_hot_seal_append")
+        last_cons = state.get("last_consolidation_append")
+        last_cold = state.get("last_cold_seal_append")
+        self._last_hot_seal_append = None if last_hot is None else int(last_hot)  # type: ignore[arg-type]
+        self._last_consolidation_append = (
+            None if last_cons is None else int(last_cons)  # type: ignore[arg-type]
+        )
+        self._last_cold_seal_append = (
+            None if last_cold is None else int(last_cold)  # type: ignore[arg-type]
+        )
+        self._max_ord = int(state["max_ord"])  # type: ignore[arg-type]
+
+
+def build_stream_index(
+    posts: Iterable[Post] = (),
+    *,
+    compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+    compact_ratio: Optional[float] = None,
+    warm_span_days: Optional[int] = None,
+    cold_age_days: Optional[int] = None,
+    sidecar_keywords: Optional[Sequence[str]] = None,
+    sidecar_region: Optional[str] = None,
+    sidecar_analyzer=None,
+):
+    """The runtime's index factory: flat by default, tiered on request.
+
+    With both retention knobs unset the flat
+    :class:`~repro.stream.index.StreamingCorpusIndex` is returned —
+    byte-identical behaviour and checkpoints to every prior release.
+    Setting either knob returns a :class:`TieredCorpusIndex` (the unset
+    knob takes its default).
+    """
+    if warm_span_days is None and cold_age_days is None:
+        return StreamingCorpusIndex(
+            posts,
+            compact_threshold=compact_threshold,
+            compact_ratio=compact_ratio,
+        )
+    return TieredCorpusIndex(
+        posts,
+        compact_threshold=compact_threshold,
+        compact_ratio=compact_ratio,
+        warm_span_days=(
+            DEFAULT_WARM_SPAN_DAYS if warm_span_days is None else warm_span_days
+        ),
+        cold_age_days=(
+            DEFAULT_COLD_AGE_DAYS if cold_age_days is None else cold_age_days
+        ),
+        sidecar_keywords=sidecar_keywords,
+        sidecar_region=sidecar_region,
+        sidecar_analyzer=sidecar_analyzer,
+    )

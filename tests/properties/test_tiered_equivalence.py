@@ -1,0 +1,187 @@
+"""Property tests: tiered index == single-tier rebuild, sidecar == observe.
+
+The contracts behind :class:`repro.stream.tiers.TieredCorpusIndex`:
+
+* after any append sequence — out-of-order arrivals, random retention
+  knobs, seal boundaries crossing mid-batch — ``posts`` and
+  ``search_many`` answer post-for-post identically to a from-scratch
+  :class:`repro.social.index.CorpusIndex` over the union of everything
+  appended;
+* a sealed segment's :class:`repro.stream.deltas.SegmentSidecar` holds
+  exactly the aggregates a :class:`DeltaTracker` reaches by observing
+  the segment's posts one at a time — window counts and votes
+  bit-for-bit, the float sentiment sum included (one segment is one
+  columnar sweep, which is the per-post fold);
+* ``state_dict``/``load_state`` roundtrips the full tier layout.
+"""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.keywords import AttackKeyword, KeywordDatabase
+from repro.iso21434.enums import AttackVector
+from repro.social.columnar import ColumnarCorpus
+from repro.social.index import CorpusIndex
+from repro.social.post import Engagement, Post
+from repro.stream.deltas import DeltaTracker, SegmentSidecar
+from repro.stream.tiers import TieredCorpusIndex
+
+WORDS = (
+    "dpf", "delete", "deleting", "egr", "removal", "kit", "install",
+    "my", "the", "mechanic", "dealer", "stolen", "warranty", "love",
+    "hate", "#dpfdelete", "#egr_removal", "superdpfdeletekit",
+)
+
+KEYWORDS = ("dpf delete", "egr removal", "delete", "kit", "nomatchxyz")
+
+REGIONS = ("europe", "americas")
+
+WINDOWS = (
+    (None, None),
+    (dt.date(2018, 1, 1), dt.date(2021, 12, 31)),
+    (dt.date(2022, 6, 1), None),
+    (dt.date(2030, 1, 1), dt.date(2030, 12, 31)),  # empty window
+)
+
+
+def _database():
+    database = KeywordDatabase()
+    for keyword in KEYWORDS:
+        database.add(
+            AttackKeyword(keyword=keyword, vector=AttackVector.LOCAL)
+        )
+    return database
+
+
+@st.composite
+def _stream(draw):
+    """Posts in a jittered near-chronological arrival order, batched.
+
+    Real feeds are mostly ordered with bounded disorder; fully random
+    shuffles are legal but degenerate (every straggler lands in an
+    already-cold span and seals a one-post segment), so the jitter is
+    bounded to keep the generated layouts representative.
+    """
+    count = draw(st.integers(min_value=0, max_value=45))
+    start = dt.date(2019, 1, 1).toordinal()
+    posts = []
+    for index in range(count):
+        words = draw(st.lists(st.sampled_from(WORDS), min_size=1, max_size=6))
+        jitter = draw(st.integers(min_value=-20, max_value=20))
+        ordinal = start + index * draw(st.integers(min_value=0, max_value=25))
+        posts.append(
+            Post(
+                post_id=f"p{index:03d}",
+                text=" ".join(words),
+                author=draw(st.sampled_from(("a", "b", "c"))),
+                created_at=dt.date.fromordinal(max(start, ordinal + jitter)),
+                region=draw(st.sampled_from(REGIONS)),
+                engagement=Engagement(
+                    views=draw(st.integers(min_value=0, max_value=500)),
+                    likes=draw(st.integers(min_value=0, max_value=50)),
+                    reposts=draw(st.integers(min_value=0, max_value=20)),
+                    replies=draw(st.integers(min_value=0, max_value=20)),
+                ),
+            )
+        )
+    batches = []
+    remaining = list(posts)
+    while remaining:
+        size = draw(st.integers(min_value=1, max_value=len(remaining)))
+        batches.append(remaining[:size])
+        remaining = remaining[size:]
+    knobs = dict(
+        compact_threshold=draw(st.integers(min_value=2, max_value=30)),
+        warm_span_days=draw(st.integers(min_value=7, max_value=120)),
+        cold_age_days=draw(st.integers(min_value=30, max_value=500)),
+    )
+    return posts, batches, knobs
+
+
+class TestTieredEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(data=_stream())
+    def test_tiered_equals_rebuilt_over_union(self, data):
+        posts, batches, knobs = data
+        tiered = TieredCorpusIndex(**knobs)
+        for batch in batches:
+            tiered.append(batch)
+        rebuilt = CorpusIndex(posts)
+
+        assert len(tiered) == len(rebuilt)
+        assert [p.post_id for p in tiered.posts] == [
+            p.post_id for p in rebuilt.posts
+        ]
+        for since, until in WINDOWS:
+            routed = tiered.search_many(KEYWORDS, since=since, until=until)
+            expected = rebuilt.search_many(KEYWORDS, since=since, until=until)
+            for keyword in KEYWORDS:
+                assert [p.post_id for p in routed[keyword]] == [
+                    p.post_id for p in expected[keyword]
+                ], (keyword, since, until)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=_stream())
+    def test_state_roundtrip_preserves_layout_and_queries(self, data):
+        posts, batches, knobs = data
+        tiered = TieredCorpusIndex(**knobs)
+        for batch in batches:
+            tiered.append(batch)
+        restored = TieredCorpusIndex(**knobs)
+        restored.load_state(tiered.state_dict())
+
+        assert restored.segment_stats == tiered.segment_stats
+        original = tiered.search_many(KEYWORDS)
+        roundtripped = restored.search_many(KEYWORDS)
+        for keyword in KEYWORDS:
+            assert [p.post_id for p in roundtripped[keyword]] == [
+                p.post_id for p in original[keyword]
+            ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=_stream(), region=st.sampled_from((None,) + REGIONS))
+    def test_sidecar_matches_per_post_observe(self, data, region):
+        posts, _, _ = data
+        database = _database()
+        observed = DeltaTracker(database, region=region)
+        for post in posts:
+            observed.observe(post)
+
+        columns = ColumnarCorpus.from_posts(posts)
+        sidecar = SegmentSidecar.build(
+            observed.keywords, columns, region=region
+        )
+        from_sidecar = DeltaTracker(database, region=region)
+        from_sidecar.apply_delta(sidecar.as_delta())
+
+        # Integer aggregates — window counts, engagement sums, votes —
+        # are exact regardless of arrival order.
+        assert sidecar.posts == len(posts)
+        assert from_sidecar.observed_posts == observed.observed_posts
+        for keyword in observed.keywords:
+            assert from_sidecar.votes(keyword) == observed.votes(keyword)
+            assert from_sidecar.window_count(keyword) == observed.window_count(
+                keyword
+            )
+        assert from_sidecar.window_total() == observed.window_total()
+        arrival = observed.state_dict()
+        pooled = from_sidecar.state_dict()
+        assert pooled["votes"] == arrival["votes"]
+        for keyword, years in arrival["buckets"].items():
+            for year, values in years.items():
+                got = pooled["buckets"][keyword][year]
+                assert got[:5] == values[:5]
+                # The float sentiment sum agrees up to summation order
+                # (the segment sweeps in (date, id) order, the tracker
+                # in arrival order).
+                assert got[5] == pytest.approx(values[5], rel=1e-9, abs=1e-12)
+
+        # Observed in the segment's own (date, id) order the fold is
+        # the same float sequence, so the sums agree bit-for-bit.
+        in_order = DeltaTracker(database, region=region)
+        for post in sorted(posts, key=lambda p: (p.created_at, p.post_id)):
+            in_order.observe(post)
+        assert pooled["buckets"] == in_order.state_dict()["buckets"]

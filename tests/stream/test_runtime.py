@@ -259,12 +259,22 @@ class TestLifecycleAndSafety:
             ReprocessingTrigger.PSP_TREND_SHIFT
         ) == len(alerts)
 
-    def test_database_mutation_mid_stream_raises(self):
+    def test_database_addition_mid_stream_adopted(self):
         runtime = _ecm_runtime()
         runtime.advance_to(dt.date(2018, 12, 31))
         runtime._database.add(AttackKeyword(keyword="newkeyword"))
-        with pytest.raises(PSPError, match="database changed mid-stream"):
-            runtime.advance_to(dt.date(2019, 12, 31))
+        tick = runtime.advance_to(dt.date(2019, 12, 31))
+        assert "newkeyword" in runtime.deltas.keywords
+        assert "newkeyword" in tick.dirty
+        assert runtime.stream_stats["learned_keywords"] == ["newkeyword"]
+
+    def test_database_annotation_mid_stream_reclassifies(self):
+        runtime = _ecm_runtime()
+        runtime.advance_to(dt.date(2018, 12, 31))
+        keyword = runtime.deltas.keywords[0]
+        runtime._database.annotate(keyword, owner_approved=True)
+        tick = runtime.advance_to(dt.date(2019, 12, 31))
+        assert keyword in tick.dirty
 
     def test_invalid_batch_size_rejected(self):
         with pytest.raises(ValueError):

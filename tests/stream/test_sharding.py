@@ -173,7 +173,7 @@ class TestRuntimeBehaviour:
         with pytest.raises(ValueError):
             ShardedStreamRuntime([], build_ecm_database())
 
-    def test_database_mutation_detected(self):
+    def test_database_addition_adopted_across_shards(self):
         database = build_ecm_database()
         runtime = ShardedStreamRuntime(
             shard_feeds(_posts(), 2), database, target=ECM_TARGET
@@ -185,8 +185,14 @@ class TestRuntimeBehaviour:
         database.add(
             AttackKeyword(keyword="newkeyword", vector=AttackVector.LOCAL)
         )
-        with pytest.raises(PSPError):
-            runtime.tick()
+        tick = runtime.tick()
+        assert tick is not None
+        assert "newkeyword" in tick.dirty
+        assert all(
+            "newkeyword" in deltas.keywords for deltas in runtime.shard_deltas
+        )
+        assert "newkeyword" in runtime.deltas.keywords
+        assert runtime.stream_stats["learned_keywords"] == ["newkeyword"]
 
     def test_filter_applies_per_shard_batch(self):
         flood = [p for p in _posts()]
