@@ -165,14 +165,32 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics(registry, base: str) -> None:
+    """Write ``<base>.prom`` + ``<base>.json`` exports of one registry."""
+    from pathlib import Path
+
+    from repro.obs.export import prometheus_text, write_snapshot
+
+    prom = Path(f"{base}.prom")
+    prom.parent.mkdir(parents=True, exist_ok=True)
+    prom.write_text(prometheus_text(registry))
+    snapshot = write_snapshot(registry, f"{base}.json")
+    print(f"metrics written: {prom} {snapshot}")
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.core.poisoning import PostAuthenticityFilter
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs import views as obs_views
     from repro.stream import StreamRuntime, SyntheticFeed
     from repro.stream.sharding import ShardedStreamRuntime, shard_feeds
     from repro.vehicle import reference_architecture
 
     spec = get_scenario(args.scenario)
     target, database = spec.target, spec.database()
+    registry = (
+        MetricsRegistry() if args.stats or args.metrics_out else None
+    )
     shared = dict(
         target=target,
         since_year=args.start_year,
@@ -182,6 +200,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         compact_ratio=args.compact_ratio,
         warm_span_days=args.warm_span,
         cold_age_days=args.cold_age,
+        metrics=registry,
     )
     posts = spec.corpus().posts
     if args.shards > 1:
@@ -264,6 +283,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 print(line)
     if stats.get("learned_keywords"):
         print(f"learned keywords: {', '.join(stats['learned_keywords'])}")
+    if registry is not None:
+        described = obs_views.describe_stages(
+            obs_views.stage_latencies(registry)
+        )
+        if described:
+            print("tick stage latencies (from the metrics registry):")
+            print(described)
+        if args.metrics_out:
+            _write_metrics(registry, args.metrics_out)
     return 0
 
 
@@ -275,13 +303,70 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import (
+        json_snapshot,
+        lint_prometheus,
+        prometheus_text,
+        stats_table,
+    )
+    from repro.obs.registry import MetricsRegistry
+    from repro.stream import StreamRuntime, SyntheticFeed
+    from repro.stream.sharding import ShardedStreamRuntime, shard_feeds
+
+    spec = get_scenario(args.scenario)
+    registry = MetricsRegistry()
+    posts = spec.corpus().posts
+    kwargs = dict(
+        target=spec.target, batch_size=args.batch_size, metrics=registry
+    )
+    if args.shards > 1:
+        runtime = ShardedStreamRuntime(
+            shard_feeds(posts, args.shards), spec.database(), **kwargs
+        )
+    else:
+        runtime = StreamRuntime(
+            SyntheticFeed(posts), spec.database(), **kwargs
+        )
+    try:
+        ticks = 0
+        for _ in runtime.run():
+            ticks += 1
+            if args.follow and ticks % args.every == 0:
+                print(stats_table(registry))
+                print()
+    finally:
+        runtime.close()
+    if args.format == "prometheus":
+        text = prometheus_text(registry)
+        print(text, end="")
+        problems = lint_prometheus(text)
+        if problems:
+            for problem in problems:
+                print(f"lint: {problem}", file=sys.stderr)
+            return 1
+    elif args.format == "json":
+        print(json.dumps(json_snapshot(registry), indent=2, sort_keys=True))
+    else:
+        print(stats_table(registry))
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.obs.registry import MetricsRegistry
     from repro.stream.replay import replay_poison_defence, replay_scenario
 
     names = SCENARIOS if args.scenario == "all" else (args.scenario,)
     months = args.months
     if args.smoke and months is None:
         months = 2
+    # One registry across every scenario in the invocation: the audit
+    # counters accumulate and --metrics-out writes a single artifact.
+    registry = MetricsRegistry()
     failures = 0
     for name in names:
         report = replay_scenario(
@@ -291,6 +376,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             workers=args.workers,
             warm_span_days=args.warm_span,
             cold_age_days=args.cold_age,
+            metrics=registry,
         )
         print(report.describe())
         if not report.ok:
@@ -302,6 +388,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             if not defence.ok:
                 failures += 1
         print()
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
     if failures:
         print(f"error: {failures} replay audit(s) failed", file=sys.stderr)
         return 1
@@ -430,7 +518,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--stats", action="store_true",
-        help="print the per-tier segment table after the run",
+        help="attach a metrics registry and print the per-tier segment "
+             "table plus per-stage tick latencies after the run",
+    )
+    stream.add_argument(
+        "--metrics-out", default=None, metavar="BASE",
+        help="write BASE.prom (Prometheus text) and BASE.json (snapshot) "
+             "after the run (implies a live registry)",
     )
     stream.set_defaults(handler=_cmd_stream)
 
@@ -438,6 +532,40 @@ def build_parser() -> argparse.ArgumentParser:
         "scenarios", help="list the registered scenarios"
     )
     scenarios.set_defaults(handler=_cmd_scenarios)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="stream a scenario with full telemetry and export the "
+             "registry (table, Prometheus text or JSON snapshot)",
+    )
+    add_scenario(stats)
+    stats.add_argument(
+        "--batch-size", type=int, default=250,
+        help="posts per micro-batch (default: 250)",
+    )
+    stats.add_argument(
+        "--shards", type=int, default=1,
+        help="fan the corpus into N hash-sharded feeds (default: 1)",
+    )
+    stats.add_argument(
+        "--format", choices=("table", "prometheus", "json"),
+        default="table",
+        help="final export format (default: table); 'prometheus' also "
+             "lints the exposition text and fails on problems",
+    )
+    stats.add_argument(
+        "--follow", action="store_true",
+        help="re-print the live table every --every ticks during the run",
+    )
+    stats.add_argument(
+        "--every", type=int, default=10,
+        help="tick interval for --follow refreshes (default: 10)",
+    )
+    stats.add_argument(
+        "--metrics-out", default=None, metavar="BASE",
+        help="also write BASE.prom and BASE.json after the run",
+    )
+    stats.set_defaults(handler=_cmd_stats)
 
     replay = subparsers.add_parser(
         "replay",
@@ -475,6 +603,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="fast CI mode: default --months 2 and skip the "
              "poisoning-defence audit",
+    )
+    replay.add_argument(
+        "--metrics-out", default=None, metavar="BASE",
+        help="write BASE.prom and BASE.json with the accumulated "
+             "replay metrics (audit verdicts, stage latencies, feeds)",
     )
     replay.set_defaults(handler=_cmd_replay)
 

@@ -35,6 +35,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.framework import PSPFramework, PSPRunResult
 from repro.core.timewindow import TimeWindow
+from repro.obs.registry import ensure_registry
 from repro.iso21434.enums import AttackVector, FeasibilityRating
 from repro.iso21434.feasibility.attack_vector import WeightTable
 from repro.tara.lifecycle import LifecycleTracker, ReprocessingEvent
@@ -111,6 +112,12 @@ class PSPMonitor:
         workers: executor parallelism for the sharded runtime's shard
             jobs (resolved by
             :func:`~repro.core.executor.resolve_executor`).
+        metrics: optional :class:`~repro.obs.registry.MetricsRegistry`.
+            In stream mode it is threaded into the backing runtime
+            (which owns the tick/alert counters and span tracing); in
+            batch mode the monitor itself counts ``psp_ticks_total`` and
+            ``psp_alerts_total`` so both modes expose the same health
+            counters.
     """
 
     def __init__(
@@ -126,6 +133,7 @@ class PSPMonitor:
         post_filter=None,
         shards: Optional[int] = None,
         workers: Optional[int] = None,
+        metrics=None,
     ) -> None:
         self._framework = framework
         self._start_year = start_year
@@ -137,6 +145,7 @@ class PSPMonitor:
         self._last_date: Optional[dt.date] = None
         self._scorer: Optional[BatchTaraScorer] = None
         self._runtime = None
+        self._metrics = ensure_registry(metrics)
         if shards is not None and not stream:
             raise ValueError("shards= needs stream=True")
         if stream:
@@ -153,10 +162,22 @@ class PSPMonitor:
                 post_filter=post_filter,
                 shards=shards,
                 workers=workers,
+                metrics=metrics,
             )
             self._scorer = self._runtime.tara_scorer
-        elif network is not None:
-            self._scorer = BatchTaraScorer(compile_threat_model(network))
+            # The runtime owns psp_ticks_total / psp_alerts_total — the
+            # monitor counting them again would double every tick.
+            self._ticks_total = None
+            self._alerts_total = None
+        else:
+            if network is not None:
+                self._scorer = BatchTaraScorer(compile_threat_model(network))
+            self._ticks_total = self._metrics.counter(
+                "psp_ticks_total", "Stream ticks processed"
+            )
+            self._alerts_total = self._metrics.counter(
+                "psp_alerts_total", "Trend alerts emitted"
+            )
 
     @property
     def alerts(self) -> Tuple[TrendAlert, ...]:
@@ -182,6 +203,11 @@ class PSPMonitor:
     def stream_runtime(self):
         """The backing streaming runtime (None in batch mode)."""
         return self._runtime
+
+    @property
+    def metrics(self):
+        """The telemetry registry (a no-op NullRegistry by default)."""
+        return self._metrics
 
     def baseline_tara(self) -> Optional[TaraReportData]:
         """The static-table TARA over the monitored architecture.
@@ -258,6 +284,8 @@ class PSPMonitor:
                 label=f"{self._start_year}..{until.isoformat()}",
             )
         result = self._framework.run(window, learn=self._learn)
+        if self._ticks_total is not None:
+            self._ticks_total.inc()
         table = result.insider_table
         alert: Optional[TrendAlert] = None
         if self._last_table is not None:
@@ -283,6 +311,8 @@ class PSPMonitor:
                     tara=tara,
                 )
                 self._alerts.append(alert)
+                if self._alerts_total is not None:
+                    self._alerts_total.inc()
                 if self._tracker is not None:
                     self._tracker.report_trend_shift(alert.describe())
         self._last_table = table
@@ -346,6 +376,7 @@ def _build_stream_runtime(
     post_filter=None,
     shards: Optional[int] = None,
     workers: Optional[int] = None,
+    metrics=None,
 ):
     """A stream runtime mirroring one framework's batch configuration.
 
@@ -397,6 +428,7 @@ def _build_stream_runtime(
             tracker=tracker,
             post_filter=post_filter,
             workers=workers,
+            metrics=metrics,
         )
     if feed is None:
         if corpus is None:
@@ -414,4 +446,5 @@ def _build_stream_runtime(
         network=network,
         tracker=tracker,
         post_filter=post_filter,
+        metrics=metrics,
     )

@@ -1,0 +1,274 @@
+"""Exporters: Prometheus text exposition, JSON snapshot, human table.
+
+Three read paths over one :class:`~repro.obs.registry.MetricsRegistry`:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``# HELP``/``# TYPE`` headers, ``_bucket{le=...}``/``_sum``/
+  ``_count`` histogram expansion with cumulative buckets), the payload
+  the future async service's ``/metrics`` route will serve verbatim;
+* :func:`json_snapshot` — the schema-versioned snapshot dict (the same
+  block checkpoints and bench records embed), plus
+  :func:`write_snapshot` for dumping it to disk in CI;
+* :func:`stats_table` — the human ``repro stats``-style table: counters
+  and gauges by series, stage latencies with count/mean/total columns.
+
+:func:`lint_prometheus` is the line-format validator the CI replay
+smoke runs over the exported text: every sample line must match the
+exposition grammar, every family must carry ``# TYPE`` before its first
+sample, and histogram ``le`` buckets must be cumulative.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def _fmt_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _label_block(names: Tuple[str, ...], values: Tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the merged registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, instrument in sorted(registry.collect().items()):
+        if instrument.help:
+            lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, Histogram):
+            for key, series in sorted(instrument.samples().items()):
+                cumulative = series.cumulative()
+                for bound, count in zip(
+                    tuple(instrument.buckets) + (float("inf"),), cumulative
+                ):
+                    label_names = instrument.labelnames + ("le",)
+                    label_values = key + (_fmt_value(bound),)
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_block(label_names, label_values)}"
+                        f" {_fmt_value(count)}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_block(instrument.labelnames, key)}"
+                    f" {repr(float(series.sum))}"
+                )
+                lines.append(
+                    f"{name}_count{_label_block(instrument.labelnames, key)}"
+                    f" {_fmt_value(series.count)}"
+                )
+        else:
+            for key, value in sorted(instrument.samples().items()):
+                lines.append(
+                    f"{name}{_label_block(instrument.labelnames, key)}"
+                    f" {_fmt_value(value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- exposition lint ---------------------------------------------------------
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_COMMENT_RE = re.compile(
+    rf"^# (HELP|TYPE) ({_METRIC_NAME})(?: (.*))?$"
+)
+_LABELS = r'\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"' \
+          r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}'
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})({_LABELS})? "
+    r"([-+]?(?:\d+\.?\d*(?:[eE][-+]?\d+)?|\+Inf|-Inf|NaN))"
+    r"(?: \d+)?$"
+)
+_VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def lint_prometheus(text: str) -> List[str]:
+    """Validate exposition text line-by-line; return a list of problems.
+
+    An empty return means the text parses: comments are well-formed
+    ``# HELP``/``# TYPE`` lines with known types, every sample matches
+    the exposition grammar, samples of a typed family appear after
+    their ``# TYPE``, and histogram bucket series are cumulative and
+    end with ``le="+Inf"`` equal to the family ``_count``.
+    """
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    buckets: Dict[str, List[Tuple[float, float]]] = {}
+    counts: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            match = _COMMENT_RE.match(line)
+            if not match:
+                problems.append(f"line {lineno}: malformed comment: {line!r}")
+                continue
+            keyword, family, body = match.groups()
+            if keyword == "TYPE":
+                if body not in _VALID_TYPES:
+                    problems.append(
+                        f"line {lineno}: unknown type {body!r} for {family}"
+                    )
+                elif family in types:
+                    problems.append(
+                        f"line {lineno}: duplicate TYPE for {family}"
+                    )
+                else:
+                    types[family] = body
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        name, labels, value = match.group(1), match.group(2), match.group(3)
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        if family in types and types[family] == "histogram":
+            if name == family:
+                problems.append(
+                    f"line {lineno}: bare sample {name!r} for histogram"
+                )
+            if name.endswith("_bucket"):
+                le = re.search(r'le="([^"]+)"', labels or "")
+                if not le:
+                    problems.append(
+                        f"line {lineno}: histogram bucket missing le label"
+                    )
+                else:
+                    rest = re.sub(r',?le="(?:[^"\\]|\\.)*"', "", labels or "")
+                    rest = re.sub(r"\{,", "{", rest)
+                    if rest == "{}":
+                        rest = ""
+                    series_key = family + "|" + rest
+                    bound = float(le.group(1).replace("+Inf", "inf"))
+                    buckets.setdefault(series_key, []).append(
+                        (bound, float(value))
+                    )
+            if name.endswith("_count"):
+                series_key = family + "|" + (labels or "")
+                counts[series_key] = float(value)
+        elif name != family and family not in types and name not in types:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no TYPE comment"
+            )
+        elif name in types or family in types:
+            pass
+        else:  # pragma: no cover - unreachable, kept for clarity
+            problems.append(f"line {lineno}: untyped sample {name!r}")
+    for series_key, rows in buckets.items():
+        bounds = [b for b, _ in rows]
+        values = [v for _, v in rows]
+        if bounds != sorted(bounds):
+            problems.append(f"{series_key}: bucket bounds not sorted")
+        if values != sorted(values):
+            problems.append(f"{series_key}: bucket counts not cumulative")
+        if not bounds or bounds[-1] != float("inf"):
+            problems.append(f"{series_key}: missing le=\"+Inf\" bucket")
+        expected = counts.get(series_key)
+        if expected is not None and values and values[-1] != expected:
+            problems.append(
+                f"{series_key}: +Inf bucket {values[-1]} != _count {expected}"
+            )
+    return problems
+
+
+# -- JSON snapshot -----------------------------------------------------------
+
+
+def json_snapshot(registry: MetricsRegistry) -> Dict[str, object]:
+    """The schema-versioned snapshot (alias for ``registry.snapshot()``)."""
+    return registry.snapshot()
+
+
+def write_snapshot(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(json_snapshot(registry), indent=2, sort_keys=True) + "\n"
+    )
+    return target
+
+
+# -- human table -------------------------------------------------------------
+
+
+def stats_table(registry: MetricsRegistry) -> str:
+    """Fixed-width counters/gauges/latency table for ``repro stats``."""
+    collected = registry.collect()
+    lines: List[str] = []
+
+    scalar_rows: List[Tuple[str, str, str, float]] = []
+    for name, instrument in sorted(collected.items()):
+        if isinstance(instrument, (Counter, Gauge)):
+            for key, value in sorted(instrument.samples().items()):
+                labels = ",".join(
+                    f"{n}={v}" for n, v in zip(instrument.labelnames, key)
+                )
+                scalar_rows.append((name, labels, instrument.kind, value))
+    if scalar_rows:
+        width = max(len(f"{n}{{{l}}}" if l else n) for n, l, _, _ in scalar_rows)
+        lines.append(f"{'metric':<{width}}  {'kind':<7}  value")
+        for name, labels, kind, value in scalar_rows:
+            shown = f"{name}{{{labels}}}" if labels else name
+            lines.append(f"{shown:<{width}}  {kind:<7}  {_fmt_value(value)}")
+
+    hist_rows: List[Tuple[str, str, int, float, float]] = []
+    for name, instrument in sorted(collected.items()):
+        if isinstance(instrument, Histogram):
+            for key, series in sorted(instrument.samples().items()):
+                labels = ",".join(
+                    f"{n}={v}" for n, v in zip(instrument.labelnames, key)
+                )
+                mean = series.sum / series.count if series.count else 0.0
+                hist_rows.append(
+                    (name, labels, series.count, mean, series.sum)
+                )
+    if hist_rows:
+        if lines:
+            lines.append("")
+        width = max(len(f"{n}{{{l}}}" if l else n) for n, l, _, _, _ in hist_rows)
+        lines.append(
+            f"{'distribution':<{width}}  {'count':>8}  {'mean':>12}"
+            f"  {'total':>12}"
+        )
+        for name, labels, count, mean, total in hist_rows:
+            shown = f"{name}{{{labels}}}" if labels else name
+            # Latency histograms (``*_seconds``) read best in ms/s; size
+            # histograms (posts, keywords) are plain quantities.
+            if name.endswith("_seconds"):
+                mean_cell = f"{mean * 1e3:.3f} ms"
+                total_cell = f"{total:.3f} s"
+            else:
+                mean_cell = f"{mean:.1f}"
+                total_cell = _fmt_value(total)
+            lines.append(
+                f"{shown:<{width}}  {count:>8}  {mean_cell:>12}"
+                f"  {total_cell:>12}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,522 @@
+"""Zero-dependency metrics instruments and the registry that holds them.
+
+The streaming stack accumulated ad-hoc counters (``forced_retunes``,
+``interner_evicted``, per-tier ``segment_stats``) each surfaced through
+a different dict shape.  This module is the single instrumentation layer
+they all write into:
+
+* :class:`Counter` — monotonically increasing totals (``_total`` names);
+* :class:`Gauge` — set/inc/dec point-in-time values;
+* :class:`Histogram` — fixed-bucket distributions (Prometheus
+  cumulative-``le`` semantics: a bucket bound is *inclusive*);
+* :class:`MetricsRegistry` — get-or-create instrument store with child
+  registries (one per shard) merged by **pure summation**, mirroring
+  ``SignalDelta.merge``;
+* :class:`NullRegistry` — the no-op default path.  Every instrument
+  method exists and does nothing, so instrumented code carries no
+  ``if metrics:`` branches and the uninstrumented tick stays hot.
+
+Instruments carry fixed ``labelnames`` declared at creation; each
+distinct label-value tuple is an independent series.  A registry
+snapshot (:meth:`MetricsRegistry.snapshot`) is schema-versioned JSON
+consumed by checkpoints and the bench harness, and restorable with
+:meth:`MetricsRegistry.restore` so a resumed runtime continues its
+counters instead of restarting from zero.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Version stamp carried by every snapshot (and checkpoint ``metrics``
+#: block).  Bump when the snapshot layout changes shape.
+OBS_SCHEMA_VERSION = 1
+
+#: Default latency buckets (seconds) — tick stages run microseconds to
+#: tens of milliseconds on the bench workloads; the top buckets catch
+#: retune/rescore spikes and cold rematerializations.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+#: Default size buckets (counts) for batch/seal-size histograms.
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    1.0,
+    4.0,
+    16.0,
+    64.0,
+    256.0,
+    1024.0,
+    4096.0,
+    16384.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name: {name!r}")
+    return name
+
+
+def _check_labelnames(labelnames: Sequence[str]) -> Tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not _LABEL_RE.match(label):
+            raise ValueError(f"invalid label name: {label!r}")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate label names: {names!r}")
+    return names
+
+
+class _Instrument:
+    """Shared series bookkeeping: one value slot per label-value tuple."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = _check_labelnames(labelnames)
+
+    def _key(self, labels: Dict[str, object]) -> Tuple[str, ...]:
+        if len(labels) != len(self.labelnames) or any(
+            name not in labels for name in self.labelnames
+        ):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames!r}, "
+                f"got {tuple(sorted(labels))!r}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total.  ``inc`` rejects negatives."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._series: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(self._key(labels), 0)
+
+    def samples(self) -> Dict[Tuple[str, ...], float]:
+        return dict(self._series)
+
+
+class Gauge(_Instrument):
+    """A point-in-time value: set to the current level, inc/dec deltas."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._series: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._series[self._key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(self._key(labels), 0)
+
+    def samples(self) -> Dict[Tuple[str, ...], float]:
+        return dict(self._series)
+
+
+class HistogramSeries:
+    """Bucket counts + running sum/count for one label-value tuple.
+
+    ``counts[i]`` is the number of observations in ``(bounds[i-1],
+    bounds[i]]`` — *per-bucket* counts, cumulated only at export time.
+    The final slot is the implicit ``+Inf`` bucket.
+    """
+
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        self.counts: List[float] = [0] * (n_buckets + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def cumulative(self) -> List[float]:
+        out, running = [], 0.0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution with Prometheus ``le`` semantics.
+
+    A bucket upper bound is **inclusive**: ``observe(0.005)`` with a
+    ``0.005`` bound lands in that bucket, not the next — the edge case
+    the merge property test pins explicitly.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS)
+        if not bounds or any(
+            later <= earlier for later, earlier in zip(bounds[1:], bounds[:-1])
+        ):
+            raise ValueError(
+                f"histogram {name} buckets must be non-empty strictly "
+                f"increasing, got {bounds!r}"
+            )
+        self.buckets = bounds
+        self._series: Dict[Tuple[str, ...], HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = HistogramSeries(len(self.buckets))
+        # bisect_left: first bound >= value, i.e. the inclusive-`le`
+        # bucket; values past every bound fall in the +Inf slot.
+        series.counts[bisect_left(self.buckets, value)] += 1
+        series.sum += value
+        series.count += 1
+
+    def series(self, **labels: object) -> Optional[HistogramSeries]:
+        return self._series.get(self._key(labels))
+
+    def samples(self) -> Dict[Tuple[str, ...], HistogramSeries]:
+        return dict(self._series)
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store with summation-merged children.
+
+    ``child()`` hands out a registry whose instruments are collected
+    into the parent's exported/snapshotted totals by pure summation —
+    the metric-space mirror of ``SignalDelta.merge``: per-shard child
+    registries merged together equal one registry observing the same
+    events, in any order and grouping (property-tested).
+
+    ``add_collector`` registers a callable run just before every
+    ``collect``/``snapshot`` — the hook runtimes use to refresh cheap
+    point-in-time gauges (index sizes, tier stats) at export time
+    instead of paying for them on every tick.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+        self._children: List["MetricsRegistry"] = []
+        self._collectors: List[Callable[[], None]] = []
+
+    # -- instrument creation ------------------------------------------------
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls) or existing.labelnames != tuple(
+                labelnames
+            ):
+                raise ValueError(
+                    f"instrument {name!r} already registered as "
+                    f"{existing.kind} with labels {existing.labelnames!r}"
+                )
+            return existing
+        instrument = cls(name, help, labelnames, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    # -- children / collectors ----------------------------------------------
+
+    def child(self) -> "MetricsRegistry":
+        """A registry whose series sum into this one at collect time."""
+        child = MetricsRegistry()
+        self._children.append(child)
+        return child
+
+    @property
+    def children(self) -> Tuple["MetricsRegistry", ...]:
+        return tuple(self._children)
+
+    def add_collector(self, fn: Callable[[], None]) -> None:
+        self._collectors.append(fn)
+
+    # -- collection (own + children, pure summation) ------------------------
+
+    def collect(self) -> Dict[str, _Instrument]:
+        """Merged view: own instruments + all children's, summed.
+
+        Returns fresh instrument objects — mutating them does not touch
+        the live registries.
+        """
+        merged = MetricsRegistry()
+        merged.merge_from(self)
+        return dict(merged._instruments)
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` (and its children) into this registry by sum."""
+        for fn in other._collectors:
+            fn()
+        for instrument in other._instruments.values():
+            self._absorb(instrument)
+        for c in other._children:
+            self.merge_from(c)
+
+    def _absorb(self, instrument: _Instrument) -> None:
+        if isinstance(instrument, Histogram):
+            mine = self.histogram(
+                instrument.name,
+                instrument.help,
+                instrument.labelnames,
+                buckets=instrument.buckets,
+            )
+            if mine.buckets != instrument.buckets:
+                raise ValueError(
+                    f"histogram {instrument.name!r} bucket mismatch on merge"
+                )
+            for key, series in instrument._series.items():
+                target = mine._series.get(key)
+                if target is None:
+                    target = mine._series[key] = HistogramSeries(
+                        len(mine.buckets)
+                    )
+                for i, c in enumerate(series.counts):
+                    target.counts[i] += c
+                target.sum += series.sum
+                target.count += series.count
+        elif isinstance(instrument, Counter):
+            mine = self.counter(
+                instrument.name, instrument.help, instrument.labelnames
+            )
+            for key, value in instrument._series.items():
+                mine._series[key] = mine._series.get(key, 0) + value
+        elif isinstance(instrument, Gauge):
+            # Gauges merge by summation too: per-shard index sizes sum
+            # to the fleet size, mirroring how tier stats aggregate.
+            mine = self.gauge(
+                instrument.name, instrument.help, instrument.labelnames
+            )
+            for key, value in instrument._series.items():
+                mine._series[key] = mine._series.get(key, 0) + value
+        else:  # pragma: no cover - no further kinds exist
+            raise TypeError(f"cannot merge instrument kind {instrument.kind!r}")
+
+    @staticmethod
+    def merged(registries: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """Pure-sum merge of independent registries into a fresh one."""
+        out = MetricsRegistry()
+        for registry in registries:
+            out.merge_from(registry)
+        return out
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Schema-versioned JSON-safe dump of the merged registry."""
+        metrics: Dict[str, object] = {}
+        for name, instrument in sorted(self.collect().items()):
+            entry: Dict[str, object] = {
+                "kind": instrument.kind,
+                "help": instrument.help,
+                "labelnames": list(instrument.labelnames),
+            }
+            if isinstance(instrument, Histogram):
+                entry["buckets"] = list(instrument.buckets)
+                entry["series"] = [
+                    {
+                        "labels": list(key),
+                        "counts": list(series.counts),
+                        "sum": series.sum,
+                        "count": series.count,
+                    }
+                    for key, series in sorted(instrument._series.items())
+                ]
+            else:
+                entry["series"] = [
+                    {"labels": list(key), "value": value}
+                    for key, value in sorted(instrument._series.items())
+                ]
+            metrics[name] = entry
+        return {"obs_schema": OBS_SCHEMA_VERSION, "metrics": metrics}
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Re-absorb a snapshot: counters resume, gauges repopulate.
+
+        Restoring is itself a summation merge, so restoring into a
+        registry that has already observed events adds on top — callers
+        restore into a fresh registry for exact counter continuity.
+        """
+        schema = snapshot.get("obs_schema")
+        if schema != OBS_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported obs snapshot schema {schema!r} "
+                f"(expected {OBS_SCHEMA_VERSION})"
+            )
+        staged = MetricsRegistry()
+        for name, entry in snapshot.get("metrics", {}).items():
+            kind = entry["kind"]
+            labelnames = tuple(entry.get("labelnames", ()))
+            if kind == "histogram":
+                hist = staged.histogram(
+                    name,
+                    entry.get("help", ""),
+                    labelnames,
+                    buckets=tuple(entry["buckets"]),
+                )
+                for row in entry["series"]:
+                    series = HistogramSeries(len(hist.buckets))
+                    series.counts = [float(c) for c in row["counts"]]
+                    series.sum = float(row["sum"])
+                    series.count = int(row["count"])
+                    hist._series[tuple(row["labels"])] = series
+            elif kind in ("counter", "gauge"):
+                inst = (staged.counter if kind == "counter" else staged.gauge)(
+                    name, entry.get("help", ""), labelnames
+                )
+                for row in entry["series"]:
+                    inst._series[tuple(row["labels"])] = float(row["value"])
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r}")
+        self.merge_from(staged)
+
+
+class _NullInstrument:
+    """Accepts every instrument method as a no-op (shared singleton)."""
+
+    kind = "null"
+    name = "null"
+    help = ""
+    labelnames: Tuple[str, ...] = ()
+    buckets: Tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        pass
+
+    def dec(self, amount: float = 1, **labels: object) -> None:
+        pass
+
+    def set(self, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, value: float, **labels: object) -> None:
+        pass
+
+    def value(self, **labels: object) -> float:
+        return 0
+
+    def series(self, **labels: object) -> None:
+        return None
+
+    def samples(self) -> Dict[Tuple[str, ...], float]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The default no-instrumentation path: every call is a cheap no-op.
+
+    Instrumented code asks the registry for instruments unconditionally;
+    with a ``NullRegistry`` those are a shared do-nothing singleton, so
+    the hot tick pays one attribute lookup + an empty method call per
+    event instead of any branching.  ``enabled`` lets exporters and
+    span recorders skip their (costlier) work entirely.
+    """
+
+    enabled = False
+
+    def counter(self, name, help="", labelnames=()):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, help="", labelnames=()):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, help="", labelnames=(), buckets=None):
+        return _NULL_INSTRUMENT
+
+    def child(self) -> "NullRegistry":
+        return self
+
+    @property
+    def children(self) -> Tuple[()]:
+        return ()
+
+    def add_collector(self, fn) -> None:
+        pass
+
+    def collect(self) -> Dict[str, _Instrument]:
+        return {}
+
+    def merge_from(self, other) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"obs_schema": OBS_SCHEMA_VERSION, "metrics": {}}
+
+    def restore(self, snapshot) -> None:
+        pass
+
+
+def ensure_registry(metrics: Optional[MetricsRegistry]):
+    """``None`` → the shared no-op path; anything else passes through."""
+    return metrics if metrics is not None else NullRegistry()

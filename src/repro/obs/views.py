@@ -1,0 +1,181 @@
+"""Registry-backed runtime-health views and the legacy stat aliases.
+
+Before this module the stack surfaced three unrelated dict shapes —
+``StreamRuntime.stream_stats``, the index ``segment_stats``, and the
+sharding ``state_dict`` counters — each assembled ad hoc at its call
+site.  Both runtimes now delegate their ``stream_stats`` property here,
+so every stats consumer (``repro stream --stats``, checkpoint metadata,
+the bench harness) reads from **one** source:
+
+* :func:`runtime_health` — the unified, schema-versioned health
+  document: counters, per-stage latency summaries (from the shared
+  registry when instrumentation is on), and per-index tier stats;
+* :func:`stream_stats` — the **deprecated legacy aliases**: exactly the
+  flat dict shapes the pre-obs runtimes returned, derived from the
+  health document (``tests/obs/test_stat_views.py`` pins both shapes);
+* :func:`stage_latencies` — count/total/mean per tick stage out of the
+  ``psp_tick_stage_seconds`` histogram.
+
+The counters in the health document are also what the registry's
+``psp_*_total`` instruments hold — ``tests/obs/test_stat_views.py``
+asserts the two stay equal, which is the "one source" contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+#: Version stamp of the health-document shape.
+HEALTH_SCHEMA_VERSION = 1
+
+
+def stage_latencies(registry: MetricsRegistry) -> Dict[str, Dict[str, float]]:
+    """Per-stage timing summary from ``psp_tick_stage_seconds``.
+
+    Returns ``{stage: {"count": n, "total_seconds": s, "mean_ms": m}}``
+    for every stage the trace has recorded (plus a ``"tick"`` row from
+    the whole-tick histogram), empty with a :class:`~repro.obs.registry.
+    NullRegistry` or before the first instrumented tick.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    collected = registry.collect()
+    stage_hist = collected.get("psp_tick_stage_seconds")
+    if isinstance(stage_hist, Histogram):
+        for key, series in sorted(stage_hist.samples().items()):
+            stage = key[stage_hist.labelnames.index("stage")]
+            out[stage] = {
+                "count": series.count,
+                "total_seconds": series.sum,
+                "mean_ms": (
+                    series.sum / series.count * 1e3 if series.count else 0.0
+                ),
+            }
+    tick_hist = collected.get("psp_tick_seconds")
+    if isinstance(tick_hist, Histogram):
+        for _, series in tick_hist.samples().items():
+            out["tick"] = {
+                "count": series.count,
+                "total_seconds": series.sum,
+                "mean_ms": (
+                    series.sum / series.count * 1e3 if series.count else 0.0
+                ),
+            }
+    return out
+
+
+def _counter_block(runtime) -> Dict[str, object]:
+    """The shared counter core both runtime flavours report."""
+    evaluator = runtime.evaluator
+    return {
+        "ticks": len(runtime.ticks),
+        # Observed, not indexed: also survives a restore from a lean
+        # (include_index=False) checkpoint, where the index restarts
+        # empty.
+        "posts_ingested": runtime.deltas.observed_posts,
+        "posts_rejected": sum(
+            len(report.rejected) for report in runtime.filter_reports
+        ),
+        "retunes": evaluator.retunes,
+        "forced_retunes": evaluator.forced_retunes,
+        "tara_rescores": evaluator.rescores,
+        "alerts": len(evaluator.alerts),
+        "learned_keywords": list(runtime.learned_keywords),
+    }
+
+
+def runtime_health(runtime) -> Dict[str, object]:
+    """The unified health document for either runtime flavour.
+
+    ``runtime`` is a :class:`~repro.stream.runtime.StreamRuntime` or
+    :class:`~repro.stream.sharding.ShardedStreamRuntime` — detected by
+    the ``shard_count`` attribute, not by type, so future runtime
+    flavours only need the same small surface (``ticks``, ``deltas``,
+    ``evaluator``, ``filter_reports``, ``learned_keywords``,
+    ``metrics``).
+    """
+    sharded = hasattr(runtime, "shard_count")
+    doc: Dict[str, object] = {
+        "health_schema": HEALTH_SCHEMA_VERSION,
+        "runtime": "sharded" if sharded else "stream",
+        "counters": _counter_block(runtime),
+        "stages": stage_latencies(runtime.metrics),
+    }
+    if sharded:
+        doc["shards"] = runtime.shard_count
+        doc["executor"] = getattr(runtime.executor, "kind", "unknown")
+        doc["cursors"] = list(runtime.cursors)
+        doc["shard_stats"] = [
+            {
+                "shard": shard_id,
+                "cursor": cursor,
+                "posts": deltas.observed_posts,
+                "index": index.segment_stats,
+            }
+            for shard_id, (cursor, deltas, index) in enumerate(
+                zip(runtime.cursors, runtime.shard_deltas, runtime.shard_indexes)
+            )
+        ]
+    else:
+        doc["cursor"] = runtime.cursor
+        doc["index"] = runtime.index.segment_stats
+    return doc
+
+
+def stream_stats(runtime) -> Dict[str, object]:
+    """The legacy flat ``stream_stats`` dict — **deprecated aliases**.
+
+    Exactly the pre-obs shapes, key for key, derived from
+    :func:`runtime_health` so old dashboards and benches keep working
+    while new consumers read the health document (or the registry
+    directly).
+    """
+    health = runtime_health(runtime)
+    counters: Dict[str, object] = dict(health["counters"])  # type: ignore[arg-type]
+    stats: Dict[str, object] = {"ticks": counters.pop("ticks")}
+    if health["runtime"] == "sharded":
+        stats.update(
+            {
+                "shards": health["shards"],
+                "executor": health["executor"],
+                "cursors": health["cursors"],
+            }
+        )
+        stats.update(counters)
+        stats["shard_stats"] = health["shard_stats"]
+    else:
+        stats["cursor"] = health["cursor"]
+        stats.update(counters)
+        stats["index"] = health["index"]
+    return stats
+
+
+def describe_stages(
+    stages: Dict[str, Dict[str, float]], *, indent: str = "  "
+) -> Optional[str]:
+    """Human lines for a :func:`stage_latencies` result (None if empty)."""
+    if not stages:
+        return None
+    order = [
+        "filter",
+        "append",
+        "delta_ingest",
+        "shard_map",
+        "shard_merge",
+        "sai",
+        "retune",
+        "rescore",
+        "alert_emit",
+        "tick",
+    ]
+    names = [s for s in order if s in stages]
+    names += [s for s in sorted(stages) if s not in order]
+    width = max(len(name) for name in names)
+    lines = [
+        f"{indent}{name:<{width}}  x{int(stages[name]['count']):>6}  "
+        f"mean {stages[name]['mean_ms']:8.3f} ms  "
+        f"total {stages[name]['total_seconds']:8.3f} s"
+        for name in names
+    ]
+    return "\n".join(lines)

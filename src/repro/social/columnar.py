@@ -117,6 +117,10 @@ class TextInterner:
     def __len__(self) -> int:
         return len(self._pool)
 
+    def texts(self) -> Iterable[str]:
+        """The distinct texts currently pinned in the pool."""
+        return self._pool.keys()
+
 
 def _consolidated(chunks: List[Tuple[int, array]]) -> List[Tuple[int, array]]:
     """Flatten a chunk chain into one re-based ``(0, positions)`` chunk."""

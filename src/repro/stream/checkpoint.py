@@ -67,14 +67,20 @@ def checkpoint_state(
     # changes afterwards, not the pre-save backlog.
     state["deltas"] = dict(state["deltas"])
     state["deltas"]["dirty_since_snapshot"] = []
+    # Operator-facing context, deliberately outside the base_id hash:
+    # what the index looked like at save time (including per-tier rows
+    # of a tiered layout) and, for instrumented runtimes, the telemetry
+    # registry snapshot so a resume continues counters instead of
+    # restarting them from zero.
+    metadata: Dict[str, Any] = {"segment_stats": runtime.index.segment_stats}
+    metrics = getattr(runtime, "metrics", None)
+    if metrics is not None and getattr(metrics, "enabled", False):
+        metadata["metrics"] = metrics.snapshot()
     return {
         "checkpoint_version": CHECKPOINT_VERSION,
         "kind": KIND_BASE,
         "base_id": _state_id(state),
-        # Operator-facing context, deliberately outside the base_id hash
-        # (and ignored on restore): what the index looked like at save
-        # time, including the per-tier rows of a tiered layout.
-        "metadata": {"segment_stats": runtime.index.segment_stats},
+        "metadata": metadata,
         "runtime": state,
     }
 
@@ -135,12 +141,18 @@ def save_delta_checkpoint(
             "no base checkpoint to delta against — call save_checkpoint "
             "first (or restore from one)"
         )
-    payload = {
+    payload: Dict[str, Any] = {
         "checkpoint_version": CHECKPOINT_VERSION,
         "kind": KIND_DELTA,
         "base_id": base_id,
         "runtime_delta": runtime.delta_state_dict(),
     }
+    metrics = getattr(runtime, "metrics", None)
+    if metrics is not None and getattr(metrics, "enabled", False):
+        # Same contract as the base's metadata block: advisory, outside
+        # any content hash, and the *current* cumulative totals (deltas
+        # are cumulative against their base, and so is this snapshot).
+        payload["metadata"] = {"metrics": metrics.snapshot()}
     destination = Path(path)
     destination.parent.mkdir(parents=True, exist_ok=True)
     destination.write_text(
@@ -382,9 +394,15 @@ def restore_runtime(
             )
         state = _overlay_delta(base_payload["runtime"], payload["runtime_delta"])
         adopted_base_id = payload["base_id"]
+        # Deltas carry cumulative totals; fall back to the base's
+        # snapshot only when the delta predates metrics support.
+        metrics_snapshot = payload.get("metadata", {}).get(
+            "metrics"
+        ) or base_payload.get("metadata", {}).get("metrics")
     else:
         state = payload["runtime"]
         adopted_base_id = payload.get("base_id")
+        metrics_snapshot = payload.get("metadata", {}).get("metrics")
     runtime = StreamRuntime(
         feed,
         database,
@@ -392,6 +410,11 @@ def restore_runtime(
         **runtime_kwargs,
     )
     runtime.load_state(state)
+    if metrics_snapshot is not None and runtime.metrics.enabled:
+        # Counter continuity: the resumed registry starts from the saved
+        # totals, so resumed + uninterrupted runs agree on cumulative
+        # counts (asserted in tests/stream/test_checkpoint.py).
+        runtime.metrics.restore(metrics_snapshot)
     if adopted_base_id is not None:
         # The restored runtime can keep delta-saving against the same
         # base file — no fresh base required after every resume.

@@ -42,6 +42,7 @@ from __future__ import annotations
 import datetime as dt
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.obs.registry import DEFAULT_SIZE_BUCKETS, ensure_registry
 from repro.social.columnar import (
     TextInterner,
     columns_to_posts,
@@ -94,6 +95,9 @@ class StreamingCorpusIndex:
             append cost stays O(batch × (1 + 1/ratio)).  Whichever
             policy fires first wins; ``None`` keeps the pure-threshold
             behaviour.
+        metrics: optional :class:`~repro.obs.registry.MetricsRegistry`
+            recording append/compaction events and (at export time)
+            per-segment size gauges; None wires the no-op path.
     """
 
     def __init__(
@@ -102,6 +106,7 @@ class StreamingCorpusIndex:
         *,
         compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
         compact_ratio: Optional[float] = None,
+        metrics=None,
     ) -> None:
         if compact_threshold < 1:
             raise ValueError(
@@ -122,6 +127,32 @@ class StreamingCorpusIndex:
             raise ValueError("initial posts contain duplicate post ids")
         self._appends = 0
         self._compactions = 0
+        self._metrics = ensure_registry(metrics)
+        self._appends_total = self._metrics.counter(
+            "psp_index_appends_total", "Micro-batch appends into the index"
+        )
+        self._compactions_total = self._metrics.counter(
+            "psp_index_compactions_total", "Base+tail segment compactions"
+        )
+        self._compacted_hist = self._metrics.histogram(
+            "psp_index_compacted_posts",
+            "Tail posts folded per compaction",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        if self._metrics.enabled:
+            self._metrics.add_collector(self._refresh_gauges)
+
+    def _refresh_gauges(self) -> None:
+        """Per-segment size gauges, refreshed at export/snapshot time."""
+        posts_gauge = self._metrics.gauge(
+            "psp_index_posts", "Posts retained per index tier",
+            labelnames=("tier",),
+        )
+        posts_gauge.set(len(self._base), tier="base")
+        posts_gauge.set(len(self._tail_posts), tier="tail")
+        self._metrics.gauge(
+            "psp_index_interned_texts", "Texts pinned in the interner pool"
+        ).set(len(self._interner))
 
     # -- ingestion ----------------------------------------------------------
 
@@ -150,6 +181,7 @@ class StreamingCorpusIndex:
         self._tail_posts.extend(batch)
         self._tail_index = None
         self._appends += 1
+        self._appends_total.inc()
         if self._should_compact():
             self.compact()
         return len(batch)
@@ -169,10 +201,12 @@ class StreamingCorpusIndex:
         """Merge the tail into the base segment (tail restarts empty)."""
         if not self._tail_posts:
             return
+        self._compacted_hist.observe(len(self._tail_posts))
         self._base = self._base.extended_with_index(self._tail())
         self._tail_posts = []
         self._tail_index = None
         self._compactions += 1
+        self._compactions_total.inc()
 
     # -- segment access -----------------------------------------------------
 

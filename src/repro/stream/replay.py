@@ -43,6 +43,8 @@ from repro.core.timewindow import TimeWindow
 from repro.core.framework import PSPFramework
 from repro.core.monitor import PSPMonitor, TrendAlert
 from repro.core.poisoning import PostAuthenticityFilter
+from repro.obs import views as obs_views
+from repro.obs.registry import ensure_registry
 from repro.social.post import Post
 from repro.social.registry import ScenarioSpec, get_scenario
 from repro.social.resilience import TransientPlatformError
@@ -133,6 +135,10 @@ class DelayedFeed:
         outages: the outage windows to honour.
         platform_of: post → platform name; defaults to the branded-id
             prefix decode.
+        metrics: optional :class:`~repro.obs.registry.MetricsRegistry`;
+            every outage-delayed event increments
+            ``feed_delayed_events_total`` once, here at construction
+            (``partition`` children deliberately do *not* re-count).
     """
 
     def __init__(
@@ -141,10 +147,12 @@ class DelayedFeed:
         outages: Sequence[object] = (),
         *,
         platform_of=None,
+        metrics=None,
     ) -> None:
         decode = platform_of or (
             lambda post: post.post_id.partition(":")[0]
         )
+        delayed = 0
         entries = []
         for post in posts:
             arrival = post.created_at
@@ -156,7 +164,13 @@ class DelayedFeed:
                     backfill = outage.end + dt.timedelta(days=1)
                     if backfill > arrival:
                         arrival = backfill
+            if arrival != post.created_at:
+                delayed += 1
             entries.append((arrival, post))
+        ensure_registry(metrics).counter(
+            "feed_delayed_events_total",
+            "Events withheld past their creation date by outage windows.",
+        ).inc(delayed)
         entries.sort(key=lambda pair: (pair[0], pair[1].created_at,
                                        pair[1].post_id))
         self._arrivals: Tuple[dt.date, ...] = tuple(a for a, _ in entries)
@@ -237,20 +251,27 @@ class FlakyFeed:
 
     The streaming analogue of :class:`~repro.social.resilience.
     FlakyClient` — used by the resilience tests to prove retry wrappers
-    and per-shard degradation around the runtimes.
+    and per-shard degradation around the runtimes.  Injected failures
+    increment ``feed_failures_total`` so a degraded replay is visible in
+    the telemetry, not just in the wrapper's attributes.
     """
 
-    def __init__(self, inner, *, failures: int = 1) -> None:
+    def __init__(self, inner, *, failures: int = 1, metrics=None) -> None:
         if failures < 0:
             raise ValueError(f"failures must be >= 0, got {failures}")
         self._inner = inner
         self._remaining = failures
         self.polls = 0
+        self._failures_total = ensure_registry(metrics).counter(
+            "feed_failures_total",
+            "Feed polls that raised a transient platform error.",
+        )
 
     def events_after(self, cursor, *, until=None, limit=None):
         self.polls += 1
         if self._remaining > 0:
             self._remaining -= 1
+            self._failures_total.inc()
             raise TransientPlatformError(
                 f"injected feed outage ({self._remaining} more)"
             )
@@ -263,10 +284,12 @@ class RetryingFeed:
     Mirrors :class:`~repro.social.resilience.RetryingClient` for feeds:
     ``max_attempts`` tries per poll, re-raising the last
     :class:`~repro.social.resilience.TransientPlatformError` when the
-    budget is exhausted.
+    budget is exhausted.  Every re-poll increments
+    ``feed_retries_total`` — retries used to vanish into the wrapper's
+    instance attributes, invisible to anything downstream.
     """
 
-    def __init__(self, inner, *, max_attempts: int = 3) -> None:
+    def __init__(self, inner, *, max_attempts: int = 3, metrics=None) -> None:
         if max_attempts < 1:
             raise ValueError(
                 f"max_attempts must be >= 1, got {max_attempts}"
@@ -275,6 +298,10 @@ class RetryingFeed:
         self._max_attempts = max_attempts
         self.attempts = 0
         self.retries = 0
+        self._retries_total = ensure_registry(metrics).counter(
+            "feed_retries_total",
+            "Feed re-polls after a transient platform error.",
+        )
 
     def events_after(self, cursor, *, until=None, limit=None):
         last: Optional[Exception] = None
@@ -282,6 +309,7 @@ class RetryingFeed:
             self.attempts += 1
             if attempt:
                 self.retries += 1
+                self._retries_total.inc()
             try:
                 return self._inner.events_after(
                     cursor, until=until, limit=limit
@@ -297,18 +325,25 @@ class BestEffortFeed:
     Mirrors :class:`~repro.social.resilience.BestEffortClient`: one
     platform's persistent outage must not stall the other shards — the
     failing feed simply contributes nothing this tick and the stable
-    feed cursor re-offers the missed events next poll.
+    feed cursor re-offers the missed events next poll.  Each swallowed
+    batch increments ``feed_dropped_batches_total``; silent degradation
+    was exactly the failure mode the telemetry layer exists to surface.
     """
 
-    def __init__(self, inner) -> None:
+    def __init__(self, inner, *, metrics=None) -> None:
         self._inner = inner
         self.degraded_polls = 0
+        self._dropped_total = ensure_registry(metrics).counter(
+            "feed_dropped_batches_total",
+            "Feed polls degraded to an empty batch by a platform error.",
+        )
 
     def events_after(self, cursor, *, until=None, limit=None):
         try:
             return self._inner.events_after(cursor, until=until, limit=limit)
         except TransientPlatformError:
             self.degraded_polls += 1
+            self._dropped_total.inc()
             return ()
 
 
@@ -366,6 +401,12 @@ class ReplayReport:
     checkpoint_parity: bool
     memory_bounded: bool
     mismatches: List[str] = field(default_factory=list)
+    #: Per-stage tick latency rollup (stage → count/total_seconds/mean_ms)
+    #: from the replay's metrics registry; empty on the NullRegistry path.
+    stage_latencies: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: ``feed_*`` counter totals (retries, dropped batches, delays) the
+    #: wrapped feeds recorded; empty on the NullRegistry path.
+    feed_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -401,6 +442,17 @@ class ReplayReport:
             f"  checkpoint parity {flag(self.checkpoint_parity)}",
             f"  bounded memory    {flag(self.memory_bounded)}",
         ]
+        if self.feed_counters:
+            rendered = ", ".join(
+                f"{name}={value}"
+                for name, value in sorted(self.feed_counters.items())
+            )
+            lines.append(f"  feed: {rendered}")
+        for stage, row in sorted(self.stage_latencies.items()):
+            lines.append(
+                f"  stage {stage:<12} {row['count']:>6.0f} spans, "
+                f"mean {row['mean_ms']:.3f} ms"
+            )
         for mismatch in self.mismatches:
             lines.append(f"  ! {mismatch}")
         lines.append(f"  verdict: {'PASS' if self.ok else 'FAIL'}")
@@ -423,6 +475,7 @@ def _build_stream(
     post_filter: Optional[PostAuthenticityFilter] = None,
     warm_span_days: Optional[int] = None,
     cold_age_days: Optional[int] = None,
+    metrics=None,
 ):
     """A fresh replay runtime (single or sharded) plus fresh feeds."""
     database = spec.database()
@@ -435,9 +488,10 @@ def _build_stream(
         compact_ratio=REPLAY_COMPACT_RATIO,
         warm_span_days=warm_span_days,
         cold_age_days=cold_age_days,
+        metrics=metrics,
     )
     if spec.outages:
-        merged = DelayedFeed(posts, spec.outages)
+        merged = DelayedFeed(posts, spec.outages, metrics=metrics)
         feeds = merged.partition(shards) if shards > 1 else (merged,)
     elif shards > 1:
         feeds = shard_feeds(posts, shards)
@@ -462,6 +516,7 @@ def replay_scenario(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     warm_span_days: Optional[int] = None,
     cold_age_days: Optional[int] = None,
+    metrics=None,
 ) -> ReplayReport:
     """Drive one scenario through the full three-invariant audit.
 
@@ -480,6 +535,12 @@ def replay_scenario(
             replays on tiered indexes (hot/warm/cold with sidecars)
             instead of the flat streaming index, with every audit —
             parity, checkpoint resume, bounded memory — unchanged.
+        metrics: optional :class:`~repro.obs.registry.MetricsRegistry`
+            instrumenting the *uninterrupted* streaming run (the
+            checkpoint-resume and SAI-recompute side runs stay
+            uninstrumented so counters aren't double-counted).  Audit
+            verdicts land in ``replay_audit_outcomes_total`` and the
+            report carries per-stage latencies and ``feed_*`` totals.
 
     The batch side is a cached :class:`~repro.core.framework.
     PSPFramework` driven by :meth:`~repro.core.monitor.PSPMonitor.
@@ -532,9 +593,11 @@ def replay_scenario(
         batch_tables[boundary] = _table_rows(monitor.current_table)
 
     # -- streaming run (uninterrupted reference + mid-run checkpoints) ------
+    registry = ensure_registry(metrics)
     runtime, _, _ = _build_stream(
         spec, posts, shards=shards, workers=workers, config=config,
         warm_span_days=warm_span_days, cold_age_days=cold_age_days,
+        metrics=metrics,
     )
     count = len(boundaries)
     base_at = count // 3 if count >= 3 else None
@@ -713,6 +776,35 @@ def replay_scenario(
     batch_alert_count = sum(
         1 for alert in batch_alerts.values() if alert is not None
     )
+
+    # -- audit outcomes as metrics ------------------------------------------
+    audit_counter = registry.counter(
+        "replay_audit_outcomes_total",
+        "Replay invariant audits by verdict.",
+        labelnames=("invariant", "outcome"),
+    )
+    for invariant, held in (
+        ("alert_parity", alert_parity),
+        ("table_parity", table_parity),
+        ("sai_parity", sai_parity),
+        ("checkpoint_parity", checkpoint_parity),
+        ("memory_bounded", memory_bounded),
+    ):
+        audit_counter.inc(
+            invariant=invariant, outcome="pass" if held else "fail"
+        )
+    registry.counter(
+        "replay_boundaries_total", "Tick boundaries replayed."
+    ).inc(len(boundaries))
+    stage_latencies: Dict[str, Dict[str, float]] = {}
+    feed_counters: Dict[str, int] = {}
+    if registry.enabled:
+        stage_latencies = obs_views.stage_latencies(registry)
+        for name, instrument in registry.collect().items():
+            if name.startswith("feed_") and instrument.kind == "counter":
+                feed_counters[name] = int(
+                    sum(instrument.samples().values())
+                )
     return ReplayReport(
         scenario=spec.name,
         shards=shards,
@@ -729,6 +821,8 @@ def replay_scenario(
         checkpoint_parity=checkpoint_parity,
         memory_bounded=memory_bounded,
         mismatches=mismatches,
+        stage_latencies=stage_latencies,
+        feed_counters=feed_counters,
     )
 
 

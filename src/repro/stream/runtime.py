@@ -51,6 +51,9 @@ from repro.core.sai import SAIComputer, SAIList
 from repro.core.timewindow import TimeWindow
 from repro.core.weights import WeightTuner
 from repro.iso21434.feasibility.attack_vector import WeightTable
+from repro.obs import views as obs_views
+from repro.obs.registry import DEFAULT_SIZE_BUCKETS, ensure_registry
+from repro.obs.trace import trace_for
 from repro.stream.deltas import DeltaTracker
 from repro.stream.feed import FeedSource, PostEvent
 from repro.stream.index import DEFAULT_COMPACT_THRESHOLD, StreamingCorpusIndex
@@ -123,12 +126,28 @@ class TickEvaluator:
         since_year: Optional[int] = None,
         network: Optional[VehicleNetwork] = None,
         tracker: Optional[LifecycleTracker] = None,
+        metrics=None,
+        trace=None,
     ) -> None:
         self._database = database
         self._target = target
         self._config = config
         self.since_year = since_year
         self._tracker = tracker
+        self._metrics = ensure_registry(metrics)
+        self._trace = trace if trace is not None else trace_for(self._metrics)
+        self._retunes_total = self._metrics.counter(
+            "psp_retunes_total", "Weight-table retunes"
+        )
+        self._forced_retunes_total = self._metrics.counter(
+            "psp_forced_retunes_total", "Staleness-forced retunes"
+        )
+        self._rescores_total = self._metrics.counter(
+            "psp_tara_rescores_total", "Compiled-TARA rescores"
+        )
+        self._alerts_total = self._metrics.counter(
+            "psp_alerts_total", "Trend alerts emitted"
+        )
         self._staleness_share = config.stream_staleness_share
         # The signals scoring path never touches the client slot.
         self._computer = SAIComputer(None, config=config)  # type: ignore[arg-type]
@@ -261,28 +280,32 @@ class TickEvaluator:
             if not self._stale_retune_due(deltas, upto_year):
                 return False, False, None
             self.forced_retunes += 1
+            self._forced_retunes_total.inc()
 
-        window = self._window(upto_year)
-        signals = deltas.signals(
-            since_year=self.since_year, until_year=upto_year
-        )
-        sai = self._computer.compute_from_signals(self._database, signals)
-        split = self._split(deltas, sai)
-        tuning = self._tuner.tune(split, window_label=window.describe())
-        table = tuning.insider_table
-        fingerprint = table_fingerprint(table)
-        result = PSPRunResult(
-            target=self._target,
-            window=window,
-            sai=sai,
-            split=split,
-            tuning=tuning,
-            learned_keywords=(),
-        )
-        self.retunes += 1
-        self.retune_window_posts = deltas.window_total(
-            since_year=self.since_year, until_year=upto_year
-        )
+        with self._trace.span("sai"):
+            window = self._window(upto_year)
+            signals = deltas.signals(
+                since_year=self.since_year, until_year=upto_year
+            )
+            sai = self._computer.compute_from_signals(self._database, signals)
+        with self._trace.span("retune"):
+            split = self._split(deltas, sai)
+            tuning = self._tuner.tune(split, window_label=window.describe())
+            table = tuning.insider_table
+            fingerprint = table_fingerprint(table)
+            result = PSPRunResult(
+                target=self._target,
+                window=window,
+                sai=sai,
+                split=split,
+                tuning=tuning,
+                learned_keywords=(),
+            )
+            self.retunes += 1
+            self._retunes_total.inc()
+            self.retune_window_posts = deltas.window_total(
+                since_year=self.since_year, until_year=upto_year
+            )
 
         rescored = False
         alert: Optional[TrendAlert] = None
@@ -301,18 +324,22 @@ class TickEvaluator:
             )
             tara: Optional[TaraReportData] = None
             if self._scorer is not None:
-                tara = self._scorer.score(insider_table=table)
+                with self._trace.span("rescore"):
+                    tara = self._scorer.score(insider_table=table)
                 rescored = True
                 self.rescores += 1
-            alert = TrendAlert(
-                upto_year=upto_year if upto_year is not None else 0,
-                changes=changes,
-                result=result,
-                tara=tara,
-            )
-            self.alerts.append(alert)
-            if self._tracker is not None:
-                self._tracker.report_trend_shift(alert.describe())
+                self._rescores_total.inc()
+            with self._trace.span("alert_emit"):
+                alert = TrendAlert(
+                    upto_year=upto_year if upto_year is not None else 0,
+                    changes=changes,
+                    result=result,
+                    tara=tara,
+                )
+                self.alerts.append(alert)
+                self._alerts_total.inc()
+                if self._tracker is not None:
+                    self._tracker.report_trend_shift(alert.describe())
 
         self.last_table = table
         self.last_fingerprint = fingerprint
@@ -395,6 +422,12 @@ class StreamRuntime:
         cold_age_days: age horizon past which whole warm spans seal into
             immutable cold segments with aggregate sidecars (see
             :mod:`repro.stream.tiers`).
+        metrics: a :class:`~repro.obs.registry.MetricsRegistry` every
+            tick writes into (counters, per-stage latency histograms via
+            :class:`~repro.obs.trace.TickTrace`, tier gauges at export
+            time).  None — the default — wires the
+            :class:`~repro.obs.registry.NullRegistry` no-op path, whose
+            overhead the ``obs_overhead`` microbench bounds.
     """
 
     def __init__(
@@ -413,6 +446,7 @@ class StreamRuntime:
         compact_ratio: Optional[float] = None,
         warm_span_days: Optional[int] = None,
         cold_age_days: Optional[int] = None,
+        metrics=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -425,6 +459,32 @@ class StreamRuntime:
         self._config = config or PSPConfig()
         self._batch_size = batch_size
         self._filter = post_filter
+        self._metrics = ensure_registry(metrics)
+        self._trace = trace_for(self._metrics)
+        self._ticks_total = self._metrics.counter(
+            "psp_ticks_total", "Stream ticks processed"
+        )
+        self._events_total = self._metrics.counter(
+            "psp_events_total", "Feed events consumed"
+        )
+        self._ingested_total = self._metrics.counter(
+            "psp_posts_ingested_total", "Posts accepted into the index"
+        )
+        self._rejected_total = self._metrics.counter(
+            "psp_posts_rejected_total",
+            "Posts rejected by the authenticity filter",
+        )
+        self._learned_total = self._metrics.counter(
+            "psp_keywords_learned_total", "Keywords adopted mid-stream"
+        )
+        self._dirty_hist = self._metrics.histogram(
+            "psp_dirty_keywords",
+            "Dirty keywords per tick",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._cursor_gauge = self._metrics.gauge(
+            "psp_feed_cursor", "Highest consumed feed sequence number"
+        )
         self._deltas = DeltaTracker(
             database, region=target.region if target is not None else None
         )
@@ -435,6 +495,8 @@ class StreamRuntime:
             since_year=since_year,
             network=network,
             tracker=tracker,
+            metrics=self._metrics,
+            trace=self._trace,
         )
         self._index = build_stream_index(
             compact_threshold=compact_threshold,
@@ -446,6 +508,7 @@ class StreamRuntime:
             sidecar_keywords=database.keywords,
             sidecar_region=self._deltas.region,
             sidecar_analyzer=self._deltas.analyzer,
+            metrics=self._metrics,
         )
 
         self._cursor = -1
@@ -455,6 +518,12 @@ class StreamRuntime:
         self._filter_reports: List[FilterReport] = []
         self._checkpoint_base_id: Optional[str] = None
         self._adopted_keywords: List[str] = []
+        if self._metrics.enabled:
+            self._metrics.add_collector(self._refresh_gauges)
+
+    def _refresh_gauges(self) -> None:
+        """Refresh cheap point-in-time gauges at export/snapshot time."""
+        self._cursor_gauge.set(self._cursor)
 
     # -- introspection ------------------------------------------------------
 
@@ -462,6 +531,21 @@ class StreamRuntime:
     def cursor(self) -> int:
         """Highest consumed feed sequence number (-1 = nothing yet)."""
         return self._cursor
+
+    @property
+    def metrics(self):
+        """The telemetry registry (a no-op ``NullRegistry`` by default)."""
+        return self._metrics
+
+    @property
+    def trace(self):
+        """The tick-span recorder bound to :attr:`metrics`."""
+        return self._trace
+
+    @property
+    def learned_keywords(self) -> Tuple[str, ...]:
+        """Keywords adopted mid-stream (keyword learning), oldest first."""
+        return tuple(self._adopted_keywords)
 
     @property
     def index(self):
@@ -530,24 +614,18 @@ class StreamRuntime:
 
     @property
     def stream_stats(self) -> Dict[str, object]:
-        """Operational counters for dashboards and benches."""
-        return {
-            "ticks": len(self._ticks),
-            "cursor": self._cursor,
-            # Observed, not indexed: also survives a restore from a
-            # lean (include_index=False) checkpoint, where the index
-            # restarts empty.
-            "posts_ingested": self._deltas.observed_posts,
-            "posts_rejected": sum(
-                len(report.rejected) for report in self._filter_reports
-            ),
-            "retunes": self._evaluator.retunes,
-            "forced_retunes": self._evaluator.forced_retunes,
-            "tara_rescores": self._evaluator.rescores,
-            "alerts": len(self._evaluator.alerts),
-            "learned_keywords": list(self._adopted_keywords),
-            "index": self._index.segment_stats,
-        }
+        """Operational counters for dashboards and benches.
+
+        **Deprecated alias**: the flat pre-obs dict shape, now derived
+        from :func:`repro.obs.views.runtime_health` so every stats
+        consumer reads from one source.
+        """
+        return obs_views.stream_stats(self)
+
+    def runtime_health(self) -> Dict[str, object]:
+        """The unified, schema-versioned health document (see
+        :mod:`repro.obs.views`)."""
+        return obs_views.runtime_health(self)
 
     def baseline_tara(self) -> Optional[TaraReportData]:
         """The static-table TARA (None without a network)."""
@@ -591,6 +669,7 @@ class StreamRuntime:
             if adopt_sidecars is not None:
                 adopt_sidecars(self._deltas.keywords)
             self._adopted_keywords.extend(added)
+            self._learned_total.inc(len(added))
         else:
             # A version bump with no new keywords is an annotation
             # (owner approval changed): reclassify everything next tick.
@@ -634,35 +713,45 @@ class StreamRuntime:
                 post's year.
         """
         self._sync_database()
-        posts = [event.post for event in events]
-        rejected = 0
-        if self._filter is not None and posts:
-            report = self._filter.filter(posts)
-            self._filter_reports.append(report)
-            accepted = list(report.accepted)
-            rejected = len(report.rejected)
-        else:
-            accepted = posts
-        self._index.append(accepted)
-        # The arena-sweep batch kernel: bit-for-bit the same aggregates
-        # as per-post observe(), one C-level scan per keyword instead of
-        # len(batch) x len(keywords) substring probes.
-        self._deltas.ingest_batch(accepted)
-        # take_dirty also folds in any dirty keywords a restored
-        # checkpoint carried over from an interrupted tick.
-        dirty = self._deltas.take_dirty()
-        for event in events:
-            if event.seq > self._cursor:
-                self._cursor = event.seq
-        for post in accepted:
-            if self._max_date is None or post.created_at > self._max_date:
-                self._max_date = post.created_at
-        if upto_year is None and self._max_date is not None:
-            upto_year = self._max_date.year
+        with self._trace.tick():
+            posts = [event.post for event in events]
+            rejected = 0
+            with self._trace.span("filter"):
+                if self._filter is not None and posts:
+                    report = self._filter.filter(posts)
+                    self._filter_reports.append(report)
+                    accepted = list(report.accepted)
+                    rejected = len(report.rejected)
+                else:
+                    accepted = posts
+            with self._trace.span("append"):
+                self._index.append(accepted)
+            with self._trace.span("delta_ingest"):
+                # The arena-sweep batch kernel: bit-for-bit the same
+                # aggregates as per-post observe(), one C-level scan per
+                # keyword instead of len(batch) x len(keywords)
+                # substring probes.
+                self._deltas.ingest_batch(accepted)
+                # take_dirty also folds in any dirty keywords a restored
+                # checkpoint carried over from an interrupted tick.
+                dirty = self._deltas.take_dirty()
+            for event in events:
+                if event.seq > self._cursor:
+                    self._cursor = event.seq
+            for post in accepted:
+                if self._max_date is None or post.created_at > self._max_date:
+                    self._max_date = post.created_at
+            if upto_year is None and self._max_date is not None:
+                upto_year = self._max_date.year
 
-        retuned, rescored, alert = self._evaluator.evaluate(
-            self._deltas, dirty, upto_year
-        )
+            retuned, rescored, alert = self._evaluator.evaluate(
+                self._deltas, dirty, upto_year
+            )
+        self._ticks_total.inc()
+        self._events_total.inc(len(events))
+        self._ingested_total.inc(len(accepted))
+        self._rejected_total.inc(rejected)
+        self._dirty_hist.observe(len(dirty))
         self._tick_seq += 1
         tick = StreamTick(
             seq=self._tick_seq,

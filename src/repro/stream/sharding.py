@@ -33,6 +33,7 @@ per-tick evaluation cost stops scaling with the number of feeds.
 from __future__ import annotations
 
 import datetime as dt
+import time
 import zlib
 from dataclasses import dataclass
 from typing import (
@@ -54,6 +55,9 @@ from repro.core.keywords import KeywordDatabase
 from repro.core.monitor import TrendAlert
 from repro.core.poisoning import FilterReport, PostAuthenticityFilter
 from repro.core.sai import KeywordSignals
+from repro.obs import views as obs_views
+from repro.obs.registry import DEFAULT_SIZE_BUCKETS, ensure_registry
+from repro.obs.trace import trace_for
 from repro.stream.deltas import (
     DeltaTracker,
     SignalDelta,
@@ -189,13 +193,21 @@ def _run_shard_job(
 
 @dataclass
 class _ShardState:
-    """One shard's private slice of the runtime."""
+    """One shard's private slice of the runtime.
+
+    ``metrics`` is the shard's child registry (merged into the parent by
+    pure summation at collect time); ``ingested`` and ``merge_seconds``
+    are its shard-labelled instruments.
+    """
 
     shard_id: int
     feed: FeedSource
     index: StreamingCorpusIndex  # or TieredCorpusIndex (duck-compatible)
     deltas: DeltaTracker
     cursor: int = -1
+    metrics: object = None
+    ingested: object = None
+    merge_seconds: object = None
 
 
 # -- the sharded runtime ------------------------------------------------------
@@ -235,6 +247,12 @@ class ShardedStreamRuntime:
         workers: requested parallelism for the shard jobs; resolved by
             :func:`~repro.core.executor.resolve_executor` (``auto`` —
             degrades to serial on a single-CPU host).
+        metrics: a :class:`~repro.obs.registry.MetricsRegistry`; each
+            shard gets a **child registry** (shard-labelled instruments,
+            tier gauges) merged into this one by pure summation at
+            export time — the metric-space mirror of the
+            ``SignalDelta.merge`` the tick itself performs.  None wires
+            the no-op path.
     """
 
     def __init__(
@@ -255,6 +273,7 @@ class ShardedStreamRuntime:
         cold_age_days: Optional[int] = None,
         executor=None,
         workers: Optional[int] = None,
+        metrics=None,
     ) -> None:
         feeds = list(feeds)
         if not feeds:
@@ -270,6 +289,29 @@ class ShardedStreamRuntime:
         self._batch_size = batch_size
         self._filter = post_filter
         region = target.region if target is not None else None
+        self._metrics = ensure_registry(metrics)
+        self._trace = trace_for(self._metrics)
+        self._ticks_total = self._metrics.counter(
+            "psp_ticks_total", "Stream ticks processed"
+        )
+        self._events_total = self._metrics.counter(
+            "psp_events_total", "Feed events consumed"
+        )
+        self._ingested_total = self._metrics.counter(
+            "psp_posts_ingested_total", "Posts accepted into the index"
+        )
+        self._rejected_total = self._metrics.counter(
+            "psp_posts_rejected_total",
+            "Posts rejected by the authenticity filter",
+        )
+        self._learned_total = self._metrics.counter(
+            "psp_keywords_learned_total", "Keywords adopted mid-stream"
+        )
+        self._dirty_hist = self._metrics.histogram(
+            "psp_dirty_keywords",
+            "Dirty keywords per tick",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
         self._evaluator = TickEvaluator(
             database,
             target=self._target,
@@ -277,10 +319,13 @@ class ShardedStreamRuntime:
             since_year=since_year,
             network=network,
             tracker=tracker,
+            metrics=self._metrics,
+            trace=self._trace,
         )
         self._shards: List[_ShardState] = []
         for shard_id, feed in enumerate(feeds):
             deltas = DeltaTracker(database, region=region)
+            shard_metrics = self._metrics.child()
             index = build_stream_index(
                 compact_threshold=compact_threshold,
                 compact_ratio=compact_ratio,
@@ -289,10 +334,26 @@ class ShardedStreamRuntime:
                 sidecar_keywords=database.keywords,
                 sidecar_region=deltas.region,
                 sidecar_analyzer=deltas.analyzer,
+                metrics=shard_metrics,
             )
             self._shards.append(
                 _ShardState(
-                    shard_id=shard_id, feed=feed, index=index, deltas=deltas
+                    shard_id=shard_id,
+                    feed=feed,
+                    index=index,
+                    deltas=deltas,
+                    metrics=shard_metrics,
+                    ingested=shard_metrics.counter(
+                        "psp_shard_posts_ingested_total",
+                        "Posts accepted per shard",
+                        labelnames=("shard",),
+                    ),
+                    merge_seconds=shard_metrics.histogram(
+                        "psp_shard_merge_seconds",
+                        "Per-shard merge-leg latency "
+                        "(index append + delta apply)",
+                        labelnames=("shard",),
+                    ),
                 )
             )
         self._adopted_keywords: List[str] = []
@@ -315,6 +376,26 @@ class ShardedStreamRuntime:
     def shard_count(self) -> int:
         """How many shards this runtime fans in."""
         return len(self._shards)
+
+    @property
+    def metrics(self):
+        """The parent telemetry registry (children merge into it)."""
+        return self._metrics
+
+    @property
+    def trace(self):
+        """The tick-span recorder bound to :attr:`metrics`."""
+        return self._trace
+
+    @property
+    def shard_metrics(self) -> Tuple[object, ...]:
+        """Per-shard child registries (pure-sum merged into the parent)."""
+        return tuple(shard.metrics for shard in self._shards)
+
+    @property
+    def learned_keywords(self) -> Tuple[str, ...]:
+        """Keywords adopted mid-stream (keyword learning), oldest first."""
+        return tuple(self._adopted_keywords)
 
     @property
     def executor(self):
@@ -396,31 +477,18 @@ class ShardedStreamRuntime:
 
     @property
     def stream_stats(self) -> Dict[str, object]:
-        """Operational counters for dashboards and benches."""
-        return {
-            "ticks": len(self._ticks),
-            "shards": len(self._shards),
-            "executor": getattr(self._executor, "kind", "unknown"),
-            "cursors": list(self.cursors),
-            "posts_ingested": self._merged.observed_posts,
-            "posts_rejected": sum(
-                len(report.rejected) for report in self._filter_reports
-            ),
-            "retunes": self._evaluator.retunes,
-            "forced_retunes": self._evaluator.forced_retunes,
-            "tara_rescores": self._evaluator.rescores,
-            "alerts": len(self._evaluator.alerts),
-            "learned_keywords": list(self._adopted_keywords),
-            "shard_stats": [
-                {
-                    "shard": shard.shard_id,
-                    "cursor": shard.cursor,
-                    "posts": shard.deltas.observed_posts,
-                    "index": shard.index.segment_stats,
-                }
-                for shard in self._shards
-            ],
-        }
+        """Operational counters for dashboards and benches.
+
+        **Deprecated alias**: the flat pre-obs dict shape, now derived
+        from :func:`repro.obs.views.runtime_health` so every stats
+        consumer reads from one source.
+        """
+        return obs_views.stream_stats(self)
+
+    def runtime_health(self) -> Dict[str, object]:
+        """The unified, schema-versioned health document (see
+        :mod:`repro.obs.views`)."""
+        return obs_views.runtime_health(self)
 
     # -- the tick -----------------------------------------------------------
 
@@ -466,6 +534,7 @@ class ShardedStreamRuntime:
                     adopt_sidecar(shard.deltas.keywords)
             self._merged.mark_dirty(added)
             self._adopted_keywords.extend(added)
+            self._learned_total.inc(len(added))
         else:
             # A version bump with no new keywords is an annotation
             # (owner approval changed): reclassify everything next tick.
@@ -480,53 +549,73 @@ class ShardedStreamRuntime:
     ) -> StreamTick:
         """One merged tick over each shard's micro-batch."""
         self._sync_database()
-        keywords = self._merged.keywords
-        region = self._merged.region
-        jobs = [
-            _ShardJob(
-                keywords=keywords,
-                region=region,
-                posts=tuple(event.post for event in events),
-                post_filter=self._filter,
+        with self._trace.tick():
+            keywords = self._merged.keywords
+            region = self._merged.region
+            jobs = [
+                _ShardJob(
+                    keywords=keywords,
+                    region=region,
+                    posts=tuple(event.post for event in events),
+                    post_filter=self._filter,
+                )
+                for events in events_per_shard
+            ]
+            # The embarrassingly parallel stage: filter + delta-reduce
+            # every shard batch.  Serial, thread and process executors
+            # produce identical deltas; only wall-clock differs.
+            with self._trace.span("shard_map"):
+                outcomes = self._executor.map(_run_shard_job, jobs)
+
+            accepted_counts: List[int] = []
+            events_total = 0
+            rejected = 0
+            with self._trace.span("shard_merge"):
+                for shard, events, job, (delta, report) in zip(
+                    self._shards, events_per_shard, jobs, outcomes
+                ):
+                    leg_start = time.perf_counter()
+                    if report is not None:
+                        self._filter_reports.append(report)
+                        accepted: Sequence[Post] = report.accepted
+                        rejected += len(report.rejected)
+                    else:
+                        accepted = job.posts
+                    shard.index.append(accepted)
+                    shard.deltas.apply_delta(delta)
+                    # mirrored into the merged tracker
+                    shard.deltas.take_dirty()
+                    self._merged.apply_delta(delta)
+                    events_total += len(events)
+                    accepted_counts.append(len(accepted))
+                    for event in events:
+                        if event.seq > shard.cursor:
+                            shard.cursor = event.seq
+                    for post in accepted:
+                        if (
+                            self._max_date is None
+                            or post.created_at > self._max_date
+                        ):
+                            self._max_date = post.created_at
+                    shard.ingested.inc(
+                        len(accepted), shard=str(shard.shard_id)
+                    )
+                    shard.merge_seconds.observe(
+                        time.perf_counter() - leg_start,
+                        shard=str(shard.shard_id),
+                    )
+
+            dirty = self._merged.take_dirty()
+            if upto_year is None and self._max_date is not None:
+                upto_year = self._max_date.year
+            retuned, rescored, alert = self._evaluator.evaluate(
+                self._merged, dirty, upto_year
             )
-            for events in events_per_shard
-        ]
-        # The embarrassingly parallel stage: filter + delta-reduce every
-        # shard batch.  Serial, thread and process executors produce
-        # identical deltas; only wall-clock differs.
-        outcomes = self._executor.map(_run_shard_job, jobs)
-
-        accepted_counts: List[int] = []
-        events_total = 0
-        rejected = 0
-        for shard, events, job, (delta, report) in zip(
-            self._shards, events_per_shard, jobs, outcomes
-        ):
-            if report is not None:
-                self._filter_reports.append(report)
-                accepted: Sequence[Post] = report.accepted
-                rejected += len(report.rejected)
-            else:
-                accepted = job.posts
-            shard.index.append(accepted)
-            shard.deltas.apply_delta(delta)
-            shard.deltas.take_dirty()  # mirrored into the merged tracker
-            self._merged.apply_delta(delta)
-            events_total += len(events)
-            accepted_counts.append(len(accepted))
-            for event in events:
-                if event.seq > shard.cursor:
-                    shard.cursor = event.seq
-            for post in accepted:
-                if self._max_date is None or post.created_at > self._max_date:
-                    self._max_date = post.created_at
-
-        dirty = self._merged.take_dirty()
-        if upto_year is None and self._max_date is not None:
-            upto_year = self._max_date.year
-        retuned, rescored, alert = self._evaluator.evaluate(
-            self._merged, dirty, upto_year
-        )
+        self._ticks_total.inc()
+        self._events_total.inc(events_total)
+        self._ingested_total.inc(sum(accepted_counts))
+        self._rejected_total.inc(rejected)
+        self._dirty_hist.observe(len(dirty))
         self._tick_seq += 1
         tick = StreamTick(
             seq=self._tick_seq,

@@ -46,6 +46,7 @@ from array import array
 from heapq import merge as heap_merge
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.obs.registry import DEFAULT_SIZE_BUCKETS, ensure_registry
 from repro.social.columnar import (
     ColumnarCorpus,
     TextInterner,
@@ -177,6 +178,10 @@ class TieredCorpusIndex:
             must match the consuming tracker's.
         sidecar_analyzer: sentiment analyzer of the sidecar sums — must
             be the consuming tracker's instance for bit-parity.
+        metrics: optional :class:`~repro.obs.registry.MetricsRegistry`
+            recording seal/consolidate/rematerialize events as counters
+            + seal-size histograms, plus per-tier size gauges refreshed
+            at export time; None wires the no-op path.
     """
 
     def __init__(
@@ -190,6 +195,7 @@ class TieredCorpusIndex:
         sidecar_keywords: Optional[Sequence[str]] = None,
         sidecar_region: Optional[str] = None,
         sidecar_analyzer=None,
+        metrics=None,
     ) -> None:
         if compact_threshold < 1:
             raise ValueError(
@@ -233,6 +239,35 @@ class TieredCorpusIndex:
         self._last_hot_seal_append: Optional[int] = None
         self._last_consolidation_append: Optional[int] = None
         self._last_cold_seal_append: Optional[int] = None
+        self._metrics = ensure_registry(metrics)
+        self._appends_total = self._metrics.counter(
+            "psp_index_appends_total", "Micro-batch appends into the index"
+        )
+        self._hot_seals_total = self._metrics.counter(
+            "psp_tier_hot_seals_total", "Hot-tail seals into warm segments"
+        )
+        self._consolidations_total = self._metrics.counter(
+            "psp_tier_consolidations_total", "Warm-span chunk consolidations"
+        )
+        self._cold_seals_total = self._metrics.counter(
+            "psp_tier_cold_seals_total", "Warm spans sealed into cold segments"
+        )
+        self._remat_total = self._metrics.counter(
+            "psp_tier_rematerializations_total",
+            "Cold segments re-materialized for a query or backfill",
+        )
+        self._evicted_total = self._metrics.counter(
+            "psp_tier_interner_evicted_total",
+            "Pooled analyses evicted by cold seals",
+        )
+        self._sealed_hist = self._metrics.histogram(
+            "psp_tier_sealed_posts",
+            "Posts moved per seal event, by destination tier",
+            labelnames=("tier",),
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        if self._metrics.enabled:
+            self._metrics.add_collector(self._refresh_gauges)
         initial = list(posts)
         if initial:
             seen: Set[str] = set()
@@ -244,6 +279,19 @@ class TieredCorpusIndex:
             self._hot.extend(initial)
             self._max_ord = max(p.created_at.toordinal() for p in initial)
             self._maintain()
+
+    def _refresh_gauges(self) -> None:
+        """Per-tier size gauges, refreshed at export/snapshot time."""
+        posts_gauge = self._metrics.gauge(
+            "psp_index_posts", "Posts retained per index tier",
+            labelnames=("tier",),
+        )
+        posts_gauge.set(len(self._hot), tier="hot")
+        posts_gauge.set(self._warm_count, tier="warm")
+        posts_gauge.set(self._cold_count, tier="cold")
+        self._metrics.gauge(
+            "psp_index_interned_texts", "Texts pinned in the interner pool"
+        ).set(len(self._interner))
 
     # -- tier arithmetic ----------------------------------------------------
 
@@ -274,6 +322,7 @@ class TieredCorpusIndex:
         self._hot.extend(batch)
         self._hot_index = None
         self._appends += 1
+        self._appends_total.inc()
         batch_max = max(p.created_at.toordinal() for p in batch)
         if batch_max > self._max_ord:
             self._max_ord = batch_max
@@ -324,6 +373,8 @@ class TieredCorpusIndex:
         self._hot = remaining
         self._hot_index = None
         self._hot_seals += 1
+        self._hot_seals_total.inc()
+        self._sealed_hist.observe(len(to_seal), tier="warm")
         self._last_hot_seal_append = self._appends
 
     def _consolidate_warm(self) -> None:
@@ -336,6 +387,7 @@ class TieredCorpusIndex:
                 merged = merged.extended_with_index(chunk)
             self._warm[span] = [merged]
             self._consolidations += 1
+            self._consolidations_total.inc()
             self._last_consolidation_append = self._appends
 
     def _seal_cold(self) -> None:
@@ -378,6 +430,8 @@ class TieredCorpusIndex:
             self._warm_count -= count
             self._cold_count += count
             self._cold_seals += 1
+            self._cold_seals_total.inc()
+            self._sealed_hist.observe(count, tier="cold")
             self._last_cold_seal_append = self._appends
         self._cold.sort(key=lambda segment: (segment.min_ord, segment.span))
         self._prune_interner()
@@ -388,12 +442,15 @@ class TieredCorpusIndex:
         for chunks in self._warm.values():
             for chunk in chunks:
                 keep.update(chunk.columns.iter_texts())
-        self._interner_evicted += self._interner.prune(keep)
+        evicted = self._interner.prune(keep)
+        self._interner_evicted += evicted
+        self._evicted_total.inc(evicted)
 
     def compact(self) -> None:
         """Force-seal the whole hot tail into warm segments."""
         if not self._hot:
             return
+        sealed = len(self._hot)
         by_span: Dict[int, List[Post]] = {}
         for post in self._hot:
             by_span.setdefault(
@@ -406,6 +463,8 @@ class TieredCorpusIndex:
         self._hot = []
         self._hot_index = None
         self._hot_seals += 1
+        self._hot_seals_total.inc()
+        self._sealed_hist.observe(sealed, tier="warm")
         self._last_hot_seal_append = self._appends
         self._consolidate_warm()
         self._seal_cold()
@@ -517,6 +576,7 @@ class TieredCorpusIndex:
         Materializes every cold segment — the replay-parity path, not a
         monitoring-loop path.
         """
+        self._remat_total.inc(len(self._cold))
         lists: List[Sequence[Post]] = [
             tuple(segment.materialize().all_posts()) for segment in self._cold
         ]
@@ -557,6 +617,7 @@ class TieredCorpusIndex:
         segments: List[CorpusIndex] = []
         for segment in self._cold:
             if segment.overlaps(since_ord, until_ord):
+                self._remat_total.inc()
                 segments.append(CorpusIndex(columns=segment.materialize()))
         for chunk in self._warm_chunks():
             count = len(chunk)
@@ -646,6 +707,7 @@ class TieredCorpusIndex:
             sidecar = segment.sidecar
             if sidecar is not None:
                 if sidecar.missing(keywords):
+                    self._remat_total.inc()
                     sidecar.extend(
                         keywords,
                         segment.materialize(),
@@ -656,6 +718,7 @@ class TieredCorpusIndex:
                     sidecar.as_delta(keywords, count_observed=False)
                 )
             else:
+                self._remat_total.inc()
                 deltas.append(
                     compute_signal_delta_columnar(
                         keywords,
@@ -693,9 +756,19 @@ class TieredCorpusIndex:
         columns plus sidecar state — serialising a cold tier is a
         list conversion, never a re-index or re-analysis.
         """
+        # Warm-chunk texts are pooled deterministically (chunk builds
+        # intern them; loads re-intern them), but a hot post's text is
+        # pooled only once something analyzed it — a seal, a query.
+        # Record which hot texts are pooled so a restore reproduces the
+        # pool exactly instead of approximating it.
+        pooled = set(self._interner.texts())
+        interned_hot = sorted(
+            {post.text for post in self._hot if post.text in pooled}
+        )
         return {
             "layout": "tiered",
             "hot": posts_to_columns(self._hot),
+            "interned_hot_texts": interned_hot,
             "warm": [
                 {
                     "span": span,
@@ -772,6 +845,10 @@ class TieredCorpusIndex:
             ]
             self._warm[span] = chunks
             self._warm_count += sum(len(chunk) for chunk in chunks)
+        # Re-pin the hot texts the snapshot recorded as pooled (idempotent
+        # for texts the warm chunks above already interned).
+        for text in state.get("interned_hot_texts", ()):
+            self._interner.analysis(text)
         self._cold = []
         self._cold_count = 0
         for entry in state["cold"]:  # type: ignore[union-attr]
@@ -828,6 +905,7 @@ def build_stream_index(
     sidecar_keywords: Optional[Sequence[str]] = None,
     sidecar_region: Optional[str] = None,
     sidecar_analyzer=None,
+    metrics=None,
 ):
     """The runtime's index factory: flat by default, tiered on request.
 
@@ -835,13 +913,15 @@ def build_stream_index(
     :class:`~repro.stream.index.StreamingCorpusIndex` is returned —
     byte-identical behaviour and checkpoints to every prior release.
     Setting either knob returns a :class:`TieredCorpusIndex` (the unset
-    knob takes its default).
+    knob takes its default).  ``metrics`` threads the owning runtime's
+    telemetry registry into either index flavour.
     """
     if warm_span_days is None and cold_age_days is None:
         return StreamingCorpusIndex(
             posts,
             compact_threshold=compact_threshold,
             compact_ratio=compact_ratio,
+            metrics=metrics,
         )
     return TieredCorpusIndex(
         posts,
@@ -856,4 +936,5 @@ def build_stream_index(
         sidecar_keywords=sidecar_keywords,
         sidecar_region=sidecar_region,
         sidecar_analyzer=sidecar_analyzer,
+        metrics=metrics,
     )

@@ -1,0 +1,138 @@
+"""Unit tests for the Prometheus/JSON/table exporters and the lint."""
+
+import json
+
+from repro.obs.export import (
+    lint_prometheus,
+    prometheus_text,
+    stats_table,
+    write_snapshot,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _populated():
+    r = MetricsRegistry()
+    r.counter("psp_ticks_total", "Stream ticks processed").inc(3)
+    r.counter("events_total", "By platform", labelnames=("platform",)).inc(
+        2, platform="forum"
+    )
+    r.gauge("index_posts", "Posts indexed").set(11)
+    h = r.histogram("psp_tick_seconds", "Tick latency", buckets=(0.01, 0.1))
+    h.observe(0.005)
+    h.observe(0.05)
+    h.observe(5.0)
+    r.histogram("batch_posts", "Batch sizes", buckets=(10.0, 100.0)).observe(40)
+    return r
+
+
+class TestPrometheusText:
+    def test_headers_and_scalar_samples(self):
+        text = prometheus_text(_populated())
+        assert "# HELP psp_ticks_total Stream ticks processed" in text
+        assert "# TYPE psp_ticks_total counter" in text
+        assert "psp_ticks_total 3" in text
+        assert "# TYPE index_posts gauge" in text
+        assert 'events_total{platform="forum"} 2' in text
+
+    def test_histogram_expansion_is_cumulative(self):
+        text = prometheus_text(_populated())
+        assert 'psp_tick_seconds_bucket{le="0.01"} 1' in text
+        assert 'psp_tick_seconds_bucket{le="0.1"} 2' in text
+        assert 'psp_tick_seconds_bucket{le="+Inf"} 3' in text
+        assert "psp_tick_seconds_count 3" in text
+        assert "psp_tick_seconds_sum" in text
+
+    def test_empty_registry_exports_empty_text(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_label_values_are_escaped(self):
+        r = MetricsRegistry()
+        r.counter("events_total", labelnames=("platform",)).inc(
+            platform='we"ird\\name'
+        )
+        text = prometheus_text(r)
+        assert r'we\"ird\\name' in text
+        assert lint_prometheus(text) == []
+
+
+class TestLint:
+    def test_clean_exposition_has_no_problems(self):
+        assert lint_prometheus(prometheus_text(_populated())) == []
+
+    def test_malformed_sample_is_flagged(self):
+        problems = lint_prometheus("this is not a sample line\n")
+        assert any("malformed sample" in p for p in problems)
+
+    def test_untyped_sample_is_flagged(self):
+        problems = lint_prometheus("orphan_metric 1\n")
+        assert any("untyped sample" in p for p in problems)
+        problems = lint_prometheus("orphan_metric_sum 1\n")
+        assert any("no TYPE" in p for p in problems)
+
+    def test_non_cumulative_buckets_are_flagged(self):
+        text = (
+            "# TYPE lat_seconds histogram\n"
+            'lat_seconds_bucket{le="0.01"} 5\n'
+            'lat_seconds_bucket{le="+Inf"} 3\n'
+            "lat_seconds_sum 1.0\n"
+            "lat_seconds_count 3\n"
+        )
+        problems = lint_prometheus(text)
+        assert any("not cumulative" in p for p in problems)
+
+    def test_missing_inf_bucket_is_flagged(self):
+        text = (
+            "# TYPE lat_seconds histogram\n"
+            'lat_seconds_bucket{le="0.01"} 5\n'
+            "lat_seconds_sum 1.0\n"
+            "lat_seconds_count 5\n"
+        )
+        problems = lint_prometheus(text)
+        assert any("+Inf" in p for p in problems)
+
+    def test_inf_bucket_count_mismatch_is_flagged(self):
+        text = (
+            "# TYPE lat_seconds histogram\n"
+            'lat_seconds_bucket{le="+Inf"} 4\n'
+            "lat_seconds_sum 1.0\n"
+            "lat_seconds_count 5\n"
+        )
+        problems = lint_prometheus(text)
+        assert any("_count" in p for p in problems)
+
+    def test_unknown_type_is_flagged(self):
+        problems = lint_prometheus("# TYPE x widget\n")
+        assert any("unknown type" in p for p in problems)
+
+
+class TestSnapshotFile:
+    def test_write_snapshot_round_trips(self, tmp_path):
+        registry = _populated()
+        path = write_snapshot(registry, tmp_path / "metrics" / "snap.json")
+        payload = json.loads(path.read_text())
+        restored = MetricsRegistry()
+        restored.restore(payload)
+        assert restored.snapshot() == registry.snapshot()
+        assert lint_prometheus(prometheus_text(restored)) == []
+
+
+class TestStatsTable:
+    def test_sections_and_units(self):
+        table = stats_table(_populated())
+        assert "psp_ticks_total" in table
+        assert "counter" in table and "gauge" in table
+        assert 'events_total{platform=forum}' in table
+        # Latency histograms read in ms/s; size histograms stay plain.
+        tick_row = next(
+            line for line in table.splitlines() if "psp_tick_seconds" in line
+        )
+        assert "ms" in tick_row and " s" in tick_row
+        batch_row = next(
+            line for line in table.splitlines() if "batch_posts" in line
+        )
+        assert "ms" not in batch_row
+        assert "40.0" in batch_row
+
+    def test_empty_registry_renders_empty_table(self):
+        assert stats_table(MetricsRegistry()) == ""

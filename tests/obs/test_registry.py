@@ -1,0 +1,255 @@
+"""Unit tests for instruments, the registry, and snapshot/restore."""
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    OBS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    ensure_registry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("posts_total")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_labelled_series_are_independent(self):
+        c = Counter("events_total", labelnames=("platform",))
+        c.inc(2, platform="forum")
+        c.inc(platform="twitter")
+        assert c.value(platform="forum") == 2
+        assert c.value(platform="twitter") == 1
+        assert c.samples() == {("forum",): 2, ("twitter",): 1}
+
+    def test_negative_inc_rejected(self):
+        c = Counter("posts_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_label_set_must_match_exactly(self):
+        c = Counter("events_total", labelnames=("platform",))
+        with pytest.raises(ValueError):
+            c.inc()  # missing label
+        with pytest.raises(ValueError):
+            c.inc(platform="forum", extra="x")
+        with pytest.raises(ValueError):
+            c.inc(wrong="forum")
+
+    def test_unread_series_defaults_to_zero(self):
+        c = Counter("events_total", labelnames=("platform",))
+        assert c.value(platform="never") == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("index_posts")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12
+
+    def test_gauge_may_go_negative(self):
+        g = Gauge("drift")
+        g.dec(2)
+        assert g.value() == -2
+
+
+class TestHistogram:
+    def test_le_bound_is_inclusive(self):
+        h = Histogram("lat_seconds", buckets=(0.005, 0.01))
+        h.observe(0.005)
+        series = h.series()
+        # Exactly-at-bound lands in that bucket, not the next.
+        assert series.counts == [1, 0, 0]
+
+    def test_above_every_bound_goes_to_inf_slot(self):
+        h = Histogram("lat_seconds", buckets=(0.005, 0.01))
+        h.observe(99.0)
+        assert h.series().counts == [0, 0, 1]
+
+    def test_cumulative_is_running_sum(self):
+        h = Histogram("lat_seconds", buckets=(1.0, 2.0, 3.0))
+        for v in (0.5, 1.5, 2.5, 9.0):
+            h.observe(v)
+        assert h.series().cumulative() == [1, 2, 3, 4]
+        assert h.series().count == 4
+        assert h.series().sum == pytest.approx(13.5)
+
+    def test_buckets_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=())
+
+    def test_default_bucket_sets_are_valid(self):
+        Histogram("lat_seconds", buckets=DEFAULT_LATENCY_BUCKETS)
+        Histogram("batch_posts", buckets=DEFAULT_SIZE_BUCKETS)
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        assert list(DEFAULT_SIZE_BUCKETS) == sorted(DEFAULT_SIZE_BUCKETS)
+
+
+class TestNameValidation:
+    def test_bad_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("1bad")
+        with pytest.raises(ValueError):
+            Counter("has space")
+
+    def test_bad_label_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("ok_total", labelnames=("le gal",))
+
+    def test_duplicate_label_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("ok_total", labelnames=("a", "a"))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a_total") is r.counter("a_total")
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("a_total")
+        with pytest.raises(ValueError):
+            r.gauge("a_total")
+
+    def test_labelnames_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("a_total", labelnames=("x",))
+        with pytest.raises(ValueError):
+            r.counter("a_total", labelnames=("y",))
+
+    def test_collect_sums_children(self):
+        parent = MetricsRegistry()
+        parent.counter("ticks_total").inc(1)
+        for _ in range(2):
+            parent.child().counter("ticks_total").inc(2)
+        assert parent.collect()["ticks_total"].value() == 5
+
+    def test_collect_returns_fresh_instruments(self):
+        r = MetricsRegistry()
+        r.counter("ticks_total").inc()
+        r.collect()["ticks_total"].inc(100)
+        assert r.collect()["ticks_total"].value() == 1
+
+    def test_gauges_merge_by_summation(self):
+        parent = MetricsRegistry()
+        parent.child().gauge("index_posts").set(10)
+        parent.child().gauge("index_posts").set(7)
+        # Per-shard sizes sum to the fleet total.
+        assert parent.collect()["index_posts"].value() == 17
+
+    def test_histogram_bucket_mismatch_on_merge_raises(self):
+        a = MetricsRegistry()
+        a.histogram("lat_seconds", buckets=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("lat_seconds", buckets=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            MetricsRegistry.merged([a, b])
+
+    def test_collectors_run_at_collect_time(self):
+        r = MetricsRegistry()
+        gauge = r.gauge("index_posts")
+        backing = {"n": 0}
+        r.add_collector(lambda: gauge.set(backing["n"]))
+        backing["n"] = 42
+        assert r.collect()["index_posts"].value() == 42
+        backing["n"] = 7
+        assert r.collect()["index_posts"].value() == 7
+
+    def test_merged_static_sums_independent_registries(self):
+        regs = []
+        for amount in (1, 2, 3):
+            r = MetricsRegistry()
+            r.counter("ticks_total").inc(amount)
+            regs.append(r)
+        assert MetricsRegistry.merged(regs).counter("ticks_total").value() == 6
+
+
+class TestSnapshotRestore:
+    def _populated(self):
+        r = MetricsRegistry()
+        r.counter("ticks_total", "Ticks").inc(3)
+        r.counter("events_total", labelnames=("platform",)).inc(2, platform="forum")
+        r.gauge("index_posts").set(11)
+        h = r.histogram("lat_seconds", buckets=(0.01, 0.1))
+        h.observe(0.005)
+        h.observe(0.5)
+        return r
+
+    def test_round_trip_is_exact(self):
+        original = self._populated()
+        restored = MetricsRegistry()
+        restored.restore(original.snapshot())
+        assert restored.snapshot() == original.snapshot()
+
+    def test_snapshot_is_schema_versioned(self):
+        snap = self._populated().snapshot()
+        assert snap["obs_schema"] == OBS_SCHEMA_VERSION
+        assert snap["metrics"]["ticks_total"]["kind"] == "counter"
+
+    def test_restore_rejects_unknown_schema(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().restore({"obs_schema": 999, "metrics": {}})
+
+    def test_restore_is_a_summation_merge(self):
+        r = MetricsRegistry()
+        r.counter("ticks_total").inc(5)
+        snap = r.snapshot()
+        r.restore(snap)  # restoring on top adds, by design
+        assert r.collect()["ticks_total"].value() == 10
+
+    def test_snapshot_includes_children(self):
+        parent = MetricsRegistry()
+        parent.child().counter("ticks_total").inc(4)
+        snap = parent.snapshot()
+        assert snap["metrics"]["ticks_total"]["series"] == [
+            {"labels": [], "value": 4}
+        ]
+
+
+class TestNullRegistry:
+    def test_every_instrument_call_is_a_noop(self):
+        null = NullRegistry()
+        null.counter("a_total").inc(5)
+        null.gauge("g").set(3)
+        null.histogram("h_seconds").observe(0.1)
+        assert null.counter("a_total").value() == 0
+        assert null.collect() == {}
+        assert null.snapshot() == {
+            "obs_schema": OBS_SCHEMA_VERSION,
+            "metrics": {},
+        }
+
+    def test_child_is_self_and_disabled(self):
+        null = NullRegistry()
+        assert null.child() is null
+        assert null.enabled is False
+        assert null.children == ()
+
+    def test_restore_is_a_noop(self):
+        null = NullRegistry()
+        null.restore({"obs_schema": OBS_SCHEMA_VERSION, "metrics": {}})
+        assert null.collect() == {}
+
+
+class TestEnsureRegistry:
+    def test_none_becomes_null(self):
+        assert isinstance(ensure_registry(None), NullRegistry)
+
+    def test_real_registry_passes_through(self):
+        r = MetricsRegistry()
+        assert ensure_registry(r) is r

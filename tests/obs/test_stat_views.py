@@ -1,0 +1,194 @@
+"""Shape-pinning tests for the unified health views and legacy aliases.
+
+``repro.obs.views`` promises two things this file pins:
+
+* the **deprecated** ``stream_stats`` aliases keep exactly the pre-obs
+  flat dict shapes, key for key, for both runtime flavours — old
+  dashboards and bench baselines must not notice the refactor;
+* the registry's ``psp_*_total`` counters and the health document's
+  counter block stay equal — the "one source" contract.
+"""
+
+from repro.core.config import TargetApplication
+from repro.obs.registry import MetricsRegistry
+from repro.obs.views import (
+    HEALTH_SCHEMA_VERSION,
+    describe_stages,
+    runtime_health,
+    stage_latencies,
+    stream_stats,
+)
+from repro.social import ecm_reprogramming_corpus
+from repro.stream.feed import SyntheticFeed
+from repro.stream.runtime import StreamRuntime
+from repro.stream.sharding import ShardedStreamRuntime, shard_feeds
+from tests.conftest import build_ecm_database
+
+ECM_TARGET = TargetApplication("car", "europe", "passenger")
+
+#: The exact pre-obs ``StreamRuntime.stream_stats`` key order.
+SINGLE_KEYS = [
+    "ticks",
+    "cursor",
+    "posts_ingested",
+    "posts_rejected",
+    "retunes",
+    "forced_retunes",
+    "tara_rescores",
+    "alerts",
+    "learned_keywords",
+    "index",
+]
+
+#: The exact pre-obs ``ShardedStreamRuntime.stream_stats`` key order.
+SHARDED_KEYS = [
+    "ticks",
+    "shards",
+    "executor",
+    "cursors",
+    "posts_ingested",
+    "posts_rejected",
+    "retunes",
+    "forced_retunes",
+    "tara_rescores",
+    "alerts",
+    "learned_keywords",
+    "shard_stats",
+]
+
+
+def _single(**kwargs):
+    return StreamRuntime(
+        SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+        build_ecm_database(),
+        target=ECM_TARGET,
+        since_year=2015,
+        batch_size=300,
+        **kwargs,
+    )
+
+
+def _sharded(**kwargs):
+    return ShardedStreamRuntime(
+        shard_feeds(list(ecm_reprogramming_corpus().posts), 2),
+        build_ecm_database(),
+        target=ECM_TARGET,
+        since_year=2015,
+        batch_size=300,
+        **kwargs,
+    )
+
+
+class TestLegacyShapes:
+    def test_single_runtime_shape_is_pinned(self):
+        runtime = _single()
+        runtime.run()
+        assert list(runtime.stream_stats) == SINGLE_KEYS
+
+    def test_sharded_runtime_shape_is_pinned(self):
+        runtime = _sharded()
+        runtime.run()
+        assert list(runtime.stream_stats) == SHARDED_KEYS
+
+    def test_instrumentation_does_not_change_the_legacy_dict(self):
+        plain = _single()
+        plain.run()
+        instrumented = _single(metrics=MetricsRegistry())
+        instrumented.run()
+        assert instrumented.stream_stats == plain.stream_stats
+
+    def test_alias_matches_module_function(self):
+        runtime = _single()
+        runtime.run()
+        assert runtime.stream_stats == stream_stats(runtime)
+
+
+class TestOneSourceContract:
+    COUNTER_TO_LEGACY = {
+        "psp_ticks_total": "ticks",
+        "psp_posts_ingested_total": "posts_ingested",
+        "psp_posts_rejected_total": "posts_rejected",
+        "psp_retunes_total": "retunes",
+        "psp_forced_retunes_total": "forced_retunes",
+        "psp_tara_rescores_total": "tara_rescores",
+        "psp_alerts_total": "alerts",
+    }
+
+    def _assert_counters_agree(self, runtime):
+        stats = runtime.stream_stats
+        collected = runtime.metrics.collect()
+        for metric, legacy in self.COUNTER_TO_LEGACY.items():
+            assert collected[metric].value() == stats[legacy], metric
+        assert collected["psp_keywords_learned_total"].value() == len(
+            stats["learned_keywords"]
+        )
+
+    def test_single_runtime_registry_equals_legacy(self):
+        runtime = _single(metrics=MetricsRegistry())
+        runtime.run()
+        self._assert_counters_agree(runtime)
+
+    def test_sharded_runtime_registry_equals_legacy(self):
+        runtime = _sharded(metrics=MetricsRegistry())
+        runtime.run()
+        self._assert_counters_agree(runtime)
+
+
+class TestHealthDocument:
+    def test_single_runtime_health(self):
+        runtime = _single(metrics=MetricsRegistry())
+        runtime.run()
+        health = runtime_health(runtime)
+        assert health["health_schema"] == HEALTH_SCHEMA_VERSION
+        assert health["runtime"] == "stream"
+        assert health["counters"]["ticks"] == len(runtime.ticks)
+        assert health["cursor"] == runtime.cursor
+        assert "index" in health
+        assert health["stages"]["tick"]["count"] == len(runtime.ticks)
+
+    def test_sharded_runtime_health(self):
+        runtime = _sharded(metrics=MetricsRegistry())
+        runtime.run()
+        health = runtime_health(runtime)
+        assert health["runtime"] == "sharded"
+        assert health["shards"] == 2
+        assert len(health["shard_stats"]) == 2
+        for row in health["shard_stats"]:
+            assert set(row) == {"shard", "cursor", "posts", "index"}
+
+    def test_null_registry_yields_empty_stages(self):
+        runtime = _single()
+        runtime.run()
+        assert runtime_health(runtime)["stages"] == {}
+
+
+class TestStageLatencies:
+    def test_stages_cover_the_tick_pipeline(self):
+        runtime = _single(metrics=MetricsRegistry())
+        runtime.run()
+        stages = stage_latencies(runtime.metrics)
+        for expected in ("filter", "append", "delta_ingest", "sai", "tick"):
+            assert expected in stages, expected
+            row = stages[expected]
+            assert row["count"] > 0
+            assert row["total_seconds"] >= 0
+            assert row["mean_ms"] >= 0
+
+    def test_empty_registry_is_empty(self):
+        assert stage_latencies(MetricsRegistry()) == {}
+
+
+class TestDescribeStages:
+    def test_renders_canonical_order(self):
+        stages = {
+            "sai": {"count": 2, "total_seconds": 0.2, "mean_ms": 100.0},
+            "filter": {"count": 2, "total_seconds": 0.1, "mean_ms": 50.0},
+            "tick": {"count": 2, "total_seconds": 0.5, "mean_ms": 250.0},
+        }
+        text = describe_stages(stages)
+        lines = [line.split()[0] for line in text.splitlines()]
+        assert lines == ["filter", "sai", "tick"]
+        assert "mean" in text and "total" in text
+
+    def test_empty_input_is_none(self):
+        assert describe_stages({}) is None

@@ -1,0 +1,99 @@
+"""Unit tests for tick-span tracing."""
+
+from repro.obs.registry import MetricsRegistry, NullRegistry
+from repro.obs.trace import KEEP_TICKS, NULL_TRACE, TickTrace, trace_for
+
+
+def _tick_with_stages(trace, stages=("filter", "append")):
+    with trace.tick():
+        for name in stages:
+            with trace.span(name):
+                pass
+
+
+class TestSpanTree:
+    def test_stages_nest_under_the_tick_root(self):
+        registry = MetricsRegistry()
+        trace = TickTrace(registry)
+        _tick_with_stages(trace, ("filter", "append", "sai"))
+        root = trace.last_tick()
+        assert root.name == "tick"
+        assert [c.name for c in root.children] == ["filter", "append", "sai"]
+        assert all(c.seconds >= 0 for c in root.children)
+        assert root.seconds >= sum(c.seconds for c in root.children)
+
+    def test_spans_nest_recursively(self):
+        trace = TickTrace(MetricsRegistry())
+        with trace.tick():
+            with trace.span("sai"):
+                with trace.span("rescore"):
+                    pass
+        root = trace.last_tick()
+        assert root.children[0].name == "sai"
+        assert root.children[0].children[0].name == "rescore"
+
+    def test_as_dict_and_render(self):
+        trace = TickTrace(MetricsRegistry())
+        _tick_with_stages(trace, ("filter",))
+        doc = trace.last_tick().as_dict()
+        assert doc["name"] == "tick"
+        assert doc["children"][0]["name"] == "filter"
+        rendered = trace.last_tick().render()
+        assert "tick" in rendered and "filter" in rendered and "ms" in rendered
+
+    def test_orphan_stage_outside_a_tick_is_kept(self):
+        trace = TickTrace(MetricsRegistry())
+        with trace.span("audit"):
+            pass
+        assert trace.last_tick().name == "audit"
+
+
+class TestHistogramRouting:
+    def test_tick_and_stage_histograms_fill(self):
+        registry = MetricsRegistry()
+        trace = TickTrace(registry)
+        _tick_with_stages(trace, ("filter", "append"))
+        _tick_with_stages(trace, ("filter",))
+        collected = registry.collect()
+        tick_hist = collected["psp_tick_seconds"]
+        assert tick_hist.series().count == 2
+        stage_hist = collected["psp_tick_stage_seconds"]
+        assert stage_hist.series(stage="filter").count == 2
+        assert stage_hist.series(stage="append").count == 1
+
+
+class TestRetention:
+    def test_only_keep_ticks_trees_are_retained(self):
+        trace = TickTrace(MetricsRegistry(), keep_ticks=3)
+        for _ in range(5):
+            _tick_with_stages(trace, ())
+        assert len(trace.ticks) == 3
+
+    def test_default_retention_is_keep_ticks(self):
+        trace = TickTrace(MetricsRegistry())
+        for _ in range(KEEP_TICKS + 5):
+            _tick_with_stages(trace, ())
+        assert len(trace.ticks) == KEEP_TICKS
+
+
+class TestNullTrace:
+    def test_trace_for_null_registry_is_the_shared_null_trace(self):
+        assert trace_for(NullRegistry()) is NULL_TRACE
+        assert trace_for(None) is NULL_TRACE
+
+    def test_trace_for_real_registry_is_live(self):
+        trace = trace_for(MetricsRegistry())
+        assert isinstance(trace, TickTrace)
+        assert trace.enabled is True
+
+    def test_null_trace_contexts_do_nothing(self):
+        with NULL_TRACE.tick():
+            with NULL_TRACE.span("filter"):
+                pass
+        assert NULL_TRACE.last_tick() is None
+        assert NULL_TRACE.ticks == []
+        assert NULL_TRACE.enabled is False
+
+    def test_null_contexts_are_prebuilt(self):
+        # The no-op path allocates nothing per tick.
+        assert NULL_TRACE.tick() is NULL_TRACE.span("anything")

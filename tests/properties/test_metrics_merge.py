@@ -1,0 +1,136 @@
+"""Property tests: child-registry merge == one registry, pure summation.
+
+The contract behind per-shard telemetry
+(:meth:`repro.obs.registry.MetricsRegistry.child` /
+:meth:`~repro.obs.registry.MetricsRegistry.merged`): for *any* stream
+of instrument events and *any* partition of that stream across child
+registries, the merged totals equal a single registry observing every
+event — and the merge is commutative and associative, mirroring
+``SignalDelta.merge``.  Event amounts are integer-valued so float
+summation order cannot blur the equality: snapshots compare ``==``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import MetricsRegistry
+
+PLATFORMS = ("forum", "twitter", "youtube")
+
+#: Histogram bounds and observed values share points deliberately:
+#: inclusive-``le`` bucket routing is part of the merged equality.
+BUCKETS = (1.0, 2.0, 4.0, 8.0)
+OBSERVABLES = (0, 1, 2, 3, 4, 8, 9, 100)
+
+_EVENT = st.one_of(
+    st.tuples(
+        st.just("counter"),
+        st.sampled_from(PLATFORMS),
+        st.integers(min_value=0, max_value=5),
+    ),
+    st.tuples(
+        st.just("gauge"),
+        st.sampled_from(PLATFORMS),
+        st.integers(min_value=-3, max_value=5),
+    ),
+    st.tuples(
+        st.just("histogram"),
+        st.sampled_from(PLATFORMS),
+        st.sampled_from(OBSERVABLES),
+    ),
+)
+
+#: An event stream where each event also carries its shard assignment.
+_ASSIGNED_EVENTS = st.lists(
+    st.tuples(_EVENT, st.integers(min_value=0, max_value=3)), max_size=50
+)
+
+
+def _apply(registry, events):
+    counter = registry.counter(
+        "events_total", "Events", labelnames=("platform",)
+    )
+    gauge = registry.gauge("level", "Level", labelnames=("platform",))
+    hist = registry.histogram(
+        "batch_posts", "Batch sizes", labelnames=("platform",), buckets=BUCKETS
+    )
+    for kind, platform, amount in events:
+        if kind == "counter":
+            counter.inc(amount, platform=platform)
+        elif kind == "gauge":
+            gauge.inc(amount, platform=platform)
+        else:
+            hist.observe(amount, platform=platform)
+    return registry
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ASSIGNED_EVENTS, st.integers(min_value=1, max_value=4))
+def test_partitioned_children_equal_one_registry(assigned, shards):
+    single = _apply(MetricsRegistry(), [event for event, _ in assigned])
+
+    parent = MetricsRegistry()
+    children = [parent.child() for _ in range(shards)]
+    for shard in children:
+        _apply(shard, [])  # every shard declares the instruments
+    for event, slot in assigned:
+        _apply(children[slot % shards], [event])
+
+    assert parent.snapshot() == single.snapshot()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ASSIGNED_EVENTS)
+def test_merge_is_commutative(assigned):
+    left = _apply(MetricsRegistry(), [e for e, s in assigned if s % 2 == 0])
+    right = _apply(MetricsRegistry(), [e for e, s in assigned if s % 2 == 1])
+    forward = MetricsRegistry.merged([left, right])
+    backward = MetricsRegistry.merged([right, left])
+    assert forward.snapshot() == backward.snapshot()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ASSIGNED_EVENTS)
+def test_merge_is_associative(assigned):
+    parts = [
+        _apply(MetricsRegistry(), [e for e, s in assigned if s % 3 == residue])
+        for residue in range(3)
+    ]
+    a, b, c = parts
+    left_grouped = MetricsRegistry.merged(
+        [MetricsRegistry.merged([a, b]), c]
+    )
+    right_grouped = MetricsRegistry.merged(
+        [a, MetricsRegistry.merged([b, c])]
+    )
+    flat = MetricsRegistry.merged(parts)
+    assert left_grouped.snapshot() == flat.snapshot()
+    assert right_grouped.snapshot() == flat.snapshot()
+
+
+def test_boundary_observations_merge_into_the_inclusive_bucket():
+    """``observe(bound)`` lands in the ``le == bound`` bucket, shard or not."""
+    parent = MetricsRegistry()
+    for value in BUCKETS:
+        parent.child().histogram(
+            "batch_posts", buckets=BUCKETS
+        ).observe(value)
+    merged = parent.collect()["batch_posts"]
+    # One observation per bound, each exactly at its own bucket edge.
+    assert merged.series().counts == [1, 1, 1, 1, 0]
+
+    single = MetricsRegistry()
+    hist = single.histogram("batch_posts", buckets=BUCKETS)
+    for value in BUCKETS:
+        hist.observe(value)
+    assert parent.snapshot() == single.snapshot()
+
+
+def test_empty_children_do_not_perturb_the_merge():
+    parent = MetricsRegistry()
+    parent.child().counter("events_total", labelnames=("platform",)).inc(
+        3, platform="forum"
+    )
+    for _ in range(4):
+        parent.child()  # idle shards
+    assert parent.collect()["events_total"].value(platform="forum") == 3

@@ -451,3 +451,100 @@ class TestDeltaCheckpoints:
         with pytest.raises(TypeError, match="state_dict"):
             save_checkpoint(sharded, path)
         assert not path.exists()  # rejected before any file was written
+
+
+class TestMetricsContinuity:
+    """Restored runtimes continue their telemetry counters, not restart."""
+
+    @staticmethod
+    def _counters(registry):
+        collected = registry.collect()
+        return {
+            name: instrument.samples()
+            for name, instrument in collected.items()
+            if instrument.kind == "counter"
+        }
+
+    def test_checkpoint_embeds_a_metrics_block_outside_the_hash(self, tmp_path):
+        from repro.obs.registry import OBS_SCHEMA_VERSION, MetricsRegistry
+
+        instrumented = _runtime(metrics=MetricsRegistry())
+        instrumented.step()
+        with_metrics = checkpoint_state(instrumented)
+        block = with_metrics["metadata"]["metrics"]
+        assert block["obs_schema"] == OBS_SCHEMA_VERSION
+        assert block["metrics"]["psp_ticks_total"]["series"] == [
+            {"labels": [], "value": 1}
+        ]
+
+        plain = _runtime()
+        plain.step()
+        without = checkpoint_state(plain)
+        assert "metrics" not in without["metadata"]
+        # The advisory block stays outside the delta base identity.
+        assert with_metrics["base_id"] == without["base_id"]
+
+    def test_resumed_counters_match_an_uninterrupted_run(self, tmp_path):
+        from repro.obs.registry import MetricsRegistry
+
+        reference = _runtime(metrics=MetricsRegistry())
+        reference.run()
+
+        interrupted = _runtime(metrics=MetricsRegistry())
+        for _ in range(3):
+            interrupted.step()
+        path = save_checkpoint(interrupted, tmp_path / "run.ckpt.json")
+
+        resumed = restore_runtime(
+            path,
+            SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+            build_ecm_database(),
+            target=ECM_TARGET,
+            batch_size=BATCH,
+            metrics=MetricsRegistry(),
+        )
+        resumed.run()
+        assert self._counters(resumed.metrics) == self._counters(
+            reference.metrics
+        )
+
+    def test_delta_restore_prefers_the_cumulative_snapshot(self, tmp_path):
+        from repro.obs.registry import MetricsRegistry
+
+        runtime = _runtime(metrics=MetricsRegistry())
+        runtime.step()
+        base_path = save_checkpoint(runtime, tmp_path / "base.json")
+        runtime.step()
+        runtime.step()
+        delta_path = save_delta_checkpoint(runtime, tmp_path / "delta.json")
+
+        resumed = restore_runtime(
+            delta_path,
+            SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+            build_ecm_database(),
+            base=base_path,
+            target=ECM_TARGET,
+            batch_size=BATCH,
+            metrics=MetricsRegistry(),
+        )
+        # Three ticks happened before the delta save, not one.
+        assert (
+            resumed.metrics.collect()["psp_ticks_total"].value() == 3
+        )
+
+    def test_restore_without_a_registry_stays_uninstrumented(self, tmp_path):
+        from repro.obs.registry import MetricsRegistry
+
+        runtime = _runtime(metrics=MetricsRegistry())
+        runtime.step()
+        path = save_checkpoint(runtime, tmp_path / "run.ckpt.json")
+
+        resumed = restore_runtime(
+            path,
+            SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+            build_ecm_database(),
+            target=ECM_TARGET,
+            batch_size=BATCH,
+        )
+        assert resumed.metrics.enabled is False
+        resumed.run()  # the snapshot is advisory: resume still works

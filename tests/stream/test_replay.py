@@ -321,3 +321,117 @@ class TestSeedStability:
 
 def test_registry_and_replay_agree_on_scenario_count():
     assert len(default_registry()) >= 8
+
+
+class TestFeedWrapperCounters:
+    """The resilience wrappers surface their behaviour as feed_* counters."""
+
+    def _feed(self):
+        return SyntheticFeed([
+            Post(
+                post_id=f"p{i}",
+                text="#dpfdelete kit",
+                author=f"u{i}",
+                created_at=dt.date(2021, 1, 1 + i),
+            )
+            for i in range(4)
+        ])
+
+    def test_retrying_feed_counts_retries(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        flaky = FlakyFeed(self._feed(), failures=2, metrics=registry)
+        retrying = RetryingFeed(flaky, max_attempts=3, metrics=registry)
+        retrying.events_after(-1)
+        collected = registry.collect()
+        assert collected["feed_retries_total"].value() == 2
+        assert collected["feed_failures_total"].value() == 2
+
+    def test_best_effort_feed_counts_dropped_batches(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        flaky = FlakyFeed(self._feed(), failures=1, metrics=registry)
+        best_effort = BestEffortFeed(flaky, metrics=registry)
+        best_effort.events_after(-1)
+        best_effort.events_after(-1)
+        assert (
+            registry.collect()["feed_dropped_batches_total"].value() == 1
+        )
+
+    def _outage_posts(self):
+        posts = [
+            Post(
+                post_id=f"forum:f{i}",
+                text="#dpfdelete chat",
+                author=f"u{i}",
+                created_at=dt.date(2021, 1, 10 + i),
+            )
+            for i in range(3)
+        ]
+        outage = OutageWindow(
+            platform="forum",
+            start=dt.date(2021, 1, 1),
+            end=dt.date(2021, 1, 31),
+        )
+        return posts, [outage]
+
+    def test_delayed_feed_counts_each_delayed_event_once(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        posts, outages = self._outage_posts()
+        feed = DelayedFeed(posts, outages, metrics=registry)
+        assert registry.collect()["feed_delayed_events_total"].value() == 3
+
+        feed.partition(3)
+        # Partition children must not re-count the same delays.
+        assert registry.collect()["feed_delayed_events_total"].value() == 3
+
+    def test_unwrapped_feeds_emit_nothing(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        DelayedFeed(self._outage_posts()[0], metrics=registry)
+        # No outages: the counter exists but records zero delays.
+        assert registry.collect()["feed_delayed_events_total"].value() == 0
+
+
+class TestReplayTelemetry:
+    def test_report_carries_stages_counters_and_audit_outcomes(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        report = replay_scenario(
+            "excavator", months=2, shards=2, metrics=registry
+        )
+        assert report.ok, report.describe()
+
+        assert report.stage_latencies["tick"]["count"] > 0
+        assert "shard_map" in report.stage_latencies
+        assert report.feed_counters.get("feed_delayed_events_total", 0) >= 0
+
+        audits = registry.collect()["replay_audit_outcomes_total"]
+        for invariant in (
+            "alert_parity",
+            "table_parity",
+            "sai_parity",
+            "checkpoint_parity",
+            "memory_bounded",
+        ):
+            assert (
+                audits.value(invariant=invariant, outcome="pass") == 1
+            ), invariant
+            assert audits.value(invariant=invariant, outcome="fail") == 0
+        boundaries = registry.collect()["replay_boundaries_total"]
+        assert boundaries.value() == report.boundaries
+
+        text = report.describe()
+        assert "stage" in text
+
+    def test_uninstrumented_replay_report_is_unchanged(self):
+        report = replay_scenario("excavator", months=2, shards=2)
+        assert report.stage_latencies == {}
+        assert report.feed_counters == {}
+        assert "stage" not in report.describe()
