@@ -1,0 +1,94 @@
+"""S12 — cold-segment spill-to-disk store vs fully resident tiers.
+
+The bounded-footprint long-horizon workload: an identical multi-year
+sharded stream replayed twice through a *tiered*
+:class:`~repro.stream.sharding.ShardedStreamRuntime`.  The resident
+configuration (PR 8/S10) keeps every sealed cold segment's columns in
+memory, so RSS still grows with stream age even though tick latency is
+bounded.  The spill engine (:mod:`repro.stream.store`) serializes each
+cold seal into an mmap-readable on-disk segment, drops the columns from
+memory — cold segments keep only their aggregate sidecar and a
+content-addressed store key — and rehydrates on demand through a small
+LRU cache (``max_resident_cold``).  Queries that only need aggregate
+sums (window counts, SAI signals) ride the sidecars and never touch the
+disk at all.
+
+Two methodology choices make the comparison honest (see
+:func:`repro.analysis.benchkit.run_spill_bench`):
+
+* **every post carries a distinct text** — pooled texts would let the
+  arena interner make resident cold columns nearly free, hiding the
+  footprint the store exists to shed;
+* **each phase runs in its own subprocess** — ``ru_maxrss`` is a
+  process-lifetime maximum, so sharing a process would cap the second
+  phase's reading at the first phase's peak and let it reuse the
+  first's allocator arenas.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_spill.py -q
+
+The workload profile comes from ``$S12_PROFILE`` (``full`` | ``smoke``,
+default ``full``).  The full profile is the acceptance run: a 5-year
+1024-post/day distinct-text corpus under a tight retention window
+(15-day warm spans aging cold at 120 days, so the cold tier dominates),
+a <= 0.5x peak-RSS ratio against the resident phase and a steady-state
+tick-latency penalty of at most 10%.  The smoke profile is the CI run:
+same kernels and equivalence checks on a 2-year stream, with the looser
+RSS budget its younger (cold-light) corpus can show.
+
+Equivalence is bit-level: both phases must raise identical alert
+sequences and finish on the identical SAI table, and a spilled sharded
+``replay_scenario`` audit (checkpoints saved and restored against the
+same segment store) must hold parity against the paper's batch monitor.
+
+``test_s12_spill_rss_latency_and_equivalence`` writes
+``BENCH_spill.json`` (see docs/BENCHMARKS.md for the schema); the
+record carries ``extra.store_bytes`` and ``extra.hydrations`` next to
+``extra.peak_rss_kb`` so ``run_benches.py --check`` gates store-size
+blow-ups exactly like RSS ones.
+"""
+
+import os
+
+from repro.analysis.benchjson import load_bench_result
+from repro.analysis.benchkit import (
+    S12_LATENCY_RATIO_BUDGET,
+    S12_PROFILES,
+    S12_RSS_RATIO_BUDGET,
+    run_spill_bench,
+)
+
+PROFILE = os.environ.get("S12_PROFILE", "full")
+
+
+def test_s12_spill_rss_latency_and_equivalence(bench_report):
+    result = run_spill_bench(profile=PROFILE)
+    path = bench_report(result)
+    payload = load_bench_result(path)
+    print("\nS12 summary: " + str(payload))
+
+    assert result.equivalent, (
+        "spilled phase diverged from the resident phase or the "
+        "batch-monitor replay audit failed"
+    )
+    extra = payload["extra"]
+    assert extra["phase_alert_parity"], extra
+    assert extra["replay_ok"], extra
+    assert extra["rss_within_budget"], extra
+    assert extra["rss_ratio_budget"] == S12_RSS_RATIO_BUDGET[PROFILE]
+    assert extra["latency_within_budget"], extra
+    assert extra["latency_ratio_budget"] == S12_LATENCY_RATIO_BUDGET[PROFILE]
+    assert extra["spills"] > 0, extra
+    assert extra["store_bytes"] > 0, extra
+    assert extra["store_segments"] > 0, extra
+    assert extra["hydrations"] is not None, extra
+    assert extra["spilled_segments"]["layout"] == "tiered"
+    assert extra["spilled_segments"]["store"] is not None, extra
+    assert extra["resident_segments"]["store"] is None, extra
+    assert "peak_rss_kb" in extra  # the writer's satellite-wide stamp
+    dims = S12_PROFILES[PROFILE]
+    expected_posts = dims["years"] * 365 * dims["posts_per_day"]
+    assert payload["workload"]["posts"] == expected_posts
+    assert payload["workload"]["profile"] == PROFILE
+    assert payload["bench"] == "spill"

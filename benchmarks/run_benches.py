@@ -20,8 +20,9 @@ Usage::
 Exits non-zero if any bench's engine result diverges from its naive
 reference — speed without equivalence is a bug, not a result.  With
 ``--check``, also exits non-zero when a fresh speedup falls more than
-30% below the committed ``BENCH_<name>.json`` or a fresh peak RSS more
-than doubles the committed one (the CI regression gates); benches
+30% below the committed ``BENCH_<name>.json``, a fresh peak RSS more
+than doubles the committed one, or a spill bench's on-disk store size
+more than doubles it (the CI regression gates); benches
 without a committed record — or whose committed record ran a different
 workload profile (e.g. the S9 smoke profile vs the committed full
 profile) — are skipped with a note.  ``--smoke`` switches
@@ -46,6 +47,7 @@ from repro.analysis.benchjson import (  # noqa: E402
     load_bench_result,
     rss_regression,
     speedup_regression,
+    store_regression,
     write_bench_result,
 )
 from repro.analysis.benchkit import (  # noqa: E402
@@ -145,6 +147,7 @@ def main(argv=None) -> int:
                 for problem in (
                     speedup_regression(fresh, committed),
                     rss_regression(fresh, committed),
+                    store_regression(fresh, committed),
                 )
                 if problem is not None
             ]

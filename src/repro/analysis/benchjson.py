@@ -240,3 +240,48 @@ def rss_regression(
             f"than {ratio:.1f}x the committed {int(committed_rss)} KB"
         )
     return None
+
+
+#: A fresh on-disk store size above ``ratio x committed`` is a spill
+#: blow-up.  Same philosophy as :data:`DEFAULT_RSS_RATIO`: the segment
+#: codec is deterministic, so the size should barely move between runs
+#: of the same profile — only a genuine layout regression (a column
+#: serialized twice, compression of the text arena lost) doubles it.
+DEFAULT_STORE_RATIO = 2.0
+
+
+def store_regression(
+    fresh: Dict[str, Any],
+    committed: Dict[str, Any],
+    *,
+    ratio: float = DEFAULT_STORE_RATIO,
+) -> Optional[str]:
+    """Whether a fresh run's on-disk store blew past the committed one.
+
+    Compares ``extra.store_bytes`` on both sides — the
+    :class:`~repro.stream.store.SegmentStore` footprint spill-capable
+    benches stamp next to ``extra.peak_rss_kb``.  Records missing the
+    key (non-spill benches, pre-spill records) never flag.  Returns a
+    human-readable description of the regression, or None.
+    """
+    if ratio <= 1.0:
+        raise ValueError(f"ratio must be > 1, got {ratio}")
+    fresh_bytes = (fresh.get("extra") or {}).get("store_bytes")
+    committed_bytes = (committed.get("extra") or {}).get("store_bytes")
+    if not isinstance(fresh_bytes, (int, float)) or isinstance(
+        fresh_bytes, bool
+    ):
+        return None
+    if not isinstance(committed_bytes, (int, float)) or isinstance(
+        committed_bytes, bool
+    ):
+        return None
+    if committed_bytes <= 0:
+        return None
+    if fresh_bytes > committed_bytes * ratio:
+        return (
+            f"{fresh.get('bench')}: store size {int(fresh_bytes)} bytes is "
+            f"more than {ratio:.1f}x the committed {int(committed_bytes)} "
+            "bytes"
+        )
+    return None

@@ -200,6 +200,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         compact_ratio=args.compact_ratio,
         warm_span_days=args.warm_span,
         cold_age_days=args.cold_age,
+        spill_dir=args.spill_dir,
+        max_resident_cold=args.max_resident_cold,
         metrics=registry,
     )
     posts = spec.corpus().posts
@@ -242,22 +244,33 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         if tiers is None:
             return ["  (flat index — no tiers; set --warm-span/--cold-age)"]
         hot, warm, cold = tiers["hot"], tiers["warm"], tiers["cold"]
-        return [
+        lines = [
             f"  hot:  {hot['posts']} posts across {hot['spans']} span(s)",
             f"  warm: {warm['posts']} posts in {warm['chunks']} chunk(s) "
             f"over {warm['spans']} span(s), {warm['arena_chars']} arena "
             f"chars, last seal @append {warm['last_seal_append']}, last "
             f"consolidation @append {warm['last_consolidation_append']}",
             f"  cold: {cold['posts']} posts in {cold['segments']} "
-            f"segment(s), {cold['sidecars']} sidecar(s) holding "
-            f"{cold['sidecar_entries']} keyword-year entries, last seal "
-            f"@append {cold['last_seal_append']}",
+            f"segment(s) ({cold['spilled']} spilled), {cold['sidecars']} "
+            f"sidecar(s) holding {cold['sidecar_entries']} keyword-year "
+            f"entries, last seal @append {cold['last_seal_append']}",
             f"  seals: {segments['hot_seals']} hot, "
             f"{segments['consolidations']} consolidation(s), "
             f"{segments['cold_seals']} cold; interner retains "
             f"{segments['interned_texts']} texts "
             f"({segments['interner_evicted']} evicted)",
         ]
+        store = segments.get("store")
+        if store is not None:
+            lines.append(
+                f"  store: {store['segments']} segment(s), "
+                f"{store['bytes']} bytes at {store['directory']}; "
+                f"{store['spills']} spill(s), {store['hydrations']} "
+                f"hydration(s), {store['cache_hits']} cache hit(s), "
+                f"{store['cache_evictions']} eviction(s), "
+                f"{store['resident']}/{store['max_resident_cold']} resident"
+            )
+        return lines
 
     if args.shards > 1:
         for shard in stats["shard_stats"]:
@@ -376,6 +389,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             workers=args.workers,
             warm_span_days=args.warm_span,
             cold_age_days=args.cold_age,
+            spill_dir=args.spill_dir,
+            max_resident_cold=args.max_resident_cold,
             metrics=registry,
         )
         print(report.describe())
@@ -517,6 +532,16 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: flat index; 365 when only --warm-span is given)",
     )
     stream.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help="spill cold segments' columns into a segment store at DIR "
+             "(requires tiered retention; only sidecars stay resident)",
+    )
+    stream.add_argument(
+        "--max-resident-cold", type=int, default=None, metavar="N",
+        help="LRU bound on hydrated cold segments kept resident "
+             "(default: 4; used with --spill-dir)",
+    )
+    stream.add_argument(
         "--stats", action="store_true",
         help="attach a metrics registry and print the per-tier segment "
              "table plus per-stage tick latencies after the run",
@@ -598,6 +623,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cold-age", type=int, default=None, metavar="DAYS",
         help="replay on tiered indexes: cold seal age horizon in days "
              "(default: flat index)",
+    )
+    replay.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help="spill cold segments into a segment store at DIR during "
+             "the replay (requires --warm-span/--cold-age)",
+    )
+    replay.add_argument(
+        "--max-resident-cold", type=int, default=None, metavar="N",
+        help="LRU bound on hydrated cold segments kept resident "
+             "(default: 4; used with --spill-dir)",
     )
     replay.add_argument(
         "--smoke", action="store_true",

@@ -19,6 +19,13 @@ target.  This module makes those repeats free:
   full pipeline runs) keyed on the keyword-database
   :attr:`~repro.core.keywords.KeywordDatabase.version`, so keyword
   learning or re-annotation invalidates stale entries automatically.
+* :class:`SidecarAggregates` — answers window-count and SAI-signal
+  queries from a tiered index's cold-segment *sidecars* instead of post
+  scans.  A spilled multi-year corpus then serves year-aligned
+  ``count_by_year`` and whole-list SAI computations without hydrating a
+  single cold segment from disk: the per-(keyword, year) bucket sums the
+  sidecars already maintain are exactly the additive evidence
+  :meth:`~repro.core.sai.SAIComputer.compute_from_signals` needs.
 
 The decorator style follows :mod:`repro.social.resilience`: wrapping is
 composable (``CachedClient(RetryingClient(platform))``) and the layers
@@ -39,17 +46,21 @@ from typing import (
     Iterable,
     List,
     Optional,
+    Sequence,
     Tuple,
 )
 
+from repro.core.sai import KeywordSignals
 from repro.nlp.analysis import analyze_text
+from repro.nlp.normalize import canonical_keyword
+from repro.nlp.sentiment import SentimentAnalyzer
 from repro.social.api import (
     BatchQuery,
     BatchResult,
     SearchQuery,
     SocialMediaClient,
 )
-from repro.social.post import Post
+from repro.social.post import Engagement, Post
 
 
 def _warm_analyses(posts: Iterable[Post]) -> None:
@@ -248,6 +259,206 @@ class _WindowKey:
     operation: str = "search"
 
 
+def _aligned_years(
+    since: Optional[dt.date], until: Optional[dt.date]
+) -> Optional[Tuple[Optional[int], Optional[int]]]:
+    """The (since_year, until_year) bounds of a year-resolvable window.
+
+    Sidecar buckets are per-calendar-year, so only windows whose bounds
+    sit exactly on year edges (or are absent) can be answered from them.
+    Returns ``None`` for an unanswerable window — distinct from
+    ``(None, None)``, the fully unbounded (answerable) one.
+    """
+    if since is not None and (since.month, since.day) != (1, 1):
+        return None
+    if until is not None and (until.month, until.day) != (12, 31):
+        return None
+    return (
+        None if since is None else since.year,
+        None if until is None else until.year,
+    )
+
+
+class SidecarAggregates:
+    """Cold-sidecar-served aggregates for the batch query path.
+
+    Wraps a :class:`~repro.stream.tiers.TieredCorpusIndex` (duck-typed:
+    anything with ``signal_backfill``, ``sidecar_region``,
+    ``sidecar_analyzer`` and ``__len__``) and answers per-year counts and
+    per-keyword :class:`~repro.core.sai.KeywordSignals` from its
+    aggregate sums.  Cold segments answer from their sidecars — a
+    spilled index serves these queries without hydrating column data
+    from disk; only warm/hot tiers are scanned, and only when the index
+    has grown since the last build.
+
+    The backfilled :class:`~repro.stream.deltas.SignalDelta` is memoised
+    against the index size (posts are append-only, so ``len(index)`` is
+    a complete freshness token) and the keyword set grows by union, so a
+    fleet of queries over one database costs a single backfill.
+
+    Answers are scoped exactly like the sidecars themselves: bucket sums
+    are in-region for the index's ``sidecar_region`` and sentiment comes
+    from its ``sidecar_analyzer`` — callers must check :attr:`region`
+    and :meth:`analyzer_compatible` before trusting an answer
+    (:class:`CachedClient` does).
+    """
+
+    def __init__(self, index: Any) -> None:
+        self._index = index
+        self._keywords: Tuple[str, ...] = ()
+        self._known: set = set()
+        self._delta: Any = None
+        self._built_size: Optional[int] = None
+        self._served_counts = 0
+        self._served_signals = 0
+
+    @property
+    def index(self) -> Any:
+        """The wrapped tiered index."""
+        return self._index
+
+    @property
+    def region(self) -> Optional[str]:
+        """The region scope of every answer (the sidecars' region)."""
+        return self._index.sidecar_region
+
+    @property
+    def served_counts(self) -> int:
+        """How many ``count_by_year`` answers came from sidecars."""
+        return self._served_counts
+
+    @property
+    def served_signals(self) -> int:
+        """How many ``window_signals`` answers came from sidecars."""
+        return self._served_signals
+
+    def analyzer_compatible(self, analyzer: Optional[SentimentAnalyzer]) -> bool:
+        """Whether ``analyzer`` would score posts like the sidecars did.
+
+        Sentiment sums are baked into the sidecar buckets with the
+        index's own analyzer; an SAI computer carrying a *different*
+        analyzer type must fall back to post scans.  ``None`` on either
+        side means the deterministic default
+        :class:`~repro.nlp.sentiment.SentimentAnalyzer`.
+        """
+        mine = self._index.sidecar_analyzer
+        mine_type = type(mine) if mine is not None else SentimentAnalyzer
+        their_type = type(analyzer) if analyzer is not None else SentimentAnalyzer
+        return mine_type is their_type
+
+    def _buckets(
+        self, keywords: Sequence[str]
+    ) -> Dict[str, Dict[int, List[float]]]:
+        # Backfill and answer on canonical forms — the corpus search the
+        # inner client runs folds query keywords the same way, so two
+        # spellings sharing a canonical form share one bucket.
+        requested = dict.fromkeys(
+            canonical_keyword(keyword) for keyword in keywords
+        )
+        missing = [k for k in requested if k and k not in self._known]
+        size = len(self._index)
+        if missing or self._delta is None or self._built_size != size:
+            if missing:
+                self._keywords = self._keywords + tuple(missing)
+                self._known.update(missing)
+            self._delta = self._index.signal_backfill(
+                self._keywords,
+                region=self._index.sidecar_region,
+                analyzer=self._index.sidecar_analyzer,
+            )
+            self._built_size = size
+        return self._delta.buckets
+
+    def ensure(self, keywords: Sequence[str]) -> None:
+        """Make the sidecars cover ``keywords`` (the prewarm analogue).
+
+        Triggers the one-off sidecar extension for keywords the cold
+        segments have not met yet, so later queries are pure bucket
+        reads.
+        """
+        self._buckets(keywords)
+
+    def count_by_year(
+        self,
+        keyword: str,
+        *,
+        since_year: Optional[int] = None,
+        until_year: Optional[int] = None,
+    ) -> Dict[int, int]:
+        """Per-year in-region post counts of one keyword.
+
+        Mirrors :meth:`~repro.social.api.InMemoryClient.count_by_year`:
+        only years with at least one matching post appear.
+        """
+        years = self._buckets((keyword,)).get(canonical_keyword(keyword), {})
+        out: Dict[int, int] = {}
+        for year in sorted(years):
+            if since_year is not None and year < since_year:
+                continue
+            if until_year is not None and year > until_year:
+                continue
+            posts = int(years[year][4])
+            if posts:
+                out[year] = posts
+        self._served_counts += 1
+        return out
+
+    def window_signals(
+        self,
+        keywords: Sequence[str],
+        *,
+        since_year: Optional[int] = None,
+        until_year: Optional[int] = None,
+    ) -> Dict[str, KeywordSignals]:
+        """Per-keyword :class:`KeywordSignals` over a year window.
+
+        Mirrors :meth:`~repro.stream.deltas.DeltaTracker.signals`:
+        buckets are summed in ascending year order and keywords with no
+        in-window posts are omitted
+        (:meth:`~repro.core.sai.SAIComputer.compute_from_signals`
+        treats them as empty).
+        """
+        buckets = self._buckets(keywords)
+        out: Dict[str, KeywordSignals] = {}
+        for keyword in dict.fromkeys(keywords):
+            years = buckets.get(canonical_keyword(keyword), {})
+            views = likes = reposts = replies = posts = 0
+            sentiment_sum = 0.0
+            for year in sorted(years):
+                if since_year is not None and year < since_year:
+                    continue
+                if until_year is not None and year > until_year:
+                    continue
+                values = years[year]
+                views += int(values[0])
+                likes += int(values[1])
+                reposts += int(values[2])
+                replies += int(values[3])
+                posts += int(values[4])
+                sentiment_sum += float(values[5])
+            if posts == 0:
+                continue
+            out[keyword] = KeywordSignals(
+                engagement=Engagement(
+                    views=views, likes=likes, reposts=reposts, replies=replies
+                ),
+                mean_sentiment=sentiment_sum / posts,
+                post_count=posts,
+            )
+        self._served_signals += 1
+        return out
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        """Serve counters plus the memo's freshness token."""
+        return {
+            "served_counts": self._served_counts,
+            "served_signals": self._served_signals,
+            "keywords": len(self._keywords),
+            "built_size": self._built_size,
+        }
+
+
 class CachedClient(SocialMediaClient):
     """Caching decorator over any :class:`SocialMediaClient`.
 
@@ -266,6 +477,12 @@ class CachedClient(SocialMediaClient):
             share entries and statistics.
         platform: label namespacing this client's keys inside a shared
             cache.
+        aggregates: optional :class:`SidecarAggregates` over a tiered
+            index holding the same corpus as ``inner``.  When attached,
+            year-resolvable ``count_by_year`` queries and whole-list SAI
+            signal requests (:meth:`window_signals`) are answered from
+            cold-segment sidecars — no post fetch, no cold hydration —
+            whenever the query's region matches the sidecars' region.
     """
 
     def __init__(
@@ -274,15 +491,22 @@ class CachedClient(SocialMediaClient):
         *,
         cache: Optional[TTLCache] = None,
         platform: str = "default",
+        aggregates: Optional[SidecarAggregates] = None,
     ) -> None:
         self._inner = inner
         self._cache = cache if cache is not None else TTLCache()
         self._platform = platform
+        self._aggregates = aggregates
 
     @property
     def inner(self) -> SocialMediaClient:
         """The wrapped client."""
         return self._inner
+
+    @property
+    def aggregates(self) -> Optional[SidecarAggregates]:
+        """The attached sidecar aggregates (None when post-scan only)."""
+        return self._aggregates
 
     @property
     def cache(self) -> TTLCache:
@@ -359,7 +583,24 @@ class CachedClient(SocialMediaClient):
         return out
 
     def count_by_year(self, query: SearchQuery) -> Dict[int, int]:
-        """Cached per-year counts (whole-window granularity)."""
+        """Cached per-year counts (whole-window granularity).
+
+        With :class:`SidecarAggregates` attached, year-resolvable
+        windows in the sidecars' region are answered from bucket sums
+        directly — always fresh against the index, so they bypass the
+        TTL cache entirely.
+        """
+        aggregates = self._aggregates
+        if (
+            aggregates is not None
+            and query.region == aggregates.region
+            and query.limit is None
+        ):
+            span = _aligned_years(query.since, query.until)
+            if span is not None:
+                return aggregates.count_by_year(
+                    query.keyword, since_year=span[0], until_year=span[1]
+                )
         key = self._window_key(query, operation="count")
         cached = self._cache.get(key, _MISSING)
         if cached is not _MISSING:
@@ -456,6 +697,36 @@ class CachedClient(SocialMediaClient):
             posts_by_keyword={k: results[k] for k in batch.keywords}
         )
 
+    def window_signals(
+        self,
+        keywords: Sequence[str],
+        *,
+        region: Optional[str] = None,
+        since: Optional[dt.date] = None,
+        until: Optional[dt.date] = None,
+        analyzer: Optional[SentimentAnalyzer] = None,
+    ) -> Optional[Dict[str, KeywordSignals]]:
+        """Sidecar-served SAI evidence for a keyword list, if possible.
+
+        The batch-SAI fast path: :meth:`~repro.core.sai.SAIComputer.compute`
+        probes this method before fetching posts.  Returns ``None`` —
+        "fall back to post scans" — unless aggregates are attached, the
+        window is year-resolvable, the region matches the sidecars'
+        scope, and ``analyzer`` is compatible with the one that built
+        the sidecar sentiment sums.
+        """
+        aggregates = self._aggregates
+        if aggregates is None or region != aggregates.region:
+            return None
+        if not aggregates.analyzer_compatible(analyzer):
+            return None
+        span = _aligned_years(since, until)
+        if span is None:
+            return None
+        return aggregates.window_signals(
+            keywords, since_year=span[0], until_year=span[1]
+        )
+
     def prewarm_segments(
         self,
         keywords: Sequence[str],
@@ -474,11 +745,22 @@ class CachedClient(SocialMediaClient):
         number of segments fetched; already-cached cells cost nothing.
         Warming is not a query: cache statistics (hits/misses) are
         untouched, so hit rates keep measuring real lookups.
+
+        With :class:`SidecarAggregates` attached (and the region
+        matching their scope), warming prepares *sidecar coverage*
+        instead of post segments: the one-off sidecar extension for any
+        keyword the cold segments have not met yet is paid here, after
+        which counts and SAI signals resolve from bucket sums without
+        fetching a single post.  Returns 0 — no segments were fetched.
         """
         if first_year > last_year:
             raise ValueError(
                 f"first_year {first_year} > last_year {last_year}"
             )
+        aggregates = self._aggregates
+        if aggregates is not None and region == aggregates.region:
+            aggregates.ensure(keywords)
+            return 0
         missing_by_year: Dict[int, List[str]] = {}
         for keyword in dict.fromkeys(keywords):
             for year in range(first_year, last_year + 1):

@@ -201,9 +201,29 @@ class SAIComputer:
         platform round-trip.  Keywords with zero matching posts are
         retained with score 0 — an absent topic is itself a (negative)
         finding.
+
+        Clients exposing a ``window_signals`` method (a
+        :class:`~repro.core.cache.CachedClient` with sidecar aggregates
+        attached) are probed first: when they can supply pre-aggregated
+        :class:`KeywordSignals` for this exact window/region/analyzer,
+        the list is scored through :meth:`compute_from_signals` without
+        fetching a single post — the cold tiers of a spilled corpus
+        answer from their sidecars.  A ``None`` probe result falls back
+        to the post-scan path unchanged.
         """
         if not len(database):
             return SAIList([])
+        window_signals = getattr(self._client, "window_signals", None)
+        if callable(window_signals):
+            signals = window_signals(
+                database.keywords,
+                region=region,
+                since=since,
+                until=until,
+                analyzer=self._analyzer,
+            )
+            if signals is not None:
+                return self.compute_from_signals(database, signals)
         batch = BatchQuery(
             keywords=database.keywords, region=region, since=since, until=until
         )

@@ -11,8 +11,8 @@ exactly once per distinct text and hands every consumer the same
 
 * :class:`~repro.social.index.CorpusIndex` matches keywords against the
   precomputed :attr:`~PostAnalysis.haystack`,
-* :class:`~repro.core.sai.SAIComputer` scores sentiment from the
-  precomputed :attr:`~PostAnalysis.tokens` (memoized per analyzer
+* :class:`~repro.core.sai.SAIComputer` scores sentiment from
+  :attr:`~PostAnalysis.tokens` (the result memoized per analyzer
   fingerprint, so a post is scored once per corpus lifetime),
 * keyword learning and :attr:`~repro.social.post.Post.hashtags` read the
   canonical :attr:`~PostAnalysis.hashtags`.
@@ -39,45 +39,77 @@ _HAYSTACK_SEPARATOR = "\n"
 
 @dataclass(frozen=True)
 class PostAnalysis:
-    """Every derived view of one post text, computed once.
+    """Every derived view of one post text, behind one object.
+
+    Only the views the hot paths probe *repeatedly* are stored —
+    matching reads :attr:`haystack` per keyword, keyword learning reads
+    :attr:`hashtags` — plus the per-analyzer sentiment memo.  The
+    remaining views (the token stream, the word set, the
+    normalized/stemmed intermediates) are recomputed on access: each
+    has consumers that read it once per analysis (sentiment scoring
+    memoizes its result; voice voting and index builds ingest a post
+    once), while *retaining* them would dominate resident memory on
+    long-horizon streams, where one analysis per warm text stays alive
+    for days of stream time.  Every view is a pure function of
+    ``text``, so lazy and stored views are interchangeable by value.
 
     Attributes:
         text: the original post text.
-        normalized: lower-cased, separator-folded text with word
-            boundaries preserved (:func:`~repro.nlp.normalize.normalize_text`).
-        squashed: ``normalized`` with the spaces removed — the string the
-            folded free-text matcher searches for canonical keywords.
-        words: the normalized words, in order.
-        word_set: the distinct normalized words (voice-marker voting,
-            token index).
-        stems: the stemmed words, in order.
-        stemmed_joined: the stems concatenated — the second matcher
-            haystack, catching inflected variants ("deleting" → "delet").
-        haystack: ``squashed`` and ``stemmed_joined`` joined by a
-            non-keyword separator, so one substring probe answers the
-            whole folded-match question.
+        haystack: the space-squashed normalized text and the
+            concatenated stems joined by a non-keyword separator, so
+            one substring probe answers the whole folded-match
+            question (catching inflected variants, "deleting" →
+            "delet").
         hashtags: canonical hashtags in order of appearance, duplicates
             preserved (they signal emphasis and count for frequency).
         hashtag_set: the distinct canonical hashtags.
-        tokens: the typed token stream (sentiment scoring, price mining).
     """
 
     text: str
-    normalized: str
-    squashed: str
-    words: Tuple[str, ...]
-    word_set: FrozenSet[str]
-    stems: Tuple[str, ...]
-    stemmed_joined: str
     haystack: str
     hashtags: Tuple[str, ...]
     hashtag_set: FrozenSet[str]
-    tokens: Tuple[Token, ...]
     #: Per-analyzer-fingerprint sentiment memo; a mutable cache, not part
     #: of the analysis value (excluded from equality and hashing).
     _sentiment: Dict[Hashable, object] = field(
         default_factory=dict, compare=False, repr=False
     )
+
+    @property
+    def normalized(self) -> str:
+        """Lower-cased, separator-folded text, word boundaries kept."""
+        return normalize_text(self.text)
+
+    @property
+    def squashed(self) -> str:
+        """``normalized`` with the spaces removed — the folded-match
+        haystack's first half."""
+        return self.normalized.replace(" ", "")
+
+    @property
+    def words(self) -> Tuple[str, ...]:
+        """The normalized words, in order."""
+        return tuple(self.normalized.split())
+
+    @property
+    def word_set(self) -> FrozenSet[str]:
+        """The distinct normalized words (voice voting, token index)."""
+        return frozenset(self.normalized.split())
+
+    @property
+    def stems(self) -> Tuple[str, ...]:
+        """The stemmed words, in order."""
+        return tuple(stem(word) for word in self.words)
+
+    @property
+    def stemmed_joined(self) -> str:
+        """The stems concatenated — the haystack's second half."""
+        return "".join(self.stems)
+
+    @property
+    def tokens(self) -> "Tuple[Token, ...]":
+        """The typed token stream (sentiment scoring, price mining)."""
+        return tuple(tokenize(self.text))
 
     def matches_keyword(self, canonical: str) -> bool:
         """Whether the canonical keyword occurs under folded matching.
@@ -106,26 +138,16 @@ def analyze_text(text: str) -> PostAnalysis:
     layers — share one analysis object (and its sentiment memo).
     """
     normalized = normalize_text(text)
-    words = tuple(normalized.split())
     squashed = normalized.replace(" ", "")
-    stems = tuple(stem(word) for word in words)
-    stemmed_joined = "".join(stems)
-    tokens = tuple(tokenize(text))
+    stemmed_joined = "".join(stem(word) for word in normalized.split())
     hashtags = tuple(
         canonical_keyword(token.text)
-        for token in tokens
+        for token in tokenize(text)
         if token.type is TokenType.HASHTAG
     )
     return PostAnalysis(
         text=text,
-        normalized=normalized,
-        squashed=squashed,
-        words=words,
-        word_set=frozenset(words),
-        stems=stems,
-        stemmed_joined=stemmed_joined,
         haystack=squashed + _HAYSTACK_SEPARATOR + stemmed_joined,
         hashtags=hashtags,
         hashtag_set=frozenset(hashtags),
-        tokens=tokens,
     )

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.stream.runtime import StreamRuntime
+from repro.stream.store import StoreError
 
 #: Bump on incompatible checkpoint layout changes.
 CHECKPOINT_VERSION = 1
@@ -73,6 +74,17 @@ def checkpoint_state(
     # registry snapshot so a resume continues counters instead of
     # restarting them from zero.
     metadata: Dict[str, Any] = {"segment_stats": runtime.index.segment_stats}
+    # A spilling index stores cold columns outside this file: record
+    # where (directory + manifest) so an operator restoring elsewhere
+    # knows which directory to bring along (--spill-dir on restore).
+    store = getattr(runtime.index, "store", None)
+    if store is not None:
+        metadata["store"] = {
+            "directory": str(store.directory),
+            "manifest": str(store.manifest_path),
+            "segments": store.segment_count,
+            "bytes": store.bytes_on_disk,
+        }
     metrics = getattr(runtime, "metrics", None)
     if metrics is not None and getattr(metrics, "enabled", False):
         metadata["metrics"] = metrics.snapshot()
@@ -373,8 +385,18 @@ def restore_runtime(
             is relative to; required for deltas, ignored for bases.
             The base's content id must match the one the delta recorded.
         **runtime_kwargs: forwarded to :class:`StreamRuntime` — target,
-            config, network, tracker, post_filter, batch sizes.  The
+            config, network, tracker, post_filter, batch sizes, and the
+            spill knobs (``spill_dir``/``store``/``max_resident_cold``):
+            a checkpoint whose index spilled cold segments restores only
+            with its store re-attached (pass the checkpoint metadata's
+            store directory), and a resident checkpoint restored with a
+            spill knob re-spills its cold segments on load.  The
             checkpoint's ``since_year`` is restored automatically.
+
+    Raises:
+        StoreError: when the checkpoint references spilled segments and
+            no store is attached (or the store is missing them) — a
+            clear degradation message, not a mid-query stack trace.
     """
     payload = _as_payload(source)
     if payload.get("kind", KIND_BASE) == KIND_DELTA:
@@ -409,7 +431,10 @@ def restore_runtime(
         since_year=state.get("since_year"),
         **runtime_kwargs,
     )
-    runtime.load_state(state)
+    try:
+        runtime.load_state(state)
+    except StoreError as error:
+        raise StoreError(f"checkpoint restore failed: {error}") from None
     if metrics_snapshot is not None and runtime.metrics.enabled:
         # Counter continuity: the resumed registry starts from the saved
         # totals, so resumed + uninterrupted runs agree on cumulative

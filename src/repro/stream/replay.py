@@ -475,9 +475,16 @@ def _build_stream(
     post_filter: Optional[PostAuthenticityFilter] = None,
     warm_span_days: Optional[int] = None,
     cold_age_days: Optional[int] = None,
+    spill_dir=None,
+    max_resident_cold: Optional[int] = None,
     metrics=None,
 ):
-    """A fresh replay runtime (single or sharded) plus fresh feeds."""
+    """A fresh replay runtime (single or sharded) plus fresh feeds.
+
+    Spill keys are content-addressed, so every sub-run of one replay
+    (the uninterrupted reference, the SAI recompute, the checkpoint
+    resume) can share one ``spill_dir`` without collisions.
+    """
     database = spec.database()
     kwargs = dict(
         target=spec.target,
@@ -488,6 +495,8 @@ def _build_stream(
         compact_ratio=REPLAY_COMPACT_RATIO,
         warm_span_days=warm_span_days,
         cold_age_days=cold_age_days,
+        spill_dir=spill_dir,
+        max_resident_cold=max_resident_cold,
         metrics=metrics,
     )
     if spec.outages:
@@ -516,6 +525,8 @@ def replay_scenario(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     warm_span_days: Optional[int] = None,
     cold_age_days: Optional[int] = None,
+    spill_dir=None,
+    max_resident_cold: Optional[int] = None,
     metrics=None,
 ) -> ReplayReport:
     """Drive one scenario through the full three-invariant audit.
@@ -535,6 +546,14 @@ def replay_scenario(
             replays on tiered indexes (hot/warm/cold with sidecars)
             instead of the flat streaming index, with every audit —
             parity, checkpoint resume, bounded memory — unchanged.
+        spill_dir / max_resident_cold: when ``spill_dir`` is set (tiered
+            retention required), cold seals spill their columns into a
+            :class:`~repro.stream.store.SegmentStore` there; every
+            sub-run of the audit (reference, SAI recompute, checkpoint
+            resume) shares the directory — spill keys are
+            content-addressed, so the runs are collision-free and the
+            resumed runtime re-attaches the very segments the
+            uninterrupted run spilled.
         metrics: optional :class:`~repro.obs.registry.MetricsRegistry`
             instrumenting the *uninterrupted* streaming run (the
             checkpoint-resume and SAI-recompute side runs stay
@@ -597,6 +616,7 @@ def replay_scenario(
     runtime, _, _ = _build_stream(
         spec, posts, shards=shards, workers=workers, config=config,
         warm_span_days=warm_span_days, cold_age_days=cold_age_days,
+        spill_dir=spill_dir, max_resident_cold=max_resident_cold,
         metrics=metrics,
     )
     count = len(boundaries)
@@ -719,7 +739,8 @@ def replay_scenario(
             if batch_sai != _sai_at(
                 spec, posts, last_retuned, shards=shards, workers=workers,
                 config=config, warm_span_days=warm_span_days,
-                cold_age_days=cold_age_days,
+                cold_age_days=cold_age_days, spill_dir=spill_dir,
+                max_resident_cold=max_resident_cold,
             ):
                 sai_parity = False
                 mismatches.append(
@@ -743,6 +764,8 @@ def replay_scenario(
                 sharded_state=sharded_state,
                 warm_span_days=warm_span_days,
                 cold_age_days=cold_age_days,
+                spill_dir=spill_dir,
+                max_resident_cold=max_resident_cold,
             )
             try:
                 for boundary in boundaries[resume_from + 1 :]:
@@ -836,11 +859,14 @@ def _sai_at(
     config: Optional[PSPConfig],
     warm_span_days: Optional[int] = None,
     cold_age_days: Optional[int] = None,
+    spill_dir=None,
+    max_resident_cold: Optional[int] = None,
 ):
     """The stream's SAI rows when replayed fresh up to one boundary."""
     runtime, _, _ = _build_stream(
         spec, posts, shards=shards, workers=workers, config=config,
         warm_span_days=warm_span_days, cold_age_days=cold_age_days,
+        spill_dir=spill_dir, max_resident_cold=max_resident_cold,
     )
     try:
         runtime.advance_to(boundary, upto_year=boundary.year)
@@ -861,6 +887,8 @@ def _restore_stream(
     sharded_state: Optional[str],
     warm_span_days: Optional[int] = None,
     cold_age_days: Optional[int] = None,
+    spill_dir=None,
+    max_resident_cold: Optional[int] = None,
 ):
     """Rebuild a runtime from the mid-run checkpoint artifacts."""
     if shards == 1:
@@ -882,12 +910,15 @@ def _restore_stream(
             compact_ratio=REPLAY_COMPACT_RATIO,
             warm_span_days=warm_span_days,
             cold_age_days=cold_age_days,
+            spill_dir=spill_dir,
+            max_resident_cold=max_resident_cold,
         )
         return runtime, (feed,), database
     assert sharded_state is not None
     runtime, feeds, database = _build_stream(
         spec, posts, shards=shards, workers=workers, config=config,
         warm_span_days=warm_span_days, cold_age_days=cold_age_days,
+        spill_dir=spill_dir, max_resident_cold=max_resident_cold,
     )
     runtime.load_state(json.loads(sharded_state))
     return runtime, feeds, database

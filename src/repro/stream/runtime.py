@@ -422,6 +422,15 @@ class StreamRuntime:
         cold_age_days: age horizon past which whole warm spans seal into
             immutable cold segments with aggregate sidecars (see
             :mod:`repro.stream.tiers`).
+        store: optional pre-opened :class:`~repro.stream.store.
+            SegmentStore` cold seals spill into (takes precedence over
+            ``spill_dir``); requires tiered retention.
+        spill_dir: when set, cold seals spill their columns into a
+            :class:`~repro.stream.store.SegmentStore` at this directory
+            and only sidecars stay resident; requires tiered retention.
+        max_resident_cold: LRU bound on hydrated cold segments kept
+            resident (the spill store's hydration cache); None = the
+            store default.
         metrics: a :class:`~repro.obs.registry.MetricsRegistry` every
             tick writes into (counters, per-stage latency histograms via
             :class:`~repro.obs.trace.TickTrace`, tier gauges at export
@@ -446,6 +455,9 @@ class StreamRuntime:
         compact_ratio: Optional[float] = None,
         warm_span_days: Optional[int] = None,
         cold_age_days: Optional[int] = None,
+        store=None,
+        spill_dir=None,
+        max_resident_cold: Optional[int] = None,
         metrics=None,
     ) -> None:
         if batch_size < 1:
@@ -508,6 +520,9 @@ class StreamRuntime:
             sidecar_keywords=database.keywords,
             sidecar_region=self._deltas.region,
             sidecar_analyzer=self._deltas.analyzer,
+            store=store,
+            spill_dir=spill_dir,
+            max_resident_cold=max_resident_cold,
             metrics=self._metrics,
         )
 

@@ -66,6 +66,7 @@ from repro.stream.deltas import (
 from repro.stream.feed import FeedSource, PostEvent, SyntheticFeed
 from repro.stream.index import DEFAULT_COMPACT_THRESHOLD, StreamingCorpusIndex
 from repro.stream.runtime import DEFAULT_BATCH_SIZE, StreamTick, TickEvaluator
+from repro.stream.store import DEFAULT_MAX_RESIDENT_COLD, SegmentStore
 from repro.stream.tiers import build_stream_index
 from repro.social.post import Post
 from repro.tara.lifecycle import LifecycleTracker
@@ -242,6 +243,13 @@ class ShardedStreamRuntime:
             :class:`~repro.stream.tiers.TieredCorpusIndex` (hot tail,
             date-bounded warm segments, cold segments with aggregate
             sidecars) instead of the flat streaming index.
+        spill_dir / max_resident_cold: when ``spill_dir`` is set, ONE
+            :class:`~repro.stream.store.SegmentStore` opens there and
+            every shard spills its cold seals into it (keys are
+            content-addressed, so shards sharing a directory never
+            collide); shard appends run serially in the merge leg, so
+            the shared store sees no concurrent writes.  Requires tiered
+            retention.
         executor: explicit :mod:`~repro.core.executor` instance; wins
             over ``workers``.
         workers: requested parallelism for the shard jobs; resolved by
@@ -271,6 +279,8 @@ class ShardedStreamRuntime:
         compact_ratio: Optional[float] = None,
         warm_span_days: Optional[int] = None,
         cold_age_days: Optional[int] = None,
+        spill_dir=None,
+        max_resident_cold: Optional[int] = None,
         executor=None,
         workers: Optional[int] = None,
         metrics=None,
@@ -322,6 +332,27 @@ class ShardedStreamRuntime:
             metrics=self._metrics,
             trace=self._trace,
         )
+        # All shards spill into ONE store: keys are content-addressed,
+        # so a shared directory is collision-free, and shard appends run
+        # serially in the merge leg, so the store sees no concurrent
+        # writes.  Store metrics land on the parent registry (spills are
+        # a runtime-wide resource, not a per-shard one).
+        self._store: Optional[SegmentStore] = None
+        if spill_dir is not None:
+            if warm_span_days is None and cold_age_days is None:
+                raise ValueError(
+                    "spill-to-disk requires tiered retention: set "
+                    "warm_span_days or cold_age_days alongside spill_dir"
+                )
+            self._store = SegmentStore(
+                spill_dir,
+                max_resident_cold=(
+                    DEFAULT_MAX_RESIDENT_COLD
+                    if max_resident_cold is None
+                    else max_resident_cold
+                ),
+                metrics=self._metrics,
+            )
         self._shards: List[_ShardState] = []
         for shard_id, feed in enumerate(feeds):
             deltas = DeltaTracker(database, region=region)
@@ -334,6 +365,8 @@ class ShardedStreamRuntime:
                 sidecar_keywords=database.keywords,
                 sidecar_region=deltas.region,
                 sidecar_analyzer=deltas.analyzer,
+                store=self._store,
+                max_resident_cold=max_resident_cold,
                 metrics=shard_metrics,
             )
             self._shards.append(
@@ -376,6 +409,11 @@ class ShardedStreamRuntime:
     def shard_count(self) -> int:
         """How many shards this runtime fans in."""
         return len(self._shards)
+
+    @property
+    def store(self) -> Optional[SegmentStore]:
+        """The shared spill store (None when fully resident)."""
+        return self._store
 
     @property
     def metrics(self):

@@ -42,6 +42,7 @@ checkpoint untouched); either knob set returns a tiered index.
 from __future__ import annotations
 
 import datetime as dt
+import itertools
 from array import array
 from heapq import merge as heap_merge
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
@@ -62,6 +63,12 @@ from repro.stream.deltas import (
     compute_signal_delta_columnar,
 )
 from repro.stream.index import DEFAULT_COMPACT_THRESHOLD, StreamingCorpusIndex
+from repro.stream.store import (
+    DEFAULT_MAX_RESIDENT_COLD,
+    HydrationCache,
+    SegmentStore,
+    StoreError,
+)
 
 __all__ = [
     "DEFAULT_COLD_AGE_DAYS",
@@ -69,6 +76,10 @@ __all__ = [
     "TieredCorpusIndex",
     "build_stream_index",
 ]
+
+#: Resident cold segments get process-unique cache tokens (never
+#: serialized; a restore mints fresh ones).
+_RESIDENT_TOKENS = itertools.count()
 
 #: Warm segments cover this many days of post dates by default (~one
 #: quarter): long enough that steady monitoring windows stay out of
@@ -114,26 +125,47 @@ def _plain_columns(compact: Mapping[str, object]) -> Dict[str, object]:
 
 
 class _ColdSegment:
-    """One immutable cold segment: compact raw columns plus sidecar."""
+    """One immutable cold segment: sidecar plus columns or a store key.
 
-    __slots__ = ("span", "columns_state", "sidecar", "count", "min_ord", "max_ord")
+    A resident segment keeps its compact raw ``columns_state`` in
+    memory; a spilled segment keeps ``store_key`` instead and its
+    columns live only in the owning index's :class:`SegmentStore`.
+    """
+
+    __slots__ = (
+        "span",
+        "columns_state",
+        "sidecar",
+        "count",
+        "min_ord",
+        "max_ord",
+        "store_key",
+        "token",
+    )
 
     def __init__(
         self,
         *,
         span: int,
-        columns_state: Dict[str, object],
+        columns_state: Optional[Dict[str, object]],
         sidecar: Optional[SegmentSidecar],
         count: int,
         min_ord: int,
         max_ord: int,
+        store_key: Optional[str] = None,
     ) -> None:
+        if columns_state is None and store_key is None:
+            raise ValueError(
+                "a cold segment needs either resident columns or a store key"
+            )
         self.span = span
         self.columns_state = columns_state
         self.sidecar = sidecar
         self.count = count
         self.min_ord = min_ord
         self.max_ord = max_ord
+        self.store_key = store_key
+        self.token = f"resident-{next(_RESIDENT_TOKENS)}"
 
     def materialize(self) -> ColumnarCorpus:
         """Rebuild the raw columnar segment, into a throwaway pool.
@@ -141,8 +173,17 @@ class _ColdSegment:
         Cold analyses are deliberately *not* pooled in the index's
         shared interner — materialization is the rare path (replay
         parity, late keyword backfill) and re-pinning its analyses
-        would undo the cold seal's memory reclaim.
+        would undo the cold seal's memory reclaim.  Callers inside the
+        index go through :meth:`TieredCorpusIndex._materialize`, which
+        adds the LRU hydration cache (and the store read for spilled
+        segments); this method is the uncached resident path only.
         """
+        if self.columns_state is None:
+            raise StoreError(
+                f"cold segment for span {self.span} is spilled "
+                f"(store key {self.store_key!r}); hydrate it through its "
+                "segment store"
+            )
         return ColumnarCorpus.from_state(self.columns_state)
 
     def overlaps(self, since_ord: Optional[int], until_ord: Optional[int]) -> bool:
@@ -178,6 +219,13 @@ class TieredCorpusIndex:
             must match the consuming tracker's.
         sidecar_analyzer: sentiment analyzer of the sidecar sums — must
             be the consuming tracker's instance for bit-parity.
+        store: optional :class:`~repro.stream.store.SegmentStore`; when
+            attached, cold seals spill their columns to it and keep only
+            the store key in memory.  Several indexes (shards, a replay
+            audit) may share one store instance.
+        max_resident_cold: LRU capacity of the resident hydration cache
+            (spilled segments additionally cache inside the store's own
+            LRU); None takes the store default.
         metrics: optional :class:`~repro.obs.registry.MetricsRegistry`
             recording seal/consolidate/rematerialize events as counters
             + seal-size histograms, plus per-tier size gauges refreshed
@@ -195,6 +243,8 @@ class TieredCorpusIndex:
         sidecar_keywords: Optional[Sequence[str]] = None,
         sidecar_region: Optional[str] = None,
         sidecar_analyzer=None,
+        store: Optional[SegmentStore] = None,
+        max_resident_cold: Optional[int] = None,
         metrics=None,
     ) -> None:
         if compact_threshold < 1:
@@ -222,6 +272,12 @@ class TieredCorpusIndex:
         )
         self._sidecar_region = sidecar_region
         self._sidecar_analyzer = sidecar_analyzer
+        self._store = store
+        self._resident_cache = HydrationCache(
+            DEFAULT_MAX_RESIDENT_COLD
+            if max_resident_cold is None
+            else max_resident_cold
+        )
         self._interner = TextInterner()
         self._hot: List[Post] = []
         self._hot_index: Optional[CorpusIndex] = None
@@ -417,14 +473,22 @@ class TieredCorpusIndex:
                     analyzer=self._sidecar_analyzer,
                 )
             count = len(columns)
+            columns_state: Optional[Dict[str, object]] = _compact_columns(
+                columns.state_dict()
+            )
+            store_key: Optional[str] = None
+            if self._store is not None:
+                store_key = self._store.spill(columns_state, span=span)
+                columns_state = None
             self._cold.append(
                 _ColdSegment(
                     span=span,
-                    columns_state=_compact_columns(columns.state_dict()),
+                    columns_state=columns_state,
                     sidecar=sidecar,
                     count=count,
                     min_ord=columns.date_ordinal(0),
                     max_ord=columns.date_ordinal(count - 1),
+                    store_key=store_key,
                 )
             )
             self._warm_count -= count
@@ -471,6 +535,53 @@ class TieredCorpusIndex:
 
     # -- segment access -----------------------------------------------------
 
+    @property
+    def store(self) -> Optional[SegmentStore]:
+        """The attached spill store (None when fully resident)."""
+        return self._store
+
+    @property
+    def sidecar_region(self) -> Optional[str]:
+        """The SAI region scope the cold sidecars were built with."""
+        return self._sidecar_region
+
+    @property
+    def sidecar_analyzer(self):
+        """The sentiment analyzer the cold sidecars were built with."""
+        return self._sidecar_analyzer
+
+    def _materialize(self, segment: _ColdSegment) -> ColumnarCorpus:
+        """One cold segment's corpus, through the LRU hydration cache.
+
+        Every rehydration in the index routes here: spilled segments
+        read back via their store (which runs its own LRU keyed by
+        store key), resident segments rebuild through the index-local
+        cache — so back-to-back queries on the same cold window no
+        longer re-parse the segment (or rebuild a throwaway interner)
+        per call.  The rematerialization counter ticks only on cache
+        misses — it counts actual column re-parses, not lookups.
+        """
+        if segment.store_key is not None:
+            store = self._store
+            if store is None:
+                raise StoreError(
+                    f"cold segment {segment.store_key!r} is spilled but the "
+                    "index has no segment store attached; pass spill_dir "
+                    "(or a store) when building the index"
+                )
+            hydrations_before = store.hydrations
+            corpus = store.hydrate(segment.store_key)
+            if store.hydrations != hydrations_before:
+                self._remat_total.inc()
+            return corpus
+        cached = self._resident_cache.get(segment.token)
+        if cached is not None:
+            return cached
+        corpus = segment.materialize()
+        self._resident_cache.put(segment.token, corpus)
+        self._remat_total.inc()
+        return corpus
+
     def _hot_segment(self) -> CorpusIndex:
         """The hot tail's index, built lazily after each append."""
         if self._hot_index is None:
@@ -513,6 +624,9 @@ class TieredCorpusIndex:
             "cold": {
                 "posts": self._cold_count,
                 "segments": len(self._cold),
+                "spilled": sum(
+                    1 for segment in self._cold if segment.store_key is not None
+                ),
                 "sidecars": sum(
                     1 for segment in self._cold if segment.sidecar is not None
                 ),
@@ -560,6 +674,7 @@ class TieredCorpusIndex:
             "consolidations": self._consolidations,
             "cold_seals": self._cold_seals,
             "interner_evicted": self._interner_evicted,
+            "store": self._store.stats if self._store is not None else None,
             "tiers": self.tier_stats,
         }
 
@@ -576,9 +691,9 @@ class TieredCorpusIndex:
         Materializes every cold segment — the replay-parity path, not a
         monitoring-loop path.
         """
-        self._remat_total.inc(len(self._cold))
         lists: List[Sequence[Post]] = [
-            tuple(segment.materialize().all_posts()) for segment in self._cold
+            tuple(self._materialize(segment).all_posts())
+            for segment in self._cold
         ]
         lists.extend(chunk.posts for chunk in self._warm_chunks())
         lists.append(self._hot_segment().posts)
@@ -617,8 +732,7 @@ class TieredCorpusIndex:
         segments: List[CorpusIndex] = []
         for segment in self._cold:
             if segment.overlaps(since_ord, until_ord):
-                self._remat_total.inc()
-                segments.append(CorpusIndex(columns=segment.materialize()))
+                segments.append(CorpusIndex(columns=self._materialize(segment)))
         for chunk in self._warm_chunks():
             count = len(chunk)
             if count == 0:
@@ -707,10 +821,9 @@ class TieredCorpusIndex:
             sidecar = segment.sidecar
             if sidecar is not None:
                 if sidecar.missing(keywords):
-                    self._remat_total.inc()
                     sidecar.extend(
                         keywords,
-                        segment.materialize(),
+                        self._materialize(segment),
                         region=self._sidecar_region,
                         analyzer=self._sidecar_analyzer,
                     )
@@ -718,11 +831,10 @@ class TieredCorpusIndex:
                     sidecar.as_delta(keywords, count_observed=False)
                 )
             else:
-                self._remat_total.inc()
                 deltas.append(
                     compute_signal_delta_columnar(
                         keywords,
-                        segment.materialize(),
+                        self._materialize(segment),
                         region=region,
                         analyzer=analyzer,
                     )
@@ -782,7 +894,12 @@ class TieredCorpusIndex:
             "cold": [
                 {
                     "span": segment.span,
-                    "columns": _plain_columns(segment.columns_state),
+                    "columns": (
+                        None
+                        if segment.columns_state is None
+                        else _plain_columns(segment.columns_state)
+                    ),
+                    "store_key": segment.store_key,
                     "sidecar": (
                         segment.sidecar.state_dict()
                         if segment.sidecar is not None
@@ -851,12 +968,44 @@ class TieredCorpusIndex:
             self._interner.analysis(text)
         self._cold = []
         self._cold_count = 0
+        self._resident_cache.clear()
+        cold_ids: List[str] = []
         for entry in state["cold"]:  # type: ignore[union-attr]
             sidecar_state = entry.get("sidecar")
+            store_key = entry.get("store_key")
+            columns = entry.get("columns")
+            columns_state: Optional[Dict[str, object]] = None
+            if store_key is not None:
+                # Spilled snapshot: the columns live only in the store.
+                if self._store is None:
+                    raise StoreError(
+                        f"snapshot references spilled segment {store_key!r} "
+                        "but the index has no segment store attached; "
+                        "restore with the checkpoint's spill directory "
+                        "(spill_dir / --spill-dir)"
+                    )
+                if store_key not in self._store:
+                    raise StoreError(
+                        f"snapshot references spilled segment {store_key!r} "
+                        "missing from the store at "
+                        f"{self._store.directory}"
+                    )
+                cold_ids.extend(self._store.load_post_ids(str(store_key)))
+            else:
+                compact = _compact_columns(columns)  # type: ignore[arg-type]
+                cold_ids.extend(compact["post_ids"])  # type: ignore[arg-type]
+                if self._store is not None:
+                    # Resident snapshot restored onto a spilling index:
+                    # re-spill so the restored run sheds the same memory.
+                    store_key = self._store.spill(
+                        compact, span=int(entry["span"])
+                    )
+                else:
+                    columns_state = compact
             self._cold.append(
                 _ColdSegment(
                     span=int(entry["span"]),
-                    columns_state=_compact_columns(entry["columns"]),
+                    columns_state=columns_state,
                     sidecar=(
                         SegmentSidecar.from_state(sidecar_state)
                         if sidecar_state is not None
@@ -865,6 +1014,7 @@ class TieredCorpusIndex:
                     count=int(entry["count"]),
                     min_ord=int(entry["min_ord"]),
                     max_ord=int(entry["max_ord"]),
+                    store_key=None if store_key is None else str(store_key),
                 )
             )
             self._cold_count += int(entry["count"])
@@ -875,8 +1025,7 @@ class TieredCorpusIndex:
                     chunk.columns.post_id(position)
                     for position in range(len(chunk))
                 )
-        for segment in self._cold:
-            self._ids.update(segment.columns_state["post_ids"])  # type: ignore[arg-type]
+        self._ids.update(cold_ids)
         self._appends = int(state["appends"])  # type: ignore[arg-type]
         self._hot_seals = int(state["hot_seals"])  # type: ignore[arg-type]
         self._consolidations = int(state["consolidations"])  # type: ignore[arg-type]
@@ -905,6 +1054,9 @@ def build_stream_index(
     sidecar_keywords: Optional[Sequence[str]] = None,
     sidecar_region: Optional[str] = None,
     sidecar_analyzer=None,
+    store: Optional[SegmentStore] = None,
+    spill_dir=None,
+    max_resident_cold: Optional[int] = None,
     metrics=None,
 ):
     """The runtime's index factory: flat by default, tiered on request.
@@ -913,14 +1065,34 @@ def build_stream_index(
     :class:`~repro.stream.index.StreamingCorpusIndex` is returned —
     byte-identical behaviour and checkpoints to every prior release.
     Setting either knob returns a :class:`TieredCorpusIndex` (the unset
-    knob takes its default).  ``metrics`` threads the owning runtime's
-    telemetry registry into either index flavour.
+    knob takes its default).  ``spill_dir`` opens (or adopts) a
+    :class:`~repro.stream.store.SegmentStore` there and attaches it so
+    cold seals spill to disk; pass ``store`` instead to share one store
+    instance across several indexes (sharded runtimes).  ``metrics``
+    threads the owning runtime's telemetry registry into either index
+    flavour (and a ``spill_dir``-opened store).
     """
     if warm_span_days is None and cold_age_days is None:
+        if store is not None or spill_dir is not None or max_resident_cold is not None:
+            raise ValueError(
+                "spill-to-disk requires tiered retention: set warm_span_days "
+                "or cold_age_days (--warm-span/--cold-age) alongside "
+                "spill_dir/max_resident_cold"
+            )
         return StreamingCorpusIndex(
             posts,
             compact_threshold=compact_threshold,
             compact_ratio=compact_ratio,
+            metrics=metrics,
+        )
+    if store is None and spill_dir is not None:
+        store = SegmentStore(
+            spill_dir,
+            max_resident_cold=(
+                DEFAULT_MAX_RESIDENT_COLD
+                if max_resident_cold is None
+                else max_resident_cold
+            ),
             metrics=metrics,
         )
     return TieredCorpusIndex(
@@ -936,5 +1108,7 @@ def build_stream_index(
         sidecar_keywords=sidecar_keywords,
         sidecar_region=sidecar_region,
         sidecar_analyzer=sidecar_analyzer,
+        store=store,
+        max_resident_cold=max_resident_cold,
         metrics=metrics,
     )

@@ -1,0 +1,613 @@
+"""Tests for the cold-segment spill-to-disk store.
+
+Covers the binary codec (exact round trips, floats bit-for-bit), the
+crash-atomicity contract (temp files and orphans ignored, manifest never
+references a missing file), typed :class:`StoreError` failures naming
+the offending key, the LRU hydration cache, the ``psp_store_*``
+telemetry, and the spill lifecycle through ``TieredCorpusIndex``,
+checkpoints, sharded runtimes and the CLI.
+"""
+
+import datetime as dt
+import json
+import math
+from array import array
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import TargetApplication
+from repro.obs.registry import MetricsRegistry
+from repro.social import ecm_reprogramming_corpus
+from repro.social.index import CorpusIndex
+from repro.social.post import Post
+from repro.stream.checkpoint import (
+    restore_runtime,
+    save_checkpoint,
+)
+from repro.stream.feed import SyntheticFeed
+from repro.stream.runtime import StreamRuntime
+from repro.stream.sharding import ShardedStreamRuntime
+from repro.stream.store import (
+    DEFAULT_MAX_RESIDENT_COLD,
+    HydrationCache,
+    SegmentStore,
+    StoreError,
+    segment_from_bytes,
+    segment_to_bytes,
+)
+from repro.stream.tiers import TieredCorpusIndex, build_stream_index
+from tests.conftest import build_ecm_database
+
+ECM_TARGET = TargetApplication("car", "europe", "passenger")
+
+KEYWORDS = ("dpfdelete", "egrremoval", "delet", "stolen", "nomatch")
+
+TEXTS = (
+    "my #dpfdelete kit arrived",
+    "deleting the egr today",
+    "stolen excavator warning",
+    "dpf delete done at the workshop",
+    "#egr_removal before and after",
+)
+
+
+def _daily_posts(days, *, start=dt.date(2020, 1, 1), step=1):
+    return [
+        Post(
+            post_id=f"p{i:04d}",
+            text=TEXTS[i % len(TEXTS)],
+            author=f"user{i % 3}",
+            created_at=start + dt.timedelta(days=i * step),
+        )
+        for i in range(days)
+    ]
+
+
+def _spilled_index(tmp_path, posts=None, **knobs):
+    index = build_stream_index(
+        posts if posts is not None else (),
+        warm_span_days=knobs.pop("warm_span_days", 30),
+        cold_age_days=knobs.pop("cold_age_days", 120),
+        spill_dir=tmp_path / "store",
+        compact_threshold=1000,
+        **knobs,
+    )
+    return index
+
+
+def _assert_same_queries(tiered, rebuilt):
+    assert [p.post_id for p in tiered.posts] == [
+        p.post_id for p in rebuilt.posts
+    ]
+    got = tiered.search_many(KEYWORDS)
+    want = rebuilt.search_many(KEYWORDS)
+    for keyword in KEYWORDS:
+        assert [p.post_id for p in got[keyword]] == [
+            p.post_id for p in want[keyword]
+        ], keyword
+
+
+SAMPLE_STATE = {
+    "dates": array("l", [737424, 737425, 737426]),
+    "views": array("q", [10, 0, 2**40]),
+    "scores": array("d", [0.1, -1e300, math.inf, 1.5e-310]),
+    "post_ids": ["a", "b", "c"],
+    "texts": ["first text", "", "unicode ✓ café"],
+}
+
+
+class TestCodec:
+    def test_round_trip_is_exact(self):
+        decoded = segment_from_bytes(segment_to_bytes(SAMPLE_STATE))
+        assert list(decoded) == list(SAMPLE_STATE)  # section order kept
+        for name, value in SAMPLE_STATE.items():
+            got = decoded[name]
+            if isinstance(value, array):
+                assert isinstance(got, array)
+                assert got.typecode == value.typecode
+                # Bit-for-bit, not value equality: inf, subnormals and
+                # negative zero must survive unchanged.
+                assert got.tobytes() == value.tobytes()
+            else:
+                assert got == value
+
+    def test_empty_columns_round_trip(self):
+        state = {"dates": array("l"), "post_ids": [], "texts": []}
+        decoded = segment_from_bytes(segment_to_bytes(state))
+        assert decoded["dates"].tobytes() == b""
+        assert decoded["post_ids"] == []
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(StoreError, match="magic"):
+            segment_from_bytes(b"NOTASEGMENT")
+
+    def test_short_prefix_raises(self):
+        data = segment_to_bytes(SAMPLE_STATE)
+        with pytest.raises(StoreError, match="magic"):
+            segment_from_bytes(data[:12])
+
+    def test_truncated_header_raises(self):
+        data = segment_to_bytes(SAMPLE_STATE)
+        with pytest.raises(StoreError, match="truncated inside the header"):
+            segment_from_bytes(data[:20])
+
+    def test_truncated_payload_raises(self):
+        data = segment_to_bytes(SAMPLE_STATE)
+        with pytest.raises(StoreError, match="checksum|truncated"):
+            segment_from_bytes(data[:-5])
+
+    def test_corrupted_payload_raises_checksum(self):
+        data = bytearray(segment_to_bytes(SAMPLE_STATE))
+        data[-1] ^= 0xFF
+        with pytest.raises(StoreError, match="checksum mismatch"):
+            segment_from_bytes(bytes(data))
+
+    def test_unsupported_version_raises(self):
+        data = segment_to_bytes({"post_ids": ["x"]})
+        # Rewrite the header with a bumped version, keeping the layout.
+        magic_len = 8
+        header_len = int.from_bytes(data[magic_len : magic_len + 8], "little")
+        header = json.loads(data[magic_len + 8 : magic_len + 8 + header_len])
+        header["version"] = 99
+        new_header = json.dumps(header, separators=(",", ":")).encode()
+        patched = (
+            data[:magic_len]
+            + len(new_header).to_bytes(8, "little")
+            + new_header
+            + data[magic_len + 8 + header_len :]
+        )
+        with pytest.raises(StoreError, match="version"):
+            segment_from_bytes(patched)
+
+
+class TestHydrationCache:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            HydrationCache(0)
+
+    def test_lru_evicts_least_recent(self):
+        cache = HydrationCache(2)
+        cache.put("a", "A")
+        cache.put("b", "B")
+        assert cache.get("a") == "A"  # refreshes 'a'
+        cache.put("c", "C")  # evicts 'b'
+        assert cache.get("b") is None
+        assert cache.get("a") == "A"
+        assert cache.get("c") == "C"
+        assert cache.evictions == 1
+        assert cache.hits == 3
+        assert cache.misses == 1
+
+    def test_clear_keeps_statistics(self):
+        cache = HydrationCache(2)
+        cache.put("a", "A")
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+
+class TestSegmentStore:
+    def _state(self, tag="x"):
+        return {
+            "dates": array("l", [737424, 737425]),
+            "post_ids": [f"{tag}1", f"{tag}2"],
+            "texts": [f"{tag} first", f"{tag} second"],
+        }
+
+    def test_spill_and_load_round_trip(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        key = store.spill(self._state(), span=7)
+        assert key.startswith("seg-7-")
+        assert key in store
+        loaded = store.load_columns_state(key)
+        assert loaded["post_ids"] == ["x1", "x2"]
+        assert store.load_post_ids(key) == ["x1", "x2"]
+        assert store.segment_count == 1
+        assert store.bytes_on_disk > 0
+
+    def test_spill_is_idempotent_by_content(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        first = store.spill(self._state(), span=7)
+        second = store.spill(self._state(), span=7)
+        assert first == second
+        assert store.segment_count == 1
+        seg_files = list(tmp_path.glob("*.seg"))
+        assert len(seg_files) == 1
+
+    def test_missing_key_raises_naming_key(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        with pytest.raises(StoreError, match="'seg-0-nope'"):
+            store.load_columns_state("seg-0-nope")
+
+    def test_deleted_segment_file_raises_naming_key(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        key = store.spill(self._state(), span=1)
+        (tmp_path / f"{key}.seg").unlink()
+        with pytest.raises(StoreError) as excinfo:
+            store.load_columns_state(key)
+        assert key in str(excinfo.value)
+
+    def test_corrupted_segment_file_raises_naming_key(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        key = store.spill(self._state(), span=1)
+        path = tmp_path / f"{key}.seg"
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StoreError) as excinfo:
+            store.load_columns_state(key)
+        message = str(excinfo.value)
+        assert key in message and "checksum" in message
+
+    def test_directory_adoption_reads_existing_manifest(self, tmp_path):
+        first = SegmentStore(tmp_path)
+        key = first.spill(self._state(), span=3)
+        second = SegmentStore(tmp_path)
+        assert key in second
+        assert second.load_post_ids(key) == ["x1", "x2"]
+
+    def test_orphan_tmp_and_seg_files_ignored_on_open(self, tmp_path):
+        # A kill mid-spill leaves either a temp file (crash before the
+        # rename) or a renamed segment the manifest never recorded
+        # (crash between rename and manifest write).  Both are inert.
+        store = SegmentStore(tmp_path)
+        key = store.spill(self._state(), span=3)
+        (tmp_path / f"seg-9-deadbeef.seg.{12345}.tmp").write_bytes(b"junk")
+        (tmp_path / "seg-9-deadbeef.seg").write_bytes(b"orphan")
+        adopted = SegmentStore(tmp_path)
+        assert list(adopted.keys()) == [key]
+        assert adopted.load_post_ids(key) == ["x1", "x2"]
+        # The orphaned content-addressed file is reused on the next
+        # spill of the same content, never trusted blindly.
+        assert "seg-9-deadbeef" not in adopted
+
+    def test_manifest_never_references_missing_file(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        store.spill(self._state("a"), span=1)
+        store.spill(self._state("b"), span=2)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        for entry in manifest["segments"].values():
+            assert (tmp_path / entry["file"]).exists()
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not json")
+        with pytest.raises(StoreError, match="not valid JSON"):
+            SegmentStore(tmp_path)
+
+    def test_manifest_union_merge_across_instances(self, tmp_path):
+        # Two instances sharing one directory (shards, replay sub-runs)
+        # must not clobber each other's manifest records.
+        first = SegmentStore(tmp_path)
+        second = SegmentStore(tmp_path)
+        key_a = first.spill(self._state("a"), span=1)
+        key_b = second.spill(self._state("b"), span=2)
+        adopted = SegmentStore(tmp_path)
+        assert key_a in adopted and key_b in adopted
+
+    def test_stats_and_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+        store = SegmentStore(tmp_path, max_resident_cold=1, metrics=registry)
+        store.spill(self._state("a"), span=1)
+        store.spill(self._state("b"), span=2)
+        stats = store.stats
+        assert stats["segments"] == 2 and stats["spills"] == 2
+        assert stats["max_resident_cold"] == 1
+        collected = registry.collect()
+        assert collected["psp_store_spills_total"].value() == 2
+        assert collected["psp_store_spilled_bytes_total"].value() == (
+            store.bytes_on_disk
+        )
+        # Gauges are collector-refreshed at snapshot/export time.
+        snapshot = registry.snapshot()
+        gauges = {
+            name: entry["series"][0]["value"]
+            for name, entry in snapshot["metrics"].items()
+            if entry["kind"] == "gauge" and entry["series"]
+        }
+        assert gauges["psp_store_segments"] == 2
+        assert gauges["psp_store_bytes"] == store.bytes_on_disk
+        assert gauges["psp_store_resident_segments"] <= 1  # capacity 1
+
+
+class TestIndexSpill:
+    def test_cold_seals_spill_and_queries_match_flat(self, tmp_path):
+        posts = _daily_posts(500)
+        index = _spilled_index(tmp_path)
+        for i in range(0, len(posts), 40):
+            index.append(posts[i : i + 40])
+        tiers = index.segment_stats["tiers"]
+        assert tiers["cold"]["segments"] > 0
+        assert tiers["cold"]["spilled"] == tiers["cold"]["segments"]
+        assert index.store is not None
+        assert index.store.segment_count > 0
+        _assert_same_queries(index, CorpusIndex(posts))
+
+    def test_hydration_rides_the_lru_cache(self, tmp_path):
+        posts = _daily_posts(500)
+        # Capacity large enough that one query's scan fits: the second
+        # identical query must be all cache hits, zero disk reads.
+        index = _spilled_index(tmp_path, max_resident_cold=64)
+        for i in range(0, len(posts), 40):
+            index.append(posts[i : i + 40])
+        store = index.store
+        store.drop_cache()
+        hydrations_before = store.hydrations
+        index.search_many(("dpfdelete",))
+        first_pass_hydrations = store.hydrations - hydrations_before
+        assert first_pass_hydrations > 0
+        hits_before = store.cache.hits
+        index.search_many(("dpfdelete",))
+        assert store.hydrations == hydrations_before + first_pass_hydrations
+        assert store.cache.hits > hits_before
+
+    def test_small_cache_evicts_under_scan(self, tmp_path):
+        posts = _daily_posts(500)
+        index = _spilled_index(tmp_path, max_resident_cold=1)
+        for i in range(0, len(posts), 40):
+            index.append(posts[i : i + 40])
+        store = index.store
+        store.drop_cache()
+        index.search_many(("dpfdelete",))
+        # More spilled segments than cache slots: the scan must evict.
+        assert store.segment_count > 1
+        assert store.cache.evictions > 0
+        assert len(store.cache) <= 1
+
+    def test_resident_cold_also_cached_per_query(self, tmp_path):
+        # The PR 10 fix: even WITHOUT a store, back-to-back cold queries
+        # must not rebuild a throwaway interner per call.
+        posts = _daily_posts(500)
+        index = build_stream_index(
+            posts, warm_span_days=30, cold_age_days=120,
+            compact_threshold=1000,
+        )
+        remat_first = index.segment_stats
+        index.search_many(("dpfdelete",))
+        after_one = index.segment_stats["tiers"]
+        index.search_many(("dpfdelete",))
+        # Rematerialization counter parity is covered via metrics in
+        # runtime tests; here the observable contract is identity: two
+        # queries in a row return identical results without error.
+        assert index.search_many(("dpfdelete",)) is not None
+        assert remat_first["layout"] == "tiered"
+        assert after_one["cold"]["spilled"] == 0
+
+    def test_spill_requires_tiered_retention(self, tmp_path):
+        with pytest.raises(ValueError, match="tiered retention"):
+            build_stream_index(spill_dir=tmp_path / "s")
+        with pytest.raises(ValueError, match="tiered retention"):
+            build_stream_index(max_resident_cold=2)
+
+    def test_state_dict_roundtrip_reattaches_store(self, tmp_path):
+        posts = _daily_posts(400)
+        index = _spilled_index(tmp_path)
+        for i in range(0, len(posts), 40):
+            index.append(posts[i : i + 40])
+        state = index.state_dict()
+        spilled_entries = [
+            entry for entry in state["cold"] if entry["store_key"]
+        ]
+        assert spilled_entries
+        assert all(entry["columns"] is None for entry in spilled_entries)
+
+        restored = build_stream_index(
+            warm_span_days=30, cold_age_days=120,
+            spill_dir=tmp_path / "store", compact_threshold=1000,
+        )
+        restored.load_state(state)
+        _assert_same_queries(restored, CorpusIndex(posts))
+
+    def test_snapshot_without_store_raises_typed_error(self, tmp_path):
+        posts = _daily_posts(400)
+        index = _spilled_index(tmp_path)
+        for i in range(0, len(posts), 40):
+            index.append(posts[i : i + 40])
+        state = index.state_dict()
+        detached = build_stream_index(
+            warm_span_days=30, cold_age_days=120, compact_threshold=1000
+        )
+        with pytest.raises(StoreError, match="spill_dir"):
+            detached.load_state(state)
+
+    def test_snapshot_with_wrong_store_names_missing_key(self, tmp_path):
+        posts = _daily_posts(400)
+        index = _spilled_index(tmp_path)
+        for i in range(0, len(posts), 40):
+            index.append(posts[i : i + 40])
+        state = index.state_dict()
+        other = build_stream_index(
+            warm_span_days=30, cold_age_days=120,
+            spill_dir=tmp_path / "elsewhere", compact_threshold=1000,
+        )
+        with pytest.raises(StoreError, match="seg-"):
+            other.load_state(state)
+
+    def test_resident_snapshot_respills_into_attached_store(self, tmp_path):
+        posts = _daily_posts(400)
+        resident = build_stream_index(
+            posts, warm_span_days=30, cold_age_days=120,
+            compact_threshold=1000,
+        )
+        state = resident.state_dict()
+        spilling = build_stream_index(
+            warm_span_days=30, cold_age_days=120,
+            spill_dir=tmp_path / "store", compact_threshold=1000,
+        )
+        spilling.load_state(state)
+        assert spilling.store.segment_count > 0
+        tiers = spilling.segment_stats["tiers"]
+        assert tiers["cold"]["spilled"] == tiers["cold"]["segments"]
+        _assert_same_queries(spilling, CorpusIndex(posts))
+
+
+def _ecm_runtime(**kwargs):
+    return StreamRuntime(
+        SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+        build_ecm_database(),
+        target=ECM_TARGET,
+        since_year=2015,
+        batch_size=200,
+        warm_span_days=60,
+        cold_age_days=180,
+        **kwargs,
+    )
+
+
+def _alert_keys(runtime):
+    return [
+        (
+            alert.upto_year,
+            alert.changes,
+            alert.result.insider_table.as_rows(),
+        )
+        for alert in runtime.alerts
+    ]
+
+
+class TestCheckpointSpill:
+    def test_checkpoint_restore_reattaches_store(self, tmp_path):
+        spill = tmp_path / "store"
+        reference = _ecm_runtime()
+        reference.run()
+
+        interrupted = _ecm_runtime(spill_dir=spill)
+        while True:
+            tick = interrupted.step()
+            assert tick is not None, "feed drained before any cold seal"
+            if interrupted.index.segment_stats["cold_seals"] > 0:
+                break
+        path = save_checkpoint(interrupted, tmp_path / "spill.ckpt.json")
+        payload = json.loads(path.read_text())
+        meta = payload["metadata"]["store"]
+        assert meta["directory"] == str(spill)
+        assert meta["segments"] > 0 and meta["bytes"] > 0
+        assert meta["manifest"] == str(spill / "manifest.json")
+
+        resumed = restore_runtime(
+            path,
+            SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+            build_ecm_database(),
+            target=ECM_TARGET,
+            batch_size=200,
+            warm_span_days=60,
+            cold_age_days=180,
+            spill_dir=spill,
+        )
+        resumed.run()
+        assert _alert_keys(resumed) == _alert_keys(reference)
+
+    def test_checkpoint_restore_without_store_degrades_cleanly(
+        self, tmp_path
+    ):
+        spill = tmp_path / "store"
+        runtime = _ecm_runtime(spill_dir=spill)
+        while True:
+            tick = runtime.step()
+            assert tick is not None, "feed drained before any cold seal"
+            if runtime.index.segment_stats["cold_seals"] > 0:
+                break
+        path = save_checkpoint(runtime, tmp_path / "spill.ckpt.json")
+        with pytest.raises(StoreError) as excinfo:
+            restore_runtime(
+                path,
+                SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+                build_ecm_database(),
+                target=ECM_TARGET,
+                batch_size=200,
+                warm_span_days=60,
+                cold_age_days=180,
+            )
+        message = str(excinfo.value)
+        assert "checkpoint restore failed" in message
+        assert "spill" in message  # points the operator at the remedy
+
+
+class TestShardedSpill:
+    def test_shards_share_one_store_and_match_resident_run(self, tmp_path):
+        def _run(**kwargs):
+            runtime = ShardedStreamRuntime(
+                [
+                    SyntheticFeed.from_corpus(ecm_reprogramming_corpus()),
+                    SyntheticFeed.from_corpus(
+                        ecm_reprogramming_corpus(), empty=True
+                    )
+                    if False
+                    else SyntheticFeed(()),
+                ],
+                build_ecm_database(),
+                target=ECM_TARGET,
+                since_year=2015,
+                batch_size=200,
+                warm_span_days=60,
+                cold_age_days=180,
+                **kwargs,
+            )
+            runtime.run()
+            keys = _alert_keys(runtime)
+            stats = runtime.stream_stats["shard_stats"]
+            store = runtime.store
+            runtime.close()
+            return keys, stats, store
+
+        spilled_keys, spilled_stats, store = _run(
+            spill_dir=tmp_path / "store", max_resident_cold=2
+        )
+        assert store is not None and store.segment_count > 0
+        for shard in spilled_stats:
+            tiers = shard["index"]["tiers"]
+            assert tiers["cold"]["spilled"] == tiers["cold"]["segments"]
+        resident_keys, _, no_store = _run()
+        assert no_store is None
+        assert spilled_keys == resident_keys
+
+    def test_sharded_spill_requires_tiered_retention(self, tmp_path):
+        with pytest.raises(ValueError, match="tiered retention"):
+            ShardedStreamRuntime(
+                [SyntheticFeed(())],
+                build_ecm_database(),
+                target=ECM_TARGET,
+                spill_dir=tmp_path / "store",
+            )
+
+
+class TestCliSpill:
+    def test_stream_stats_show_store_row(self, tmp_path, capsys):
+        code = main(
+            [
+                "stream", "--scenario", "ecm", "--batch-size", "400",
+                "--warm-span", "60", "--cold-age", "180",
+                "--spill-dir", str(tmp_path / "store"),
+                "--max-resident-cold", "2", "--stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "store:" in out
+        assert str(tmp_path / "store") in out
+        assert "spilled" in out
+        assert (tmp_path / "store" / "manifest.json").exists()
+
+    def test_replay_with_spill_dir_passes(self, tmp_path, capsys):
+        code = main(
+            [
+                "replay", "--scenario", "ecm", "--months", "2", "--smoke",
+                "--warm-span", "60", "--cold-age", "180",
+                "--spill-dir", str(tmp_path / "store"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replay ecm" in out
+
+    def test_spill_without_tiering_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            [
+                "stream", "--scenario", "ecm",
+                "--spill-dir", str(tmp_path / "store"),
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err and "tiered retention" in err
